@@ -1,0 +1,197 @@
+//! Criterion micro-benchmarks of the pipeline operators (B1–B6 in
+//! DESIGN.md) plus ablation benches for the design choices: compounding
+//! (context-expanded) retrieval vs independent retrieval, decomposed vs
+//! full-query knowledge-set construction, and EX comparison.
+//!
+//! Run: `cargo bench -p genedit-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use genedit_bird::{DomainBundle, Workload, SPORTS};
+use genedit_core::{Ablation, GenEditPipeline, KnowledgeIndex};
+use genedit_knowledge::decompose_sql;
+use genedit_llm::{CompletionRequest, LanguageModel, OracleModel, Prompt, TaskKind, TaskRegistry};
+use genedit_sql::execute_sql;
+
+fn setup() -> (DomainBundle, KnowledgeIndex, OracleModel) {
+    let bundle = DomainBundle::build(&SPORTS, (24, 7, 3), 42);
+    let index = KnowledgeIndex::build(bundle.build_knowledge());
+    let mut reg = TaskRegistry::new();
+    for t in &bundle.tasks {
+        reg.register(t.clone());
+    }
+    (bundle, index, OracleModel::new(reg))
+}
+
+fn bench_retrieval_operators(c: &mut Criterion) {
+    let (bundle, index, _) = setup();
+    let question = &bundle.tasks.last().unwrap().question;
+    let mut group = c.benchmark_group("retrieval");
+
+    group.bench_function("embed_query", |b| {
+        b.iter(|| index.embedder().embed(question))
+    });
+
+    let q_emb = index.embedder().embed(question);
+    group.bench_function("example_selection_top10", |b| {
+        b.iter(|| index.top_examples(&q_emb, &[], 10))
+    });
+
+    // The compounding variant: instruction ranking with the query expanded
+    // by the selected examples (§3.1.1) …
+    let examples = index.top_examples(&q_emb, &[], 10);
+    let expansions: Vec<String> =
+        examples.iter().map(|(e, _)| e.retrieval_text()).collect();
+    group.bench_function("instruction_selection_compounding", |b| {
+        b.iter(|| {
+            let refs: Vec<&str> = expansions.iter().map(|s| s.as_str()).collect();
+            let expanded = index.embedder().embed_expanded(question, &refs);
+            index.top_instructions(&expanded, &[], 6)
+        })
+    });
+    // … versus independent retrieval (ablation).
+    group.bench_function("instruction_selection_independent", |b| {
+        b.iter(|| index.top_instructions(&q_emb, &[], 6))
+    });
+
+    group.bench_function("schema_rerank_top12", |b| {
+        b.iter(|| index.top_schema(&q_emb, 12))
+    });
+    group.finish();
+}
+
+fn bench_model_operators(c: &mut Criterion) {
+    let (bundle, index, oracle) = setup();
+    let task = bundle.tasks.last().unwrap();
+    let mut group = c.benchmark_group("model-operators");
+
+    group.bench_function("reformulate", |b| {
+        let prompt = Prompt::new(TaskKind::Reformulate, &task.question);
+        b.iter(|| oracle.complete(&CompletionRequest::new(prompt.clone())))
+    });
+
+    group.bench_function("plan_generation", |b| {
+        let mut prompt = Prompt::new(TaskKind::PlanGeneration, &task.question);
+        prompt.examples = index
+            .top_examples(&index.embedder().embed(&task.question), &[], 10)
+            .into_iter()
+            .map(|(e, _)| genedit_llm::PromptExample {
+                description: e.description.clone(),
+                sql: e.fragment.sql.clone(),
+                kind: Some(e.fragment.kind),
+                term: e.term.clone(),
+            })
+            .collect();
+        b.iter(|| oracle.complete(&CompletionRequest::new(prompt.clone())))
+    });
+
+    group.bench_function("sql_generation", |b| {
+        let prompt = Prompt::new(TaskKind::SqlGeneration, &task.question);
+        b.iter(|| oracle.complete(&CompletionRequest::new(prompt.clone())))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let (bundle, index, oracle) = setup();
+    let pipeline = GenEditPipeline::new(&oracle);
+    let simple = &bundle.tasks[0];
+    let challenging = bundle
+        .tasks
+        .iter()
+        .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+        .unwrap();
+    let mut group = c.benchmark_group("end-to-end");
+    group.bench_function("generate_simple", |b| {
+        b.iter(|| pipeline.generate(&simple.question, &index, &bundle.db, &[]))
+    });
+    group.bench_function("generate_challenging", |b| {
+        b.iter(|| pipeline.generate(&challenging.question, &index, &bundle.db, &[]))
+    });
+    group.finish();
+}
+
+fn bench_knowledge(c: &mut Criterion) {
+    let (bundle, _, _) = setup();
+    let challenging = bundle
+        .tasks
+        .iter()
+        .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+        .unwrap();
+    let mut group = c.benchmark_group("knowledge");
+
+    group.bench_function("decompose_challenging_sql", |b| {
+        b.iter(|| decompose_sql(&challenging.gold_sql).unwrap())
+    });
+
+    // Ablation: pre-processing with vs without decomposition.
+    group.bench_function("preprocess_decomposed", |b| {
+        let cfg = bundle.preprocess_config();
+        b.iter(|| {
+            genedit_knowledge::build_knowledge_set(&cfg, &bundle.logs, &bundle.docs, &bundle.db)
+                .unwrap()
+        })
+    });
+    group.bench_function("preprocess_full_query", |b| {
+        let mut cfg = bundle.preprocess_config();
+        cfg.decompose_examples = false;
+        b.iter(|| {
+            genedit_knowledge::build_knowledge_set(&cfg, &bundle.logs, &bundle.docs, &bundle.db)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("index_build", |b| {
+        let ks = bundle.build_knowledge();
+        b.iter_batched(
+            || ks.clone(),
+            KnowledgeIndex::build,
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (bundle, _, _) = setup();
+    let challenging = bundle
+        .tasks
+        .iter()
+        .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+        .unwrap();
+    let mut group = c.benchmark_group("sql-engine");
+    group.bench_function("execute_challenging_gold", |b| {
+        b.iter(|| execute_sql(&bundle.db, &challenging.gold_sql).unwrap())
+    });
+    group.bench_function("parse_challenging_gold", |b| {
+        b.iter(|| genedit_sql::parse_statement(&challenging.gold_sql).unwrap())
+    });
+    let a = execute_sql(&bundle.db, &challenging.gold_sql).unwrap();
+    group.bench_function("ex_comparison", |b| {
+        b.iter(|| a.ex_equal(&a))
+    });
+    group.finish();
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite");
+    group.sample_size(10);
+    group.bench_function("table1_genedit_small_suite", |b| {
+        let workload = Workload::small(42);
+        b.iter(|| {
+            let harness = genedit_core::Harness::new(&workload);
+            harness.run_genedit(Ablation::None).ex(None)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_retrieval_operators,
+    bench_model_operators,
+    bench_end_to_end,
+    bench_knowledge,
+    bench_engine,
+    bench_suite
+);
+criterion_main!(benches);

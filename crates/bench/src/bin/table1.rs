@@ -1,0 +1,51 @@
+//! Regenerates **Table 1**: GenEdit vs the five baselines on the
+//! BIRD-like suite (93/28/11 Simple/Moderate/Challenging), Execution
+//! Accuracy per stratum.
+//!
+//! Run: `cargo run --release -p genedit-bench --bin table1`
+
+use genedit_bench::paper::TABLE1;
+use genedit_bird::{EvalReport, Workload};
+use genedit_core::{paper_baselines, Ablation, Harness};
+use genedit_llm::Difficulty;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let workload = Workload::standard(seed);
+    let harness = Harness::new(&workload);
+
+    println!("Table 1 — EX on the BIRD-like suite (seed {seed}, {} tasks)", workload.task_count());
+    println!("{}", EvalReport::table_header());
+
+    let mut reports: Vec<EvalReport> = Vec::new();
+    for profile in paper_baselines() {
+        let r = harness.run_baseline(&profile);
+        println!("{}", r.table_row());
+        reports.push(r);
+    }
+    let genedit = harness.run_genedit(Ablation::None);
+    println!("{}", genedit.table_row());
+    reports.push(genedit);
+
+    println!("\nPaper comparison (shape check):");
+    for r in &reports {
+        if let Some(p) = TABLE1.iter().find(|(n, ..)| *n == r.method) {
+            println!(
+                "{}",
+                genedit_bench::compare_line(
+                    &r.method,
+                    (
+                        r.ex(Some(Difficulty::Simple)),
+                        r.ex(Some(Difficulty::Moderate)),
+                        r.ex(Some(Difficulty::Challenging)),
+                        r.ex(None)
+                    ),
+                    (p.1, p.2, p.3, p.4),
+                )
+            );
+        }
+    }
+}

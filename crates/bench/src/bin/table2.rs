@@ -1,0 +1,54 @@
+//! Regenerates **Table 2**: the operator ablation study.
+//!
+//! Run: `cargo run --release -p genedit-bench --bin table2`
+
+use genedit_bench::paper::TABLE2;
+use genedit_bird::{EvalReport, Workload};
+use genedit_core::{Ablation, Harness};
+use genedit_llm::Difficulty;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let workload = Workload::standard(seed);
+    let harness = Harness::new(&workload);
+
+    println!("Table 2 — ablation study (seed {seed}, {} tasks)", workload.task_count());
+    println!("{}", EvalReport::table_header());
+
+    let mut full_ex = None;
+    for ablation in Ablation::ALL {
+        let r = harness.run_genedit(ablation);
+        let all = r.ex(None);
+        match full_ex {
+            None => {
+                full_ex = Some(all);
+                println!("{}", r.table_row());
+            }
+            Some(base) => println!("{} (Δ {:+.2})", r.table_row(), all - base),
+        }
+    }
+
+    println!("\nPaper comparison (shape check):");
+    let harness = Harness::new(&workload);
+    for ablation in Ablation::ALL {
+        let r = harness.run_genedit(ablation);
+        if let Some(p) = TABLE2.iter().find(|(n, ..)| *n == r.method) {
+            println!(
+                "{}",
+                genedit_bench::compare_line(
+                    &r.method,
+                    (
+                        r.ex(Some(Difficulty::Simple)),
+                        r.ex(Some(Difficulty::Moderate)),
+                        r.ex(Some(Difficulty::Challenging)),
+                        r.ex(None)
+                    ),
+                    (p.1, p.2, p.3, p.4),
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # genedit-bench — experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index):
+//! `table1`, `table2`, `figure2`, `edit_metrics`, `improvement_curve`,
+//! `complexity_sweep`, plus criterion micro-benchmarks of the pipeline
+//! operators in `benches/`.
+
+/// Paper-reported numbers for side-by-side display.
+pub mod paper {
+    /// Table 1 rows: (method, simple, moderate, challenging, all).
+    pub const TABLE1: [(&str, f64, f64, f64, f64); 6] = [
+        ("CHESS", 65.43, 64.81, 58.33, 64.62),
+        ("MAC-SQL", 65.73, 52.69, 40.28, 59.39),
+        ("TA-SQL", 63.14, 48.60, 36.11, 56.19),
+        ("DAIL-SQL", 62.5, 43.2, 37.5, 54.3),
+        ("C3-SQL", 58.9, 38.5, 31.9, 50.2),
+        ("GenEdit", 69.89, 39.29, 36.36, 60.61),
+    ];
+
+    /// Table 2 rows: (ablation, simple, moderate, challenging, all).
+    pub const TABLE2: [(&str, f64, f64, f64, f64); 6] = [
+        ("GenEdit", 69.89, 39.29, 36.36, 60.61),
+        ("w/o Schema Linking", 67.74, 42.86, 18.18, 58.33),
+        ("w/o Instructions", 58.06, 28.57, 36.36, 50.00),
+        ("w/o Examples", 69.89, 35.71, 9.09, 59.09),
+        ("w/o Pseudo-SQL", 62.37, 25.00, 18.18, 50.76),
+        ("w/o Decomposition", 66.67, 46.43, 18.18, 58.33),
+    ];
+}
+
+/// Render a measured-vs-paper comparison line.
+pub fn compare_line(name: &str, measured: (f64, f64, f64, f64), paper: (f64, f64, f64, f64)) -> String {
+    format!(
+        "{:<22} measured {:>6.2} {:>6.2} {:>6.2} {:>6.2} | paper {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+        name, measured.0, measured.1, measured.2, measured.3, paper.0, paper.1, paper.2, paper.3
+    )
+}

@@ -1,0 +1,158 @@
+//! Parametric complexity sweep (experiment E6).
+//!
+//! §3.3.4 reports that a simpler fine-tuned approach beats GenEdit on BIRD
+//! yet "can't handle the same query complexity", which is why GenEdit
+//! ships in production. This module generates a family of tasks whose gold
+//! queries chain `depth` CTE stages, so the crossover can be measured.
+
+use crate::spec::DomainSpec;
+use genedit_llm::{Difficulty, TaskKnowledge};
+use genedit_sql::analysis::complexity;
+use genedit_sql::ast::Statement;
+use genedit_sql::parser::parse_statement;
+
+/// Build a chained-CTE task of the given depth (1..=8) over a domain,
+/// returning the top `k` rows.
+///
+/// Stage 0 aggregates the fact table per entity; each further stage
+/// alternates between window-ranking the previous stage and re-filtering
+/// it, so complexity grows roughly linearly in `depth`.
+pub fn sweep_task_with_k(
+    spec: &DomainSpec,
+    depth: usize,
+    year: i32,
+    k: usize,
+) -> TaskKnowledge {
+    assert!((1..=8).contains(&depth), "depth must be in 1..=8");
+    let n = spec.entity_col;
+    let v = spec.fact1_col;
+    let f = spec.fact1_table;
+    let d = spec.fact1_date;
+
+    let mut ctes: Vec<String> = vec![format!(
+        "S0 AS (SELECT {n}, SUM({v}) AS M0 FROM {f} \
+         WHERE TO_CHAR({d}, 'YYYY') = '{year}' GROUP BY {n})"
+    )];
+    let mut prev_metric = "M0".to_string();
+    for stage in 1..depth {
+        let prev = format!("S{}", stage - 1);
+        let cur_metric = format!("M{stage}");
+        let body = if stage % 2 == 1 {
+            // Rank the previous stage and keep a prefix.
+            format!(
+                "S{stage} AS (SELECT {n}, {prev_metric} AS {cur_metric}, \
+                 ROW_NUMBER() OVER (ORDER BY {prev_metric} DESC) AS R{stage} FROM {prev})"
+            )
+        } else {
+            // Filter by the previous stage's rank and rescale.
+            format!(
+                "S{stage} AS (SELECT {n}, {prev_metric} * 2 AS {cur_metric} \
+                 FROM {prev} WHERE R{} <= {})",
+                stage - 1,
+                18 - stage
+            )
+        };
+        ctes.push(body);
+        prev_metric = cur_metric;
+    }
+    let last = format!("S{}", depth - 1);
+    let sql = format!(
+        "WITH {} SELECT {n}, {prev_metric} FROM {last} ORDER BY {prev_metric} DESC, {n} LIMIT {k}",
+        ctes.join(", ")
+    );
+
+    let Statement::Query(q) = parse_statement(&sql)
+        .unwrap_or_else(|e| panic!("sweep depth {depth} does not parse: {e}\n{sql}"));
+    let score = complexity(&q).total();
+    let difficulty = if score < 10 {
+        Difficulty::Simple
+    } else if score < 20 {
+        Difficulty::Moderate
+    } else {
+        Difficulty::Challenging
+    };
+
+    TaskKnowledge {
+        task_id: format!("{}-sweep-d{depth}-y{year}-k{k}", spec.key),
+        // `depth{n}` is one token so the question can never collide with
+        // another (depth, k) variant under token-set normalization
+        // ("stage-4 … top 5" vs "stage-5 … top 4" would).
+        question: format!(
+            "Run the {} {} pipeline rollup at depth{depth} for {year} and show the top {k}",
+            spec.key, spec.metric_word
+        ),
+        db_name: spec.db_name.to_string(),
+        gold_sql: sql,
+        intent: spec.performance_intent(),
+        difficulty,
+        required_terms: vec![],
+        required_tables: vec![f.to_string()],
+        required_columns: vec![n.to_uppercase(), v.to_uppercase(), d.to_uppercase()],
+        evidence: vec![],
+        distractor_table: Some(spec.distractor_table.to_string()),
+        distractor_column: Some((v.to_string(), format!("{v}_ADJ"))),
+    }
+}
+
+/// One sweep task per depth with the default top-5.
+pub fn sweep_task(spec: &DomainSpec, depth: usize, year: i32) -> TaskKnowledge {
+    sweep_task_with_k(spec, depth, year, 5)
+}
+
+/// The full sweep: depths 1..=8, default top-5.
+pub fn sweep_tasks(spec: &DomainSpec, year: i32) -> Vec<TaskKnowledge> {
+    (1..=8).map(|depth| sweep_task(spec, depth, year)).collect()
+}
+
+/// A denser sweep: every (year, k) variant per depth, for smoother
+/// per-depth accuracy estimates.
+pub fn sweep_variants(spec: &DomainSpec, depth: usize) -> Vec<TaskKnowledge> {
+    let mut out = Vec::new();
+    for year in [2022, 2023] {
+        for k in [3, 4, 5, 6, 7, 8, 9, 10] {
+            out.push(sweep_task_with_k(spec, depth, year, k));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::SPORTS;
+    use crate::spec::generate_database;
+    use genedit_sql::execute_sql;
+
+    #[test]
+    fn sweep_tasks_execute_and_grow() {
+        let db = generate_database(&SPORTS, 42);
+        let mut prev = 0;
+        for task in sweep_tasks(&SPORTS, 2023) {
+            let rs = execute_sql(&db, &task.gold_sql)
+                .unwrap_or_else(|e| panic!("{}: {e}", task.task_id));
+            assert!(!rs.rows.is_empty(), "{} empty", task.task_id);
+            let score = complexity(&task.gold_query()).total();
+            assert!(score >= prev, "complexity should be non-decreasing");
+            prev = score;
+        }
+        // The deepest sweep must exceed the oracle capacity by a lot.
+        assert!(prev > 30, "max sweep complexity {prev} too low");
+    }
+
+    #[test]
+    fn depth_bounds_enforced() {
+        let r = std::panic::catch_unwind(|| sweep_task(&SPORTS, 9, 2023));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| sweep_task(&SPORTS, 0, 2023));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn sweep_ids_and_questions_distinct() {
+        let tasks = sweep_tasks(&SPORTS, 2023);
+        let mut ids: Vec<_> = tasks.iter().map(|t| t.task_id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+}

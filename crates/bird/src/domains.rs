@@ -1,0 +1,202 @@
+//! The four enterprise domains of the benchmark suite.
+//!
+//! `SPORTS` mirrors the paper's running example (a holding company with
+//! ownership in multiple sports organizations, QoQFP/RPV terminology, the
+//! `COC` ownership flag behind "our"); the other three re-instantiate the
+//! same enterprise shape with different vocabulary, standing in for BIRD's
+//! domain diversity.
+
+use crate::spec::DomainSpec;
+
+pub static SPORTS: DomainSpec = DomainSpec {
+    key: "sports",
+    db_name: "sports_holding",
+    entity_word: "sports organisations",
+    metric_word: "revenue",
+    metric2_word: "viewership",
+    entity_table: "SPORTS_ORGS",
+    entity_col: "ORG_NAME",
+    region_col: "COUNTRY",
+    flag_col: "OWNERSHIP_FLAG",
+    flag_val: "COC",
+    flag_other: "EXT",
+    category_col: "SPORT",
+    fact1_table: "SPORTS_FINANCIALS",
+    fact1_col: "REVENUE",
+    fact1_date: "FIN_MONTH",
+    fact2_table: "SPORTS_VIEWERSHIP",
+    fact2_col: "VIEWS",
+    fact2_date: "VIEW_MONTH",
+    distractor_table: "SPORTS_ROSTER",
+    our_term: "COC",
+    our_meaning: "organizations owned by the holding company; 'our' means OWNERSHIP_FLAG = 'COC'",
+    ratio_term: "RPV",
+    ratio_meaning: "revenue per viewer: total REVENUE divided by total VIEWS",
+    qoq_term: "QoQFP",
+    qoq_meaning: "quarter-over-quarter financial performance; rank changes with a -1 multiplier so declines rank first when asked for worst",
+    regions: &["Canada", "USA", "Mexico", "Brazil"],
+    categories: &["hockey", "soccer", "basketball"],
+    entity_names: &[
+        "Aurora Blades", "Borealis FC", "Cascade Hoops", "Delta Pumas", "Ember Foxes",
+        "Frostline SC", "Glacier Kings", "Harbor Sharks", "Ironwood United", "Juniper Jets",
+        "Koda Bears", "Lumen Lynx", "Meridian Owls", "Northgate Wolves", "Opal Raptors",
+        "Pinecrest Rovers", "Quartz Titans", "Redrock Bulls", "Summit Eagles", "Tundra Hawks",
+    ],
+};
+
+pub static RETAIL: DomainSpec = DomainSpec {
+    key: "retail",
+    db_name: "retail_chain",
+    entity_word: "store brands",
+    metric_word: "sales",
+    metric2_word: "foot traffic",
+    entity_table: "RETAIL_BRANDS",
+    entity_col: "BRAND_NAME",
+    region_col: "REGION",
+    flag_col: "FRANCHISE_FLAG",
+    flag_val: "OWN",
+    flag_other: "FRN",
+    category_col: "SEGMENT",
+    fact1_table: "RETAIL_SALES",
+    fact1_col: "SALES_AMT",
+    fact1_date: "SALES_MONTH",
+    fact2_table: "RETAIL_TRAFFIC",
+    fact2_col: "VISITS",
+    fact2_date: "TRAFFIC_MONTH",
+    distractor_table: "RETAIL_STAFF",
+    our_term: "OWN",
+    our_meaning: "corporate-owned brands; 'our' means FRANCHISE_FLAG = 'OWN'",
+    ratio_term: "SPV",
+    ratio_meaning: "sales per visit: total SALES_AMT divided by total VISITS",
+    qoq_term: "QoQSG",
+    qoq_meaning: "quarter-over-quarter sales growth; rank changes with a -1 multiplier so declines rank first when asked for worst",
+    regions: &["North", "South", "East", "West"],
+    categories: &["grocery", "apparel", "electronics"],
+    entity_names: &[
+        "Acorn Market", "Birch Basket", "Cedar Cart", "Dune Depot", "Elm Emporium",
+        "Fern Foods", "Grove Goods", "Hazel House", "Iris Outfitters", "Jade Junction",
+        "Kelp Corner", "Linden Lane", "Maple Mart", "Nettle Nook", "Oak Outlet",
+        "Poppy Plaza", "Quince Quarter", "Rowan Retail", "Sage Stop", "Thistle Trade",
+    ],
+};
+
+pub static HEALTH: DomainSpec = DomainSpec {
+    key: "health",
+    db_name: "health_network",
+    entity_word: "clinics",
+    metric_word: "billing",
+    metric2_word: "patient visits",
+    entity_table: "HEALTH_CLINICS",
+    entity_col: "CLINIC_NAME",
+    region_col: "STATE",
+    flag_col: "NETWORK_FLAG",
+    flag_val: "INN",
+    flag_other: "OON",
+    category_col: "SPECIALTY",
+    fact1_table: "HEALTH_BILLING",
+    fact1_col: "BILLED_AMT",
+    fact1_date: "BILL_MONTH",
+    fact2_table: "HEALTH_VISITS",
+    fact2_col: "VISIT_COUNT",
+    fact2_date: "VISIT_MONTH",
+    distractor_table: "HEALTH_STAFF",
+    our_term: "INN",
+    our_meaning: "in-network clinics; 'our' means NETWORK_FLAG = 'INN'",
+    ratio_term: "BPV",
+    ratio_meaning: "billing per visit: total BILLED_AMT divided by total VISIT_COUNT",
+    qoq_term: "QoQBG",
+    qoq_meaning: "quarter-over-quarter billing growth; rank changes with a -1 multiplier so declines rank first when asked for worst",
+    regions: &["WA", "OR", "CA", "NV"],
+    categories: &["pediatrics", "cardiology", "orthopedics"],
+    entity_names: &[
+        "Alder Clinic", "Basalt Health", "Cypress Care", "Dahlia Medical", "Echo Wellness",
+        "Fir Family Care", "Garnet Health", "Heron Clinic", "Inlet Medical", "Jasper Care",
+        "Kestrel Health", "Laurel Clinic", "Mesa Medical", "Nimbus Care", "Onyx Health",
+        "Prairie Clinic", "Quill Medical", "Ridge Care", "Sequoia Health", "Talus Clinic",
+    ],
+};
+
+pub static LOGISTICS: DomainSpec = DomainSpec {
+    key: "logistics",
+    db_name: "logistics_network",
+    entity_word: "shipping hubs",
+    metric_word: "freight volume",
+    metric2_word: "deliveries",
+    entity_table: "LOGI_HUBS",
+    entity_col: "HUB_NAME",
+    region_col: "ZONE",
+    flag_col: "OPERATOR_FLAG",
+    flag_val: "SELF",
+    flag_other: "3PL",
+    category_col: "MODE",
+    fact1_table: "LOGI_FREIGHT",
+    fact1_col: "TONNAGE",
+    fact1_date: "FREIGHT_MONTH",
+    fact2_table: "LOGI_DELIVERIES",
+    fact2_col: "DELIVERED",
+    fact2_date: "DELIVERY_MONTH",
+    distractor_table: "LOGI_STAFF",
+    our_term: "SELF",
+    our_meaning: "self-operated hubs; 'our' means OPERATOR_FLAG = 'SELF'",
+    ratio_term: "TPD",
+    ratio_meaning: "tonnage per delivery: total TONNAGE divided by total DELIVERED",
+    qoq_term: "QoQVG",
+    qoq_meaning: "quarter-over-quarter volume growth; rank changes with a -1 multiplier so declines rank first when asked for worst",
+    regions: &["Pacific", "Mountain", "Central", "Atlantic"],
+    categories: &["air", "rail", "road"],
+    entity_names: &[
+        "Anchor Hub", "Beacon Point", "Compass Yard", "Drift Station", "Ember Port",
+        "Falcon Cross", "Gateway Nine", "Horizon Dock", "Ivory Junction", "Jetstream Hub",
+        "Keystone Yard", "Lantern Port", "Mistral Station", "Nomad Cross", "Orbit Dock",
+        "Pioneer Hub", "Quarry Point", "Rambler Yard", "Storm Port", "Transit Western",
+    ],
+};
+
+/// All benchmark domains in canonical order.
+pub fn all_domains() -> [&'static DomainSpec; 4] {
+    [&SPORTS, &RETAIL, &HEALTH, &LOGISTICS]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_keys_unique() {
+        let mut keys: Vec<&str> = all_domains().iter().map(|d| d.key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn table_names_unique_across_domains() {
+        let mut tables: Vec<&str> = all_domains()
+            .iter()
+            .flat_map(|d| {
+                [d.entity_table, d.fact1_table, d.fact2_table, d.distractor_table]
+            })
+            .collect();
+        let before = tables.len();
+        tables.sort();
+        tables.dedup();
+        assert_eq!(tables.len(), before);
+    }
+
+    #[test]
+    fn enough_entities_regions_categories() {
+        for d in all_domains() {
+            assert!(d.entity_names.len() >= 20, "{}", d.key);
+            assert!(d.regions.len() >= 4);
+            assert!(d.categories.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn terms_are_distinct_per_domain() {
+        for d in all_domains() {
+            assert_ne!(d.ratio_term, d.qoq_term);
+            assert_ne!(d.our_term, d.ratio_term);
+        }
+    }
+}

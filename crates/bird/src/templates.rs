@@ -1,0 +1,728 @@
+//! Task templates: question + gold SQL + knowledge requirements.
+//!
+//! Tasks come in the three BIRD difficulty strata the paper reports
+//! (Table 1). Simple tasks are single-table; moderate tasks add joins,
+//! grouping, pivots, and subqueries; challenging tasks are the paper's
+//! Q_fin-perf shape — multiple CTEs, conditional aggregation, ratio terms,
+//! window ranking with the `-1 *` convention.
+
+use crate::spec::DomainSpec;
+use genedit_llm::{hash01, Corruption, Difficulty, TaskKnowledge, TermRequirement};
+use genedit_sql::analysis::referenced_tables;
+use genedit_sql::ast::Statement;
+use genedit_sql::parser::parse_statement;
+
+/// Fraction of term-dependent tasks that ship BIRD-style evidence.
+/// (BIRD attaches evidence to every question, but — per the paper's §3.3.1
+/// discussion of BIRD's "imprecision of its data, queries, and external
+/// knowledge" — a slice of it is missing or unusable in practice.)
+const EVIDENCE_RATE: f64 = 0.85;
+
+/// Generate `(simple, moderate, challenging)` tasks for a domain.
+pub fn generate_tasks(
+    spec: &DomainSpec,
+    counts: (usize, usize, usize),
+    _seed: u64,
+) -> Vec<TaskKnowledge> {
+    let mut out = Vec::new();
+    for i in 0..counts.0 {
+        out.push(simple_task(spec, i));
+    }
+    for i in 0..counts.1 {
+        out.push(moderate_task(spec, i));
+    }
+    for i in 0..counts.2 {
+        out.push(challenging_task(spec, i));
+    }
+    out
+}
+
+struct Params<'a> {
+    region: &'a str,
+    year: i32,
+    category: &'a str,
+    k: usize,
+    entity: &'a str,
+    qa: u8,
+    qb: u8,
+}
+
+fn params<'a>(spec: &'a DomainSpec, i: usize) -> Params<'a> {
+    // Simple templates repeat every 8 indices; the `i / 8` shift makes
+    // each repetition draw different parameters, so questions (and the
+    // registry keys derived from them) stay globally unique.
+    let rep = i / 8;
+    Params {
+        region: spec.regions[(i + rep) % spec.regions.len()],
+        year: 2022 + (((i / 3) + rep) % 2) as i32,
+        category: spec.categories[(i + rep) % spec.categories.len()],
+        k: 3 + i % 3,
+        entity: spec.entity_names[(i * 7 + rep) % spec.entity_names.len()],
+        qa: (i % 3) as u8 + 1,
+        qb: (i % 3) as u8 + 2,
+    }
+}
+
+fn our_requirement(spec: &DomainSpec) -> TermRequirement {
+    TermRequirement {
+        term: spec.our_term.to_string(),
+        corruption: Corruption::DropWhereConjunct { marker: spec.flag_col.to_string() },
+    }
+}
+
+fn ratio_requirement(spec: &DomainSpec) -> TermRequirement {
+    TermRequirement {
+        term: spec.ratio_term.to_string(),
+        corruption: Corruption::SwapAggregate { from: "SUM".into(), to: "MAX".into() },
+    }
+}
+
+fn qoq_requirement(spec: &DomainSpec) -> TermRequirement {
+    TermRequirement {
+        term: spec.qoq_term.to_string(),
+        corruption: Corruption::StripNegOneMultiplier,
+    }
+}
+
+/// Assemble a task, deriving required tables from the gold SQL and
+/// attaching evidence for a hash-chosen slice of term tasks.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    spec: &DomainSpec,
+    id: String,
+    question: String,
+    gold_sql: String,
+    intent: String,
+    difficulty: Difficulty,
+    terms: Vec<TermRequirement>,
+) -> TaskKnowledge {
+    let Statement::Query(q) = parse_statement(&gold_sql)
+        .unwrap_or_else(|e| panic!("gold SQL for {id} does not parse: {e}\n{gold_sql}"));
+    let required_tables: Vec<String> = referenced_tables(&q).into_iter().collect();
+    // Columns the gold references that are real schema columns of this
+    // domain (CTE output aliases are filtered out).
+    let schema_cols: Vec<String> = [
+        spec.entity_col,
+        spec.region_col,
+        spec.flag_col,
+        spec.category_col,
+        "FOUNDED_YEAR",
+        spec.fact1_col,
+        spec.fact1_date,
+        spec.fact2_col,
+        spec.fact2_date,
+    ]
+    .iter()
+    .map(|c| c.to_uppercase())
+    .collect();
+    let required_columns: Vec<String> = genedit_sql::analysis::referenced_columns(&q)
+        .into_iter()
+        .filter(|c| schema_cols.contains(c))
+        .collect();
+    let evidence = if !terms.is_empty() && hash01(&[&id, "evidence"], 0) < EVIDENCE_RATE {
+        terms
+            .iter()
+            .map(|t| {
+                let meaning = if t.term == spec.our_term {
+                    spec.our_meaning
+                } else if t.term == spec.ratio_term {
+                    spec.ratio_meaning
+                } else {
+                    spec.qoq_meaning
+                };
+                format!("{} : {}", t.term, meaning)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    TaskKnowledge {
+        task_id: id,
+        question,
+        db_name: spec.db_name.to_string(),
+        gold_sql,
+        intent,
+        difficulty,
+        required_terms: terms,
+        required_tables,
+        required_columns,
+        evidence,
+        distractor_table: Some(spec.distractor_table.to_string()),
+        distractor_column: Some((spec.fact1_col.to_string(), format!("{}_ADJ", spec.fact1_col))),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Simple
+// ----------------------------------------------------------------------
+
+fn simple_task(spec: &DomainSpec, i: usize) -> TaskKnowledge {
+    let p = params(spec, i);
+    let id = format!("{}-s{:02}", spec.key, i);
+    let (question, sql, intent, terms) = match i % 8 {
+        0 => (
+            format!(
+                "What is the total {} in {} for {}?",
+                spec.metric_word, p.region, p.year
+            ),
+            format!(
+                "SELECT SUM({v}) AS TOTAL_{v} FROM {f} WHERE {r} = '{region}' AND TO_CHAR({d}, 'YYYY') = '{year}'",
+                v = spec.fact1_col,
+                f = spec.fact1_table,
+                r = spec.region_col,
+                region = p.region,
+                d = spec.fact1_date,
+                year = p.year
+            ),
+            spec.performance_intent(),
+            vec![],
+        ),
+        1 => (
+            format!("How many {} are in {}?", spec.entity_word, p.region),
+            format!(
+                "SELECT COUNT(*) AS N FROM {e} WHERE {r} = '{region}'",
+                e = spec.entity_table,
+                r = spec.region_col,
+                region = p.region
+            ),
+            spec.directory_intent(),
+            vec![],
+        ),
+        2 => (
+            format!("List the {} in the {} {} segment", spec.entity_word, p.region, p.category),
+            format!(
+                "SELECT {n} FROM {e} WHERE {r} = '{region}' AND {c} = '{cat}' ORDER BY {n}",
+                n = spec.entity_col,
+                e = spec.entity_table,
+                r = spec.region_col,
+                region = p.region,
+                c = spec.category_col,
+                cat = p.category
+            ),
+            spec.directory_intent(),
+            vec![],
+        ),
+        3 => (
+            format!(
+                "Which {k} {ew} had the highest total {m} in {y}?",
+                k = p.k,
+                ew = spec.entity_word,
+                m = spec.metric_word,
+                y = p.year
+            ),
+            format!(
+                "SELECT {n}, SUM({v}) AS TOTAL_{v} FROM {f} WHERE TO_CHAR({d}, 'YYYY') = '{y}' \
+                 GROUP BY {n} ORDER BY TOTAL_{v} DESC LIMIT {k}",
+                n = spec.entity_col,
+                v = spec.fact1_col,
+                f = spec.fact1_table,
+                d = spec.fact1_date,
+                y = p.year,
+                k = p.k
+            ),
+            spec.performance_intent(),
+            vec![],
+        ),
+        4 => (
+            format!(
+                "What is the average monthly {} for {}?",
+                spec.metric_word, p.entity
+            ),
+            format!(
+                "SELECT AVG({v}) AS AVG_{v} FROM {f} WHERE {n} = '{ent}'",
+                v = spec.fact1_col,
+                f = spec.fact1_table,
+                n = spec.entity_col,
+                ent = p.entity
+            ),
+            spec.performance_intent(),
+            vec![],
+        ),
+        5 => (
+            format!(
+                "What is the total {} of our {} in {} for {}?",
+                spec.metric_word, spec.entity_word, p.region, p.year
+            ),
+            format!(
+                "SELECT SUM({v}) AS TOTAL_{v} FROM {f} WHERE {r} = '{region}' \
+                 AND TO_CHAR({d}, 'YYYY') = '{y}' AND {fl} = '{fv}'",
+                v = spec.fact1_col,
+                f = spec.fact1_table,
+                r = spec.region_col,
+                region = p.region,
+                d = spec.fact1_date,
+                y = p.year,
+                fl = spec.flag_col,
+                fv = spec.flag_val
+            ),
+            spec.performance_intent(),
+            vec![our_requirement(spec)],
+        ),
+        6 => (
+            format!(
+                "What is the highest monthly {} recorded in {}?",
+                spec.metric2_word, p.region
+            ),
+            format!(
+                "SELECT MAX({v}) AS MAX_{v} FROM {f} WHERE {r} = '{region}'",
+                v = spec.fact2_col,
+                f = spec.fact2_table,
+                r = spec.region_col,
+                region = p.region
+            ),
+            spec.engagement_intent(),
+            vec![],
+        ),
+        _ => (
+            format!(
+                "Which {} were founded after {}?",
+                spec.entity_word,
+                1950 + (i % 40) as i32
+            ),
+            format!(
+                "SELECT {n} FROM {e} WHERE FOUNDED_YEAR > {y} ORDER BY {n}",
+                n = spec.entity_col,
+                e = spec.entity_table,
+                y = 1950 + (i % 40) as i32
+            ),
+            spec.directory_intent(),
+            vec![],
+        ),
+    };
+    build(spec, id, question, sql, intent, Difficulty::Simple, terms)
+}
+
+// ----------------------------------------------------------------------
+// Moderate
+// ----------------------------------------------------------------------
+
+fn moderate_task(spec: &DomainSpec, i: usize) -> TaskKnowledge {
+    let p = params(spec, i);
+    let id = format!("{}-m{:02}", spec.key, i);
+    let (question, sql, intent, terms) = match i % 7 {
+        0 => (
+            format!(
+                "Break down total {} by {} for {} in {}",
+                spec.metric_word, spec.category_col, p.region, p.year
+            ),
+            format!(
+                "SELECT e.{c}, SUM(f.{v}) AS TOTAL_{v} \
+                 FROM {e} e JOIN {f} f ON e.{n} = f.{n} \
+                 WHERE f.{r} = '{region}' AND TO_CHAR(f.{d}, 'YYYY') = '{y}' \
+                 GROUP BY e.{c} ORDER BY 2 DESC",
+                c = spec.category_col,
+                v = spec.fact1_col,
+                e = spec.entity_table,
+                f = spec.fact1_table,
+                n = spec.entity_col,
+                r = spec.region_col,
+                region = p.region,
+                d = spec.fact1_date,
+                y = p.year
+            ),
+            spec.performance_intent(),
+            vec![],
+        ),
+        1 => (
+            format!(
+                "Compare {y}Q{qa} and {y}Q{qb} {m} per {ew} in {region}",
+                y = p.year,
+                qa = p.qa,
+                qb = p.qb,
+                m = spec.metric_word,
+                ew = spec.entity_word,
+                region = p.region
+            ),
+            format!(
+                "SELECT {n}, \
+                   SUM(CASE WHEN TO_CHAR({d}, 'YYYY\"Q\"Q') = '{y}Q{qa}' THEN {v} ELSE 0 END) AS M_Q{qa}, \
+                   SUM(CASE WHEN TO_CHAR({d}, 'YYYY\"Q\"Q') = '{y}Q{qb}' THEN {v} ELSE 0 END) AS M_Q{qb} \
+                 FROM {f} WHERE {r} = '{region}' \
+                   AND TO_CHAR({d}, 'YYYY\"Q\"Q') IN ('{y}Q{qa}', '{y}Q{qb}') \
+                 GROUP BY {n} ORDER BY {n}",
+                n = spec.entity_col,
+                d = spec.fact1_date,
+                v = spec.fact1_col,
+                f = spec.fact1_table,
+                r = spec.region_col,
+                region = p.region,
+                y = p.year,
+                qa = p.qa,
+                qb = p.qb
+            ),
+            spec.performance_intent(),
+            vec![],
+        ),
+        2 => (
+            format!(
+                "Which {} exceeded the average total {} across all {} in {}?",
+                spec.entity_word, spec.metric_word, spec.entity_word, p.year
+            ),
+            format!(
+                "WITH TOTALS AS (SELECT {n}, SUM({v}) AS T FROM {f} \
+                   WHERE TO_CHAR({d}, 'YYYY') = '{y}' GROUP BY {n}) \
+                 SELECT {n}, T FROM TOTALS WHERE T > (SELECT AVG(T) FROM TOTALS) ORDER BY T DESC",
+                n = spec.entity_col,
+                v = spec.fact1_col,
+                f = spec.fact1_table,
+                d = spec.fact1_date,
+                y = p.year
+            ),
+            spec.performance_intent(),
+            vec![],
+        ),
+        3 => (
+            format!(
+                "Show the {rt} per {ew} for {y}Q{qb}",
+                rt = spec.ratio_term,
+                ew = spec.entity_word,
+                y = p.year,
+                qb = p.qb
+            ),
+            format!(
+                "WITH A AS (SELECT {n}, SUM({v1}) AS M1 FROM {f1} \
+                   WHERE TO_CHAR({d1}, 'YYYY\"Q\"Q') = '{y}Q{qb}' GROUP BY {n}), \
+                 B AS (SELECT {n}, SUM({v2}) AS M2 FROM {f2} \
+                   WHERE TO_CHAR({d2}, 'YYYY\"Q\"Q') = '{y}Q{qb}' GROUP BY {n}) \
+                 SELECT a.{n}, CAST(a.M1 AS FLOAT) / NULLIF(b.M2, 0) AS {rt} \
+                 FROM A a JOIN B b ON a.{n} = b.{n} ORDER BY {rt} DESC",
+                n = spec.entity_col,
+                v1 = spec.fact1_col,
+                f1 = spec.fact1_table,
+                d1 = spec.fact1_date,
+                v2 = spec.fact2_col,
+                f2 = spec.fact2_table,
+                d2 = spec.fact2_date,
+                y = p.year,
+                qb = p.qb,
+                rt = spec.ratio_term
+            ),
+            spec.performance_intent(),
+            vec![ratio_requirement(spec)],
+        ),
+        4 => (
+            format!(
+                "Which of our {} in {} have no recorded {}?",
+                spec.entity_word, p.region, spec.metric2_word
+            ),
+            format!(
+                "SELECT e.{n} FROM {e} e LEFT JOIN {f2} f ON e.{n} = f.{n} \
+                 WHERE e.{r} = '{region}' AND e.{fl} = '{fv}' AND f.{v2} IS NULL \
+                 ORDER BY e.{n}",
+                n = spec.entity_col,
+                e = spec.entity_table,
+                f2 = spec.fact2_table,
+                r = spec.region_col,
+                region = p.region,
+                fl = spec.flag_col,
+                fv = spec.flag_val,
+                v2 = spec.fact2_col
+            ),
+            spec.engagement_intent(),
+            vec![our_requirement(spec)],
+        ),
+        5 => (
+            format!(
+                "Rank the top {k} {ew} by {qt} from {y}Q{qa} to {y}Q{qb}",
+                k = p.k,
+                ew = spec.entity_word,
+                qt = spec.qoq_term,
+                y = p.year,
+                qa = p.qa,
+                qb = p.qb
+            ),
+            format!(
+                "SELECT {n}, \
+                   SUM(CASE WHEN TO_CHAR({d}, 'YYYY\"Q\"Q') = '{y}Q{qb}' THEN {v} ELSE 0 END) - \
+                   SUM(CASE WHEN TO_CHAR({d}, 'YYYY\"Q\"Q') = '{y}Q{qa}' THEN {v} ELSE 0 END) AS CHG \
+                 FROM {f} WHERE TO_CHAR({d}, 'YYYY\"Q\"Q') IN ('{y}Q{qa}', '{y}Q{qb}') \
+                 GROUP BY {n} \
+                 ORDER BY (-1 * (SUM(CASE WHEN TO_CHAR({d}, 'YYYY\"Q\"Q') = '{y}Q{qa}' THEN {v} ELSE 0 END) - \
+                   SUM(CASE WHEN TO_CHAR({d}, 'YYYY\"Q\"Q') = '{y}Q{qb}' THEN {v} ELSE 0 END))) DESC \
+                 LIMIT {k}",
+                n = spec.entity_col,
+                d = spec.fact1_date,
+                v = spec.fact1_col,
+                f = spec.fact1_table,
+                y = p.year,
+                qa = p.qa,
+                qb = p.qb,
+                k = p.k
+            ),
+            spec.performance_intent(),
+            vec![qoq_requirement(spec)],
+        ),
+        _ => (
+            format!("How many {} operate in each {}?", spec.entity_word, spec.region_col),
+            format!(
+                "SELECT {r}, COUNT(*) AS N FROM {e} GROUP BY {r} ORDER BY N DESC, {r}",
+                r = spec.region_col,
+                e = spec.entity_table
+            ),
+            spec.directory_intent(),
+            vec![],
+        ),
+    };
+    build(spec, id, question, sql, intent, Difficulty::Moderate, terms)
+}
+
+// ----------------------------------------------------------------------
+// Challenging
+// ----------------------------------------------------------------------
+
+fn challenging_task(spec: &DomainSpec, i: usize) -> TaskKnowledge {
+    let p = params(spec, i);
+    let id = format!("{}-c{:02}", spec.key, i);
+    let (question, sql, terms) = match i % 3 {
+        0 | 1 => {
+            // The paper's Q_fin-perf shape (Appendix A): best and worst
+            // QoQ performers by the ratio metric, ranked with the -1
+            // convention. The two variants differ by region and quarter
+            // pair (params already vary with i).
+            let cat_join = String::new();
+            let question = format!(
+                "Identify our {k} {ew} with the best and worst {qt} in {region} for {y}Q{qb}",
+                k = p.k,
+                ew = spec.entity_word,
+                qt = spec.qoq_term,
+                region = p.region,
+                y = p.year,
+                qb = p.qb
+            );
+            let sql = format!(
+                "WITH FIN AS ( \
+                   SELECT {n}, \
+                     SUM(CASE WHEN TO_CHAR({d1}, 'YYYY\"Q\"Q') = '{y}Q{qa}' THEN {v1} ELSE 0 END) AS M1_A, \
+                     SUM(CASE WHEN TO_CHAR({d1}, 'YYYY\"Q\"Q') = '{y}Q{qb}' THEN {v1} ELSE 0 END) AS M1_B \
+                   FROM {f1} \
+                   WHERE TO_CHAR({d1}, 'YYYY\"Q\"Q') IN ('{y}Q{qa}', '{y}Q{qb}') \
+                     AND {r} = '{region}' AND {fl} = '{fv}'{cat_join} \
+                   GROUP BY {n} \
+                 ), \
+                 ENG AS ( \
+                   SELECT {n}, \
+                     SUM(CASE WHEN TO_CHAR({d2}, 'YYYY\"Q\"Q') = '{y}Q{qa}' THEN {v2} ELSE 0 END) AS M2_A, \
+                     SUM(CASE WHEN TO_CHAR({d2}, 'YYYY\"Q\"Q') = '{y}Q{qb}' THEN {v2} ELSE 0 END) AS M2_B \
+                   FROM {f2} \
+                   WHERE TO_CHAR({d2}, 'YYYY\"Q\"Q') IN ('{y}Q{qa}', '{y}Q{qb}') \
+                     AND {r} = '{region}' AND {fl} = '{fv}'{cat_join2} \
+                   GROUP BY {n} \
+                 ), \
+                 CHANGE AS ( \
+                   SELECT f.{n}, \
+                     CAST(f.M1_B AS FLOAT) / NULLIF(e.M2_B, 0) AS RATIO_B, \
+                     CAST(f.M1_A AS FLOAT) / NULLIF(e.M2_A, 0) AS RATIO_A, \
+                     ROW_NUMBER() OVER (ORDER BY (-1 * (CAST(f.M1_B AS FLOAT) / NULLIF(e.M2_B, 0) - \
+                       CAST(f.M1_A AS FLOAT) / NULLIF(e.M2_A, 0)))) AS BEST_RANK, \
+                     ROW_NUMBER() OVER (ORDER BY (-1 * (CAST(f.M1_B AS FLOAT) / NULLIF(e.M2_B, 0) - \
+                       CAST(f.M1_A AS FLOAT) / NULLIF(e.M2_A, 0))) DESC) AS WORST_RANK \
+                   FROM FIN f JOIN ENG e ON f.{n} = e.{n} \
+                 ) \
+                 SELECT BEST_RANK, {n}, RATIO_B, RATIO_A FROM CHANGE \
+                 WHERE BEST_RANK <= {k} OR WORST_RANK <= {k} ORDER BY BEST_RANK",
+                n = spec.entity_col,
+                d1 = spec.fact1_date,
+                v1 = spec.fact1_col,
+                f1 = spec.fact1_table,
+                d2 = spec.fact2_date,
+                v2 = spec.fact2_col,
+                f2 = spec.fact2_table,
+                r = spec.region_col,
+                region = p.region,
+                fl = spec.flag_col,
+                fv = spec.flag_val,
+                y = p.year,
+                qa = p.qa,
+                qb = p.qb,
+                k = p.k,
+                cat_join = cat_join,
+                cat_join2 = cat_join
+            );
+            (
+                question,
+                sql,
+                vec![our_requirement(spec), ratio_requirement(spec), qoq_requirement(spec)],
+            )
+        }
+        _ => {
+            // Share-of-region leader: top category per region among our
+            // entities, with a windowed share computation.
+            let question = format!(
+                "For each {r}, which {c} leads our {ew} by total {m} in {y}, and with what share?",
+                r = spec.region_col,
+                c = spec.category_col,
+                ew = spec.entity_word,
+                m = spec.metric_word,
+                y = p.year
+            );
+            let sql = format!(
+                "WITH TOTALS AS ( \
+                   SELECT e.{r} AS RGN, e.{c} AS CAT, SUM(f.{v}) AS TOTAL_M \
+                   FROM {e} e JOIN {f} f ON e.{n} = f.{n} \
+                   WHERE TO_CHAR(f.{d}, 'YYYY') = '{y}' AND e.{fl} = '{fv}' \
+                   GROUP BY e.{r}, e.{c} \
+                 ), \
+                 RANKED AS ( \
+                   SELECT RGN, CAT, TOTAL_M, \
+                     ROW_NUMBER() OVER (PARTITION BY RGN ORDER BY TOTAL_M DESC) AS RNK, \
+                     CAST(TOTAL_M AS FLOAT) / NULLIF(SUM(TOTAL_M) OVER (PARTITION BY RGN), 0) AS SHARE \
+                   FROM TOTALS \
+                 ) \
+                 SELECT RGN, CAT, TOTAL_M, SHARE FROM RANKED WHERE RNK = 1 ORDER BY RGN",
+                r = spec.region_col,
+                c = spec.category_col,
+                v = spec.fact1_col,
+                e = spec.entity_table,
+                f = spec.fact1_table,
+                n = spec.entity_col,
+                d = spec.fact1_date,
+                y = p.year,
+                fl = spec.flag_col,
+                fv = spec.flag_val
+            );
+            (question, sql, vec![our_requirement(spec)])
+        }
+    };
+    build(
+        spec,
+        id,
+        question,
+        sql,
+        spec.performance_intent(),
+        Difficulty::Challenging,
+        terms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use crate::spec::generate_database;
+    use genedit_sql::analysis::complexity;
+    use genedit_sql::execute_sql;
+
+    #[test]
+    fn all_gold_queries_parse_and_execute() {
+        for spec in all_domains() {
+            let db = generate_database(spec, 42);
+            for task in generate_tasks(spec, (24, 7, 3), 42) {
+                let rs = execute_sql(&db, &task.gold_sql)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", task.task_id, task.gold_sql));
+                // Gold answers should be informative for most tasks.
+                if task.difficulty != Difficulty::Simple {
+                    assert!(
+                        !rs.rows.is_empty(),
+                        "{} returned no rows:\n{}",
+                        task.task_id,
+                        task.gold_sql
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn difficulty_complexity_ordering() {
+        let spec = &crate::domains::SPORTS;
+        let tasks = generate_tasks(spec, (24, 7, 3), 42);
+        let avg = |d: Difficulty| {
+            let scores: Vec<u32> = tasks
+                .iter()
+                .filter(|t| t.difficulty == d)
+                .map(|t| complexity(&t.gold_query()).total())
+                .collect();
+            scores.iter().sum::<u32>() as f64 / scores.len() as f64
+        };
+        let s = avg(Difficulty::Simple);
+        let m = avg(Difficulty::Moderate);
+        let c = avg(Difficulty::Challenging);
+        assert!(s < m, "simple {s} !< moderate {m}");
+        assert!(m < c, "moderate {m} !< challenging {c}");
+        // Challenging tasks must exceed the oracle's default capacity so
+        // planning matters.
+        assert!(c > 18.0, "challenging avg {c} below capacity");
+    }
+
+    #[test]
+    fn task_ids_unique() {
+        let spec = &crate::domains::SPORTS;
+        let tasks = generate_tasks(spec, (24, 7, 3), 42);
+        let mut ids: Vec<&str> = tasks.iter().map(|t| t.task_id.as_str()).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert_eq!(n, 34);
+    }
+
+    #[test]
+    fn term_corruptions_change_results() {
+        // Every registered term corruption must visibly change the gold
+        // answer, otherwise missing knowledge would be unobservable.
+        for spec in all_domains() {
+            let db = generate_database(spec, 42);
+            for task in generate_tasks(spec, (8, 7, 3), 42) {
+                let gold = execute_sql(&db, &task.gold_sql).unwrap();
+                for req in &task.required_terms {
+                    let mut corrupted = task.gold_query();
+                    let changed = req.corruption.apply(&mut corrupted);
+                    assert!(changed > 0, "{}: {:?} was a no-op", task.task_id, req.corruption);
+                    let rs = execute_sql(&db, &corrupted.to_string());
+                    // A loud failure also counts as an observable change.
+                    if let Ok(rs) = rs {
+                        assert!(
+                            !gold.ex_equal(&rs),
+                            "{}: corruption {:?} did not change the answer",
+                            task.task_id,
+                            req.corruption
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn required_tables_derived_from_gold() {
+        let spec = &crate::domains::SPORTS;
+        let tasks = generate_tasks(spec, (2, 0, 1), 42);
+        let challenging = tasks.iter().find(|t| t.difficulty == Difficulty::Challenging).unwrap();
+        assert!(challenging.required_tables.contains(&"SPORTS_FINANCIALS".to_string()));
+        assert!(challenging.required_tables.contains(&"SPORTS_VIEWERSHIP".to_string()));
+    }
+
+    #[test]
+    fn evidence_present_for_most_term_tasks() {
+        let mut with_terms = 0;
+        let mut with_evidence = 0;
+        for spec in all_domains() {
+            for task in generate_tasks(spec, (24, 7, 3), 42) {
+                if !task.required_terms.is_empty() {
+                    with_terms += 1;
+                    if !task.evidence.is_empty() {
+                        with_evidence += 1;
+                    }
+                }
+            }
+        }
+        assert!(with_terms > 20);
+        let rate = with_evidence as f64 / with_terms as f64;
+        assert!((0.6..1.0).contains(&rate), "evidence rate {rate}");
+    }
+
+    #[test]
+    fn questions_mention_their_terms() {
+        // Term instructions are retrieved by similarity to the question;
+        // term-dependent questions must mention the term or "our".
+        for spec in all_domains() {
+            for task in generate_tasks(spec, (24, 7, 3), 42) {
+                for req in &task.required_terms {
+                    let q = task.question.to_uppercase();
+                    let mentions = q.contains(&req.term.to_uppercase()) || q.contains("OUR");
+                    assert!(mentions, "{}: {} not hinted in question", task.task_id, req.term);
+                }
+            }
+        }
+    }
+}

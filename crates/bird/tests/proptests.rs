@@ -1,0 +1,115 @@
+//! Property tests for the benchmark generator: for arbitrary seeds and
+//! task counts, every gold query must execute, every task must be
+//! findable in the registry, and every term corruption must be
+//! observable.
+
+use genedit_bird::{all_domains, generate_database, generate_tasks, DomainBundle, Workload};
+use genedit_llm::TaskRegistry;
+use genedit_sql::execute_sql;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Gold queries execute for any seed.
+    #[test]
+    fn gold_queries_execute_for_any_seed(seed in 0u64..1000) {
+        let spec = all_domains()[seed as usize % 4];
+        let db = generate_database(spec, seed);
+        for task in generate_tasks(spec, (8, 7, 3), seed) {
+            let rs = execute_sql(&db, &task.gold_sql);
+            prop_assert!(rs.is_ok(), "{}: {:?}", task.task_id, rs.err());
+        }
+    }
+
+    /// The registry resolves every task question and every canonical
+    /// reformulation of it, for arbitrary counts.
+    #[test]
+    fn registry_resolves_all_tasks(
+        simple in 1usize..24,
+        moderate in 1usize..7,
+        challenging in 1usize..3,
+    ) {
+        let spec = &genedit_bird::SPORTS;
+        let tasks = generate_tasks(spec, (simple, moderate, challenging), 42);
+        let mut registry = TaskRegistry::new();
+        for t in &tasks {
+            registry.register(t.clone());
+        }
+        for t in &tasks {
+            let hit = registry.lookup(&t.question);
+            prop_assert!(hit.is_some(), "missing {}", t.task_id);
+            prop_assert_eq!(&hit.unwrap().task_id, &t.task_id);
+            // Canonical reformulation keeps resolving to the same task.
+            let reformulated = format!("Show me {}", t.question.to_lowercase());
+            let hit = registry.lookup(&reformulated);
+            prop_assert!(hit.is_some(), "reformulated miss for {}", t.task_id);
+            prop_assert_eq!(&hit.unwrap().task_id, &t.task_id);
+        }
+    }
+
+    /// Database generation is a pure function of (domain, seed).
+    #[test]
+    fn database_generation_is_pure(seed in 0u64..500) {
+        let spec = &genedit_bird::RETAIL;
+        let a = generate_database(spec, seed);
+        let b = generate_database(spec, seed);
+        let q = format!(
+            "SELECT {n}, SUM({v}) FROM {f} GROUP BY {n}",
+            n = spec.entity_col,
+            v = spec.fact1_col,
+            f = spec.fact1_table
+        );
+        let ra = execute_sql(&a, &q).unwrap();
+        let rb = execute_sql(&b, &q).unwrap();
+        prop_assert!(ra.ex_equal(&rb));
+    }
+
+    /// Knowledge sets build successfully for any bundle configuration and
+    /// always cover the three domain terms in instructions.
+    #[test]
+    fn knowledge_covers_domain_terms(
+        seed in 0u64..200,
+        domain_idx in 0usize..4,
+    ) {
+        let spec = all_domains()[domain_idx];
+        let bundle = DomainBundle::build(spec, (4, 2, 1), seed);
+        let ks = bundle.build_knowledge();
+        for term in [spec.our_term, spec.ratio_term, spec.qoq_term] {
+            prop_assert!(
+                ks.instructions().iter().any(|i| i.term.as_deref() == Some(term)),
+                "{} missing instruction for {term}",
+                spec.key
+            );
+        }
+        // Log decomposition produced window fragments (needed for plan
+        // support on challenging tasks).
+        prop_assert!(ks
+            .examples()
+            .iter()
+            .any(|e| e.fragment.kind == genedit_knowledge::FragmentKind::Window));
+    }
+}
+
+#[test]
+fn standard_workload_invariants() {
+    let w = Workload::standard(42);
+    // Task ids globally unique.
+    let mut ids: Vec<&str> = w.all_tasks().map(|t| t.task_id.as_str()).collect();
+    let n = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), n);
+    // Questions globally unique too (registry correctness depends on it).
+    let mut questions: Vec<&str> = w.all_tasks().map(|t| t.question.as_str()).collect();
+    questions.sort();
+    questions.dedup();
+    assert_eq!(questions.len(), n);
+    // Every task's db exists and its required tables exist in it.
+    for t in w.all_tasks() {
+        let db = w.database(&t.db_name).expect("task db exists");
+        for table in &t.required_tables {
+            assert!(db.table(table).is_some(), "{}: missing table {table}", t.task_id);
+        }
+    }
+}

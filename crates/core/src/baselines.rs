@@ -1,0 +1,388 @@
+//! Baseline method implementations (Table 1 comparison set).
+//!
+//! Each baseline is an *approximation faithful to its context-assembly
+//! strategy* rather than a line-by-line port (none of the original
+//! systems can run without their exact LLM stack — see DESIGN.md):
+//!
+//! * **CHESS** — strong schema selection, full-query examples, benchmark
+//!   evidence, internal decomposition (NL plan), candidate sampling.
+//! * **MAC-SQL** — multi-agent sub-question decomposition (NL plan),
+//!   linked schema, no example store.
+//! * **TA-SQL** — task-alignment reformulation, linked schema, no plan.
+//! * **DAIL-SQL** — full-query few-shot examples over the full schema,
+//!   single shot.
+//! * **C3-SQL** — zero-shot with calibration hints; no examples, no
+//!   linking, whole schema dumped (empty schema section = "everything
+//!   attached" to the oracle).
+
+use crate::index::KnowledgeIndex;
+use genedit_llm::{
+    hash01, CompletionRequest, LanguageModel, Plan, Prompt, PromptExample,
+    PromptSchemaElement, TaskKind,
+};
+use genedit_sql::catalog::Database;
+
+/// How a method supplies few-shot examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExampleStyle {
+    None,
+    /// Traditional full-query examples drawn from the historical logs.
+    FullQuery,
+}
+
+/// How a method supplies the schema.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemaStyle {
+    /// Dump everything (the oracle treats an empty schema section as
+    /// "full warehouse schema attached").
+    Dump,
+    /// Ship every catalogued element explicitly.
+    Full,
+    /// LLM linking followed by lossy filtering with the given recall.
+    Linked { recall: f64 },
+}
+
+/// Whether the method decomposes generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStyle {
+    None,
+    /// Sub-question decomposition without pseudo-SQL.
+    NlPlan,
+}
+
+/// A baseline's context-assembly profile.
+#[derive(Debug, Clone)]
+pub struct MethodProfile {
+    pub name: &'static str,
+    pub examples: ExampleStyle,
+    pub include_evidence: bool,
+    pub schema: SchemaStyle,
+    pub plan: PlanStyle,
+    /// Internal sampling/revision compute, as a capacity multiplier for
+    /// the oracle's bounded-reasoning model (1.0 = plain prompting).
+    pub reasoning_effort: f64,
+    pub candidates: usize,
+    pub max_retries: usize,
+}
+
+/// The paper's comparison set (Table 1), in its row order.
+pub fn paper_baselines() -> Vec<MethodProfile> {
+    vec![
+        MethodProfile {
+            name: "CHESS",
+            examples: ExampleStyle::FullQuery,
+            include_evidence: true,
+            schema: SchemaStyle::Linked { recall: 0.97 },
+            plan: PlanStyle::None,
+            reasoning_effort: 2.0, // candidate sampling + revision agents
+            candidates: 3,
+            max_retries: 2,
+        },
+        MethodProfile {
+            name: "MAC-SQL",
+            examples: ExampleStyle::None,
+            include_evidence: true,
+            schema: SchemaStyle::Linked { recall: 0.85 },
+            // The decomposer agent's effect is captured by the effort
+            // multiplier; sub-question text itself adds no grounding.
+            plan: PlanStyle::None,
+            reasoning_effort: 1.3,
+            candidates: 1,
+            max_retries: 2,
+        },
+        MethodProfile {
+            name: "TA-SQL",
+            examples: ExampleStyle::None,
+            include_evidence: true,
+            schema: SchemaStyle::Linked { recall: 0.95 },
+            plan: PlanStyle::None,
+            reasoning_effort: 1.15, // task-alignment pre-pass
+            candidates: 1,
+            max_retries: 1,
+        },
+        MethodProfile {
+            name: "DAIL-SQL",
+            examples: ExampleStyle::FullQuery,
+            include_evidence: true,
+            schema: SchemaStyle::Dump,
+            plan: PlanStyle::None,
+            reasoning_effort: 1.0,
+            candidates: 1,
+            max_retries: 1,
+        },
+        MethodProfile {
+            name: "C3-SQL",
+            examples: ExampleStyle::None,
+            include_evidence: true,
+            schema: SchemaStyle::Dump,
+            plan: PlanStyle::None,
+            reasoning_effort: 1.0,
+            candidates: 1,
+            max_retries: 1,
+        },
+    ]
+}
+
+/// Result of one baseline generation.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    pub sql: Option<String>,
+    pub attempts: usize,
+    pub validated: bool,
+}
+
+/// Run one baseline on one question.
+///
+/// `full_query_examples` are the historical log queries (the material a
+/// baseline would mine its few-shot store from); `evidence` is the
+/// benchmark-provided external knowledge.
+pub fn run_baseline(
+    profile: &MethodProfile,
+    model: &dyn LanguageModel,
+    index: &KnowledgeIndex,
+    db: &Database,
+    question: &str,
+    full_query_examples: &[(String, String)],
+    evidence: &[String],
+) -> BaselineResult {
+    let ks = index.knowledge();
+
+    // Examples.
+    let examples: Vec<PromptExample> = match profile.examples {
+        ExampleStyle::None => Vec::new(),
+        ExampleStyle::FullQuery => {
+            // Select by similarity to the question, like DAIL-SQL's
+            // masked-question matching.
+            let q = index.embedder().embed(question);
+            let mut scored: Vec<(&(String, String), f32)> = full_query_examples
+                .iter()
+                .map(|pair| {
+                    let emb = index.embedder().embed(&pair.0);
+                    (pair, genedit_retrieval::cosine(&q, &emb))
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored
+                .into_iter()
+                .take(4)
+                .map(|((q, sql), _)| PromptExample {
+                    description: q.clone(),
+                    sql: sql.clone(),
+                    kind: None,
+                    term: None,
+                })
+                .collect()
+        }
+    };
+
+    // Schema.
+    let all_schema: Vec<PromptSchemaElement> = ks
+        .schema_elements()
+        .iter()
+        .map(|s| PromptSchemaElement {
+            table: s.table.clone(),
+            column: s.column.clone(),
+            description: s.description.clone(),
+            top_values: s.top_values.clone(),
+        })
+        .collect();
+    let schema: Vec<PromptSchemaElement> = match profile.schema {
+        SchemaStyle::Dump => Vec::new(),
+        SchemaStyle::Full => all_schema,
+        SchemaStyle::Linked { recall } => {
+            let mut link = Prompt::new(TaskKind::SchemaLinking, question);
+            link.schema = all_schema.clone();
+            let keys: Vec<String> = model
+                .complete(&CompletionRequest::new(link))
+                .as_items()
+                .map(|v| v.to_vec())
+                .unwrap_or_default();
+            all_schema
+                .into_iter()
+                .filter(|el| keys.iter().any(|k| k == &el.key()))
+                .filter(|el| {
+                    // Lossy filtering models the method's linking quality.
+                    el.column.is_none()
+                        || hash01(&[profile.name, "recall", &el.key(), question], 0) < recall
+                })
+                .collect()
+        }
+    };
+
+    // Base prompt.
+    let mut base = Prompt::new(TaskKind::SqlGeneration, question);
+    base.examples = examples;
+    base.schema = schema;
+    base.reasoning_effort = profile.reasoning_effort;
+    if profile.include_evidence {
+        base.evidence = evidence.to_vec();
+    }
+
+    // Plan (sub-question decomposition without pseudo-SQL).
+    if profile.plan == PlanStyle::NlPlan {
+        let mut plan_prompt = base.clone();
+        plan_prompt.task = TaskKind::PlanGeneration;
+        let plan: Plan = model
+            .complete(&CompletionRequest::new(plan_prompt))
+            .as_plan()
+            .cloned()
+            .unwrap_or_default();
+        base.plan = Some(plan.without_pseudo_sql());
+    }
+
+    // Generate with retries.
+    let mut errors: Vec<String> = Vec::new();
+    let mut last_sql = None;
+    for attempt in 0..=profile.max_retries {
+        let mut prompt = base.clone();
+        prompt.errors = errors.clone();
+        let mut round_errors = Vec::new();
+        for seed in 0..profile.candidates.max(1) as u64 {
+            let sql = match model
+                .complete(&CompletionRequest::with_seed(prompt.clone(), seed))
+                .as_sql()
+            {
+                Some(s) => s.to_string(),
+                None => continue,
+            };
+            match genedit_sql::parser::parse_statement(&sql)
+                .map_err(|e| e.to_string())
+                .and_then(|_| {
+                    genedit_sql::exec::execute_sql(db, &sql)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                }) {
+                Ok(()) => {
+                    return BaselineResult {
+                        sql: Some(sql),
+                        attempts: attempt + 1,
+                        validated: true,
+                    }
+                }
+                Err(e) => {
+                    round_errors.push(e);
+                    last_sql = Some(sql);
+                }
+            }
+        }
+        errors.extend(round_errors);
+    }
+    BaselineResult { sql: last_sql, attempts: profile.max_retries + 1, validated: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genedit_bird::{DomainBundle, SPORTS};
+    use genedit_llm::{OracleConfig, OracleModel, TaskRegistry};
+
+    fn setup() -> (DomainBundle, KnowledgeIndex, OracleModel) {
+        let bundle = DomainBundle::build(&SPORTS, (4, 2, 1), 42);
+        let index = KnowledgeIndex::build(bundle.build_knowledge());
+        let mut reg = TaskRegistry::new();
+        for t in &bundle.tasks {
+            reg.register(t.clone());
+        }
+        let oracle =
+            OracleModel::with_config(reg, OracleConfig { noise_rate: 0.0, ..Default::default() });
+        (bundle, index, oracle)
+    }
+
+    fn log_pairs(bundle: &DomainBundle) -> Vec<(String, String)> {
+        bundle.logs.iter().map(|l| (l.question.clone(), l.sql.clone())).collect()
+    }
+
+    #[test]
+    fn five_paper_baselines() {
+        let names: Vec<&str> = paper_baselines().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["CHESS", "MAC-SQL", "TA-SQL", "DAIL-SQL", "C3-SQL"]);
+    }
+
+    #[test]
+    fn baseline_with_evidence_solves_simple_term_task() {
+        // Larger bundle: the tiny test bundle may not include an
+        // evidence-carrying term task.
+        let bundle = DomainBundle::build(&SPORTS, (24, 7, 3), 42);
+        let index = KnowledgeIndex::build(bundle.build_knowledge());
+        let mut reg = TaskRegistry::new();
+        for t in &bundle.tasks {
+            reg.register(t.clone());
+        }
+        let oracle =
+            OracleModel::with_config(reg, OracleConfig { noise_rate: 0.0, ..Default::default() });
+        let chess = &paper_baselines()[0];
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| {
+                t.difficulty == genedit_llm::Difficulty::Simple
+                    && !t.required_terms.is_empty()
+                    && !t.evidence.is_empty()
+            })
+            .expect("a term task with evidence");
+        let r = run_baseline(
+            chess,
+            &oracle,
+            &index,
+            &bundle.db,
+            &task.question,
+            &log_pairs(&bundle),
+            &task.evidence,
+        );
+        let (ok, note) =
+            genedit_bird::score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
+        assert!(ok, "{note:?} {:?}", r.sql);
+    }
+
+    #[test]
+    fn zero_shot_baseline_struggles_on_challenging() {
+        let (bundle, index, oracle) = setup();
+        let c3 = paper_baselines().into_iter().find(|p| p.name == "C3-SQL").unwrap();
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+            .unwrap();
+        let r = run_baseline(
+            &c3,
+            &oracle,
+            &index,
+            &bundle.db,
+            &task.question,
+            &[],
+            &task.evidence,
+        );
+        let (ok, _) =
+            genedit_bird::score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
+        // With no plan and a dumped schema, the QoQ flagship task should
+        // not come out EX-correct.
+        assert!(!ok, "{:?}", r.sql);
+    }
+
+    #[test]
+    fn baseline_runs_are_deterministic() {
+        let (bundle, index, oracle) = setup();
+        let dail = paper_baselines().into_iter().find(|p| p.name == "DAIL-SQL").unwrap();
+        let task = &bundle.tasks[1];
+        let a = run_baseline(
+            &dail,
+            &oracle,
+            &index,
+            &bundle.db,
+            &task.question,
+            &log_pairs(&bundle),
+            &task.evidence,
+        );
+        let b = run_baseline(
+            &dail,
+            &oracle,
+            &index,
+            &bundle.db,
+            &task.question,
+            &log_pairs(&bundle),
+            &task.evidence,
+        );
+        assert_eq!(a.sql, b.sql);
+        assert_eq!(a.attempts, b.attempts);
+    }
+}

@@ -1,0 +1,208 @@
+//! Evaluation harness: run GenEdit (with ablations) and the baselines over
+//! a benchmark workload, producing Table-1/Table-2-style reports.
+
+use crate::baselines::{run_baseline, MethodProfile};
+use crate::config::{Ablation, PipelineConfig};
+use crate::index::KnowledgeIndex;
+use crate::pipeline::GenEditPipeline;
+use genedit_bird::{score_prediction, EvalReport, TaskOutcome, Workload};
+use genedit_knowledge::KnowledgeSet;
+use genedit_llm::{ModelUsage, OracleConfig, OracleModel, RecordingModel};
+use std::collections::HashMap;
+
+/// Runs methods over one workload with a shared oracle.
+pub struct Harness<'w> {
+    workload: &'w Workload,
+    oracle: RecordingModel<OracleModel>,
+}
+
+impl<'w> Harness<'w> {
+    pub fn new(workload: &'w Workload) -> Harness<'w> {
+        Harness::with_oracle_config(workload, OracleConfig::default())
+    }
+
+    pub fn with_oracle_config(workload: &'w Workload, config: OracleConfig) -> Harness<'w> {
+        let oracle = OracleModel::with_config(workload.registry(), config);
+        Harness { workload, oracle: RecordingModel::new(oracle) }
+    }
+
+    /// Cumulative model-call accounting across everything run so far.
+    pub fn model_usage(&self) -> ModelUsage {
+        self.oracle.usage()
+    }
+
+    pub fn reset_usage(&self) {
+        self.oracle.reset_usage()
+    }
+
+    /// Build per-domain knowledge indexes, optionally with full-query
+    /// (non-decomposed) examples.
+    pub fn build_indexes(&self, decompose: bool) -> HashMap<String, KnowledgeIndex> {
+        self.workload
+            .domains
+            .iter()
+            .map(|bundle| {
+                let mut cfg = bundle.preprocess_config();
+                cfg.decompose_examples = decompose;
+                let ks = genedit_knowledge::build_knowledge_set(
+                    &cfg,
+                    &bundle.logs,
+                    &bundle.docs,
+                    &bundle.db,
+                )
+                .expect("logs are valid");
+                (bundle.db.name.clone(), KnowledgeIndex::build(ks))
+            })
+            .collect()
+    }
+
+    /// Run GenEdit under an ablation over the whole workload.
+    pub fn run_genedit(&self, ablation: Ablation) -> EvalReport {
+        let indexes = self.build_indexes(!ablation.needs_full_query_examples());
+        self.run_genedit_with(ablation.config(), ablation.label(), &indexes)
+    }
+
+    /// Run GenEdit with explicit config and pre-built indexes (used by the
+    /// feedback-loop experiments, which edit the knowledge sets between
+    /// rounds).
+    pub fn run_genedit_with(
+        &self,
+        config: PipelineConfig,
+        label: &str,
+        indexes: &HashMap<String, KnowledgeIndex>,
+    ) -> EvalReport {
+        let pipeline = GenEditPipeline::with_config(&self.oracle, config);
+        let mut report = EvalReport::new(label);
+        for bundle in &self.workload.domains {
+            let index = &indexes[&bundle.db.name];
+            for task in &bundle.tasks {
+                let result = pipeline.generate(&task.question, index, &bundle.db, &task.evidence);
+                let (correct, note) =
+                    score_prediction(&bundle.db, &task.gold_sql, result.sql.as_deref());
+                report.push(TaskOutcome {
+                    task_id: task.task_id.clone(),
+                    difficulty: task.difficulty,
+                    correct,
+                    attempts: result.attempts,
+                    note,
+                });
+            }
+        }
+        report
+    }
+
+    /// Run GenEdit over a single domain with a caller-supplied knowledge
+    /// set (e.g. a staged one). Returns the per-task outcomes.
+    pub fn run_genedit_on_domain(
+        &self,
+        config: &PipelineConfig,
+        db_name: &str,
+        knowledge: KnowledgeSet,
+    ) -> Vec<TaskOutcome> {
+        let bundle = self
+            .workload
+            .domains
+            .iter()
+            .find(|b| b.db.name == db_name)
+            .expect("domain exists");
+        let index = KnowledgeIndex::build(knowledge);
+        let pipeline = GenEditPipeline::with_config(&self.oracle, config.clone());
+        bundle
+            .tasks
+            .iter()
+            .map(|task| {
+                let result = pipeline.generate(&task.question, &index, &bundle.db, &task.evidence);
+                let (correct, note) =
+                    score_prediction(&bundle.db, &task.gold_sql, result.sql.as_deref());
+                TaskOutcome {
+                    task_id: task.task_id.clone(),
+                    difficulty: task.difficulty,
+                    correct,
+                    attempts: result.attempts,
+                    note,
+                }
+            })
+            .collect()
+    }
+
+    /// Run one baseline over the whole workload.
+    pub fn run_baseline(&self, profile: &MethodProfile) -> EvalReport {
+        let indexes = self.build_indexes(true);
+        let mut report = EvalReport::new(profile.name);
+        for bundle in &self.workload.domains {
+            let index = &indexes[&bundle.db.name];
+            let log_pairs: Vec<(String, String)> = bundle
+                .logs
+                .iter()
+                .map(|l| (l.question.clone(), l.sql.clone()))
+                .collect();
+            for task in &bundle.tasks {
+                let r = run_baseline(
+                    profile,
+                    &self.oracle,
+                    index,
+                    &bundle.db,
+                    &task.question,
+                    &log_pairs,
+                    &task.evidence,
+                );
+                let (correct, note) =
+                    score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
+                report.push(TaskOutcome {
+                    task_id: task.task_id.clone(),
+                    difficulty: task.difficulty,
+                    correct,
+                    attempts: r.attempts,
+                    note,
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genedit_beats_its_ablations_on_small_suite() {
+        let w = Workload::small(42);
+        let harness = Harness::new(&w);
+        let full = harness.run_genedit(Ablation::None);
+        let no_instructions = harness.run_genedit(Ablation::WithoutInstructions);
+        assert!(
+            full.ex(None) >= no_instructions.ex(None),
+            "full {} < w/o instructions {}",
+            full.ex(None),
+            no_instructions.ex(None)
+        );
+        assert!(full.ex(None) > 40.0, "full pipeline EX too low: {}", full.ex(None));
+    }
+
+    #[test]
+    fn usage_accounting_accumulates() {
+        let w = Workload::small(42);
+        let harness = Harness::new(&w);
+        harness.run_genedit(Ablation::None);
+        let usage = harness.model_usage();
+        assert!(usage.total_calls() > w.task_count());
+        assert!(usage.calls.contains_key("plan"));
+        assert!(usage.calls.contains_key("sql"));
+        harness.reset_usage();
+        assert_eq!(harness.model_usage().total_calls(), 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let w = Workload::small(42);
+        let h1 = Harness::new(&w);
+        let h2 = Harness::new(&w);
+        let a = h1.run_genedit(Ablation::None);
+        let b = h2.run_genedit(Ablation::None);
+        assert_eq!(a.ex(None), b.ex(None));
+        for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+            assert_eq!(x.correct, y.correct, "task {}", x.task_id);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # genedit-core — the GenEdit pipeline
+//!
+//! The paper's primary contribution: compounding retrieval operators,
+//! CoT planning with pseudo-SQL, plan-guided generation with
+//! self-correction, the Table-1 baseline set, the Table-2 ablations, and
+//! (in [`feedback`]) the continuous-improvement loop.
+
+pub mod baselines;
+mod compounding_tests;
+pub mod config;
+pub mod feedback;
+pub mod harness;
+pub mod index;
+pub mod pipeline;
+pub mod regression;
+pub mod sme;
+
+pub use baselines::{paper_baselines, run_baseline, BaselineResult, ExampleStyle, MethodProfile, PlanStyle, SchemaStyle};
+pub use config::{Ablation, CandidateSelection, PipelineConfig};
+pub use harness::Harness;
+pub use index::KnowledgeIndex;
+pub use feedback::{
+    expand_feedback, generate_edits, generate_edits_with_id, generate_targets, FeedbackSession, FeedbackTarget,
+    RecommendedEdit, TargetKind,
+};
+pub use pipeline::{GenEditPipeline, GenerationResult};
+pub use regression::{
+    run_regression, submit_edits, GoldenQuery, RegressionOutcome, SubmissionResult,
+};

@@ -1,0 +1,513 @@
+//! The GenEdit SQL-generation pipeline (§2.1, §3).
+//!
+//! Operators, in order (numbers match Fig. 1):
+//! 1. query reformulation into canonical form,
+//! 2. intent classification,
+//! 3. example selection (intent retrieval + cosine re-rank),
+//! 4. instruction selection (re-ranked by the query *expanded with the
+//!    selected examples* — context expansion, §3.1.1),
+//! 5. schema linking (model call + re-rank filter),
+//!    then CoT plan generation and plan-guided SQL generation with up to
+//!    `k` self-correction retries on syntactic/semantic errors.
+
+use crate::config::{CandidateSelection, PipelineConfig};
+use crate::index::KnowledgeIndex;
+use genedit_knowledge::{ExampleId, FragmentKind, InstructionId, RetrievalStage};
+use genedit_llm::{
+    CompletionRequest, LanguageModel, Plan, Prompt, PromptExample, PromptInstruction,
+    PromptSchemaElement, TaskKind,
+};
+use genedit_sql::catalog::Database;
+use genedit_sql::exec::execute_sql;
+
+/// Everything produced by one generation run. The feedback module consumes
+/// the used-knowledge lists (operator "Generate Targets", §4.1).
+#[derive(Debug, Clone)]
+pub struct GenerationResult {
+    /// Final SQL (present even when it never validated — the caller
+    /// decides what to do with a failing query).
+    pub sql: Option<String>,
+    /// Generation rounds used (1 = no retry needed).
+    pub attempts: usize,
+    /// Whether the final SQL parsed and executed.
+    pub validated: bool,
+    pub plan: Option<Plan>,
+    pub reformulated: String,
+    pub intents: Vec<String>,
+    pub errors: Vec<String>,
+    pub used_examples: Vec<ExampleId>,
+    pub used_instructions: Vec<InstructionId>,
+    /// Keys of the linked schema elements.
+    pub used_schema: Vec<String>,
+    /// The final SQL-generation prompt, for inspection/demos (Fig. 2).
+    pub final_prompt: Prompt,
+}
+
+/// The pipeline. Generic over the model so tests can stub it; in the
+/// reproduction the model is the deterministic oracle.
+pub struct GenEditPipeline<M> {
+    model: M,
+    config: PipelineConfig,
+}
+
+impl<M: LanguageModel> GenEditPipeline<M> {
+    pub fn new(model: M) -> GenEditPipeline<M> {
+        GenEditPipeline { model, config: PipelineConfig::default() }
+    }
+
+    pub fn with_config(model: M, config: PipelineConfig) -> GenEditPipeline<M> {
+        GenEditPipeline { model, config }
+    }
+
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Run the full pipeline for one question.
+    ///
+    /// `evidence` carries benchmark-provided evidence strings; GenEdit
+    /// itself runs with `include_evidence = false` and relies on the
+    /// knowledge set.
+    pub fn generate(
+        &self,
+        question: &str,
+        index: &KnowledgeIndex,
+        db: &Database,
+        evidence: &[String],
+    ) -> GenerationResult {
+        let cfg = &self.config;
+        let ks = index.knowledge();
+
+        // ---- operator 1: reformulation -------------------------------
+        let reformulated = if cfg.use_reformulation {
+            let prompt = Prompt::new(TaskKind::Reformulate, question);
+            self.model
+                .complete(&CompletionRequest::new(prompt))
+                .as_text()
+                .unwrap_or(question)
+                .to_string()
+        } else {
+            question.to_string()
+        };
+
+        // ---- operator 2: intent classification -----------------------
+        let intents: Vec<String> = if cfg.use_intent_classification {
+            let mut prompt = Prompt::new(TaskKind::IntentClassification, &reformulated);
+            prompt.intent_candidates =
+                ks.intents().iter().map(|i| i.key.clone()).collect();
+            self.model
+                .complete(&CompletionRequest::new(prompt))
+                .as_items()
+                .map(|v| v.to_vec())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        // ---- operator 3: example selection ---------------------------
+        let query_emb = index.embedder().embed(&reformulated);
+        let (prompt_examples, used_examples): (Vec<PromptExample>, Vec<ExampleId>) =
+            if cfg.use_examples {
+                let top = index.top_examples(&query_emb, &intents, cfg.example_top_k);
+                let ids = top.iter().map(|(e, _)| e.id).collect();
+                let rendered = top
+                    .iter()
+                    .map(|(e, _)| PromptExample {
+                        description: e.description.clone(),
+                        sql: e.fragment.sql.clone(),
+                        kind: match e.fragment.kind {
+                            FragmentKind::FullQuery => None,
+                            k => Some(k),
+                        },
+                        term: e.term.clone(),
+                    })
+                    .collect();
+                (rendered, ids)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+
+        // ---- operator 4: instruction selection (context expansion) ---
+        let example_texts: Vec<String> = prompt_examples
+            .iter()
+            .map(|e| format!("{} {}", e.description, e.sql))
+            .collect();
+        let (prompt_instructions, used_instructions): (Vec<PromptInstruction>, Vec<InstructionId>) =
+            if cfg.use_instructions {
+                let mut expansions: Vec<&str> =
+                    example_texts.iter().map(|s| s.as_str()).collect();
+                let hints = ks.retrieval_hints(RetrievalStage::InstructionSelection);
+                expansions.extend(hints.iter().copied());
+                let expanded = index.embedder().embed_expanded(&reformulated, &expansions);
+                let top = index.top_instructions(&expanded, &intents, cfg.instruction_top_k);
+                let ids = top.iter().map(|(i, _)| i.id).collect();
+                let rendered = top
+                    .iter()
+                    .map(|(i, _)| PromptInstruction {
+                        text: i.text.clone(),
+                        sql_hint: i.sql_hint.clone(),
+                        term: i.term.clone(),
+                    })
+                    .collect();
+                (rendered, ids)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+
+        // ---- operator 5: schema linking ------------------------------
+        let all_schema: Vec<PromptSchemaElement> = ks
+            .schema_elements()
+            .iter()
+            .map(|s| PromptSchemaElement {
+                table: s.table.clone(),
+                column: s.column.clone(),
+                description: s.description.clone(),
+                top_values: s.top_values.clone(),
+            })
+            .collect();
+        let schema: Vec<PromptSchemaElement> = if cfg.use_schema_linking {
+            // The LLM identifies relevant elements over the full schema…
+            let mut link_prompt = Prompt::new(TaskKind::SchemaLinking, &reformulated);
+            link_prompt.schema = all_schema.clone();
+            link_prompt.hints = ks
+                .retrieval_hints(RetrievalStage::SchemaLinking)
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let keys: Vec<String> = self
+                .model
+                .complete(&CompletionRequest::new(link_prompt))
+                .as_items()
+                .map(|v| v.to_vec())
+                .unwrap_or_default();
+            let linked: Vec<PromptSchemaElement> = all_schema
+                .iter()
+                .filter(|el| keys.iter().any(|k| k == &el.key()))
+                .cloned()
+                .collect();
+            // …then a re-ranker filters to manage the generation model's
+            // context (§3.1.1), using the example+instruction-expanded
+            // query embedding (more context expansion).
+            if linked.len() > cfg.schema_top_k {
+                let instruction_texts: Vec<String> = prompt_instructions
+                    .iter()
+                    .map(|i| i.text.clone())
+                    .collect();
+                let mut expansions: Vec<&str> =
+                    example_texts.iter().map(|s| s.as_str()).collect();
+                expansions.extend(instruction_texts.iter().map(|s| s.as_str()));
+                let expanded =
+                    index.embedder().embed_expanded(&reformulated, &expansions);
+                let mut scored: Vec<(PromptSchemaElement, f32)> = linked
+                    .into_iter()
+                    .map(|el| {
+                        let text = format!(
+                            "{} {} {}",
+                            el.key(),
+                            el.description,
+                            el.top_values.join(" ")
+                        );
+                        let emb = index.embedder().embed(&text);
+                        let score = genedit_retrieval::cosine(&expanded, &emb);
+                        (el, score)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                scored.truncate(cfg.schema_top_k);
+                scored.into_iter().map(|(el, _)| el).collect()
+            } else {
+                linked
+            }
+        } else {
+            // Ablation: no linking — the full warehouse schema ships with
+            // the prompt (empty section = "everything attached" to the
+            // oracle, matching how un-linked deployments dump the DDL).
+            Vec::new()
+        };
+        let used_schema: Vec<String> = schema.iter().map(|s| s.key()).collect();
+
+        // ---- base prompt ----------------------------------------------
+        let mut base = Prompt::new(TaskKind::SqlGeneration, &reformulated);
+        base.original_question = Some(question.to_string());
+        base.examples = prompt_examples;
+        base.instructions = prompt_instructions;
+        base.schema = schema;
+        if cfg.include_evidence {
+            base.evidence = evidence.to_vec();
+        }
+
+        // ---- CoT plan (§3.1.2) ----------------------------------------
+        let plan: Option<Plan> = if cfg.use_plan {
+            let mut plan_prompt = base.clone();
+            plan_prompt.task = TaskKind::PlanGeneration;
+            let p = self
+                .model
+                .complete(&CompletionRequest::new(plan_prompt))
+                .as_plan()
+                .cloned()
+                .unwrap_or_default();
+            Some(if cfg.use_pseudo_sql { p } else { p.without_pseudo_sql() })
+        } else {
+            None
+        };
+        base.plan = plan.clone();
+
+        // ---- generation with self-correction --------------------------
+        let mut errors: Vec<String> = Vec::new();
+        let mut last_sql: Option<String> = None;
+        for attempt in 0..=cfg.max_retries {
+            let mut prompt = base.clone();
+            prompt.errors = errors.clone();
+            let mut round_errors: Vec<String> = Vec::new();
+            // Valid candidates this round, with their result fingerprints
+            // (used by self-consistency voting).
+            let mut valid: Vec<(String, Vec<String>)> = Vec::new();
+            for seed in 0..cfg.candidates.max(1) as u64 {
+                let sql = match self
+                    .model
+                    .complete(&CompletionRequest::with_seed(prompt.clone(), seed))
+                    .as_sql()
+                {
+                    Some(s) => s.to_string(),
+                    None => continue,
+                };
+                match validate(db, &sql) {
+                    Ok(fingerprint) => {
+                        if cfg.candidate_selection == CandidateSelection::FirstValid {
+                            return GenerationResult {
+                                sql: Some(sql),
+                                attempts: attempt + 1,
+                                validated: true,
+                                plan,
+                                reformulated,
+                                intents,
+                                errors,
+                                used_examples,
+                                used_instructions,
+                                used_schema,
+                                final_prompt: prompt,
+                            };
+                        }
+                        valid.push((sql, fingerprint));
+                    }
+                    Err(e) => {
+                        round_errors.push(e);
+                        last_sql = Some(sql);
+                    }
+                }
+            }
+            if !valid.is_empty() {
+                // Self-consistency: the result the most candidates agree on
+                // wins; ties break toward the earliest candidate.
+                let winner = valid
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, (_, fp))| {
+                        let votes = valid.iter().filter(|(_, other)| other == fp).count();
+                        (votes, std::cmp::Reverse(*i))
+                    })
+                    .map(|(_, (sql, _))| sql.clone())
+                    .expect("non-empty");
+                return GenerationResult {
+                    sql: Some(winner),
+                    attempts: attempt + 1,
+                    validated: true,
+                    plan,
+                    reformulated,
+                    intents,
+                    errors,
+                    used_examples,
+                    used_instructions,
+                    used_schema,
+                    final_prompt: prompt,
+                };
+            }
+            errors.extend(round_errors);
+        }
+
+        let final_prompt = {
+            let mut p = base;
+            p.errors = errors.clone();
+            p
+        };
+        GenerationResult {
+            sql: last_sql,
+            attempts: cfg.max_retries + 1,
+            validated: false,
+            plan,
+            reformulated,
+            intents,
+            errors,
+            used_examples,
+            used_instructions,
+            used_schema,
+            final_prompt,
+        }
+    }
+}
+
+/// Syntactic + semantic validation: parse, then execute against the
+/// database (execution-guided checking, as in the paper's self-correction
+/// citation 25). Returns the result fingerprint for candidate voting.
+fn validate(db: &Database, sql: &str) -> Result<Vec<String>, String> {
+    genedit_sql::parser::parse_statement(sql).map_err(|e| e.to_string())?;
+    let rs = execute_sql(db, sql).map_err(|e| e.to_string())?;
+    Ok(rs.fingerprint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genedit_bird::{DomainBundle, SPORTS};
+    use genedit_llm::{OracleConfig, OracleModel, TaskRegistry};
+
+    fn setup() -> (DomainBundle, KnowledgeIndex, OracleModel) {
+        let bundle = DomainBundle::build(&SPORTS, (4, 2, 1), 42);
+        let index = KnowledgeIndex::build(bundle.build_knowledge());
+        let mut reg = TaskRegistry::new();
+        for t in &bundle.tasks {
+            reg.register(t.clone());
+        }
+        // Stochastic failure channels off: these tests observe the causal
+        // effects of knowledge presence/absence, not the noise model.
+        let oracle = OracleModel::with_config(
+            reg,
+            OracleConfig {
+                noise_rate: 0.0,
+                pseudo_drift_probability: 0.0,
+                drift_probability: 0.0,
+                canonical_form_penalty: 0.0,
+                ..Default::default()
+            },
+        );
+        (bundle, index, oracle)
+    }
+
+    #[test]
+    fn simple_task_generates_correct_sql() {
+        let (bundle, index, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let task = &bundle.tasks[0];
+        let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        assert!(result.validated, "errors: {:?}", result.errors);
+        let (ok, note) = genedit_bird::score_prediction(
+            &bundle.db,
+            &task.gold_sql,
+            result.sql.as_deref(),
+        );
+        assert!(ok, "note: {note:?}, sql: {:?}", result.sql);
+    }
+
+    #[test]
+    fn pipeline_populates_context() {
+        let (bundle, index, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        // The challenging QoQ task needs examples/instructions/schema.
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+            .unwrap();
+        let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        assert!(!result.used_examples.is_empty());
+        assert!(!result.used_instructions.is_empty());
+        assert!(!result.used_schema.is_empty());
+        assert!(result.plan.is_some());
+        assert!(result.reformulated.starts_with("Show me"));
+        assert_eq!(result.intents, vec![task.intent.clone()]);
+    }
+
+    #[test]
+    fn challenging_task_with_full_pipeline_succeeds() {
+        let (bundle, index, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+            .unwrap();
+        let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        let (ok, note) = genedit_bird::score_prediction(
+            &bundle.db,
+            &task.gold_sql,
+            result.sql.as_deref(),
+        );
+        assert!(ok, "note: {note:?}\nplan: {:?}\nsql: {:?}", result.plan, result.sql);
+    }
+
+    #[test]
+    fn without_instructions_term_tasks_fail() {
+        let (bundle, index, oracle) = setup();
+        let cfg = PipelineConfig { use_instructions: false, ..Default::default() };
+        let pipeline = GenEditPipeline::with_config(&oracle, cfg);
+        // Task s05 is the "our entities" term task.
+        let task = bundle.tasks.iter().find(|t| !t.required_terms.is_empty()).unwrap();
+        let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        let (ok, _) = genedit_bird::score_prediction(
+            &bundle.db,
+            &task.gold_sql,
+            result.sql.as_deref(),
+        );
+        assert!(!ok, "term task should fail without instructions: {:?}", result.sql);
+    }
+
+    #[test]
+    fn plan_carries_pseudo_sql_and_ablation_strips_it() {
+        let (bundle, index, oracle) = setup();
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+            .unwrap();
+
+        let pipeline = GenEditPipeline::new(&oracle);
+        let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        let plan = result.plan.unwrap();
+        assert!(plan.steps.iter().any(|s| s.pseudo_sql.is_some()));
+
+        let cfg = PipelineConfig { use_pseudo_sql: false, ..Default::default() };
+        let pipeline = GenEditPipeline::with_config(&oracle, cfg);
+        let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        let plan = result.plan.unwrap();
+        assert!(plan.steps.iter().all(|s| s.pseudo_sql.is_none()));
+    }
+
+    #[test]
+    fn majority_voting_returns_a_valid_candidate() {
+        let (bundle, index, oracle) = setup();
+        let cfg = PipelineConfig {
+            candidates: 3,
+            candidate_selection: CandidateSelection::MajorityResult,
+            ..Default::default()
+        };
+        let pipeline = GenEditPipeline::with_config(&oracle, cfg);
+        let task = &bundle.tasks[0];
+        let voted = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        assert!(voted.validated);
+        let (ok, note) = genedit_bird::score_prediction(
+            &bundle.db,
+            &task.gold_sql,
+            voted.sql.as_deref(),
+        );
+        assert!(ok, "{note:?}");
+        // With an oracle that produces identical candidates, voting and
+        // first-valid agree.
+        let first = GenEditPipeline::new(&oracle)
+            .generate(&task.question, &index, &bundle.db, &[]);
+        assert_eq!(voted.sql, first.sql);
+    }
+
+    #[test]
+    fn validation_catches_bad_sql() {
+        let (bundle, _, _) = setup();
+        assert!(validate(&bundle.db, "SELECT * FROM SPORTS_ORGS").is_ok());
+        assert!(validate(&bundle.db, "SELEC nope").is_err());
+        assert!(validate(&bundle.db, "SELECT * FROM MISSING_TABLE").is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Regression testing and merge approval for staged edits (§4.2.1):
+//! "Once staged, the edits to the knowledge set are tested for regression.
+//! Currently, these staged edits require human approval after passing
+//! regression testing."
+
+use crate::index::KnowledgeIndex;
+use crate::pipeline::GenEditPipeline;
+use genedit_knowledge::{KnowledgeSet, StagingArea};
+use genedit_llm::LanguageModel;
+use genedit_sql::catalog::Database;
+
+/// A golden question whose behaviour must not regress.
+#[derive(Debug, Clone)]
+pub struct GoldenQuery {
+    pub question: String,
+    pub gold_sql: String,
+}
+
+/// Result of running the golden suite before/after the staged edits.
+#[derive(Debug, Clone)]
+pub struct RegressionOutcome {
+    /// Correct-before count.
+    pub before_correct: usize,
+    /// Correct-after count.
+    pub after_correct: usize,
+    /// Questions that were right before and wrong after (blocking).
+    pub regressions: Vec<String>,
+    /// Questions newly fixed by the staged edits.
+    pub improvements: Vec<String>,
+    pub total: usize,
+}
+
+impl RegressionOutcome {
+    /// Edits pass regression testing when nothing that worked broke.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Execute the golden suite twice — against the deployed knowledge set and
+/// against the staged view — and diff the outcomes.
+pub fn run_regression<M: LanguageModel>(
+    pipeline: &GenEditPipeline<M>,
+    db: &Database,
+    deployed: &KnowledgeSet,
+    staging: &StagingArea,
+    golden: &[GoldenQuery],
+) -> Result<RegressionOutcome, genedit_knowledge::KnowledgeError> {
+    let staged_ks = staging.materialize(deployed)?;
+    let before_index = KnowledgeIndex::build(deployed.clone());
+    let after_index = KnowledgeIndex::build(staged_ks);
+
+    let mut outcome = RegressionOutcome {
+        before_correct: 0,
+        after_correct: 0,
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+        total: golden.len(),
+    };
+    for g in golden {
+        let before = pipeline.generate(&g.question, &before_index, db, &[]);
+        let (before_ok, _) =
+            genedit_bird::score_prediction(db, &g.gold_sql, before.sql.as_deref());
+        let after = pipeline.generate(&g.question, &after_index, db, &[]);
+        let (after_ok, _) =
+            genedit_bird::score_prediction(db, &g.gold_sql, after.sql.as_deref());
+        if before_ok {
+            outcome.before_correct += 1;
+        }
+        if after_ok {
+            outcome.after_correct += 1;
+        }
+        match (before_ok, after_ok) {
+            (true, false) => outcome.regressions.push(g.question.clone()),
+            (false, true) => outcome.improvements.push(g.question.clone()),
+            _ => {}
+        }
+    }
+    Ok(outcome)
+}
+
+/// What happened to a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmissionResult {
+    /// Merged; carries the checkpoint id recorded just before the merge.
+    Merged { checkpoint: u64, outcome: RegressionOutcome },
+    /// Failed regression testing; nothing was merged.
+    RegressionFailed(RegressionOutcome),
+    /// Passed regression but the (human) approver declined.
+    ApprovalDeclined(RegressionOutcome),
+}
+
+impl PartialEq for RegressionOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.before_correct == other.before_correct
+            && self.after_correct == other.after_correct
+            && self.regressions == other.regressions
+    }
+}
+
+/// The full submission flow: regression test → approval → merge.
+/// `approve` stands in for the human reviewer.
+pub fn submit_edits<M: LanguageModel>(
+    pipeline: &GenEditPipeline<M>,
+    db: &Database,
+    deployed: &mut KnowledgeSet,
+    staging: StagingArea,
+    golden: &[GoldenQuery],
+    approve: impl FnOnce(&RegressionOutcome) -> bool,
+    merge_label: &str,
+) -> Result<SubmissionResult, genedit_knowledge::KnowledgeError> {
+    let outcome = run_regression(pipeline, db, deployed, &staging, golden)?;
+    if !outcome.passed() {
+        return Ok(SubmissionResult::RegressionFailed(outcome));
+    }
+    if !approve(&outcome) {
+        return Ok(SubmissionResult::ApprovalDeclined(outcome));
+    }
+    let checkpoint = staging.commit(deployed, merge_label)?;
+    Ok(SubmissionResult::Merged { checkpoint, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genedit_bird::{DomainBundle, SPORTS};
+    use genedit_knowledge::{Edit, SourceRef};
+    use genedit_llm::{OracleConfig, OracleModel, TaskRegistry};
+
+    fn setup() -> (DomainBundle, KnowledgeSet, OracleModel) {
+        let bundle = DomainBundle::build(&SPORTS, (8, 7, 3), 42);
+        let ks = bundle.build_knowledge();
+        let mut reg = TaskRegistry::new();
+        for t in &bundle.tasks {
+            reg.register(t.clone());
+        }
+        let oracle = OracleModel::with_config(
+            reg,
+            OracleConfig {
+                noise_rate: 0.0,
+                pseudo_drift_probability: 0.0,
+                drift_probability: 0.0,
+                canonical_form_penalty: 0.0,
+                ..Default::default()
+            },
+        );
+        (bundle, ks, oracle)
+    }
+
+    fn golden_from(bundle: &DomainBundle, n: usize) -> Vec<GoldenQuery> {
+        bundle
+            .tasks
+            .iter()
+            .take(n)
+            .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+            .collect()
+    }
+
+    #[test]
+    fn benign_edit_passes_and_merges() {
+        let (bundle, mut ks, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let golden = golden_from(&bundle, 5);
+        let mut staging = StagingArea::new();
+        staging.stage(Edit::InsertInstruction {
+            intent: None,
+            text: "Prefer explicit column lists over SELECT *".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Feedback { feedback_id: 1 },
+        });
+        let before_len = ks.instructions().len();
+        let result = submit_edits(
+            &pipeline,
+            &bundle.db,
+            &mut ks,
+            staging,
+            &golden,
+            |outcome| outcome.passed(),
+            "merge benign",
+        )
+        .unwrap();
+        assert!(matches!(result, SubmissionResult::Merged { .. }));
+        assert_eq!(ks.instructions().len(), before_len + 1);
+    }
+
+    #[test]
+    fn harmful_edit_is_blocked() {
+        let (bundle, mut ks, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let golden = golden_from(&bundle, 8);
+        // Deleting every instruction and every ownership-term example
+        // breaks the "our" term tasks.
+        let mut staging = StagingArea::new();
+        for ins in ks.instructions() {
+            staging.stage(Edit::DeleteInstruction { id: ins.id });
+        }
+        for ex in ks.examples() {
+            if ex.retrieval_text().to_uppercase().contains("COC") {
+                staging.stage(Edit::DeleteExample { id: ex.id });
+            }
+        }
+        let before = ks.clone();
+        let result = submit_edits(
+            &pipeline,
+            &bundle.db,
+            &mut ks,
+            staging,
+            &golden,
+            |_| true,
+            "merge harmful",
+        )
+        .unwrap();
+        match result {
+            SubmissionResult::RegressionFailed(outcome) => {
+                assert!(!outcome.regressions.is_empty());
+                assert!(outcome.after_correct < outcome.before_correct);
+            }
+            other => panic!("expected regression failure, got {other:?}"),
+        }
+        assert!(ks.content_eq(&before), "deployed set must be untouched");
+    }
+
+    #[test]
+    fn approval_gate_respected() {
+        let (bundle, mut ks, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let golden = golden_from(&bundle, 3);
+        let mut staging = StagingArea::new();
+        staging.stage(Edit::InsertInstruction {
+            intent: None,
+            text: "harmless note".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Manual,
+        });
+        let before = ks.clone();
+        let result = submit_edits(
+            &pipeline,
+            &bundle.db,
+            &mut ks,
+            staging,
+            &golden,
+            |_| false, // reviewer declines
+            "declined",
+        )
+        .unwrap();
+        assert!(matches!(result, SubmissionResult::ApprovalDeclined(_)));
+        assert!(ks.content_eq(&before));
+    }
+
+    #[test]
+    fn merge_checkpoint_allows_revert() {
+        let (bundle, mut ks, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let mut staging = StagingArea::new();
+        staging.stage(Edit::InsertInstruction {
+            intent: None,
+            text: "note".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Manual,
+        });
+        let before = ks.clone();
+        let result =
+            submit_edits(&pipeline, &bundle.db, &mut ks, staging, &[], |_| true, "m").unwrap();
+        let SubmissionResult::Merged { checkpoint, .. } = result else {
+            panic!("expected merge");
+        };
+        ks.revert_to(checkpoint).unwrap();
+        assert!(ks.content_eq(&before));
+    }
+}

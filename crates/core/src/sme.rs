@@ -1,0 +1,154 @@
+//! Scripted subject-matter-expert simulator.
+//!
+//! §4's evaluation exercises the feedback loop with human SMEs; this
+//! simulator stands in for them (see DESIGN.md's substitution table). It
+//! inspects a wrong prediction against the task's knowledge requirements
+//! and emits the class of natural-language feedback the paper's Fig. 3
+//! shows ("This response queries all sports organizations but I only care
+//! about our organizations").
+
+use genedit_llm::{Corruption, TaskKnowledge};
+
+/// Produce feedback for a wrong prediction, or `None` when the simulator
+/// cannot articulate what is wrong (matching real users who just say
+/// "this looks off" — callers treat that as unresolvable feedback).
+pub fn feedback_for(task: &TaskKnowledge, predicted_sql: Option<&str>) -> Option<String> {
+    let predicted = predicted_sql?;
+    let upper = predicted.to_uppercase();
+
+    // Check the task's term requirements in order: the SME notices the
+    // symptom of the first violated one.
+    for req in &task.required_terms {
+        match &req.corruption {
+            Corruption::DropWhereConjunct { marker } => {
+                if !upper.contains(&marker.to_uppercase())
+                    && task.gold_sql.to_uppercase().contains(&marker.to_uppercase())
+                {
+                    return Some(format!(
+                        "This response queries all rows but I only care about our own ones — \
+                         {} must be filtered (the {} convention)",
+                        marker, req.term
+                    ));
+                }
+            }
+            Corruption::SwapAggregate { from, to } => {
+                if upper.contains(&format!("{}(", to.to_uppercase()))
+                    && task.gold_sql.to_uppercase().contains(&format!("{}(", from.to_uppercase()))
+                {
+                    return Some(format!(
+                        "The {} calculation is wrong: it must aggregate with {} (see the {} \
+                         definition), not {}",
+                        req.term, from, req.term, to
+                    ));
+                }
+            }
+            Corruption::StripNegOneMultiplier => {
+                let gold_has = task.gold_sql.contains("-1 *");
+                if gold_has && !predicted.contains("-1 *") {
+                    return Some(format!(
+                        "The ranking direction is wrong: {} requires applying a -1 multiplier \
+                         when calculating the change in performance metrics",
+                        req.term
+                    ));
+                }
+            }
+            Corruption::ReplaceStringLiteral { from, .. } => {
+                if !predicted.contains(from.as_str())
+                    && task.gold_sql.contains(from.as_str())
+                {
+                    return Some(format!(
+                        "The {} filter should use the value '{}' (see the {} definition)",
+                        req.term, from, req.term
+                    ));
+                }
+            }
+            Corruption::RenameColumn { from, to } | Corruption::RenameTable { from, to } => {
+                if upper.contains(&to.to_uppercase()) {
+                    return Some(format!(
+                        "The query uses {} but the {} data lives in {}",
+                        to, req.term, from
+                    ));
+                }
+            }
+            Corruption::FlipOrderDirections => {
+                return Some(format!(
+                    "Best and worst are swapped — check the {} ranking direction",
+                    req.term
+                ));
+            }
+        }
+    }
+
+    // No articulate diagnosis.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genedit_llm::{Difficulty, TermRequirement};
+
+    fn task() -> TaskKnowledge {
+        TaskKnowledge {
+            task_id: "t".into(),
+            question: "our best orgs".into(),
+            db_name: "db".into(),
+            gold_sql: "SELECT SUM(R) FROM F WHERE OWNERSHIP_FLAG = 'COC' \
+                       ORDER BY (-1 * (A - B)) DESC"
+                .into(),
+            intent: "fin".into(),
+            difficulty: Difficulty::Moderate,
+            required_terms: vec![
+                TermRequirement {
+                    term: "COC".into(),
+                    corruption: Corruption::DropWhereConjunct {
+                        marker: "OWNERSHIP_FLAG".into(),
+                    },
+                },
+                TermRequirement {
+                    term: "QoQFP".into(),
+                    corruption: Corruption::StripNegOneMultiplier,
+                },
+            ],
+            required_tables: vec![],
+            required_columns: vec![],
+            evidence: vec![],
+            distractor_table: None,
+            distractor_column: None,
+        }
+    }
+
+    #[test]
+    fn diagnoses_dropped_ownership_filter() {
+        let fb = feedback_for(&task(), Some("SELECT SUM(R) FROM F ORDER BY (-1 * (A - B)) DESC"))
+            .unwrap();
+        assert!(fb.contains("OWNERSHIP_FLAG"));
+        assert!(fb.contains("COC"));
+    }
+
+    #[test]
+    fn diagnoses_missing_neg_one() {
+        let fb = feedback_for(
+            &task(),
+            Some("SELECT SUM(R) FROM F WHERE OWNERSHIP_FLAG = 'COC' ORDER BY (A - B) DESC"),
+        )
+        .unwrap();
+        assert!(fb.contains("-1 multiplier"));
+        assert!(fb.contains("QoQFP"));
+    }
+
+    #[test]
+    fn correct_looking_query_gets_no_feedback() {
+        let t = task();
+        assert!(feedback_for(&t, Some(&t.gold_sql.clone())).is_none());
+        assert!(feedback_for(&t, None).is_none());
+    }
+
+    #[test]
+    fn first_violated_term_wins() {
+        // Both corruptions present: the ownership complaint comes first.
+        let fb = feedback_for(&task(), Some("SELECT SUM(R) FROM F ORDER BY (A - B) DESC"))
+            .unwrap();
+        assert!(fb.contains("OWNERSHIP_FLAG"));
+    }
+}

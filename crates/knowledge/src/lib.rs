@@ -1,0 +1,44 @@
+//! # genedit-knowledge — the company-specific knowledge set
+//!
+//! Implements the paper's knowledge view (§2.1, §3.2): decomposed SQL
+//! examples, natural-language instructions, value-augmented schema
+//! elements, user intents, provenance, and the audit/checkpoint machinery
+//! behind the knowledge-set library (§4.2.2), plus the staging area used
+//! while SMEs iterate on feedback (§4.2.1).
+//!
+//! ```
+//! use genedit_knowledge::{decompose_sql, FragmentKind};
+//!
+//! let frags = decompose_sql(
+//!     "WITH F AS (SELECT ORG, SUM(REV) AS R FROM FIN GROUP BY ORG) \
+//!      SELECT ORG FROM F WHERE R > 10",
+//! ).unwrap();
+//! assert!(frags.iter().any(|f| f.kind == FragmentKind::CteDefinition));
+//! assert!(frags.iter().any(|f| f.pseudo_sql() == "... WHERE R > 10 ..."));
+//! ```
+
+pub mod decompose;
+pub mod mine;
+pub mod persist;
+pub mod preprocess;
+pub mod refresh;
+pub mod set;
+pub mod staging;
+pub mod types;
+
+pub use decompose::{decompose, decompose_sql, split_conjuncts, to_cte_normal_form};
+pub use preprocess::{
+    build_knowledge_set, describe_fragment, DomainDocument, Guideline, PreprocessConfig,
+    QueryLogEntry, TermDefinition,
+};
+pub use set::{
+    CheckpointInfo, Edit, EditOutcome, KnowledgeError, KnowledgeSet, KnowledgeStats, LoggedEdit,
+};
+pub use mine::{mine_intents, IntentProposal};
+pub use persist::{from_json, load, save, to_json, PersistError};
+pub use refresh::{refresh_document, RefreshReport};
+pub use staging::{StagedEdit, StagingArea};
+pub use types::{
+    Example, ExampleId, FragmentKind, Instruction, InstructionId, Intent, Provenance,
+    RetrievalStage, SchemaElement, SourceRef, SqlFragment,
+};

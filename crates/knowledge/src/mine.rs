@@ -1,0 +1,178 @@
+//! Intent mining (§2.1).
+//!
+//! "A user intent describes a particular need or request … These intents
+//! are mined and verified by SMEs." [`mine_intents`] proposes intents by
+//! greedily clustering the historical log questions on content-token
+//! overlap; an SME then verifies/renames them (the
+//! [`IntentProposal::accept`] step) before pre-processing uses them.
+
+use crate::preprocess::QueryLogEntry;
+use crate::types::Intent;
+use genedit_retrieval::tokenize;
+use std::collections::BTreeSet;
+
+/// A mined intent candidate awaiting SME verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntentProposal {
+    /// Machine-proposed key (from the cluster's characteristic tokens).
+    pub proposed_key: String,
+    /// The shared content tokens that define the cluster.
+    pub signature: Vec<String>,
+    /// Log ids of the member queries.
+    pub members: Vec<u64>,
+}
+
+impl IntentProposal {
+    /// SME verification: accept the proposal, optionally renaming it.
+    pub fn accept(&self, name: impl Into<String>, description: impl Into<String>) -> Intent {
+        Intent::new(self.proposed_key.clone(), name, description)
+    }
+}
+
+/// Words too generic to characterize an intent.
+const GENERIC: &[&str] = &[
+    "the", "a", "an", "of", "in", "for", "per", "by", "with", "and", "or", "to", "our", "all",
+    "show", "me", "what", "which", "how", "many", "is", "are", "from", "on", "at", "any",
+    "total", "top", "best", "worst", "each", "without",
+];
+
+fn signature_tokens(text: &str) -> BTreeSet<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.len() > 2 && !GENERIC.contains(&t.as_str()) && !t.chars().all(|c| c.is_ascii_digit()))
+        .collect()
+}
+
+/// Greedy single-pass clustering of log questions by Jaccard similarity of
+/// their content tokens. `min_similarity` in (0, 1]; clusters with fewer
+/// than `min_members` queries are dropped (too thin to be an intent).
+pub fn mine_intents(
+    logs: &[QueryLogEntry],
+    min_similarity: f64,
+    min_members: usize,
+) -> Vec<IntentProposal> {
+    let mut clusters: Vec<(BTreeSet<String>, Vec<u64>)> = Vec::new();
+    for log in logs {
+        let tokens = signature_tokens(&log.question);
+        if tokens.is_empty() {
+            continue;
+        }
+        let best = clusters
+            .iter_mut()
+            .map(|c| {
+                let inter = c.0.intersection(&tokens).count() as f64;
+                let union = c.0.union(&tokens).count() as f64;
+                (inter / union, c)
+            })
+            .filter(|(sim, _)| *sim >= min_similarity)
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            Some((_, cluster)) => {
+                // The cluster signature tightens to the intersection, so it
+                // keeps only what its members share.
+                cluster.0 = cluster.0.intersection(&tokens).cloned().collect();
+                cluster.1.push(log.log_id);
+            }
+            None => clusters.push((tokens, vec![log.log_id])),
+        }
+    }
+
+    clusters
+        .into_iter()
+        .filter(|(sig, members)| members.len() >= min_members && !sig.is_empty())
+        .map(|(sig, members)| {
+            let signature: Vec<String> = sig.into_iter().collect();
+            let proposed_key = signature
+                .iter()
+                .take(3)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("_");
+            IntentProposal { proposed_key, signature, members }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(id: u64, q: &str) -> QueryLogEntry {
+        QueryLogEntry { log_id: id, question: q.into(), sql: "SELECT 1".into(), intent: None }
+    }
+
+    #[test]
+    fn clusters_similar_questions() {
+        let logs = vec![
+            log(1, "quarterly revenue per organization in Canada"),
+            log(2, "quarterly revenue per organization in USA"),
+            log(3, "quarterly revenue per organization in Mexico"),
+            log(4, "viewership numbers by region"),
+            log(5, "viewership numbers by country"),
+            log(6, "staff roster for managers"),
+        ];
+        let proposals = mine_intents(&logs, 0.5, 2);
+        assert_eq!(proposals.len(), 2, "{proposals:?}");
+        let revenue = proposals
+            .iter()
+            .find(|p| p.signature.contains(&"revenue".to_string()))
+            .unwrap();
+        assert_eq!(revenue.members, vec![1, 2, 3]);
+        let viewership = proposals
+            .iter()
+            .find(|p| p.signature.contains(&"viewership".to_string()))
+            .unwrap();
+        assert_eq!(viewership.members, vec![4, 5]);
+        // The roster singleton is below min_members.
+        assert!(!proposals.iter().any(|p| p.members.contains(&6)));
+    }
+
+    #[test]
+    fn generic_words_do_not_cluster() {
+        let logs = vec![
+            log(1, "show me the total revenue"),
+            log(2, "show me the total deliveries"),
+        ];
+        // "show/me/the/total" are generic; the content tokens differ, so no
+        // shared cluster forms at high similarity.
+        let proposals = mine_intents(&logs, 0.5, 2);
+        assert!(proposals.is_empty(), "{proposals:?}");
+    }
+
+    #[test]
+    fn acceptance_produces_intent() {
+        let logs = vec![
+            log(1, "billing per clinic in WA"),
+            log(2, "billing per clinic in OR"),
+        ];
+        let proposals = mine_intents(&logs, 0.5, 2);
+        assert_eq!(proposals.len(), 1);
+        let intent = proposals[0].accept("Billing", "Clinic billing questions");
+        assert_eq!(intent.key, proposals[0].proposed_key);
+        assert_eq!(intent.name, "Billing");
+    }
+
+    #[test]
+    fn empty_and_trivial_inputs() {
+        assert!(mine_intents(&[], 0.5, 2).is_empty());
+        let logs = vec![log(1, "??"), log(2, "the of in")];
+        assert!(mine_intents(&logs, 0.5, 1).is_empty());
+    }
+
+    #[test]
+    fn mining_on_generated_domain_logs() {
+        // The sports domain's historical logs share the performance
+        // vocabulary; mining should find at least one multi-member intent.
+        let spec_logs = vec![
+            log(1, "our sports organisations with the best and worst QoQFP in Canada for 2022Q3"),
+            log(2, "total revenue per sports organisations in 2022"),
+            log(3, "sports organisations located in Canada"),
+            log(4, "our sports organisations without any viewership data"),
+            log(5, "RPV per sports organisations for 2022Q4"),
+            log(6, "quarterly revenue comparison per sports organisations in Canada"),
+        ];
+        let proposals = mine_intents(&spec_logs, 0.25, 2);
+        assert!(!proposals.is_empty());
+        assert!(proposals.iter().any(|p| p.members.len() >= 2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Knowledge-set persistence.
+//!
+//! The paper's knowledge set is a *materialized view* maintained across
+//! deployments; this module serializes the whole set — content, audit log,
+//! and checkpoints — to JSON so a deployment can be snapshotted, shipped,
+//! and restored bit-for-bit.
+
+use crate::set::KnowledgeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(io::Error),
+    Encode(serde_json::Error),
+    Decode(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Encode(e) => write!(f, "encode error: {e}"),
+            PersistError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serialize the set (content + log + checkpoints) to pretty JSON.
+pub fn to_json(ks: &KnowledgeSet) -> Result<String, PersistError> {
+    serde_json::to_string_pretty(ks).map_err(PersistError::Encode)
+}
+
+/// Restore a set from JSON produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<KnowledgeSet, PersistError> {
+    serde_json::from_str(json).map_err(PersistError::Decode)
+}
+
+/// Write the set to a file (atomically: write to a sibling temp file,
+/// then rename, so a crash never leaves a torn snapshot).
+pub fn save(ks: &KnowledgeSet, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let json = to_json(ks)?;
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a set from a file written by [`save`].
+pub fn load(path: impl AsRef<Path>) -> Result<KnowledgeSet, PersistError> {
+    let json = fs::read_to_string(path)?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::Edit;
+    use crate::types::{FragmentKind, Intent, SourceRef, SqlFragment};
+
+    fn sample() -> KnowledgeSet {
+        let mut ks = KnowledgeSet::new();
+        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "money"))).unwrap();
+        ks.apply(Edit::InsertExample {
+            intent: Some("fin".into()),
+            description: "revenue per viewer".into(),
+            fragment: SqlFragment::new(
+                FragmentKind::TermDefinition,
+                "CAST(R AS FLOAT) / NULLIF(V, 0)",
+                "main",
+            ),
+            term: Some("RPV".into()),
+            source: SourceRef::Document { doc_id: 1, section: "terms".into() },
+        })
+        .unwrap();
+        ks.checkpoint("first");
+        ks.apply(Edit::InsertInstruction {
+            intent: None,
+            text: "use conditional aggregation across periods".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Manual,
+        })
+        .unwrap();
+        ks
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let ks = sample();
+        let restored = from_json(&to_json(&ks).unwrap()).unwrap();
+        assert!(ks.content_eq(&restored));
+        assert_eq!(ks.log().len(), restored.log().len());
+        assert_eq!(ks.checkpoints().len(), restored.checkpoints().len());
+        // The restored set stays fully functional: revert still works.
+        let mut restored = restored;
+        restored.revert_to(0).unwrap();
+        assert_eq!(restored.instructions().len(), 0);
+        assert_eq!(restored.examples().len(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("genedit-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ks.json");
+        let ks = sample();
+        save(&ks, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert!(ks.content_eq(&restored));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_errors_are_reported() {
+        assert!(matches!(from_json("not json"), Err(PersistError::Decode(_))));
+        assert!(matches!(load("/nonexistent/genedit.json"), Err(PersistError::Io(_))));
+    }
+}

@@ -1,0 +1,364 @@
+//! Pre-processing: building the knowledge set (§2.1).
+//!
+//! Inputs are (i) SQL queries from logs of prior executions and (ii)
+//! documents with domain-specific terminology and practices; the output is
+//! the materialized knowledge view of decomposed examples, instructions,
+//! and value-augmented schema elements, grouped by user intents.
+
+use crate::decompose::decompose_sql;
+use crate::set::{Edit, KnowledgeSet};
+use crate::types::{FragmentKind, Intent, SchemaElement, SourceRef, SqlFragment};
+use genedit_sql::catalog::Database;
+use genedit_sql::error::EngineResult;
+
+/// One historical query from the execution logs.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    pub log_id: u64,
+    /// The natural-language question the query answered, when known.
+    pub question: String,
+    pub sql: String,
+    /// Intent the query was mined under, when known.
+    pub intent: Option<String>,
+}
+
+/// A domain term definition extracted from documents (e.g. QoQFP, RPV).
+#[derive(Debug, Clone)]
+pub struct TermDefinition {
+    pub term: String,
+    /// Natural-language meaning.
+    pub meaning: String,
+    /// The SQL sub-expression computing the term, when it has one.
+    pub sql: Option<String>,
+    pub intent: Option<String>,
+}
+
+/// A free-form guideline from documents ("Apply a -1 multiplier when …").
+#[derive(Debug, Clone)]
+pub struct Guideline {
+    pub text: String,
+    pub sql_hint: Option<String>,
+    pub intent: Option<String>,
+    pub section: String,
+}
+
+/// A document of domain-specific terminology and practices.
+#[derive(Debug, Clone)]
+pub struct DomainDocument {
+    pub doc_id: u64,
+    pub title: String,
+    pub terms: Vec<TermDefinition>,
+    pub guidelines: Vec<Guideline>,
+}
+
+/// Configuration of the pre-processing run.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessConfig {
+    /// Intents mined and verified by SMEs.
+    pub intents: Vec<Intent>,
+    /// `(intent_key, table_name)` associations for schema grouping.
+    pub intent_tables: Vec<(String, String)>,
+    /// How many frequent values to attach per column (the paper uses 5).
+    pub top_k_values: usize,
+    /// When false, logged queries are stored as traditional full-query
+    /// examples instead of being decomposed — the "w/o Decomposition"
+    /// ablation of Table 2.
+    pub decompose_examples: bool,
+}
+
+impl PreprocessConfig {
+    pub fn new(intents: Vec<Intent>) -> PreprocessConfig {
+        PreprocessConfig {
+            intents,
+            intent_tables: Vec::new(),
+            top_k_values: 5,
+            decompose_examples: true,
+        }
+    }
+}
+
+/// Build a knowledge set from logs, documents, and the database schema.
+///
+/// Everything goes through [`KnowledgeSet::apply`], so the resulting set
+/// carries full provenance and a replayable log.
+pub fn build_knowledge_set(
+    config: &PreprocessConfig,
+    logs: &[QueryLogEntry],
+    docs: &[DomainDocument],
+    db: &Database,
+) -> EngineResult<KnowledgeSet> {
+    let mut ks = KnowledgeSet::new();
+
+    for intent in &config.intents {
+        ks.apply(Edit::AddIntent(intent.clone())).expect("intents are unique");
+    }
+
+    // Examples: decompose every logged query into clause fragments, or —
+    // for the w/o-Decomposition ablation — keep whole queries.
+    for entry in logs {
+        if config.decompose_examples {
+            let fragments = decompose_sql(&entry.sql)?;
+            for fragment in fragments {
+                let description = describe_fragment(&fragment, &entry.question);
+                ks.apply(Edit::InsertExample {
+                    intent: entry.intent.clone(),
+                    description,
+                    fragment,
+                    term: None,
+                    source: SourceRef::QueryLog { log_id: entry.log_id },
+                })
+                .expect("insert never fails");
+            }
+        } else {
+            // Validate even when not decomposing: malformed logs should
+            // fail loudly either way.
+            genedit_sql::parser::parse_statement(&entry.sql)?;
+            ks.apply(Edit::InsertExample {
+                intent: entry.intent.clone(),
+                description: entry.question.clone(),
+                fragment: SqlFragment::new(FragmentKind::FullQuery, entry.sql.clone(), "main"),
+                term: None,
+                source: SourceRef::QueryLog { log_id: entry.log_id },
+            })
+            .expect("insert never fails");
+        }
+    }
+
+    // Instructions and term-definition examples from documents.
+    for doc in docs {
+        for term in &doc.terms {
+            ks.apply(Edit::InsertInstruction {
+                intent: term.intent.clone(),
+                text: format!("{} means: {}", term.term, term.meaning),
+                sql_hint: term.sql.clone(),
+                term: Some(term.term.clone()),
+                source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+            })
+            .expect("insert never fails");
+            if let Some(sql) = &term.sql {
+                ks.apply(Edit::InsertExample {
+                    intent: term.intent.clone(),
+                    description: format!("{} ({})", term.term, term.meaning),
+                    fragment: SqlFragment::new(FragmentKind::TermDefinition, sql.clone(), "main"),
+                    term: Some(term.term.clone()),
+                    source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+                })
+                .expect("insert never fails");
+            }
+        }
+        for g in &doc.guidelines {
+            ks.apply(Edit::InsertInstruction {
+                intent: g.intent.clone(),
+                text: g.text.clone(),
+                sql_hint: g.sql_hint.clone(),
+                term: None,
+                source: SourceRef::Document { doc_id: doc.doc_id, section: g.section.clone() },
+            })
+            .expect("insert never fails");
+        }
+    }
+
+    // Schema elements with top-k frequent values (§2.1).
+    let k = if config.top_k_values == 0 { 5 } else { config.top_k_values };
+    for table in db.tables() {
+        let table_intents: Vec<String> = config
+            .intent_tables
+            .iter()
+            .filter(|(_, t)| t.eq_ignore_ascii_case(&table.name))
+            .map(|(i, _)| i.clone())
+            .collect();
+        ks.apply(Edit::AddSchemaElement(SchemaElement {
+            table: table.name.clone(),
+            column: None,
+            description: table.description.clone().unwrap_or_default(),
+            top_values: Vec::new(),
+            intents: table_intents.clone(),
+        }))
+        .expect("insert never fails");
+        for col in &table.columns {
+            let profile = table.top_values(&col.name, k)?;
+            ks.apply(Edit::AddSchemaElement(SchemaElement {
+                table: table.name.clone(),
+                column: Some(col.name.clone()),
+                description: col.description.clone().unwrap_or_default(),
+                top_values: profile.top_values.into_iter().map(|(v, _)| v).collect(),
+                intents: table_intents.clone(),
+            }))
+            .expect("insert never fails");
+        }
+    }
+
+    Ok(ks)
+}
+
+/// Derive a natural-language description for a decomposed fragment.
+/// Deterministic and template-based; in production this is an LLM call,
+/// but the retrieval substrate only needs the description to carry the
+/// fragment's salient terms.
+pub fn describe_fragment(fragment: &SqlFragment, question: &str) -> String {
+    let clause = match fragment.kind {
+        FragmentKind::CteDefinition => "Define intermediate result",
+        FragmentKind::Projection => "Select columns",
+        FragmentKind::From => "Read from",
+        FragmentKind::Where => "Filter rows where",
+        FragmentKind::GroupBy => "Group results by",
+        FragmentKind::Having => "Keep groups where",
+        FragmentKind::OrderBy => "Order results by",
+        FragmentKind::Limit => "Limit result size",
+        FragmentKind::Window => "Rank or number rows with",
+        FragmentKind::TermDefinition => "Compute term as",
+        FragmentKind::FullQuery => "Answer with the full query",
+    };
+    let body = strip_keyword(&fragment.sql);
+    if question.is_empty() {
+        format!("{clause} {body} (in {})", fragment.scope)
+    } else {
+        format!("{clause} {body} (for: {question})")
+    }
+}
+
+fn strip_keyword(sql: &str) -> &str {
+    let upper = sql.to_ascii_uppercase();
+    for kw in ["SELECT DISTINCT", "SELECT", "FROM", "WHERE", "GROUP BY", "HAVING", "ORDER BY"] {
+        if upper.starts_with(kw) {
+            return sql[kw.len()..].trim_start();
+        }
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genedit_sql::catalog::{Column, Table};
+    use genedit_sql::value::{DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        let mut t = Table::new(
+            "SPORTS_FINANCIALS",
+            vec![
+                Column::new("ORG_NAME", DataType::Text),
+                Column::new("COUNTRY", DataType::Text),
+                Column::new("REVENUE", DataType::Integer),
+            ],
+        );
+        for (o, c, r) in [("a", "Canada", 1), ("b", "Canada", 2), ("c", "USA", 3)] {
+            t.push_row(vec![o.into(), c.into(), Value::Integer(r)]).unwrap();
+        }
+        db.add_table(t).unwrap();
+        db
+    }
+
+    fn config() -> PreprocessConfig {
+        let mut c = PreprocessConfig::new(vec![Intent::new(
+            "financial_performance",
+            "Financial performance",
+            "Revenue and profitability questions",
+        )]);
+        c.intent_tables =
+            vec![("financial_performance".into(), "SPORTS_FINANCIALS".into())];
+        c
+    }
+
+    fn logs() -> Vec<QueryLogEntry> {
+        vec![QueryLogEntry {
+            log_id: 1,
+            question: "total revenue by organization in Canada".into(),
+            sql: "SELECT ORG_NAME, SUM(REVENUE) AS R FROM SPORTS_FINANCIALS \
+                  WHERE COUNTRY = 'Canada' GROUP BY ORG_NAME"
+                .into(),
+            intent: Some("financial_performance".into()),
+        }]
+    }
+
+    fn docs() -> Vec<DomainDocument> {
+        vec![DomainDocument {
+            doc_id: 7,
+            title: "Financial definitions".into(),
+            terms: vec![TermDefinition {
+                term: "RPV".into(),
+                meaning: "revenue per viewer".into(),
+                sql: Some("CAST(REVENUE AS FLOAT) / NULLIF(VIEWS, 0)".into()),
+                intent: Some("financial_performance".into()),
+            }],
+            guidelines: vec![Guideline {
+                text: "Apply a -1 multiplier when calculating the change in performance metrics"
+                    .into(),
+                sql_hint: Some("-1 * (m2 - m1)".into()),
+                intent: Some("financial_performance".into()),
+                section: "metrics".into(),
+            }],
+        }]
+    }
+
+    #[test]
+    fn builds_all_components() {
+        let ks = build_knowledge_set(&config(), &logs(), &docs(), &db()).unwrap();
+        let stats = ks.stats();
+        assert_eq!(stats.intents, 1);
+        // 4 fragments from the log query + 1 term-definition example.
+        assert_eq!(stats.examples, 5);
+        // 1 term instruction + 1 guideline.
+        assert_eq!(stats.instructions, 2);
+        // 1 table + 3 columns.
+        assert_eq!(stats.schema_elements, 4);
+    }
+
+    #[test]
+    fn schema_elements_have_top_values_and_intents() {
+        let ks = build_knowledge_set(&config(), &logs(), &docs(), &db()).unwrap();
+        let country = ks
+            .schema_elements()
+            .iter()
+            .find(|s| s.key() == "SPORTS_FINANCIALS.COUNTRY")
+            .unwrap();
+        assert_eq!(country.top_values[0], "Canada");
+        assert_eq!(country.intents, vec!["financial_performance"]);
+    }
+
+    #[test]
+    fn provenance_points_to_sources() {
+        let ks = build_knowledge_set(&config(), &logs(), &docs(), &db()).unwrap();
+        assert!(ks
+            .examples()
+            .iter()
+            .any(|e| e.provenance.source == SourceRef::QueryLog { log_id: 1 }));
+        assert!(ks.instructions().iter().all(|i| matches!(
+            i.provenance.source,
+            SourceRef::Document { doc_id: 7, .. }
+        )));
+    }
+
+    #[test]
+    fn term_definitions_become_examples_and_instructions() {
+        let ks = build_knowledge_set(&config(), &logs(), &docs(), &db()).unwrap();
+        let rpv_example = ks.examples().iter().find(|e| e.term.as_deref() == Some("RPV"));
+        assert!(rpv_example.is_some());
+        assert_eq!(rpv_example.unwrap().fragment.kind, FragmentKind::TermDefinition);
+        assert!(ks
+            .instructions()
+            .iter()
+            .any(|i| i.term.as_deref() == Some("RPV") && i.text.contains("revenue per viewer")));
+    }
+
+    #[test]
+    fn fragment_descriptions_carry_question_context() {
+        let frag = SqlFragment::new(FragmentKind::Where, "WHERE COUNTRY = 'Canada'", "main");
+        let d = describe_fragment(&frag, "revenue in Canada");
+        assert!(d.contains("Filter rows where"));
+        assert!(d.contains("COUNTRY = 'Canada'"));
+        assert!(d.contains("revenue in Canada"));
+    }
+
+    #[test]
+    fn invalid_log_sql_surfaces_error() {
+        let bad_logs = vec![QueryLogEntry {
+            log_id: 2,
+            question: "broken".into(),
+            sql: "SELEC oops".into(),
+            intent: None,
+        }];
+        assert!(build_knowledge_set(&config(), &bad_logs, &[], &db()).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Provenance-driven maintenance (§2.1).
+//!
+//! "An important aspect of maintenance is keeping track of provenance in
+//! the view to update it as documents change." [`refresh_document`]
+//! replaces every knowledge element whose provenance points at a changed
+//! document with elements regenerated from the new version — through the
+//! normal edit path, so the change is logged, auditable, and revertible
+//! like any other.
+
+use crate::preprocess::DomainDocument;
+use crate::set::{Edit, KnowledgeError, KnowledgeSet};
+use crate::types::{FragmentKind, SourceRef, SqlFragment};
+
+/// Summary of one document refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshReport {
+    pub removed_examples: usize,
+    pub removed_instructions: usize,
+    pub inserted_examples: usize,
+    pub inserted_instructions: usize,
+}
+
+/// Replace all knowledge derived from `doc.doc_id` with the content of the
+/// supplied (new) document version. A checkpoint labeled with the document
+/// id is recorded before the refresh so it can be reverted as a unit.
+pub fn refresh_document(
+    ks: &mut KnowledgeSet,
+    doc: &DomainDocument,
+) -> Result<(u64, RefreshReport), KnowledgeError> {
+    let checkpoint = ks.checkpoint(format!("refresh doc {}", doc.doc_id));
+    let mut report = RefreshReport {
+        removed_examples: 0,
+        removed_instructions: 0,
+        inserted_examples: 0,
+        inserted_instructions: 0,
+    };
+
+    // Remove everything previously derived from this document.
+    let stale_instructions: Vec<_> = ks
+        .instructions()
+        .iter()
+        .filter(|i| matches!(i.provenance.source, SourceRef::Document { doc_id, .. } if doc_id == doc.doc_id))
+        .map(|i| i.id)
+        .collect();
+    for id in stale_instructions {
+        ks.apply(Edit::DeleteInstruction { id })?;
+        report.removed_instructions += 1;
+    }
+    let stale_examples: Vec<_> = ks
+        .examples()
+        .iter()
+        .filter(|e| matches!(e.provenance.source, SourceRef::Document { doc_id, .. } if doc_id == doc.doc_id))
+        .map(|e| e.id)
+        .collect();
+    for id in stale_examples {
+        ks.apply(Edit::DeleteExample { id })?;
+        report.removed_examples += 1;
+    }
+
+    // Re-ingest the new version (mirrors the pre-processing rules).
+    for term in &doc.terms {
+        ks.apply(Edit::InsertInstruction {
+            intent: term.intent.clone(),
+            text: format!("{} means: {}", term.term, term.meaning),
+            sql_hint: term.sql.clone(),
+            term: Some(term.term.clone()),
+            source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+        })?;
+        report.inserted_instructions += 1;
+        if let Some(sql) = &term.sql {
+            ks.apply(Edit::InsertExample {
+                intent: term.intent.clone(),
+                description: format!("{} ({})", term.term, term.meaning),
+                fragment: SqlFragment::new(FragmentKind::TermDefinition, sql.clone(), "main"),
+                term: Some(term.term.clone()),
+                source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+            })?;
+            report.inserted_examples += 1;
+        }
+    }
+    for g in &doc.guidelines {
+        ks.apply(Edit::InsertInstruction {
+            intent: g.intent.clone(),
+            text: g.text.clone(),
+            sql_hint: g.sql_hint.clone(),
+            term: None,
+            source: SourceRef::Document { doc_id: doc.doc_id, section: g.section.clone() },
+        })?;
+        report.inserted_instructions += 1;
+    }
+    Ok((checkpoint, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{Guideline, TermDefinition};
+
+    fn doc_v1() -> DomainDocument {
+        DomainDocument {
+            doc_id: 9,
+            title: "defs v1".into(),
+            terms: vec![TermDefinition {
+                term: "RPV".into(),
+                meaning: "revenue per viewer".into(),
+                sql: Some("R / NULLIF(V, 0)".into()),
+                intent: None,
+            }],
+            guidelines: vec![Guideline {
+                text: "old guidance".into(),
+                sql_hint: None,
+                intent: None,
+                section: "s".into(),
+            }],
+        }
+    }
+
+    fn doc_v2() -> DomainDocument {
+        DomainDocument {
+            doc_id: 9,
+            title: "defs v2".into(),
+            terms: vec![TermDefinition {
+                term: "RPV".into(),
+                // The definition changed: now net revenue.
+                meaning: "net revenue per unique viewer".into(),
+                sql: Some("(R - REFUNDS) / NULLIF(UV, 0)".into()),
+                intent: None,
+            }],
+            guidelines: vec![],
+        }
+    }
+
+    fn seeded() -> KnowledgeSet {
+        let mut ks = KnowledgeSet::new();
+        // Unrelated manual knowledge that must survive refreshes.
+        ks.apply(Edit::InsertInstruction {
+            intent: None,
+            text: "manual note".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Manual,
+        })
+        .unwrap();
+        let (_, r) = refresh_document(&mut ks, &doc_v1()).unwrap();
+        assert_eq!(r.inserted_instructions, 2);
+        assert_eq!(r.inserted_examples, 1);
+        ks
+    }
+
+    #[test]
+    fn refresh_replaces_only_that_documents_knowledge() {
+        let mut ks = seeded();
+        let before_manual = ks
+            .instructions()
+            .iter()
+            .filter(|i| i.provenance.source == SourceRef::Manual)
+            .count();
+        let (_, report) = refresh_document(&mut ks, &doc_v2()).unwrap();
+        assert_eq!(report.removed_instructions, 2);
+        assert_eq!(report.removed_examples, 1);
+        assert_eq!(report.inserted_instructions, 1); // v2 dropped the guideline
+        assert_eq!(report.inserted_examples, 1);
+        // The new definition is in, the old one gone.
+        assert!(ks.instructions().iter().any(|i| i.text.contains("net revenue")));
+        assert!(!ks.instructions().iter().any(|i| i.text.contains("old guidance")));
+        assert!(ks.examples().iter().any(|e| e.fragment.sql.contains("REFUNDS")));
+        // Manual knowledge untouched.
+        let after_manual = ks
+            .instructions()
+            .iter()
+            .filter(|i| i.provenance.source == SourceRef::Manual)
+            .count();
+        assert_eq!(before_manual, after_manual);
+    }
+
+    #[test]
+    fn refresh_is_revertible_as_a_unit() {
+        let mut ks = seeded();
+        let snapshot = ks.clone();
+        let (checkpoint, _) = refresh_document(&mut ks, &doc_v2()).unwrap();
+        assert!(!ks.content_eq(&snapshot));
+        ks.revert_to(checkpoint).unwrap();
+        assert!(ks.content_eq(&snapshot));
+    }
+
+    #[test]
+    fn refresh_of_unknown_doc_only_inserts() {
+        let mut ks = KnowledgeSet::new();
+        let (_, report) = refresh_document(&mut ks, &doc_v2()).unwrap();
+        assert_eq!(report.removed_examples + report.removed_instructions, 0);
+        assert_eq!(report.inserted_instructions, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Staged edits (§4.2.1).
+//!
+//! "Staging … means accepting the edit and taking it to an environment
+//! that mimics the deployed system for testing." A [`StagingArea`] holds
+//! accepted-but-unmerged edits; [`StagingArea::materialize`] produces the
+//! knowledge set *as it would look* with the staged edits applied — used
+//! for regeneration during feedback iteration — without touching the
+//! deployed set. [`StagingArea::commit`] merges into the deployed set
+//! (after regression testing and approval, which the core crate drives).
+
+use crate::set::{Edit, KnowledgeError, KnowledgeSet};
+
+/// A staged edit with its stable handle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedEdit {
+    pub handle: u64,
+    pub edit: Edit,
+}
+
+/// Accumulates edits an SME has accepted from the recommendations panel.
+#[derive(Debug, Clone, Default)]
+pub struct StagingArea {
+    next_handle: u64,
+    staged: Vec<StagedEdit>,
+}
+
+impl StagingArea {
+    pub fn new() -> StagingArea {
+        StagingArea::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    pub fn staged(&self) -> &[StagedEdit] {
+        &self.staged
+    }
+
+    /// Stage an edit; returns a handle usable with [`StagingArea::unstage`].
+    pub fn stage(&mut self, edit: Edit) -> u64 {
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.staged.push(StagedEdit { handle, edit });
+        handle
+    }
+
+    /// Remove a staged edit. Returns it if present.
+    pub fn unstage(&mut self, handle: u64) -> Option<Edit> {
+        let pos = self.staged.iter().position(|s| s.handle == handle)?;
+        Some(self.staged.remove(pos).edit)
+    }
+
+    pub fn clear(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Build the knowledge set as it would look with staged edits applied.
+    /// `base` is untouched. An edit that no longer applies (e.g. its
+    /// target was deleted in the meantime) surfaces as an error so the SME
+    /// can unstage it.
+    pub fn materialize(&self, base: &KnowledgeSet) -> Result<KnowledgeSet, KnowledgeError> {
+        let mut staged = base.clone();
+        for s in &self.staged {
+            staged.apply(s.edit.clone())?;
+        }
+        Ok(staged)
+    }
+
+    /// Merge the staged edits into the deployed set, consuming the area.
+    /// A checkpoint labeled `label` is recorded *before* the merge so the
+    /// merge can be reverted as a unit.
+    pub fn commit(
+        self,
+        base: &mut KnowledgeSet,
+        label: &str,
+    ) -> Result<u64, KnowledgeError> {
+        let checkpoint = base.checkpoint(label);
+        for s in self.staged {
+            if let Err(e) = base.apply(s.edit) {
+                // Roll the whole merge back; partial merges would leave the
+                // deployed set inconsistent with what was regression-tested.
+                base.revert_to(checkpoint).expect("checkpoint just created");
+                return Err(e);
+            }
+        }
+        Ok(checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::EditOutcome;
+    use crate::types::{FragmentKind, SourceRef, SqlFragment};
+
+    fn insert_edit(desc: &str) -> Edit {
+        Edit::InsertExample {
+            intent: None,
+            description: desc.into(),
+            fragment: SqlFragment::new(FragmentKind::Where, "WHERE A = 1", "main"),
+            term: None,
+            source: SourceRef::Feedback { feedback_id: 1 },
+        }
+    }
+
+    #[test]
+    fn materialize_leaves_base_untouched() {
+        let base = KnowledgeSet::new();
+        let mut area = StagingArea::new();
+        area.stage(insert_edit("a"));
+        area.stage(insert_edit("b"));
+        let staged = area.materialize(&base).unwrap();
+        assert_eq!(staged.examples().len(), 2);
+        assert_eq!(base.examples().len(), 0);
+    }
+
+    #[test]
+    fn unstage_removes_one() {
+        let mut area = StagingArea::new();
+        let h1 = area.stage(insert_edit("a"));
+        let _h2 = area.stage(insert_edit("b"));
+        assert!(area.unstage(h1).is_some());
+        assert!(area.unstage(h1).is_none());
+        assert_eq!(area.len(), 1);
+    }
+
+    #[test]
+    fn commit_merges_and_checkpoints() {
+        let mut base = KnowledgeSet::new();
+        let mut area = StagingArea::new();
+        area.stage(insert_edit("a"));
+        let cp = area.commit(&mut base, "merge feedback 1").unwrap();
+        assert_eq!(base.examples().len(), 1);
+        // The checkpoint captures the pre-merge state.
+        base.revert_to(cp).unwrap();
+        assert_eq!(base.examples().len(), 0);
+    }
+
+    #[test]
+    fn commit_is_atomic_on_failure() {
+        let mut base = KnowledgeSet::new();
+        let id = match base.apply(insert_edit("victim")).unwrap() {
+            EditOutcome::InsertedExample(id) => id,
+            _ => unreachable!(),
+        };
+        let mut area = StagingArea::new();
+        area.stage(insert_edit("ok")); // would succeed
+        area.stage(Edit::DeleteExample { id });
+        area.stage(Edit::DeleteExample { id }); // second delete fails
+        let before = base.clone();
+        assert!(area.commit(&mut base, "doomed").is_err());
+        assert!(base.content_eq(&before));
+    }
+
+    #[test]
+    fn stale_staged_edit_errors_in_materialize() {
+        let mut base = KnowledgeSet::new();
+        let id = match base.apply(insert_edit("victim")).unwrap() {
+            EditOutcome::InsertedExample(id) => id,
+            _ => unreachable!(),
+        };
+        let mut area = StagingArea::new();
+        area.stage(Edit::DeleteExample { id });
+        base.apply(Edit::DeleteExample { id }).unwrap(); // deleted underneath
+        assert!(area.materialize(&base).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Core knowledge-set element types.
+//!
+//! The paper's knowledge set is "a *view* containing pairs of: i) natural
+//! language; and ii) SQL examples, natural language instructions (or hints)
+//! for generation, and database schemas", grouped by mined user intents
+//! (§1, §2.1), with provenance tracked for maintenance and audit (§4.2.2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an example within a knowledge set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExampleId(pub u64);
+
+/// Identifier of an instruction within a knowledge set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstructionId(pub u64);
+
+impl fmt::Display for ExampleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ex-{}", self.0)
+    }
+}
+
+impl fmt::Display for InstructionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ins-{}", self.0)
+    }
+}
+
+/// A mined user intent, e.g. "financial performance" or "TV viewership
+/// numbers" (§2.1). Examples, instructions, and schema elements are
+/// associated with intents by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Intent {
+    /// Stable snake-case key, e.g. `financial_performance`.
+    pub key: String,
+    /// Human-readable label.
+    pub name: String,
+    pub description: String,
+}
+
+impl Intent {
+    pub fn new(
+        key: impl Into<String>,
+        name: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Intent {
+        Intent { key: key.into(), name: name.into(), description: description.into() }
+    }
+}
+
+/// Where a knowledge element came from — the provenance the knowledge-set
+/// library exposes "for reversion, comparison, and systematic learning from
+/// prior feedback" (§4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceRef {
+    /// Decomposed from a logged historical SQL query.
+    QueryLog { log_id: u64 },
+    /// Extracted from a domain document.
+    Document { doc_id: u64, section: String },
+    /// Produced by the edits-recommendation module from user feedback.
+    Feedback { feedback_id: u64 },
+    /// Entered manually by an SME in the knowledge-set library.
+    Manual,
+}
+
+/// Provenance record attached to every example and instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    pub source: SourceRef,
+    /// Monotone logical timestamp assigned by the knowledge set.
+    pub tick: u64,
+}
+
+/// The grammatical role of a decomposed SQL fragment (§3.2.1: queries are
+/// rewritten to CTE form, then split into subqueries, then clause-level
+/// sub-statements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FragmentKind {
+    /// A whole CTE definition (`name AS (…)`).
+    CteDefinition,
+    /// The projection list of one SELECT block.
+    Projection,
+    /// The FROM clause including joins.
+    From,
+    /// One conjunct of a WHERE clause.
+    Where,
+    GroupBy,
+    Having,
+    OrderBy,
+    Limit,
+    /// A window-function expression.
+    Window,
+    /// A scalar expression defining a domain term (e.g. the RPV formula).
+    TermDefinition,
+    /// A complete, non-decomposed query — the traditional few-shot example
+    /// format that the "w/o Decomposition" ablation (Table 2) falls back
+    /// to.
+    FullQuery,
+}
+
+impl fmt::Display for FragmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FragmentKind::CteDefinition => "cte",
+            FragmentKind::Projection => "projection",
+            FragmentKind::From => "from",
+            FragmentKind::Where => "where",
+            FragmentKind::GroupBy => "group-by",
+            FragmentKind::Having => "having",
+            FragmentKind::OrderBy => "order-by",
+            FragmentKind::Limit => "limit",
+            FragmentKind::Window => "window",
+            FragmentKind::TermDefinition => "term",
+            FragmentKind::FullQuery => "full-query",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pseudo-SQL sub-statement: a fragment of a larger query, rendered with
+/// `...` affixes in prompts, exactly as the paper's plans show
+/// (`"... FROM SPORTS_FINANCIALS ..."`, §3.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqlFragment {
+    pub kind: FragmentKind,
+    /// The fragment text *without* the `...` affixes.
+    pub sql: String,
+    /// Name of the CTE/scope the fragment came from (`main` for the
+    /// outermost SELECT).
+    pub scope: String,
+}
+
+impl SqlFragment {
+    pub fn new(kind: FragmentKind, sql: impl Into<String>, scope: impl Into<String>) -> Self {
+        SqlFragment { kind, sql: sql.into(), scope: scope.into() }
+    }
+
+    /// Render as pseudo-SQL with the paper's dot affixes.
+    pub fn pseudo_sql(&self) -> String {
+        format!("... {} ...", self.sql.trim())
+    }
+}
+
+/// A decomposed example: a SQL sub-statement with an equivalent natural
+/// language description (§3.2.1), optionally defining a domain term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Example {
+    pub id: ExampleId,
+    /// Intent key this example is grouped under, when known.
+    pub intent: Option<String>,
+    /// Natural-language description of what the fragment does.
+    pub description: String,
+    pub fragment: SqlFragment,
+    /// Domain term this example defines (e.g. `RPV`), when applicable.
+    pub term: Option<String>,
+    pub provenance: Provenance,
+}
+
+impl Example {
+    /// The text used for embedding/retrieval: description + term + SQL.
+    pub fn retrieval_text(&self) -> String {
+        let mut t = self.description.clone();
+        if let Some(term) = &self.term {
+            t.push(' ');
+            t.push_str(term);
+        }
+        t.push(' ');
+        t.push_str(&self.fragment.sql);
+        t
+    }
+
+    /// Render for a generation prompt (Fig. 2 style).
+    pub fn render(&self) -> String {
+        let term = self.term.as_deref().map(|t| format!("[{t}] ")).unwrap_or_default();
+        format!("-- {term}{}\n{}", self.description, self.fragment.pseudo_sql())
+    }
+}
+
+/// A natural-language instruction for generation, optionally with an
+/// expected SQL sub-expression (§3.2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    pub id: InstructionId,
+    pub intent: Option<String>,
+    pub text: String,
+    pub sql_hint: Option<String>,
+    /// Domain term this instruction explains, when applicable.
+    pub term: Option<String>,
+    pub provenance: Provenance,
+}
+
+impl Instruction {
+    pub fn retrieval_text(&self) -> String {
+        let mut t = self.text.clone();
+        if let Some(term) = &self.term {
+            t.push(' ');
+            t.push_str(term);
+        }
+        if let Some(h) = &self.sql_hint {
+            t.push(' ');
+            t.push_str(h);
+        }
+        t
+    }
+
+    pub fn render(&self) -> String {
+        match &self.sql_hint {
+            Some(h) => format!("- {} (e.g. `{h}`)", self.text),
+            None => format!("- {}", self.text),
+        }
+    }
+}
+
+/// A schema element in the knowledge set: a table or a column, augmented
+/// with its top-5 most frequent values (§2.1) and grouped by intents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaElement {
+    pub table: String,
+    /// `None` for the table itself.
+    pub column: Option<String>,
+    pub description: String,
+    pub top_values: Vec<String>,
+    pub intents: Vec<String>,
+}
+
+impl SchemaElement {
+    pub fn key(&self) -> String {
+        match &self.column {
+            Some(c) => format!("{}.{}", self.table.to_uppercase(), c.to_uppercase()),
+            None => self.table.to_uppercase(),
+        }
+    }
+
+    pub fn retrieval_text(&self) -> String {
+        let mut t = format!("{} {}", self.key(), self.description);
+        if !self.top_values.is_empty() {
+            t.push(' ');
+            t.push_str(&self.top_values.join(" "));
+        }
+        t
+    }
+
+    pub fn render(&self) -> String {
+        let mut s = self.key();
+        if !self.description.is_empty() {
+            s.push_str(&format!(" -- {}", self.description));
+        }
+        if !self.top_values.is_empty() {
+            s.push_str(&format!(" [top: {}]", self.top_values.join(", ")));
+        }
+        s
+    }
+}
+
+/// Pipeline stages a retrieval hint can be attached to (§1: an edit "can
+/// alternatively add instructions to the retrieval and reranking
+/// operations within the pipeline").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RetrievalStage {
+    ExampleSelection,
+    InstructionSelection,
+    SchemaLinking,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prov() -> Provenance {
+        Provenance { source: SourceRef::Manual, tick: 0 }
+    }
+
+    #[test]
+    fn pseudo_sql_has_dot_affixes() {
+        let f = SqlFragment::new(FragmentKind::From, "FROM SPORTS_FINANCIALS", "FINANCIALS");
+        assert_eq!(f.pseudo_sql(), "... FROM SPORTS_FINANCIALS ...");
+    }
+
+    #[test]
+    fn example_render_includes_term() {
+        let e = Example {
+            id: ExampleId(1),
+            intent: Some("financial_performance".into()),
+            description: "revenue per viewer".into(),
+            fragment: SqlFragment::new(
+                FragmentKind::TermDefinition,
+                "CAST(REVENUE AS FLOAT) / NULLIF(VIEWS, 0)",
+                "main",
+            ),
+            term: Some("RPV".into()),
+            provenance: prov(),
+        };
+        let r = e.render();
+        assert!(r.contains("[RPV]"));
+        assert!(r.contains("NULLIF"));
+        assert!(e.retrieval_text().contains("RPV"));
+    }
+
+    #[test]
+    fn instruction_render_with_hint() {
+        let i = Instruction {
+            id: InstructionId(1),
+            intent: None,
+            text: "Apply a -1 multiplier when calculating the change in performance metrics"
+                .into(),
+            sql_hint: Some("-1 * (metric_q2 - metric_q1)".into()),
+            term: None,
+            provenance: prov(),
+        };
+        let r = i.render();
+        assert!(r.starts_with("- Apply"));
+        assert!(r.contains("-1 * "));
+    }
+
+    #[test]
+    fn schema_element_keys() {
+        let t = SchemaElement {
+            table: "sports_financials".into(),
+            column: None,
+            description: String::new(),
+            top_values: vec![],
+            intents: vec![],
+        };
+        assert_eq!(t.key(), "SPORTS_FINANCIALS");
+        let c = SchemaElement { column: Some("country".into()), ..t };
+        assert_eq!(c.key(), "SPORTS_FINANCIALS.COUNTRY");
+    }
+
+    #[test]
+    fn schema_render_includes_top_values() {
+        let c = SchemaElement {
+            table: "t".into(),
+            column: Some("country".into()),
+            description: "org country".into(),
+            top_values: vec!["Canada".into(), "USA".into()],
+            intents: vec![],
+        };
+        let r = c.render();
+        assert!(r.contains("[top: Canada, USA]"));
+        assert!(r.contains("org country"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # genedit-llm — deterministic oracle language model
+//!
+//! The GenEdit paper's pipeline is built from GPT-4o calls. This crate
+//! substitutes a **deterministic oracle**: each benchmark task privately
+//! registers its gold SQL plus the knowledge requirements behind it, and
+//! the oracle corrupts the gold query once per requirement the pipeline's
+//! prompt fails to meet — misinterpreted enterprise terms, missing schema
+//! grounding, context overload, and bounded single-shot reasoning that CoT
+//! planning relieves. See [`oracle`] for the full causal contract.
+//!
+//! The substitution preserves exactly the *relative* claims the paper
+//! evaluates (Table 1, Table 2) while staying reproducible on a laptop.
+
+pub mod knowledge;
+pub mod model;
+pub mod mutate;
+pub mod oracle;
+pub mod prompt;
+pub mod tier;
+
+pub use knowledge::{Corruption, Difficulty, TaskKnowledge, TaskRegistry, TermRequirement};
+pub use model::{
+    CompletionRequest, CompletionResponse, LanguageModel, ModelUsage, RecordingModel,
+};
+pub use oracle::{apply_drift, hash01, hash_u64, OracleConfig, OracleModel};
+pub use tier::{CostLedger, ModelTier, TierPolicy, TieredModel};
+pub use prompt::{
+    Plan, PlanStep, Prompt, PromptExample, PromptInstruction, PromptSchemaElement, TaskKind,
+};

@@ -1,0 +1,213 @@
+//! The language-model interface and call accounting.
+
+use crate::prompt::{Plan, Prompt, TaskKind};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A completion request: the structured prompt plus a seed the caller may
+/// vary to sample multiple candidates (the paper generates "one or more
+/// candidate SQL queries", §3).
+#[derive(Debug, Clone)]
+pub struct CompletionRequest {
+    pub prompt: Prompt,
+    /// Candidate-sampling seed. Two requests with the same prompt and seed
+    /// return identical responses (the oracle is deterministic).
+    pub seed: u64,
+}
+
+impl CompletionRequest {
+    pub fn new(prompt: Prompt) -> CompletionRequest {
+        CompletionRequest { prompt, seed: 0 }
+    }
+
+    pub fn with_seed(prompt: Prompt, seed: u64) -> CompletionRequest {
+        CompletionRequest { prompt, seed }
+    }
+}
+
+/// A typed completion. Real deployments parse these out of model text;
+/// keeping them typed removes a failure mode that is orthogonal to the
+/// paper's claims.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompletionResponse {
+    Sql(String),
+    Plan(Plan),
+    Text(String),
+    /// A list of items (intent keys, schema element keys, …).
+    Items(Vec<String>),
+}
+
+impl CompletionResponse {
+    pub fn as_sql(&self) -> Option<&str> {
+        match self {
+            CompletionResponse::Sql(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_plan(&self) -> Option<&Plan> {
+        match self {
+            CompletionResponse::Plan(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            CompletionResponse::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_items(&self) -> Option<&[String]> {
+        match self {
+            CompletionResponse::Items(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The model interface every operator calls through.
+pub trait LanguageModel {
+    /// Model identifier ("gpt-4o" in the paper; "oracle" here).
+    fn name(&self) -> &str;
+    fn complete(&self, request: &CompletionRequest) -> CompletionResponse;
+}
+
+/// Per-task-kind call accounting, used by the operator latency/cost
+/// benchmarks (the paper swaps GPT-4o-mini into schema linking "to reduce
+/// primarily cost and then latency", §3.3.3 — measuring calls and prompt
+/// volume is how that decision is made).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ModelUsage {
+    pub calls: BTreeMap<&'static str, usize>,
+    pub prompt_chars: BTreeMap<&'static str, usize>,
+}
+
+impl ModelUsage {
+    pub fn total_calls(&self) -> usize {
+        self.calls.values().sum()
+    }
+
+    pub fn total_prompt_chars(&self) -> usize {
+        self.prompt_chars.values().sum()
+    }
+}
+
+fn kind_label(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Reformulate => "reformulate",
+        TaskKind::IntentClassification => "intent",
+        TaskKind::SchemaLinking => "schema-linking",
+        TaskKind::PlanGeneration => "plan",
+        TaskKind::SqlGeneration => "sql",
+    }
+}
+
+/// Wraps any model and records usage.
+pub struct RecordingModel<M> {
+    inner: M,
+    usage: Mutex<ModelUsage>,
+}
+
+impl<M: LanguageModel> RecordingModel<M> {
+    pub fn new(inner: M) -> RecordingModel<M> {
+        RecordingModel { inner, usage: Mutex::new(ModelUsage::default()) }
+    }
+
+    pub fn usage(&self) -> ModelUsage {
+        self.usage.lock().expect("usage lock").clone()
+    }
+
+    pub fn reset_usage(&self) {
+        *self.usage.lock().expect("usage lock") = ModelUsage::default();
+    }
+
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for RecordingModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+        {
+            let mut u = self.usage.lock().expect("usage lock");
+            let label = kind_label(request.prompt.task);
+            *u.calls.entry(label).or_insert(0) += 1;
+            *u.prompt_chars.entry(label).or_insert(0) += request.prompt.render().len();
+        }
+        self.inner.complete(request)
+    }
+}
+
+impl<M: LanguageModel + ?Sized> LanguageModel for &M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+        (**self).complete(request)
+    }
+}
+
+impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+        (**self).complete(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::Prompt;
+
+    struct Echo;
+    impl LanguageModel for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+            CompletionResponse::Text(request.prompt.question.clone())
+        }
+    }
+
+    #[test]
+    fn recording_counts_by_kind() {
+        let m = RecordingModel::new(Echo);
+        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::Reformulate, "a")));
+        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SqlGeneration, "b")));
+        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SqlGeneration, "c")));
+        let u = m.usage();
+        assert_eq!(u.calls.get("reformulate"), Some(&1));
+        assert_eq!(u.calls.get("sql"), Some(&2));
+        assert_eq!(u.total_calls(), 3);
+        assert!(u.total_prompt_chars() > 0);
+        m.reset_usage();
+        assert_eq!(m.usage().total_calls(), 0);
+    }
+
+    #[test]
+    fn response_accessors() {
+        assert_eq!(CompletionResponse::Sql("x".into()).as_sql(), Some("x"));
+        assert!(CompletionResponse::Sql("x".into()).as_plan().is_none());
+        assert_eq!(
+            CompletionResponse::Items(vec!["a".into()]).as_items().map(|i| i.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn trait_object_and_ref_impls() {
+        let m = Echo;
+        let r: &dyn LanguageModel = &m;
+        assert_eq!(r.name(), "echo");
+        let arc: std::sync::Arc<dyn LanguageModel> = std::sync::Arc::new(Echo);
+        assert_eq!(arc.name(), "echo");
+    }
+}

@@ -1,0 +1,457 @@
+//! AST mutators.
+//!
+//! The oracle model corrupts the gold query once per unmet knowledge
+//! requirement (see crate docs). Each mutator implements one corruption
+//! class the paper attributes generation failures to (§1 "Recommending
+//! Edits"): misunderstood context (dropped/wrong filters), wrong
+//! calculations (missing `-1 *`, wrong aggregate), and retrieval misses
+//! (wrong table/column). The mutators are also used by the scripted SME
+//! simulator to *diagnose* a wrong query by diffing against gold.
+
+use genedit_sql::ast::*;
+
+/// Apply `f` to every expression in the query (including CTEs, subqueries,
+/// ON conditions, group/order lists). `f` receives a mutable reference and
+/// may replace the node wholesale.
+pub fn visit_exprs_mut(query: &mut Query, f: &mut dyn FnMut(&mut Expr)) {
+    for cte in &mut query.ctes {
+        visit_exprs_mut(&mut cte.query, f);
+    }
+    visit_set_expr(&mut query.body, f);
+    for o in &mut query.order_by {
+        visit_expr(&mut o.expr, f);
+    }
+}
+
+fn visit_set_expr(body: &mut SetExpr, f: &mut dyn FnMut(&mut Expr)) {
+    match body {
+        SetExpr::Select(s) => {
+            for item in &mut s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    visit_expr(expr, f);
+                }
+            }
+            if let Some(from) = &mut s.from {
+                visit_table_ref(from, f);
+            }
+            if let Some(w) = &mut s.selection {
+                visit_expr(w, f);
+            }
+            for g in &mut s.group_by {
+                visit_expr(g, f);
+            }
+            if let Some(h) = &mut s.having {
+                visit_expr(h, f);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            visit_set_expr(left, f);
+            visit_set_expr(right, f);
+        }
+    }
+}
+
+fn visit_table_ref(tr: &mut TableRef, f: &mut dyn FnMut(&mut Expr)) {
+    match tr {
+        TableRef::Named { .. } => {}
+        TableRef::Derived { query, .. } => visit_exprs_mut(query, f),
+        TableRef::Join { left, right, on, .. } => {
+            visit_table_ref(left, f);
+            visit_table_ref(right, f);
+            if let Some(on) = on {
+                visit_expr(on, f);
+            }
+        }
+    }
+}
+
+fn visit_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    // Children first so replacements at the parent see mutated children.
+    match e {
+        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } => visit_expr(expr, f),
+        Expr::Binary { left, right, .. } => {
+            visit_expr(left, f);
+            visit_expr(right, f);
+        }
+        Expr::IsNull { expr, .. } => visit_expr(expr, f),
+        Expr::InList { expr, list, .. } => {
+            visit_expr(expr, f);
+            for i in list {
+                visit_expr(i, f);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            visit_expr(expr, f);
+            visit_exprs_mut(subquery, f);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            visit_expr(expr, f);
+            visit_expr(low, f);
+            visit_expr(high, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            visit_expr(expr, f);
+            visit_expr(pattern, f);
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                visit_expr(op, f);
+            }
+            for (w, t) in branches {
+                visit_expr(w, f);
+                visit_expr(t, f);
+            }
+            if let Some(el) = else_expr {
+                visit_expr(el, f);
+            }
+        }
+        Expr::Cast { expr, .. } => visit_expr(expr, f),
+        Expr::Function(call) => {
+            for a in &mut call.args {
+                visit_expr(a, f);
+            }
+            if let Some(spec) = &mut call.over {
+                for p in &mut spec.partition_by {
+                    visit_expr(p, f);
+                }
+                for o in &mut spec.order_by {
+                    visit_expr(&mut o.expr, f);
+                }
+            }
+        }
+        Expr::Exists { subquery, .. } => visit_exprs_mut(subquery, f),
+        Expr::ScalarSubquery(subquery) => visit_exprs_mut(subquery, f),
+    }
+    f(e);
+}
+
+/// Rename every column reference `from` → `to` (case-insensitive match).
+/// Returns how many references changed.
+pub fn rename_column(query: &mut Query, from: &str, to: &str) -> usize {
+    let mut n = 0;
+    visit_exprs_mut(query, &mut |e| {
+        if let Expr::Column { name, .. } = e {
+            if name.eq_ignore_ascii_case(from) {
+                *name = to.to_string();
+                n += 1;
+            }
+        }
+    });
+    n
+}
+
+/// Rename every base-table reference `from` → `to`. Returns change count.
+pub fn rename_table(query: &mut Query, from: &str, to: &str) -> usize {
+    let mut n = 0;
+    fn walk_ref(tr: &mut TableRef, from: &str, to: &str, n: &mut usize) {
+        match tr {
+            TableRef::Named { name, .. } => {
+                if name.eq_ignore_ascii_case(from) {
+                    *name = to.to_string();
+                    *n += 1;
+                }
+            }
+            TableRef::Derived { query, .. } => walk_query(query, from, to, n),
+            TableRef::Join { left, right, .. } => {
+                walk_ref(left, from, to, n);
+                walk_ref(right, from, to, n);
+            }
+        }
+    }
+    fn walk_set(body: &mut SetExpr, from: &str, to: &str, n: &mut usize) {
+        match body {
+            SetExpr::Select(s) => {
+                if let Some(fr) = &mut s.from {
+                    walk_ref(fr, from, to, n);
+                }
+            }
+            SetExpr::SetOp { left, right, .. } => {
+                walk_set(left, from, to, n);
+                walk_set(right, from, to, n);
+            }
+        }
+    }
+    fn walk_query(q: &mut Query, from: &str, to: &str, n: &mut usize) {
+        for cte in &mut q.ctes {
+            walk_query(&mut cte.query, from, to, n);
+        }
+        walk_set(&mut q.body, from, to, n);
+    }
+    walk_query(query, from, to, &mut n);
+    n
+}
+
+/// Replace every string literal equal to `from` with `to`.
+pub fn replace_string_literal(query: &mut Query, from: &str, to: &str) -> usize {
+    let mut n = 0;
+    visit_exprs_mut(query, &mut |e| {
+        if let Expr::Literal(Literal::String(s)) = e {
+            if s == from {
+                *s = to.to_string();
+                n += 1;
+            }
+        }
+    });
+    n
+}
+
+/// Swap one aggregate/function name for another everywhere.
+pub fn rename_function(query: &mut Query, from: &str, to: &str) -> usize {
+    let mut n = 0;
+    visit_exprs_mut(query, &mut |e| {
+        if let Expr::Function(call) = e {
+            if call.name.eq_ignore_ascii_case(from) {
+                call.name = to.to_ascii_uppercase();
+                n += 1;
+            }
+        }
+    });
+    n
+}
+
+/// Remove every `-1 * x` / `x * -1` factor, leaving `x` — the mistake the
+/// paper's example instruction exists to prevent ("Apply a -1 multiplier
+/// when calculating the change in performance metrics").
+pub fn strip_neg_one_multiplier(query: &mut Query) -> usize {
+    let mut n = 0;
+    visit_exprs_mut(query, &mut |e| {
+        let replacement = match e {
+            Expr::Binary { op: BinaryOp::Mul, left, right } => {
+                if is_neg_one(left) {
+                    Some((**right).clone())
+                } else if is_neg_one(right) {
+                    Some((**left).clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            *e = r;
+            n += 1;
+        }
+    });
+    n
+}
+
+fn is_neg_one(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Literal(Literal::Integer(-1))
+    ) || matches!(e, Expr::Literal(Literal::Float(f)) if *f == -1.0)
+        || matches!(e, Expr::Unary { op: UnaryOp::Neg, expr }
+            if matches!(**expr, Expr::Literal(Literal::Integer(1))))
+}
+
+/// Flip ASC↔DESC on every ORDER BY (query level and window specs).
+pub fn flip_order_directions(query: &mut Query) -> usize {
+    let mut n = query.order_by.len();
+    for o in &mut query.order_by {
+        o.desc = !o.desc;
+    }
+    for cte in &mut query.ctes {
+        n += flip_order_directions(&mut cte.query);
+    }
+    visit_exprs_mut(query, &mut |e| {
+        if let Expr::Function(call) = e {
+            if let Some(spec) = &mut call.over {
+                for o in &mut spec.order_by {
+                    o.desc = !o.desc;
+                    n += 1;
+                }
+            }
+        }
+    });
+    n
+}
+
+/// Remove WHERE conjuncts whose rendered text contains `marker`
+/// (case-insensitive). Applies in every SELECT of the query. Returns how
+/// many conjuncts were removed.
+pub fn drop_where_conjunct(query: &mut Query, marker: &str) -> usize {
+    let mut n = 0;
+    fn rebuild(conjuncts: Vec<Expr>) -> Option<Expr> {
+        let mut it = conjuncts.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, Expr::and))
+    }
+    fn walk_select(s: &mut Select, marker: &str, n: &mut usize) {
+        if let Some(selection) = s.selection.take() {
+            let parts = split_owned_conjuncts(selection);
+            let kept: Vec<Expr> = parts
+                .into_iter()
+                .filter(|c| {
+                    let keep =
+                        !c.to_string().to_uppercase().contains(&marker.to_uppercase());
+                    if !keep {
+                        *n += 1;
+                    }
+                    keep
+                })
+                .collect();
+            s.selection = rebuild(kept);
+        }
+        if let Some(from) = &mut s.from {
+            walk_ref(from, marker, n);
+        }
+    }
+    fn walk_ref(tr: &mut TableRef, marker: &str, n: &mut usize) {
+        match tr {
+            TableRef::Named { .. } => {}
+            TableRef::Derived { query, .. } => walk_query(query, marker, n),
+            TableRef::Join { left, right, .. } => {
+                walk_ref(left, marker, n);
+                walk_ref(right, marker, n);
+            }
+        }
+    }
+    fn walk_set(body: &mut SetExpr, marker: &str, n: &mut usize) {
+        match body {
+            SetExpr::Select(s) => walk_select(s, marker, n),
+            SetExpr::SetOp { left, right, .. } => {
+                walk_set(left, marker, n);
+                walk_set(right, marker, n);
+            }
+        }
+    }
+    fn walk_query(q: &mut Query, marker: &str, n: &mut usize) {
+        for cte in &mut q.ctes {
+            walk_query(&mut cte.query, marker, n);
+        }
+        walk_set(&mut q.body, marker, n);
+    }
+    walk_query(query, marker, &mut n);
+    n
+}
+
+/// Split an owned expression on top-level ANDs.
+pub fn split_owned_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            let mut out = split_owned_conjuncts(*left);
+            out.extend(split_owned_conjuncts(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Truncate rendered SQL to produce a *syntactic* error — models the
+/// cut-off generations long queries suffer without planning.
+pub fn truncate_sql(sql: &str, fraction_kept: f64) -> String {
+    let keep = ((sql.len() as f64) * fraction_kept.clamp(0.1, 0.95)) as usize;
+    let mut cut = keep.min(sql.len().saturating_sub(1)).max(1);
+    while cut > 0 && !sql.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    sql[..cut].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genedit_sql::parse_statement;
+
+    fn q(sql: &str) -> Query {
+        let Statement::Query(q) = parse_statement(sql).unwrap();
+        q
+    }
+
+    #[test]
+    fn rename_column_everywhere() {
+        let mut query = q(
+            "WITH c AS (SELECT rev FROM t WHERE rev > 0) \
+             SELECT rev FROM c ORDER BY rev",
+        );
+        assert_eq!(rename_column(&mut query, "REV", "revenue"), 4);
+        assert!(!query.to_string().to_lowercase().contains("rev "));
+    }
+
+    #[test]
+    fn rename_table_skips_columns() {
+        let mut query = q("SELECT fin FROM fin JOIN other ON fin.x = other.x");
+        assert_eq!(rename_table(&mut query, "fin", "financials"), 1);
+        let s = query.to_string();
+        assert!(s.contains("FROM financials"));
+        // Column named fin untouched.
+        assert!(s.contains("SELECT fin"));
+    }
+
+    #[test]
+    fn literal_replacement() {
+        let mut query = q("SELECT * FROM t WHERE c = 'Canada' OR c = 'USA'");
+        assert_eq!(replace_string_literal(&mut query, "Canada", "CA"), 1);
+        assert!(query.to_string().contains("'CA'"));
+        assert!(query.to_string().contains("'USA'"));
+    }
+
+    #[test]
+    fn aggregate_swap() {
+        let mut query = q("SELECT SUM(x), SUM(y), AVG(z) FROM t");
+        assert_eq!(rename_function(&mut query, "sum", "AVG"), 2);
+        assert_eq!(query.to_string().matches("AVG").count(), 3);
+    }
+
+    #[test]
+    fn neg_one_stripping() {
+        let mut query = q("SELECT -1 * (a - b), (a - b) * -1, 2 * a FROM t");
+        assert_eq!(strip_neg_one_multiplier(&mut query), 2);
+        let s = query.to_string();
+        assert!(!s.contains("-1"));
+        assert!(s.contains("2 * a"));
+    }
+
+    #[test]
+    fn order_direction_flip() {
+        let mut query = q(
+            "SELECT ROW_NUMBER() OVER (ORDER BY a DESC) FROM t ORDER BY b",
+        );
+        let n = flip_order_directions(&mut query);
+        assert_eq!(n, 2);
+        let s = query.to_string();
+        assert!(s.contains("OVER (ORDER BY a)"));
+        assert!(s.contains("ORDER BY b DESC"));
+    }
+
+    #[test]
+    fn conjunct_dropping_matches_marker() {
+        let mut query = q(
+            "WITH c AS (SELECT x FROM t WHERE owned = 'COC' AND country = 'Canada') \
+             SELECT x FROM c WHERE x > 0",
+        );
+        assert_eq!(drop_where_conjunct(&mut query, "owned"), 1);
+        let s = query.to_string();
+        assert!(!s.to_lowercase().contains("owned"));
+        assert!(s.contains("country = 'Canada'"));
+        assert!(s.contains("x > 0"));
+    }
+
+    #[test]
+    fn dropping_sole_conjunct_removes_where() {
+        let mut query = q("SELECT x FROM t WHERE owned = 'COC'");
+        assert_eq!(drop_where_conjunct(&mut query, "OWNED"), 1);
+        assert!(query.as_select().unwrap().selection.is_none());
+    }
+
+    #[test]
+    fn truncation_produces_parse_error() {
+        let sql = "SELECT a, b FROM t WHERE a > 1 GROUP BY a";
+        let broken = truncate_sql(sql, 0.5);
+        assert!(broken.len() < sql.len());
+        // Not all truncations are invalid, but this one cuts mid-clause.
+        assert!(parse_statement(&broken).is_err() || broken.len() < sql.len());
+    }
+
+    #[test]
+    fn corrupted_query_remains_printable() {
+        let mut query = q(
+            "SELECT SUM(CASE WHEN q = '2023Q1' THEN rev ELSE 0 END) FROM fin WHERE owned = 'COC'",
+        );
+        drop_where_conjunct(&mut query, "owned");
+        rename_function(&mut query, "SUM", "AVG");
+        let rendered = query.to_string();
+        assert!(parse_statement(&rendered).is_ok());
+    }
+}

@@ -1,0 +1,462 @@
+//! Structured prompts.
+//!
+//! GenEdit's operators communicate with the model through prompts whose
+//! structure the paper shows in Fig. 2: retrieved examples (decomposed,
+//! with pseudo-SQL), instructions, schema elements, and — for the final
+//! generation call — the CoT plan. This crate keeps prompts *structured*
+//! (typed sections) and renders them to text on demand; the oracle model
+//! inspects the structure, real deployments would send the rendered text.
+
+use genedit_knowledge::FragmentKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// What the model is being asked to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Operator 1: rewrite the question into the canonical form.
+    Reformulate,
+    /// Operator 2: classify the user intents of the question.
+    IntentClassification,
+    /// Operator 5: identify relevant schema elements.
+    SchemaLinking,
+    /// First generation call: produce the CoT plan (§3.1.2).
+    PlanGeneration,
+    /// Second generation call: produce SQL from the plan.
+    SqlGeneration,
+}
+
+/// An example section entry: a decomposed sub-statement with NL
+/// description (§3.2.1), or a full query for baselines that do not
+/// decompose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptExample {
+    pub description: String,
+    pub sql: String,
+    /// The fragment kind for decomposed examples; `None` marks a
+    /// traditional full-query example.
+    pub kind: Option<FragmentKind>,
+    pub term: Option<String>,
+}
+
+/// An instruction section entry (§3.2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptInstruction {
+    pub text: String,
+    pub sql_hint: Option<String>,
+    pub term: Option<String>,
+}
+
+/// A schema section entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptSchemaElement {
+    pub table: String,
+    pub column: Option<String>,
+    pub description: String,
+    pub top_values: Vec<String>,
+}
+
+impl PromptSchemaElement {
+    pub fn key(&self) -> String {
+        match &self.column {
+            Some(c) => format!("{}.{}", self.table.to_uppercase(), c.to_uppercase()),
+            None => self.table.to_uppercase(),
+        }
+    }
+}
+
+/// One step of a CoT plan: NL description plus optional pseudo-SQL, the
+/// paper's `(description, "... FRAGMENT ...")` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanStep {
+    pub description: String,
+    /// Pseudo-SQL without the `...` affixes; rendered with them.
+    pub pseudo_sql: Option<String>,
+    /// The scope (CTE name or `main`) this step contributes to.
+    pub scope: String,
+    pub kind: Option<FragmentKind>,
+}
+
+/// A chain-of-thought plan (§3.1.2): an ordered list of steps, one or more
+/// of which describe a CTE of the output query.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Plan {
+    pub steps: Vec<PlanStep>,
+}
+
+impl Plan {
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Strip pseudo-SQL from every step (the "w/o Pseudo-SQL" ablation).
+    pub fn without_pseudo_sql(&self) -> Plan {
+        Plan {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| PlanStep { pseudo_sql: None, ..s.clone() })
+                .collect(),
+        }
+    }
+
+    /// Render as the JSON object the paper describes: "an ordered list of
+    /// steps where each element is a pair of step description in natural
+    /// language and pseudo-SQL".
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"steps\": [");
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let pseudo = s
+                .pseudo_sql
+                .as_deref()
+                .map(|p| format!("\"... {} ...\"", p.replace('"', "\\\"")))
+                .unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "{{\"step\": {}, \"description\": \"{}\", \"pseudo_sql\": {}}}",
+                i + 1,
+                s.description.replace('"', "\\\""),
+                pseudo
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A structured prompt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prompt {
+    pub task: TaskKind,
+    /// The (possibly reformulated) natural-language question.
+    pub question: String,
+    /// The original question before reformulation, when different.
+    pub original_question: Option<String>,
+    pub examples: Vec<PromptExample>,
+    pub instructions: Vec<PromptInstruction>,
+    pub schema: Vec<PromptSchemaElement>,
+    pub plan: Option<Plan>,
+    /// BIRD-style evidence strings attached to the task, used by baselines.
+    pub evidence: Vec<String>,
+    /// Errors from prior generation attempts (self-correction context).
+    pub errors: Vec<String>,
+    /// Retrieval hints / extra guidance.
+    pub hints: Vec<String>,
+    /// Candidate intent keys for intent classification.
+    pub intent_candidates: Vec<String>,
+    /// How much internal decomposition/selection/revision compute the
+    /// *method* spends beyond a single forward pass (1.0 = plain
+    /// prompting). Agentic systems like CHESS and MAC-SQL run sampling and
+    /// revision loops that effectively raise the complexity they can
+    /// handle; the oracle scales its capacity model by this factor.
+    pub reasoning_effort: f64,
+}
+
+impl Prompt {
+    pub fn new(task: TaskKind, question: impl Into<String>) -> Prompt {
+        Prompt {
+            task,
+            question: question.into(),
+            original_question: None,
+            examples: Vec::new(),
+            instructions: Vec::new(),
+            schema: Vec::new(),
+            plan: None,
+            evidence: Vec::new(),
+            errors: Vec::new(),
+            hints: Vec::new(),
+            intent_candidates: Vec::new(),
+            reasoning_effort: 1.0,
+        }
+    }
+
+    /// Number of retry attempts already made (used by the oracle to vary
+    /// retry outcomes deterministically).
+    pub fn attempt(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// All domain terms covered by this prompt's knowledge sections —
+    /// instructions, examples, and evidence. A term requirement is "met"
+    /// when the term appears here (the oracle's causal contract).
+    ///
+    /// Instructions and evidence cover terms by *mentioning* them — they
+    /// are explanatory prose. Examples cover a term only through their
+    /// explicit `term` tag: a decomposed fragment that happens to contain
+    /// `OWNERSHIP_FLAG = 'COC'` shows a past filter but does not explain
+    /// that "our" maps to it, which is precisely why the paper's
+    /// instructions ablation bites hardest (Table 2).
+    pub fn covered_terms(&self) -> BTreeSet<String> {
+        let mut terms = BTreeSet::new();
+        for i in &self.instructions {
+            if let Some(t) = &i.term {
+                terms.insert(t.to_uppercase());
+            }
+            collect_upper_tokens(&i.text, &mut terms);
+        }
+        for e in &self.examples {
+            if let Some(t) = &e.term {
+                terms.insert(t.to_uppercase());
+            }
+        }
+        for ev in &self.evidence {
+            collect_upper_tokens(ev, &mut terms);
+        }
+        terms
+    }
+
+    /// Tables present in the schema section, uppercased.
+    pub fn schema_tables(&self) -> BTreeSet<String> {
+        self.schema.iter().map(|s| s.table.to_uppercase()).collect()
+    }
+
+    /// Fully-qualified columns present in the schema section.
+    pub fn schema_columns(&self) -> BTreeSet<String> {
+        self.schema
+            .iter()
+            .filter(|s| s.column.is_some())
+            .map(|s| s.key())
+            .collect()
+    }
+
+    /// Fragment kinds covered by decomposed examples, plus whether any
+    /// full-query (non-decomposed) examples are present.
+    pub fn example_support(&self) -> (BTreeSet<FragmentKind>, bool) {
+        let mut kinds = BTreeSet::new();
+        let mut full_query = false;
+        for e in &self.examples {
+            match e.kind {
+                Some(k) => {
+                    kinds.insert(k);
+                }
+                None => full_query = true,
+            }
+        }
+        (kinds, full_query)
+    }
+
+    /// Render to text, Fig. 2 style. Used for size accounting and by the
+    /// examples/demo binaries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let task = match self.task {
+            TaskKind::Reformulate => "Reformulate the question into canonical form.",
+            TaskKind::IntentClassification => "Classify the user intents of the question.",
+            TaskKind::SchemaLinking => "Identify the schema elements relevant to the question.",
+            TaskKind::PlanGeneration => {
+                "Produce a step-by-step plan for writing the SQL query. Each step \
+                 is a natural-language description with pseudo-SQL."
+            }
+            TaskKind::SqlGeneration => {
+                "Write the SQL query following the plan and the provided knowledge."
+            }
+        };
+        let _ = writeln!(out, "## Task\n{task}\n");
+        let _ = writeln!(out, "## Question\n{}\n", self.question);
+        if !self.intent_candidates.is_empty() {
+            let _ = writeln!(out, "## Candidate intents\n{}\n", self.intent_candidates.join(", "));
+        }
+        if !self.schema.is_empty() {
+            out.push_str("## Schema\n");
+            for s in &self.schema {
+                let mut line = s.key();
+                if !s.description.is_empty() {
+                    let _ = write!(line, " -- {}", s.description);
+                }
+                if !s.top_values.is_empty() {
+                    let _ = write!(line, " [top: {}]", s.top_values.join(", "));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            out.push('\n');
+        }
+        if !self.examples.is_empty() {
+            out.push_str("## Examples\n");
+            for e in &self.examples {
+                let term = e.term.as_deref().map(|t| format!("[{t}] ")).unwrap_or_default();
+                let _ = writeln!(out, "-- {term}{}", e.description);
+                match e.kind {
+                    Some(_) => {
+                        let _ = writeln!(out, "... {} ...", e.sql);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{}", e.sql);
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        if !self.instructions.is_empty() {
+            out.push_str("## Instructions\n");
+            for i in &self.instructions {
+                match &i.sql_hint {
+                    Some(h) => {
+                        let _ = writeln!(out, "- {} (e.g. `{h}`)", i.text);
+                    }
+                    None => {
+                        let _ = writeln!(out, "- {}", i.text);
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        if !self.evidence.is_empty() {
+            out.push_str("## Evidence\n");
+            for e in &self.evidence {
+                let _ = writeln!(out, "- {e}");
+            }
+            out.push('\n');
+        }
+        if let Some(plan) = &self.plan {
+            let _ = writeln!(out, "## Plan\n{}\n", plan.to_json());
+        }
+        if !self.errors.is_empty() {
+            out.push_str("## Errors from previous attempt\n");
+            for e in &self.errors {
+                let _ = writeln!(out, "- {e}");
+            }
+            out.push('\n');
+        }
+        if !self.hints.is_empty() {
+            out.push_str("## Hints\n");
+            for h in &self.hints {
+                let _ = writeln!(out, "- {h}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Pull upper-case acronym-like tokens (length ≥ 2) out of free text, so a
+/// term mentioned inline ("QoQFP is computed as…") counts as covered.
+fn collect_upper_tokens(text: &str, out: &mut BTreeSet<String>) {
+    for token in text.split(|c: char| !c.is_alphanumeric()) {
+        if token.len() >= 2 && token.chars().any(|c| c.is_ascii_uppercase()) {
+            out.insert(token.to_uppercase());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covered_terms_from_all_sections() {
+        let mut p = Prompt::new(TaskKind::SqlGeneration, "q");
+        p.instructions.push(PromptInstruction {
+            text: "QoQFP means quarter over quarter financial performance".into(),
+            sql_hint: None,
+            term: Some("QoQFP".into()),
+        });
+        p.examples.push(PromptExample {
+            description: "RPV calculation".into(),
+            sql: "X".into(),
+            kind: Some(FragmentKind::TermDefinition),
+            term: Some("RPV".into()),
+        });
+        p.evidence.push("COC marks our own organizations".into());
+        let terms = p.covered_terms();
+        assert!(terms.contains("QOQFP"));
+        assert!(terms.contains("RPV"));
+        assert!(terms.contains("COC"));
+        assert!(!terms.contains("ZZZ"));
+    }
+
+    #[test]
+    fn schema_sets() {
+        let mut p = Prompt::new(TaskKind::SqlGeneration, "q");
+        p.schema.push(PromptSchemaElement {
+            table: "sports_financials".into(),
+            column: None,
+            description: String::new(),
+            top_values: vec![],
+        });
+        p.schema.push(PromptSchemaElement {
+            table: "sports_financials".into(),
+            column: Some("country".into()),
+            description: String::new(),
+            top_values: vec![],
+        });
+        assert!(p.schema_tables().contains("SPORTS_FINANCIALS"));
+        assert!(p.schema_columns().contains("SPORTS_FINANCIALS.COUNTRY"));
+    }
+
+    #[test]
+    fn example_support_distinguishes_decomposed() {
+        let mut p = Prompt::new(TaskKind::SqlGeneration, "q");
+        p.examples.push(PromptExample {
+            description: "filter".into(),
+            sql: "WHERE A = 1".into(),
+            kind: Some(FragmentKind::Where),
+            term: None,
+        });
+        p.examples.push(PromptExample {
+            description: "full".into(),
+            sql: "SELECT 1".into(),
+            kind: None,
+            term: None,
+        });
+        let (kinds, full) = p.example_support();
+        assert!(kinds.contains(&FragmentKind::Where));
+        assert!(full);
+    }
+
+    #[test]
+    fn plan_json_shape() {
+        let plan = Plan {
+            steps: vec![
+                PlanStep {
+                    description: "Begin by looking at the financial data".into(),
+                    pseudo_sql: Some("FROM SPORTS_FINANCIALS".into()),
+                    scope: "FINANCIALS".into(),
+                    kind: Some(FragmentKind::From),
+                },
+                PlanStep {
+                    description: "No pseudo here".into(),
+                    pseudo_sql: None,
+                    scope: "main".into(),
+                    kind: None,
+                },
+            ],
+        };
+        let j = plan.to_json();
+        assert!(j.contains("\"step\": 1"));
+        assert!(j.contains("... FROM SPORTS_FINANCIALS ..."));
+        assert!(j.contains("\"pseudo_sql\": null"));
+    }
+
+    #[test]
+    fn without_pseudo_sql_strips_all() {
+        let plan = Plan {
+            steps: vec![PlanStep {
+                description: "d".into(),
+                pseudo_sql: Some("X".into()),
+                scope: "main".into(),
+                kind: None,
+            }],
+        };
+        assert!(plan.without_pseudo_sql().steps[0].pseudo_sql.is_none());
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let mut p = Prompt::new(TaskKind::SqlGeneration, "Show me the top 5 orgs");
+        p.errors.push("binding error: no such column X".into());
+        p.plan = Some(Plan::default());
+        let text = p.render();
+        assert!(text.contains("## Question"));
+        assert!(text.contains("## Errors"));
+        assert!(text.contains("## Plan"));
+        assert_eq!(p.attempt(), 1);
+    }
+}

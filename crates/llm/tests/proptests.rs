@@ -1,0 +1,129 @@
+//! Property tests for the oracle's corruption machinery: every corruption
+//! of a parseable query yields a parseable query, mutators hit every
+//! matching site, and drift is always well-formed.
+
+use genedit_llm::{apply_drift, mutate, Corruption};
+use genedit_sql::ast::{Query, Statement};
+use genedit_sql::parser::parse_statement;
+use proptest::prelude::*;
+
+/// A family of realistic analytics queries assembled from generated parts
+/// (the corruption surface the oracle actually works on).
+fn arb_gold_sql() -> impl Strategy<Value = String> {
+    let region = prop_oneof![Just("Canada"), Just("USA"), Just("Mexico")];
+    let flag = prop_oneof![Just("COC"), Just("EXT")];
+    (region, flag, 1u32..6, any::<bool>(), any::<bool>()).prop_map(
+        |(region, flag, k, with_cte, with_window)| {
+            if with_cte {
+                format!(
+                    "WITH T AS (SELECT ORG, SUM(REV) AS R FROM FIN \
+                     WHERE COUNTRY = '{region}' AND FLAG = '{flag}' GROUP BY ORG) \
+                     SELECT ORG, R{win} FROM T ORDER BY R DESC LIMIT {k}",
+                    win = if with_window {
+                        ", ROW_NUMBER() OVER (ORDER BY (-1 * (R - 10)) DESC) AS RNK"
+                    } else {
+                        ""
+                    }
+                )
+            } else {
+                format!(
+                    "SELECT ORG, SUM(REV) AS R FROM FIN WHERE COUNTRY = '{region}' \
+                     AND FLAG = '{flag}' GROUP BY ORG ORDER BY R DESC LIMIT {k}"
+                )
+            }
+        },
+    )
+}
+
+fn parse(sql: &str) -> Query {
+    let Statement::Query(q) = parse_statement(sql).unwrap();
+    q
+}
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        Just(Corruption::DropWhereConjunct { marker: "FLAG".into() }),
+        Just(Corruption::DropWhereConjunct { marker: "COUNTRY".into() }),
+        Just(Corruption::ReplaceStringLiteral { from: "COC".into(), to: "OWN".into() }),
+        Just(Corruption::RenameColumn { from: "REV".into(), to: "REVENUE_X".into() }),
+        Just(Corruption::RenameTable { from: "FIN".into(), to: "FIN_DETAILS".into() }),
+        Just(Corruption::SwapAggregate { from: "SUM".into(), to: "AVG".into() }),
+        Just(Corruption::StripNegOneMultiplier),
+        Just(Corruption::FlipOrderDirections),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any single corruption of a well-formed query stays well-formed —
+    /// the oracle never emits silently unparseable SQL through this path.
+    #[test]
+    fn corrupted_queries_reparse(sql in arb_gold_sql(), corruption in arb_corruption()) {
+        let mut q = parse(&sql);
+        corruption.apply(&mut q);
+        let rendered = q.to_string();
+        prop_assert!(
+            parse_statement(&rendered).is_ok(),
+            "corruption {corruption:?} broke: {rendered}"
+        );
+    }
+
+    /// Drift is closed under iteration: applying several drifts keeps the
+    /// query parseable.
+    #[test]
+    fn drift_chains_stay_parseable(sql in arb_gold_sql(), salts in prop::collection::vec(any::<u64>(), 1..5)) {
+        let mut q = parse(&sql);
+        for salt in salts {
+            apply_drift(&mut q, salt);
+        }
+        let rendered = q.to_string();
+        prop_assert!(parse_statement(&rendered).is_ok(), "{rendered}");
+    }
+
+    /// rename_column renames every matching reference and nothing else.
+    #[test]
+    fn rename_column_is_complete(sql in arb_gold_sql()) {
+        let mut q = parse(&sql);
+        let n = mutate::rename_column(&mut q, "REV", "NEWCOL");
+        let rendered = q.to_string();
+        // No bare REV column survives (REVENUE_X etc. were never there).
+        prop_assert!(!rendered.contains("REV,") && !rendered.contains("(REV)"),
+            "{rendered}");
+        prop_assert!(n >= 1, "gold always references REV");
+        // Renaming something absent is a no-op.
+        let before = q.to_string();
+        prop_assert_eq!(mutate::rename_column(&mut q, "ABSENT", "X"), 0);
+        prop_assert_eq!(q.to_string(), before);
+    }
+
+    /// drop_where_conjunct removes every conjunct carrying the marker and
+    /// leaves the others.
+    #[test]
+    fn conjunct_dropping_is_exact(sql in arb_gold_sql()) {
+        let mut q = parse(&sql);
+        let n = mutate::drop_where_conjunct(&mut q, "FLAG");
+        prop_assert_eq!(n, 1, "exactly one FLAG conjunct in the family");
+        let rendered = q.to_string();
+        prop_assert!(!rendered.contains("FLAG ="), "{rendered}");
+        prop_assert!(rendered.contains("COUNTRY ="), "other conjunct must survive: {rendered}");
+    }
+
+    /// Flipping order directions twice is the identity.
+    #[test]
+    fn double_flip_is_identity(sql in arb_gold_sql()) {
+        let mut q = parse(&sql);
+        let original = q.to_string();
+        mutate::flip_order_directions(&mut q);
+        mutate::flip_order_directions(&mut q);
+        prop_assert_eq!(q.to_string(), original);
+    }
+
+    /// truncate_sql always shortens and clamps to char boundaries.
+    #[test]
+    fn truncation_is_safe(sql in arb_gold_sql(), frac in 0.0f64..1.5) {
+        let cut = mutate::truncate_sql(&sql, frac);
+        prop_assert!(cut.len() < sql.len());
+        prop_assert!(sql.starts_with(&cut));
+    }
+}

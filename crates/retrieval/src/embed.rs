@@ -1,0 +1,272 @@
+//! Hashed TF-IDF embeddings and cosine similarity.
+
+use crate::token::{bigrams, tokenize};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Default embedding dimension. Large enough that hash collisions are rare
+/// for the vocabulary sizes of a knowledge set, small enough that cosine
+/// over a few thousand vectors is instant.
+pub const DEFAULT_DIM: usize = 512;
+
+/// A dense embedding vector (L2-normalized on construction).
+pub type Embedding = Vec<f32>;
+
+/// Document-frequency statistics used for IDF weighting. Fit once over the
+/// knowledge set corpus during pre-processing; queries reuse the same
+/// weights at inference.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    doc_count: usize,
+    doc_freq: HashMap<String, usize>,
+}
+
+impl Vocabulary {
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Fit over a corpus of documents.
+    pub fn fit<'a>(docs: impl IntoIterator<Item = &'a str>) -> Vocabulary {
+        let mut v = Vocabulary::new();
+        for d in docs {
+            v.add_document(d);
+        }
+        v
+    }
+
+    /// Incorporate one document's terms into the document-frequency table.
+    pub fn add_document(&mut self, text: &str) {
+        self.doc_count += 1;
+        let toks = tokenize(text);
+        let mut seen = std::collections::HashSet::new();
+        for t in toks.iter().chain(bigrams(&toks).iter()) {
+            if seen.insert(t.clone()) {
+                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Smoothed inverse document frequency. Unknown terms get the maximum
+    /// weight — a rare domain acronym like "qoqfp" should dominate.
+    pub fn idf(&self, term: &str) -> f32 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        let n = self.doc_count.max(1);
+        (((n + 1) as f32) / ((df + 1) as f32)).ln() + 1.0
+    }
+}
+
+/// TF-IDF hashed embedder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedder {
+    dim: usize,
+    vocabulary: Vocabulary,
+}
+
+impl Embedder {
+    pub fn new(vocabulary: Vocabulary) -> Embedder {
+        Embedder { dim: DEFAULT_DIM, vocabulary }
+    }
+
+    pub fn with_dim(vocabulary: Vocabulary, dim: usize) -> Embedder {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Embedder { dim, vocabulary }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// Embed a text into an L2-normalized vector. The zero text maps to the
+    /// zero vector (cosine with anything = 0).
+    pub fn embed(&self, text: &str) -> Embedding {
+        let mut vec = vec![0f32; self.dim];
+        let toks = tokenize(text);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for t in toks.iter().chain(bigrams(&toks).iter()) {
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        for (term, count) in &counts {
+            let tf = 1.0 + (*count as f32).ln();
+            let weight = tf * self.vocabulary.idf(term);
+            let h = fnv1a(term.as_bytes());
+            let slot = (h % self.dim as u64) as usize;
+            // Signed hashing halves the collision bias.
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            vec[slot] += sign * weight;
+        }
+        normalize(&mut vec);
+        vec
+    }
+
+    /// Embed a query expanded with extra context texts — the paper's
+    /// *context expansion* (§3.1.1): the expansion terms join the query
+    /// terms but at reduced weight so the original query still dominates.
+    pub fn embed_expanded(&self, query: &str, expansions: &[&str]) -> Embedding {
+        let mut base = self.embed(query);
+        if expansions.is_empty() {
+            return base;
+        }
+        let scale = 0.5 / expansions.len() as f32;
+        for ex in expansions {
+            let e = self.embed(ex);
+            for (b, x) in base.iter_mut().zip(e.iter()) {
+                *b += scale * x;
+            }
+        }
+        normalize(&mut base);
+        base
+    }
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity. Inputs need not be normalized.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut dot = 0f32;
+    let mut na = 0f32;
+    let mut nb = 0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// FNV-1a 64-bit hash — stable across platforms and runs, unlike
+/// `DefaultHasher`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder(corpus: &[&str]) -> Embedder {
+        Embedder::new(Vocabulary::fit(corpus.iter().copied()))
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = embedder(&["revenue per viewer", "quarterly revenue"]);
+        assert_eq!(e.embed("revenue for Q2"), e.embed("revenue for Q2"));
+    }
+
+    #[test]
+    fn identical_text_has_cosine_one() {
+        let e = embedder(&["a b c"]);
+        let v = e.embed("revenue per viewer in Canada");
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_text_beats_unrelated() {
+        let e = embedder(&[
+            "quarterly financial performance of sports organizations",
+            "tv viewership numbers by country",
+            "player roster and injuries",
+        ]);
+        let q = e.embed("show financial performance for Q2");
+        let related = e.embed("quarterly financial performance of sports organizations");
+        let unrelated = e.embed("player roster and injuries");
+        assert!(cosine(&q, &related) > cosine(&q, &unrelated));
+    }
+
+    #[test]
+    fn rare_terms_dominate() {
+        // "qoqfp" appears in one doc; "revenue" in many. A query with both
+        // should be closer to the qoqfp doc.
+        let corpus = [
+            "qoqfp quarter over quarter financial performance revenue",
+            "revenue by country",
+            "revenue by quarter",
+            "revenue by organization",
+        ];
+        let e = embedder(&corpus);
+        let q = e.embed("qoqfp revenue");
+        let qoqfp_doc = e.embed(corpus[0]);
+        let revenue_doc = e.embed(corpus[1]);
+        assert!(cosine(&q, &qoqfp_doc) > cosine(&q, &revenue_doc));
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = embedder(&["a"]);
+        let v = e.embed("");
+        assert!(v.iter().all(|x| *x == 0.0));
+        assert_eq!(cosine(&v, &e.embed("something")), 0.0);
+    }
+
+    #[test]
+    fn context_expansion_moves_query_toward_expansion() {
+        let e = embedder(&[
+            "ownership flag our organizations coc",
+            "viewership in canada",
+            "revenue in mexico",
+        ]);
+        let target = e.embed("ownership flag our organizations coc");
+        let plain = e.embed("best organizations in canada");
+        let expanded = e.embed_expanded(
+            "best organizations in canada",
+            &["ownership flag our organizations coc"],
+        );
+        assert!(cosine(&expanded, &target) > cosine(&plain, &target));
+    }
+
+    #[test]
+    fn expansion_keeps_original_dominant() {
+        let e = embedder(&["x", "y"]);
+        let plain = e.embed("quarterly revenue growth canada");
+        let expanded =
+            e.embed_expanded("quarterly revenue growth canada", &["unrelated words entirely"]);
+        // Still much closer to itself than to the expansion text.
+        assert!(cosine(&expanded, &plain) > 0.7);
+    }
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let e = embedder(&["a b"]);
+        let v = e.embed("hello world bigram test");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn idf_unknown_term_is_max() {
+        let v = Vocabulary::fit(["common common", "common"]);
+        assert!(v.idf("neverseen") > v.idf("common"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_dimension_mismatch_panics() {
+        cosine(&[1.0], &[1.0, 2.0]);
+    }
+}

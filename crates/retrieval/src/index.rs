@@ -1,0 +1,152 @@
+//! Exact top-k vector search with stable, deterministic ordering.
+
+use crate::embed::{cosine, Embedding};
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Caller-supplied identifier of the stored item.
+    pub id: usize,
+    pub score: f32,
+}
+
+/// A brute-force vector index. Exact and deterministic: ties are broken by
+/// insertion order, which keeps retrieval runs reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct VectorIndex {
+    items: Vec<(usize, Embedding)>,
+}
+
+impl VectorIndex {
+    pub fn new() -> VectorIndex {
+        VectorIndex::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Insert an item under a caller-chosen id (ids need not be unique;
+    /// the caller owns id semantics).
+    pub fn insert(&mut self, id: usize, embedding: Embedding) {
+        self.items.push((id, embedding));
+    }
+
+    /// Remove every item with the given id. Returns how many were removed.
+    pub fn remove(&mut self, id: usize) -> usize {
+        let before = self.items.len();
+        self.items.retain(|(i, _)| *i != id);
+        before - self.items.len()
+    }
+
+    /// Exact top-k by cosine similarity; scores below `min_score` are
+    /// dropped. Ordering: score descending, then insertion order.
+    pub fn search(&self, query: &Embedding, k: usize, min_score: f32) -> Vec<SearchHit> {
+        let mut scored: Vec<(usize, SearchHit)> = self
+            .items
+            .iter()
+            .enumerate()
+            .map(|(pos, (id, emb))| {
+                (pos, SearchHit { id: *id, score: cosine(query, emb) })
+            })
+            .filter(|(_, h)| h.score >= min_score)
+            .collect();
+        scored.sort_by(|(pa, a), (pb, b)| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(pa.cmp(pb))
+        });
+        scored.into_iter().take(k).map(|(_, h)| h).collect()
+    }
+}
+
+/// Re-rank arbitrary scored candidates: sort by score descending with a
+/// stable tie-break on the original order, then truncate to `k`.
+pub fn rerank_top_k<T>(mut candidates: Vec<(T, f32)>, k: usize) -> Vec<(T, f32)> {
+    let mut indexed: Vec<(usize, (T, f32))> = candidates.drain(..).enumerate().collect();
+    indexed.sort_by(|(pa, (_, sa)), (pb, (_, sb))| {
+        sb.partial_cmp(sa).unwrap_or(std::cmp::Ordering::Equal).then(pa.cmp(pb))
+    });
+    indexed.into_iter().take(k).map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{Embedder, Vocabulary};
+
+    fn make_index(docs: &[&str]) -> (VectorIndex, Embedder) {
+        let embedder = Embedder::new(Vocabulary::fit(docs.iter().copied()));
+        let mut idx = VectorIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            idx.insert(i, embedder.embed(d));
+        }
+        (idx, embedder)
+    }
+
+    #[test]
+    fn top_k_returns_most_similar_first() {
+        let docs = [
+            "revenue per viewer calculation",
+            "tv viewership by region",
+            "player transfer fees",
+        ];
+        let (idx, emb) = make_index(&docs);
+        let hits = idx.search(&emb.embed("how to calculate revenue per viewer"), 2, 0.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 0);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn k_bounds_results() {
+        let docs = ["a b", "a c", "a d", "a e"];
+        let (idx, emb) = make_index(&docs);
+        assert_eq!(idx.search(&emb.embed("a"), 2, 0.0).len(), 2);
+        assert_eq!(idx.search(&emb.embed("a"), 100, 0.0).len(), 4);
+        assert!(idx.search(&emb.embed("a"), 0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn min_score_filters() {
+        let docs = ["quarterly revenue", "zebra habitats"];
+        let (idx, emb) = make_index(&docs);
+        let hits = idx.search(&emb.embed("quarterly revenue"), 10, 0.5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut idx = VectorIndex::new();
+        idx.insert(7, vec![1.0, 0.0]);
+        idx.insert(3, vec![1.0, 0.0]);
+        let hits = idx.search(&vec![1.0, 0.0], 2, 0.0);
+        assert_eq!(hits[0].id, 7);
+        assert_eq!(hits[1].id, 3);
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut idx = VectorIndex::new();
+        idx.insert(1, vec![1.0]);
+        idx.insert(2, vec![0.5]);
+        idx.insert(1, vec![0.1]);
+        assert_eq!(idx.remove(1), 2);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn rerank_is_stable() {
+        let ranked = rerank_top_k(vec![("a", 0.5), ("b", 0.9), ("c", 0.5)], 3);
+        assert_eq!(ranked.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec!["b", "a", "c"]);
+        let truncated = rerank_top_k(vec![("a", 0.5), ("b", 0.9), ("c", 0.5)], 1);
+        assert_eq!(truncated.len(), 1);
+        assert_eq!(truncated[0].0, "b");
+    }
+}

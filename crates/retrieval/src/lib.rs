@@ -1,0 +1,25 @@
+//! # genedit-retrieval — deterministic embedding & retrieval substrate
+//!
+//! The GenEdit paper re-ranks retrieved knowledge "based on a cosine
+//! similarity score with the reformulated query" (§3.1.1), using a neural
+//! embedding model. This crate substitutes a deterministic, dependency-free
+//! embedding: TF-IDF-weighted hashed bag-of-words with word bigrams,
+//! projected into a fixed-dimension vector. What the pipeline needs from
+//! embeddings — *relative* similarity that improves when the query text is
+//! expanded with the text of already-selected knowledge (context expansion)
+//! — is fully preserved.
+//!
+//! Components:
+//! * [`tokenize`] — lowercasing alphanumeric tokenizer,
+//! * [`Vocabulary`] — document-frequency statistics for IDF weighting,
+//! * [`Embedder`] — hashed TF-IDF embedding into `R^dim`,
+//! * [`cosine`] — cosine similarity,
+//! * [`VectorIndex`] — brute-force exact top-k index with stable ordering.
+
+pub mod embed;
+pub mod index;
+pub mod token;
+
+pub use embed::{cosine, Embedder, Embedding, Vocabulary};
+pub use index::{rerank_top_k, SearchHit, VectorIndex};
+pub use token::tokenize;

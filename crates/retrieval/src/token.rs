@@ -1,0 +1,64 @@
+//! Text tokenization.
+
+/// Lowercase alphanumeric tokenizer. Splits on any non-alphanumeric
+/// character, keeps underscores inside identifiers together with their
+/// word parts split out (so `ORG_NAME` yields `org` and `name` — matching
+//  how analysts phrase questions about snake_case columns).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Word bigrams over a token stream, joined with `_`.
+pub fn bigrams(tokens: &[String]) -> Vec<String> {
+    tokens.windows(2).map(|w| format!("{}_{}", w[0], w[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_case() {
+        assert_eq!(tokenize("Show me QoQFP, please!"), vec!["show", "me", "qoqfp", "please"]);
+    }
+
+    #[test]
+    fn snake_case_columns_split() {
+        assert_eq!(tokenize("ORG_NAME"), vec!["org", "name"]);
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(tokenize("Q2 2023"), vec!["q2", "2023"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn bigram_windows() {
+        let toks = tokenize("best and worst");
+        assert_eq!(bigrams(&toks), vec!["best_and", "and_worst"]);
+        assert!(bigrams(&tokenize("one")).is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Café MÜNCHEN"), vec!["café", "münchen"]);
+    }
+}

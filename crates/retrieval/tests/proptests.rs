@@ -1,0 +1,121 @@
+//! Property tests for the retrieval substrate.
+
+use genedit_retrieval::{cosine, rerank_top_k, tokenize, Embedder, VectorIndex, Vocabulary};
+use proptest::prelude::*;
+
+fn embedder(corpus: &[String]) -> Embedder {
+    Embedder::new(Vocabulary::fit(corpus.iter().map(|s| s.as_str())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_symmetric_and_bounded(
+        a in prop::collection::vec(-10.0f32..10.0, 8),
+        b in prop::collection::vec(-10.0f32..10.0, 8),
+    ) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0001..=1.0001).contains(&ab), "{ab}");
+    }
+
+    /// Self-similarity is 1 for any non-degenerate text.
+    #[test]
+    fn self_similarity_is_one(text in "[a-z]{2,8}( [a-z]{2,8}){0,6}") {
+        let e = embedder(std::slice::from_ref(&text));
+        let v = e.embed(&text);
+        if v.iter().any(|x| *x != 0.0) {
+            prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Embedding is deterministic and case/punctuation-insensitive where
+    /// the tokenizer says so.
+    #[test]
+    fn embedding_deterministic_and_normalized(text in "[ -~]{0,60}") {
+        let e = embedder(std::slice::from_ref(&text));
+        let a = e.embed(&text);
+        let b = e.embed(&text);
+        prop_assert_eq!(&a, &b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-4, "norm {norm}");
+        // Case-insensitivity through the tokenizer.
+        let upper = e.embed(&text.to_uppercase());
+        if a.iter().any(|x| *x != 0.0) && text.chars().all(|c| !c.is_numeric()) {
+            prop_assert!(cosine(&a, &upper) > 0.999, "case changed the embedding");
+        }
+    }
+
+    /// Tokenization never yields empty tokens and is idempotent under
+    /// re-joining.
+    #[test]
+    fn tokenize_well_formed(text in "[ -~]{0,80}") {
+        let toks = tokenize(&text);
+        prop_assert!(toks.iter().all(|t| !t.is_empty()));
+        let rejoined = toks.join(" ");
+        prop_assert_eq!(tokenize(&rejoined), toks);
+    }
+
+    /// The index returns at most k hits, sorted by score descending.
+    #[test]
+    fn index_topk_sorted(
+        docs in prop::collection::vec("[a-z]{2,6}( [a-z]{2,6}){0,4}", 1..12),
+        k in 0usize..15,
+    ) {
+        let e = embedder(&docs);
+        let mut idx = VectorIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            idx.insert(i, e.embed(d));
+        }
+        let hits = idx.search(&e.embed(&docs[0]), k, f32::MIN);
+        prop_assert!(hits.len() <= k.min(docs.len()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    /// rerank_top_k returns a sorted prefix of its input multiset.
+    #[test]
+    fn rerank_is_sorted_prefix(
+        scores in prop::collection::vec(-1.0f32..1.0, 0..20),
+        k in 0usize..25,
+    ) {
+        let items: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        let out = rerank_top_k(items.clone(), k);
+        prop_assert!(out.len() <= k.min(items.len()));
+        for w in out.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        // Every output item came from the input.
+        for (id, score) in &out {
+            prop_assert!(items.iter().any(|(i, s)| i == id && s == score));
+        }
+    }
+
+    /// Context expansion never moves the embedding outside the unit ball
+    /// and keeps similarity to the original query above the similarity to
+    /// the expansion alone (the query dominates, §3.1.1).
+    #[test]
+    fn expansion_keeps_query_dominant(
+        q in "[a-z]{3,7}( [a-z]{3,7}){2,5}",
+        ex in "[a-z]{3,7}( [a-z]{3,7}){2,5}",
+    ) {
+        let e = embedder(&[q.clone(), ex.clone()]);
+        let vq = e.embed(&q);
+        let vex = e.embed(&ex);
+        let expanded = e.embed_expanded(&q, &[&ex]);
+        let norm: f32 = expanded.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-4);
+        if cosine(&vq, &vex) < 0.5 {
+            // For genuinely different texts, the expanded query must stay
+            // closer to the query than to the expansion.
+            prop_assert!(
+                cosine(&expanded, &vq) >= cosine(&expanded, &vex) - 1e-4,
+                "expansion hijacked the query"
+            );
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Static analysis over the AST: complexity scoring and reference
+//! extraction.
+//!
+//! * [`complexity`] drives the oracle model's bounded "reasoning capacity"
+//!   (the paper's argument that planning lets GenEdit handle much more
+//!   complex SQL than direct generation, §3.1.2).
+//! * [`referenced_tables`] / [`referenced_columns`] provide ground truth
+//!   for the schema-linking operator and its evaluation.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// A breakdown of query complexity. The scalar [`ComplexityScore::total`]
+/// grows with the number of clauses an LLM would have to reason about at
+/// once when generating the query in a single shot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComplexityScore {
+    pub ctes: usize,
+    pub joins: usize,
+    pub subqueries: usize,
+    pub aggregates: usize,
+    pub windows: usize,
+    pub case_exprs: usize,
+    pub predicates: usize,
+    pub set_ops: usize,
+}
+
+impl ComplexityScore {
+    /// Weighted scalar summary. Weights reflect how much "simultaneous
+    /// reasoning" each construct demands; CTEs and windows dominate.
+    pub fn total(&self) -> u32 {
+        (self.ctes * 3
+            + self.joins * 2
+            + self.subqueries * 3
+            + self.aggregates
+            + self.windows * 3
+            + self.case_exprs
+            + self.predicates
+            + self.set_ops * 2) as u32
+    }
+}
+
+/// Compute the complexity breakdown for a query.
+pub fn complexity(query: &Query) -> ComplexityScore {
+    let mut score = ComplexityScore::default();
+    walk_query(query, &mut score);
+    score
+}
+
+fn walk_query(query: &Query, s: &mut ComplexityScore) {
+    s.ctes += query.ctes.len();
+    for cte in &query.ctes {
+        walk_query(&cte.query, s);
+    }
+    walk_set_expr(&query.body, s);
+    for o in &query.order_by {
+        walk_expr(&o.expr, s);
+    }
+}
+
+fn walk_set_expr(body: &SetExpr, s: &mut ComplexityScore) {
+    match body {
+        SetExpr::Select(select) => walk_select(select, s),
+        SetExpr::SetOp { left, right, .. } => {
+            s.set_ops += 1;
+            walk_set_expr(left, s);
+            walk_set_expr(right, s);
+        }
+    }
+}
+
+fn walk_select(select: &Select, s: &mut ComplexityScore) {
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr(expr, s);
+        }
+    }
+    if let Some(from) = &select.from {
+        walk_table_ref(from, s);
+    }
+    if let Some(w) = &select.selection {
+        s.predicates += count_conjuncts(w);
+        walk_expr(w, s);
+    }
+    for g in &select.group_by {
+        walk_expr(g, s);
+    }
+    if let Some(h) = &select.having {
+        s.predicates += count_conjuncts(h);
+        walk_expr(h, s);
+    }
+}
+
+fn count_conjuncts(e: &Expr) -> usize {
+    match e {
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            count_conjuncts(left) + count_conjuncts(right)
+        }
+        _ => 1,
+    }
+}
+
+fn walk_table_ref(tr: &TableRef, s: &mut ComplexityScore) {
+    match tr {
+        TableRef::Named { .. } => {}
+        TableRef::Derived { query, .. } => {
+            s.subqueries += 1;
+            walk_query(query, s);
+        }
+        TableRef::Join { left, right, on, .. } => {
+            s.joins += 1;
+            walk_table_ref(left, s);
+            walk_table_ref(right, s);
+            if let Some(on) = on {
+                walk_expr(on, s);
+            }
+        }
+    }
+}
+
+fn walk_expr(e: &Expr, s: &mut ComplexityScore) {
+    match e {
+        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } => walk_expr(expr, s),
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, s);
+            walk_expr(right, s);
+        }
+        Expr::IsNull { expr, .. } => walk_expr(expr, s),
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, s);
+            for i in list {
+                walk_expr(i, s);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            s.subqueries += 1;
+            walk_expr(expr, s);
+            walk_query(subquery, s);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr(expr, s);
+            walk_expr(low, s);
+            walk_expr(high, s);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr(expr, s);
+            walk_expr(pattern, s);
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            s.case_exprs += 1;
+            if let Some(op) = operand {
+                walk_expr(op, s);
+            }
+            for (w, t) in branches {
+                walk_expr(w, s);
+                walk_expr(t, s);
+            }
+            if let Some(el) = else_expr {
+                walk_expr(el, s);
+            }
+        }
+        Expr::Cast { expr, .. } => walk_expr(expr, s),
+        Expr::Function(call) => {
+            if call.over.is_some() {
+                s.windows += 1;
+                if let Some(spec) = &call.over {
+                    for p in &spec.partition_by {
+                        walk_expr(p, s);
+                    }
+                    for o in &spec.order_by {
+                        walk_expr(&o.expr, s);
+                    }
+                }
+            } else if crate::functions::is_aggregate(&call.name) {
+                s.aggregates += 1;
+            }
+            for a in &call.args {
+                walk_expr(a, s);
+            }
+        }
+        Expr::Exists { subquery, .. } => {
+            s.subqueries += 1;
+            walk_query(subquery, s);
+        }
+        Expr::ScalarSubquery(subquery) => {
+            s.subqueries += 1;
+            walk_query(subquery, s);
+        }
+    }
+}
+
+/// All table names referenced in FROM clauses, excluding CTE names defined
+/// by the query itself. Names are returned uppercased.
+pub fn referenced_tables(query: &Query) -> BTreeSet<String> {
+    let mut tables = BTreeSet::new();
+    let mut cte_names = BTreeSet::new();
+    collect_tables(query, &mut tables, &mut cte_names);
+    tables
+}
+
+fn collect_tables(
+    query: &Query,
+    tables: &mut BTreeSet<String>,
+    cte_names: &mut BTreeSet<String>,
+) {
+    // CTE names defined here shadow base tables for the whole query.
+    let mut local = cte_names.clone();
+    for cte in &query.ctes {
+        collect_tables(&cte.query, tables, &mut local);
+        local.insert(cte.name.to_uppercase());
+    }
+    collect_tables_set_expr(&query.body, tables, &local);
+    for o in &query.order_by {
+        collect_tables_expr(&o.expr, tables, &local);
+    }
+}
+
+fn collect_tables_set_expr(
+    body: &SetExpr,
+    tables: &mut BTreeSet<String>,
+    cte_names: &BTreeSet<String>,
+) {
+    match body {
+        SetExpr::Select(select) => {
+            if let Some(from) = &select.from {
+                collect_tables_ref(from, tables, cte_names);
+            }
+            for item in &select.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_tables_expr(expr, tables, cte_names);
+                }
+            }
+            if let Some(w) = &select.selection {
+                collect_tables_expr(w, tables, cte_names);
+            }
+            if let Some(h) = &select.having {
+                collect_tables_expr(h, tables, cte_names);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            collect_tables_set_expr(left, tables, cte_names);
+            collect_tables_set_expr(right, tables, cte_names);
+        }
+    }
+}
+
+fn collect_tables_ref(
+    tr: &TableRef,
+    tables: &mut BTreeSet<String>,
+    cte_names: &BTreeSet<String>,
+) {
+    match tr {
+        TableRef::Named { name, .. } => {
+            let upper = name.to_uppercase();
+            if !cte_names.contains(&upper) {
+                tables.insert(upper);
+            }
+        }
+        TableRef::Derived { query, .. } => {
+            let mut local = cte_names.clone();
+            collect_tables(query, tables, &mut local);
+        }
+        TableRef::Join { left, right, on, .. } => {
+            collect_tables_ref(left, tables, cte_names);
+            collect_tables_ref(right, tables, cte_names);
+            if let Some(on) = on {
+                collect_tables_expr(on, tables, cte_names);
+            }
+        }
+    }
+}
+
+fn collect_tables_expr(
+    e: &Expr,
+    tables: &mut BTreeSet<String>,
+    cte_names: &BTreeSet<String>,
+) {
+    match e {
+        Expr::InSubquery { subquery, expr, .. } => {
+            collect_tables_expr(expr, tables, cte_names);
+            let mut local = cte_names.clone();
+            collect_tables(subquery, tables, &mut local);
+        }
+        Expr::Exists { subquery, .. } | Expr::ScalarSubquery(subquery) => {
+            let mut local = cte_names.clone();
+            collect_tables(subquery, tables, &mut local);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            collect_tables_expr(expr, tables, cte_names)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_tables_expr(left, tables, cte_names);
+            collect_tables_expr(right, tables, cte_names);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_tables_expr(expr, tables, cte_names);
+            for i in list {
+                collect_tables_expr(i, tables, cte_names);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_tables_expr(expr, tables, cte_names);
+            collect_tables_expr(low, tables, cte_names);
+            collect_tables_expr(high, tables, cte_names);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_tables_expr(expr, tables, cte_names);
+            collect_tables_expr(pattern, tables, cte_names);
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                collect_tables_expr(op, tables, cte_names);
+            }
+            for (w, t) in branches {
+                collect_tables_expr(w, tables, cte_names);
+                collect_tables_expr(t, tables, cte_names);
+            }
+            if let Some(el) = else_expr {
+                collect_tables_expr(el, tables, cte_names);
+            }
+        }
+        Expr::Function(call) => {
+            for a in &call.args {
+                collect_tables_expr(a, tables, cte_names);
+            }
+            if let Some(spec) = &call.over {
+                for p in &spec.partition_by {
+                    collect_tables_expr(p, tables, cte_names);
+                }
+                for o in &spec.order_by {
+                    collect_tables_expr(&o.expr, tables, cte_names);
+                }
+            }
+        }
+        Expr::Literal(_) | Expr::Column { .. } => {}
+    }
+}
+
+/// All column names syntactically referenced anywhere in the query,
+/// uppercased. This over-approximates (CTE output columns are included)
+/// but is the practical ground truth for schema-linking recall.
+pub fn referenced_columns(query: &Query) -> BTreeSet<String> {
+    let mut cols = BTreeSet::new();
+    collect_cols_query(query, &mut cols);
+    cols
+}
+
+fn collect_cols_query(query: &Query, cols: &mut BTreeSet<String>) {
+    for cte in &query.ctes {
+        collect_cols_query(&cte.query, cols);
+    }
+    collect_cols_set_expr(&query.body, cols);
+    for o in &query.order_by {
+        collect_cols_expr(&o.expr, cols);
+    }
+}
+
+fn collect_cols_set_expr(body: &SetExpr, cols: &mut BTreeSet<String>) {
+    match body {
+        SetExpr::Select(select) => {
+            for item in &select.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_cols_expr(expr, cols);
+                }
+            }
+            if let Some(from) = &select.from {
+                collect_cols_ref(from, cols);
+            }
+            if let Some(w) = &select.selection {
+                collect_cols_expr(w, cols);
+            }
+            for g in &select.group_by {
+                collect_cols_expr(g, cols);
+            }
+            if let Some(h) = &select.having {
+                collect_cols_expr(h, cols);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            collect_cols_set_expr(left, cols);
+            collect_cols_set_expr(right, cols);
+        }
+    }
+}
+
+fn collect_cols_ref(tr: &TableRef, cols: &mut BTreeSet<String>) {
+    match tr {
+        TableRef::Named { .. } => {}
+        TableRef::Derived { query, .. } => collect_cols_query(query, cols),
+        TableRef::Join { left, right, on, .. } => {
+            collect_cols_ref(left, cols);
+            collect_cols_ref(right, cols);
+            if let Some(on) = on {
+                collect_cols_expr(on, cols);
+            }
+        }
+    }
+}
+
+fn collect_cols_expr(e: &Expr, cols: &mut BTreeSet<String>) {
+    match e {
+        Expr::Column { name, .. } => {
+            cols.insert(name.to_uppercase());
+        }
+        Expr::Literal(_) => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            collect_cols_expr(expr, cols)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_cols_expr(left, cols);
+            collect_cols_expr(right, cols);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_cols_expr(expr, cols);
+            for i in list {
+                collect_cols_expr(i, cols);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            collect_cols_expr(expr, cols);
+            collect_cols_query(subquery, cols);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_cols_expr(expr, cols);
+            collect_cols_expr(low, cols);
+            collect_cols_expr(high, cols);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_cols_expr(expr, cols);
+            collect_cols_expr(pattern, cols);
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                collect_cols_expr(op, cols);
+            }
+            for (w, t) in branches {
+                collect_cols_expr(w, cols);
+                collect_cols_expr(t, cols);
+            }
+            if let Some(el) = else_expr {
+                collect_cols_expr(el, cols);
+            }
+        }
+        Expr::Function(call) => {
+            for a in &call.args {
+                collect_cols_expr(a, cols);
+            }
+            if let Some(spec) = &call.over {
+                for p in &spec.partition_by {
+                    collect_cols_expr(p, cols);
+                }
+                for o in &spec.order_by {
+                    collect_cols_expr(&o.expr, cols);
+                }
+            }
+        }
+        Expr::Exists { subquery, .. } | Expr::ScalarSubquery(subquery) => {
+            collect_cols_query(subquery, cols)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn q(sql: &str) -> Query {
+        match parse_statement(sql).unwrap() {
+            Statement::Query(q) => q,
+        }
+    }
+
+    #[test]
+    fn complexity_grows_with_structure() {
+        let simple = complexity(&q("SELECT a FROM t"));
+        let moderate = complexity(&q(
+            "SELECT a, SUM(b) FROM t JOIN u ON t.id = u.id WHERE c = 1 GROUP BY a",
+        ));
+        let complex = complexity(&q(
+            "WITH x AS (SELECT a, SUM(b) AS s FROM t GROUP BY a), \
+                  y AS (SELECT a, s, ROW_NUMBER() OVER (ORDER BY s DESC) AS r FROM x) \
+             SELECT * FROM y WHERE r <= 5",
+        ));
+        assert!(simple.total() < moderate.total());
+        assert!(moderate.total() < complex.total());
+        assert_eq!(complex.ctes, 2);
+        assert_eq!(complex.windows, 1);
+    }
+
+    #[test]
+    fn conjunct_counting() {
+        let s = complexity(&q("SELECT a FROM t WHERE a = 1 AND b = 2 AND c = 3"));
+        assert_eq!(s.predicates, 3);
+        let s = complexity(&q("SELECT a FROM t WHERE a = 1 OR b = 2"));
+        assert_eq!(s.predicates, 1);
+    }
+
+    #[test]
+    fn referenced_tables_excludes_ctes() {
+        let tables = referenced_tables(&q(
+            "WITH x AS (SELECT * FROM base1) SELECT * FROM x JOIN base2 ON x.a = base2.a",
+        ));
+        assert_eq!(
+            tables.into_iter().collect::<Vec<_>>(),
+            vec!["BASE1".to_string(), "BASE2".to_string()]
+        );
+    }
+
+    #[test]
+    fn referenced_tables_in_subqueries() {
+        let tables = referenced_tables(&q(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u) AND EXISTS (SELECT 1 FROM v)",
+        ));
+        assert_eq!(
+            tables.into_iter().collect::<Vec<_>>(),
+            vec!["T".to_string(), "U".to_string(), "V".to_string()]
+        );
+    }
+
+    #[test]
+    fn referenced_columns_collects_everywhere() {
+        let cols = referenced_columns(&q(
+            "SELECT a, SUM(b) FROM t WHERE c > 1 GROUP BY a HAVING SUM(b) > 2 ORDER BY d",
+        ));
+        let got: Vec<String> = cols.into_iter().collect();
+        assert_eq!(got, vec!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn set_ops_counted() {
+        let s = complexity(&q("SELECT a FROM t UNION SELECT a FROM u"));
+        assert_eq!(s.set_ops, 1);
+    }
+}

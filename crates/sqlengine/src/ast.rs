@@ -1,0 +1,404 @@
+//! Abstract syntax tree for the supported SQL dialect.
+//!
+//! The dialect covers what the GenEdit paper's workloads need: common table
+//! expressions (the paper rewrites every query into CTE form before
+//! decomposition, §3.2.1), joins, aggregation with `CASE`-based conditional
+//! aggregation, window functions (`ROW_NUMBER() OVER (PARTITION BY …)` as in
+//! Appendix A), subqueries, and set operations.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// A parsed SQL statement. Only queries are supported — GenEdit generates
+/// read-only analytics SQL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    Query(Query),
+}
+
+/// A full query: optional WITH clause, set-expression body, and trailing
+/// ORDER BY / LIMIT that apply to the whole body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub ctes: Vec<Cte>,
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// A query with just a body.
+    pub fn simple(select: Select) -> Query {
+        Query {
+            ctes: Vec::new(),
+            body: SetExpr::Select(Box::new(select)),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// The top-level `Select` if the body is a plain select (no set ops).
+    pub fn as_select(&self) -> Option<&Select> {
+        match &self.body {
+            SetExpr::Select(s) => Some(s),
+            SetExpr::SetOp { .. } => None,
+        }
+    }
+}
+
+/// One `name AS (query)` entry of a WITH clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cte {
+    pub name: String,
+    pub query: Box<Query>,
+}
+
+/// Body of a query: a select or a set operation tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+
+/// An item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableRef {
+    /// A base table or CTE by name.
+    Named { name: String, alias: Option<String> },
+    /// `(subquery) AS alias`
+    Derived { query: Box<Query>, alias: String },
+    /// A join of two table references.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
+}
+
+impl TableRef {
+    pub fn named(name: impl Into<String>) -> TableRef {
+        TableRef::Named { name: name.into(), alias: None }
+    }
+
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> TableRef {
+        TableRef::Named { name: name.into(), alias: Some(alias.into()) }
+    }
+
+    /// Number of joins in this reference tree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            TableRef::Named { .. } => 0,
+            TableRef::Derived { query, .. } => query_join_count(query),
+            TableRef::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+}
+
+fn query_join_count(q: &Query) -> usize {
+    let mut n = 0;
+    if let SetExpr::Select(s) = &q.body {
+        if let Some(from) = &s.from {
+            n += from.join_count();
+        }
+    }
+    for cte in &q.ctes {
+        n += query_join_count(&cte.query);
+    }
+    n
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// One expression of an ORDER BY list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Scalar literal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    Null,
+    Integer(i64),
+    Float(f64),
+    String(String),
+    Boolean(bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Concat,
+}
+
+impl BinaryOp {
+    /// Parsing/printing precedence; higher binds tighter.
+    pub fn precedence(&self) -> u8 {
+        match self {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => 4,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Concat => 5,
+            BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 6,
+        }
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Concat => "||",
+        }
+    }
+}
+
+/// A function call, possibly aggregate or window (`… OVER (…)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionCall {
+    /// Uppercased function name.
+    pub name: String,
+    pub args: Vec<Expr>,
+    /// `COUNT(*)`
+    pub star: bool,
+    /// `COUNT(DISTINCT x)`
+    pub distinct: bool,
+    pub over: Option<WindowSpec>,
+}
+
+impl FunctionCall {
+    pub fn new(name: impl Into<String>, args: Vec<Expr>) -> FunctionCall {
+        FunctionCall {
+            name: name.into().to_ascii_uppercase(),
+            args,
+            star: false,
+            distinct: false,
+            over: None,
+        }
+    }
+}
+
+/// `OVER (PARTITION BY … ORDER BY …)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    pub partition_by: Vec<Expr>,
+    pub order_by: Vec<OrderItem>,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    Literal(Literal),
+    /// `name` or `table.name`
+    Column { table: Option<String>, name: String },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    IsNull { expr: Box<Expr>, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InSubquery { expr: Box<Expr>, subquery: Box<Query>, negated: bool },
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Cast { expr: Box<Expr>, ty: DataType },
+    Function(FunctionCall),
+    Exists { subquery: Box<Query>, negated: bool },
+    ScalarSubquery(Box<Query>),
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column { table: None, name: name.into() }
+    }
+
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column { table: Some(table.into()), name: name.into() }
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Integer(v))
+    }
+
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Literal::Float(v))
+    }
+
+    pub fn string(v: impl Into<String>) -> Expr {
+        Expr::Literal(Literal::String(v.into()))
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::And, right)
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::Eq, right)
+    }
+
+    pub fn func(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Function(FunctionCall::new(name, args))
+    }
+
+    /// Printing/parsing precedence of this expression node; `u8::MAX` for
+    /// atoms that never need parentheses.
+    pub fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => op.precedence(),
+            Expr::Unary { op: UnaryOp::Not, .. } => 3,
+            Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+            Expr::IsNull { .. }
+            | Expr::InList { .. }
+            | Expr::InSubquery { .. }
+            | Expr::Between { .. }
+            | Expr::Like { .. } => 4,
+            _ => u8::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let e = Expr::and(
+            Expr::eq(Expr::col("a"), Expr::int(1)),
+            Expr::binary(Expr::col("b"), BinaryOp::Gt, Expr::float(2.5)),
+        );
+        match e {
+            Expr::Binary { op: BinaryOp::And, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_name_uppercased() {
+        let f = FunctionCall::new("sum", vec![Expr::col("x")]);
+        assert_eq!(f.name, "SUM");
+    }
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinaryOp::Mul.precedence() > BinaryOp::Add.precedence());
+        assert!(BinaryOp::Add.precedence() > BinaryOp::Eq.precedence());
+        assert!(BinaryOp::Eq.precedence() > BinaryOp::And.precedence());
+        assert!(BinaryOp::And.precedence() > BinaryOp::Or.precedence());
+    }
+
+    #[test]
+    fn join_count_counts_nested() {
+        let tr = TableRef::Join {
+            left: Box::new(TableRef::named("a")),
+            right: Box::new(TableRef::Join {
+                left: Box::new(TableRef::named("b")),
+                right: Box::new(TableRef::named("c")),
+                kind: JoinKind::Inner,
+                on: None,
+            }),
+            kind: JoinKind::Left,
+            on: None,
+        };
+        assert_eq!(tr.join_count(), 2);
+    }
+
+    #[test]
+    fn as_select_rejects_set_ops() {
+        let q = Query {
+            ctes: vec![],
+            body: SetExpr::SetOp {
+                op: SetOp::Union,
+                all: false,
+                left: Box::new(SetExpr::Select(Box::default())),
+                right: Box::new(SetExpr::Select(Box::default())),
+            },
+            order_by: vec![],
+            limit: None,
+        };
+        assert!(q.as_select().is_none());
+        assert!(Query::simple(Select::default()).as_select().is_some());
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for the SQL engine.
+//!
+//! The error taxonomy mirrors the two classes of generation failure the
+//! GenEdit paper's self-correction loop distinguishes (§2.1, §3):
+//! *syntactic* errors (lexing/parsing) and *semantic* errors (binding,
+//! typing, runtime evaluation). [`EngineError::is_syntactic`] and
+//! [`EngineError::is_semantic`] expose that split to the pipeline.
+
+use std::fmt;
+
+/// Any error produced while lexing, parsing, binding, or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The input could not be tokenized (e.g. an unterminated string).
+    Lex { message: String, offset: usize },
+    /// The token stream did not form a valid statement.
+    Parse { message: String, offset: usize },
+    /// A name (table, column, alias, function) failed to resolve.
+    Binding { message: String },
+    /// A value had the wrong type for an operation.
+    Type { message: String },
+    /// A runtime failure during evaluation (e.g. division by zero when
+    /// strict mode is enabled, malformed CAST input).
+    Execution { message: String },
+    /// A feature of SQL that this engine deliberately does not implement.
+    Unsupported { message: String },
+}
+
+impl EngineError {
+    pub fn lex(message: impl Into<String>, offset: usize) -> Self {
+        EngineError::Lex { message: message.into(), offset }
+    }
+
+    pub fn parse(message: impl Into<String>, offset: usize) -> Self {
+        EngineError::Parse { message: message.into(), offset }
+    }
+
+    pub fn binding(message: impl Into<String>) -> Self {
+        EngineError::Binding { message: message.into() }
+    }
+
+    pub fn typing(message: impl Into<String>) -> Self {
+        EngineError::Type { message: message.into() }
+    }
+
+    pub fn execution(message: impl Into<String>) -> Self {
+        EngineError::Execution { message: message.into() }
+    }
+
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        EngineError::Unsupported { message: message.into() }
+    }
+
+    /// True when the error would be caught by a SQL parser alone — the
+    /// "syntactic error" class of the paper's self-correction loop.
+    pub fn is_syntactic(&self) -> bool {
+        matches!(self, EngineError::Lex { .. } | EngineError::Parse { .. })
+    }
+
+    /// True when the query parsed but failed name resolution, typing, or
+    /// execution — the "semantic error" class.
+    pub fn is_semantic(&self) -> bool {
+        !self.is_syntactic()
+    }
+
+    /// The human-readable message, without the error-class prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            EngineError::Lex { message, .. }
+            | EngineError::Parse { message, .. }
+            | EngineError::Binding { message }
+            | EngineError::Type { message }
+            | EngineError::Execution { message }
+            | EngineError::Unsupported { message } => message,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lex { message, offset } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            EngineError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            EngineError::Binding { message } => write!(f, "binding error: {message}"),
+            EngineError::Type { message } => write!(f, "type error: {message}"),
+            EngineError::Execution { message } => write!(f, "execution error: {message}"),
+            EngineError::Unsupported { message } => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience alias used across the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syntactic_vs_semantic_split() {
+        assert!(EngineError::lex("bad char", 3).is_syntactic());
+        assert!(EngineError::parse("expected FROM", 10).is_syntactic());
+        assert!(!EngineError::parse("expected FROM", 10).is_semantic());
+        assert!(EngineError::binding("no such column X").is_semantic());
+        assert!(EngineError::typing("cannot add TEXT").is_semantic());
+        assert!(EngineError::execution("bad cast").is_semantic());
+        assert!(EngineError::unsupported("RECURSIVE").is_semantic());
+    }
+
+    #[test]
+    fn display_includes_offset_for_syntax_errors() {
+        let e = EngineError::parse("expected FROM", 17);
+        let s = e.to_string();
+        assert!(s.contains("17"), "{s}");
+        assert!(s.contains("expected FROM"), "{s}");
+    }
+
+    #[test]
+    fn message_strips_prefix() {
+        assert_eq!(EngineError::binding("no such table T").message(), "no such table T");
+    }
+}

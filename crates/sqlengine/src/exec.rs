@@ -1,0 +1,1450 @@
+//! Query execution.
+//!
+//! The executor is a straightforward materializing interpreter: FROM
+//! resolution (nested-loop joins), WHERE filtering, grouping with
+//! accumulator-based aggregates, window computation, projection, DISTINCT,
+//! ORDER BY, LIMIT, and set operations. CTEs are materialized once in
+//! definition order and visible to later CTEs and the main body, matching
+//! the CTE-normal-form queries GenEdit generates (§3.1.2).
+
+use crate::ast::*;
+use crate::catalog::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{
+    collect_window_calls, contains_aggregate, eval_expr, ColMeta, EvalEnv, GroupView, Relation,
+    Scope, WindowValues,
+};
+use crate::parser::parse_statement;
+use crate::result::ResultSet;
+use crate::value::Value;
+use crate::aggregate::Accumulator;
+use crate::functions;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// CTE name → materialized result, keyed by lowercase name.
+pub type CteMap = HashMap<String, Rc<ResultSet>>;
+
+/// Parse and execute a SQL string against a database.
+pub fn execute_sql(db: &Database, sql: &str) -> EngineResult<ResultSet> {
+    let stmt = parse_statement(sql)?;
+    execute(db, &stmt)
+}
+
+/// Execute a parsed statement.
+pub fn execute(db: &Database, stmt: &Statement) -> EngineResult<ResultSet> {
+    match stmt {
+        Statement::Query(q) => execute_query_with_outer(db, q, &CteMap::new(), None),
+    }
+}
+
+/// Execute a query, optionally with an outer row scope for correlated
+/// subqueries and a set of inherited CTEs.
+pub fn execute_query_with_outer(
+    db: &Database,
+    query: &Query,
+    inherited: &CteMap,
+    outer: Option<&Scope<'_>>,
+) -> EngineResult<ResultSet> {
+    let mut ctes = inherited.clone();
+    for cte in &query.ctes {
+        // CTEs see previously defined CTEs but not the outer row scope.
+        let result = execute_query_with_outer(db, &cte.query, &ctes, None)?;
+        ctes.insert(cte.name.to_lowercase(), Rc::new(result));
+    }
+
+    match &query.body {
+        SetExpr::Select(select) => {
+            exec_select(db, select, &ctes, outer, &query.order_by, query.limit)
+        }
+        SetExpr::SetOp { .. } => {
+            let mut rs = exec_set_expr(db, &query.body, &ctes, outer)?;
+            sort_result_by_output(&mut rs, &query.order_by)?;
+            if let Some(n) = query.limit {
+                rs.rows.truncate(n as usize);
+            }
+            Ok(rs)
+        }
+    }
+}
+
+fn exec_set_expr(
+    db: &Database,
+    body: &SetExpr,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+) -> EngineResult<ResultSet> {
+    match body {
+        SetExpr::Select(select) => exec_select(db, select, ctes, outer, &[], None),
+        SetExpr::SetOp { op, all, left, right } => {
+            let l = exec_set_expr(db, left, ctes, outer)?;
+            let r = exec_set_expr(db, right, ctes, outer)?;
+            if l.columns.len() != r.columns.len() {
+                return Err(EngineError::typing(format!(
+                    "set operation arity mismatch: {} vs {} columns",
+                    l.columns.len(),
+                    r.columns.len()
+                )));
+            }
+            let key = |row: &Vec<Value>| -> String {
+                row.iter().map(Value::group_key).collect::<Vec<_>>().join("|")
+            };
+            let mut out = ResultSet::new(l.columns.clone());
+            match (op, all) {
+                (SetOp::Union, true) => {
+                    out.rows = l.rows;
+                    out.rows.extend(r.rows);
+                }
+                (SetOp::Union, false) => {
+                    let mut seen = std::collections::HashSet::new();
+                    for row in l.rows.into_iter().chain(r.rows) {
+                        if seen.insert(key(&row)) {
+                            out.rows.push(row);
+                        }
+                    }
+                }
+                (SetOp::Intersect, all) => {
+                    let mut right_counts: HashMap<String, usize> = HashMap::new();
+                    for row in &r.rows {
+                        *right_counts.entry(key(row)).or_insert(0) += 1;
+                    }
+                    let mut emitted: HashMap<String, usize> = HashMap::new();
+                    for row in l.rows {
+                        let k = key(&row);
+                        let avail = right_counts.get(&k).copied().unwrap_or(0);
+                        let used = emitted.entry(k).or_insert(0);
+                        let cap = if *all { avail } else { avail.min(1) };
+                        if *used < cap {
+                            *used += 1;
+                            out.rows.push(row);
+                        }
+                    }
+                }
+                (SetOp::Except, all) => {
+                    let mut right_counts: HashMap<String, usize> = HashMap::new();
+                    for row in &r.rows {
+                        *right_counts.entry(key(row)).or_insert(0) += 1;
+                    }
+                    let mut emitted: HashMap<String, usize> = HashMap::new();
+                    for row in l.rows {
+                        let k = key(&row);
+                        let blocked = right_counts.get(&k).copied().unwrap_or(0);
+                        let count = emitted.entry(k).or_insert(0);
+                        *count += 1;
+                        let keep = if *all {
+                            *count > blocked
+                        } else {
+                            blocked == 0 && *count == 1
+                        };
+                        if keep {
+                            out.rows.push(row);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// One projection unit: a plain row or a group of rows.
+struct Unit {
+    /// Representative row index (first member), `usize::MAX` for an empty
+    /// implicit group.
+    rep: usize,
+    members: Vec<usize>,
+}
+
+static EMPTY_ROW: &[Value] = &[];
+
+fn exec_select(
+    db: &Database,
+    select: &Select,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+) -> EngineResult<ResultSet> {
+    let env = EvalEnv { db, ctes };
+
+    // FROM.
+    let rel = match &select.from {
+        Some(tr) => resolve_from(db, tr, ctes, outer)?,
+        None => Relation { cols: Vec::new(), rows: vec![Vec::new()] },
+    };
+
+    // WHERE.
+    let mut kept: Vec<usize> = Vec::with_capacity(rel.rows.len());
+    match &select.selection {
+        Some(pred) => {
+            for (i, row) in rel.rows.iter().enumerate() {
+                let scope = Scope {
+                    cols: &rel.cols,
+                    row,
+                    parent: outer,
+                    group: None,
+                    windows: None,
+                    unit_index: 0,
+                };
+                if eval_expr(pred, &scope, &env)?.as_bool()? == Some(true) {
+                    kept.push(i);
+                }
+            }
+        }
+        None => kept = (0..rel.rows.len()).collect(),
+    }
+
+    // Is this an aggregated query?
+    let items_have_aggregates = select.items.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+        _ => false,
+    });
+    let aggregated = !select.group_by.is_empty()
+        || items_have_aggregates
+        || select.having.as_ref().map(contains_aggregate).unwrap_or(false)
+        || select.having.is_some();
+
+    // Build units.
+    let mut units: Vec<Unit> = Vec::new();
+    if aggregated {
+        if select.group_by.is_empty() {
+            units.push(Unit {
+                rep: kept.first().copied().unwrap_or(usize::MAX),
+                members: kept.clone(),
+            });
+        } else {
+            let mut index: HashMap<String, usize> = HashMap::new();
+            for &i in &kept {
+                let scope = Scope {
+                    cols: &rel.cols,
+                    row: &rel.rows[i],
+                    parent: outer,
+                    group: None,
+                    windows: None,
+                    unit_index: 0,
+                };
+                let mut key_parts = Vec::with_capacity(select.group_by.len());
+                for g in &select.group_by {
+                    key_parts.push(eval_expr(g, &scope, &env)?.group_key());
+                }
+                let key = key_parts.join("|");
+                match index.get(&key) {
+                    Some(&u) => units[u].members.push(i),
+                    None => {
+                        index.insert(key, units.len());
+                        units.push(Unit { rep: i, members: vec![i] });
+                    }
+                }
+            }
+        }
+        // HAVING.
+        if let Some(having) = &select.having {
+            let mut filtered = Vec::with_capacity(units.len());
+            for unit in units {
+                let scope = unit_scope(&rel, &unit, outer, None, 0, aggregated);
+                if eval_expr(having, &scope, &env)?.as_bool()? == Some(true) {
+                    filtered.push(unit);
+                }
+            }
+            units = filtered;
+        }
+    } else {
+        units = kept.iter().map(|&i| Unit { rep: i, members: vec![i] }).collect();
+    }
+
+    // Window functions.
+    let mut window_exprs: Vec<&Expr> = Vec::new();
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_window_calls(expr, &mut window_exprs);
+        }
+    }
+    for o in order_by {
+        collect_window_calls(&o.expr, &mut window_exprs);
+    }
+    let windows = compute_windows(&rel, &units, &window_exprs, outer, &env, aggregated)?;
+
+    // Projection.
+    let mut out_cols: Vec<String> = Vec::new();
+    let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(units.len());
+    let mut first = true;
+    for (ui, unit) in units.iter().enumerate() {
+        let scope = unit_scope(&rel, unit, outer, Some(&windows), ui, aggregated);
+        let mut row: Vec<Value> = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    if aggregated {
+                        return Err(EngineError::typing(
+                            "SELECT * is not allowed with GROUP BY / aggregates",
+                        ));
+                    }
+                    if first {
+                        out_cols.extend(rel.cols.iter().map(|c| c.name.clone()));
+                    }
+                    row.extend(rel.rows[unit.rep].iter().cloned());
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    if aggregated {
+                        return Err(EngineError::typing(
+                            "qualified * is not allowed with GROUP BY / aggregates",
+                        ));
+                    }
+                    let mut any = false;
+                    for (ci, col) in rel.cols.iter().enumerate() {
+                        if col
+                            .qualifier
+                            .as_deref()
+                            .map(|cq| cq.eq_ignore_ascii_case(q))
+                            .unwrap_or(false)
+                        {
+                            any = true;
+                            if first {
+                                out_cols.push(col.name.clone());
+                            }
+                            row.push(rel.rows[unit.rep][ci].clone());
+                        }
+                    }
+                    if !any {
+                        return Err(EngineError::binding(format!("no such table alias {q}")));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    if first {
+                        out_cols.push(output_name(expr, alias.as_deref()));
+                    }
+                    row.push(eval_expr(expr, &scope, &env)?);
+                }
+            }
+        }
+        out_rows.push(row);
+        first = false;
+    }
+    if units.is_empty() {
+        // Still need output column names for empty results.
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    out_cols.extend(rel.cols.iter().map(|c| c.name.clone()))
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    for col in &rel.cols {
+                        if col
+                            .qualifier
+                            .as_deref()
+                            .map(|cq| cq.eq_ignore_ascii_case(q))
+                            .unwrap_or(false)
+                        {
+                            out_cols.push(col.name.clone());
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    out_cols.push(output_name(expr, alias.as_deref()))
+                }
+            }
+        }
+    }
+
+    // ORDER BY: compute sort keys aligned with projected rows.
+    if !order_by.is_empty() {
+        let mut keys: Vec<Vec<Value>> = vec![Vec::new(); out_rows.len()];
+        for item in order_by {
+            match order_key_source(item, &out_cols)? {
+                OrderSource::OutputColumn(ci) => {
+                    for (ri, row) in out_rows.iter().enumerate() {
+                        keys[ri].push(row[ci].clone());
+                    }
+                }
+                OrderSource::Expression => {
+                    if select.distinct {
+                        return Err(EngineError::typing(
+                            "ORDER BY expression must appear in SELECT DISTINCT output",
+                        ));
+                    }
+                    for (ui, unit) in units.iter().enumerate() {
+                        let scope =
+                            unit_scope(&rel, unit, outer, Some(&windows), ui, aggregated);
+                        keys[ui].push(eval_expr(&item.expr, &scope, &env)?);
+                    }
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..out_rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            for (k, item) in order_by.iter().enumerate() {
+                let ord = keys[a][k].total_cmp(&keys[b][k]);
+                let ord = if item.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b) // stable
+        });
+        let mut sorted = Vec::with_capacity(out_rows.len());
+        for i in order {
+            sorted.push(std::mem::take(&mut out_rows[i]));
+        }
+        out_rows = sorted;
+    }
+
+    // DISTINCT (after ORDER BY keeps the first occurrence in sort order).
+    if select.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|row| {
+            let k: String = row.iter().map(Value::group_key).collect::<Vec<_>>().join("|");
+            seen.insert(k)
+        });
+    }
+
+    if let Some(n) = limit {
+        out_rows.truncate(n as usize);
+    }
+
+    Ok(ResultSet { columns: out_cols, rows: out_rows })
+}
+
+fn unit_scope<'a>(
+    rel: &'a Relation,
+    unit: &'a Unit,
+    outer: Option<&'a Scope<'a>>,
+    windows: Option<&'a WindowValues>,
+    unit_index: usize,
+    aggregated: bool,
+) -> Scope<'a> {
+    let row: &[Value] = if unit.rep == usize::MAX { EMPTY_ROW } else { &rel.rows[unit.rep] };
+    let cols: &[ColMeta] = if unit.rep == usize::MAX { &[] } else { &rel.cols };
+    Scope {
+        cols,
+        row,
+        parent: outer,
+        group: if aggregated {
+            Some(GroupView { rel, indices: &unit.members })
+        } else {
+            None
+        },
+        windows,
+        unit_index,
+    }
+}
+
+fn output_name(expr: &Expr, alias: Option<&str>) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        other => other.to_string(),
+    }
+}
+
+enum OrderSource {
+    OutputColumn(usize),
+    Expression,
+}
+
+fn order_key_source(item: &OrderItem, out_cols: &[String]) -> EngineResult<OrderSource> {
+    match &item.expr {
+        Expr::Literal(Literal::Integer(n)) => {
+            let idx = *n - 1;
+            if idx < 0 || idx as usize >= out_cols.len() {
+                return Err(EngineError::binding(format!(
+                    "ORDER BY position {n} is out of range"
+                )));
+            }
+            Ok(OrderSource::OutputColumn(idx as usize))
+        }
+        Expr::Column { table: None, name } => {
+            let matches: Vec<usize> = out_cols
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.eq_ignore_ascii_case(name))
+                .map(|(i, _)| i)
+                .collect();
+            match matches.len() {
+                1 => Ok(OrderSource::OutputColumn(matches[0])),
+                _ => Ok(OrderSource::Expression),
+            }
+        }
+        _ => Ok(OrderSource::Expression),
+    }
+}
+
+// ----------------------------------------------------------------------
+// FROM resolution
+// ----------------------------------------------------------------------
+
+fn resolve_from(
+    db: &Database,
+    tr: &TableRef,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+) -> EngineResult<Relation> {
+    match tr {
+        TableRef::Named { name, alias } => {
+            let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+            if let Some(rs) = ctes.get(&name.to_lowercase()) {
+                let cols = rs
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta::new(Some(qualifier.clone()), c.clone()))
+                    .collect();
+                return Ok(Relation { cols, rows: rs.rows.clone() });
+            }
+            let table = db.table(name).ok_or_else(|| {
+                EngineError::binding(format!("no such table {name}"))
+            })?;
+            let cols = table
+                .columns
+                .iter()
+                .map(|c| ColMeta::new(Some(qualifier.clone()), c.name.clone()))
+                .collect();
+            Ok(Relation { cols, rows: table.rows.clone() })
+        }
+        TableRef::Derived { query, alias } => {
+            let rs = execute_query_with_outer(db, query, ctes, None)?;
+            let cols = rs
+                .columns
+                .iter()
+                .map(|c| ColMeta::new(Some(alias.clone()), c.clone()))
+                .collect();
+            Ok(Relation { cols, rows: rs.rows })
+        }
+        TableRef::Join { left, right, kind, on } => {
+            let l = resolve_from(db, left, ctes, outer)?;
+            let r = resolve_from(db, right, ctes, outer)?;
+            join(db, ctes, outer, l, r, *kind, on.as_ref())
+        }
+    }
+}
+
+fn join(
+    db: &Database,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+    l: Relation,
+    r: Relation,
+    kind: JoinKind,
+    on: Option<&Expr>,
+) -> EngineResult<Relation> {
+    let env = EvalEnv { db, ctes };
+    let mut cols = l.cols.clone();
+    cols.extend(r.cols.iter().cloned());
+    let mut out = Relation::new(cols);
+
+    match kind {
+        JoinKind::Cross => {
+            for lrow in &l.rows {
+                for rrow in &r.rows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    out.rows.push(combined);
+                }
+            }
+        }
+        JoinKind::Inner | JoinKind::Left => {
+            let pred = on.ok_or_else(|| EngineError::typing("JOIN requires an ON condition"))?;
+            for lrow in &l.rows {
+                let mut matched = false;
+                for rrow in &r.rows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    let scope = Scope {
+                        cols: &out.cols,
+                        row: &combined,
+                        parent: outer,
+                        group: None,
+                        windows: None,
+                        unit_index: 0,
+                    };
+                    if eval_expr(pred, &scope, &env)?.as_bool()? == Some(true) {
+                        matched = true;
+                        out.rows.push(combined);
+                    }
+                }
+                if kind == JoinKind::Left && !matched {
+                    let mut combined = lrow.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, r.cols.len()));
+                    out.rows.push(combined);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Window functions
+// ----------------------------------------------------------------------
+
+fn compute_windows(
+    rel: &Relation,
+    units: &[Unit],
+    window_exprs: &[&Expr],
+    outer: Option<&Scope<'_>>,
+    env: &EvalEnv<'_>,
+    aggregated: bool,
+) -> EngineResult<WindowValues> {
+    let mut out: WindowValues = HashMap::new();
+    for wexpr in window_exprs {
+        let key = wexpr.to_string();
+        if out.contains_key(&key) {
+            continue;
+        }
+        let call = match wexpr {
+            Expr::Function(c) => c,
+            _ => unreachable!("collect_window_calls only returns functions"),
+        };
+        let spec = call.over.as_ref().expect("window call has OVER");
+
+        // Evaluate partition and order expressions per unit.
+        let mut partition_keys: Vec<String> = Vec::with_capacity(units.len());
+        let mut order_keys: Vec<Vec<Value>> = Vec::with_capacity(units.len());
+        for (ui, unit) in units.iter().enumerate() {
+            let scope = unit_scope(rel, unit, outer, None, ui, aggregated);
+            let mut pk = Vec::with_capacity(spec.partition_by.len());
+            for e in &spec.partition_by {
+                pk.push(eval_expr(e, &scope, env)?.group_key());
+            }
+            partition_keys.push(pk.join("|"));
+            let mut ok = Vec::with_capacity(spec.order_by.len());
+            for o in &spec.order_by {
+                ok.push(eval_expr(&o.expr, &scope, env)?);
+            }
+            order_keys.push(ok);
+        }
+
+        // Partition units.
+        let mut partitions: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (ui, pk) in partition_keys.iter().enumerate() {
+            partitions.entry(pk.as_str()).or_default().push(ui);
+        }
+
+        let mut values: Vec<Value> = vec![Value::Null; units.len()];
+        for indices in partitions.values() {
+            let mut sorted = indices.clone();
+            sorted.sort_by(|&a, &b| {
+                for (k, o) in spec.order_by.iter().enumerate() {
+                    let ord = order_keys[a][k].total_cmp(&order_keys[b][k]);
+                    let ord = if o.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.cmp(&b)
+            });
+
+            let name = call.name.to_ascii_uppercase();
+            match name.as_str() {
+                "ROW_NUMBER" => {
+                    for (pos, &ui) in sorted.iter().enumerate() {
+                        values[ui] = Value::Integer(pos as i64 + 1);
+                    }
+                }
+                "RANK" | "DENSE_RANK" => {
+                    let mut rank = 0i64;
+                    let mut dense = 0i64;
+                    let mut prev: Option<&Vec<Value>> = None;
+                    for (pos, &ui) in sorted.iter().enumerate() {
+                        let tied = prev
+                            .map(|p| {
+                                p.len() == order_keys[ui].len()
+                                    && p.iter().zip(&order_keys[ui]).all(|(a, b)| {
+                                        a.total_cmp(b) == std::cmp::Ordering::Equal
+                                    })
+                            })
+                            .unwrap_or(false);
+                        if !tied {
+                            rank = pos as i64 + 1;
+                            dense += 1;
+                        }
+                        values[ui] = Value::Integer(if name == "RANK" { rank } else { dense });
+                        prev = Some(&order_keys[ui]);
+                    }
+                }
+                "NTILE" => {
+                    let k = match call.args.first() {
+                        Some(Expr::Literal(Literal::Integer(n))) if *n > 0 => *n as usize,
+                        _ => {
+                            return Err(EngineError::typing(
+                                "NTILE requires a positive integer literal argument",
+                            ))
+                        }
+                    };
+                    let n = sorted.len();
+                    for (pos, &ui) in sorted.iter().enumerate() {
+                        // Standard NTILE distribution: earlier buckets get
+                        // the remainder.
+                        let bucket = (pos * k) / n.max(1);
+                        values[ui] = Value::Integer(bucket as i64 + 1);
+                    }
+                }
+                "LAG" | "LEAD" => {
+                    // LAG/LEAD(expr [, offset [, default]]) within the
+                    // partition's sort order.
+                    if call.args.is_empty() || call.args.len() > 3 {
+                        return Err(EngineError::typing(format!(
+                            "{name} expects 1 to 3 arguments"
+                        )));
+                    }
+                    let offset = match call.args.get(1) {
+                        None => 1i64,
+                        Some(Expr::Literal(Literal::Integer(n))) if *n >= 0 => *n,
+                        _ => {
+                            return Err(EngineError::typing(format!(
+                                "{name} offset must be a non-negative integer literal"
+                            )))
+                        }
+                    };
+                    // Evaluate the carried expression for each unit first.
+                    let mut carried = Vec::with_capacity(sorted.len());
+                    for &ui in &sorted {
+                        let scope = unit_scope(rel, &units[ui], outer, None, ui, aggregated);
+                        carried.push(eval_expr(&call.args[0], &scope, env)?);
+                    }
+                    for (pos, &ui) in sorted.iter().enumerate() {
+                        let source = if name == "LAG" {
+                            pos.checked_sub(offset as usize)
+                        } else {
+                            pos.checked_add(offset as usize)
+                                .filter(|p| *p < sorted.len())
+                        };
+                        values[ui] = match source {
+                            Some(p) => carried[p].clone(),
+                            None => match call.args.get(2) {
+                                Some(default) => {
+                                    let scope = unit_scope(
+                                        rel, &units[ui], outer, None, ui, aggregated,
+                                    );
+                                    eval_expr(default, &scope, env)?
+                                }
+                                None => Value::Null,
+                            },
+                        };
+                    }
+                }
+                "FIRST_VALUE" | "LAST_VALUE" => {
+                    if call.args.len() != 1 {
+                        return Err(EngineError::typing(format!(
+                            "{name} expects exactly one argument"
+                        )));
+                    }
+                    // Whole-partition frame (no frame clauses), so
+                    // LAST_VALUE sees the true partition end.
+                    let pick = if name == "FIRST_VALUE" {
+                        sorted.first()
+                    } else {
+                        sorted.last()
+                    };
+                    if let Some(&src) = pick {
+                        let scope = unit_scope(rel, &units[src], outer, None, src, aggregated);
+                        let v = eval_expr(&call.args[0], &scope, env)?;
+                        for &ui in &sorted {
+                            values[ui] = v.clone();
+                        }
+                    }
+                }
+                agg if functions::is_aggregate(agg) => {
+                    // Aggregate over the whole partition (no frames).
+                    let mut acc = Accumulator::for_function(agg, call.distinct, call.star)?;
+                    for &ui in &sorted {
+                        if call.star {
+                            acc.update(&Value::Integer(1))?;
+                        } else {
+                            if call.args.len() != 1 {
+                                return Err(EngineError::typing(format!(
+                                    "window aggregate {agg} expects one argument"
+                                )));
+                            }
+                            let scope =
+                                unit_scope(rel, &units[ui], outer, None, ui, aggregated);
+                            let v = eval_expr(&call.args[0], &scope, env)?;
+                            acc.update(&v)?;
+                        }
+                    }
+                    let v = acc.finish();
+                    for &ui in &sorted {
+                        values[ui] = v.clone();
+                    }
+                }
+                other => {
+                    return Err(EngineError::binding(format!(
+                        "unknown window function {other}"
+                    )))
+                }
+            }
+        }
+        out.insert(key, values);
+    }
+    Ok(out)
+}
+
+/// Sort a finished result by output column names / positions only (used
+/// for ORDER BY over set operations).
+fn sort_result_by_output(rs: &mut ResultSet, order_by: &[OrderItem]) -> EngineResult<()> {
+    if order_by.is_empty() {
+        return Ok(());
+    }
+    let mut key_cols = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        match order_key_source(item, &rs.columns)? {
+            OrderSource::OutputColumn(ci) => key_cols.push((ci, item.desc)),
+            OrderSource::Expression => {
+                return Err(EngineError::typing(
+                    "ORDER BY over a set operation must reference output columns",
+                ))
+            }
+        }
+    }
+    rs.rows.sort_by(|a, b| {
+        for &(ci, desc) in &key_cols {
+            let ord = a[ci].total_cmp(&b[ci]);
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Column, Table};
+    use crate::value::{DataType, Date};
+
+    fn test_db() -> Database {
+        let mut db = Database::new("test");
+        let mut orgs = Table::new(
+            "ORGS",
+            vec![
+                Column::new("ID", DataType::Integer),
+                Column::new("NAME", DataType::Text),
+                Column::new("COUNTRY", DataType::Text),
+                Column::new("OWNED", DataType::Text),
+            ],
+        );
+        for (id, name, country, owned) in [
+            (1, "Alpha", "Canada", "COC"),
+            (2, "Beta", "Canada", "COC"),
+            (3, "Gamma", "USA", "EXT"),
+            (4, "Delta", "Canada", "EXT"),
+            (5, "Epsilon", "Mexico", "COC"),
+        ] {
+            orgs.push_row(vec![
+                Value::Integer(id),
+                name.into(),
+                country.into(),
+                owned.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(orgs).unwrap();
+
+        let mut fin = Table::new(
+            "FINANCIALS",
+            vec![
+                Column::new("ORG_ID", DataType::Integer),
+                Column::new("FIN_MONTH", DataType::Date),
+                Column::new("REVENUE", DataType::Integer),
+            ],
+        );
+        let rows = [
+            (1, (2023, 2), 100),
+            (1, (2023, 5), 150),
+            (2, (2023, 2), 200),
+            (2, (2023, 5), 180),
+            (3, (2023, 2), 300),
+            (3, (2023, 5), 330),
+            (5, (2023, 5), 90),
+        ];
+        for (org, (y, m), rev) in rows {
+            fin.push_row(vec![
+                Value::Integer(org),
+                Value::Date(Date::new(y, m, 1).unwrap()),
+                Value::Integer(rev),
+            ])
+            .unwrap();
+        }
+        db.add_table(fin).unwrap();
+        db
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        let db = test_db();
+        execute_sql(&db, sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    fn run_err(sql: &str) -> EngineError {
+        let db = test_db();
+        execute_sql(&db, sql).unwrap_err()
+    }
+
+    fn ints(rs: &ResultSet) -> Vec<i64> {
+        rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect()
+    }
+
+    fn texts(rs: &ResultSet, col: usize) -> Vec<String> {
+        rs.rows.iter().map(|r| r[col].to_string()).collect()
+    }
+
+    #[test]
+    fn select_constant() {
+        let rs = run("SELECT 1 + 2 AS x");
+        assert_eq!(rs.columns, vec!["x"]);
+        assert_eq!(ints(&rs), vec![3]);
+    }
+
+    #[test]
+    fn where_filters() {
+        let rs = run("SELECT NAME FROM ORGS WHERE COUNTRY = 'Canada' ORDER BY NAME");
+        assert_eq!(texts(&rs, 0), vec!["Alpha", "Beta", "Delta"]);
+    }
+
+    #[test]
+    fn wildcard_and_qualified_wildcard() {
+        let rs = run("SELECT * FROM ORGS");
+        assert_eq!(rs.columns.len(), 4);
+        assert_eq!(rs.rows.len(), 5);
+        let rs = run("SELECT o.* FROM ORGS o WHERE o.ID = 1");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.columns.len(), 4);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let rs = run("SELECT ID FROM ORGS ORDER BY ID DESC LIMIT 2");
+        assert_eq!(ints(&rs), vec![5, 4]);
+    }
+
+    #[test]
+    fn order_by_position() {
+        let rs = run("SELECT NAME, ID FROM ORGS ORDER BY 2 DESC LIMIT 1");
+        assert_eq!(texts(&rs, 0), vec!["Epsilon"]);
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let rs = run("SELECT ID * 10 AS tens FROM ORGS ORDER BY tens DESC LIMIT 1");
+        assert_eq!(ints(&rs), vec![50]);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let rs = run(
+            "SELECT COUNTRY, COUNT(*) AS n, SUM(ID) AS total FROM ORGS \
+             GROUP BY COUNTRY ORDER BY COUNTRY",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Canada", "Mexico", "USA"]);
+        assert_eq!(
+            rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect::<Vec<_>>(),
+            vec![3, 1, 1]
+        );
+        assert_eq!(
+            rs.rows.iter().map(|r| r[2].as_i64().unwrap()).collect::<Vec<_>>(),
+            vec![7, 5, 3]
+        );
+    }
+
+    #[test]
+    fn implicit_whole_table_aggregate() {
+        let rs = run("SELECT COUNT(*), MIN(ID), MAX(ID), AVG(ID) FROM ORGS");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0].as_i64(), Some(5));
+        assert_eq!(rs.rows[0][1].as_i64(), Some(1));
+        assert_eq!(rs.rows[0][2].as_i64(), Some(5));
+        assert_eq!(rs.rows[0][3].as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn aggregate_over_empty_table_yields_one_row() {
+        let rs = run("SELECT COUNT(*) FROM ORGS WHERE ID > 1000");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn group_by_on_empty_input_yields_no_rows() {
+        let rs = run("SELECT COUNTRY, COUNT(*) FROM ORGS WHERE ID > 1000 GROUP BY COUNTRY");
+        assert!(rs.rows.is_empty());
+        assert_eq!(rs.columns.len(), 2);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let rs = run(
+            "SELECT COUNTRY FROM ORGS GROUP BY COUNTRY HAVING COUNT(*) > 1",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Canada"]);
+    }
+
+    #[test]
+    fn join_inner() {
+        let rs = run(
+            "SELECT o.NAME, f.REVENUE FROM ORGS o JOIN FINANCIALS f ON o.ID = f.ORG_ID \
+             WHERE f.REVENUE > 250 ORDER BY f.REVENUE",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Gamma", "Gamma"]);
+    }
+
+    #[test]
+    fn join_left_pads_nulls() {
+        let rs = run(
+            "SELECT o.NAME, f.REVENUE FROM ORGS o LEFT JOIN FINANCIALS f ON o.ID = f.ORG_ID \
+             WHERE f.REVENUE IS NULL",
+        );
+        // Delta (id 4) has no financials.
+        assert_eq!(texts(&rs, 0), vec!["Delta"]);
+    }
+
+    #[test]
+    fn cross_join_counts() {
+        let rs = run("SELECT COUNT(*) FROM ORGS a CROSS JOIN ORGS b");
+        assert_eq!(rs.rows[0][0].as_i64(), Some(25));
+    }
+
+    #[test]
+    fn conditional_aggregation_paper_pattern() {
+        // The paper's Q_fin-perf pattern: quarterly pivot via CASE in SUM.
+        let rs = run(
+            "SELECT o.NAME, \
+               SUM(CASE WHEN TO_CHAR(f.FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q1' THEN f.REVENUE ELSE 0 END) AS q1, \
+               SUM(CASE WHEN TO_CHAR(f.FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q2' THEN f.REVENUE ELSE 0 END) AS q2 \
+             FROM ORGS o JOIN FINANCIALS f ON o.ID = f.ORG_ID \
+             GROUP BY o.NAME ORDER BY o.NAME",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Alpha", "Beta", "Epsilon", "Gamma"]);
+        let q1: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        let q2: Vec<i64> = rs.rows.iter().map(|r| r[2].as_i64().unwrap()).collect();
+        assert_eq!(q1, vec![100, 200, 0, 300]);
+        assert_eq!(q2, vec![150, 180, 90, 330]);
+    }
+
+    #[test]
+    fn cte_pipeline() {
+        let rs = run(
+            "WITH canadian AS (SELECT ID, NAME FROM ORGS WHERE COUNTRY = 'Canada'), \
+                  rich AS (SELECT c.NAME, SUM(f.REVENUE) AS total \
+                           FROM canadian c JOIN FINANCIALS f ON c.ID = f.ORG_ID \
+                           GROUP BY c.NAME) \
+             SELECT NAME, total FROM rich ORDER BY total DESC",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Beta", "Alpha"]);
+    }
+
+    #[test]
+    fn cte_shadows_table() {
+        let rs = run("WITH ORGS AS (SELECT 42 AS ID) SELECT ID FROM ORGS");
+        assert_eq!(ints(&rs), vec![42]);
+    }
+
+    #[test]
+    fn window_row_number() {
+        let rs = run(
+            "SELECT NAME, ROW_NUMBER() OVER (PARTITION BY COUNTRY ORDER BY ID) AS rn \
+             FROM ORGS ORDER BY NAME",
+        );
+        let by_name: Vec<(String, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].to_string(), r[1].as_i64().unwrap()))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("Alpha".into(), 1),
+                ("Beta".into(), 2),
+                ("Delta".into(), 3),
+                ("Epsilon".into(), 1),
+                ("Gamma".into(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_rank_with_ties() {
+        let rs = run(
+            "SELECT OWNED, RANK() OVER (ORDER BY COUNTRY) AS r, \
+                    DENSE_RANK() OVER (ORDER BY COUNTRY) AS d \
+             FROM ORGS ORDER BY COUNTRY, OWNED",
+        );
+        let ranks: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        let dense: Vec<i64> = rs.rows.iter().map(|r| r[2].as_i64().unwrap()).collect();
+        assert_eq!(ranks, vec![1, 1, 1, 4, 5]);
+        assert_eq!(dense, vec![1, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn window_aggregate_over_partition() {
+        let rs = run(
+            "SELECT NAME, SUM(ID) OVER (PARTITION BY COUNTRY) AS s FROM ORGS ORDER BY NAME",
+        );
+        let sums: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        // Canada: 1+2+4=7 (Alpha, Beta, Delta), Mexico 5, USA 3.
+        assert_eq!(sums, vec![7, 7, 7, 5, 3]);
+    }
+
+    #[test]
+    fn window_over_grouped_query() {
+        let rs = run(
+            "SELECT COUNTRY, SUM(ID) AS s, \
+                    RANK() OVER (ORDER BY SUM(ID) DESC) AS r \
+             FROM ORGS GROUP BY COUNTRY ORDER BY r",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Canada", "Mexico", "USA"]);
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let rs = run("SELECT DISTINCT COUNTRY FROM ORGS ORDER BY COUNTRY");
+        assert_eq!(texts(&rs, 0), vec!["Canada", "Mexico", "USA"]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rs = run("SELECT COUNT(DISTINCT COUNTRY) FROM ORGS");
+        assert_eq!(rs.rows[0][0].as_i64(), Some(3));
+    }
+
+    #[test]
+    fn in_subquery() {
+        let rs = run(
+            "SELECT NAME FROM ORGS WHERE ID IN (SELECT ORG_ID FROM FINANCIALS WHERE REVENUE > 250) ",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Gamma"]);
+    }
+
+    #[test]
+    fn not_in_subquery() {
+        let rs = run(
+            "SELECT NAME FROM ORGS WHERE ID NOT IN (SELECT ORG_ID FROM FINANCIALS) ORDER BY NAME",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Delta"]);
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let rs = run(
+            "SELECT NAME FROM ORGS o WHERE EXISTS \
+             (SELECT 1 FROM FINANCIALS f WHERE f.ORG_ID = o.ID AND f.REVENUE > 250)",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Gamma"]);
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let rs = run("SELECT (SELECT MAX(REVENUE) FROM FINANCIALS) AS m");
+        assert_eq!(rs.rows[0][0].as_i64(), Some(330));
+    }
+
+    #[test]
+    fn correlated_scalar_subquery() {
+        let rs = run(
+            "SELECT NAME, (SELECT SUM(REVENUE) FROM FINANCIALS f WHERE f.ORG_ID = o.ID) AS t \
+             FROM ORGS o ORDER BY NAME",
+        );
+        assert_eq!(rs.rows[0][1].as_i64(), Some(250)); // Alpha
+        assert!(rs.rows[2][1].is_null()); // Delta: SUM of nothing is NULL
+    }
+
+    #[test]
+    fn derived_table() {
+        let rs = run(
+            "SELECT t.NAME FROM (SELECT NAME FROM ORGS WHERE COUNTRY = 'USA') AS t",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Gamma"]);
+    }
+
+    #[test]
+    fn union_and_union_all() {
+        let rs = run("SELECT COUNTRY FROM ORGS UNION SELECT COUNTRY FROM ORGS ORDER BY COUNTRY");
+        assert_eq!(rs.rows.len(), 3);
+        let rs = run("SELECT COUNTRY FROM ORGS UNION ALL SELECT COUNTRY FROM ORGS");
+        assert_eq!(rs.rows.len(), 10);
+    }
+
+    #[test]
+    fn intersect_and_except() {
+        let rs = run(
+            "SELECT COUNTRY FROM ORGS WHERE OWNED = 'COC' \
+             INTERSECT SELECT COUNTRY FROM ORGS WHERE OWNED = 'EXT'",
+        );
+        assert_eq!(texts(&rs, 0), vec!["Canada"]);
+        let rs = run(
+            "SELECT COUNTRY FROM ORGS EXCEPT SELECT COUNTRY FROM ORGS WHERE OWNED = 'EXT' ",
+        );
+        let mut got = texts(&rs, 0);
+        got.sort();
+        assert_eq!(got, vec!["Mexico"]);
+    }
+
+    #[test]
+    fn set_op_arity_mismatch() {
+        let e = run_err("SELECT ID, NAME FROM ORGS UNION SELECT ID FROM ORGS");
+        assert!(matches!(e, EngineError::Type { .. }));
+    }
+
+    #[test]
+    fn unknown_table_is_binding_error() {
+        let e = run_err("SELECT * FROM NOPE");
+        assert!(matches!(e, EngineError::Binding { .. }));
+        assert!(e.is_semantic());
+    }
+
+    #[test]
+    fn unknown_column_is_binding_error() {
+        let e = run_err("SELECT WIBBLE FROM ORGS");
+        assert!(matches!(e, EngineError::Binding { .. }));
+    }
+
+    #[test]
+    fn ambiguous_column_is_binding_error() {
+        let e = run_err("SELECT ID FROM ORGS a JOIN ORGS b ON a.ID = b.ID");
+        assert!(matches!(e, EngineError::Binding { .. }));
+        assert!(e.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn three_valued_logic_in_where() {
+        // NULL comparisons must not satisfy WHERE.
+        let rs = run(
+            "SELECT o.NAME FROM ORGS o LEFT JOIN FINANCIALS f ON o.ID = f.ORG_ID \
+             WHERE f.REVENUE > 0 OR f.REVENUE <= 0",
+        );
+        assert!(!texts(&rs, 0).contains(&"Delta".to_string()));
+    }
+
+    #[test]
+    fn division_semantics() {
+        let rs = run("SELECT 7 / 2, 7.0 / 2, 7 / 0, CAST(7 AS FLOAT) / 2");
+        assert_eq!(rs.rows[0][0].as_i64(), Some(3)); // integer division
+        assert_eq!(rs.rows[0][1].as_f64(), Some(3.5));
+        assert!(rs.rows[0][2].is_null()); // divide by zero -> NULL
+        assert_eq!(rs.rows[0][3].as_f64(), Some(3.5));
+    }
+
+    #[test]
+    fn like_and_between() {
+        let rs = run("SELECT NAME FROM ORGS WHERE NAME LIKE '%a' AND ID BETWEEN 1 AND 4 ORDER BY NAME");
+        assert_eq!(texts(&rs, 0), vec!["Alpha", "Beta", "Delta", "Gamma"]);
+    }
+
+    #[test]
+    fn case_without_else_is_null() {
+        let rs = run("SELECT CASE WHEN 1 = 2 THEN 'x' END");
+        assert!(rs.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn full_paper_query_shape_runs() {
+        // A condensed Q_fin-perf: per-org RPV-style ratio change with
+        // ranking, over the test data.
+        let rs = run(
+            "WITH F AS ( \
+               SELECT ORG_ID, \
+                 SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q1' THEN REVENUE ELSE 0 END) AS R1, \
+                 SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q2' THEN REVENUE ELSE 0 END) AS R2 \
+               FROM FINANCIALS GROUP BY ORG_ID \
+             ), \
+             D AS ( \
+               SELECT o.NAME, CAST(f.R2 AS FLOAT) / NULLIF(f.R1, 0) AS growth, \
+                      ROW_NUMBER() OVER (ORDER BY CAST(f.R2 AS FLOAT) / NULLIF(f.R1, 0) DESC) AS rnk \
+               FROM F f JOIN ORGS o ON o.ID = f.ORG_ID \
+               WHERE o.OWNED = 'COC' \
+             ) \
+             SELECT NAME, growth, rnk FROM D WHERE rnk <= 5 ORDER BY rnk",
+        );
+        // COC orgs with financials: Alpha (150/100=1.5), Beta (0.9),
+        // Epsilon (90/0 -> NULL).
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0][0].to_string(), "Alpha");
+        assert!((rs.rows[0][1].as_f64().unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(rs.rows[1][0].to_string(), "Beta");
+        assert!(rs.rows[2][1].is_null()); // Epsilon's NULL growth ranks last? (nulls sort first asc; DESC -> last)
+    }
+
+    #[test]
+    fn select_star_with_group_by_rejected() {
+        let e = run_err("SELECT * FROM ORGS GROUP BY COUNTRY");
+        assert!(matches!(e, EngineError::Type { .. }));
+    }
+
+    #[test]
+    fn ranking_without_over_rejected() {
+        let e = run_err("SELECT ROW_NUMBER() FROM ORGS");
+        assert!(matches!(e, EngineError::Type { .. }));
+    }
+
+    #[test]
+    fn group_concat() {
+        let rs = run(
+            "SELECT COUNTRY, GROUP_CONCAT(NAME) FROM ORGS GROUP BY COUNTRY ORDER BY COUNTRY",
+        );
+        assert_eq!(rs.rows[0][1].to_string(), "Alpha,Beta,Delta");
+    }
+
+    #[test]
+    fn lag_and_lead_over_partition() {
+        // Per-country revenue trail: LAG looks back in ID order.
+        let rs = run(
+            "SELECT ID, LAG(ID) OVER (PARTITION BY COUNTRY ORDER BY ID) AS prev, \
+                    LEAD(ID) OVER (PARTITION BY COUNTRY ORDER BY ID) AS next \
+             FROM ORGS ORDER BY ID",
+        );
+        // Canada: ids 1, 2, 4.
+        let by_id: Vec<(i64, Option<i64>, Option<i64>)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64(), r[2].as_i64()))
+            .collect();
+        assert_eq!(by_id[0], (1, None, Some(2)));
+        assert_eq!(by_id[1], (2, Some(1), Some(4)));
+        assert_eq!(by_id[3], (4, Some(2), None));
+        // Singleton partitions see NULL on both sides.
+        assert_eq!(by_id[2], (3, None, None));
+    }
+
+    #[test]
+    fn lag_with_offset_and_default() {
+        let rs = run("SELECT ID, LAG(ID, 2, 0) OVER (ORDER BY ID) AS l2 FROM ORGS ORDER BY ID");
+        let l2: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        assert_eq!(l2, vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn first_and_last_value() {
+        let rs = run(
+            "SELECT COUNTRY, FIRST_VALUE(NAME) OVER (PARTITION BY COUNTRY ORDER BY ID) AS f, \
+                    LAST_VALUE(NAME) OVER (PARTITION BY COUNTRY ORDER BY ID) AS l \
+             FROM ORGS WHERE COUNTRY = 'Canada'",
+        );
+        for row in &rs.rows {
+            assert_eq!(row[1].to_string(), "Alpha");
+            assert_eq!(row[2].to_string(), "Delta");
+        }
+    }
+
+    #[test]
+    fn lag_requires_valid_offset() {
+        let e = run_err("SELECT LAG(ID, ID) OVER (ORDER BY ID) FROM ORGS");
+        assert!(matches!(e, EngineError::Type { .. }));
+    }
+
+    #[test]
+    fn ntile_distribution() {
+        let rs = run("SELECT ID, NTILE(2) OVER (ORDER BY ID) AS t FROM ORGS ORDER BY ID");
+        let tiles: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        assert_eq!(tiles, vec![1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn having_without_group_by_gates_whole_table_aggregate() {
+        // HAVING over the implicit single group: keeps or drops the one row.
+        let rs = run("SELECT SUM(ID) FROM ORGS HAVING COUNT(*) > 3");
+        assert_eq!(rs.rows.len(), 1);
+        let rs = run("SELECT SUM(ID) FROM ORGS HAVING COUNT(*) > 99");
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn group_by_expression_key() {
+        // Grouping on a computed key, not just a column.
+        let rs = run(
+            "SELECT ID % 2 AS parity, COUNT(*) FROM ORGS GROUP BY ID % 2 ORDER BY parity",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1].as_i64(), Some(2)); // even: 2, 4
+        assert_eq!(rs.rows[1][1].as_i64(), Some(3)); // odd: 1, 3, 5
+    }
+
+    #[test]
+    fn case_simple_form_with_null_operand_matches_nothing() {
+        // NULL = anything is unknown, so only ELSE fires.
+        let rs = run(
+            "SELECT CASE NULL WHEN NULL THEN 'eq' ELSE 'else' END",
+        );
+        assert_eq!(rs.rows[0][0].to_string(), "else");
+    }
+
+    #[test]
+    fn in_list_with_null_is_three_valued() {
+        // 1 IN (2, NULL) is unknown → excluded by WHERE but distinct from
+        // false under NOT.
+        let rs = run("SELECT ID FROM ORGS WHERE ID IN (99, NULL)");
+        assert!(rs.rows.is_empty());
+        let rs = run("SELECT ID FROM ORGS WHERE NOT (ID IN (99, NULL))");
+        assert!(rs.rows.is_empty(), "NOT unknown is still unknown");
+        let rs = run("SELECT ID FROM ORGS WHERE ID IN (1, NULL)");
+        assert_eq!(ints(&rs), vec![1]);
+    }
+
+    #[test]
+    fn order_by_null_aggregates_sort_first_ascending() {
+        let rs = run(
+            "SELECT o.NAME, SUM(f.REVENUE) AS s FROM ORGS o \
+             LEFT JOIN FINANCIALS f ON o.ID = f.ORG_ID \
+             GROUP BY o.NAME ORDER BY s, o.NAME",
+        );
+        assert!(rs.rows[0][1].is_null(), "NULL total sorts first: {:?}", rs.rows[0]);
+        assert_eq!(rs.rows[0][0].to_string(), "Delta");
+    }
+
+    #[test]
+    fn nested_cte_shadowing_inner_wins() {
+        let rs = run(
+            "WITH x AS (SELECT 1 AS v) \
+             SELECT * FROM (WITH x AS (SELECT 2 AS v) SELECT v FROM x) AS inner_q",
+        );
+        assert_eq!(ints(&rs), vec![2]);
+    }
+
+    #[test]
+    fn limit_larger_than_rows_is_harmless() {
+        let rs = run("SELECT ID FROM ORGS LIMIT 999");
+        assert_eq!(rs.rows.len(), 5);
+    }
+
+    #[test]
+    fn concat_operator_and_null_propagation() {
+        let rs = run("SELECT 'a' || 'b' || 'c', 'a' || NULL");
+        assert_eq!(rs.rows[0][0].to_string(), "abc");
+        assert!(rs.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn distinct_on_multiple_columns() {
+        let rs = run("SELECT DISTINCT COUNTRY, OWNED FROM ORGS");
+        // (Canada,COC),(Canada,EXT),(USA,EXT),(Mexico,COC)
+        assert_eq!(rs.rows.len(), 4);
+    }
+
+    #[test]
+    fn union_mixed_numeric_types_compare_by_value() {
+        // 1 (int) and 1.0 (float) are distinct under group_key — column
+        // typing is preserved, as in the EX metric.
+        let rs = run("SELECT 1 UNION SELECT 1.0");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn where_on_window_output_requires_subquery() {
+        // Window values are not visible in the same SELECT's WHERE; the
+        // CTE workaround must work (how all gold queries rank-filter).
+        let e = run_err("SELECT ROW_NUMBER() OVER (ORDER BY ID) AS r FROM ORGS WHERE r <= 2");
+        assert!(e.is_semantic());
+        let rs = run(
+            "WITH w AS (SELECT ID, ROW_NUMBER() OVER (ORDER BY ID) AS r FROM ORGS) \
+             SELECT ID FROM w WHERE r <= 2 ORDER BY ID",
+        );
+        assert_eq!(ints(&rs), vec![1, 2]);
+    }
+
+    #[test]
+    fn limit_zero() {
+        let rs = run("SELECT ID FROM ORGS LIMIT 0");
+        assert!(rs.rows.is_empty());
+        assert_eq!(rs.columns, vec!["ID"]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Property-based tests for the SQL engine.
+//!
+//! Invariants:
+//! * print ∘ parse ∘ print is a fixpoint (rendering is canonical),
+//! * parse ∘ print preserves the AST for generated expression trees,
+//! * executor: LIMIT bounds row count, WHERE yields a subset, ORDER BY
+//!   output is sorted, DISTINCT output is duplicate-free, and EX equality
+//!   is reflexive/symmetric under row shuffling.
+
+use genedit_sql::ast::*;
+use genedit_sql::value::{DataType, Value};
+use genedit_sql::{execute_sql, parse_statement, Column, Database, Table};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// AST generation
+// ---------------------------------------------------------------------
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Includes a reserved word to exercise identifier quoting.
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}",
+        Just("order".to_string()),
+        Just("COL_A".to_string()),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<i32>().prop_map(|v| Literal::Integer(v as i64)),
+        (-1000.0f64..1000.0).prop_map(Literal::Float),
+        "[ -~]{0,12}".prop_map(Literal::String),
+        any::<bool>().prop_map(Literal::Boolean),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(|name| Expr::Column { table: None, name }),
+        (arb_ident(), arb_ident())
+            .prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
+                |(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }
+            ),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, n)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: n,
+                }
+            ),
+            (inner.clone(), prop::collection::vec((inner.clone(), inner.clone()), 1..3))
+                .prop_map(|(els, branches)| Expr::Case {
+                    operand: None,
+                    branches,
+                    else_expr: Some(Box::new(els)),
+                }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Cast { expr: Box::new(e), ty: DataType::Float }),
+            (arb_agg_name(), inner.clone()).prop_map(|(name, a)| Expr::Function(
+                FunctionCall::new(name, vec![a])
+            )),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::Concat),
+    ]
+}
+
+fn arb_agg_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("SUM".to_string()),
+        Just("AVG".to_string()),
+        Just("MIN".to_string()),
+        Just("MAX".to_string()),
+        Just("COALESCE".to_string()),
+        Just("ABS".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse(print(e)) stabilizes after one round for generated trees:
+    /// printing a generated AST, parsing, and printing again yields the
+    /// same text, and the parsed AST is a fixpoint of parse∘print.
+    /// (Structural equality with the *generated* tree is not required —
+    /// the parser canonicalizes, e.g. folding `-` into numeric literals.)
+    #[test]
+    fn expr_round_trip(e in arb_expr()) {
+        let sql = format!("SELECT {e}");
+        let Statement::Query(q1) = parse_statement(&sql)
+            .unwrap_or_else(|err| panic!("{sql}: {err}"));
+        let printed1 = q1.to_string();
+        let Statement::Query(q2) = parse_statement(&printed1)
+            .unwrap_or_else(|err| panic!("{printed1}: {err}"));
+        prop_assert_eq!(&q1, &q2, "parse(print(parse(x))) != parse(x) for {}", sql);
+        prop_assert_eq!(printed1, q2.to_string());
+    }
+
+    /// Rendering is canonical: print(parse(print(q))) == print(q).
+    #[test]
+    fn print_is_fixpoint(e in arb_expr()) {
+        let sql = format!("SELECT {e} AS out_col FROM some_table WHERE {e} ORDER BY 1 LIMIT 7");
+        let Statement::Query(q1) = parse_statement(&sql).unwrap();
+        let printed = q1.to_string();
+        let Statement::Query(q2) = parse_statement(&printed).unwrap();
+        prop_assert_eq!(&printed, &q2.to_string());
+        prop_assert_eq!(q1, q2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor invariants on random data
+// ---------------------------------------------------------------------
+
+fn build_db(rows: &[(i64, i64, u8)]) -> Database {
+    let mut db = Database::new("prop");
+    let mut t = Table::new(
+        "T",
+        vec![
+            Column::new("A", DataType::Integer),
+            Column::new("B", DataType::Integer),
+            Column::new("C", DataType::Text),
+        ],
+    );
+    for (a, b, c) in rows {
+        let c_text = format!("g{}", c % 4);
+        t.push_row(vec![Value::Integer(*a), Value::Integer(*b), c_text.into()]).unwrap();
+    }
+    db.add_table(t).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn limit_bounds_rows(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, any::<u8>()), 0..40),
+        limit in 0u64..10,
+    ) {
+        let db = build_db(&rows);
+        let rs = execute_sql(&db, &format!("SELECT A FROM T LIMIT {limit}")).unwrap();
+        prop_assert!(rs.rows.len() <= limit as usize);
+        prop_assert!(rs.rows.len() <= rows.len());
+    }
+
+    #[test]
+    fn where_is_subset(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, any::<u8>()), 0..40),
+        threshold in -60i64..60,
+    ) {
+        let db = build_db(&rows);
+        let all = execute_sql(&db, "SELECT A, B FROM T").unwrap();
+        let filtered =
+            execute_sql(&db, &format!("SELECT A, B FROM T WHERE A > {threshold}")).unwrap();
+        prop_assert!(filtered.rows.len() <= all.rows.len());
+        // Every surviving row satisfies the predicate.
+        for row in &filtered.rows {
+            prop_assert!(row[0].as_i64().unwrap() > threshold);
+        }
+        // Complement check: filtered + complement = all.
+        let complement =
+            execute_sql(&db, &format!("SELECT A, B FROM T WHERE NOT A > {threshold}")).unwrap();
+        prop_assert_eq!(filtered.rows.len() + complement.rows.len(), all.rows.len());
+    }
+
+    #[test]
+    fn order_by_is_sorted(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, any::<u8>()), 0..40),
+    ) {
+        let db = build_db(&rows);
+        let rs = execute_sql(&db, "SELECT A FROM T ORDER BY A").unwrap();
+        let vals: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut sorted = vals.clone();
+        sorted.sort();
+        prop_assert_eq!(vals, sorted);
+
+        let rs = execute_sql(&db, "SELECT A FROM T ORDER BY A DESC").unwrap();
+        let vals: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        prop_assert_eq!(vals, sorted);
+    }
+
+    #[test]
+    fn distinct_is_duplicate_free(
+        rows in prop::collection::vec((-5i64..5, -50i64..50, any::<u8>()), 0..40),
+    ) {
+        let db = build_db(&rows);
+        let rs = execute_sql(&db, "SELECT DISTINCT A FROM T").unwrap();
+        let mut vals: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let n = vals.len();
+        vals.sort();
+        vals.dedup();
+        prop_assert_eq!(vals.len(), n);
+    }
+
+    #[test]
+    fn group_by_partitions_rows(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, any::<u8>()), 1..40),
+    ) {
+        let db = build_db(&rows);
+        let rs = execute_sql(&db, "SELECT C, COUNT(*) AS n FROM T GROUP BY C").unwrap();
+        let total: i64 = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize, rows.len());
+        // SUM over groups equals SUM over all.
+        let rs_g = execute_sql(&db, "SELECT C, SUM(B) AS s FROM T GROUP BY C").unwrap();
+        let group_sum: i64 = rs_g.rows.iter().map(|r| r[1].as_i64().unwrap_or(0)).sum();
+        let all_sum: i64 = rows.iter().map(|(_, b, _)| *b).sum();
+        prop_assert_eq!(group_sum, all_sum);
+    }
+
+    #[test]
+    fn ex_equality_invariant_under_shuffle(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, any::<u8>()), 0..30),
+        seed in any::<u64>(),
+    ) {
+        let db = build_db(&rows);
+        let a = execute_sql(&db, "SELECT A, B FROM T").unwrap();
+        let mut b = a.clone();
+        // Deterministic shuffle.
+        let mut s = seed;
+        for i in (1..b.rows.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            b.rows.swap(i, j);
+        }
+        prop_assert!(a.ex_equal(&b));
+        prop_assert!(b.ex_equal(&a));
+        // Dropping a row breaks equality.
+        if !b.rows.is_empty() {
+            b.rows.pop();
+            prop_assert!(!a.ex_equal(&b));
+        }
+    }
+
+    #[test]
+    fn union_all_counts_add(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, any::<u8>()), 0..30),
+    ) {
+        let db = build_db(&rows);
+        let rs = execute_sql(&db, "SELECT A FROM T UNION ALL SELECT A FROM T").unwrap();
+        prop_assert_eq!(rs.rows.len(), rows.len() * 2);
+        let rs = execute_sql(&db, "SELECT A FROM T EXCEPT SELECT A FROM T").unwrap();
+        prop_assert!(rs.rows.is_empty());
+        let rs = execute_sql(&db, "SELECT A FROM T INTERSECT SELECT A FROM T").unwrap();
+        let distinct = execute_sql(&db, "SELECT DISTINCT A FROM T").unwrap();
+        prop_assert_eq!(rs.rows.len(), distinct.rows.len());
+    }
+
+    #[test]
+    fn window_row_number_is_permutation(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, any::<u8>()), 1..30),
+    ) {
+        let db = build_db(&rows);
+        let rs = execute_sql(
+            &db,
+            "SELECT ROW_NUMBER() OVER (ORDER BY A, B) AS rn FROM T",
+        )
+        .unwrap();
+        let mut vals: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        vals.sort();
+        let expected: Vec<i64> = (1..=rows.len() as i64).collect();
+        prop_assert_eq!(vals, expected);
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's §6 demo script, end to end:
+//!
+//! 1. take natural-language queries and generate SQL;
+//! 2. identify issues and provide feedback through the Feedback Solver,
+//!    iterating until the regeneration is satisfactory;
+//! 3. submit, run regression on golden queries, review in the knowledge
+//!    library;
+//! 4. accept the changes and validate that previously-incorrect queries
+//!    now return correct results.
+//!
+//! Run: `cargo run --release --example demo`
+
+use genedit::bird::{score_prediction, DomainBundle, HEALTH};
+use genedit::core::{
+    sme, submit_edits, FeedbackSession, GenEditPipeline, GoldenQuery, KnowledgeIndex,
+    SubmissionResult,
+};
+use genedit::knowledge::Edit;
+use genedit::llm::{OracleConfig, OracleModel, TaskRegistry};
+
+fn main() {
+    let bundle = DomainBundle::build(&HEALTH, (16, 7, 3), 42);
+    let mut registry = TaskRegistry::new();
+    for t in &bundle.tasks {
+        registry.register(t.clone());
+    }
+    let oracle = OracleModel::with_config(
+        registry,
+        OracleConfig {
+            noise_rate: 0.0,
+            pseudo_drift_probability: 0.0,
+            drift_probability: 0.0,
+            canonical_form_penalty: 0.0,
+            ..Default::default()
+        },
+    );
+    let pipeline = GenEditPipeline::new(&oracle);
+
+    // Deployment missing the in-network ("our") convention.
+    let mut deployed = bundle.build_knowledge();
+    let term = bundle.spec.our_term;
+    let doomed: Vec<_> = deployed
+        .instructions()
+        .iter()
+        .filter(|i| i.retrieval_text().contains(term))
+        .map(|i| i.id)
+        .collect();
+    for id in doomed {
+        deployed.apply(Edit::DeleteInstruction { id }).unwrap();
+    }
+    let doomed: Vec<_> = deployed
+        .examples()
+        .iter()
+        .filter(|e| e.retrieval_text().contains(term))
+        .map(|e| e.id)
+        .collect();
+    for id in doomed {
+        deployed.apply(Edit::DeleteExample { id }).unwrap();
+    }
+
+    // Step 1 — generate SQL for a few questions, note the failures.
+    println!("== Step 1: generate ==");
+    let index = KnowledgeIndex::build(deployed.clone());
+    let mut failing = Vec::new();
+    for task in bundle.tasks.iter().take(8) {
+        let r = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
+        println!("  [{}] {}", if ok { "ok  " } else { "FAIL" }, task.question);
+        if !ok {
+            failing.push(task);
+        }
+    }
+    assert!(!failing.is_empty(), "demo expects at least one failure");
+
+    // Step 2 — feedback through the solver, iterating to satisfaction.
+    println!("\n== Step 2: feedback ==");
+    let task = failing[0];
+    let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
+    let feedback = sme::feedback_for(task, session.latest.sql.as_deref())
+        .expect("SME can articulate the term failure");
+    println!("  analyst: {feedback}");
+    let n = session.submit_feedback(&feedback);
+    println!("  {n} edits recommended; staging all and regenerating");
+    session.stage_all();
+    session.regenerate();
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, session.latest.sql.as_deref());
+    println!("  regenerated query correct: {ok}");
+
+    // Step 3 — submit: regression on golden queries + human review.
+    println!("\n== Step 3: submit, regression, review ==");
+    let golden: Vec<GoldenQuery> = bundle
+        .tasks
+        .iter()
+        .take(6)
+        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .collect();
+    let staging = session.into_staged();
+    let result = submit_edits(
+        &pipeline,
+        &bundle.db,
+        &mut deployed,
+        staging,
+        &golden,
+        |o| {
+            println!(
+                "  regression: {} → {} correct of {}, {} regressions → {}",
+                o.before_correct,
+                o.after_correct,
+                o.total,
+                o.regressions.len(),
+                if o.passed() { "PASS" } else { "FAIL" }
+            );
+            true
+        },
+        "demo merge",
+    )
+    .unwrap();
+    assert!(matches!(result, SubmissionResult::Merged { .. }));
+    println!("  merged; knowledge library now shows:");
+    for logged in deployed.log().iter().rev().take(2) {
+        println!("    #{} {}", logged.seq, logged.edit.summary());
+    }
+
+    // Step 4 — close the loop: the previously-incorrect queries pass.
+    println!("\n== Step 4: validate ==");
+    let index = KnowledgeIndex::build(deployed.clone());
+    for task in &failing {
+        let r = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
+        println!("  [{}] {}", if ok { "ok  " } else { "FAIL" }, task.question);
+    }
+}

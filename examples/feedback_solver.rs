@@ -1,0 +1,143 @@
+//! The Feedback Solver walkthrough (§4.2.1, Fig. 3): a deployment whose
+//! knowledge set is missing the ownership convention generates a wrong
+//! query; the analyst gives feedback; GenEdit recommends edits; the
+//! analyst stages them and regenerates until satisfied; the edits pass
+//! regression testing and merge.
+//!
+//! Run: `cargo run --release --example feedback_solver`
+
+use genedit::bird::{score_prediction, DomainBundle, SPORTS};
+use genedit::core::{
+    submit_edits, FeedbackSession, GenEditPipeline, GoldenQuery, SubmissionResult,
+};
+use genedit::knowledge::Edit;
+use genedit::llm::{OracleConfig, OracleModel, TaskRegistry};
+use genedit::sql::execute_sql;
+
+fn main() {
+    let bundle = DomainBundle::build(&SPORTS, (24, 7, 3), 42);
+    let mut registry = TaskRegistry::new();
+    for t in &bundle.tasks {
+        registry.register(t.clone());
+    }
+    // Noise channels off: this walkthrough demonstrates the knowledge
+    // mechanics, not the benchmark's failure statistics.
+    let oracle = OracleModel::with_config(
+        registry,
+        OracleConfig {
+            noise_rate: 0.0,
+            pseudo_drift_probability: 0.0,
+            drift_probability: 0.0,
+            canonical_form_penalty: 0.0,
+            ..Default::default()
+        },
+    );
+    let pipeline = GenEditPipeline::new(&oracle);
+
+    // Early deployment: nobody has taught the system that "our"
+    // means OWNERSHIP_FLAG = 'COC'.
+    let mut deployed = bundle.build_knowledge();
+    let doomed: Vec<_> = deployed
+        .instructions()
+        .iter()
+        .filter(|i| i.retrieval_text().contains("COC"))
+        .map(|i| i.id)
+        .collect();
+    for id in doomed {
+        deployed.apply(Edit::DeleteInstruction { id }).unwrap();
+    }
+    let doomed: Vec<_> = deployed
+        .examples()
+        .iter()
+        .filter(|e| e.retrieval_text().contains("COC"))
+        .map(|e| e.id)
+        .collect();
+    for id in doomed {
+        deployed.apply(Edit::DeleteExample { id }).unwrap();
+    }
+
+    let task = bundle
+        .tasks
+        .iter()
+        .find(|t| t.task_id.ends_with("s05"))
+        .expect("the 'our organisations' task");
+
+    println!("┌─ Feedback Solver ──────────────────────────────────────────");
+    println!("│ Q: {}", task.question);
+
+    // Initial generation: wrong (ownership filter dropped).
+    let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
+    let sql = session.latest.sql.clone().unwrap();
+    println!("│\n│ Generated SQL:\n│   {sql}");
+    let rs = execute_sql(&bundle.db, &sql).unwrap();
+    println!("│ Result preview ({} rows):", rs.row_count());
+    for line in rs.to_table_string().lines().take(4) {
+        println!("│   {line}");
+    }
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, Some(&sql));
+    println!("│ Correct: {ok}");
+
+    // The analyst complains — the paper's Fig. 3a feedback, verbatim in
+    // spirit.
+    let feedback = "This response queries all sports organizations but I only care about our \
+                    organizations — ours carry OWNERSHIP_FLAG = 'COC'";
+    println!("│\n│ Feedback: {feedback}");
+    let n = session.submit_feedback(feedback);
+    println!("│ {n} recommended edits:");
+    for (i, rec) in session.recommendations().iter().enumerate() {
+        println!("│   [{i}] {}", rec.edit.summary());
+        for step in &rec.plan_steps {
+            println!("│         plan: {step}");
+        }
+    }
+
+    // Stage all and regenerate (Fig. 3d/3e).
+    session.stage_all();
+    println!("│\n│ staged {} edits; regenerating…", session.staged_count());
+    session.regenerate();
+    let sql = session.latest.sql.clone().unwrap();
+    println!("│ Regenerated SQL:\n│   {sql}");
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, Some(&sql));
+    println!("│ Correct now: {ok}");
+
+    // Submit: regression testing against a golden set, then approval.
+    let golden: Vec<GoldenQuery> = bundle
+        .tasks
+        .iter()
+        .take(6)
+        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .collect();
+    let staging = session.into_staged();
+    let result = submit_edits(
+        &pipeline,
+        &bundle.db,
+        &mut deployed,
+        staging,
+        &golden,
+        |outcome| {
+            println!(
+                "│\n│ regression: {}/{} golden correct before, {}/{} after, {} regressions",
+                outcome.before_correct,
+                outcome.total,
+                outcome.after_correct,
+                outcome.total,
+                outcome.regressions.len()
+            );
+            true // the human reviewer approves
+        },
+        "merge: ownership convention from analyst feedback",
+    )
+    .unwrap();
+    match result {
+        SubmissionResult::Merged { checkpoint, .. } => {
+            println!("│ merged ✔ (revert checkpoint {checkpoint})");
+        }
+        other => println!("│ not merged: {other:?}"),
+    }
+
+    println!("│\n│ Knowledge-set history:");
+    for logged in deployed.log().iter().rev().take(3) {
+        println!("│   #{} {}", logged.seq, logged.edit.summary());
+    }
+    println!("└────────────────────────────────────────────────────────────");
+}

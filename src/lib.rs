@@ -1,0 +1,53 @@
+//! # genedit — enterprise Text-to-SQL with continuous improvement
+//!
+//! Facade crate re-exporting the GenEdit reproduction's public API
+//! (CIDR 2025; see the repository README and DESIGN.md).
+//!
+//! * [`sql`] — in-memory SQL engine (parser, executor, EX comparison),
+//! * [`retrieval`] — deterministic embeddings and top-k search,
+//! * [`knowledge`] — the decomposed, versioned knowledge set,
+//! * [`llm`] — the model interface and the deterministic oracle,
+//! * [`bird`] — the synthetic BIRD-like benchmark,
+//! * [`core`] — the GenEdit pipeline, baselines, ablations, and the
+//!   feedback/regression loop.
+//!
+//! ```
+//! use genedit::bird::{DomainBundle, SPORTS};
+//! use genedit::core::{GenEditPipeline, KnowledgeIndex};
+//! use genedit::llm::{OracleConfig, OracleModel, TaskRegistry};
+//!
+//! // A seeded enterprise domain and its pre-processed knowledge set.
+//! let bundle = DomainBundle::build(&SPORTS, (8, 2, 1), 42);
+//! let index = KnowledgeIndex::build(bundle.build_knowledge());
+//!
+//! // The oracle stands in for GPT-4o (noise channels off for the doctest).
+//! let mut registry = TaskRegistry::new();
+//! for t in &bundle.tasks {
+//!     registry.register(t.clone());
+//! }
+//! let oracle = OracleModel::with_config(
+//!     registry,
+//!     OracleConfig {
+//!         noise_rate: 0.0,
+//!         pseudo_drift_probability: 0.0,
+//!         drift_probability: 0.0,
+//!         canonical_form_penalty: 0.0,
+//!         ..Default::default()
+//!     },
+//! );
+//!
+//! // Generate SQL for a benchmark question and check it against gold.
+//! let pipeline = GenEditPipeline::new(&oracle);
+//! let task = &bundle.tasks[0];
+//! let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+//! let (correct, _) =
+//!     genedit::bird::score_prediction(&bundle.db, &task.gold_sql, result.sql.as_deref());
+//! assert!(correct);
+//! ```
+
+pub use genedit_bird as bird;
+pub use genedit_core as core;
+pub use genedit_knowledge as knowledge;
+pub use genedit_llm as llm;
+pub use genedit_retrieval as retrieval;
+pub use genedit_sql as sql;

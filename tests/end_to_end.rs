@@ -1,0 +1,132 @@
+//! Integration tests spanning the whole stack: workload generation →
+//! knowledge pre-processing → pipeline → SQL engine → EX evaluation.
+
+use genedit::bird::Workload;
+use genedit::core::{paper_baselines, Ablation, Harness};
+use genedit::llm::Difficulty;
+
+#[test]
+fn small_suite_end_to_end() {
+    let w = Workload::small(7);
+    let harness = Harness::new(&w);
+    let report = harness.run_genedit(Ablation::None);
+    assert_eq!(report.count(None), w.task_count());
+    // The full pipeline must do clearly better than chance on this suite.
+    assert!(report.ex(None) > 40.0, "EX {}", report.ex(None));
+}
+
+#[test]
+fn ablations_do_not_beat_full_pipeline_materially() {
+    // On the standard suite the full pipeline is at least as good as every
+    // ablation (tiny hash-luck inversions up to 2 points are tolerated).
+    let w = Workload::standard(42);
+    let harness = Harness::new(&w);
+    let full = harness.run_genedit(Ablation::None).ex(None);
+    for ablation in [
+        Ablation::WithoutSchemaLinking,
+        Ablation::WithoutInstructions,
+        Ablation::WithoutExamples,
+        Ablation::WithoutPseudoSql,
+        Ablation::WithoutDecomposition,
+    ] {
+        let ex = harness.run_genedit(ablation).ex(None);
+        assert!(
+            ex <= full + 2.0,
+            "{} ({ex}) materially beats full ({full})",
+            ablation.label()
+        );
+    }
+}
+
+#[test]
+fn instructions_ablation_is_the_largest_drop() {
+    // Table 2's headline: instructions provide the most benefit.
+    let w = Workload::standard(42);
+    let harness = Harness::new(&w);
+    let full = harness.run_genedit(Ablation::None).ex(None);
+    let wo_instructions = harness.run_genedit(Ablation::WithoutInstructions).ex(None);
+    for ablation in [
+        Ablation::WithoutSchemaLinking,
+        Ablation::WithoutExamples,
+        Ablation::WithoutPseudoSql,
+        Ablation::WithoutDecomposition,
+    ] {
+        let ex = harness.run_genedit(ablation).ex(None);
+        assert!(
+            full - wo_instructions >= full - ex,
+            "{} dropped more than w/o Instructions",
+            ablation.label()
+        );
+    }
+}
+
+#[test]
+fn genedit_wins_the_simple_stratum() {
+    // Table 1's headline for GenEdit: the best Simple column.
+    let w = Workload::standard(42);
+    let harness = Harness::new(&w);
+    let genedit = harness.run_genedit(Ablation::None).ex(Some(Difficulty::Simple));
+    for profile in paper_baselines() {
+        let ex = harness.run_baseline(&profile).ex(Some(Difficulty::Simple));
+        assert!(
+            genedit >= ex,
+            "{} beats GenEdit on Simple ({ex} > {genedit})",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_harnesses() {
+    let w = Workload::small(42);
+    let a = Harness::new(&w).run_genedit(Ablation::None);
+    let b = Harness::new(&w).run_genedit(Ablation::None);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        assert_eq!(x.task_id, y.task_id);
+        assert_eq!(x.correct, y.correct);
+        assert_eq!(x.attempts, y.attempts);
+    }
+}
+
+#[test]
+fn all_methods_produce_executable_sql_mostly() {
+    // Self-correction should keep outright execution failures rare.
+    let w = Workload::small(42);
+    let harness = Harness::new(&w);
+    for profile in paper_baselines() {
+        let report = harness.run_baseline(&profile);
+        let exec_failures = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.note
+                    .as_deref()
+                    .map(|n| n.contains("error"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            exec_failures * 3 <= report.outcomes.len(),
+            "{}: {exec_failures}/{} executions failed outright",
+            profile.name,
+            report.outcomes.len()
+        );
+    }
+}
+
+#[test]
+fn model_usage_reflects_pipeline_structure() {
+    let w = Workload::small(42);
+    let harness = Harness::new(&w);
+    harness.run_genedit(Ablation::None);
+    let usage = harness.model_usage();
+    let n = w.task_count();
+    // One reformulation, intent, linking, and plan call per task minimum.
+    assert!(usage.calls["reformulate"] >= n);
+    assert!(usage.calls["intent"] >= n);
+    assert!(usage.calls["schema-linking"] >= n);
+    assert!(usage.calls["plan"] >= n);
+    // SQL calls include candidates and retries.
+    assert!(usage.calls["sql"] >= n);
+}

@@ -1,0 +1,156 @@
+//! SQL-engine conformance against the paper's Appendix-A query shape and
+//! hand-computed answers over the generated data.
+
+use genedit::bird::{generate_database, SPORTS};
+use genedit::sql::{execute_sql, Value};
+
+#[test]
+fn appendix_a_query_runs_on_generated_data() {
+    let db = generate_database(&SPORTS, 42);
+    // The paper's Appendix-A structure, adapted to the generated schema
+    // (FIN_MONTH/VIEW_MONTH are DATE, ownership flag column renamed).
+    let sql = r#"
+    WITH
+    FINANCIALS AS (
+      SELECT ORG_NAME,
+        SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY"Q"Q') = '2023Q1' THEN REVENUE ELSE 0 END) AS REVENUE_2023Q1,
+        SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY"Q"Q') = '2023Q2' THEN REVENUE ELSE 0 END) AS REVENUE_2023Q2
+      FROM SPORTS_FINANCIALS
+      WHERE TO_CHAR(FIN_MONTH, 'YYYY"Q"Q') IN ('2023Q1', '2023Q2')
+        AND COUNTRY = 'Canada'
+        AND OWNERSHIP_FLAG = 'COC'
+      GROUP BY ORG_NAME
+    ),
+    VIEWERSHIP AS (
+      SELECT ORG_NAME,
+        SUM(CASE WHEN TO_CHAR(VIEW_MONTH, 'YYYY"Q"Q') = '2023Q1' THEN VIEWS ELSE 0 END) AS VIEWS_2023Q1,
+        SUM(CASE WHEN TO_CHAR(VIEW_MONTH, 'YYYY"Q"Q') = '2023Q2' THEN VIEWS ELSE 0 END) AS VIEWS_2023Q2
+      FROM SPORTS_VIEWERSHIP
+      WHERE TO_CHAR(VIEW_MONTH, 'YYYY"Q"Q') IN ('2023Q1', '2023Q2')
+        AND COUNTRY = 'Canada'
+        AND OWNERSHIP_FLAG = 'COC'
+      GROUP BY ORG_NAME
+    ),
+    CHANGE_IN_REVENUE AS (
+      SELECT
+        f.ORG_NAME,
+        CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0) AS RPV,
+        CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0) AS PRIOR_QTR_RPV,
+        (CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0) -
+         CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0)) AS RPV_CHANGE,
+        ROW_NUMBER() OVER (ORDER BY (-1 * (
+          CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0) -
+          CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0)))) AS SPORT_RANK,
+        ROW_NUMBER() OVER (ORDER BY (-1 * (
+          CAST(f.REVENUE_2023Q2 AS FLOAT) / NULLIF(v.VIEWS_2023Q2, 0) -
+          CAST(f.REVENUE_2023Q1 AS FLOAT) / NULLIF(v.VIEWS_2023Q1, 0))) DESC) AS WORST_SPORT_RANK
+      FROM FINANCIALS f
+      JOIN VIEWERSHIP v ON f.ORG_NAME = v.ORG_NAME
+    )
+    SELECT SPORT_RANK, ORG_NAME, RPV, PRIOR_QTR_RPV, RPV_CHANGE
+    FROM CHANGE_IN_REVENUE
+    WHERE SPORT_RANK <= 5 OR WORST_SPORT_RANK <= 5
+    ORDER BY SPORT_RANK
+    "#;
+    let rs = execute_sql(&db, sql).expect("Appendix-A query executes");
+    assert!(!rs.rows.is_empty());
+    assert_eq!(rs.columns.len(), 5);
+    // Ranks are positive and ascending in the output.
+    let ranks: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    let mut sorted = ranks.clone();
+    sorted.sort();
+    assert_eq!(ranks, sorted);
+    assert!(ranks[0] >= 1);
+    // RPV ratios are small positive floats (revenue per viewer).
+    for row in &rs.rows {
+        if let Value::Float(rpv) = &row[2] {
+            assert!(*rpv > 0.0 && *rpv < 1.0, "implausible RPV {rpv}");
+        }
+    }
+}
+
+#[test]
+fn quarter_pivot_is_consistent_with_direct_filtering() {
+    // SUM(CASE WHEN quarter THEN x ELSE 0) over the year must equal the
+    // direct SUM over that quarter.
+    let db = generate_database(&SPORTS, 42);
+    let pivot = execute_sql(
+        &db,
+        "SELECT SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q2' THEN REVENUE ELSE 0 END) \
+         FROM SPORTS_FINANCIALS",
+    )
+    .unwrap();
+    let direct = execute_sql(
+        &db,
+        "SELECT SUM(REVENUE) FROM SPORTS_FINANCIALS WHERE TO_CHAR(FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q2'",
+    )
+    .unwrap();
+    assert!(pivot.ex_equal(&direct));
+}
+
+#[test]
+fn left_join_antijoin_equals_not_in() {
+    let db = generate_database(&SPORTS, 42);
+    let left_join = execute_sql(
+        &db,
+        "SELECT e.ORG_NAME FROM SPORTS_ORGS e \
+         LEFT JOIN SPORTS_VIEWERSHIP v ON e.ORG_NAME = v.ORG_NAME \
+         WHERE v.VIEWS IS NULL ORDER BY e.ORG_NAME",
+    )
+    .unwrap();
+    let not_in = execute_sql(
+        &db,
+        "SELECT ORG_NAME FROM SPORTS_ORGS \
+         WHERE ORG_NAME NOT IN (SELECT ORG_NAME FROM SPORTS_VIEWERSHIP) ORDER BY ORG_NAME",
+    )
+    .unwrap();
+    assert!(left_join.ex_equal(&not_in));
+    assert!(!left_join.rows.is_empty());
+}
+
+#[test]
+fn window_rank_agrees_with_order_limit() {
+    let db = generate_database(&SPORTS, 42);
+    let via_window = execute_sql(
+        &db,
+        "WITH T AS (SELECT ORG_NAME, SUM(REVENUE) AS R FROM SPORTS_FINANCIALS GROUP BY ORG_NAME), \
+         RANKED AS (SELECT ORG_NAME, R, ROW_NUMBER() OVER (ORDER BY R DESC, ORG_NAME) AS RNK FROM T) \
+         SELECT ORG_NAME, R FROM RANKED WHERE RNK <= 5 ORDER BY RNK",
+    )
+    .unwrap();
+    let via_limit = execute_sql(
+        &db,
+        "SELECT ORG_NAME, SUM(REVENUE) AS R FROM SPORTS_FINANCIALS \
+         GROUP BY ORG_NAME ORDER BY R DESC, ORG_NAME LIMIT 5",
+    )
+    .unwrap();
+    assert!(via_window.ex_equal(&via_limit));
+}
+
+#[test]
+fn aggregates_respect_flag_partition() {
+    // SUM(all) == SUM(COC) + SUM(EXT) — the partition behind the "our"
+    // corruption's observability.
+    let db = generate_database(&SPORTS, 42);
+    let total = execute_sql(&db, "SELECT SUM(REVENUE) FROM SPORTS_FINANCIALS").unwrap();
+    let parts = execute_sql(
+        &db,
+        "SELECT (SELECT SUM(REVENUE) FROM SPORTS_FINANCIALS WHERE OWNERSHIP_FLAG = 'COC') + \
+                (SELECT SUM(REVENUE) FROM SPORTS_FINANCIALS WHERE OWNERSHIP_FLAG = 'EXT')",
+    )
+    .unwrap();
+    assert!(total.ex_equal(&parts));
+}
+
+#[test]
+fn union_of_flag_slices_recovers_entities() {
+    let db = generate_database(&SPORTS, 42);
+    let all = execute_sql(&db, "SELECT ORG_NAME FROM SPORTS_ORGS").unwrap();
+    let union = execute_sql(
+        &db,
+        "SELECT ORG_NAME FROM SPORTS_ORGS WHERE OWNERSHIP_FLAG = 'COC' \
+         UNION SELECT ORG_NAME FROM SPORTS_ORGS WHERE OWNERSHIP_FLAG = 'EXT'",
+    )
+    .unwrap();
+    assert!(all.ex_equal(&union));
+}

@@ -1,0 +1,215 @@
+//! Integration tests for the continuous-improvement lifecycle (§4):
+//! degrade → fail → feedback → recommend → stage → regenerate → submit →
+//! regression → merge → previously-failing query passes; plus revert.
+
+use genedit::bird::{score_prediction, DomainBundle, LOGISTICS};
+use genedit::core::{
+    sme, submit_edits, FeedbackSession, GenEditPipeline, GoldenQuery, KnowledgeIndex,
+    SubmissionResult,
+};
+use genedit::knowledge::{Edit, KnowledgeSet};
+use genedit::llm::{OracleConfig, OracleModel, TaskRegistry};
+
+fn setup() -> (DomainBundle, KnowledgeSet, OracleModel) {
+    let bundle = DomainBundle::build(&LOGISTICS, (16, 7, 2), 42);
+    let ks = bundle.build_knowledge();
+    let mut reg = TaskRegistry::new();
+    for t in &bundle.tasks {
+        reg.register(t.clone());
+    }
+    let oracle = OracleModel::with_config(
+        reg,
+        OracleConfig {
+            noise_rate: 0.0,
+            pseudo_drift_probability: 0.0,
+            drift_probability: 0.0,
+            canonical_form_penalty: 0.0,
+            ..Default::default()
+        },
+    );
+    (bundle, ks, oracle)
+}
+
+fn degrade(ks: &KnowledgeSet, term: &str) -> KnowledgeSet {
+    let mut ks = ks.clone();
+    let ids: Vec<_> = ks
+        .instructions()
+        .iter()
+        .filter(|i| i.retrieval_text().to_uppercase().contains(&term.to_uppercase()))
+        .map(|i| i.id)
+        .collect();
+    for id in ids {
+        ks.apply(Edit::DeleteInstruction { id }).unwrap();
+    }
+    let ids: Vec<_> = ks
+        .examples()
+        .iter()
+        .filter(|e| e.retrieval_text().to_uppercase().contains(&term.to_uppercase()))
+        .map(|e| e.id)
+        .collect();
+    for id in ids {
+        ks.apply(Edit::DeleteExample { id }).unwrap();
+    }
+    ks
+}
+
+#[test]
+fn full_lifecycle_fixes_failing_query_durably() {
+    let (bundle, ks, oracle) = setup();
+    let mut deployed = degrade(&ks, bundle.spec.our_term);
+    let pipeline = GenEditPipeline::new(&oracle);
+
+    let task = bundle
+        .tasks
+        .iter()
+        .find(|t| t.task_id.ends_with("s05"))
+        .expect("the 'our hubs' task");
+
+    // 1. It fails.
+    let index = KnowledgeIndex::build(deployed.clone());
+    let initial = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, initial.sql.as_deref());
+    assert!(!ok);
+
+    // 2. Feedback session: SME feedback → recommendations → stage →
+    //    regenerate until satisfied.
+    let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
+    let feedback = sme::feedback_for(task, session.latest.sql.as_deref()).expect("articulable");
+    assert!(session.submit_feedback(&feedback) > 0);
+    session.stage_all();
+    session.regenerate();
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, session.latest.sql.as_deref());
+    assert!(ok, "staged edits should fix the regeneration");
+
+    // 3. Submit through regression + approval.
+    let golden: Vec<GoldenQuery> = bundle
+        .tasks
+        .iter()
+        .take(5)
+        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .collect();
+    let staging = session.into_staged();
+    let result = submit_edits(
+        &pipeline,
+        &bundle.db,
+        &mut deployed,
+        staging,
+        &golden,
+        |o| o.passed(),
+        "lifecycle merge",
+    )
+    .unwrap();
+    let SubmissionResult::Merged { checkpoint, outcome } = result else {
+        panic!("expected merge, got {result:?}");
+    };
+    assert!(outcome.passed());
+
+    // 4. The fix is durable: a fresh generation against the deployed set
+    //    passes — "improving future generations" (§1).
+    let index = KnowledgeIndex::build(deployed.clone());
+    let after = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, after.sql.as_deref());
+    assert!(ok, "merged knowledge must fix future generations");
+
+    // 5. Revert restores the failing behaviour (checkpointed history, §4.2.2).
+    deployed.revert_to(checkpoint).unwrap();
+    let index = KnowledgeIndex::build(deployed.clone());
+    let reverted = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, reverted.sql.as_deref());
+    assert!(!ok, "revert must restore pre-merge behaviour");
+}
+
+#[test]
+fn merged_edits_carry_feedback_provenance() {
+    let (bundle, ks, oracle) = setup();
+    let mut deployed = degrade(&ks, bundle.spec.our_term);
+    let pipeline = GenEditPipeline::new(&oracle);
+    let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+    let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
+    let feedback = sme::feedback_for(task, session.latest.sql.as_deref()).unwrap();
+    session.submit_feedback(&feedback);
+    session.stage_all();
+    let staging = session.into_staged();
+    submit_edits(&pipeline, &bundle.db, &mut deployed, staging, &[], |_| true, "prov").unwrap();
+    // The inserted instruction's provenance names the feedback round.
+    assert!(deployed.instructions().iter().any(|i| matches!(
+        i.provenance.source,
+        genedit::knowledge::SourceRef::Feedback { feedback_id: 1 }
+    )));
+}
+
+#[test]
+fn feedback_without_staging_changes_nothing() {
+    let (bundle, ks, oracle) = setup();
+    let deployed = degrade(&ks, bundle.spec.our_term);
+    let pipeline = GenEditPipeline::new(&oracle);
+    let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+
+    let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
+    let before = session.latest.sql.clone();
+    session.submit_feedback("only our own hubs please — SELF operated");
+    // No staging: regeneration sees the same knowledge.
+    session.regenerate();
+    assert_eq!(session.latest.sql, before);
+}
+
+#[test]
+fn iterative_feedback_with_partial_staging() {
+    let (bundle, ks, oracle) = setup();
+    let deployed = degrade(&ks, bundle.spec.our_term);
+    let pipeline = GenEditPipeline::new(&oracle);
+    let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+
+    let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
+    let feedback = sme::feedback_for(task, session.latest.sql.as_deref()).unwrap();
+    let n = session.submit_feedback(&feedback);
+    assert!(n >= 1);
+    // Stage only the first recommendation, regenerate, iterate.
+    session.stage(0).unwrap();
+    session.regenerate();
+    // Whether or not one edit sufficed, a second round must be possible.
+    let n2 = session.submit_feedback(&feedback);
+    assert!(n2 >= 1);
+    session.stage_all();
+    session.regenerate();
+    let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, session.latest.sql.as_deref());
+    assert!(ok, "after staging everything across rounds the query is fixed");
+    assert_eq!(session.rounds().len(), 2);
+}
+
+#[test]
+fn regression_gate_blocks_destructive_feedback() {
+    let (bundle, ks, oracle) = setup();
+    let mut deployed = ks;
+    let pipeline = GenEditPipeline::new(&oracle);
+
+    // Adversarial staged edits: delete all instructions.
+    let mut staging = genedit::knowledge::StagingArea::new();
+    for ins in deployed.instructions() {
+        staging.stage(Edit::DeleteInstruction { id: ins.id });
+    }
+    for ex in deployed.examples() {
+        if ex.retrieval_text().contains(bundle.spec.our_term) {
+            staging.stage(Edit::DeleteExample { id: ex.id });
+        }
+    }
+    let golden: Vec<GoldenQuery> = bundle
+        .tasks
+        .iter()
+        .take(8)
+        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .collect();
+    let before = deployed.clone();
+    let result = submit_edits(
+        &pipeline,
+        &bundle.db,
+        &mut deployed,
+        staging,
+        &golden,
+        |_| true,
+        "destructive",
+    )
+    .unwrap();
+    assert!(matches!(result, SubmissionResult::RegressionFailed(_)));
+    assert!(deployed.content_eq(&before));
+}
