@@ -39,8 +39,7 @@ fn bench_retrieval_operators(c: &mut Criterion) {
     // The compounding variant: instruction ranking with the query expanded
     // by the selected examples (§3.1.1) …
     let examples = index.top_examples(&q_emb, &[], 10);
-    let expansions: Vec<String> =
-        examples.iter().map(|(e, _)| e.retrieval_text()).collect();
+    let expansions: Vec<String> = examples.iter().map(|(e, _)| e.retrieval_text()).collect();
     group.bench_function("instruction_selection_compounding", |b| {
         b.iter(|| {
             let refs: Vec<&str> = expansions.iter().map(|s| s.as_str()).collect();
@@ -142,11 +141,7 @@ fn bench_knowledge(c: &mut Criterion) {
 
     group.bench_function("index_build", |b| {
         let ks = bundle.build_knowledge();
-        b.iter_batched(
-            || ks.clone(),
-            KnowledgeIndex::build,
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| ks.clone(), KnowledgeIndex::build, BatchSize::SmallInput)
     });
     group.finish();
 }
@@ -166,9 +161,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| genedit_sql::parse_statement(&challenging.gold_sql).unwrap())
     });
     let a = execute_sql(&bundle.db, &challenging.gold_sql).unwrap();
-    group.bench_function("ex_comparison", |b| {
-        b.iter(|| a.ex_equal(&a))
-    });
+    group.bench_function("ex_comparison", |b| b.iter(|| a.ex_equal(&a)));
     group.finish();
 }
 

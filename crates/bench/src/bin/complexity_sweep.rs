@@ -8,8 +8,8 @@
 
 use genedit_bird::{complexity::sweep_variants, Workload, SPORTS};
 use genedit_core::{
-    run_baseline, Ablation, ExampleStyle, GenEditPipeline, Harness, KnowledgeIndex,
-    MethodProfile, PlanStyle, SchemaStyle,
+    run_baseline, Ablation, ExampleStyle, GenEditPipeline, Harness, KnowledgeIndex, MethodProfile,
+    PlanStyle, SchemaStyle,
 };
 use genedit_llm::{OracleConfig, OracleModel, TaskRegistry};
 use genedit_sql::analysis::complexity;
@@ -37,7 +37,10 @@ fn main() {
     let ft_report = harness.run_baseline(&simple_ft());
     println!("Benchmark suite (132 tasks):");
     println!("  GenEdit  EX = {:.2}", genedit_report.ex(None));
-    println!("  SimpleFT EX = {:.2}  (paper: 67.21 vs 60.61)", ft_report.ex(None));
+    println!(
+        "  SimpleFT EX = {:.2}  (paper: 67.21 vs 60.61)",
+        ft_report.ex(None)
+    );
 
     // Part 2: the complexity sweep over chained-CTE tasks, eight
     // (year, k) variants per depth. The benchmark-noise floor and the
@@ -54,7 +57,11 @@ fn main() {
     }
     let oracle = OracleModel::with_config(
         registry,
-        OracleConfig { noise_rate: 0.0, canonical_form_penalty: 0.0, ..Default::default() },
+        OracleConfig {
+            noise_rate: 0.0,
+            canonical_form_penalty: 0.0,
+            ..Default::default()
+        },
     );
     let pipeline = GenEditPipeline::new(&oracle);
     let bundle = workload

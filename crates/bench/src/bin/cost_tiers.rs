@@ -12,9 +12,13 @@
 
 use genedit_bird::{score_prediction, EvalReport, TaskOutcome, Workload};
 use genedit_core::GenEditPipeline;
-use genedit_llm::{OracleModel, TieredModel, TierPolicy};
+use genedit_llm::{OracleModel, TierPolicy, TieredModel};
 
-fn run_policy(workload: &Workload, policy: TierPolicy, label: &str) -> (EvalReport, f64, usize, usize) {
+fn run_policy(
+    workload: &Workload,
+    policy: TierPolicy,
+    label: &str,
+) -> (EvalReport, f64, usize, usize) {
     let model = TieredModel::new(OracleModel::new(workload.registry()), policy);
     let pipeline = GenEditPipeline::new(&model);
     let mut report = EvalReport::new(label);
@@ -22,8 +26,7 @@ fn run_policy(workload: &Workload, policy: TierPolicy, label: &str) -> (EvalRepo
         let index = genedit_core::KnowledgeIndex::build(bundle.build_knowledge());
         for task in &bundle.tasks {
             let r = pipeline.generate(&task.question, &index, &bundle.db, &[]);
-            let (correct, note) =
-                score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
+            let (correct, note) = score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
             report.push(TaskOutcome {
                 task_id: task.task_id.clone(),
                 difficulty: task.difficulty,
@@ -34,7 +37,12 @@ fn run_policy(workload: &Workload, policy: TierPolicy, label: &str) -> (EvalRepo
         }
     }
     let ledger = model.ledger();
-    (report, ledger.cost_units, ledger.full_calls, ledger.mini_calls)
+    (
+        report,
+        ledger.cost_units,
+        ledger.full_calls,
+        ledger.mini_calls,
+    )
 }
 
 fn main() {

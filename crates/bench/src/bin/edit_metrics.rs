@@ -19,7 +19,11 @@ fn degrade(ks: &KnowledgeSet, term: &str) -> KnowledgeSet {
     let doomed: Vec<_> = ks
         .instructions()
         .iter()
-        .filter(|i| i.retrieval_text().to_uppercase().contains(&term.to_uppercase()))
+        .filter(|i| {
+            i.retrieval_text()
+                .to_uppercase()
+                .contains(&term.to_uppercase())
+        })
         .map(|i| i.id)
         .collect();
     for id in doomed {
@@ -28,7 +32,11 @@ fn degrade(ks: &KnowledgeSet, term: &str) -> KnowledgeSet {
     let doomed: Vec<_> = ks
         .examples()
         .iter()
-        .filter(|e| e.retrieval_text().to_uppercase().contains(&term.to_uppercase()))
+        .filter(|e| {
+            e.retrieval_text()
+                .to_uppercase()
+                .contains(&term.to_uppercase())
+        })
         .map(|e| e.id)
         .collect();
     for id in doomed {
@@ -56,11 +64,8 @@ fn main() {
 
         for task in &bundle.tasks {
             let initial = pipeline.generate(&task.question, &index, &bundle.db, &[]);
-            let (ok, _) = genedit_bird::score_prediction(
-                &bundle.db,
-                &task.gold_sql,
-                initial.sql.as_deref(),
-            );
+            let (ok, _) =
+                genedit_bird::score_prediction(&bundle.db, &task.gold_sql, initial.sql.as_deref());
             if ok {
                 continue;
             }
@@ -106,10 +111,7 @@ fn main() {
             manual
                 .apply(Edit::InsertInstruction {
                     intent: Some(task.intent.clone()),
-                    text: format!(
-                        "{} : {}",
-                        bundle.spec.our_term, bundle.spec.our_meaning
-                    ),
+                    text: format!("{} : {}", bundle.spec.our_term, bundle.spec.our_meaning),
                     sql_hint: Some(format!(
                         "{} = '{}'",
                         bundle.spec.flag_col, bundle.spec.flag_val
@@ -120,11 +122,8 @@ fn main() {
                 .unwrap();
             let manual_index = KnowledgeIndex::build(manual);
             let retry = pipeline.generate(&task.question, &manual_index, &bundle.db, &[]);
-            let (fixed, _) = genedit_bird::score_prediction(
-                &bundle.db,
-                &task.gold_sql,
-                retry.sql.as_deref(),
-            );
+            let (fixed, _) =
+                genedit_bird::score_prediction(&bundle.db, &task.gold_sql, retry.sql.as_deref());
             if fixed {
                 manual_edits += 1;
             } else {
@@ -152,6 +151,9 @@ fn main() {
             "after-iteration/manual rate: {:.1}%  (paper metric ii)",
             100.0 * (accepted_after_iteration + manual_edits) as f64 / sessions as f64
         );
-        println!("total resolution rate: {:.1}%", 100.0 * resolved as f64 / sessions as f64);
+        println!(
+            "total resolution rate: {:.1}%",
+            100.0 * resolved as f64 / sessions as f64
+        );
     }
 }

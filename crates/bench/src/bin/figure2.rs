@@ -25,8 +25,14 @@ fn main() {
     let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
 
     println!("=== Question ===\n{}\n", task.question);
-    println!("=== Reformulated (operator 1) ===\n{}\n", result.reformulated);
-    println!("=== Intents (operator 2) ===\n{}\n", result.intents.join(", "));
+    println!(
+        "=== Reformulated (operator 1) ===\n{}\n",
+        result.reformulated
+    );
+    println!(
+        "=== Intents (operator 2) ===\n{}\n",
+        result.intents.join(", ")
+    );
 
     println!("=== Retrieved knowledge (operators 3-5) + plan — Fig. 2 ===");
     println!("{}", result.final_prompt.render());

@@ -12,7 +12,19 @@ use genedit_core::{
 };
 use genedit_knowledge::{Edit, KnowledgeSet};
 use genedit_llm::OracleModel;
+use serde::Serialize;
 use std::collections::HashMap;
+
+/// One row of the improvement curve, serialized under `--json`.
+#[derive(Debug, Clone, Serialize)]
+struct RoundRecord {
+    round: usize,
+    ex: f64,
+    merged: usize,
+    regressed: usize,
+    fixed: usize,
+    edits_logged: usize,
+}
 
 const ROUNDS: usize = 8;
 /// Feedback sessions an SME works through per domain per round.
@@ -45,9 +57,11 @@ fn degrade_all_terms(ks: &KnowledgeSet, terms: &[&str]) -> KnowledgeSet {
 }
 
 fn main() {
-    let workload = Workload::standard(42);
+    let args = genedit_bench::BinArgs::parse();
+    let workload = Workload::standard(args.seed);
     let oracle = OracleModel::new(workload.registry());
     let pipeline = GenEditPipeline::new(&oracle);
+    let mut records: Vec<RoundRecord> = Vec::new();
 
     // Day-0 deployment: the knowledge set lacks every domain term.
     let mut deployed: HashMap<String, KnowledgeSet> = workload
@@ -55,12 +69,20 @@ fn main() {
         .iter()
         .map(|b| {
             let terms = [b.spec.our_term, b.spec.ratio_term, b.spec.qoq_term];
-            (b.db.name.clone(), degrade_all_terms(&b.build_knowledge(), &terms))
+            (
+                b.db.name.clone(),
+                degrade_all_terms(&b.build_knowledge(), &terms),
+            )
         })
         .collect();
 
-    println!("Continuous improvement: EX per feedback round ({ROUNDS} rounds)");
-    println!("{:<7} {:>7} {:>9} {:>10} {:>8} {:>8}", "round", "EX%", "merged", "regressed", "fixed", "stats");
+    if !args.json {
+        println!("Continuous improvement: EX per feedback round ({ROUNDS} rounds)");
+        println!(
+            "{:<7} {:>7} {:>9} {:>10} {:>8} {:>8}",
+            "round", "EX%", "merged", "regressed", "fixed", "stats"
+        );
+    }
 
     let mut previously_failing: Vec<String> = Vec::new();
     for round in 0..=ROUNDS {
@@ -72,11 +94,8 @@ fn main() {
             let index = KnowledgeIndex::build(deployed[&bundle.db.name].clone());
             for task in &bundle.tasks {
                 let r = pipeline.generate(&task.question, &index, &bundle.db, &[]);
-                let (ok, _) = genedit_bird::score_prediction(
-                    &bundle.db,
-                    &task.gold_sql,
-                    r.sql.as_deref(),
-                );
+                let (ok, _) =
+                    genedit_bird::score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
                 total += 1;
                 if ok {
                     correct += 1;
@@ -93,7 +112,17 @@ fn main() {
         previously_failing = failing.iter().map(|(_, id)| id.clone()).collect();
 
         if round == ROUNDS {
-            println!("{:<7} {:>7.2}   (final)", round, ex);
+            records.push(RoundRecord {
+                round,
+                ex,
+                merged: 0,
+                regressed: 0,
+                fixed: now_fixed,
+                edits_logged: deployed.values().map(|k| k.stats().edits_logged).sum(),
+            });
+            if !args.json {
+                println!("{:<7} {:>7.2}   (final)", round, ex);
+            }
             break;
         }
 
@@ -112,12 +141,7 @@ fn main() {
                     .iter()
                     .filter(|t| {
                         let r = pipeline.generate(&t.question, &index, &bundle.db, &[]);
-                        genedit_bird::score_prediction(
-                            &bundle.db,
-                            &t.gold_sql,
-                            r.sql.as_deref(),
-                        )
-                        .0
+                        genedit_bird::score_prediction(&bundle.db, &t.gold_sql, r.sql.as_deref()).0
                     })
                     .take(5)
                     .map(|t| GoldenQuery {
@@ -130,19 +154,16 @@ fn main() {
                 if handled >= SESSIONS_PER_ROUND {
                     break;
                 }
-                if !failing.iter().any(|(db, id)| db == &bundle.db.name && id == &task.task_id)
+                if !failing
+                    .iter()
+                    .any(|(db, id)| db == &bundle.db.name && id == &task.task_id)
                 {
                     continue;
                 }
                 let ks_ref = deployed.get(&bundle.db.name).unwrap().clone();
-                let mut session = FeedbackSession::open(
-                    &pipeline,
-                    &bundle.db,
-                    &ks_ref,
-                    task.question.clone(),
-                );
-                let Some(feedback) = sme::feedback_for(task, session.latest.sql.as_deref())
-                else {
+                let mut session =
+                    FeedbackSession::open(&pipeline, &bundle.db, &ks_ref, task.question.clone());
+                let Some(feedback) = sme::feedback_for(task, session.latest.sql.as_deref()) else {
                     continue;
                 };
                 session.submit_feedback(&feedback);
@@ -175,10 +196,38 @@ fn main() {
             }
         }
         let stats: usize = deployed.values().map(|k| k.stats().edits_logged).sum();
+        records.push(RoundRecord {
+            round,
+            ex,
+            merged,
+            regressed,
+            fixed: now_fixed,
+            edits_logged: stats,
+        });
+        if !args.json {
+            println!(
+                "{:<7} {:>7.2} {:>9} {:>10} {:>8} {:>8}",
+                round, ex, merged, regressed, now_fixed, stats
+            );
+        }
+    }
+
+    if args.json {
+        use serde::Serialize;
+        use serde_json::Value;
+        let doc = Value::Object(vec![
+            (
+                "artifact".to_string(),
+                Value::Str("improvement_curve".to_string()),
+            ),
+            ("seed".to_string(), Value::U64(args.seed)),
+            ("rounds".to_string(), records.serialize()),
+        ]);
         println!(
-            "{:<7} {:>7.2} {:>9} {:>10} {:>8} {:>8}",
-            round, ex, merged, regressed, now_fixed, stats
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("curve serialization is infallible")
         );
+        return;
     }
 
     println!("\nKnowledge-set history (sports domain):");

@@ -10,25 +10,33 @@ use genedit_core::{paper_baselines, Ablation, Harness};
 use genedit_llm::Difficulty;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let args = genedit_bench::BinArgs::parse();
+    let seed = args.seed;
     let workload = Workload::standard(seed);
     let harness = Harness::new(&workload);
 
-    println!("Table 1 — EX on the BIRD-like suite (seed {seed}, {} tasks)", workload.task_count());
-    println!("{}", EvalReport::table_header());
-
     let mut reports: Vec<EvalReport> = Vec::new();
     for profile in paper_baselines() {
-        let r = harness.run_baseline(&profile);
-        println!("{}", r.table_row());
-        reports.push(r);
+        reports.push(harness.run_baseline(&profile));
     }
-    let genedit = harness.run_genedit(Ablation::None);
-    println!("{}", genedit.table_row());
-    reports.push(genedit);
+    reports.push(harness.run_genedit(Ablation::None));
+
+    if args.json {
+        println!(
+            "{}",
+            genedit_bench::reports_to_json("table1", seed, workload.task_count(), &reports)
+        );
+        return;
+    }
+
+    println!(
+        "Table 1 — EX on the BIRD-like suite (seed {seed}, {} tasks)",
+        workload.task_count()
+    );
+    println!("{}", EvalReport::table_header());
+    for r in &reports {
+        println!("{}", r.table_row());
+    }
 
     println!("\nPaper comparison (shape check):");
     for r in &reports {

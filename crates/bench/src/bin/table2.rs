@@ -8,19 +8,32 @@ use genedit_core::{Ablation, Harness};
 use genedit_llm::Difficulty;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let args = genedit_bench::BinArgs::parse();
+    let seed = args.seed;
     let workload = Workload::standard(seed);
     let harness = Harness::new(&workload);
 
-    println!("Table 2 — ablation study (seed {seed}, {} tasks)", workload.task_count());
+    let reports: Vec<EvalReport> = Ablation::ALL
+        .into_iter()
+        .map(|a| harness.run_genedit(a))
+        .collect();
+
+    if args.json {
+        println!(
+            "{}",
+            genedit_bench::reports_to_json("table2", seed, workload.task_count(), &reports)
+        );
+        return;
+    }
+
+    println!(
+        "Table 2 — ablation study (seed {seed}, {} tasks)",
+        workload.task_count()
+    );
     println!("{}", EvalReport::table_header());
 
     let mut full_ex = None;
-    for ablation in Ablation::ALL {
-        let r = harness.run_genedit(ablation);
+    for r in &reports {
         let all = r.ex(None);
         match full_ex {
             None => {
@@ -32,9 +45,7 @@ fn main() {
     }
 
     println!("\nPaper comparison (shape check):");
-    let harness = Harness::new(&workload);
-    for ablation in Ablation::ALL {
-        let r = harness.run_genedit(ablation);
+    for r in &reports {
         if let Some(p) = TABLE2.iter().find(|(n, ..)| *n == r.method) {
             println!(
                 "{}",

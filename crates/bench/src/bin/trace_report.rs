@@ -1,0 +1,131 @@
+//! **Telemetry report**: renders the span tree of one full-pipeline
+//! generation, prints the per-operator time/call/LLM-attribution
+//! breakdown over the whole suite, and writes the structured report to
+//! `BENCH_telemetry.json`.
+//!
+//! Run: `cargo run --release -p genedit-bench --bin trace_report [seed] [--json]`
+//!
+//! With `--json` the report is printed to stdout instead of (in addition
+//! to the file) the human-readable tree.
+
+use genedit_bird::Workload;
+use genedit_core::{Ablation, GenEditPipeline, Harness, KnowledgeIndex};
+use genedit_llm::{OracleConfig, OracleModel, TaskRegistry};
+use genedit_telemetry::{export, names, render_trace, MetricsRegistry, Tracer};
+use serde::Serialize;
+use serde_json::Value;
+use std::sync::Arc;
+
+fn main() {
+    let args = genedit_bench::BinArgs::parse();
+    let seed = args.seed;
+    let workload = Workload::small(seed);
+
+    // ---- one deeply-traced generation: the span tree ------------------
+    let bundle = &workload.domains[0];
+    let task = bundle
+        .tasks
+        .iter()
+        .max_by_key(|t| t.question.len())
+        .expect("workload has tasks");
+    let mut registry = TaskRegistry::new();
+    for t in &bundle.tasks {
+        registry.register(t.clone());
+    }
+    let oracle = OracleModel::with_config(registry, OracleConfig::default());
+    let metrics = Arc::new(MetricsRegistry::default());
+    let pipeline = GenEditPipeline::new(&oracle).with_metrics(Arc::clone(&metrics));
+
+    // Trace the knowledge preprocessing stage too.
+    let preprocess_tracer = Tracer::new(names::PREPROCESS);
+    let ks = genedit_knowledge::build_knowledge_set_traced(
+        &bundle.preprocess_config(),
+        &bundle.logs,
+        &bundle.docs,
+        &bundle.db,
+        &preprocess_tracer,
+    )
+    .expect("logs are valid");
+    let preprocess_trace = preprocess_tracer.finish();
+    let index = KnowledgeIndex::build(ks);
+    let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+
+    // ---- suite-wide breakdown -----------------------------------------
+    let harness = Harness::new(&workload);
+    let report = harness.run_genedit(Ablation::None);
+    let usage = harness.model_usage();
+
+    // ---- structured report --------------------------------------------
+    let doc = Value::Object(vec![
+        (
+            "artifact".to_string(),
+            Value::Str("trace_report".to_string()),
+        ),
+        ("seed".to_string(), Value::U64(seed)),
+        (
+            "tasks".to_string(),
+            Value::U64(workload.task_count() as u64),
+        ),
+        ("question".to_string(), Value::Str(task.question.clone())),
+        ("preprocess_trace".to_string(), preprocess_trace.serialize()),
+        ("generation_trace".to_string(), result.trace.serialize()),
+        (
+            "generation_metrics".to_string(),
+            metrics.snapshot().serialize(),
+        ),
+        ("operators".to_string(), report.operators.serialize()),
+        (
+            "suite_metrics".to_string(),
+            harness.metrics().snapshot().serialize(),
+        ),
+        ("model_usage".to_string(), usage.calls.serialize()),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("report serialization is infallible");
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+
+    if args.json {
+        println!("{json}");
+        return;
+    }
+
+    println!("Trace of one generation ({}):\n", task.task_id);
+    println!("{}", render_trace(&result.trace));
+    if !result.warnings.is_empty() {
+        println!("warnings:");
+        for w in &result.warnings {
+            println!("  - {w}");
+        }
+    }
+
+    println!(
+        "\nPer-operator breakdown over the small suite ({} tasks, method {}):",
+        workload.task_count(),
+        report.method
+    );
+    println!(
+        "{:<28} {:>6} {:>12} {:>10} {:>10}",
+        "span", "calls", "total ms", "mean ms", "llm calls"
+    );
+    for (name, stats) in &report.operators {
+        println!(
+            "{:<28} {:>6} {:>12.3} {:>10.3} {:>10}",
+            name, stats.count, stats.total_ms, stats.mean_ms, stats.llm_calls
+        );
+    }
+
+    println!("\nModel usage by task kind:");
+    for (kind, calls) in &usage.calls {
+        println!("  {kind:<12} {calls}");
+    }
+    println!("\nwrote BENCH_telemetry.json");
+
+    // Exercise the JSONL exporter end to end so the artifact doubles as a
+    // smoke test: the rendered trace must survive a round-trip.
+    let jsonl = export::traces_to_jsonl(std::slice::from_ref(&result.trace));
+    let back = export::traces_from_jsonl(&jsonl).expect("traces round-trip");
+    assert_eq!(back.len(), 1);
+    assert_eq!(
+        back[0].count(names::LLM_COMPLETE),
+        result.trace.count(names::LLM_COMPLETE)
+    );
+}

@@ -29,9 +29,83 @@ pub mod paper {
 }
 
 /// Render a measured-vs-paper comparison line.
-pub fn compare_line(name: &str, measured: (f64, f64, f64, f64), paper: (f64, f64, f64, f64)) -> String {
+pub fn compare_line(
+    name: &str,
+    measured: (f64, f64, f64, f64),
+    paper: (f64, f64, f64, f64),
+) -> String {
     format!(
         "{:<22} measured {:>6.2} {:>6.2} {:>6.2} {:>6.2} | paper {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
         name, measured.0, measured.1, measured.2, measured.3, paper.0, paper.1, paper.2, paper.3
     )
+}
+
+/// Command-line arguments shared by the table/curve binaries:
+/// an optional numeric seed plus an optional `--json` flag.
+pub struct BinArgs {
+    pub seed: u64,
+    pub json: bool,
+}
+
+impl BinArgs {
+    pub fn parse() -> BinArgs {
+        let mut seed = 42u64;
+        let mut json = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--json" {
+                json = true;
+            } else if let Ok(s) = arg.parse() {
+                seed = s;
+            }
+        }
+        BinArgs { seed, json }
+    }
+}
+
+/// Serialize a set of evaluation reports — outcomes, operator breakdowns,
+/// and per-stratum EX summaries — as a pretty-printed JSON document.
+pub fn reports_to_json(
+    artifact: &str,
+    seed: u64,
+    tasks: usize,
+    reports: &[genedit_bird::EvalReport],
+) -> String {
+    use genedit_llm::Difficulty;
+    use serde::Serialize;
+    use serde_json::Value;
+    let reports = reports
+        .iter()
+        .map(|r| {
+            let mut v = r.serialize();
+            if let Value::Object(fields) = &mut v {
+                fields.push((
+                    "ex".to_string(),
+                    Value::Object(vec![
+                        (
+                            "simple".to_string(),
+                            Value::F64(r.ex(Some(Difficulty::Simple))),
+                        ),
+                        (
+                            "moderate".to_string(),
+                            Value::F64(r.ex(Some(Difficulty::Moderate))),
+                        ),
+                        (
+                            "challenging".to_string(),
+                            Value::F64(r.ex(Some(Difficulty::Challenging))),
+                        ),
+                        ("all".to_string(), Value::F64(r.ex(None))),
+                    ]),
+                ));
+                fields.push(("mean_attempts".to_string(), Value::F64(r.mean_attempts())));
+            }
+            v
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("artifact".to_string(), Value::Str(artifact.to_string())),
+        ("seed".to_string(), Value::U64(seed)),
+        ("tasks".to_string(), Value::U64(tasks as u64)),
+        ("reports".to_string(), Value::Array(reports)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("report serialization is infallible")
 }

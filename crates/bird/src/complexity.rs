@@ -17,12 +17,7 @@ use genedit_sql::parser::parse_statement;
 /// Stage 0 aggregates the fact table per entity; each further stage
 /// alternates between window-ranking the previous stage and re-filtering
 /// it, so complexity grows roughly linearly in `depth`.
-pub fn sweep_task_with_k(
-    spec: &DomainSpec,
-    depth: usize,
-    year: i32,
-    k: usize,
-) -> TaskKnowledge {
+pub fn sweep_task_with_k(spec: &DomainSpec, depth: usize, year: i32, k: usize) -> TaskKnowledge {
     assert!((1..=8).contains(&depth), "depth must be in 1..=8");
     let n = spec.entity_col;
     let v = spec.fact1_col;

@@ -174,7 +174,12 @@ mod tests {
         let mut tables: Vec<&str> = all_domains()
             .iter()
             .flat_map(|d| {
-                [d.entity_table, d.fact1_table, d.fact2_table, d.distractor_table]
+                [
+                    d.entity_table,
+                    d.fact1_table,
+                    d.fact2_table,
+                    d.distractor_table,
+                ]
             })
             .collect();
         let before = tables.len();

@@ -3,6 +3,9 @@
 use genedit_llm::Difficulty;
 use genedit_sql::catalog::Database;
 use genedit_sql::exec::execute_sql;
+use genedit_telemetry::OperatorStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// What a method produced for one task.
 #[derive(Debug, Clone, Default)]
@@ -43,7 +46,7 @@ pub fn score_prediction(
 }
 
 /// Outcome of one task under one method.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TaskOutcome {
     pub task_id: String,
     pub difficulty: Difficulty,
@@ -53,19 +56,31 @@ pub struct TaskOutcome {
 }
 
 /// Aggregated results of one method over a suite.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EvalReport {
     pub method: String,
     pub outcomes: Vec<TaskOutcome>,
+    /// Per-span-name time/call/LLM-attribution breakdown, aggregated from
+    /// the generation traces (empty for methods run without telemetry).
+    pub operators: BTreeMap<String, OperatorStats>,
 }
 
 impl EvalReport {
     pub fn new(method: impl Into<String>) -> EvalReport {
-        EvalReport { method: method.into(), outcomes: Vec::new() }
+        EvalReport {
+            method: method.into(),
+            outcomes: Vec::new(),
+            operators: BTreeMap::new(),
+        }
     }
 
     pub fn push(&mut self, outcome: TaskOutcome) {
         self.outcomes.push(outcome);
+    }
+
+    /// Attach the operator breakdown computed from generation traces.
+    pub fn set_operators(&mut self, operators: BTreeMap<String, OperatorStats>) {
+        self.operators = operators;
     }
 
     fn slice(&self, difficulty: Option<Difficulty>) -> Vec<&TaskOutcome> {
@@ -92,8 +107,7 @@ impl EvalReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().map(|o| o.attempts).sum::<usize>() as f64
-            / self.outcomes.len() as f64
+        self.outcomes.iter().map(|o| o.attempts).sum::<usize>() as f64 / self.outcomes.len() as f64
     }
 
     /// One row of a Table-1-style report.

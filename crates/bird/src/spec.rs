@@ -90,7 +90,10 @@ impl DomainSpec {
             Intent::new(
                 self.engagement_intent(),
                 format!("{} numbers", self.metric2_word),
-                format!("Questions about {} of {}", self.metric2_word, self.entity_word),
+                format!(
+                    "Questions about {} of {}",
+                    self.metric2_word, self.entity_word
+                ),
             ),
             Intent::new(
                 self.directory_intent(),
@@ -142,7 +145,11 @@ pub fn generate_database(spec: &DomainSpec, seed: u64) -> Database {
         // 20 entities cover (almost) every region × category × flag cell —
         // task templates slice on all three.
         let region = spec.regions[i % spec.regions.len()];
-        let flag = if i % 5 < 3 { spec.flag_val } else { spec.flag_other };
+        let flag = if i % 5 < 3 {
+            spec.flag_val
+        } else {
+            spec.flag_other
+        };
         let category = spec.categories[i % spec.categories.len()];
         let founded = 1950 + rng.gen_range(0..70);
         rows.push((i, name.to_string(), region, flag, category, founded));
@@ -274,7 +281,10 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate_database(&SPORTS, 42);
         let b = generate_database(&SPORTS, 42);
-        let q = format!("SELECT SUM({}) FROM {}", SPORTS.fact1_col, SPORTS.fact1_table);
+        let q = format!(
+            "SELECT SUM({}) FROM {}",
+            SPORTS.fact1_col, SPORTS.fact1_table
+        );
         let ra = execute_sql(&a, &q).unwrap();
         let rb = execute_sql(&b, &q).unwrap();
         assert!(ra.ex_equal(&rb));
@@ -301,7 +311,11 @@ mod tests {
         .unwrap();
         let all = execute_sql(
             &db,
-            &format!("SELECT SUM({c}) FROM {t}", c = SPORTS.fact1_col, t = SPORTS.fact1_table),
+            &format!(
+                "SELECT SUM({c}) FROM {t}",
+                c = SPORTS.fact1_col,
+                t = SPORTS.fact1_table
+            ),
         )
         .unwrap();
         assert!(!ours.ex_equal(&all));

@@ -66,14 +66,19 @@ fn params<'a>(spec: &'a DomainSpec, i: usize) -> Params<'a> {
 fn our_requirement(spec: &DomainSpec) -> TermRequirement {
     TermRequirement {
         term: spec.our_term.to_string(),
-        corruption: Corruption::DropWhereConjunct { marker: spec.flag_col.to_string() },
+        corruption: Corruption::DropWhereConjunct {
+            marker: spec.flag_col.to_string(),
+        },
     }
 }
 
 fn ratio_requirement(spec: &DomainSpec) -> TermRequirement {
     TermRequirement {
         term: spec.ratio_term.to_string(),
-        corruption: Corruption::SwapAggregate { from: "SUM".into(), to: "MAX".into() },
+        corruption: Corruption::SwapAggregate {
+            from: "SUM".into(),
+            to: "MAX".into(),
+        },
     }
 }
 
@@ -148,7 +153,10 @@ fn build(
         required_columns,
         evidence,
         distractor_table: Some(spec.distractor_table.to_string()),
-        distractor_column: Some((spec.fact1_col.to_string(), format!("{}_ADJ", spec.fact1_col))),
+        distractor_column: Some((
+            spec.fact1_col.to_string(),
+            format!("{}_ADJ", spec.fact1_col),
+        )),
     }
 }
 
@@ -541,7 +549,11 @@ fn challenging_task(spec: &DomainSpec, i: usize) -> TaskKnowledge {
             (
                 question,
                 sql,
-                vec![our_requirement(spec), ratio_requirement(spec), qoq_requirement(spec)],
+                vec![
+                    our_requirement(spec),
+                    ratio_requirement(spec),
+                    qoq_requirement(spec),
+                ],
             )
         }
         _ => {
@@ -667,7 +679,12 @@ mod tests {
                 for req in &task.required_terms {
                     let mut corrupted = task.gold_query();
                     let changed = req.corruption.apply(&mut corrupted);
-                    assert!(changed > 0, "{}: {:?} was a no-op", task.task_id, req.corruption);
+                    assert!(
+                        changed > 0,
+                        "{}: {:?} was a no-op",
+                        task.task_id,
+                        req.corruption
+                    );
                     let rs = execute_sql(&db, &corrupted.to_string());
                     // A loud failure also counts as an observable change.
                     if let Ok(rs) = rs {
@@ -687,9 +704,16 @@ mod tests {
     fn required_tables_derived_from_gold() {
         let spec = &crate::domains::SPORTS;
         let tasks = generate_tasks(spec, (2, 0, 1), 42);
-        let challenging = tasks.iter().find(|t| t.difficulty == Difficulty::Challenging).unwrap();
-        assert!(challenging.required_tables.contains(&"SPORTS_FINANCIALS".to_string()));
-        assert!(challenging.required_tables.contains(&"SPORTS_VIEWERSHIP".to_string()));
+        let challenging = tasks
+            .iter()
+            .find(|t| t.difficulty == Difficulty::Challenging)
+            .unwrap();
+        assert!(challenging
+            .required_tables
+            .contains(&"SPORTS_FINANCIALS".to_string()));
+        assert!(challenging
+            .required_tables
+            .contains(&"SPORTS_VIEWERSHIP".to_string()));
     }
 
     #[test]
@@ -720,7 +744,11 @@ mod tests {
                 for req in &task.required_terms {
                     let q = task.question.to_uppercase();
                     let mentions = q.contains(&req.term.to_uppercase()) || q.contains("OUR");
-                    assert!(mentions, "{}: {} not hinted in question", task.task_id, req.term);
+                    assert!(
+                        mentions,
+                        "{}: {} not hinted in question",
+                        task.task_id, req.term
+                    );
                 }
             }
         }

@@ -9,8 +9,8 @@ use crate::domains::{all_domains, HEALTH, LOGISTICS, RETAIL, SPORTS};
 use crate::spec::{generate_database, DomainSpec};
 use crate::templates::generate_tasks;
 use genedit_knowledge::{
-    build_knowledge_set, DomainDocument, Guideline, KnowledgeSet, PreprocessConfig,
-    QueryLogEntry, TermDefinition,
+    build_knowledge_set, DomainDocument, Guideline, KnowledgeSet, PreprocessConfig, QueryLogEntry,
+    TermDefinition,
 };
 use genedit_llm::{TaskKnowledge, TaskRegistry};
 use genedit_sql::catalog::Database;
@@ -30,7 +30,13 @@ impl DomainBundle {
         let logs = historical_logs(spec);
         let docs = domain_docs(spec);
         let tasks = generate_tasks(spec, counts, seed);
-        DomainBundle { spec, db, logs, docs, tasks }
+        DomainBundle {
+            spec,
+            db,
+            logs,
+            docs,
+            tasks,
+        }
     }
 
     /// Pre-processing config (intents + schema grouping) for this domain.
@@ -92,7 +98,10 @@ impl Workload {
     /// (rounded up so no stratum empties), chosen deterministically from
     /// `sample_seed`. Databases, logs, and documents are kept whole.
     pub fn sample(&self, fraction: f64, sample_seed: u64) -> Workload {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let domains = self
             .domains
             .iter()
@@ -111,13 +120,16 @@ impl Workload {
                     if stratum.is_empty() {
                         continue;
                     }
-                    let keep = ((stratum.len() as f64 * fraction).ceil() as usize)
-                        .clamp(1, stratum.len());
+                    let keep =
+                        ((stratum.len() as f64 * fraction).ceil() as usize).clamp(1, stratum.len());
                     // Deterministic choice: rank by a per-task hash.
                     let mut ranked: Vec<(&&TaskKnowledge, u64)> = stratum
                         .iter()
                         .map(|t| {
-                            (t, genedit_llm::hash_u64(&[&t.task_id, "sample"], sample_seed))
+                            (
+                                t,
+                                genedit_llm::hash_u64(&[&t.task_id, "sample"], sample_seed),
+                            )
                         })
                         .collect();
                     ranked.sort_by_key(|(_, h)| *h);
@@ -132,7 +144,10 @@ impl Workload {
                 }
             })
             .collect();
-        Workload { domains, seed: self.seed }
+        Workload {
+            domains,
+            seed: self.seed,
+        }
     }
 
     pub fn task_count(&self) -> usize {
@@ -366,14 +381,22 @@ mod tests {
         let s = w.sample(0.1, 7);
         // Each domain keeps at least one task of every difficulty it had.
         for (full, sampled) in w.domains.iter().zip(s.domains.iter()) {
-            for d in [Difficulty::Simple, Difficulty::Moderate, Difficulty::Challenging] {
+            for d in [
+                Difficulty::Simple,
+                Difficulty::Moderate,
+                Difficulty::Challenging,
+            ] {
                 let had = full.tasks.iter().any(|t| t.difficulty == d);
                 let kept = sampled.tasks.iter().any(|t| t.difficulty == d);
                 assert_eq!(had, kept, "{} stratum {d:?}", full.spec.key);
             }
         }
         // Roughly 10%, rounded up per stratum.
-        assert!(s.task_count() >= 13 && s.task_count() <= 30, "{}", s.task_count());
+        assert!(
+            s.task_count() >= 13 && s.task_count() <= 30,
+            "{}",
+            s.task_count()
+        );
         // Sampling is deterministic and seed-sensitive.
         let s2 = w.sample(0.1, 7);
         let ids: Vec<_> = s.all_tasks().map(|t| &t.task_id).collect();

@@ -109,7 +109,11 @@ fn standard_workload_invariants() {
     for t in w.all_tasks() {
         let db = w.database(&t.db_name).expect("task db exists");
         for table in &t.required_tables {
-            assert!(db.table(table).is_some(), "{}: missing table {table}", t.task_id);
+            assert!(
+                db.table(table).is_some(),
+                "{}: missing table {table}",
+                t.task_id
+            );
         }
     }
 }

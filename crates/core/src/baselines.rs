@@ -17,8 +17,8 @@
 
 use crate::index::KnowledgeIndex;
 use genedit_llm::{
-    hash01, CompletionRequest, LanguageModel, Plan, Prompt, PromptExample,
-    PromptSchemaElement, TaskKind,
+    hash01, CompletionRequest, LanguageModel, Plan, Prompt, PromptExample, PromptSchemaElement,
+    TaskKind,
 };
 use genedit_sql::catalog::Database;
 
@@ -267,7 +267,11 @@ pub fn run_baseline(
         }
         errors.extend(round_errors);
     }
-    BaselineResult { sql: last_sql, attempts: profile.max_retries + 1, validated: false }
+    BaselineResult {
+        sql: last_sql,
+        attempts: profile.max_retries + 1,
+        validated: false,
+    }
 }
 
 #[cfg(test)]
@@ -283,19 +287,31 @@ mod tests {
         for t in &bundle.tasks {
             reg.register(t.clone());
         }
-        let oracle =
-            OracleModel::with_config(reg, OracleConfig { noise_rate: 0.0, ..Default::default() });
+        let oracle = OracleModel::with_config(
+            reg,
+            OracleConfig {
+                noise_rate: 0.0,
+                ..Default::default()
+            },
+        );
         (bundle, index, oracle)
     }
 
     fn log_pairs(bundle: &DomainBundle) -> Vec<(String, String)> {
-        bundle.logs.iter().map(|l| (l.question.clone(), l.sql.clone())).collect()
+        bundle
+            .logs
+            .iter()
+            .map(|l| (l.question.clone(), l.sql.clone()))
+            .collect()
     }
 
     #[test]
     fn five_paper_baselines() {
         let names: Vec<&str> = paper_baselines().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["CHESS", "MAC-SQL", "TA-SQL", "DAIL-SQL", "C3-SQL"]);
+        assert_eq!(
+            names,
+            vec!["CHESS", "MAC-SQL", "TA-SQL", "DAIL-SQL", "C3-SQL"]
+        );
     }
 
     #[test]
@@ -308,8 +324,13 @@ mod tests {
         for t in &bundle.tasks {
             reg.register(t.clone());
         }
-        let oracle =
-            OracleModel::with_config(reg, OracleConfig { noise_rate: 0.0, ..Default::default() });
+        let oracle = OracleModel::with_config(
+            reg,
+            OracleConfig {
+                noise_rate: 0.0,
+                ..Default::default()
+            },
+        );
         let chess = &paper_baselines()[0];
         let task = bundle
             .tasks
@@ -337,7 +358,10 @@ mod tests {
     #[test]
     fn zero_shot_baseline_struggles_on_challenging() {
         let (bundle, index, oracle) = setup();
-        let c3 = paper_baselines().into_iter().find(|p| p.name == "C3-SQL").unwrap();
+        let c3 = paper_baselines()
+            .into_iter()
+            .find(|p| p.name == "C3-SQL")
+            .unwrap();
         let task = bundle
             .tasks
             .iter()
@@ -352,8 +376,7 @@ mod tests {
             &[],
             &task.evidence,
         );
-        let (ok, _) =
-            genedit_bird::score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
+        let (ok, _) = genedit_bird::score_prediction(&bundle.db, &task.gold_sql, r.sql.as_deref());
         // With no plan and a dumped schema, the QoQ flagship task should
         // not come out EX-correct.
         assert!(!ok, "{:?}", r.sql);
@@ -362,7 +385,10 @@ mod tests {
     #[test]
     fn baseline_runs_are_deterministic() {
         let (bundle, index, oracle) = setup();
-        let dail = paper_baselines().into_iter().find(|p| p.name == "DAIL-SQL").unwrap();
+        let dail = paper_baselines()
+            .into_iter()
+            .find(|p| p.name == "DAIL-SQL")
+            .unwrap();
         let task = &bundle.tasks[1];
         let a = run_baseline(
             &dail,

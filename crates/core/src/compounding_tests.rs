@@ -35,7 +35,10 @@ mod tests {
             text: "apply a negative multiplier when ranking the metric change".into(),
             sql_hint: Some("-1 * (metric_b - metric_a)".into()),
             term: None,
-            source: SourceRef::Document { doc_id: 1, section: "metrics".into() },
+            source: SourceRef::Document {
+                doc_id: 1,
+                section: "metrics".into(),
+            },
         })
         .unwrap();
         // Distractor instructions that *do* share question vocabulary.
@@ -52,7 +55,10 @@ mod tests {
                 text: (*text).into(),
                 sql_hint: None,
                 term: None,
-                source: SourceRef::Document { doc_id: 2, section: format!("s{i}") },
+                source: SourceRef::Document {
+                    doc_id: 2,
+                    section: format!("s{i}"),
+                },
             })
             .unwrap();
         }
@@ -97,7 +103,10 @@ mod tests {
                  without: {without:?}\nwith: {with:?}"
             ),
         }
-        assert_eq!(rank_with, 0, "the bridged instruction should rank first: {with:?}");
+        assert_eq!(
+            rank_with, 0,
+            "the bridged instruction should rank first: {with:?}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use genedit_knowledge::{Edit, KnowledgeSet, RetrievalStage, SourceRef, StagingAr
 use genedit_llm::LanguageModel;
 use genedit_retrieval::tokenize;
 use genedit_sql::catalog::Database;
+use genedit_telemetry::{names, Trace, Tracer};
 
 /// A target the feedback is judged relevant to (operator 1 output).
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +35,9 @@ pub enum TargetKind {
     Instruction(genedit_knowledge::InstructionId),
     /// The feedback names knowledge that was never retrieved — a gap to
     /// fill with an insertion.
-    MissingKnowledge { topic: String },
+    MissingKnowledge {
+        topic: String,
+    },
 }
 
 /// A recommended edit with its explanation trail (operators 2–4 outputs).
@@ -54,10 +57,12 @@ pub fn generate_targets(
     generation: &GenerationResult,
     knowledge: &KnowledgeSet,
 ) -> Vec<FeedbackTarget> {
-    let fb_tokens: std::collections::BTreeSet<String> =
-        tokenize(feedback).into_iter().collect();
+    let fb_tokens: std::collections::BTreeSet<String> = tokenize(feedback).into_iter().collect();
     let overlap = |text: &str| -> usize {
-        tokenize(text).iter().filter(|t| fb_tokens.contains(*t)).count()
+        tokenize(text)
+            .iter()
+            .filter(|t| fb_tokens.contains(*t))
+            .count()
     };
 
     let mut targets = Vec::new();
@@ -97,7 +102,9 @@ pub fn generate_targets(
             .take(6)
             .collect();
         targets.push(FeedbackTarget {
-            kind: TargetKind::MissingKnowledge { topic: topic.join(" ") },
+            kind: TargetKind::MissingKnowledge {
+                topic: topic.join(" "),
+            },
             why: "no retrieved knowledge matches the feedback; new knowledge is needed".into(),
         });
     }
@@ -105,27 +112,24 @@ pub fn generate_targets(
 }
 
 /// Operator 2: expand the why into a fuller explanation.
-pub fn expand_feedback(
-    feedback: &str,
-    question: &str,
-    targets: &[FeedbackTarget],
-) -> String {
+pub fn expand_feedback(feedback: &str, question: &str, targets: &[FeedbackTarget]) -> String {
     let mut out = format!(
         "The user asked: \"{question}\". The generated SQL was judged wrong because: \
          \"{feedback}\". "
     );
     for t in targets {
         match &t.kind {
-            TargetKind::Example(id) => {
-                out.push_str(&format!("Example {id} likely taught the wrong pattern ({}). ", t.why))
-            }
+            TargetKind::Example(id) => out.push_str(&format!(
+                "Example {id} likely taught the wrong pattern ({}). ",
+                t.why
+            )),
             TargetKind::Instruction(id) => out.push_str(&format!(
                 "Instruction {id} either misled generation or needs strengthening ({}). ",
                 t.why
             )),
-            TargetKind::MissingKnowledge { topic } => out.push_str(&format!(
-                "The knowledge set lacks coverage of: {topic}. "
-            )),
+            TargetKind::MissingKnowledge { topic } => {
+                out.push_str(&format!("The knowledge set lacks coverage of: {topic}. "))
+            }
         }
     }
     out
@@ -156,14 +160,74 @@ pub fn generate_edits_with_id(
     knowledge: &KnowledgeSet,
     feedback_id: u64,
 ) -> Vec<RecommendedEdit> {
-    let targets = generate_targets(feedback, generation, knowledge);
-    let explanation = expand_feedback(feedback, question, &targets);
-    let mut out = Vec::new();
+    let tracer = Tracer::new("feedback");
+    generate_edits_traced(
+        feedback,
+        question,
+        generation,
+        knowledge,
+        feedback_id,
+        &tracer,
+    )
+}
 
-    for target in &targets {
+/// Operator 3: plan the changes — one step list per target, consumed by
+/// the edits the generate phase produces for that target.
+pub fn plan_edits(targets: &[FeedbackTarget]) -> Vec<Vec<String>> {
+    targets
+        .iter()
+        .map(|target| match &target.kind {
+            TargetKind::Instruction(id) => vec![
+                format!("Locate instruction {id}."),
+                "Append the user's clarification so future retrieval carries it.".to_string(),
+            ],
+            TargetKind::Example(id) => vec![
+                format!("Locate example {id}."),
+                "Annotate its description with the corrected interpretation.".to_string(),
+            ],
+            TargetKind::MissingKnowledge { topic } => vec![
+                "No existing knowledge matches the feedback.".to_string(),
+                format!("Insert a new instruction covering: {topic}."),
+            ],
+        })
+        .collect()
+}
+
+/// The four-operator feedback chain, recording one span per operator on
+/// `tracer` (attrs: targets matched, explanation size, steps planned,
+/// edits produced).
+pub fn generate_edits_traced(
+    feedback: &str,
+    question: &str,
+    generation: &GenerationResult,
+    knowledge: &KnowledgeSet,
+    feedback_id: u64,
+    tracer: &Tracer,
+) -> Vec<RecommendedEdit> {
+    let span = tracer.span(names::FEEDBACK_TARGETS);
+    let targets = generate_targets(feedback, generation, knowledge);
+    span.attr("targets", targets.len());
+    span.finish();
+
+    let span = tracer.span(names::FEEDBACK_EXPAND);
+    let explanation = expand_feedback(feedback, question, &targets);
+    span.attr("chars", explanation.len());
+    span.finish();
+
+    let span = tracer.span(names::FEEDBACK_PLAN);
+    let plans = plan_edits(&targets);
+    span.attr("planned", plans.len())
+        .attr("steps", plans.iter().map(|p| p.len()).sum::<usize>());
+    span.finish();
+
+    let span = tracer.span(names::FEEDBACK_EDITS);
+    let mut out = Vec::new();
+    for (target, plan_steps) in targets.iter().zip(&plans) {
         match &target.kind {
             TargetKind::Instruction(id) => {
-                let Some(ins) = knowledge.instruction(*id) else { continue };
+                let Some(ins) = knowledge.instruction(*id) else {
+                    continue;
+                };
                 let new_text = format!("{} — clarified by feedback: {}", ins.text, feedback);
                 out.push(RecommendedEdit {
                     edit: Edit::UpdateInstruction {
@@ -173,15 +237,13 @@ pub fn generate_edits_with_id(
                         source: SourceRef::Feedback { feedback_id },
                     },
                     explanation: explanation.clone(),
-                    plan_steps: vec![
-                        format!("Locate instruction {id}."),
-                        "Append the user's clarification so future retrieval carries it."
-                            .to_string(),
-                    ],
+                    plan_steps: plan_steps.clone(),
                 });
             }
             TargetKind::Example(id) => {
-                let Some(ex) = knowledge.example(*id) else { continue };
+                let Some(ex) = knowledge.example(*id) else {
+                    continue;
+                };
                 out.push(RecommendedEdit {
                     edit: Edit::UpdateExample {
                         id: *id,
@@ -194,11 +256,7 @@ pub fn generate_edits_with_id(
                         source: SourceRef::Feedback { feedback_id },
                     },
                     explanation: explanation.clone(),
-                    plan_steps: vec![
-                        format!("Locate example {id}."),
-                        "Annotate its description with the corrected interpretation."
-                            .to_string(),
-                    ],
+                    plan_steps: plan_steps.clone(),
                 });
             }
             TargetKind::MissingKnowledge { topic } => {
@@ -211,10 +269,7 @@ pub fn generate_edits_with_id(
                         source: SourceRef::Feedback { feedback_id },
                     },
                     explanation: explanation.clone(),
-                    plan_steps: vec![
-                        "No existing knowledge matches the feedback.".to_string(),
-                        format!("Insert a new instruction covering: {topic}."),
-                    ],
+                    plan_steps: plan_steps.clone(),
                 });
                 out.push(RecommendedEdit {
                     edit: Edit::AddRetrievalHint {
@@ -229,6 +284,8 @@ pub fn generate_edits_with_id(
             }
         }
     }
+    span.attr("edits", out.len());
+    span.finish();
     out
 }
 
@@ -237,10 +294,7 @@ pub fn generate_edits_with_id(
 fn dominant_term(feedback: &str) -> Option<String> {
     feedback
         .split(|c: char| !c.is_alphanumeric())
-        .find(|t| {
-            t.len() >= 3
-                && t.chars().filter(|c| c.is_ascii_uppercase()).count() >= 2
-        })
+        .find(|t| t.len() >= 3 && t.chars().filter(|c| c.is_ascii_uppercase()).count() >= 2)
         .map(|t| t.to_string())
 }
 
@@ -259,6 +313,8 @@ pub struct FeedbackSession<'a, M> {
     pub latest: GenerationResult,
     /// History of (feedback, number of recommendations) rounds.
     rounds: Vec<(String, usize)>,
+    /// One trace per feedback round (the four edit operators).
+    feedback_traces: Vec<Trace>,
 }
 
 impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
@@ -281,6 +337,7 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
             recommendations: Vec::new(),
             latest,
             rounds: Vec::new(),
+            feedback_traces: Vec::new(),
         }
     }
 
@@ -300,6 +357,11 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
         &self.rounds
     }
 
+    /// The trace of each feedback round, in submission order.
+    pub fn feedback_traces(&self) -> &[Trace] {
+        &self.feedback_traces
+    }
+
     /// Submit feedback: produces recommended edits against the *staged*
     /// view of the knowledge set. The round number becomes the feedback id
     /// carried by the edits' provenance.
@@ -309,14 +371,18 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
             .materialize(self.deployed)
             .expect("staged edits apply to deployed set");
         let feedback_id = self.rounds.len() as u64 + 1;
-        self.recommendations = generate_edits_with_id(
+        let tracer = Tracer::new("feedback");
+        self.recommendations = generate_edits_traced(
             feedback,
             &self.question,
             &self.latest,
             &staged_ks,
             feedback_id,
+            &tracer,
         );
-        self.rounds.push((feedback.to_string(), self.recommendations.len()));
+        self.feedback_traces.push(tracer.finish());
+        self.rounds
+            .push((feedback.to_string(), self.recommendations.len()));
         self.recommendations.len()
     }
 
@@ -329,8 +395,11 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
 
     /// Stage every current recommendation.
     pub fn stage_all(&mut self) -> usize {
-        let edits: Vec<Edit> =
-            self.recommendations.iter().map(|r| r.edit.clone()).collect();
+        let edits: Vec<Edit> = self
+            .recommendations
+            .iter()
+            .map(|r| r.edit.clone())
+            .collect();
         for e in edits {
             self.staging.stage(e);
         }
@@ -374,8 +443,13 @@ mod tests {
         for t in &bundle.tasks {
             reg.register(t.clone());
         }
-        let oracle =
-            OracleModel::with_config(reg, OracleConfig { noise_rate: 0.0, ..Default::default() });
+        let oracle = OracleModel::with_config(
+            reg,
+            OracleConfig {
+                noise_rate: 0.0,
+                ..Default::default()
+            },
+        );
         (bundle, ks, oracle)
     }
 
@@ -442,14 +516,21 @@ mod tests {
             &task.gold_sql,
             session.latest.sql.as_deref(),
         );
-        assert!(ok, "after staging edits the query should be right: {note:?}");
+        assert!(
+            ok,
+            "after staging edits the query should be right: {note:?}"
+        );
     }
 
     #[test]
     fn targets_find_related_instruction() {
         let (bundle, ks, oracle) = setup();
         let pipeline = GenEditPipeline::new(&oracle);
-        let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.task_id.ends_with("s05"))
+            .unwrap();
         let index = KnowledgeIndex::build(ks.clone());
         let generation = pipeline.generate(&task.question, &index, &bundle.db, &[]);
         let targets = generate_targets(
@@ -465,7 +546,9 @@ mod tests {
     #[test]
     fn expansion_mentions_question_and_feedback() {
         let targets = vec![FeedbackTarget {
-            kind: TargetKind::MissingKnowledge { topic: "ownership".into() },
+            kind: TargetKind::MissingKnowledge {
+                topic: "ownership".into(),
+            },
             why: "gap".into(),
         }];
         let s = expand_feedback("wrong orgs", "our best orgs", &targets);
@@ -479,7 +562,11 @@ mod tests {
         let (bundle, ks, oracle) = setup();
         let ks = degraded_knowledge(&ks);
         let pipeline = GenEditPipeline::new(&oracle);
-        let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.task_id.ends_with("s05"))
+            .unwrap();
         let mut session = FeedbackSession::open(&pipeline, &bundle.db, &ks, &task.question);
         session.submit_feedback("only our organizations please, the COC ones");
         let handle = session.stage(0).unwrap();
@@ -488,6 +575,37 @@ mod tests {
         assert_eq!(session.staged_count(), 0);
         assert!(!session.unstage(handle));
         assert_eq!(session.rounds().len(), 1);
+    }
+
+    #[test]
+    fn feedback_round_records_the_four_operator_spans() {
+        let (bundle, ks, oracle) = setup();
+        let ks = degraded_knowledge(&ks);
+        let pipeline = GenEditPipeline::new(&oracle);
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.task_id.ends_with("s05"))
+            .unwrap();
+        let mut session = FeedbackSession::open(&pipeline, &bundle.db, &ks, &task.question);
+        session.submit_feedback("only our organizations please, the COC ones");
+        assert_eq!(session.feedback_traces().len(), 1);
+        let trace = &session.feedback_traces()[0];
+        let order: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            order,
+            vec![
+                names::FEEDBACK_TARGETS,
+                names::FEEDBACK_EXPAND,
+                names::FEEDBACK_PLAN,
+                names::FEEDBACK_EDITS,
+            ]
+        );
+        let edits = trace.find(names::FEEDBACK_EDITS).unwrap();
+        assert_eq!(
+            edits.attr("edits").map(|a| a.to_string()),
+            Some(session.recommendations().len().to_string())
+        );
     }
 
     #[test]

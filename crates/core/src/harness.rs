@@ -8,12 +8,17 @@ use crate::pipeline::GenEditPipeline;
 use genedit_bird::{score_prediction, EvalReport, TaskOutcome, Workload};
 use genedit_knowledge::KnowledgeSet;
 use genedit_llm::{ModelUsage, OracleConfig, OracleModel, RecordingModel};
+use genedit_telemetry::{operator_breakdown, MetricsRegistry, Trace};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Runs methods over one workload with a shared oracle.
+/// Runs methods over one workload with a shared oracle and a shared
+/// metrics registry: every GenEdit generation folds its trace into the
+/// registry, and each report carries its own operator breakdown.
 pub struct Harness<'w> {
     workload: &'w Workload,
     oracle: RecordingModel<OracleModel>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl<'w> Harness<'w> {
@@ -23,7 +28,11 @@ impl<'w> Harness<'w> {
 
     pub fn with_oracle_config(workload: &'w Workload, config: OracleConfig) -> Harness<'w> {
         let oracle = OracleModel::with_config(workload.registry(), config);
-        Harness { workload, oracle: RecordingModel::new(oracle) }
+        Harness {
+            workload,
+            oracle: RecordingModel::new(oracle),
+            metrics: Arc::new(MetricsRegistry::default()),
+        }
     }
 
     /// Cumulative model-call accounting across everything run so far.
@@ -33,6 +42,12 @@ impl<'w> Harness<'w> {
 
     pub fn reset_usage(&self) {
         self.oracle.reset_usage()
+    }
+
+    /// The registry every GenEdit run reports into. Shareable (`Arc`)
+    /// with other harnesses or exporters.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Build per-domain knowledge indexes, optionally with full-query
@@ -71,8 +86,10 @@ impl<'w> Harness<'w> {
         label: &str,
         indexes: &HashMap<String, KnowledgeIndex>,
     ) -> EvalReport {
-        let pipeline = GenEditPipeline::with_config(&self.oracle, config);
+        let pipeline = GenEditPipeline::with_config(&self.oracle, config)
+            .with_metrics(Arc::clone(&self.metrics));
         let mut report = EvalReport::new(label);
+        let mut traces: Vec<Trace> = Vec::new();
         for bundle in &self.workload.domains {
             let index = &indexes[&bundle.db.name];
             for task in &bundle.tasks {
@@ -86,8 +103,10 @@ impl<'w> Harness<'w> {
                     attempts: result.attempts,
                     note,
                 });
+                traces.push(result.trace);
             }
         }
+        report.set_operators(operator_breakdown(&traces));
         report
     }
 
@@ -106,7 +125,8 @@ impl<'w> Harness<'w> {
             .find(|b| b.db.name == db_name)
             .expect("domain exists");
         let index = KnowledgeIndex::build(knowledge);
-        let pipeline = GenEditPipeline::with_config(&self.oracle, config.clone());
+        let pipeline = GenEditPipeline::with_config(&self.oracle, config.clone())
+            .with_metrics(Arc::clone(&self.metrics));
         bundle
             .tasks
             .iter()
@@ -177,7 +197,11 @@ mod tests {
             full.ex(None),
             no_instructions.ex(None)
         );
-        assert!(full.ex(None) > 40.0, "full pipeline EX too low: {}", full.ex(None));
+        assert!(
+            full.ex(None) > 40.0,
+            "full pipeline EX too low: {}",
+            full.ex(None)
+        );
     }
 
     #[test]
@@ -191,6 +215,47 @@ mod tests {
         assert!(usage.calls.contains_key("sql"));
         harness.reset_usage();
         assert_eq!(harness.model_usage().total_calls(), 0);
+    }
+
+    #[test]
+    fn report_breaks_down_operators_and_ablation_removes_rows() {
+        use genedit_telemetry::names;
+        let w = Workload::small(42);
+        let harness = Harness::new(&w);
+
+        let full = harness.run_genedit(Ablation::None);
+        for name in [
+            names::REFORMULATE,
+            names::INTENT,
+            names::EXAMPLES,
+            names::INSTRUCTIONS,
+            names::SCHEMA_LINKING,
+            names::PLAN,
+            names::SQL_ATTEMPT,
+        ] {
+            let stats = full
+                .operators
+                .get(name)
+                .unwrap_or_else(|| panic!("operator {name} missing from breakdown"));
+            assert!(stats.count >= w.task_count(), "{name} count too low");
+            assert!(stats.total_ms >= 0.0 && stats.mean_ms >= 0.0);
+        }
+        // Every model call is attributed: the root rows own them all.
+        let root = &full.operators[names::GENERATE];
+        assert_eq!(root.llm_calls, full.operators[names::LLM_COMPLETE].count);
+        assert!(full.operators[names::PLAN].llm_calls >= w.task_count());
+
+        // Disabling an operator removes its rows from the breakdown.
+        let ablated = harness.run_genedit(Ablation::WithoutInstructions);
+        assert!(!ablated.operators.contains_key(names::INSTRUCTIONS));
+        assert!(ablated.operators.contains_key(names::EXAMPLES));
+
+        // The shared registry saw both runs.
+        let snapshot = harness.metrics().snapshot();
+        assert_eq!(
+            snapshot.counters["span.pipeline.generate.count"],
+            2 * w.task_count() as u64
+        );
     }
 
     #[test]

@@ -44,7 +44,13 @@ impl KnowledgeIndex {
         for (pos, s) in ks.schema_elements().iter().enumerate() {
             schema.insert(pos, embedder.embed(&s.retrieval_text()));
         }
-        KnowledgeIndex { ks, embedder, examples, instructions, schema }
+        KnowledgeIndex {
+            ks,
+            embedder,
+            examples,
+            instructions,
+            schema,
+        }
     }
 
     pub fn knowledge(&self) -> &KnowledgeSet {
@@ -121,7 +127,9 @@ impl KnowledgeIndex {
         intents: &[String],
         k: usize,
     ) -> Vec<(&Instruction, f32)> {
-        let hits = self.instructions.search(query, self.instructions.len(), f32::MIN);
+        let hits = self
+            .instructions
+            .search(query, self.instructions.len(), f32::MIN);
         let mut scored: Vec<(&Instruction, f32)> = hits
             .into_iter()
             .map(|h| {
@@ -162,7 +170,8 @@ mod tests {
 
     fn sample_index() -> KnowledgeIndex {
         let mut ks = KnowledgeSet::new();
-        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "money"))).unwrap();
+        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "money")))
+            .unwrap();
         ks.apply(Edit::InsertExample {
             intent: Some("fin".into()),
             description: "filter by ownership flag COC for our organizations".into(),
@@ -193,7 +202,9 @@ mod tests {
     #[test]
     fn relevant_example_ranks_first() {
         let idx = sample_index();
-        let q = idx.embedder().embed("show our organizations with ownership flag");
+        let q = idx
+            .embedder()
+            .embed("show our organizations with ownership flag");
         let top = idx.top_examples(&q, &[], 2);
         assert_eq!(top[0].0.term.as_deref(), Some("COC"));
         assert!(top[0].1 > top[1].1);
@@ -211,8 +222,10 @@ mod tests {
             .iter()
             .position(|(e, _)| e.intent.as_deref() == Some("fin"))
             .unwrap();
-        let fin_pos_with =
-            with.iter().position(|(e, _)| e.intent.as_deref() == Some("fin")).unwrap();
+        let fin_pos_with = with
+            .iter()
+            .position(|(e, _)| e.intent.as_deref() == Some("fin"))
+            .unwrap();
         assert!(fin_pos_with <= fin_pos_without);
         assert_eq!(fin_pos_with, 0);
     }

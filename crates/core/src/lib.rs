@@ -15,14 +15,17 @@ pub mod pipeline;
 pub mod regression;
 pub mod sme;
 
-pub use baselines::{paper_baselines, run_baseline, BaselineResult, ExampleStyle, MethodProfile, PlanStyle, SchemaStyle};
+pub use baselines::{
+    paper_baselines, run_baseline, BaselineResult, ExampleStyle, MethodProfile, PlanStyle,
+    SchemaStyle,
+};
 pub use config::{Ablation, CandidateSelection, PipelineConfig};
+pub use feedback::{
+    expand_feedback, generate_edits, generate_edits_traced, generate_edits_with_id,
+    generate_targets, plan_edits, FeedbackSession, FeedbackTarget, RecommendedEdit, TargetKind,
+};
 pub use harness::Harness;
 pub use index::KnowledgeIndex;
-pub use feedback::{
-    expand_feedback, generate_edits, generate_edits_with_id, generate_targets, FeedbackSession, FeedbackTarget,
-    RecommendedEdit, TargetKind,
-};
 pub use pipeline::{GenEditPipeline, GenerationResult};
 pub use regression::{
     run_regression, submit_edits, GoldenQuery, RegressionOutcome, SubmissionResult,

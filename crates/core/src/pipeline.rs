@@ -15,10 +15,12 @@ use crate::index::KnowledgeIndex;
 use genedit_knowledge::{ExampleId, FragmentKind, InstructionId, RetrievalStage};
 use genedit_llm::{
     CompletionRequest, LanguageModel, Plan, Prompt, PromptExample, PromptInstruction,
-    PromptSchemaElement, TaskKind,
+    PromptSchemaElement, TaskKind, TracedModel,
 };
 use genedit_sql::catalog::Database;
-use genedit_sql::exec::execute_sql;
+use genedit_sql::exec::execute_sql_timed;
+use genedit_telemetry::{names, MetricsRegistry, Trace, Tracer};
+use std::sync::Arc;
 
 /// Everything produced by one generation run. The feedback module consumes
 /// the used-knowledge lists (operator "Generate Targets", §4.1).
@@ -41,6 +43,12 @@ pub struct GenerationResult {
     pub used_schema: Vec<String>,
     /// The final SQL-generation prompt, for inspection/demos (Fig. 2).
     pub final_prompt: Prompt,
+    /// Model-response fallbacks and other anomalies the pipeline
+    /// previously swallowed silently (mirrors `trace.warnings`).
+    pub warnings: Vec<String>,
+    /// The span trace of this generation: one span per operator, LLM
+    /// call, and self-correction attempt.
+    pub trace: Trace,
 }
 
 /// The pipeline. Generic over the model so tests can stub it; in the
@@ -48,15 +56,31 @@ pub struct GenerationResult {
 pub struct GenEditPipeline<M> {
     model: M,
     config: PipelineConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<M: LanguageModel> GenEditPipeline<M> {
     pub fn new(model: M) -> GenEditPipeline<M> {
-        GenEditPipeline { model, config: PipelineConfig::default() }
+        GenEditPipeline {
+            model,
+            config: PipelineConfig::default(),
+            metrics: None,
+        }
     }
 
     pub fn with_config(model: M, config: PipelineConfig) -> GenEditPipeline<M> {
-        GenEditPipeline { model, config }
+        GenEditPipeline {
+            model,
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Attach a shared metrics registry: every generation folds its trace
+    /// and validation timings into it.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> GenEditPipeline<M> {
+        self.metrics = Some(metrics);
+        self
     }
 
     pub fn config(&self) -> &PipelineConfig {
@@ -67,13 +91,52 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         &self.model
     }
 
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
     /// Run the full pipeline for one question.
     ///
     /// `evidence` carries benchmark-provided evidence strings; GenEdit
     /// itself runs with `include_evidence = false` and relies on the
-    /// knowledge set.
+    /// knowledge set. The returned result carries a [`Trace`] with one
+    /// span per enabled operator, plan/SQL attempt, and model call.
     pub fn generate(
         &self,
+        question: &str,
+        index: &KnowledgeIndex,
+        db: &Database,
+        evidence: &[String],
+    ) -> GenerationResult {
+        let tracer = Tracer::new(names::GENERATE);
+        let mut result = {
+            let root = tracer.span(names::GENERATE);
+            root.attr("question_chars", question.len());
+            let model = TracedModel::new(&self.model, &tracer);
+            let r = self.generate_core(&model, &tracer, question, index, db, evidence);
+            root.attr("attempts", r.attempts)
+                .attr("validated", r.validated);
+            root.finish();
+            r
+        };
+        let trace = tracer.finish();
+        result.warnings = trace.warnings.clone();
+        result.trace = trace;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_trace(&result.trace);
+        }
+        result
+    }
+
+    /// The pipeline body. `model` is the traced wrapper around
+    /// `self.model`, so every completion lands as an `llm.complete` child
+    /// of whichever operator span is open when it fires. The trace and
+    /// warnings fields of the returned result are placeholders; the
+    /// `generate` wrapper fills them after the tracer finishes.
+    fn generate_core(
+        &self,
+        model: &TracedModel<'_, &M>,
+        tracer: &Tracer,
         question: &str,
         index: &KnowledgeIndex,
         db: &Database,
@@ -84,26 +147,44 @@ impl<M: LanguageModel> GenEditPipeline<M> {
 
         // ---- operator 1: reformulation -------------------------------
         let reformulated = if cfg.use_reformulation {
+            let span = tracer.span(names::REFORMULATE);
             let prompt = Prompt::new(TaskKind::Reformulate, question);
-            self.model
-                .complete(&CompletionRequest::new(prompt))
-                .as_text()
-                .unwrap_or(question)
-                .to_string()
+            let text = match model.complete(&CompletionRequest::new(prompt)).as_text() {
+                Some(t) => t.to_string(),
+                None => {
+                    tracer.warning(
+                        "reformulation returned no text; falling back to the raw question",
+                    );
+                    question.to_string()
+                }
+            };
+            span.attr("chars_in", question.len())
+                .attr("chars_out", text.len());
+            span.finish();
+            text
         } else {
             question.to_string()
         };
 
         // ---- operator 2: intent classification -----------------------
         let intents: Vec<String> = if cfg.use_intent_classification {
+            let span = tracer.span(names::INTENT);
             let mut prompt = Prompt::new(TaskKind::IntentClassification, &reformulated);
-            prompt.intent_candidates =
-                ks.intents().iter().map(|i| i.key.clone()).collect();
-            self.model
-                .complete(&CompletionRequest::new(prompt))
-                .as_items()
-                .map(|v| v.to_vec())
-                .unwrap_or_default()
+            prompt.intent_candidates = ks.intents().iter().map(|i| i.key.clone()).collect();
+            let candidates = prompt.intent_candidates.len();
+            let matched = match model.complete(&CompletionRequest::new(prompt)).as_items() {
+                Some(v) => v.to_vec(),
+                None => {
+                    tracer.warning(
+                        "intent classification returned no item list; assuming no intents",
+                    );
+                    Vec::new()
+                }
+            };
+            span.attr("candidates", candidates)
+                .attr("matched", matched.len());
+            span.finish();
+            matched
         } else {
             Vec::new()
         };
@@ -112,8 +193,9 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         let query_emb = index.embedder().embed(&reformulated);
         let (prompt_examples, used_examples): (Vec<PromptExample>, Vec<ExampleId>) =
             if cfg.use_examples {
+                let span = tracer.span(names::EXAMPLES);
                 let top = index.top_examples(&query_emb, &intents, cfg.example_top_k);
-                let ids = top.iter().map(|(e, _)| e.id).collect();
+                let ids: Vec<ExampleId> = top.iter().map(|(e, _)| e.id).collect();
                 let rendered = top
                     .iter()
                     .map(|(e, _)| PromptExample {
@@ -126,6 +208,9 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                         term: e.term.clone(),
                     })
                     .collect();
+                span.attr("candidates", ks.examples().len())
+                    .attr("selected", ids.len());
+                span.finish();
                 (rendered, ids)
             } else {
                 (Vec::new(), Vec::new())
@@ -138,13 +223,13 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             .collect();
         let (prompt_instructions, used_instructions): (Vec<PromptInstruction>, Vec<InstructionId>) =
             if cfg.use_instructions {
-                let mut expansions: Vec<&str> =
-                    example_texts.iter().map(|s| s.as_str()).collect();
+                let span = tracer.span(names::INSTRUCTIONS);
+                let mut expansions: Vec<&str> = example_texts.iter().map(|s| s.as_str()).collect();
                 let hints = ks.retrieval_hints(RetrievalStage::InstructionSelection);
                 expansions.extend(hints.iter().copied());
                 let expanded = index.embedder().embed_expanded(&reformulated, &expansions);
                 let top = index.top_instructions(&expanded, &intents, cfg.instruction_top_k);
-                let ids = top.iter().map(|(i, _)| i.id).collect();
+                let ids: Vec<InstructionId> = top.iter().map(|(i, _)| i.id).collect();
                 let rendered = top
                     .iter()
                     .map(|(i, _)| PromptInstruction {
@@ -153,6 +238,10 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                         term: i.term.clone(),
                     })
                     .collect();
+                span.attr("candidates", ks.instructions().len())
+                    .attr("selected", ids.len())
+                    .attr("expansions", expansions.len());
+                span.finish();
                 (rendered, ids)
             } else {
                 (Vec::new(), Vec::new())
@@ -170,6 +259,8 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             })
             .collect();
         let schema: Vec<PromptSchemaElement> = if cfg.use_schema_linking {
+            let span = tracer.span(names::SCHEMA_LINKING);
+            span.attr("candidates", all_schema.len());
             // The LLM identifies relevant elements over the full schema…
             let mut link_prompt = Prompt::new(TaskKind::SchemaLinking, &reformulated);
             link_prompt.schema = all_schema.clone();
@@ -178,31 +269,32 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-            let keys: Vec<String> = self
-                .model
+            let keys: Vec<String> = match model
                 .complete(&CompletionRequest::new(link_prompt))
                 .as_items()
-                .map(|v| v.to_vec())
-                .unwrap_or_default();
+            {
+                Some(v) => v.to_vec(),
+                None => {
+                    tracer.warning("schema linking returned no item list; linking no elements");
+                    Vec::new()
+                }
+            };
             let linked: Vec<PromptSchemaElement> = all_schema
                 .iter()
                 .filter(|el| keys.iter().any(|k| k == &el.key()))
                 .cloned()
                 .collect();
+            span.attr("linked", linked.len());
             // …then a re-ranker filters to manage the generation model's
             // context (§3.1.1), using the example+instruction-expanded
             // query embedding (more context expansion).
-            if linked.len() > cfg.schema_top_k {
-                let instruction_texts: Vec<String> = prompt_instructions
-                    .iter()
-                    .map(|i| i.text.clone())
-                    .collect();
-                let mut expansions: Vec<&str> =
-                    example_texts.iter().map(|s| s.as_str()).collect();
+            let kept = if linked.len() > cfg.schema_top_k {
+                let instruction_texts: Vec<String> =
+                    prompt_instructions.iter().map(|i| i.text.clone()).collect();
+                let mut expansions: Vec<&str> = example_texts.iter().map(|s| s.as_str()).collect();
                 expansions.extend(instruction_texts.iter().map(|s| s.as_str()));
-                let expanded =
-                    index.embedder().embed_expanded(&reformulated, &expansions);
-                let mut scored: Vec<(PromptSchemaElement, f32)> = linked
+                let expanded = index.embedder().embed_expanded(&reformulated, &expansions);
+                let scored: Vec<(PromptSchemaElement, f32)> = linked
                     .into_iter()
                     .map(|el| {
                         let text = format!(
@@ -216,14 +308,18 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                         (el, score)
                     })
                     .collect();
-                scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                });
-                scored.truncate(cfg.schema_top_k);
-                scored.into_iter().map(|(el, _)| el).collect()
+                let (kept, stats) =
+                    genedit_retrieval::rerank_top_k_with_stats(scored, cfg.schema_top_k);
+                if let Some(metrics) = &self.metrics {
+                    stats.record(metrics, "schema_linking");
+                }
+                kept.into_iter().map(|(el, _)| el).collect()
             } else {
                 linked
-            }
+            };
+            span.attr("kept", kept.len());
+            span.finish();
+            kept
         } else {
             // Ablation: no linking — the full warehouse schema ships with
             // the prompt (empty section = "everything attached" to the
@@ -244,15 +340,27 @@ impl<M: LanguageModel> GenEditPipeline<M> {
 
         // ---- CoT plan (§3.1.2) ----------------------------------------
         let plan: Option<Plan> = if cfg.use_plan {
+            let span = tracer.span(names::PLAN);
             let mut plan_prompt = base.clone();
             plan_prompt.task = TaskKind::PlanGeneration;
-            let p = self
-                .model
+            let p = match model
                 .complete(&CompletionRequest::new(plan_prompt))
                 .as_plan()
-                .cloned()
-                .unwrap_or_default();
-            Some(if cfg.use_pseudo_sql { p } else { p.without_pseudo_sql() })
+            {
+                Some(p) => p.clone(),
+                None => {
+                    tracer.warning("plan generation returned no plan; using an empty plan");
+                    Plan::default()
+                }
+            };
+            span.attr("steps", p.steps.len())
+                .attr("pseudo_sql", cfg.use_pseudo_sql);
+            span.finish();
+            Some(if cfg.use_pseudo_sql {
+                p
+            } else {
+                p.without_pseudo_sql()
+            })
         } else {
             None
         };
@@ -262,6 +370,13 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         let mut errors: Vec<String> = Vec::new();
         let mut last_sql: Option<String> = None;
         for attempt in 0..=cfg.max_retries {
+            let attempt_span = tracer.span(names::SQL_ATTEMPT);
+            attempt_span
+                .attr("attempt", attempt + 1)
+                .attr("candidates", cfg.candidates.max(1));
+            if let Some(cause) = errors.last() {
+                attempt_span.attr("retry_cause", cause.as_str());
+            }
             let mut prompt = base.clone();
             prompt.errors = errors.clone();
             let mut round_errors: Vec<String> = Vec::new();
@@ -269,15 +384,17 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             // (used by self-consistency voting).
             let mut valid: Vec<(String, Vec<String>)> = Vec::new();
             for seed in 0..cfg.candidates.max(1) as u64 {
-                let sql = match self
-                    .model
+                let sql = match model
                     .complete(&CompletionRequest::with_seed(prompt.clone(), seed))
                     .as_sql()
                 {
                     Some(s) => s.to_string(),
-                    None => continue,
+                    None => {
+                        tracer.warning("model returned no SQL for a generation candidate");
+                        continue;
+                    }
                 };
-                match validate(db, &sql) {
+                match self.validate_traced(tracer, db, &sql, seed) {
                     Ok(fingerprint) => {
                         if cfg.candidate_selection == CandidateSelection::FirstValid {
                             return GenerationResult {
@@ -292,6 +409,8 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                                 used_instructions,
                                 used_schema,
                                 final_prompt: prompt,
+                                warnings: Vec::new(),
+                                trace: Trace::empty(names::GENERATE),
                             };
                         }
                         valid.push((sql, fingerprint));
@@ -314,6 +433,7 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                     })
                     .map(|(_, (sql, _))| sql.clone())
                     .expect("non-empty");
+                attempt_span.attr("valid", valid.len());
                 return GenerationResult {
                     sql: Some(winner),
                     attempts: attempt + 1,
@@ -326,8 +446,12 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                     used_instructions,
                     used_schema,
                     final_prompt: prompt,
+                    warnings: Vec::new(),
+                    trace: Trace::empty(names::GENERATE),
                 };
             }
+            attempt_span.attr("errors", round_errors.len());
+            attempt_span.finish();
             errors.extend(round_errors);
         }
 
@@ -348,16 +472,53 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             used_instructions,
             used_schema,
             final_prompt,
+            warnings: Vec::new(),
+            trace: Trace::empty(names::GENERATE),
         }
+    }
+
+    /// Instrumented validation: records a `sql.validate` span with parse
+    /// and execution timings, and folds [`ExecStats`] into the registry
+    /// when one is attached. Error strings match [`validate`] exactly so
+    /// the self-correction prompts are unchanged.
+    fn validate_traced(
+        &self,
+        tracer: &Tracer,
+        db: &Database,
+        sql: &str,
+        seed: u64,
+    ) -> Result<Vec<String>, String> {
+        let span = tracer.span(names::VALIDATE);
+        span.attr("seed", seed).attr("sql_chars", sql.len());
+        let (result, stats) = execute_sql_timed(db, sql);
+        if let Some(metrics) = &self.metrics {
+            stats.record(metrics, "validate");
+        }
+        let out = match result {
+            Ok(rs) => {
+                span.attr("rows", stats.rows).attr("columns", stats.columns);
+                Ok(rs.fingerprint())
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                span.attr("error", msg.as_str());
+                Err(msg)
+            }
+        };
+        span.finish();
+        out
     }
 }
 
 /// Syntactic + semantic validation: parse, then execute against the
 /// database (execution-guided checking, as in the paper's self-correction
 /// citation 25). Returns the result fingerprint for candidate voting.
+/// The pipeline itself goes through `validate_traced`, which must agree
+/// with this reference implementation on every error string.
+#[cfg(test)]
 fn validate(db: &Database, sql: &str) -> Result<Vec<String>, String> {
     genedit_sql::parser::parse_statement(sql).map_err(|e| e.to_string())?;
-    let rs = execute_sql(db, sql).map_err(|e| e.to_string())?;
+    let rs = genedit_sql::exec::execute_sql(db, sql).map_err(|e| e.to_string())?;
     Ok(rs.fingerprint())
 }
 
@@ -396,11 +557,8 @@ mod tests {
         let task = &bundle.tasks[0];
         let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
         assert!(result.validated, "errors: {:?}", result.errors);
-        let (ok, note) = genedit_bird::score_prediction(
-            &bundle.db,
-            &task.gold_sql,
-            result.sql.as_deref(),
-        );
+        let (ok, note) =
+            genedit_bird::score_prediction(&bundle.db, &task.gold_sql, result.sql.as_deref());
         assert!(ok, "note: {note:?}, sql: {:?}", result.sql);
     }
 
@@ -433,28 +591,37 @@ mod tests {
             .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
             .unwrap();
         let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
-        let (ok, note) = genedit_bird::score_prediction(
-            &bundle.db,
-            &task.gold_sql,
-            result.sql.as_deref(),
+        let (ok, note) =
+            genedit_bird::score_prediction(&bundle.db, &task.gold_sql, result.sql.as_deref());
+        assert!(
+            ok,
+            "note: {note:?}\nplan: {:?}\nsql: {:?}",
+            result.plan, result.sql
         );
-        assert!(ok, "note: {note:?}\nplan: {:?}\nsql: {:?}", result.plan, result.sql);
     }
 
     #[test]
     fn without_instructions_term_tasks_fail() {
         let (bundle, index, oracle) = setup();
-        let cfg = PipelineConfig { use_instructions: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            use_instructions: false,
+            ..Default::default()
+        };
         let pipeline = GenEditPipeline::with_config(&oracle, cfg);
         // Task s05 is the "our entities" term task.
-        let task = bundle.tasks.iter().find(|t| !t.required_terms.is_empty()).unwrap();
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| !t.required_terms.is_empty())
+            .unwrap();
         let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
-        let (ok, _) = genedit_bird::score_prediction(
-            &bundle.db,
-            &task.gold_sql,
-            result.sql.as_deref(),
+        let (ok, _) =
+            genedit_bird::score_prediction(&bundle.db, &task.gold_sql, result.sql.as_deref());
+        assert!(
+            !ok,
+            "term task should fail without instructions: {:?}",
+            result.sql
         );
-        assert!(!ok, "term task should fail without instructions: {:?}", result.sql);
     }
 
     #[test]
@@ -471,7 +638,10 @@ mod tests {
         let plan = result.plan.unwrap();
         assert!(plan.steps.iter().any(|s| s.pseudo_sql.is_some()));
 
-        let cfg = PipelineConfig { use_pseudo_sql: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            use_pseudo_sql: false,
+            ..Default::default()
+        };
         let pipeline = GenEditPipeline::with_config(&oracle, cfg);
         let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
         let plan = result.plan.unwrap();
@@ -490,16 +660,12 @@ mod tests {
         let task = &bundle.tasks[0];
         let voted = pipeline.generate(&task.question, &index, &bundle.db, &[]);
         assert!(voted.validated);
-        let (ok, note) = genedit_bird::score_prediction(
-            &bundle.db,
-            &task.gold_sql,
-            voted.sql.as_deref(),
-        );
+        let (ok, note) =
+            genedit_bird::score_prediction(&bundle.db, &task.gold_sql, voted.sql.as_deref());
         assert!(ok, "{note:?}");
         // With an oracle that produces identical candidates, voting and
         // first-valid agree.
-        let first = GenEditPipeline::new(&oracle)
-            .generate(&task.question, &index, &bundle.db, &[]);
+        let first = GenEditPipeline::new(&oracle).generate(&task.question, &index, &bundle.db, &[]);
         assert_eq!(voted.sql, first.sql);
     }
 
@@ -509,5 +675,231 @@ mod tests {
         assert!(validate(&bundle.db, "SELECT * FROM SPORTS_ORGS").is_ok());
         assert!(validate(&bundle.db, "SELEC nope").is_err());
         assert!(validate(&bundle.db, "SELECT * FROM MISSING_TABLE").is_err());
+    }
+
+    #[test]
+    fn trace_contains_exactly_the_enabled_operator_spans() {
+        let (bundle, index, oracle) = setup();
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+            .unwrap();
+
+        // Full pipeline: every operator plus plan appears exactly once.
+        let full = GenEditPipeline::new(&oracle).generate(&task.question, &index, &bundle.db, &[]);
+        for name in [
+            names::REFORMULATE,
+            names::INTENT,
+            names::EXAMPLES,
+            names::INSTRUCTIONS,
+            names::SCHEMA_LINKING,
+            names::PLAN,
+        ] {
+            assert_eq!(
+                full.trace.count(name),
+                1,
+                "span {name} missing from full trace"
+            );
+        }
+        assert!(full.trace.count(names::SQL_ATTEMPT) >= 1);
+        assert!(full.trace.count(names::LLM_COMPLETE) >= 6);
+
+        // Each ablation makes exactly its operator's spans disappear.
+        let ablations: [(&str, PipelineConfig); 5] = [
+            (
+                names::REFORMULATE,
+                PipelineConfig {
+                    use_reformulation: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                names::INTENT,
+                PipelineConfig {
+                    use_intent_classification: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                names::EXAMPLES,
+                PipelineConfig {
+                    use_examples: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                names::INSTRUCTIONS,
+                PipelineConfig {
+                    use_instructions: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                names::SCHEMA_LINKING,
+                PipelineConfig {
+                    use_schema_linking: false,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (disabled, cfg) in ablations {
+            let result = GenEditPipeline::with_config(&oracle, cfg).generate(
+                &task.question,
+                &index,
+                &bundle.db,
+                &[],
+            );
+            assert_eq!(
+                result.trace.count(disabled),
+                0,
+                "span {disabled} should vanish when its operator is disabled"
+            );
+            for name in [
+                names::REFORMULATE,
+                names::INTENT,
+                names::EXAMPLES,
+                names::INSTRUCTIONS,
+                names::SCHEMA_LINKING,
+            ] {
+                if name != disabled {
+                    assert_eq!(result.trace.count(name), 1, "{name} should survive");
+                }
+            }
+        }
+
+        let no_plan = PipelineConfig {
+            use_plan: false,
+            ..Default::default()
+        };
+        let result = GenEditPipeline::with_config(&oracle, no_plan).generate(
+            &task.question,
+            &index,
+            &bundle.db,
+            &[],
+        );
+        assert_eq!(result.trace.count(names::PLAN), 0);
+    }
+
+    #[test]
+    fn sql_attempt_spans_match_reported_attempts() {
+        let (bundle, index, oracle) = setup();
+        // Clean run: one attempt, one span.
+        let task = &bundle.tasks[0];
+        let result =
+            GenEditPipeline::new(&oracle).generate(&task.question, &index, &bundle.db, &[]);
+        assert_eq!(result.trace.count(names::SQL_ATTEMPT), result.attempts);
+        assert_eq!(result.trace.count(names::VALIDATE), result.attempts);
+
+        // A model that only emits broken SQL burns every retry, and each
+        // one leaves a span; retries carry a retry_cause attribute.
+        struct BrokenSql;
+        impl LanguageModel for BrokenSql {
+            fn name(&self) -> &str {
+                "broken-sql"
+            }
+            fn complete(&self, request: &CompletionRequest) -> genedit_llm::CompletionResponse {
+                match request.prompt.task {
+                    TaskKind::SqlGeneration => {
+                        genedit_llm::CompletionResponse::Sql("SELEC nope".into())
+                    }
+                    _ => genedit_llm::CompletionResponse::Items(Vec::new()),
+                }
+            }
+        }
+        let pipeline = GenEditPipeline::new(BrokenSql);
+        let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        assert!(!result.validated);
+        assert_eq!(result.attempts, pipeline.config().max_retries + 1);
+        assert_eq!(result.trace.count(names::SQL_ATTEMPT), result.attempts);
+        let retries: Vec<&genedit_telemetry::Span> = result
+            .trace
+            .all_spans()
+            .into_iter()
+            .filter(|s| s.name == names::SQL_ATTEMPT && s.attr("retry_cause").is_some())
+            .collect();
+        assert!(!retries.is_empty(), "retries should record their cause");
+    }
+
+    #[test]
+    fn llm_spans_nest_under_their_operator() {
+        let (bundle, index, oracle) = setup();
+        let task = bundle
+            .tasks
+            .iter()
+            .find(|t| t.difficulty == genedit_llm::Difficulty::Challenging)
+            .unwrap();
+        let result =
+            GenEditPipeline::new(&oracle).generate(&task.question, &index, &bundle.db, &[]);
+        let root = result.trace.find(names::GENERATE).expect("root span");
+        for op in [
+            names::REFORMULATE,
+            names::INTENT,
+            names::SCHEMA_LINKING,
+            names::PLAN,
+        ] {
+            let span = result.trace.find(op).unwrap();
+            assert_eq!(
+                span.count_named(names::LLM_COMPLETE),
+                1,
+                "{op} should own exactly one model call"
+            );
+        }
+        // Every model call in the whole trace sits under the root.
+        assert_eq!(
+            root.count_named(names::LLM_COMPLETE),
+            result.trace.count(names::LLM_COMPLETE)
+        );
+    }
+
+    #[test]
+    fn malformed_model_responses_surface_as_warnings() {
+        struct TextOnly;
+        impl LanguageModel for TextOnly {
+            fn name(&self) -> &str {
+                "text-only"
+            }
+            fn complete(&self, _request: &CompletionRequest) -> genedit_llm::CompletionResponse {
+                genedit_llm::CompletionResponse::Text("not what you asked for".into())
+            }
+        }
+        let (bundle, index, _) = setup();
+        let result = GenEditPipeline::new(TextOnly).generate(
+            &bundle.tasks[0].question,
+            &index,
+            &bundle.db,
+            &[],
+        );
+        assert!(!result.validated);
+        assert_eq!(result.warnings, result.trace.warnings);
+        // Intent classification, schema linking, plan, and every SQL
+        // candidate all fell back.
+        assert!(result
+            .warnings
+            .iter()
+            .any(|w| w.contains("intent classification")));
+        assert!(result.warnings.iter().any(|w| w.contains("schema linking")));
+        assert!(result
+            .warnings
+            .iter()
+            .any(|w| w.contains("plan generation")));
+        assert!(result.warnings.iter().any(|w| w.contains("no SQL")));
+    }
+
+    #[test]
+    fn metrics_registry_accumulates_across_generations() {
+        let (bundle, index, oracle) = setup();
+        let metrics = Arc::new(MetricsRegistry::default());
+        let pipeline = GenEditPipeline::new(&oracle).with_metrics(Arc::clone(&metrics));
+        for task in bundle.tasks.iter().take(2) {
+            pipeline.generate(&task.question, &index, &bundle.db, &[]);
+        }
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.counters["span.pipeline.generate.count"], 2);
+        assert!(snapshot.counters["span.llm.complete.count"] >= 2);
+        assert!(snapshot
+            .histograms
+            .contains_key("span.pipeline.generate.ms"));
+        assert!(snapshot.histograms.contains_key("sql.validate.rows"));
     }
 }

@@ -59,11 +59,9 @@ pub fn run_regression<M: LanguageModel>(
     };
     for g in golden {
         let before = pipeline.generate(&g.question, &before_index, db, &[]);
-        let (before_ok, _) =
-            genedit_bird::score_prediction(db, &g.gold_sql, before.sql.as_deref());
+        let (before_ok, _) = genedit_bird::score_prediction(db, &g.gold_sql, before.sql.as_deref());
         let after = pipeline.generate(&g.question, &after_index, db, &[]);
-        let (after_ok, _) =
-            genedit_bird::score_prediction(db, &g.gold_sql, after.sql.as_deref());
+        let (after_ok, _) = genedit_bird::score_prediction(db, &g.gold_sql, after.sql.as_deref());
         if before_ok {
             outcome.before_correct += 1;
         }
@@ -83,7 +81,10 @@ pub fn run_regression<M: LanguageModel>(
 #[derive(Debug, Clone, PartialEq)]
 pub enum SubmissionResult {
     /// Merged; carries the checkpoint id recorded just before the merge.
-    Merged { checkpoint: u64, outcome: RegressionOutcome },
+    Merged {
+        checkpoint: u64,
+        outcome: RegressionOutcome,
+    },
     /// Failed regression testing; nothing was merged.
     RegressionFailed(RegressionOutcome),
     /// Passed regression but the (human) approver declined.
@@ -117,7 +118,10 @@ pub fn submit_edits<M: LanguageModel>(
         return Ok(SubmissionResult::ApprovalDeclined(outcome));
     }
     let checkpoint = staging.commit(deployed, merge_label)?;
-    Ok(SubmissionResult::Merged { checkpoint, outcome })
+    Ok(SubmissionResult::Merged {
+        checkpoint,
+        outcome,
+    })
 }
 
 #[cfg(test)]
@@ -152,7 +156,10 @@ mod tests {
             .tasks
             .iter()
             .take(n)
-            .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+            .map(|t| GoldenQuery {
+                question: t.question.clone(),
+                gold_sql: t.gold_sql.clone(),
+            })
             .collect()
     }
 

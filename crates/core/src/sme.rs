@@ -22,7 +22,10 @@ pub fn feedback_for(task: &TaskKnowledge, predicted_sql: Option<&str>) -> Option
         match &req.corruption {
             Corruption::DropWhereConjunct { marker } => {
                 if !upper.contains(&marker.to_uppercase())
-                    && task.gold_sql.to_uppercase().contains(&marker.to_uppercase())
+                    && task
+                        .gold_sql
+                        .to_uppercase()
+                        .contains(&marker.to_uppercase())
                 {
                     return Some(format!(
                         "This response queries all rows but I only care about our own ones — \
@@ -33,7 +36,10 @@ pub fn feedback_for(task: &TaskKnowledge, predicted_sql: Option<&str>) -> Option
             }
             Corruption::SwapAggregate { from, to } => {
                 if upper.contains(&format!("{}(", to.to_uppercase()))
-                    && task.gold_sql.to_uppercase().contains(&format!("{}(", from.to_uppercase()))
+                    && task
+                        .gold_sql
+                        .to_uppercase()
+                        .contains(&format!("{}(", from.to_uppercase()))
                 {
                     return Some(format!(
                         "The {} calculation is wrong: it must aggregate with {} (see the {} \
@@ -53,9 +59,7 @@ pub fn feedback_for(task: &TaskKnowledge, predicted_sql: Option<&str>) -> Option
                 }
             }
             Corruption::ReplaceStringLiteral { from, .. } => {
-                if !predicted.contains(from.as_str())
-                    && task.gold_sql.contains(from.as_str())
-                {
+                if !predicted.contains(from.as_str()) && task.gold_sql.contains(from.as_str()) {
                     return Some(format!(
                         "The {} filter should use the value '{}' (see the {} definition)",
                         req.term, from, req.term
@@ -120,8 +124,11 @@ mod tests {
 
     #[test]
     fn diagnoses_dropped_ownership_filter() {
-        let fb = feedback_for(&task(), Some("SELECT SUM(R) FROM F ORDER BY (-1 * (A - B)) DESC"))
-            .unwrap();
+        let fb = feedback_for(
+            &task(),
+            Some("SELECT SUM(R) FROM F ORDER BY (-1 * (A - B)) DESC"),
+        )
+        .unwrap();
         assert!(fb.contains("OWNERSHIP_FLAG"));
         assert!(fb.contains("COC"));
     }
@@ -147,8 +154,7 @@ mod tests {
     #[test]
     fn first_violated_term_wins() {
         // Both corruptions present: the ownership complaint comes first.
-        let fb = feedback_for(&task(), Some("SELECT SUM(R) FROM F ORDER BY (A - B) DESC"))
-            .unwrap();
+        let fb = feedback_for(&task(), Some("SELECT SUM(R) FROM F ORDER BY (A - B) DESC")).unwrap();
         assert!(fb.contains("OWNERSHIP_FLAG"));
     }
 }

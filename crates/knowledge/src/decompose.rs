@@ -30,7 +30,10 @@ pub fn to_cte_normal_form(query: &Query) -> Query {
     for cte in out.ctes.drain(..) {
         let mut body = (*cte.query).clone();
         rewrite_query_body(&mut body, &mut lifted, &mut used);
-        new_ctes.push(Cte { name: cte.name, query: Box::new(body) });
+        new_ctes.push(Cte {
+            name: cte.name,
+            query: Box::new(body),
+        });
     }
     rewrite_query_body(&mut out, &mut lifted, &mut used);
 
@@ -74,8 +77,14 @@ fn rewrite_table_ref(tr: &mut TableRef, lifted: &mut Vec<Cte>, used: &mut HashSe
                 lifted.push(c);
             }
             let name = fresh_name(alias, used);
-            lifted.push(Cte { name: name.clone(), query: Box::new(body) });
-            *tr = TableRef::Named { name, alias: Some(alias.clone()) };
+            lifted.push(Cte {
+                name: name.clone(),
+                query: Box::new(body),
+            });
+            *tr = TableRef::Named {
+                name,
+                alias: Some(alias.clone()),
+            };
         }
         TableRef::Join { left, right, .. } => {
             rewrite_table_ref(left, lifted, used);
@@ -129,7 +138,11 @@ fn decompose_query_into(query: &Query, scope: &str, out: &mut Vec<SqlFragment>) 
         ));
     }
     if let Some(n) = query.limit {
-        out.push(SqlFragment::new(FragmentKind::Limit, format!("LIMIT {n}"), scope));
+        out.push(SqlFragment::new(
+            FragmentKind::Limit,
+            format!("LIMIT {n}"),
+            scope,
+        ));
     }
 }
 
@@ -169,7 +182,11 @@ fn decompose_select(select: &Select, scope: &str, out: &mut Vec<SqlFragment>) {
     }
 
     if let Some(from) = &select.from {
-        out.push(SqlFragment::new(FragmentKind::From, format!("FROM {from}"), scope));
+        out.push(SqlFragment::new(
+            FragmentKind::From,
+            format!("FROM {from}"),
+            scope,
+        ));
     }
     if let Some(selection) = &select.selection {
         for conjunct in split_conjuncts(selection) {
@@ -189,7 +206,11 @@ fn decompose_select(select: &Select, scope: &str, out: &mut Vec<SqlFragment>) {
         ));
     }
     if let Some(h) = &select.having {
-        out.push(SqlFragment::new(FragmentKind::Having, format!("HAVING {h}"), scope));
+        out.push(SqlFragment::new(
+            FragmentKind::Having,
+            format!("HAVING {h}"),
+            scope,
+        ));
     }
 }
 
@@ -198,7 +219,11 @@ pub fn split_conjuncts(e: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
         match e {
-            Expr::Binary { op: BinaryOp::And, left, right } => {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => {
                 walk(left, out);
                 walk(right, out);
             }
@@ -246,7 +271,7 @@ mod tests {
 
     #[test]
     fn normalization_preserves_semantics() {
-        use genedit_sql::{execute_sql, Column, Database, DataType, Table, Value};
+        use genedit_sql::{execute_sql, Column, DataType, Database, Table, Value};
         let mut db = Database::new("d");
         let mut t = Table::new("base", vec![Column::new("a", DataType::Integer)]);
         for i in 0..20 {
@@ -263,10 +288,8 @@ mod tests {
 
     #[test]
     fn name_collisions_get_suffixes() {
-        let norm = to_cte_normal_form(&q(
-            "WITH T_CTE AS (SELECT 1 AS x) \
-             SELECT * FROM (SELECT 2 AS y) AS t CROSS JOIN T_CTE",
-        ));
+        let norm = to_cte_normal_form(&q("WITH T_CTE AS (SELECT 1 AS x) \
+             SELECT * FROM (SELECT 2 AS y) AS t CROSS JOIN T_CTE"));
         let names: Vec<&str> = norm.ctes.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"T_CTE"));
         assert!(names.contains(&"T_CTE_2"));
@@ -304,11 +327,12 @@ mod tests {
 
     #[test]
     fn fragments_carry_scope() {
-        let frags = decompose_sql(
-            "WITH F AS (SELECT A FROM T WHERE A > 1) SELECT A FROM F",
-        )
-        .unwrap();
-        let where_frag = frags.iter().find(|f| f.kind == FragmentKind::Where).unwrap();
+        let frags =
+            decompose_sql("WITH F AS (SELECT A FROM T WHERE A > 1) SELECT A FROM F").unwrap();
+        let where_frag = frags
+            .iter()
+            .find(|f| f.kind == FragmentKind::Where)
+            .unwrap();
         assert_eq!(where_frag.scope, "F");
         let main_from = frags
             .iter()

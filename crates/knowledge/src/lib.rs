@@ -27,16 +27,16 @@ pub mod staging;
 pub mod types;
 
 pub use decompose::{decompose, decompose_sql, split_conjuncts, to_cte_normal_form};
+pub use mine::{mine_intents, IntentProposal};
+pub use persist::{from_json, load, save, to_json, PersistError};
 pub use preprocess::{
-    build_knowledge_set, describe_fragment, DomainDocument, Guideline, PreprocessConfig,
-    QueryLogEntry, TermDefinition,
+    build_knowledge_set, build_knowledge_set_traced, describe_fragment, DomainDocument, Guideline,
+    PreprocessConfig, QueryLogEntry, TermDefinition,
 };
+pub use refresh::{refresh_document, RefreshReport};
 pub use set::{
     CheckpointInfo, Edit, EditOutcome, KnowledgeError, KnowledgeSet, KnowledgeStats, LoggedEdit,
 };
-pub use mine::{mine_intents, IntentProposal};
-pub use persist::{from_json, load, save, to_json, PersistError};
-pub use refresh::{refresh_document, RefreshReport};
 pub use staging::{StagedEdit, StagingArea};
 pub use types::{
     Example, ExampleId, FragmentKind, Instruction, InstructionId, Intent, Provenance,

@@ -32,14 +32,16 @@ impl IntentProposal {
 /// Words too generic to characterize an intent.
 const GENERIC: &[&str] = &[
     "the", "a", "an", "of", "in", "for", "per", "by", "with", "and", "or", "to", "our", "all",
-    "show", "me", "what", "which", "how", "many", "is", "are", "from", "on", "at", "any",
-    "total", "top", "best", "worst", "each", "without",
+    "show", "me", "what", "which", "how", "many", "is", "are", "from", "on", "at", "any", "total",
+    "top", "best", "worst", "each", "without",
 ];
 
 fn signature_tokens(text: &str) -> BTreeSet<String> {
     tokenize(text)
         .into_iter()
-        .filter(|t| t.len() > 2 && !GENERIC.contains(&t.as_str()) && !t.chars().all(|c| c.is_ascii_digit()))
+        .filter(|t| {
+            t.len() > 2 && !GENERIC.contains(&t.as_str()) && !t.chars().all(|c| c.is_ascii_digit())
+        })
         .collect()
 }
 
@@ -88,7 +90,11 @@ pub fn mine_intents(
                 .cloned()
                 .collect::<Vec<_>>()
                 .join("_");
-            IntentProposal { proposed_key, signature, members }
+            IntentProposal {
+                proposed_key,
+                signature,
+                members,
+            }
         })
         .collect()
 }
@@ -98,7 +104,12 @@ mod tests {
     use super::*;
 
     fn log(id: u64, q: &str) -> QueryLogEntry {
-        QueryLogEntry { log_id: id, question: q.into(), sql: "SELECT 1".into(), intent: None }
+        QueryLogEntry {
+            log_id: id,
+            question: q.into(),
+            sql: "SELECT 1".into(),
+            intent: None,
+        }
     }
 
     #[test]
@@ -164,12 +175,18 @@ mod tests {
         // The sports domain's historical logs share the performance
         // vocabulary; mining should find at least one multi-member intent.
         let spec_logs = vec![
-            log(1, "our sports organisations with the best and worst QoQFP in Canada for 2022Q3"),
+            log(
+                1,
+                "our sports organisations with the best and worst QoQFP in Canada for 2022Q3",
+            ),
             log(2, "total revenue per sports organisations in 2022"),
             log(3, "sports organisations located in Canada"),
             log(4, "our sports organisations without any viewership data"),
             log(5, "RPV per sports organisations for 2022Q4"),
-            log(6, "quarterly revenue comparison per sports organisations in Canada"),
+            log(
+                6,
+                "quarterly revenue comparison per sports organisations in Canada",
+            ),
         ];
         let proposals = mine_intents(&spec_logs, 0.25, 2);
         assert!(!proposals.is_empty());

@@ -72,7 +72,8 @@ mod tests {
 
     fn sample() -> KnowledgeSet {
         let mut ks = KnowledgeSet::new();
-        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "money"))).unwrap();
+        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "money")))
+            .unwrap();
         ks.apply(Edit::InsertExample {
             intent: Some("fin".into()),
             description: "revenue per viewer".into(),
@@ -82,7 +83,10 @@ mod tests {
                 "main",
             ),
             term: Some("RPV".into()),
-            source: SourceRef::Document { doc_id: 1, section: "terms".into() },
+            source: SourceRef::Document {
+                doc_id: 1,
+                section: "terms".into(),
+            },
         })
         .unwrap();
         ks.checkpoint("first");
@@ -125,7 +129,13 @@ mod tests {
 
     #[test]
     fn decode_errors_are_reported() {
-        assert!(matches!(from_json("not json"), Err(PersistError::Decode(_))));
-        assert!(matches!(load("/nonexistent/genedit.json"), Err(PersistError::Io(_))));
+        assert!(matches!(
+            from_json("not json"),
+            Err(PersistError::Decode(_))
+        ));
+        assert!(matches!(
+            load("/nonexistent/genedit.json"),
+            Err(PersistError::Io(_))
+        ));
     }
 }

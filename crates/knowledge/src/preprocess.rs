@@ -87,14 +87,36 @@ pub fn build_knowledge_set(
     docs: &[DomainDocument],
     db: &Database,
 ) -> EngineResult<KnowledgeSet> {
+    // Trace into a throwaway tracer; callers that want the spans use
+    // [`build_knowledge_set_traced`].
+    let tracer = genedit_telemetry::Tracer::new("preprocess");
+    build_knowledge_set_traced(config, logs, docs, db, &tracer)
+}
+
+/// [`build_knowledge_set`] with pre-processing phases recorded as spans
+/// (`knowledge.preprocess` → examples / instructions / schema children)
+/// into the caller's tracer.
+pub fn build_knowledge_set_traced(
+    config: &PreprocessConfig,
+    logs: &[QueryLogEntry],
+    docs: &[DomainDocument],
+    db: &Database,
+    tracer: &genedit_telemetry::Tracer,
+) -> EngineResult<KnowledgeSet> {
+    let root = tracer.span(genedit_telemetry::names::PREPROCESS);
+    root.attr("logs", logs.len())
+        .attr("docs", docs.len())
+        .attr("decompose", config.decompose_examples);
     let mut ks = KnowledgeSet::new();
 
     for intent in &config.intents {
-        ks.apply(Edit::AddIntent(intent.clone())).expect("intents are unique");
+        ks.apply(Edit::AddIntent(intent.clone()))
+            .expect("intents are unique");
     }
 
     // Examples: decompose every logged query into clause fragments, or —
     // for the w/o-Decomposition ablation — keep whole queries.
+    let span = tracer.span("knowledge.examples");
     for entry in logs {
         if config.decompose_examples {
             let fragments = decompose_sql(&entry.sql)?;
@@ -105,7 +127,9 @@ pub fn build_knowledge_set(
                     description,
                     fragment,
                     term: None,
-                    source: SourceRef::QueryLog { log_id: entry.log_id },
+                    source: SourceRef::QueryLog {
+                        log_id: entry.log_id,
+                    },
                 })
                 .expect("insert never fails");
             }
@@ -118,13 +142,18 @@ pub fn build_knowledge_set(
                 description: entry.question.clone(),
                 fragment: SqlFragment::new(FragmentKind::FullQuery, entry.sql.clone(), "main"),
                 term: None,
-                source: SourceRef::QueryLog { log_id: entry.log_id },
+                source: SourceRef::QueryLog {
+                    log_id: entry.log_id,
+                },
             })
             .expect("insert never fails");
         }
     }
+    span.attr("examples", ks.examples().len());
+    span.finish();
 
     // Instructions and term-definition examples from documents.
+    let span = tracer.span("knowledge.instructions");
     for doc in docs {
         for term in &doc.terms {
             ks.apply(Edit::InsertInstruction {
@@ -132,7 +161,10 @@ pub fn build_knowledge_set(
                 text: format!("{} means: {}", term.term, term.meaning),
                 sql_hint: term.sql.clone(),
                 term: Some(term.term.clone()),
-                source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+                source: SourceRef::Document {
+                    doc_id: doc.doc_id,
+                    section: "terms".into(),
+                },
             })
             .expect("insert never fails");
             if let Some(sql) = &term.sql {
@@ -141,7 +173,10 @@ pub fn build_knowledge_set(
                     description: format!("{} ({})", term.term, term.meaning),
                     fragment: SqlFragment::new(FragmentKind::TermDefinition, sql.clone(), "main"),
                     term: Some(term.term.clone()),
-                    source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+                    source: SourceRef::Document {
+                        doc_id: doc.doc_id,
+                        section: "terms".into(),
+                    },
                 })
                 .expect("insert never fails");
             }
@@ -152,14 +187,25 @@ pub fn build_knowledge_set(
                 text: g.text.clone(),
                 sql_hint: g.sql_hint.clone(),
                 term: None,
-                source: SourceRef::Document { doc_id: doc.doc_id, section: g.section.clone() },
+                source: SourceRef::Document {
+                    doc_id: doc.doc_id,
+                    section: g.section.clone(),
+                },
             })
             .expect("insert never fails");
         }
     }
 
+    span.attr("instructions", ks.instructions().len());
+    span.finish();
+
     // Schema elements with top-k frequent values (§2.1).
-    let k = if config.top_k_values == 0 { 5 } else { config.top_k_values };
+    let span = tracer.span("knowledge.schema");
+    let k = if config.top_k_values == 0 {
+        5
+    } else {
+        config.top_k_values
+    };
     for table in db.tables() {
         let table_intents: Vec<String> = config
             .intent_tables
@@ -187,7 +233,10 @@ pub fn build_knowledge_set(
             .expect("insert never fails");
         }
     }
+    span.attr("schema_elements", ks.schema_elements().len());
+    span.finish();
 
+    root.finish();
     Ok(ks)
 }
 
@@ -219,7 +268,15 @@ pub fn describe_fragment(fragment: &SqlFragment, question: &str) -> String {
 
 fn strip_keyword(sql: &str) -> &str {
     let upper = sql.to_ascii_uppercase();
-    for kw in ["SELECT DISTINCT", "SELECT", "FROM", "WHERE", "GROUP BY", "HAVING", "ORDER BY"] {
+    for kw in [
+        "SELECT DISTINCT",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP BY",
+        "HAVING",
+        "ORDER BY",
+    ] {
         if upper.starts_with(kw) {
             return sql[kw.len()..].trim_start();
         }
@@ -244,7 +301,8 @@ mod tests {
             ],
         );
         for (o, c, r) in [("a", "Canada", 1), ("b", "Canada", 2), ("c", "USA", 3)] {
-            t.push_row(vec![o.into(), c.into(), Value::Integer(r)]).unwrap();
+            t.push_row(vec![o.into(), c.into(), Value::Integer(r)])
+                .unwrap();
         }
         db.add_table(t).unwrap();
         db
@@ -256,8 +314,7 @@ mod tests {
             "Financial performance",
             "Revenue and profitability questions",
         )]);
-        c.intent_tables =
-            vec![("financial_performance".into(), "SPORTS_FINANCIALS".into())];
+        c.intent_tables = vec![("financial_performance".into(), "SPORTS_FINANCIALS".into())];
         c
     }
 
@@ -306,6 +363,36 @@ mod tests {
     }
 
     #[test]
+    fn traced_build_records_phase_spans() {
+        let tracer = genedit_telemetry::Tracer::new("pp");
+        let ks = build_knowledge_set_traced(&config(), &logs(), &docs(), &db(), &tracer).unwrap();
+        let trace = tracer.finish();
+        let root = trace.find(genedit_telemetry::names::PREPROCESS).unwrap();
+        let phases: Vec<&str> = root.children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            phases,
+            vec![
+                "knowledge.examples",
+                "knowledge.instructions",
+                "knowledge.schema"
+            ]
+        );
+        assert_eq!(
+            trace.find("knowledge.examples").unwrap().attr("examples"),
+            Some(&genedit_telemetry::AttrValue::UInt(4))
+        );
+        assert_eq!(
+            trace
+                .find("knowledge.schema")
+                .unwrap()
+                .attr("schema_elements"),
+            Some(&genedit_telemetry::AttrValue::UInt(
+                ks.schema_elements().len() as u64
+            ))
+        );
+    }
+
+    #[test]
     fn schema_elements_have_top_values_and_intents() {
         let ks = build_knowledge_set(&config(), &logs(), &docs(), &db()).unwrap();
         let country = ks
@@ -324,18 +411,24 @@ mod tests {
             .examples()
             .iter()
             .any(|e| e.provenance.source == SourceRef::QueryLog { log_id: 1 }));
-        assert!(ks.instructions().iter().all(|i| matches!(
-            i.provenance.source,
-            SourceRef::Document { doc_id: 7, .. }
-        )));
+        assert!(ks
+            .instructions()
+            .iter()
+            .all(|i| matches!(i.provenance.source, SourceRef::Document { doc_id: 7, .. })));
     }
 
     #[test]
     fn term_definitions_become_examples_and_instructions() {
         let ks = build_knowledge_set(&config(), &logs(), &docs(), &db()).unwrap();
-        let rpv_example = ks.examples().iter().find(|e| e.term.as_deref() == Some("RPV"));
+        let rpv_example = ks
+            .examples()
+            .iter()
+            .find(|e| e.term.as_deref() == Some("RPV"));
         assert!(rpv_example.is_some());
-        assert_eq!(rpv_example.unwrap().fragment.kind, FragmentKind::TermDefinition);
+        assert_eq!(
+            rpv_example.unwrap().fragment.kind,
+            FragmentKind::TermDefinition
+        );
         assert!(ks
             .instructions()
             .iter()

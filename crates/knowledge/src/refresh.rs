@@ -64,7 +64,10 @@ pub fn refresh_document(
             text: format!("{} means: {}", term.term, term.meaning),
             sql_hint: term.sql.clone(),
             term: Some(term.term.clone()),
-            source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+            source: SourceRef::Document {
+                doc_id: doc.doc_id,
+                section: "terms".into(),
+            },
         })?;
         report.inserted_instructions += 1;
         if let Some(sql) = &term.sql {
@@ -73,7 +76,10 @@ pub fn refresh_document(
                 description: format!("{} ({})", term.term, term.meaning),
                 fragment: SqlFragment::new(FragmentKind::TermDefinition, sql.clone(), "main"),
                 term: Some(term.term.clone()),
-                source: SourceRef::Document { doc_id: doc.doc_id, section: "terms".into() },
+                source: SourceRef::Document {
+                    doc_id: doc.doc_id,
+                    section: "terms".into(),
+                },
             })?;
             report.inserted_examples += 1;
         }
@@ -84,7 +90,10 @@ pub fn refresh_document(
             text: g.text.clone(),
             sql_hint: g.sql_hint.clone(),
             term: None,
-            source: SourceRef::Document { doc_id: doc.doc_id, section: g.section.clone() },
+            source: SourceRef::Document {
+                doc_id: doc.doc_id,
+                section: g.section.clone(),
+            },
         })?;
         report.inserted_instructions += 1;
     }
@@ -161,9 +170,18 @@ mod tests {
         assert_eq!(report.inserted_instructions, 1); // v2 dropped the guideline
         assert_eq!(report.inserted_examples, 1);
         // The new definition is in, the old one gone.
-        assert!(ks.instructions().iter().any(|i| i.text.contains("net revenue")));
-        assert!(!ks.instructions().iter().any(|i| i.text.contains("old guidance")));
-        assert!(ks.examples().iter().any(|e| e.fragment.sql.contains("REFUNDS")));
+        assert!(ks
+            .instructions()
+            .iter()
+            .any(|i| i.text.contains("net revenue")));
+        assert!(!ks
+            .instructions()
+            .iter()
+            .any(|i| i.text.contains("old guidance")));
+        assert!(ks
+            .examples()
+            .iter()
+            .any(|e| e.fragment.sql.contains("REFUNDS")));
         // Manual knowledge untouched.
         let after_manual = ks
             .instructions()

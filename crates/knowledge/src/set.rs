@@ -54,7 +54,9 @@ pub enum Edit {
         term: Option<Option<String>>,
         source: SourceRef,
     },
-    DeleteExample { id: ExampleId },
+    DeleteExample {
+        id: ExampleId,
+    },
     InsertInstruction {
         intent: Option<String>,
         text: String,
@@ -68,11 +70,16 @@ pub enum Edit {
         sql_hint: Option<Option<String>>,
         source: SourceRef,
     },
-    DeleteInstruction { id: InstructionId },
+    DeleteInstruction {
+        id: InstructionId,
+    },
     AddIntent(Intent),
     AddSchemaElement(SchemaElement),
     /// Attach a free-text hint to a retrieval/re-ranking operator (§1).
-    AddRetrievalHint { stage: RetrievalStage, text: String },
+    AddRetrievalHint {
+        stage: RetrievalStage,
+        text: String,
+    },
 }
 
 impl Edit {
@@ -252,7 +259,13 @@ impl KnowledgeSet {
         let tick = self.state.tick;
         self.state.tick += 1;
         let outcome = match &edit {
-            Edit::InsertExample { intent, description, fragment, term, source } => {
+            Edit::InsertExample {
+                intent,
+                description,
+                fragment,
+                term,
+                source,
+            } => {
                 let id = ExampleId(self.state.next_example_id);
                 self.state.next_example_id += 1;
                 self.state.examples.push(Example {
@@ -261,11 +274,20 @@ impl KnowledgeSet {
                     description: description.clone(),
                     fragment: fragment.clone(),
                     term: term.clone(),
-                    provenance: Provenance { source: source.clone(), tick },
+                    provenance: Provenance {
+                        source: source.clone(),
+                        tick,
+                    },
                 });
                 EditOutcome::InsertedExample(id)
             }
-            Edit::UpdateExample { id, description, fragment, term, source } => {
+            Edit::UpdateExample {
+                id,
+                description,
+                fragment,
+                term,
+                source,
+            } => {
                 let ex = self
                     .state
                     .examples
@@ -281,7 +303,10 @@ impl KnowledgeSet {
                 if let Some(t) = term {
                     ex.term = t.clone();
                 }
-                ex.provenance = Provenance { source: source.clone(), tick };
+                ex.provenance = Provenance {
+                    source: source.clone(),
+                    tick,
+                };
                 EditOutcome::Applied
             }
             Edit::DeleteExample { id } => {
@@ -292,7 +317,13 @@ impl KnowledgeSet {
                 }
                 EditOutcome::Applied
             }
-            Edit::InsertInstruction { intent, text, sql_hint, term, source } => {
+            Edit::InsertInstruction {
+                intent,
+                text,
+                sql_hint,
+                term,
+                source,
+            } => {
                 let id = InstructionId(self.state.next_instruction_id);
                 self.state.next_instruction_id += 1;
                 self.state.instructions.push(Instruction {
@@ -301,11 +332,19 @@ impl KnowledgeSet {
                     text: text.clone(),
                     sql_hint: sql_hint.clone(),
                     term: term.clone(),
-                    provenance: Provenance { source: source.clone(), tick },
+                    provenance: Provenance {
+                        source: source.clone(),
+                        tick,
+                    },
                 });
                 EditOutcome::InsertedInstruction(id)
             }
-            Edit::UpdateInstruction { id, text, sql_hint, source } => {
+            Edit::UpdateInstruction {
+                id,
+                text,
+                sql_hint,
+                source,
+            } => {
                 let ins = self
                     .state
                     .instructions
@@ -318,7 +357,10 @@ impl KnowledgeSet {
                 if let Some(h) = sql_hint {
                     ins.sql_hint = h.clone();
                 }
-                ins.provenance = Provenance { source: source.clone(), tick };
+                ins.provenance = Provenance {
+                    source: source.clone(),
+                    tick,
+                };
                 EditOutcome::Applied
             }
             Edit::DeleteInstruction { id } => {
@@ -355,7 +397,12 @@ impl KnowledgeSet {
                 EditOutcome::Applied
             }
         };
-        self.log.push(LoggedEdit { seq: self.log.len() as u64, tick, edit, outcome });
+        self.log.push(LoggedEdit {
+            seq: self.log.len() as u64,
+            tick,
+            edit,
+            outcome,
+        });
         Ok(outcome)
     }
 
@@ -363,7 +410,11 @@ impl KnowledgeSet {
     pub fn checkpoint(&mut self, label: impl Into<String>) -> u64 {
         let id = self.checkpoints.len() as u64;
         self.checkpoints.push((
-            CheckpointInfo { id, label: label.into(), log_len: self.log.len() },
+            CheckpointInfo {
+                id,
+                label: label.into(),
+                log_len: self.log.len(),
+            },
             self.state.clone(),
         ));
         id
@@ -473,7 +524,8 @@ mod tests {
     fn log_records_everything() {
         let mut ks = KnowledgeSet::new();
         insert_example(&mut ks, "a");
-        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", ""))).unwrap();
+        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "")))
+            .unwrap();
         assert_eq!(ks.log().len(), 2);
         assert_eq!(ks.log()[0].seq, 0);
         assert_eq!(ks.log()[1].seq, 1);
@@ -498,12 +550,14 @@ mod tests {
             text: "use conditional aggregation".into(),
             sql_hint: None,
             term: None,
-            source: SourceRef::Document { doc_id: 1, section: "s".into() },
+            source: SourceRef::Document {
+                doc_id: 1,
+                section: "s".into(),
+            },
         })
         .unwrap();
 
-        let replayed =
-            KnowledgeSet::from_log(ks.log().iter().map(|l| l.edit.clone())).unwrap();
+        let replayed = KnowledgeSet::from_log(ks.log().iter().map(|l| l.edit.clone())).unwrap();
         assert!(ks.content_eq(&replayed));
     }
 
@@ -537,7 +591,8 @@ mod tests {
     #[test]
     fn duplicate_intent_rejected() {
         let mut ks = KnowledgeSet::new();
-        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", ""))).unwrap();
+        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "")))
+            .unwrap();
         assert!(matches!(
             ks.apply(Edit::AddIntent(Intent::new("fin", "Again", ""))),
             Err(KnowledgeError::DuplicateIntent(_))
@@ -570,7 +625,9 @@ mod tests {
         })
         .unwrap();
         assert_eq!(ks.retrieval_hints(RetrievalStage::SchemaLinking).len(), 1);
-        assert!(ks.retrieval_hints(RetrievalStage::ExampleSelection).is_empty());
+        assert!(ks
+            .retrieval_hints(RetrievalStage::ExampleSelection)
+            .is_empty());
     }
 
     #[test]

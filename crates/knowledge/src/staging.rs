@@ -74,11 +74,7 @@ impl StagingArea {
     /// Merge the staged edits into the deployed set, consuming the area.
     /// A checkpoint labeled `label` is recorded *before* the merge so the
     /// merge can be reverted as a unit.
-    pub fn commit(
-        self,
-        base: &mut KnowledgeSet,
-        label: &str,
-    ) -> Result<u64, KnowledgeError> {
+    pub fn commit(self, base: &mut KnowledgeSet, label: &str) -> Result<u64, KnowledgeError> {
         let checkpoint = base.checkpoint(label);
         for s in self.staged {
             if let Err(e) = base.apply(s.edit) {

@@ -46,7 +46,11 @@ impl Intent {
         name: impl Into<String>,
         description: impl Into<String>,
     ) -> Intent {
-        Intent { key: key.into(), name: name.into(), description: description.into() }
+        Intent {
+            key: key.into(),
+            name: name.into(),
+            description: description.into(),
+        }
     }
 }
 
@@ -134,7 +138,11 @@ pub struct SqlFragment {
 
 impl SqlFragment {
     pub fn new(kind: FragmentKind, sql: impl Into<String>, scope: impl Into<String>) -> Self {
-        SqlFragment { kind, sql: sql.into(), scope: scope.into() }
+        SqlFragment {
+            kind,
+            sql: sql.into(),
+            scope: scope.into(),
+        }
     }
 
     /// Render as pseudo-SQL with the paper's dot affixes.
@@ -173,8 +181,16 @@ impl Example {
 
     /// Render for a generation prompt (Fig. 2 style).
     pub fn render(&self) -> String {
-        let term = self.term.as_deref().map(|t| format!("[{t}] ")).unwrap_or_default();
-        format!("-- {term}{}\n{}", self.description, self.fragment.pseudo_sql())
+        let term = self
+            .term
+            .as_deref()
+            .map(|t| format!("[{t}] "))
+            .unwrap_or_default();
+        format!(
+            "-- {term}{}\n{}",
+            self.description,
+            self.fragment.pseudo_sql()
+        )
     }
 }
 
@@ -269,7 +285,10 @@ mod tests {
     use super::*;
 
     fn prov() -> Provenance {
-        Provenance { source: SourceRef::Manual, tick: 0 }
+        Provenance {
+            source: SourceRef::Manual,
+            tick: 0,
+        }
     }
 
     #[test]
@@ -303,8 +322,7 @@ mod tests {
         let i = Instruction {
             id: InstructionId(1),
             intent: None,
-            text: "Apply a -1 multiplier when calculating the change in performance metrics"
-                .into(),
+            text: "Apply a -1 multiplier when calculating the change in performance metrics".into(),
             sql_hint: Some("-1 * (metric_q2 - metric_q1)".into()),
             term: None,
             provenance: prov(),
@@ -324,7 +342,10 @@ mod tests {
             intents: vec![],
         };
         assert_eq!(t.key(), "SPORTS_FINANCIALS");
-        let c = SchemaElement { column: Some("country".into()), ..t };
+        let c = SchemaElement {
+            column: Some("country".into()),
+            ..t
+        };
         assert_eq!(c.key(), "SPORTS_FINANCIALS.COUNTRY");
     }
 

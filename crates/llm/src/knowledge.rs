@@ -251,15 +251,28 @@ mod tests {
     fn exact_lookup() {
         let mut r = TaskRegistry::new();
         r.register(task("t1", "Identify our 5 best organisations"));
-        assert_eq!(r.lookup("Identify our 5 best organisations").unwrap().task_id, "t1");
+        assert_eq!(
+            r.lookup("Identify our 5 best organisations")
+                .unwrap()
+                .task_id,
+            "t1"
+        );
         // Token order / punctuation insensitive.
-        assert_eq!(r.lookup("our 5 best organisations, identify!").unwrap().task_id, "t1");
+        assert_eq!(
+            r.lookup("our 5 best organisations, identify!")
+                .unwrap()
+                .task_id,
+            "t1"
+        );
     }
 
     #[test]
     fn reformulated_lookup_via_overlap() {
         let mut r = TaskRegistry::new();
-        r.register(task("t1", "Identify our 5 sports organisations with the best QoQFP in Canada for Q2 2023"));
+        r.register(task(
+            "t1",
+            "Identify our 5 sports organisations with the best QoQFP in Canada for Q2 2023",
+        ));
         r.register(task("t2", "Total viewership per region last year"));
         let hit = r
             .lookup("Show me our 5 sports organisations with the best QoQFP in Canada for Q2 2023")
@@ -271,15 +284,23 @@ mod tests {
     fn unrelated_question_misses() {
         let mut r = TaskRegistry::new();
         r.register(task("t1", "Revenue by organization"));
-        assert!(r.lookup("completely different topic about penguins").is_none());
+        assert!(r
+            .lookup("completely different topic about penguins")
+            .is_none());
         assert!(TaskRegistry::new().lookup("anything").is_none());
     }
 
     #[test]
     fn corruption_error_markers() {
-        assert!(Corruption::DropWhereConjunct { marker: "x".into() }.error_marker().is_none());
+        assert!(Corruption::DropWhereConjunct { marker: "x".into() }
+            .error_marker()
+            .is_none());
         assert_eq!(
-            Corruption::RenameColumn { from: "A".into(), to: "B".into() }.error_marker(),
+            Corruption::RenameColumn {
+                from: "A".into(),
+                to: "B".into()
+            }
+            .error_marker(),
             Some("B")
         );
     }
@@ -289,11 +310,18 @@ mod tests {
         let Statement::Query(mut q) =
             parse_statement("SELECT SUM(x) FROM t WHERE owned = 'COC'").unwrap();
         assert_eq!(
-            Corruption::SwapAggregate { from: "SUM".into(), to: "AVG".into() }.apply(&mut q),
+            Corruption::SwapAggregate {
+                from: "SUM".into(),
+                to: "AVG".into()
+            }
+            .apply(&mut q),
             1
         );
         assert_eq!(
-            Corruption::DropWhereConjunct { marker: "owned".into() }.apply(&mut q),
+            Corruption::DropWhereConjunct {
+                marker: "owned".into()
+            }
+            .apply(&mut q),
             1
         );
     }

@@ -20,10 +20,11 @@ pub mod tier;
 
 pub use knowledge::{Corruption, Difficulty, TaskKnowledge, TaskRegistry, TermRequirement};
 pub use model::{
-    CompletionRequest, CompletionResponse, LanguageModel, ModelUsage, RecordingModel,
+    kind_label, CompletionRequest, CompletionResponse, LanguageModel, ModelUsage, RecordingModel,
+    TracedModel,
 };
 pub use oracle::{apply_drift, hash01, hash_u64, OracleConfig, OracleModel};
-pub use tier::{CostLedger, ModelTier, TierPolicy, TieredModel};
 pub use prompt::{
     Plan, PlanStep, Prompt, PromptExample, PromptInstruction, PromptSchemaElement, TaskKind,
 };
+pub use tier::{CostLedger, ModelTier, TierPolicy, TieredModel};

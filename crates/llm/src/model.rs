@@ -92,9 +92,21 @@ impl ModelUsage {
     pub fn total_prompt_chars(&self) -> usize {
         self.prompt_chars.values().sum()
     }
+
+    /// Fold another usage record into this one, so the harness can sum
+    /// accounting across per-domain runs.
+    pub fn merge(&mut self, other: &ModelUsage) {
+        for (kind, n) in &other.calls {
+            *self.calls.entry(kind).or_insert(0) += n;
+        }
+        for (kind, chars) in &other.prompt_chars {
+            *self.prompt_chars.entry(kind).or_insert(0) += chars;
+        }
+    }
 }
 
-fn kind_label(kind: TaskKind) -> &'static str {
+/// Short label for a task kind, used as the accounting and telemetry key.
+pub fn kind_label(kind: TaskKind) -> &'static str {
     match kind {
         TaskKind::Reformulate => "reformulate",
         TaskKind::IntentClassification => "intent",
@@ -112,15 +124,26 @@ pub struct RecordingModel<M> {
 
 impl<M: LanguageModel> RecordingModel<M> {
     pub fn new(inner: M) -> RecordingModel<M> {
-        RecordingModel { inner, usage: Mutex::new(ModelUsage::default()) }
+        RecordingModel {
+            inner,
+            usage: Mutex::new(ModelUsage::default()),
+        }
+    }
+
+    /// Lock the counters, absorbing poisoning: a panic elsewhere must not
+    /// cascade out of the accounting layer.
+    fn usage_lock(&self) -> std::sync::MutexGuard<'_, ModelUsage> {
+        self.usage
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     pub fn usage(&self) -> ModelUsage {
-        self.usage.lock().expect("usage lock").clone()
+        self.usage_lock().clone()
     }
 
     pub fn reset_usage(&self) {
-        *self.usage.lock().expect("usage lock") = ModelUsage::default();
+        *self.usage_lock() = ModelUsage::default();
     }
 
     pub fn inner(&self) -> &M {
@@ -135,12 +158,43 @@ impl<M: LanguageModel> LanguageModel for RecordingModel<M> {
 
     fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
         {
-            let mut u = self.usage.lock().expect("usage lock");
+            let mut u = self.usage_lock();
             let label = kind_label(request.prompt.task);
             *u.calls.entry(label).or_insert(0) += 1;
             *u.prompt_chars.entry(label).or_insert(0) += request.prompt.render().len();
         }
         self.inner.complete(request)
+    }
+}
+
+/// Wraps a model and records one `llm.complete` span per call into a
+/// borrowed [`Tracer`] — task kind, prompt size, and sampling seed. The
+/// pipeline constructs one per generation so every model call lands
+/// inside the operator span that issued it.
+pub struct TracedModel<'t, M> {
+    inner: M,
+    tracer: &'t genedit_telemetry::Tracer,
+}
+
+impl<'t, M: LanguageModel> TracedModel<'t, M> {
+    pub fn new(inner: M, tracer: &'t genedit_telemetry::Tracer) -> TracedModel<'t, M> {
+        TracedModel { inner, tracer }
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for TracedModel<'_, M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+        let span = self.tracer.span(genedit_telemetry::names::LLM_COMPLETE);
+        span.attr("task", kind_label(request.prompt.task))
+            .attr("prompt_chars", request.prompt.render().len())
+            .attr("seed", request.seed);
+        let response = self.inner.complete(request);
+        span.finish();
+        response
     }
 }
 
@@ -180,9 +234,18 @@ mod tests {
     #[test]
     fn recording_counts_by_kind() {
         let m = RecordingModel::new(Echo);
-        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::Reformulate, "a")));
-        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SqlGeneration, "b")));
-        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SqlGeneration, "c")));
+        m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::Reformulate,
+            "a",
+        )));
+        m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "b",
+        )));
+        m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "c",
+        )));
         let u = m.usage();
         assert_eq!(u.calls.get("reformulate"), Some(&1));
         assert_eq!(u.calls.get("sql"), Some(&2));
@@ -197,9 +260,84 @@ mod tests {
         assert_eq!(CompletionResponse::Sql("x".into()).as_sql(), Some("x"));
         assert!(CompletionResponse::Sql("x".into()).as_plan().is_none());
         assert_eq!(
-            CompletionResponse::Items(vec!["a".into()]).as_items().map(|i| i.len()),
+            CompletionResponse::Items(vec!["a".into()])
+                .as_items()
+                .map(|i| i.len()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn usage_merge_sums_by_kind() {
+        let a = RecordingModel::new(Echo);
+        a.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::Reformulate,
+            "a",
+        )));
+        a.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "b",
+        )));
+        let b = RecordingModel::new(Echo);
+        b.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "c",
+        )));
+        let mut merged = a.usage();
+        merged.merge(&b.usage());
+        assert_eq!(merged.calls.get("reformulate"), Some(&1));
+        assert_eq!(merged.calls.get("sql"), Some(&2));
+        assert_eq!(
+            merged.total_prompt_chars(),
+            a.usage().total_prompt_chars() + b.usage().total_prompt_chars()
+        );
+    }
+
+    #[test]
+    fn poisoned_usage_lock_does_not_panic() {
+        let m = std::sync::Arc::new(RecordingModel::new(Echo));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.usage.lock().unwrap();
+            panic!("poison the usage lock");
+        })
+        .join();
+        m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::Reformulate,
+            "a",
+        )));
+        assert_eq!(m.usage().total_calls(), 1);
+        m.reset_usage();
+        assert_eq!(m.usage().total_calls(), 0);
+    }
+
+    #[test]
+    fn traced_model_records_call_spans() {
+        let tracer = genedit_telemetry::Tracer::new("test");
+        let m = TracedModel::new(Echo, &tracer);
+        m.complete(&CompletionRequest::with_seed(
+            Prompt::new(TaskKind::SqlGeneration, "q"),
+            7,
+        ));
+        m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::Reformulate,
+            "q",
+        )));
+        let trace = tracer.finish();
+        assert_eq!(trace.count(genedit_telemetry::names::LLM_COMPLETE), 2);
+        let first = trace.find(genedit_telemetry::names::LLM_COMPLETE).unwrap();
+        assert_eq!(
+            first.attr("task"),
+            Some(&genedit_telemetry::AttrValue::Str("sql".into()))
+        );
+        assert_eq!(
+            first.attr("seed"),
+            Some(&genedit_telemetry::AttrValue::UInt(7))
+        );
+        assert!(matches!(
+            first.attr("prompt_chars"),
+            Some(genedit_telemetry::AttrValue::UInt(n)) if *n > 0
+        ));
     }
 
     #[test]

@@ -55,7 +55,9 @@ fn visit_table_ref(tr: &mut TableRef, f: &mut dyn FnMut(&mut Expr)) {
     match tr {
         TableRef::Named { .. } => {}
         TableRef::Derived { query, .. } => visit_exprs_mut(query, f),
-        TableRef::Join { left, right, on, .. } => {
+        TableRef::Join {
+            left, right, on, ..
+        } => {
             visit_table_ref(left, f);
             visit_table_ref(right, f);
             if let Some(on) = on {
@@ -85,7 +87,9 @@ fn visit_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
             visit_expr(expr, f);
             visit_exprs_mut(subquery, f);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             visit_expr(expr, f);
             visit_expr(low, f);
             visit_expr(high, f);
@@ -94,7 +98,11 @@ fn visit_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
             visit_expr(expr, f);
             visit_expr(pattern, f);
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 visit_expr(op, f);
             }
@@ -217,7 +225,11 @@ pub fn strip_neg_one_multiplier(query: &mut Query) -> usize {
     let mut n = 0;
     visit_exprs_mut(query, &mut |e| {
         let replacement = match e {
-            Expr::Binary { op: BinaryOp::Mul, left, right } => {
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                left,
+                right,
+            } => {
                 if is_neg_one(left) {
                     Some((**right).clone())
                 } else if is_neg_one(right) {
@@ -237,10 +249,8 @@ pub fn strip_neg_one_multiplier(query: &mut Query) -> usize {
 }
 
 fn is_neg_one(e: &Expr) -> bool {
-    matches!(
-        e,
-        Expr::Literal(Literal::Integer(-1))
-    ) || matches!(e, Expr::Literal(Literal::Float(f)) if *f == -1.0)
+    matches!(e, Expr::Literal(Literal::Integer(-1)))
+        || matches!(e, Expr::Literal(Literal::Float(f)) if *f == -1.0)
         || matches!(e, Expr::Unary { op: UnaryOp::Neg, expr }
             if matches!(**expr, Expr::Literal(Literal::Integer(1))))
 }
@@ -283,8 +293,10 @@ pub fn drop_where_conjunct(query: &mut Query, marker: &str) -> usize {
             let kept: Vec<Expr> = parts
                 .into_iter()
                 .filter(|c| {
-                    let keep =
-                        !c.to_string().to_uppercase().contains(&marker.to_uppercase());
+                    let keep = !c
+                        .to_string()
+                        .to_uppercase()
+                        .contains(&marker.to_uppercase());
                     if !keep {
                         *n += 1;
                     }
@@ -329,7 +341,11 @@ pub fn drop_where_conjunct(query: &mut Query, marker: &str) -> usize {
 /// Split an owned expression on top-level ANDs.
 pub fn split_owned_conjuncts(e: Expr) -> Vec<Expr> {
     match e {
-        Expr::Binary { op: BinaryOp::And, left, right } => {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_owned_conjuncts(*left);
             out.extend(split_owned_conjuncts(*right));
             out
@@ -361,10 +377,8 @@ mod tests {
 
     #[test]
     fn rename_column_everywhere() {
-        let mut query = q(
-            "WITH c AS (SELECT rev FROM t WHERE rev > 0) \
-             SELECT rev FROM c ORDER BY rev",
-        );
+        let mut query = q("WITH c AS (SELECT rev FROM t WHERE rev > 0) \
+             SELECT rev FROM c ORDER BY rev");
         assert_eq!(rename_column(&mut query, "REV", "revenue"), 4);
         assert!(!query.to_string().to_lowercase().contains("rev "));
     }
@@ -405,9 +419,7 @@ mod tests {
 
     #[test]
     fn order_direction_flip() {
-        let mut query = q(
-            "SELECT ROW_NUMBER() OVER (ORDER BY a DESC) FROM t ORDER BY b",
-        );
+        let mut query = q("SELECT ROW_NUMBER() OVER (ORDER BY a DESC) FROM t ORDER BY b");
         let n = flip_order_directions(&mut query);
         assert_eq!(n, 2);
         let s = query.to_string();

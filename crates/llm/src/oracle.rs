@@ -110,7 +110,10 @@ pub struct OracleModel {
 
 impl OracleModel {
     pub fn new(registry: TaskRegistry) -> OracleModel {
-        OracleModel { config: OracleConfig::default(), registry }
+        OracleModel {
+            config: OracleConfig::default(),
+            registry,
+        }
     }
 
     pub fn with_config(registry: TaskRegistry, config: OracleConfig) -> OracleModel {
@@ -239,10 +242,7 @@ impl OracleModel {
             // paper's step granularity.
             if frag.kind == FragmentKind::CteDefinition {
                 steps.push(PlanStep {
-                    description: format!(
-                        "Build the intermediate result {} as a CTE.",
-                        frag.scope
-                    ),
+                    description: format!("Build the intermediate result {} as a CTE.", frag.scope),
                     pseudo_sql: None,
                     scope: frag.scope.clone(),
                     kind: Some(FragmentKind::CteDefinition),
@@ -257,10 +257,10 @@ impl OracleModel {
             // simple queries need no example grounding, long analytic
             // plans do (this keeps the w/o-Examples ablation focused on
             // the Challenging stratum, as in Table 2).
-            let omission_p = self.config.omission_probability
-                * (fragments.len() as f64 / 15.0).min(1.0).powi(2);
-            let omit = !supported
-                && hash01(&[&task.task_id, "omit", &i.to_string()], seed) < omission_p;
+            let omission_p =
+                self.config.omission_probability * (fragments.len() as f64 / 15.0).min(1.0).powi(2);
+            let omit =
+                !supported && hash01(&[&task.task_id, "omit", &i.to_string()], seed) < omission_p;
             steps.push(PlanStep {
                 description: describe_fragment(frag, &task.question),
                 pseudo_sql: if omit { None } else { Some(frag.sql.clone()) },
@@ -303,9 +303,12 @@ impl OracleModel {
         // Pipelines that skip query reformulation occasionally misread
         // non-canonical phrasing; deterministic per task so retries don't
         // clear it (the misreading persists).
-        let canonical_p =
-            self.config.canonical_form_penalty / prompt.reasoning_effort.max(0.1);
-        if !prompt.question.to_lowercase().trim_start().starts_with("show me")
+        let canonical_p = self.config.canonical_form_penalty / prompt.reasoning_effort.max(0.1);
+        if !prompt
+            .question
+            .to_lowercase()
+            .trim_start()
+            .starts_with("show me")
             && hash01(&[&task.task_id, "canonical"], 0) < canonical_p
         {
             apply_drift(&mut gold, hash_u64(&[&task.task_id, "canonical-site"], 0));
@@ -330,7 +333,10 @@ impl OracleModel {
                         .distractor_table
                         .clone()
                         .unwrap_or_else(|| format!("{t}_DETAILS"));
-                    corruptions.push(Corruption::RenameTable { from: t.clone(), to });
+                    corruptions.push(Corruption::RenameTable {
+                        from: t.clone(),
+                        to,
+                    });
                 }
             }
             // Needed columns missing from the linked schema are sometimes
@@ -363,8 +369,7 @@ impl OracleModel {
             // query complexity: a dumped schema barely hurts single-table
             // lookups but wrecks multi-CTE analytics (Table 2's
             // w/o-Schema-Linking row keeps Simple and halves Challenging).
-            let p = ((excess as f64 / self.config.overload_scale)
-                * (cscore as f64 / 25.0).powi(2))
+            let p = ((excess as f64 / self.config.overload_scale) * (cscore as f64 / 25.0).powi(2))
                 .min(self.config.overload_cap);
             // Context overload causes *silent* misreads (a dropped filter,
             // a wrong constant) — the model happily produces valid SQL
@@ -381,10 +386,8 @@ impl OracleModel {
         match &prompt.plan {
             Some(plan) if !plan.is_empty() => {
                 for (i, step) in plan.steps.iter().enumerate() {
-                    let needs_pseudo = !matches!(
-                        step.kind,
-                        Some(FragmentKind::CteDefinition) | None
-                    );
+                    let needs_pseudo =
+                        !matches!(step.kind, Some(FragmentKind::CteDefinition) | None);
                     if !needs_pseudo {
                         continue;
                     }
@@ -397,8 +400,7 @@ impl OracleModel {
                     // effective effort: a weaker generation model drifts
                     // more even on grounded steps.
                     let p = if step.pseudo_sql.is_none() {
-                        self.config.drift_probability * (plan.steps.len() as f64 / 10.0)
-                            / effort
+                        self.config.drift_probability * (plan.steps.len() as f64 / 10.0) / effort
                     } else {
                         self.config.pseudo_drift_probability / effort
                     };
@@ -409,29 +411,35 @@ impl OracleModel {
                     {
                         apply_drift(
                             &mut gold,
-                            hash_u64(
-                                &[&task.task_id, "driftsite", &i.to_string()],
-                                seed,
-                            ),
+                            hash_u64(&[&task.task_id, "driftsite", &i.to_string()], seed),
                         );
                     }
                 }
             }
             _ => {
-                let effective_capacity =
-                    (self.config.capacity as f64 * effort) as u32;
+                let effective_capacity = (self.config.capacity as f64 * effort) as u32;
                 let overflow = cscore.saturating_sub(effective_capacity);
                 let n = overflow / self.config.overflow_unit.max(1);
                 for k in 0..n {
                     let fires = hash01(
-                        &[&task.task_id, "overflow-p", &k.to_string(), &attempt.to_string()],
+                        &[
+                            &task.task_id,
+                            "overflow-p",
+                            &k.to_string(),
+                            &attempt.to_string(),
+                        ],
                         seed,
                     ) < self.config.overflow_drift_probability;
                     if fires {
                         apply_drift(
                             &mut gold,
                             hash_u64(
-                                &[&task.task_id, "overflow", &k.to_string(), &attempt.to_string()],
+                                &[
+                                    &task.task_id,
+                                    "overflow",
+                                    &k.to_string(),
+                                    &attempt.to_string(),
+                                ],
                                 seed,
                             ),
                         );
@@ -478,9 +486,7 @@ impl LanguageModel for OracleModel {
     fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
         let prompt = &request.prompt;
         match prompt.task {
-            TaskKind::Reformulate => {
-                CompletionResponse::Text(self.reformulate(&prompt.question))
-            }
+            TaskKind::Reformulate => CompletionResponse::Text(self.reformulate(&prompt.question)),
             TaskKind::IntentClassification => {
                 CompletionResponse::Items(self.classify_intent(prompt))
             }
@@ -519,9 +525,17 @@ pub fn apply_drift(gold: &mut Query, salt: u64) -> bool {
     }
     // Only swaps that change results: COUNT(*)→SUM(*) would be a no-op
     // (SUM over the all-ones stream), so COUNT stays out of this list.
-    for (from, to) in [("SUM", "AVG"), ("AVG", "MAX"), ("MIN", "MAX"), ("MAX", "MIN")] {
+    for (from, to) in [
+        ("SUM", "AVG"),
+        ("AVG", "MAX"),
+        ("MIN", "MAX"),
+        ("MAX", "MIN"),
+    ] {
         if rendered.contains(&format!("{from}(")) {
-            candidates.push(Corruption::SwapAggregate { from: from.into(), to: to.into() });
+            candidates.push(Corruption::SwapAggregate {
+                from: from.into(),
+                to: to.into(),
+            });
         }
     }
     // Order flips only matter to EX when ordering selects rows (LIMIT) or
@@ -604,7 +618,9 @@ mod tests {
             difficulty: Difficulty::Moderate,
             required_terms: vec![TermRequirement {
                 term: "QoQFP".into(),
-                corruption: Corruption::DropWhereConjunct { marker: "OWNERSHIP_FLAG".into() },
+                corruption: Corruption::DropWhereConjunct {
+                    marker: "OWNERSHIP_FLAG".into(),
+                },
             }],
             required_tables: vec!["SPORTS_FINANCIALS".into()],
             required_columns: vec!["ORG_NAME".into(), "REVENUE".into()],
@@ -618,7 +634,10 @@ mod tests {
         let mut reg = TaskRegistry::new();
         reg.register(sample_task());
         // Tests assert gold fidelity, so the benchmark-noise floor is off.
-        let config = OracleConfig { noise_rate: 0.0, ..OracleConfig::default() };
+        let config = OracleConfig {
+            noise_rate: 0.0,
+            ..OracleConfig::default()
+        };
         OracleModel::with_config(reg, config)
     }
 
@@ -642,8 +661,7 @@ mod tests {
 
     fn qoqfp_instruction() -> PromptInstruction {
         PromptInstruction {
-            text: "QoQFP means quarter-over-quarter financial performance of our (COC) orgs"
-                .into(),
+            text: "QoQFP means quarter-over-quarter financial performance of our (COC) orgs".into(),
             sql_hint: Some("OWNERSHIP_FLAG = 'COC'".into()),
             term: Some("QoQFP".into()),
         }
@@ -705,8 +723,13 @@ mod tests {
             "Show me our 5 sports organisations with the best QoQFP in Canada",
         );
         p.schema = schema_elements();
-        p.evidence.push("QoQFP is computed over COC organizations only".into());
-        let sql = o.complete(&CompletionRequest::new(p)).as_sql().unwrap().to_string();
+        p.evidence
+            .push("QoQFP is computed over COC organizations only".into());
+        let sql = o
+            .complete(&CompletionRequest::new(p))
+            .as_sql()
+            .unwrap()
+            .to_string();
         assert!(sql.contains("OWNERSHIP_FLAG"), "{sql}");
     }
 
@@ -724,7 +747,11 @@ mod tests {
             description: String::new(),
             top_values: vec![],
         }];
-        let sql = o.complete(&CompletionRequest::new(p)).as_sql().unwrap().to_string();
+        let sql = o
+            .complete(&CompletionRequest::new(p))
+            .as_sql()
+            .unwrap()
+            .to_string();
         assert!(sql.contains("SPORTS_ROSTER"), "{sql}");
     }
 
@@ -764,7 +791,11 @@ mod tests {
                 term: None,
             });
         }
-        let plan = o.complete(&CompletionRequest::new(p)).as_plan().unwrap().clone();
+        let plan = o
+            .complete(&CompletionRequest::new(p))
+            .as_plan()
+            .unwrap()
+            .clone();
         assert!(plan.len() >= 5);
         let with_pseudo = plan.steps.iter().filter(|s| s.pseudo_sql.is_some()).count();
         assert_eq!(with_pseudo, plan.len(), "{plan:?}");
@@ -792,13 +823,20 @@ mod tests {
         reg.register(task);
         let o = OracleModel::with_config(
             reg,
-            OracleConfig { omission_probability: 1.0, ..OracleConfig::default() },
+            OracleConfig {
+                omission_probability: 1.0,
+                ..OracleConfig::default()
+            },
         );
         let p = Prompt::new(
             TaskKind::PlanGeneration,
             "Show me our 5 sports organisations with the best QoQFP in Canada",
         );
-        let plan = o.complete(&CompletionRequest::new(p)).as_plan().unwrap().clone();
+        let plan = o
+            .complete(&CompletionRequest::new(p))
+            .as_plan()
+            .unwrap()
+            .clone();
         assert!(plan.len() >= 15, "expected a long plan, got {}", plan.len());
         let groundable = plan
             .steps
@@ -816,9 +854,12 @@ mod tests {
             TaskKind::IntentClassification,
             "Show me our 5 sports organisations with the best QoQFP in Canada",
         );
-        p.intent_candidates =
-            vec!["tv_viewership".into(), "financial_performance".into()];
-        let items = o.complete(&CompletionRequest::new(p)).as_items().unwrap().to_vec();
+        p.intent_candidates = vec!["tv_viewership".into(), "financial_performance".into()];
+        let items = o
+            .complete(&CompletionRequest::new(p))
+            .as_items()
+            .unwrap()
+            .to_vec();
         assert_eq!(items, vec!["financial_performance"]);
     }
 
@@ -836,11 +877,21 @@ mod tests {
             description: String::new(),
             top_values: vec![],
         });
-        let items = o.complete(&CompletionRequest::new(p)).as_items().unwrap().to_vec();
+        let items = o
+            .complete(&CompletionRequest::new(p))
+            .as_items()
+            .unwrap()
+            .to_vec();
         assert!(items.iter().any(|k| k == "SPORTS_FINANCIALS.ORG_NAME"));
         assert!(items.iter().any(|k| k == "SPORTS_FINANCIALS"));
         // The roster distractor is (almost always) filtered.
-        assert!(items.iter().filter(|k| k.starts_with("SPORTS_ROSTER")).count() <= 1);
+        assert!(
+            items
+                .iter()
+                .filter(|k| k.starts_with("SPORTS_ROSTER"))
+                .count()
+                <= 1
+        );
     }
 
     #[test]
@@ -848,7 +899,11 @@ mod tests {
         let o = oracle();
         let mut p = Prompt::new(TaskKind::SqlGeneration, "question about penguins entirely");
         p.schema = schema_elements();
-        let sql = o.complete(&CompletionRequest::new(p)).as_sql().unwrap().to_string();
+        let sql = o
+            .complete(&CompletionRequest::new(p))
+            .as_sql()
+            .unwrap()
+            .to_string();
         assert!(sql.contains("LIMIT 10"));
     }
 

@@ -100,7 +100,10 @@ impl Plan {
             steps: self
                 .steps
                 .iter()
-                .map(|s| PlanStep { pseudo_sql: None, ..s.clone() })
+                .map(|s| PlanStep {
+                    pseudo_sql: None,
+                    ..s.clone()
+                })
                 .collect(),
         }
     }
@@ -262,7 +265,11 @@ impl Prompt {
         let _ = writeln!(out, "## Task\n{task}\n");
         let _ = writeln!(out, "## Question\n{}\n", self.question);
         if !self.intent_candidates.is_empty() {
-            let _ = writeln!(out, "## Candidate intents\n{}\n", self.intent_candidates.join(", "));
+            let _ = writeln!(
+                out,
+                "## Candidate intents\n{}\n",
+                self.intent_candidates.join(", ")
+            );
         }
         if !self.schema.is_empty() {
             out.push_str("## Schema\n");
@@ -281,7 +288,11 @@ impl Prompt {
         if !self.examples.is_empty() {
             out.push_str("## Examples\n");
             for e in &self.examples {
-                let term = e.term.as_deref().map(|t| format!("[{t}] ")).unwrap_or_default();
+                let term = e
+                    .term
+                    .as_deref()
+                    .map(|t| format!("[{t}] "))
+                    .unwrap_or_default();
                 let _ = writeln!(out, "-- {term}{}", e.description);
                 match e.kind {
                     Some(_) => {

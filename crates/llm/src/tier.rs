@@ -74,7 +74,10 @@ impl TierPolicy {
 
     /// The paper's deployment (§3.3.3): mini for schema linking only.
     pub fn paper() -> TierPolicy {
-        TierPolicy { schema_linking: ModelTier::Mini, ..TierPolicy::all_full() }
+        TierPolicy {
+            schema_linking: ModelTier::Mini,
+            ..TierPolicy::all_full()
+        }
     }
 
     /// Everything on the small model (the cheap extreme).
@@ -117,7 +120,11 @@ pub struct TieredModel<M> {
 
 impl<M: LanguageModel> TieredModel<M> {
     pub fn new(inner: M, policy: TierPolicy) -> TieredModel<M> {
-        TieredModel { inner, policy, ledger: Mutex::new(CostLedger::default()) }
+        TieredModel {
+            inner,
+            policy,
+            ledger: Mutex::new(CostLedger::default()),
+        }
     }
 
     pub fn policy(&self) -> TierPolicy {
@@ -164,8 +171,10 @@ impl<M: LanguageModel> LanguageModel for TieredModel<M> {
                 let kept: Vec<String> = items
                     .iter()
                     .filter(|key| {
-                        hash01(&["mini-linking", key, &request.prompt.question], request.seed)
-                            >= tier.linking_loss()
+                        hash01(
+                            &["mini-linking", key, &request.prompt.question],
+                            request.seed,
+                        ) >= tier.linking_loss()
                     })
                     .cloned()
                     .collect();
@@ -188,14 +197,11 @@ mod tests {
         }
         fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
             match request.prompt.task {
-                TaskKind::SchemaLinking => CompletionResponse::Items(
-                    (0..50).map(|i| format!("T.C{i}")).collect(),
-                ),
+                TaskKind::SchemaLinking => {
+                    CompletionResponse::Items((0..50).map(|i| format!("T.C{i}")).collect())
+                }
                 // Echo the effective effort so tests can observe routing.
-                _ => CompletionResponse::Text(format!(
-                    "{:.2}",
-                    request.prompt.reasoning_effort
-                )),
+                _ => CompletionResponse::Text(format!("{:.2}", request.prompt.reasoning_effort)),
             }
         }
     }
@@ -205,14 +211,23 @@ mod tests {
         let p = TierPolicy::paper();
         assert_eq!(p.tier_for(TaskKind::SchemaLinking), ModelTier::Mini);
         assert_eq!(p.tier_for(TaskKind::SqlGeneration), ModelTier::Full);
-        assert_eq!(TierPolicy::all_mini().tier_for(TaskKind::PlanGeneration), ModelTier::Mini);
+        assert_eq!(
+            TierPolicy::all_mini().tier_for(TaskKind::PlanGeneration),
+            ModelTier::Mini
+        );
     }
 
     #[test]
     fn ledger_accumulates_by_tier() {
         let m = TieredModel::new(Fixed, TierPolicy::paper());
-        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SchemaLinking, "q")));
-        m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SqlGeneration, "q")));
+        m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SchemaLinking,
+            "q",
+        )));
+        m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "q",
+        )));
         let ledger = m.ledger();
         assert_eq!(ledger.mini_calls, 1);
         assert_eq!(ledger.full_calls, 1);
@@ -234,23 +249,35 @@ mod tests {
     #[test]
     fn mini_linking_drops_some_items() {
         let m = TieredModel::new(Fixed, TierPolicy::paper());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SchemaLinking, "q")));
+        let r = m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SchemaLinking,
+            "q",
+        )));
         let kept = r.as_items().unwrap().len();
         assert!(kept < 50, "mini linking should lose items");
         assert!(kept > 30, "but only a small slice");
         // Full tier keeps everything.
         let m = TieredModel::new(Fixed, TierPolicy::all_full());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SchemaLinking, "q")));
+        let r = m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SchemaLinking,
+            "q",
+        )));
         assert_eq!(r.as_items().unwrap().len(), 50);
     }
 
     #[test]
     fn mini_reduces_generation_effort() {
         let m = TieredModel::new(Fixed, TierPolicy::all_mini());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SqlGeneration, "q")));
+        let r = m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "q",
+        )));
         assert_eq!(r.as_text().unwrap(), "0.55");
         let m = TieredModel::new(Fixed, TierPolicy::all_full());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(TaskKind::SqlGeneration, "q")));
+        let r = m.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "q",
+        )));
         assert_eq!(r.as_text().unwrap(), "1.00");
     }
 }

@@ -42,12 +42,28 @@ fn parse(sql: &str) -> Query {
 
 fn arb_corruption() -> impl Strategy<Value = Corruption> {
     prop_oneof![
-        Just(Corruption::DropWhereConjunct { marker: "FLAG".into() }),
-        Just(Corruption::DropWhereConjunct { marker: "COUNTRY".into() }),
-        Just(Corruption::ReplaceStringLiteral { from: "COC".into(), to: "OWN".into() }),
-        Just(Corruption::RenameColumn { from: "REV".into(), to: "REVENUE_X".into() }),
-        Just(Corruption::RenameTable { from: "FIN".into(), to: "FIN_DETAILS".into() }),
-        Just(Corruption::SwapAggregate { from: "SUM".into(), to: "AVG".into() }),
+        Just(Corruption::DropWhereConjunct {
+            marker: "FLAG".into()
+        }),
+        Just(Corruption::DropWhereConjunct {
+            marker: "COUNTRY".into()
+        }),
+        Just(Corruption::ReplaceStringLiteral {
+            from: "COC".into(),
+            to: "OWN".into()
+        }),
+        Just(Corruption::RenameColumn {
+            from: "REV".into(),
+            to: "REVENUE_X".into()
+        }),
+        Just(Corruption::RenameTable {
+            from: "FIN".into(),
+            to: "FIN_DETAILS".into()
+        }),
+        Just(Corruption::SwapAggregate {
+            from: "SUM".into(),
+            to: "AVG".into()
+        }),
         Just(Corruption::StripNegOneMultiplier),
         Just(Corruption::FlipOrderDirections),
     ]

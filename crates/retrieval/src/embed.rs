@@ -69,7 +69,10 @@ pub struct Embedder {
 
 impl Embedder {
     pub fn new(vocabulary: Vocabulary) -> Embedder {
-        Embedder { dim: DEFAULT_DIM, vocabulary }
+        Embedder {
+            dim: DEFAULT_DIM,
+            vocabulary,
+        }
     }
 
     pub fn with_dim(vocabulary: Vocabulary, dim: usize) -> Embedder {
@@ -244,8 +247,10 @@ mod tests {
     fn expansion_keeps_original_dominant() {
         let e = embedder(&["x", "y"]);
         let plain = e.embed("quarterly revenue growth canada");
-        let expanded =
-            e.embed_expanded("quarterly revenue growth canada", &["unrelated words entirely"]);
+        let expanded = e.embed_expanded(
+            "quarterly revenue growth canada",
+            &["unrelated words entirely"],
+        );
         // Still much closer to itself than to the expansion text.
         assert!(cosine(&expanded, &plain) > 0.7);
     }

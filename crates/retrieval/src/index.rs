@@ -46,12 +46,30 @@ impl VectorIndex {
     /// Exact top-k by cosine similarity; scores below `min_score` are
     /// dropped. Ordering: score descending, then insertion order.
     pub fn search(&self, query: &Embedding, k: usize, min_score: f32) -> Vec<SearchHit> {
+        self.search_with_stats(query, k, min_score).0
+    }
+
+    /// Like [`VectorIndex::search`], also reporting how many candidates
+    /// were scored and how many survived the top-k cut.
+    pub fn search_with_stats(
+        &self,
+        query: &Embedding,
+        k: usize,
+        min_score: f32,
+    ) -> (Vec<SearchHit>, RerankStats) {
+        let scored_count = self.items.len();
         let mut scored: Vec<(usize, SearchHit)> = self
             .items
             .iter()
             .enumerate()
             .map(|(pos, (id, emb))| {
-                (pos, SearchHit { id: *id, score: cosine(query, emb) })
+                (
+                    pos,
+                    SearchHit {
+                        id: *id,
+                        score: cosine(query, emb),
+                    },
+                )
             })
             .filter(|(_, h)| h.score >= min_score)
             .collect();
@@ -61,18 +79,66 @@ impl VectorIndex {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(pa.cmp(pb))
         });
-        scored.into_iter().take(k).map(|(_, h)| h).collect()
+        let hits: Vec<SearchHit> = scored.into_iter().take(k).map(|(_, h)| h).collect();
+        let stats = RerankStats {
+            scored: scored_count,
+            kept: hits.len(),
+        };
+        (hits, stats)
+    }
+}
+
+/// How much work one re-rank did: candidates scored vs. top-k survivors.
+/// The ratio is the context-compression factor each compounding operator
+/// buys (§3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RerankStats {
+    /// Candidates that received a similarity score.
+    pub scored: usize,
+    /// Candidates kept after the top-k / threshold cut.
+    pub kept: usize,
+}
+
+impl RerankStats {
+    /// Record this re-rank into a metrics registry under
+    /// `retrieval.<stage>.scored` / `.kept` counters and a
+    /// `retrieval.<stage>.kept_ratio` histogram.
+    pub fn record(&self, metrics: &genedit_telemetry::MetricsRegistry, stage: &str) {
+        metrics.incr(&format!("retrieval.{stage}.scored"), self.scored as u64);
+        metrics.incr(&format!("retrieval.{stage}.kept"), self.kept as u64);
+        if self.scored > 0 {
+            metrics.observe(
+                &format!("retrieval.{stage}.kept_ratio"),
+                self.kept as f64 / self.scored as f64,
+            );
+        }
     }
 }
 
 /// Re-rank arbitrary scored candidates: sort by score descending with a
 /// stable tie-break on the original order, then truncate to `k`.
-pub fn rerank_top_k<T>(mut candidates: Vec<(T, f32)>, k: usize) -> Vec<(T, f32)> {
+pub fn rerank_top_k<T>(candidates: Vec<(T, f32)>, k: usize) -> Vec<(T, f32)> {
+    rerank_top_k_with_stats(candidates, k).0
+}
+
+/// Like [`rerank_top_k`], also reporting scored/kept counts.
+pub fn rerank_top_k_with_stats<T>(
+    mut candidates: Vec<(T, f32)>,
+    k: usize,
+) -> (Vec<(T, f32)>, RerankStats) {
+    let scored = candidates.len();
     let mut indexed: Vec<(usize, (T, f32))> = candidates.drain(..).enumerate().collect();
     indexed.sort_by(|(pa, (_, sa)), (pb, (_, sb))| {
-        sb.partial_cmp(sa).unwrap_or(std::cmp::Ordering::Equal).then(pa.cmp(pb))
+        sb.partial_cmp(sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(pa.cmp(pb))
     });
-    indexed.into_iter().take(k).map(|(_, c)| c).collect()
+    let kept: Vec<(T, f32)> = indexed.into_iter().take(k).map(|(_, c)| c).collect();
+    let stats = RerankStats {
+        scored,
+        kept: kept.len(),
+    };
+    (kept, stats)
 }
 
 #[cfg(test)]
@@ -142,9 +208,40 @@ mod tests {
     }
 
     #[test]
+    fn search_stats_report_scored_and_kept() {
+        let docs = ["a b", "a c", "a d", "a e"];
+        let (idx, emb) = make_index(&docs);
+        let (hits, stats) = idx.search_with_stats(&emb.embed("a"), 2, 0.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(stats, RerankStats { scored: 4, kept: 2 });
+        // The threshold cut also shows up in `kept`.
+        let (_, stats) = idx.search_with_stats(&emb.embed("a b"), 10, 0.99);
+        assert_eq!(stats.scored, 4);
+        assert!(stats.kept < 4);
+    }
+
+    #[test]
+    fn rerank_stats_record_into_registry() {
+        let (_, stats) = rerank_top_k_with_stats(vec![("a", 0.1), ("b", 0.9), ("c", 0.5)], 2);
+        assert_eq!(stats, RerankStats { scored: 3, kept: 2 });
+        let metrics = genedit_telemetry::MetricsRegistry::new();
+        stats.record(&metrics, "examples");
+        stats.record(&metrics, "examples");
+        assert_eq!(metrics.counter("retrieval.examples.scored"), 6);
+        assert_eq!(metrics.counter("retrieval.examples.kept"), 4);
+        let snap = metrics.snapshot();
+        let ratio = &snap.histograms["retrieval.examples.kept_ratio"];
+        assert_eq!(ratio.count, 2);
+        assert!((ratio.mean - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn rerank_is_stable() {
         let ranked = rerank_top_k(vec![("a", 0.5), ("b", 0.9), ("c", 0.5)], 3);
-        assert_eq!(ranked.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec!["b", "a", "c"]);
+        assert_eq!(
+            ranked.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec!["b", "a", "c"]
+        );
         let truncated = rerank_top_k(vec![("a", 0.5), ("b", 0.9), ("c", 0.5)], 1);
         assert_eq!(truncated.len(), 1);
         assert_eq!(truncated[0].0, "b");

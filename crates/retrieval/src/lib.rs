@@ -21,5 +21,5 @@ pub mod index;
 pub mod token;
 
 pub use embed::{cosine, Embedder, Embedding, Vocabulary};
-pub use index::{rerank_top_k, SearchHit, VectorIndex};
+pub use index::{rerank_top_k, rerank_top_k_with_stats, RerankStats, SearchHit, VectorIndex};
 pub use token::tokenize;

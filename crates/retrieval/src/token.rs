@@ -22,7 +22,10 @@ pub fn tokenize(text: &str) -> Vec<String> {
 
 /// Word bigrams over a token stream, joined with `_`.
 pub fn bigrams(tokens: &[String]) -> Vec<String> {
-    tokens.windows(2).map(|w| format!("{}_{}", w[0], w[1])).collect()
+    tokens
+        .windows(2)
+        .map(|w| format!("{}_{}", w[0], w[1]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -31,7 +34,10 @@ mod tests {
 
     #[test]
     fn splits_on_punctuation_and_case() {
-        assert_eq!(tokenize("Show me QoQFP, please!"), vec!["show", "me", "qoqfp", "please"]);
+        assert_eq!(
+            tokenize("Show me QoQFP, please!"),
+            vec!["show", "me", "qoqfp", "please"]
+        );
     }
 
     #[test]

@@ -8,12 +8,26 @@ use std::collections::HashSet;
 #[derive(Debug)]
 pub enum Accumulator {
     CountStar(i64),
-    Count { seen: i64, distinct: Option<HashSet<String>> },
-    Sum { acc: Option<f64>, all_int: bool, distinct: Option<HashSet<String>> },
-    Avg { sum: f64, n: i64, distinct: Option<HashSet<String>> },
+    Count {
+        seen: i64,
+        distinct: Option<HashSet<String>>,
+    },
+    Sum {
+        acc: Option<f64>,
+        all_int: bool,
+        distinct: Option<HashSet<String>>,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+        distinct: Option<HashSet<String>>,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
-    GroupConcat { parts: Vec<String>, sep: String },
+    GroupConcat {
+        parts: Vec<String>,
+        sep: String,
+    },
 }
 
 impl Accumulator {
@@ -38,9 +52,14 @@ impl Accumulator {
             },
             "MIN" => Accumulator::Min(None),
             "MAX" => Accumulator::Max(None),
-            "GROUP_CONCAT" => Accumulator::GroupConcat { parts: Vec::new(), sep: ",".into() },
+            "GROUP_CONCAT" => Accumulator::GroupConcat {
+                parts: Vec::new(),
+                sep: ",".into(),
+            },
             other => {
-                return Err(EngineError::binding(format!("unknown aggregate function {other}")))
+                return Err(EngineError::binding(format!(
+                    "unknown aggregate function {other}"
+                )))
             }
         })
     }
@@ -61,7 +80,11 @@ impl Accumulator {
                     }
                 }
             }
-            Accumulator::Sum { acc, all_int, distinct } => {
+            Accumulator::Sum {
+                acc,
+                all_int,
+                distinct,
+            } => {
                 if value.is_null() {
                     return Ok(());
                 }
@@ -97,10 +120,7 @@ impl Accumulator {
                 if !value.is_null() {
                     let replace = match best {
                         None => true,
-                        Some(b) => matches!(
-                            value.sql_cmp(b)?,
-                            Some(std::cmp::Ordering::Less)
-                        ),
+                        Some(b) => matches!(value.sql_cmp(b)?, Some(std::cmp::Ordering::Less)),
                     };
                     if replace {
                         *best = Some(value.clone());
@@ -111,10 +131,7 @@ impl Accumulator {
                 if !value.is_null() {
                     let replace = match best {
                         None => true,
-                        Some(b) => matches!(
-                            value.sql_cmp(b)?,
-                            Some(std::cmp::Ordering::Greater)
-                        ),
+                        Some(b) => matches!(value.sql_cmp(b)?, Some(std::cmp::Ordering::Greater)),
                     };
                     if replace {
                         *best = Some(value.clone());
@@ -183,8 +200,13 @@ mod tests {
     #[test]
     fn count_skips_nulls() {
         assert_eq!(
-            run("COUNT", false, false, &[Value::Null, Value::Integer(1), Value::Integer(1)])
-                .as_i64(),
+            run(
+                "COUNT",
+                false,
+                false,
+                &[Value::Null, Value::Integer(1), Value::Integer(1)]
+            )
+            .as_i64(),
             Some(2)
         );
     }
@@ -196,7 +218,12 @@ mod tests {
                 "COUNT",
                 true,
                 false,
-                &[Value::Integer(1), Value::Integer(1), Value::Integer(2), Value::Null]
+                &[
+                    Value::Integer(1),
+                    Value::Integer(1),
+                    Value::Integer(2),
+                    Value::Null
+                ]
             )
             .as_i64(),
             Some(2)
@@ -233,8 +260,13 @@ mod tests {
     #[test]
     fn min_max() {
         assert_eq!(
-            run("MIN", false, false, &[Value::Integer(3), Value::Integer(1), Value::Null])
-                .as_i64(),
+            run(
+                "MIN",
+                false,
+                false,
+                &[Value::Integer(3), Value::Integer(1), Value::Null]
+            )
+            .as_i64(),
             Some(1)
         );
         assert_eq!(
@@ -246,7 +278,12 @@ mod tests {
     #[test]
     fn group_concat() {
         assert_eq!(
-            run("GROUP_CONCAT", false, false, &["a".into(), Value::Null, "b".into()]),
+            run(
+                "GROUP_CONCAT",
+                false,
+                false,
+                &["a".into(), Value::Null, "b".into()]
+            ),
             Value::Text("a,b".into())
         );
         assert!(run("GROUP_CONCAT", false, false, &[]).is_null());

@@ -93,9 +93,11 @@ fn walk_select(select: &Select, s: &mut ComplexityScore) {
 
 fn count_conjuncts(e: &Expr) -> usize {
     match e {
-        Expr::Binary { op: BinaryOp::And, left, right } => {
-            count_conjuncts(left) + count_conjuncts(right)
-        }
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => count_conjuncts(left) + count_conjuncts(right),
         _ => 1,
     }
 }
@@ -107,7 +109,9 @@ fn walk_table_ref(tr: &TableRef, s: &mut ComplexityScore) {
             s.subqueries += 1;
             walk_query(query, s);
         }
-        TableRef::Join { left, right, on, .. } => {
+        TableRef::Join {
+            left, right, on, ..
+        } => {
             s.joins += 1;
             walk_table_ref(left, s);
             walk_table_ref(right, s);
@@ -138,7 +142,9 @@ fn walk_expr(e: &Expr, s: &mut ComplexityScore) {
             walk_expr(expr, s);
             walk_query(subquery, s);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             walk_expr(expr, s);
             walk_expr(low, s);
             walk_expr(high, s);
@@ -147,7 +153,11 @@ fn walk_expr(e: &Expr, s: &mut ComplexityScore) {
             walk_expr(expr, s);
             walk_expr(pattern, s);
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             s.case_exprs += 1;
             if let Some(op) = operand {
                 walk_expr(op, s);
@@ -199,11 +209,7 @@ pub fn referenced_tables(query: &Query) -> BTreeSet<String> {
     tables
 }
 
-fn collect_tables(
-    query: &Query,
-    tables: &mut BTreeSet<String>,
-    cte_names: &mut BTreeSet<String>,
-) {
+fn collect_tables(query: &Query, tables: &mut BTreeSet<String>, cte_names: &mut BTreeSet<String>) {
     // CTE names defined here shadow base tables for the whole query.
     let mut local = cte_names.clone();
     for cte in &query.ctes {
@@ -245,11 +251,7 @@ fn collect_tables_set_expr(
     }
 }
 
-fn collect_tables_ref(
-    tr: &TableRef,
-    tables: &mut BTreeSet<String>,
-    cte_names: &BTreeSet<String>,
-) {
+fn collect_tables_ref(tr: &TableRef, tables: &mut BTreeSet<String>, cte_names: &BTreeSet<String>) {
     match tr {
         TableRef::Named { name, .. } => {
             let upper = name.to_uppercase();
@@ -261,7 +263,9 @@ fn collect_tables_ref(
             let mut local = cte_names.clone();
             collect_tables(query, tables, &mut local);
         }
-        TableRef::Join { left, right, on, .. } => {
+        TableRef::Join {
+            left, right, on, ..
+        } => {
             collect_tables_ref(left, tables, cte_names);
             collect_tables_ref(right, tables, cte_names);
             if let Some(on) = on {
@@ -271,11 +275,7 @@ fn collect_tables_ref(
     }
 }
 
-fn collect_tables_expr(
-    e: &Expr,
-    tables: &mut BTreeSet<String>,
-    cte_names: &BTreeSet<String>,
-) {
+fn collect_tables_expr(e: &Expr, tables: &mut BTreeSet<String>, cte_names: &BTreeSet<String>) {
     match e {
         Expr::InSubquery { subquery, expr, .. } => {
             collect_tables_expr(expr, tables, cte_names);
@@ -299,7 +299,9 @@ fn collect_tables_expr(
                 collect_tables_expr(i, tables, cte_names);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_tables_expr(expr, tables, cte_names);
             collect_tables_expr(low, tables, cte_names);
             collect_tables_expr(high, tables, cte_names);
@@ -308,7 +310,11 @@ fn collect_tables_expr(
             collect_tables_expr(expr, tables, cte_names);
             collect_tables_expr(pattern, tables, cte_names);
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 collect_tables_expr(op, tables, cte_names);
             }
@@ -388,7 +394,9 @@ fn collect_cols_ref(tr: &TableRef, cols: &mut BTreeSet<String>) {
     match tr {
         TableRef::Named { .. } => {}
         TableRef::Derived { query, .. } => collect_cols_query(query, cols),
-        TableRef::Join { left, right, on, .. } => {
+        TableRef::Join {
+            left, right, on, ..
+        } => {
             collect_cols_ref(left, cols);
             collect_cols_ref(right, cols);
             if let Some(on) = on {
@@ -421,7 +429,9 @@ fn collect_cols_expr(e: &Expr, cols: &mut BTreeSet<String>) {
             collect_cols_expr(expr, cols);
             collect_cols_query(subquery, cols);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_cols_expr(expr, cols);
             collect_cols_expr(low, cols);
             collect_cols_expr(high, cols);
@@ -430,7 +440,11 @@ fn collect_cols_expr(e: &Expr, cols: &mut BTreeSet<String>) {
             collect_cols_expr(expr, cols);
             collect_cols_expr(pattern, cols);
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 collect_cols_expr(op, cols);
             }
@@ -478,11 +492,9 @@ mod tests {
         let moderate = complexity(&q(
             "SELECT a, SUM(b) FROM t JOIN u ON t.id = u.id WHERE c = 1 GROUP BY a",
         ));
-        let complex = complexity(&q(
-            "WITH x AS (SELECT a, SUM(b) AS s FROM t GROUP BY a), \
+        let complex = complexity(&q("WITH x AS (SELECT a, SUM(b) AS s FROM t GROUP BY a), \
                   y AS (SELECT a, s, ROW_NUMBER() OVER (ORDER BY s DESC) AS r FROM x) \
-             SELECT * FROM y WHERE r <= 5",
-        ));
+             SELECT * FROM y WHERE r <= 5"));
         assert!(simple.total() < moderate.total());
         assert!(moderate.total() < complex.total());
         assert_eq!(complex.ctes, 2);

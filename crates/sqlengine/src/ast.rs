@@ -73,8 +73,7 @@ pub enum SetOp {
 }
 
 /// A single SELECT block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Select {
     pub distinct: bool,
     pub items: Vec<SelectItem>,
@@ -83,7 +82,6 @@ pub struct Select {
     pub group_by: Vec<Expr>,
     pub having: Option<Expr>,
 }
-
 
 /// An item of the SELECT list.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,11 +112,17 @@ pub enum TableRef {
 
 impl TableRef {
     pub fn named(name: impl Into<String>) -> TableRef {
-        TableRef::Named { name: name.into(), alias: None }
+        TableRef::Named {
+            name: name.into(),
+            alias: None,
+        }
     }
 
     pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> TableRef {
-        TableRef::Named { name: name.into(), alias: Some(alias.into()) }
+        TableRef::Named {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }
     }
 
     /// Number of joins in this reference tree.
@@ -266,32 +270,74 @@ pub struct WindowSpec {
 pub enum Expr {
     Literal(Literal),
     /// `name` or `table.name`
-    Column { table: Option<String>, name: String },
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
-    IsNull { expr: Box<Expr>, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    InSubquery { expr: Box<Expr>, subquery: Box<Query>, negated: bool },
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        subquery: Box<Query>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
     Case {
         operand: Option<Box<Expr>>,
         branches: Vec<(Expr, Expr)>,
         else_expr: Option<Box<Expr>>,
     },
-    Cast { expr: Box<Expr>, ty: DataType },
+    Cast {
+        expr: Box<Expr>,
+        ty: DataType,
+    },
     Function(FunctionCall),
-    Exists { subquery: Box<Query>, negated: bool },
+    Exists {
+        subquery: Box<Query>,
+        negated: bool,
+    },
     ScalarSubquery(Box<Query>),
 }
 
 impl Expr {
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { table: Some(table.into()), name: name.into() }
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
     }
 
     pub fn int(v: i64) -> Expr {
@@ -307,7 +353,11 @@ impl Expr {
     }
 
     pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     pub fn and(left: Expr, right: Expr) -> Expr {
@@ -327,8 +377,12 @@ impl Expr {
     pub fn precedence(&self) -> u8 {
         match self {
             Expr::Binary { op, .. } => op.precedence(),
-            Expr::Unary { op: UnaryOp::Not, .. } => 3,
-            Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+            Expr::Unary {
+                op: UnaryOp::Not, ..
+            } => 3,
+            Expr::Unary {
+                op: UnaryOp::Neg, ..
+            } => 7,
             Expr::IsNull { .. }
             | Expr::InList { .. }
             | Expr::InSubquery { .. }
@@ -350,7 +404,9 @@ mod tests {
             Expr::binary(Expr::col("b"), BinaryOp::Gt, Expr::float(2.5)),
         );
         match e {
-            Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -21,7 +21,11 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, data_type: DataType) -> Column {
-        Column { name: name.into(), data_type, description: None }
+        Column {
+            name: name.into(),
+            data_type,
+            description: None,
+        }
     }
 
     pub fn with_description(mut self, desc: impl Into<String>) -> Column {
@@ -54,7 +58,12 @@ pub struct Table {
 
 impl Table {
     pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Table {
-        Table { name: name.into(), columns, rows: Vec::new(), description: None }
+        Table {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+            description: None,
+        }
     }
 
     pub fn with_description(mut self, desc: impl Into<String>) -> Table {
@@ -64,7 +73,9 @@ impl Table {
 
     /// Index of a column by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn column_names(&self) -> Vec<String> {
@@ -128,7 +139,10 @@ pub struct Database {
 
 impl Database {
     pub fn new(name: impl Into<String>) -> Database {
-        Database { name: name.into(), tables: Vec::new() }
+        Database {
+            name: name.into(),
+            tables: Vec::new(),
+        }
     }
 
     pub fn add_table(&mut self, table: Table) -> EngineResult<()> {
@@ -144,11 +158,15 @@ impl Database {
 
     /// Look up a table by case-insensitive name.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.iter_mut().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter_mut()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     pub fn tables(&self) -> &[Table] {
@@ -167,8 +185,7 @@ impl Database {
             out.push_str(&format!("TABLE {} (\n", t.name));
             let profiles = t.profile();
             for (col, prof) in t.columns.iter().zip(profiles.iter()) {
-                let vals: Vec<String> =
-                    prof.top_values.iter().map(|(v, _)| v.clone()).collect();
+                let vals: Vec<String> = prof.top_values.iter().map(|(v, _)| v.clone()).collect();
                 out.push_str(&format!("  {} {}", col.name, col.data_type));
                 if let Some(d) = &col.description {
                     out.push_str(&format!(" -- {d}"));
@@ -204,7 +221,8 @@ mod tests {
             ("d", "Canada", 40),
             ("e", "Mexico", 50),
         ] {
-            t.push_row(vec![n.into(), c.into(), Value::Integer(r)]).unwrap();
+            t.push_row(vec![n.into(), c.into(), Value::Integer(r)])
+                .unwrap();
         }
         t
     }
@@ -237,7 +255,8 @@ mod tests {
     #[test]
     fn nulls_counted_separately() {
         let mut t = sample_table();
-        t.push_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        t.push_row(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
         let p = t.top_values("COUNTRY", 5).unwrap();
         assert_eq!(p.null_count, 1);
         assert_eq!(p.distinct_count, 3);

@@ -46,7 +46,12 @@ impl fmt::Display for SetExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SetExpr::Select(s) => write!(f, "{s}"),
-            SetExpr::SetOp { op, all, left, right } => {
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 let op_str = match op {
                     SetOp::Union => "UNION",
                     SetOp::Intersect => "INTERSECT",
@@ -125,7 +130,12 @@ impl fmt::Display for TableRef {
             TableRef::Derived { query, alias } => {
                 write!(f, "({query}) AS {}", ident(alias))
             }
-            TableRef::Join { left, right, kind, on } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 let kw = match kind {
                     JoinKind::Inner => "JOIN",
                     JoinKind::Left => "LEFT JOIN",
@@ -198,10 +208,47 @@ fn ident(name: &str) -> String {
 
 fn is_reserved_word(name: &str) -> bool {
     const WORDS: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
-        "CROSS", "ON", "UNION", "INTERSECT", "EXCEPT", "AND", "OR", "NOT", "IN", "BETWEEN",
-        "LIKE", "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END", "AS", "WITH", "DISTINCT",
-        "ALL", "ASC", "DESC", "EXISTS", "CAST", "OVER", "PARTITION", "BY", "TRUE", "FALSE",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "CROSS",
+        "ON",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "AS",
+        "WITH",
+        "DISTINCT",
+        "ALL",
+        "ASC",
+        "DESC",
+        "EXISTS",
+        "CAST",
+        "OVER",
+        "PARTITION",
+        "BY",
+        "TRUE",
+        "FALSE",
     ];
     WORDS.iter().any(|w| name.eq_ignore_ascii_case(w))
 }
@@ -238,7 +285,11 @@ impl fmt::Display for Expr {
                 // grammar, so equal-precedence children need parens on both
                 // sides; arithmetic layers are left-associative, so only
                 // the right child gets strict parens.
-                let l = if prec == 4 { child_strict(left, prec) } else { child(left, prec) };
+                let l = if prec == 4 {
+                    child_strict(left, prec)
+                } else {
+                    child(left, prec)
+                };
                 let r = child_strict(right, prec);
                 write!(f, "{l} {} {r}", op.symbol())
             }
@@ -246,7 +297,11 @@ impl fmt::Display for Expr {
                 let e = child_strict(expr, self.precedence());
                 write!(f, "{e} IS {}NULL", if *negated { "NOT " } else { "" })
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let e = child_strict(expr, self.precedence());
                 write!(f, "{e} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, item) in list.iter().enumerate() {
@@ -257,22 +312,47 @@ impl fmt::Display for Expr {
                 }
                 f.write_str(")")
             }
-            Expr::InSubquery { expr, subquery, negated } => {
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
                 let e = child_strict(expr, self.precedence());
-                write!(f, "{e} {}IN ({subquery})", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{e} {}IN ({subquery})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let e = child_strict(expr, self.precedence());
                 let lo = child_strict(low, self.precedence());
                 let hi = child_strict(high, self.precedence());
-                write!(f, "{e} {}BETWEEN {lo} AND {hi}", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{e} {}BETWEEN {lo} AND {hi}",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let e = child_strict(expr, self.precedence());
                 let p = child_strict(pattern, self.precedence());
                 write!(f, "{e} {}LIKE {p}", if *negated { "NOT " } else { "" })
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 f.write_str("CASE")?;
                 if let Some(op) = operand {
                     write!(f, " {op}")?;
@@ -297,7 +377,11 @@ impl fmt::Display for Expr {
             }
             Expr::Function(call) => write!(f, "{call}"),
             Expr::Exists { subquery, negated } => {
-                write!(f, "{}EXISTS ({subquery})", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{}EXISTS ({subquery})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
         }
@@ -395,7 +479,11 @@ fn write_pretty_query(out: &mut String, query: &Query, level: usize) {
             let _ = writeln!(out, "{} AS (", ident(&cte.name));
             write_pretty_query(out, &cte.query, level + 1);
             indent(out, level);
-            out.push_str(if i + 1 < query.ctes.len() { "),\n" } else { ")\n" });
+            out.push_str(if i + 1 < query.ctes.len() {
+                "),\n"
+            } else {
+                ")\n"
+            });
         }
     }
     write_pretty_set_expr(out, &query.body, level);
@@ -419,7 +507,12 @@ fn write_pretty_query(out: &mut String, query: &Query, level: usize) {
 fn write_pretty_set_expr(out: &mut String, body: &SetExpr, level: usize) {
     match body {
         SetExpr::Select(s) => write_pretty_select(out, s, level),
-        SetExpr::SetOp { op, all, left, right } => {
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             write_pretty_set_expr(out, left, level);
             indent(out, level);
             let op_str = match op {

@@ -28,27 +28,41 @@ pub enum EngineError {
 
 impl EngineError {
     pub fn lex(message: impl Into<String>, offset: usize) -> Self {
-        EngineError::Lex { message: message.into(), offset }
+        EngineError::Lex {
+            message: message.into(),
+            offset,
+        }
     }
 
     pub fn parse(message: impl Into<String>, offset: usize) -> Self {
-        EngineError::Parse { message: message.into(), offset }
+        EngineError::Parse {
+            message: message.into(),
+            offset,
+        }
     }
 
     pub fn binding(message: impl Into<String>) -> Self {
-        EngineError::Binding { message: message.into() }
+        EngineError::Binding {
+            message: message.into(),
+        }
     }
 
     pub fn typing(message: impl Into<String>) -> Self {
-        EngineError::Type { message: message.into() }
+        EngineError::Type {
+            message: message.into(),
+        }
     }
 
     pub fn execution(message: impl Into<String>) -> Self {
-        EngineError::Execution { message: message.into() }
+        EngineError::Execution {
+            message: message.into(),
+        }
     }
 
     pub fn unsupported(message: impl Into<String>) -> Self {
-        EngineError::Unsupported { message: message.into() }
+        EngineError::Unsupported {
+            message: message.into(),
+        }
     }
 
     /// True when the error would be caught by a SQL parser alone — the
@@ -123,6 +137,9 @@ mod tests {
 
     #[test]
     fn message_strips_prefix() {
-        assert_eq!(EngineError::binding("no such table T").message(), "no such table T");
+        assert_eq!(
+            EngineError::binding("no such table T").message(),
+            "no such table T"
+        );
     }
 }

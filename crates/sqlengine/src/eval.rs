@@ -1,12 +1,12 @@
 //! Expression evaluation over rows, groups, and window values.
 
+use crate::aggregate::Accumulator;
 use crate::ast::*;
+use crate::catalog::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::exec::{execute_query_with_outer, CteMap};
 use crate::functions;
 use crate::value::Value;
-use crate::aggregate::Accumulator;
-use crate::catalog::Database;
 use std::collections::HashMap;
 
 /// Metadata for one column of an intermediate relation.
@@ -19,7 +19,10 @@ pub struct ColMeta {
 
 impl ColMeta {
     pub fn new(qualifier: Option<String>, name: impl Into<String>) -> ColMeta {
-        ColMeta { qualifier, name: name.into() }
+        ColMeta {
+            qualifier,
+            name: name.into(),
+        }
     }
 
     fn matches(&self, table: Option<&str>, name: &str) -> bool {
@@ -46,7 +49,10 @@ pub struct Relation {
 
 impl Relation {
     pub fn new(cols: Vec<ColMeta>) -> Relation {
-        Relation { cols, rows: Vec::new() }
+        Relation {
+            cols,
+            rows: Vec::new(),
+        }
     }
 }
 
@@ -77,7 +83,14 @@ pub struct Scope<'a> {
 
 impl<'a> Scope<'a> {
     pub fn row_scope(cols: &'a [ColMeta], row: &'a [Value]) -> Scope<'a> {
-        Scope { cols, row, parent: None, group: None, windows: None, unit_index: 0 }
+        Scope {
+            cols,
+            row,
+            parent: None,
+            group: None,
+            windows: None,
+            unit_index: 0,
+        }
     }
 
     fn resolve(&self, table: Option<&str>, name: &str) -> EngineResult<Value> {
@@ -136,7 +149,11 @@ pub fn eval_expr(expr: &Expr, scope: &Scope<'_>, env: &EvalEnv<'_>) -> EngineRes
             let v = eval_expr(expr, scope, env)?;
             Ok(Value::Boolean(v.is_null() != *negated))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_expr(expr, scope, env)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -156,7 +173,11 @@ pub fn eval_expr(expr: &Expr, scope: &Scope<'_>, env: &EvalEnv<'_>) -> EngineRes
                 Ok(Value::Boolean(*negated))
             }
         }
-        Expr::InSubquery { expr, subquery, negated } => {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
             let v = eval_expr(expr, scope, env)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -181,7 +202,12 @@ pub fn eval_expr(expr: &Expr, scope: &Scope<'_>, env: &EvalEnv<'_>) -> EngineRes
                 Ok(Value::Boolean(*negated))
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval_expr(expr, scope, env)?;
             let lo = eval_expr(low, scope, env)?;
             let hi = eval_expr(high, scope, env)?;
@@ -195,7 +221,11 @@ pub fn eval_expr(expr: &Expr, scope: &Scope<'_>, env: &EvalEnv<'_>) -> EngineRes
             };
             Ok(Value::Boolean((ge && le) != *negated))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_expr(expr, scope, env)?;
             let p = eval_expr(pattern, scope, env)?;
             if v.is_null() || p.is_null() {
@@ -204,7 +234,11 @@ pub fn eval_expr(expr: &Expr, scope: &Scope<'_>, env: &EvalEnv<'_>) -> EngineRes
             let m = functions::sql_like(&v.to_string(), &p.to_string());
             Ok(Value::Boolean(m != *negated))
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             match operand {
                 Some(op_expr) => {
                     let subject = eval_expr(op_expr, scope, env)?;
@@ -271,9 +305,9 @@ fn eval_function(
                 call.name
             ))
         })?;
-        let values = windows.get(&key).ok_or_else(|| {
-            EngineError::execution(format!("window values missing for {key}"))
-        })?;
+        let values = windows
+            .get(&key)
+            .ok_or_else(|| EngineError::execution(format!("window values missing for {key}")))?;
         return Ok(values[scope.unit_index].clone());
     }
 
@@ -408,12 +442,7 @@ fn eval_binary(
 }
 
 fn arith(op: BinaryOp, l: &Value, r: &Value) -> EngineResult<Value> {
-    let type_err = || {
-        EngineError::typing(format!(
-            "cannot apply {} to {l} and {r}",
-            op.symbol()
-        ))
-    };
+    let type_err = || EngineError::typing(format!("cannot apply {} to {l} and {r}", op.symbol()));
     match (l, r) {
         (Value::Integer(a), Value::Integer(b)) => Ok(match op {
             BinaryOp::Add => a
@@ -510,16 +539,23 @@ pub fn contains_aggregate(expr: &Expr) -> bool {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
         Expr::InSubquery { expr, .. } => contains_aggregate(expr),
-        Expr::Between { expr, low, high, .. } => {
-            contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
         Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             operand.as_deref().map(contains_aggregate).unwrap_or(false)
                 || branches
                     .iter()
                     .any(|(w, t)| contains_aggregate(w) || contains_aggregate(t))
-                || else_expr.as_deref().map(contains_aggregate).unwrap_or(false)
+                || else_expr
+                    .as_deref()
+                    .map(contains_aggregate)
+                    .unwrap_or(false)
         }
         Expr::Cast { expr, .. } => contains_aggregate(expr),
         Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
@@ -552,7 +588,9 @@ pub fn collect_window_calls<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
             }
         }
         Expr::InSubquery { expr, .. } => collect_window_calls(expr, out),
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_window_calls(expr, out);
             collect_window_calls(low, out);
             collect_window_calls(high, out);
@@ -561,7 +599,11 @@ pub fn collect_window_calls<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
             collect_window_calls(expr, out);
             collect_window_calls(pattern, out);
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 collect_window_calls(op, out);
             }

@@ -7,6 +7,7 @@
 //! definition order and visible to later CTEs and the main body, matching
 //! the CTE-normal-form queries GenEdit generates (§3.1.2).
 
+use crate::aggregate::Accumulator;
 use crate::ast::*;
 use crate::catalog::Database;
 use crate::error::{EngineError, EngineResult};
@@ -14,11 +15,10 @@ use crate::eval::{
     collect_window_calls, contains_aggregate, eval_expr, ColMeta, EvalEnv, GroupView, Relation,
     Scope, WindowValues,
 };
+use crate::functions;
 use crate::parser::parse_statement;
 use crate::result::ResultSet;
 use crate::value::Value;
-use crate::aggregate::Accumulator;
-use crate::functions;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -29,6 +29,55 @@ pub type CteMap = HashMap<String, Rc<ResultSet>>;
 pub fn execute_sql(db: &Database, sql: &str) -> EngineResult<ResultSet> {
     let stmt = parse_statement(sql)?;
     execute(db, &stmt)
+}
+
+/// Timing and output-size observations from one [`execute_sql_timed`]
+/// call. `rows`/`columns` are zero when the statement failed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Time spent parsing the statement.
+    pub parse: std::time::Duration,
+    /// Time spent executing it (zero when parsing failed).
+    pub execute: std::time::Duration,
+    /// Rows in the result set.
+    pub rows: usize,
+    /// Columns in the result set.
+    pub columns: usize,
+}
+
+impl ExecStats {
+    /// Record into a metrics registry as `sql.<stage>.parse_ms` /
+    /// `.execute_ms` histograms and a `sql.<stage>.rows` histogram.
+    pub fn record(&self, metrics: &genedit_telemetry::MetricsRegistry, stage: &str) {
+        metrics.observe_duration(&format!("sql.{stage}.parse_ms"), self.parse);
+        metrics.observe_duration(&format!("sql.{stage}.execute_ms"), self.execute);
+        metrics.observe(&format!("sql.{stage}.rows"), self.rows as f64);
+    }
+}
+
+/// Like [`execute_sql`], also reporting parse/execute timings and result
+/// size — the telemetry view of the execution-guided validation loop.
+pub fn execute_sql_timed(db: &Database, sql: &str) -> (EngineResult<ResultSet>, ExecStats) {
+    let mut stats = ExecStats::default();
+    let t = std::time::Instant::now();
+    let stmt = match parse_statement(sql) {
+        Ok(stmt) => {
+            stats.parse = t.elapsed();
+            stmt
+        }
+        Err(e) => {
+            stats.parse = t.elapsed();
+            return (Err(e), stats);
+        }
+    };
+    let t = std::time::Instant::now();
+    let result = execute(db, &stmt);
+    stats.execute = t.elapsed();
+    if let Ok(rs) = &result {
+        stats.rows = rs.row_count();
+        stats.columns = rs.columns.len();
+    }
+    (result, stats)
 }
 
 /// Execute a parsed statement.
@@ -76,7 +125,12 @@ fn exec_set_expr(
 ) -> EngineResult<ResultSet> {
     match body {
         SetExpr::Select(select) => exec_select(db, select, ctes, outer, &[], None),
-        SetExpr::SetOp { op, all, left, right } => {
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             let l = exec_set_expr(db, left, ctes, outer)?;
             let r = exec_set_expr(db, right, ctes, outer)?;
             if l.columns.len() != r.columns.len() {
@@ -87,7 +141,10 @@ fn exec_set_expr(
                 )));
             }
             let key = |row: &Vec<Value>| -> String {
-                row.iter().map(Value::group_key).collect::<Vec<_>>().join("|")
+                row.iter()
+                    .map(Value::group_key)
+                    .collect::<Vec<_>>()
+                    .join("|")
             };
             let mut out = ResultSet::new(l.columns.clone());
             match (op, all) {
@@ -170,7 +227,10 @@ fn exec_select(
     // FROM.
     let rel = match &select.from {
         Some(tr) => resolve_from(db, tr, ctes, outer)?,
-        None => Relation { cols: Vec::new(), rows: vec![Vec::new()] },
+        None => Relation {
+            cols: Vec::new(),
+            rows: vec![Vec::new()],
+        },
     };
 
     // WHERE.
@@ -201,7 +261,11 @@ fn exec_select(
     });
     let aggregated = !select.group_by.is_empty()
         || items_have_aggregates
-        || select.having.as_ref().map(contains_aggregate).unwrap_or(false)
+        || select
+            .having
+            .as_ref()
+            .map(contains_aggregate)
+            .unwrap_or(false)
         || select.having.is_some();
 
     // Build units.
@@ -232,7 +296,10 @@ fn exec_select(
                     Some(&u) => units[u].members.push(i),
                     None => {
                         index.insert(key, units.len());
-                        units.push(Unit { rep: i, members: vec![i] });
+                        units.push(Unit {
+                            rep: i,
+                            members: vec![i],
+                        });
                     }
                 }
             }
@@ -249,7 +316,13 @@ fn exec_select(
             units = filtered;
         }
     } else {
-        units = kept.iter().map(|&i| Unit { rep: i, members: vec![i] }).collect();
+        units = kept
+            .iter()
+            .map(|&i| Unit {
+                rep: i,
+                members: vec![i],
+            })
+            .collect();
     }
 
     // Window functions.
@@ -324,9 +397,7 @@ fn exec_select(
         // Still need output column names for empty results.
         for item in &select.items {
             match item {
-                SelectItem::Wildcard => {
-                    out_cols.extend(rel.cols.iter().map(|c| c.name.clone()))
-                }
+                SelectItem::Wildcard => out_cols.extend(rel.cols.iter().map(|c| c.name.clone())),
                 SelectItem::QualifiedWildcard(q) => {
                     for col in &rel.cols {
                         if col
@@ -363,8 +434,7 @@ fn exec_select(
                         ));
                     }
                     for (ui, unit) in units.iter().enumerate() {
-                        let scope =
-                            unit_scope(&rel, unit, outer, Some(&windows), ui, aggregated);
+                        let scope = unit_scope(&rel, unit, outer, Some(&windows), ui, aggregated);
                         keys[ui].push(eval_expr(&item.expr, &scope, &env)?);
                     }
                 }
@@ -392,7 +462,11 @@ fn exec_select(
     if select.distinct {
         let mut seen = std::collections::HashSet::new();
         out_rows.retain(|row| {
-            let k: String = row.iter().map(Value::group_key).collect::<Vec<_>>().join("|");
+            let k: String = row
+                .iter()
+                .map(Value::group_key)
+                .collect::<Vec<_>>()
+                .join("|");
             seen.insert(k)
         });
     }
@@ -401,7 +475,10 @@ fn exec_select(
         out_rows.truncate(n as usize);
     }
 
-    Ok(ResultSet { columns: out_cols, rows: out_rows })
+    Ok(ResultSet {
+        columns: out_cols,
+        rows: out_rows,
+    })
 }
 
 fn unit_scope<'a>(
@@ -412,14 +489,25 @@ fn unit_scope<'a>(
     unit_index: usize,
     aggregated: bool,
 ) -> Scope<'a> {
-    let row: &[Value] = if unit.rep == usize::MAX { EMPTY_ROW } else { &rel.rows[unit.rep] };
-    let cols: &[ColMeta] = if unit.rep == usize::MAX { &[] } else { &rel.cols };
+    let row: &[Value] = if unit.rep == usize::MAX {
+        EMPTY_ROW
+    } else {
+        &rel.rows[unit.rep]
+    };
+    let cols: &[ColMeta] = if unit.rep == usize::MAX {
+        &[]
+    } else {
+        &rel.cols
+    };
     Scope {
         cols,
         row,
         parent: outer,
         group: if aggregated {
-            Some(GroupView { rel, indices: &unit.members })
+            Some(GroupView {
+                rel,
+                indices: &unit.members,
+            })
         } else {
             None
         },
@@ -489,17 +577,23 @@ fn resolve_from(
                     .iter()
                     .map(|c| ColMeta::new(Some(qualifier.clone()), c.clone()))
                     .collect();
-                return Ok(Relation { cols, rows: rs.rows.clone() });
+                return Ok(Relation {
+                    cols,
+                    rows: rs.rows.clone(),
+                });
             }
-            let table = db.table(name).ok_or_else(|| {
-                EngineError::binding(format!("no such table {name}"))
-            })?;
+            let table = db
+                .table(name)
+                .ok_or_else(|| EngineError::binding(format!("no such table {name}")))?;
             let cols = table
                 .columns
                 .iter()
                 .map(|c| ColMeta::new(Some(qualifier.clone()), c.name.clone()))
                 .collect();
-            Ok(Relation { cols, rows: table.rows.clone() })
+            Ok(Relation {
+                cols,
+                rows: table.rows.clone(),
+            })
         }
         TableRef::Derived { query, alias } => {
             let rs = execute_query_with_outer(db, query, ctes, None)?;
@@ -508,9 +602,17 @@ fn resolve_from(
                 .iter()
                 .map(|c| ColMeta::new(Some(alias.clone()), c.clone()))
                 .collect();
-            Ok(Relation { cols, rows: rs.rows })
+            Ok(Relation {
+                cols,
+                rows: rs.rows,
+            })
         }
-        TableRef::Join { left, right, kind, on } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = resolve_from(db, left, ctes, outer)?;
             let r = resolve_from(db, right, ctes, outer)?;
             join(db, ctes, outer, l, r, *kind, on.as_ref())
@@ -649,9 +751,9 @@ fn compute_windows(
                         let tied = prev
                             .map(|p| {
                                 p.len() == order_keys[ui].len()
-                                    && p.iter().zip(&order_keys[ui]).all(|(a, b)| {
-                                        a.total_cmp(b) == std::cmp::Ordering::Equal
-                                    })
+                                    && p.iter()
+                                        .zip(&order_keys[ui])
+                                        .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
                             })
                             .unwrap_or(false);
                         if !tied {
@@ -713,9 +815,8 @@ fn compute_windows(
                             Some(p) => carried[p].clone(),
                             None => match call.args.get(2) {
                                 Some(default) => {
-                                    let scope = unit_scope(
-                                        rel, &units[ui], outer, None, ui, aggregated,
-                                    );
+                                    let scope =
+                                        unit_scope(rel, &units[ui], outer, None, ui, aggregated);
                                     eval_expr(default, &scope, env)?
                                 }
                                 None => Value::Null,
@@ -756,8 +857,7 @@ fn compute_windows(
                                     "window aggregate {agg} expects one argument"
                                 )));
                             }
-                            let scope =
-                                unit_scope(rel, &units[ui], outer, None, ui, aggregated);
+                            let scope = unit_scope(rel, &units[ui], outer, None, ui, aggregated);
                             let v = eval_expr(&call.args[0], &scope, env)?;
                             acc.update(&v)?;
                         }
@@ -898,6 +998,40 @@ mod tests {
     }
 
     #[test]
+    fn timed_execution_reports_stats() {
+        let db = test_db();
+        let (result, stats) = execute_sql_timed(&db, "SELECT ID, NAME FROM ORGS");
+        assert!(result.is_ok());
+        assert_eq!(stats.rows, 5);
+        assert_eq!(stats.columns, 2);
+        assert!(stats.parse > std::time::Duration::ZERO);
+        assert!(stats.execute > std::time::Duration::ZERO);
+
+        // Parse failure: no execution time, no rows.
+        let (result, stats) = execute_sql_timed(&db, "SELEC nope");
+        assert!(result.is_err());
+        assert_eq!(stats.execute, std::time::Duration::ZERO);
+        assert_eq!(stats.rows, 0);
+
+        // Binding failure: executed (and failed), zero-size output.
+        let (result, stats) = execute_sql_timed(&db, "SELECT * FROM MISSING");
+        assert!(result.is_err());
+        assert_eq!((stats.rows, stats.columns), (0, 0));
+    }
+
+    #[test]
+    fn exec_stats_record_into_registry() {
+        let db = test_db();
+        let metrics = genedit_telemetry::MetricsRegistry::new();
+        let (_, stats) = execute_sql_timed(&db, "SELECT * FROM ORGS");
+        stats.record(&metrics, "validate");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["sql.validate.parse_ms"].count, 1);
+        assert_eq!(snap.histograms["sql.validate.execute_ms"].count, 1);
+        assert_eq!(snap.histograms["sql.validate.rows"].p50, 5.0);
+    }
+
+    #[test]
     fn where_filters() {
         let rs = run("SELECT NAME FROM ORGS WHERE COUNTRY = 'Canada' ORDER BY NAME");
         assert_eq!(texts(&rs, 0), vec!["Alpha", "Beta", "Delta"]);
@@ -933,17 +1067,21 @@ mod tests {
 
     #[test]
     fn group_by_aggregates() {
-        let rs = run(
-            "SELECT COUNTRY, COUNT(*) AS n, SUM(ID) AS total FROM ORGS \
-             GROUP BY COUNTRY ORDER BY COUNTRY",
-        );
+        let rs = run("SELECT COUNTRY, COUNT(*) AS n, SUM(ID) AS total FROM ORGS \
+             GROUP BY COUNTRY ORDER BY COUNTRY");
         assert_eq!(texts(&rs, 0), vec!["Canada", "Mexico", "USA"]);
         assert_eq!(
-            rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect::<Vec<_>>(),
+            rs.rows
+                .iter()
+                .map(|r| r[1].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![3, 1, 1]
         );
         assert_eq!(
-            rs.rows.iter().map(|r| r[2].as_i64().unwrap()).collect::<Vec<_>>(),
+            rs.rows
+                .iter()
+                .map(|r| r[2].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![7, 5, 3]
         );
     }
@@ -974,9 +1112,7 @@ mod tests {
 
     #[test]
     fn having_filters_groups() {
-        let rs = run(
-            "SELECT COUNTRY FROM ORGS GROUP BY COUNTRY HAVING COUNT(*) > 1",
-        );
+        let rs = run("SELECT COUNTRY FROM ORGS GROUP BY COUNTRY HAVING COUNT(*) > 1");
         assert_eq!(texts(&rs, 0), vec!["Canada"]);
     }
 
@@ -1065,11 +1201,9 @@ mod tests {
 
     #[test]
     fn window_rank_with_ties() {
-        let rs = run(
-            "SELECT OWNED, RANK() OVER (ORDER BY COUNTRY) AS r, \
+        let rs = run("SELECT OWNED, RANK() OVER (ORDER BY COUNTRY) AS r, \
                     DENSE_RANK() OVER (ORDER BY COUNTRY) AS d \
-             FROM ORGS ORDER BY COUNTRY, OWNED",
-        );
+             FROM ORGS ORDER BY COUNTRY, OWNED");
         let ranks: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
         let dense: Vec<i64> = rs.rows.iter().map(|r| r[2].as_i64().unwrap()).collect();
         assert_eq!(ranks, vec![1, 1, 1, 4, 5]);
@@ -1078,9 +1212,8 @@ mod tests {
 
     #[test]
     fn window_aggregate_over_partition() {
-        let rs = run(
-            "SELECT NAME, SUM(ID) OVER (PARTITION BY COUNTRY) AS s FROM ORGS ORDER BY NAME",
-        );
+        let rs =
+            run("SELECT NAME, SUM(ID) OVER (PARTITION BY COUNTRY) AS s FROM ORGS ORDER BY NAME");
         let sums: Vec<i64> = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
         // Canada: 1+2+4=7 (Alpha, Beta, Delta), Mexico 5, USA 3.
         assert_eq!(sums, vec![7, 7, 7, 5, 3]);
@@ -1088,11 +1221,9 @@ mod tests {
 
     #[test]
     fn window_over_grouped_query() {
-        let rs = run(
-            "SELECT COUNTRY, SUM(ID) AS s, \
+        let rs = run("SELECT COUNTRY, SUM(ID) AS s, \
                     RANK() OVER (ORDER BY SUM(ID) DESC) AS r \
-             FROM ORGS GROUP BY COUNTRY ORDER BY r",
-        );
+             FROM ORGS GROUP BY COUNTRY ORDER BY r");
         assert_eq!(texts(&rs, 0), vec!["Canada", "Mexico", "USA"]);
     }
 
@@ -1126,10 +1257,8 @@ mod tests {
 
     #[test]
     fn correlated_exists() {
-        let rs = run(
-            "SELECT NAME FROM ORGS o WHERE EXISTS \
-             (SELECT 1 FROM FINANCIALS f WHERE f.ORG_ID = o.ID AND f.REVENUE > 250)",
-        );
+        let rs = run("SELECT NAME FROM ORGS o WHERE EXISTS \
+             (SELECT 1 FROM FINANCIALS f WHERE f.ORG_ID = o.ID AND f.REVENUE > 250)");
         assert_eq!(texts(&rs, 0), vec!["Gamma"]);
     }
 
@@ -1151,9 +1280,7 @@ mod tests {
 
     #[test]
     fn derived_table() {
-        let rs = run(
-            "SELECT t.NAME FROM (SELECT NAME FROM ORGS WHERE COUNTRY = 'USA') AS t",
-        );
+        let rs = run("SELECT t.NAME FROM (SELECT NAME FROM ORGS WHERE COUNTRY = 'USA') AS t");
         assert_eq!(texts(&rs, 0), vec!["Gamma"]);
     }
 
@@ -1167,14 +1294,11 @@ mod tests {
 
     #[test]
     fn intersect_and_except() {
-        let rs = run(
-            "SELECT COUNTRY FROM ORGS WHERE OWNED = 'COC' \
-             INTERSECT SELECT COUNTRY FROM ORGS WHERE OWNED = 'EXT'",
-        );
+        let rs = run("SELECT COUNTRY FROM ORGS WHERE OWNED = 'COC' \
+             INTERSECT SELECT COUNTRY FROM ORGS WHERE OWNED = 'EXT'");
         assert_eq!(texts(&rs, 0), vec!["Canada"]);
-        let rs = run(
-            "SELECT COUNTRY FROM ORGS EXCEPT SELECT COUNTRY FROM ORGS WHERE OWNED = 'EXT' ",
-        );
+        let rs =
+            run("SELECT COUNTRY FROM ORGS EXCEPT SELECT COUNTRY FROM ORGS WHERE OWNED = 'EXT' ");
         let mut got = texts(&rs, 0);
         got.sort();
         assert_eq!(got, vec!["Mexico"]);
@@ -1227,7 +1351,8 @@ mod tests {
 
     #[test]
     fn like_and_between() {
-        let rs = run("SELECT NAME FROM ORGS WHERE NAME LIKE '%a' AND ID BETWEEN 1 AND 4 ORDER BY NAME");
+        let rs =
+            run("SELECT NAME FROM ORGS WHERE NAME LIKE '%a' AND ID BETWEEN 1 AND 4 ORDER BY NAME");
         assert_eq!(texts(&rs, 0), vec!["Alpha", "Beta", "Delta", "Gamma"]);
     }
 
@@ -1279,9 +1404,8 @@ mod tests {
 
     #[test]
     fn group_concat() {
-        let rs = run(
-            "SELECT COUNTRY, GROUP_CONCAT(NAME) FROM ORGS GROUP BY COUNTRY ORDER BY COUNTRY",
-        );
+        let rs =
+            run("SELECT COUNTRY, GROUP_CONCAT(NAME) FROM ORGS GROUP BY COUNTRY ORDER BY COUNTRY");
         assert_eq!(rs.rows[0][1].to_string(), "Alpha,Beta,Delta");
     }
 
@@ -1351,9 +1475,7 @@ mod tests {
     #[test]
     fn group_by_expression_key() {
         // Grouping on a computed key, not just a column.
-        let rs = run(
-            "SELECT ID % 2 AS parity, COUNT(*) FROM ORGS GROUP BY ID % 2 ORDER BY parity",
-        );
+        let rs = run("SELECT ID % 2 AS parity, COUNT(*) FROM ORGS GROUP BY ID % 2 ORDER BY parity");
         assert_eq!(rs.rows.len(), 2);
         assert_eq!(rs.rows[0][1].as_i64(), Some(2)); // even: 2, 4
         assert_eq!(rs.rows[1][1].as_i64(), Some(3)); // odd: 1, 3, 5
@@ -1362,9 +1484,7 @@ mod tests {
     #[test]
     fn case_simple_form_with_null_operand_matches_nothing() {
         // NULL = anything is unknown, so only ELSE fires.
-        let rs = run(
-            "SELECT CASE NULL WHEN NULL THEN 'eq' ELSE 'else' END",
-        );
+        let rs = run("SELECT CASE NULL WHEN NULL THEN 'eq' ELSE 'else' END");
         assert_eq!(rs.rows[0][0].to_string(), "else");
     }
 
@@ -1382,21 +1502,21 @@ mod tests {
 
     #[test]
     fn order_by_null_aggregates_sort_first_ascending() {
-        let rs = run(
-            "SELECT o.NAME, SUM(f.REVENUE) AS s FROM ORGS o \
+        let rs = run("SELECT o.NAME, SUM(f.REVENUE) AS s FROM ORGS o \
              LEFT JOIN FINANCIALS f ON o.ID = f.ORG_ID \
-             GROUP BY o.NAME ORDER BY s, o.NAME",
+             GROUP BY o.NAME ORDER BY s, o.NAME");
+        assert!(
+            rs.rows[0][1].is_null(),
+            "NULL total sorts first: {:?}",
+            rs.rows[0]
         );
-        assert!(rs.rows[0][1].is_null(), "NULL total sorts first: {:?}", rs.rows[0]);
         assert_eq!(rs.rows[0][0].to_string(), "Delta");
     }
 
     #[test]
     fn nested_cte_shadowing_inner_wins() {
-        let rs = run(
-            "WITH x AS (SELECT 1 AS v) \
-             SELECT * FROM (WITH x AS (SELECT 2 AS v) SELECT v FROM x) AS inner_q",
-        );
+        let rs = run("WITH x AS (SELECT 1 AS v) \
+             SELECT * FROM (WITH x AS (SELECT 2 AS v) SELECT v FROM x) AS inner_q");
         assert_eq!(ints(&rs), vec![2]);
     }
 

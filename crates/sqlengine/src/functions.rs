@@ -23,11 +23,15 @@ pub const RANKING_FUNCTIONS: &[&str] = &[
 ];
 
 pub fn is_aggregate(name: &str) -> bool {
-    AGGREGATE_FUNCTIONS.iter().any(|f| name.eq_ignore_ascii_case(f))
+    AGGREGATE_FUNCTIONS
+        .iter()
+        .any(|f| name.eq_ignore_ascii_case(f))
 }
 
 pub fn is_ranking(name: &str) -> bool {
-    RANKING_FUNCTIONS.iter().any(|f| name.eq_ignore_ascii_case(f))
+    RANKING_FUNCTIONS
+        .iter()
+        .any(|f| name.eq_ignore_ascii_case(f))
 }
 
 /// Evaluate a scalar function over already-evaluated arguments.
@@ -71,12 +75,16 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> EngineResult<Value> {
             if args[0].is_null() {
                 return Ok(Value::Null);
             }
-            let f = args[0].as_f64().ok_or_else(|| non_numeric(name, &args[0]))?;
+            let f = args[0]
+                .as_f64()
+                .ok_or_else(|| non_numeric(name, &args[0]))?;
             let digits = if args.len() == 2 {
                 if args[1].is_null() {
                     return Ok(Value::Null);
                 }
-                args[1].as_i64().ok_or_else(|| non_numeric(name, &args[1]))?
+                args[1]
+                    .as_i64()
+                    .ok_or_else(|| non_numeric(name, &args[1]))?
             } else {
                 0
             };
@@ -110,8 +118,12 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> EngineResult<Value> {
             if args[0].is_null() || args[1].is_null() {
                 return Ok(Value::Null);
             }
-            let base = args[0].as_f64().ok_or_else(|| non_numeric(name, &args[0]))?;
-            let exp = args[1].as_f64().ok_or_else(|| non_numeric(name, &args[1]))?;
+            let base = args[0]
+                .as_f64()
+                .ok_or_else(|| non_numeric(name, &args[0]))?;
+            let exp = args[1]
+                .as_f64()
+                .ok_or_else(|| non_numeric(name, &args[1]))?;
             Ok(Value::Float(base.powf(exp)))
         }
         "MOD" => {
@@ -173,7 +185,11 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> EngineResult<Value> {
             let s = args[0].to_string();
             let from = args[1].to_string();
             let to = args[2].to_string();
-            Ok(Value::Text(if from.is_empty() { s } else { s.replace(&from, &to) }))
+            Ok(Value::Text(if from.is_empty() {
+                s
+            } else {
+                s.replace(&from, &to)
+            }))
         }
         "SUBSTR" | "SUBSTRING" => {
             if args.len() < 2 || args.len() > 3 {
@@ -184,13 +200,17 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> EngineResult<Value> {
             }
             let s: Vec<char> = args[0].to_string().chars().collect();
             // SQL is 1-based; 0 behaves like 1.
-            let start = args[1].as_i64().ok_or_else(|| non_numeric(name, &args[1]))?;
+            let start = args[1]
+                .as_i64()
+                .ok_or_else(|| non_numeric(name, &args[1]))?;
             let start_idx = if start <= 1 { 0 } else { (start - 1) as usize };
             let len = if args.len() == 3 {
                 if args[2].is_null() {
                     return Ok(Value::Null);
                 }
-                let l = args[2].as_i64().ok_or_else(|| non_numeric(name, &args[2]))?;
+                let l = args[2]
+                    .as_i64()
+                    .ok_or_else(|| non_numeric(name, &args[2]))?;
                 if l < 0 {
                     0
                 } else {
@@ -282,7 +302,9 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> EngineResult<Value> {
                 Value::Null => Ok(Value::Null),
                 Value::Date(d) => Ok(Value::Date(*d)),
                 Value::Text(s) => Ok(Value::Date(Date::parse(s)?)),
-                other => Err(EngineError::typing(format!("cannot convert {other} to DATE"))),
+                other => Err(EngineError::typing(format!(
+                    "cannot convert {other} to DATE"
+                ))),
             }
         }
         "YEAR" => date_part(&args[0], name, args.len(), |d| d.year as i64),
@@ -337,7 +359,9 @@ fn date_part(
             let d = Date::parse(s)?;
             Ok(Value::Integer(part(&d)))
         }
-        other => Err(EngineError::typing(format!("{name} requires a DATE, got {other}"))),
+        other => Err(EngineError::typing(format!(
+            "{name} requires a DATE, got {other}"
+        ))),
     }
 }
 
@@ -389,7 +413,10 @@ mod tests {
 
     #[test]
     fn round_with_digits() {
-        assert_eq!(call("ROUND", vec![Value::Float(2.567), Value::Integer(1)]).as_f64(), Some(2.6));
+        assert_eq!(
+            call("ROUND", vec![Value::Float(2.567), Value::Integer(1)]).as_f64(),
+            Some(2.6)
+        );
         assert_eq!(call("ROUND", vec![Value::Float(2.4)]).as_f64(), Some(2.0));
     }
 
@@ -408,7 +435,11 @@ mod tests {
     #[test]
     fn coalesce_first_non_null() {
         assert_eq!(
-            call("COALESCE", vec![Value::Null, Value::Null, Value::Integer(3)]).as_i64(),
+            call(
+                "COALESCE",
+                vec![Value::Null, Value::Null, Value::Integer(3)]
+            )
+            .as_i64(),
             Some(3)
         );
         assert!(call("COALESCE", vec![Value::Null]).is_null());
@@ -428,7 +459,10 @@ mod tests {
         assert_eq!(
             call(
                 "TO_CHAR",
-                vec![Value::Text("2023-11-20".into()), Value::Text("YYYY\"Q\"Q".into())]
+                vec![
+                    Value::Text("2023-11-20".into()),
+                    Value::Text("YYYY\"Q\"Q".into())
+                ]
             ),
             Value::Text("2023Q4".into())
         );
@@ -439,7 +473,10 @@ mod tests {
         assert_eq!(call("UPPER", vec!["abc".into()]), Value::Text("ABC".into()));
         assert_eq!(call("LENGTH", vec!["héllo".into()]).as_i64(), Some(5));
         assert_eq!(
-            call("SUBSTR", vec!["hello".into(), Value::Integer(2), Value::Integer(3)]),
+            call(
+                "SUBSTR",
+                vec!["hello".into(), Value::Integer(2), Value::Integer(3)]
+            ),
             Value::Text("ell".into())
         );
         assert_eq!(
@@ -450,8 +487,14 @@ mod tests {
             call("REPLACE", vec!["aXbX".into(), "X".into(), "-".into()]),
             Value::Text("a-b-".into())
         );
-        assert_eq!(call("INSTR", vec!["hello".into(), "ll".into()]).as_i64(), Some(3));
-        assert_eq!(call("INSTR", vec!["hello".into(), "z".into()]).as_i64(), Some(0));
+        assert_eq!(
+            call("INSTR", vec!["hello".into(), "ll".into()]).as_i64(),
+            Some(3)
+        );
+        assert_eq!(
+            call("INSTR", vec!["hello".into(), "z".into()]).as_i64(),
+            Some(0)
+        );
     }
 
     #[test]
@@ -473,7 +516,10 @@ mod tests {
     #[test]
     fn division_helpers() {
         assert!(call("MOD", vec![Value::Integer(5), Value::Integer(0)]).is_null());
-        assert_eq!(call("MOD", vec![Value::Integer(5), Value::Integer(3)]).as_i64(), Some(2));
+        assert_eq!(
+            call("MOD", vec![Value::Integer(5), Value::Integer(3)]).as_i64(),
+            Some(2)
+        );
         assert!(call("SQRT", vec![Value::Float(-1.0)]).is_null());
     }
 
@@ -499,11 +545,19 @@ mod tests {
     #[test]
     fn iif() {
         assert_eq!(
-            call("IIF", vec![Value::Boolean(true), Value::Integer(1), Value::Integer(2)]).as_i64(),
+            call(
+                "IIF",
+                vec![Value::Boolean(true), Value::Integer(1), Value::Integer(2)]
+            )
+            .as_i64(),
             Some(1)
         );
         assert_eq!(
-            call("IIF", vec![Value::Null, Value::Integer(1), Value::Integer(2)]).as_i64(),
+            call(
+                "IIF",
+                vec![Value::Null, Value::Integer(1), Value::Integer(2)]
+            )
+            .as_i64(),
             Some(2)
         );
     }

@@ -135,7 +135,10 @@ pub fn tokenize(sql: &str) -> EngineResult<Vec<Token>> {
                         i += ch_len;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::StringLit(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    offset: start,
+                });
             }
             b'"' => {
                 let start = i;
@@ -153,7 +156,10 @@ pub fn tokenize(sql: &str) -> EngineResult<Vec<Token>> {
                     s.push_str(&sql[i..i + ch_len]);
                     i += ch_len;
                 }
-                tokens.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -199,7 +205,10 @@ pub fn tokenize(sql: &str) -> EngineResult<Vec<Token>> {
                         })?),
                     }
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
@@ -308,7 +317,10 @@ pub fn tokenize(sql: &str) -> EngineResult<Vec<Token>> {
                         ))
                     }
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
         }
     }
@@ -358,12 +370,15 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("1 2.5 1e3 1.5e-2"), vec![
-            TokenKind::IntLit(1),
-            TokenKind::FloatLit(2.5),
-            TokenKind::FloatLit(1000.0),
-            TokenKind::FloatLit(0.015),
-        ]);
+        assert_eq!(
+            kinds("1 2.5 1e3 1.5e-2"),
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::FloatLit(2.5),
+                TokenKind::FloatLit(1000.0),
+                TokenKind::FloatLit(0.015),
+            ]
+        );
     }
 
     #[test]
@@ -395,19 +410,25 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(kinds("<> != = == || <="), vec![
-            TokenKind::NotEq,
-            TokenKind::NotEq,
-            TokenKind::Eq,
-            TokenKind::Eq,
-            TokenKind::Concat,
-            TokenKind::LtEq,
-        ]);
+        assert_eq!(
+            kinds("<> != = == || <="),
+            vec![
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Concat,
+                TokenKind::LtEq,
+            ]
+        );
     }
 
     #[test]
     fn quoted_identifier() {
-        assert_eq!(kinds("\"Weird Col\""), vec![TokenKind::QuotedIdent("Weird Col".into())]);
+        assert_eq!(
+            kinds("\"Weird Col\""),
+            vec![TokenKind::QuotedIdent("Weird Col".into())]
+        );
     }
 
     #[test]
@@ -434,6 +455,9 @@ mod tests {
 
     #[test]
     fn unicode_in_string_literal() {
-        assert_eq!(kinds("'café ☕'"), vec![TokenKind::StringLit("café ☕".into())]);
+        assert_eq!(
+            kinds("'café ☕'"),
+            vec![TokenKind::StringLit("café ☕".into())]
+        );
     }
 }

@@ -51,7 +51,7 @@ pub use ast::{
 pub use catalog::{Column, ColumnProfile, Database, Table};
 pub use display::pretty;
 pub use error::{EngineError, EngineResult};
-pub use exec::{execute, execute_sql};
+pub use exec::{execute, execute_sql, execute_sql_timed, ExecStats};
 pub use parser::{parse_expression, parse_statement};
 pub use result::ResultSet;
 pub use value::{DataType, Date, Value};

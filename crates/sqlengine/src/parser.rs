@@ -11,10 +11,49 @@ use crate::value::DataType;
 
 /// Keywords that terminate an implicit alias (`FROM t x WHERE …`).
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
-    "RIGHT", "FULL", "OUTER", "CROSS", "ON", "UNION", "INTERSECT", "EXCEPT", "AND", "OR", "NOT",
-    "IN", "BETWEEN", "LIKE", "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END", "AS", "WITH",
-    "DISTINCT", "ALL", "ASC", "DESC", "EXISTS", "CAST", "OVER", "PARTITION", "BY", "TRUE",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "OUTER",
+    "CROSS",
+    "ON",
+    "UNION",
+    "INTERSECT",
+    "EXCEPT",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "BETWEEN",
+    "LIKE",
+    "IS",
+    "NULL",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "AS",
+    "WITH",
+    "DISTINCT",
+    "ALL",
+    "ASC",
+    "DESC",
+    "EXISTS",
+    "CAST",
+    "OVER",
+    "PARTITION",
+    "BY",
+    "TRUE",
     "FALSE",
 ];
 
@@ -70,9 +109,9 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.peek().map(|t| t.offset).unwrap_or_else(|| {
-            self.tokens.last().map(|t| t.offset + 1).unwrap_or(0)
-        })
+        self.peek()
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
     }
 
     fn err(&self, msg: impl Into<String>) -> EngineError {
@@ -99,7 +138,9 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected {kw}, found {}",
-                self.peek().map(|t| t.kind.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.kind.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -119,7 +160,9 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected '{kind}', found {}",
-                self.peek().map(|t| t.kind.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.kind.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -137,7 +180,9 @@ impl Parser {
             }
             other => Err(self.err(format!(
                 "expected identifier, found {}",
-                other.map(|k| k.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -158,7 +203,10 @@ impl Parser {
                 self.expect_kind(&TokenKind::LParen)?;
                 let query = self.parse_query()?;
                 self.expect_kind(&TokenKind::RParen)?;
-                ctes.push(Cte { name, query: Box::new(query) });
+                ctes.push(Cte {
+                    name,
+                    query: Box::new(query),
+                });
                 if !self.eat_kind(&TokenKind::Comma) {
                     break;
                 }
@@ -186,7 +234,12 @@ impl Parser {
             }
         }
 
-        Ok(Query { ctes, body, order_by, limit })
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_order_item(&mut self) -> EngineResult<OrderItem> {
@@ -253,9 +306,17 @@ impl Parser {
             }
         }
 
-        let from = if self.eat_kw("FROM") { Some(self.parse_table_ref()?) } else { None };
+        let from = if self.eat_kw("FROM") {
+            Some(self.parse_table_ref()?)
+        } else {
+            None
+        };
 
-        let selection = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
@@ -268,9 +329,20 @@ impl Parser {
             }
         }
 
-        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
 
-        Ok(Select { distinct, items, from, selection, group_by, having })
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            selection,
+            group_by,
+            having,
+        })
     }
 
     fn parse_select_item(&mut self) -> EngineResult<SelectItem> {
@@ -297,9 +369,7 @@ impl Parser {
             return Ok(Some(self.parse_ident()?));
         }
         match self.peek().map(|t| t.kind.clone()) {
-            Some(TokenKind::Ident(s))
-                if !RESERVED.iter().any(|kw| s.eq_ignore_ascii_case(kw)) =>
-            {
+            Some(TokenKind::Ident(s)) if !RESERVED.iter().any(|kw| s.eq_ignore_ascii_case(kw)) => {
                 self.pos += 1;
                 Ok(Some(s))
             }
@@ -349,7 +419,12 @@ impl Parser {
             } else {
                 None
             };
-            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
         }
         Ok(left)
     }
@@ -360,10 +435,13 @@ impl Parser {
             let query = self.parse_query()?;
             self.expect_kind(&TokenKind::RParen)?;
             self.eat_kw("AS");
-            let alias = self.parse_ident().map_err(|_| {
-                self.err("derived table requires an alias")
-            })?;
-            Ok(TableRef::Derived { query: Box::new(query), alias })
+            let alias = self
+                .parse_ident()
+                .map_err(|_| self.err("derived table requires an alias"))?;
+            Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            })
         } else {
             let name = self.parse_ident()?;
             let alias = self.parse_alias()?;
@@ -400,18 +478,30 @@ impl Parser {
     fn parse_not(&mut self) -> EngineResult<Expr> {
         // `NOT EXISTS (…)` folds into the Exists node rather than a Unary.
         if self.peek_kw("NOT")
-            && self.peek_at(1).map(|t| t.kind.is_keyword("EXISTS")).unwrap_or(false)
-            && self.peek_at(2).map(|t| t.kind == TokenKind::LParen).unwrap_or(false)
+            && self
+                .peek_at(1)
+                .map(|t| t.kind.is_keyword("EXISTS"))
+                .unwrap_or(false)
+            && self
+                .peek_at(2)
+                .map(|t| t.kind == TokenKind::LParen)
+                .unwrap_or(false)
         {
             self.pos += 2;
             self.expect_kind(&TokenKind::LParen)?;
             let q = self.parse_query()?;
             self.expect_kind(&TokenKind::RParen)?;
-            return Ok(Expr::Exists { subquery: Box::new(q), negated: true });
+            return Ok(Expr::Exists {
+                subquery: Box::new(q),
+                negated: true,
+            });
         }
         if self.eat_kw("NOT") {
             let inner = self.parse_not()?;
-            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
         } else {
             self.parse_comparison()
         }
@@ -423,13 +513,18 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let negated = if self.peek_kw("NOT")
             && self
                 .peek_at(1)
                 .map(|t| {
-                    t.kind.is_keyword("IN") || t.kind.is_keyword("BETWEEN") || t.kind.is_keyword("LIKE")
+                    t.kind.is_keyword("IN")
+                        || t.kind.is_keyword("BETWEEN")
+                        || t.kind.is_keyword("LIKE")
                 })
                 .unwrap_or(false)
         {
@@ -457,7 +552,11 @@ impl Parser {
                 }
             }
             self.expect_kind(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.parse_additive()?;
@@ -472,7 +571,11 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let pattern = self.parse_additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if negated {
             return Err(self.err("expected IN, BETWEEN or LIKE after NOT"));
@@ -535,7 +638,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Literal::Integer(v)) => Expr::Literal(Literal::Integer(-v)),
                 Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat_kind(&TokenKind::Plus) {
@@ -605,21 +711,34 @@ impl Parser {
             let ty = DataType::parse(&ty_name)
                 .ok_or_else(|| self.err(format!("unknown type '{ty_name}' in CAST")))?;
             self.expect_kind(&TokenKind::RParen)?;
-            return Ok(Expr::Cast { expr: Box::new(inner), ty });
+            return Ok(Expr::Cast {
+                expr: Box::new(inner),
+                ty,
+            });
         }
         if self.peek_kw("EXISTS")
-            && self.peek_at(1).map(|t| t.kind == TokenKind::LParen).unwrap_or(false)
+            && self
+                .peek_at(1)
+                .map(|t| t.kind == TokenKind::LParen)
+                .unwrap_or(false)
         {
             self.pos += 1;
             self.expect_kind(&TokenKind::LParen)?;
             let q = self.parse_query()?;
             self.expect_kind(&TokenKind::RParen)?;
-            return Ok(Expr::Exists { subquery: Box::new(q), negated: false });
+            return Ok(Expr::Exists {
+                subquery: Box::new(q),
+                negated: false,
+            });
         }
         let name = self.parse_ident()?;
 
         // Function call?
-        if self.peek().map(|t| t.kind == TokenKind::LParen).unwrap_or(false) {
+        if self
+            .peek()
+            .map(|t| t.kind == TokenKind::LParen)
+            .unwrap_or(false)
+        {
             self.pos += 1;
             let mut call = FunctionCall::new(name, Vec::new());
             if self.eat_kind(&TokenKind::Star) {
@@ -639,7 +758,10 @@ impl Parser {
             }
             if self.eat_kw("OVER") {
                 self.expect_kind(&TokenKind::LParen)?;
-                let mut spec = WindowSpec { partition_by: Vec::new(), order_by: Vec::new() };
+                let mut spec = WindowSpec {
+                    partition_by: Vec::new(),
+                    order_by: Vec::new(),
+                };
                 if self.eat_kw("PARTITION") {
                     self.expect_kw("BY")?;
                     loop {
@@ -667,7 +789,10 @@ impl Parser {
         // Column reference, possibly qualified.
         if self.eat_kind(&TokenKind::Dot) {
             let col = self.parse_ident()?;
-            Ok(Expr::Column { table: Some(name), name: col })
+            Ok(Expr::Column {
+                table: Some(name),
+                name: col,
+            })
         } else {
             Ok(Expr::Column { table: None, name })
         }
@@ -695,7 +820,11 @@ impl Parser {
             None
         };
         self.expect_kw("END")?;
-        Ok(Expr::Case { operand, branches, else_expr })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
     }
 }
 
@@ -759,7 +888,10 @@ mod tests {
     fn comma_join_is_cross() {
         let q = parse_ok("SELECT * FROM a, b WHERE a.id = b.id");
         match q.as_select().unwrap().from.as_ref().unwrap() {
-            TableRef::Join { kind: JoinKind::Cross, .. } => {}
+            TableRef::Join {
+                kind: JoinKind::Cross,
+                ..
+            } => {}
             other => panic!("expected cross join, got {other:?}"),
         }
     }
@@ -787,8 +919,14 @@ mod tests {
         let e = parse_expression("1 + 2 * 3").unwrap();
         // Must parse as 1 + (2 * 3).
         match e {
-            Expr::Binary { op: BinaryOp::Add, right, .. } => match *right {
-                Expr::Binary { op: BinaryOp::Mul, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Add,
+                right,
+                ..
+            } => match *right {
+                Expr::Binary {
+                    op: BinaryOp::Mul, ..
+                } => {}
                 other => panic!("expected Mul on right, got {other:?}"),
             },
             other => panic!("expected Add at root, got {other:?}"),
@@ -799,7 +937,9 @@ mod tests {
     fn and_binds_tighter_than_or() {
         let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Or, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or, ..
+            } => {}
             other => panic!("expected Or at root, got {other:?}"),
         }
     }
@@ -807,7 +947,13 @@ mod tests {
     #[test]
     fn not_parses() {
         let e = parse_expression("NOT a = 1").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -840,7 +986,11 @@ mod tests {
         assert!(matches!(searched, Expr::Case { operand: None, .. }));
         let simple = parse_expression("CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' END").unwrap();
         match simple {
-            Expr::Case { operand: Some(_), branches, else_expr: None } => {
+            Expr::Case {
+                operand: Some(_),
+                branches,
+                else_expr: None,
+            } => {
                 assert_eq!(branches.len(), 2)
             }
             other => panic!("unexpected {other:?}"),
@@ -851,7 +1001,13 @@ mod tests {
     #[test]
     fn cast_parses() {
         let e = parse_expression("CAST(x AS FLOAT)").unwrap();
-        assert!(matches!(e, Expr::Cast { ty: DataType::Float, .. }));
+        assert!(matches!(
+            e,
+            Expr::Cast {
+                ty: DataType::Float,
+                ..
+            }
+        ));
         assert!(parse_expression("CAST(x AS WIBBLE)").is_err());
     }
 
@@ -906,7 +1062,11 @@ mod tests {
     fn set_operations() {
         let q = parse_ok("SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a");
         match q.body {
-            SetExpr::SetOp { op: SetOp::Union, all: true, .. } => {}
+            SetExpr::SetOp {
+                op: SetOp::Union,
+                all: true,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(q.order_by.len(), 1);

@@ -20,7 +20,10 @@ pub struct ResultSet {
 
 impl ResultSet {
     pub fn new(columns: Vec<String>) -> ResultSet {
-        ResultSet { columns, rows: Vec::new() }
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -39,7 +42,10 @@ impl ResultSet {
             .rows
             .iter()
             .map(|row| {
-                row.iter().map(Value::group_key).collect::<Vec<_>>().join("|")
+                row.iter()
+                    .map(Value::group_key)
+                    .collect::<Vec<_>>()
+                    .join("|")
             })
             .collect();
         keys.sort();
@@ -76,7 +82,13 @@ impl ResultSet {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &rendered {
             let line: Vec<String> = row
@@ -102,19 +114,31 @@ mod tests {
     use super::*;
 
     fn rs(cols: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
-        ResultSet { columns: cols.iter().map(|s| s.to_string()).collect(), rows }
+        ResultSet {
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
     }
 
     #[test]
     fn ex_equal_ignores_row_order_and_column_names() {
-        let a = rs(&["x"], vec![vec![Value::Integer(1)], vec![Value::Integer(2)]]);
-        let b = rs(&["y"], vec![vec![Value::Integer(2)], vec![Value::Integer(1)]]);
+        let a = rs(
+            &["x"],
+            vec![vec![Value::Integer(1)], vec![Value::Integer(2)]],
+        );
+        let b = rs(
+            &["y"],
+            vec![vec![Value::Integer(2)], vec![Value::Integer(1)]],
+        );
         assert!(a.ex_equal(&b));
     }
 
     #[test]
     fn ex_equal_respects_multiset_semantics() {
-        let a = rs(&["x"], vec![vec![Value::Integer(1)], vec![Value::Integer(1)]]);
+        let a = rs(
+            &["x"],
+            vec![vec![Value::Integer(1)], vec![Value::Integer(1)]],
+        );
         let b = rs(&["x"], vec![vec![Value::Integer(1)]]);
         assert!(!a.ex_equal(&b));
     }

@@ -41,7 +41,9 @@ impl Date {
     pub fn parse(s: &str) -> EngineResult<Self> {
         let parts: Vec<&str> = s.split('-').collect();
         if parts.len() != 3 {
-            return Err(EngineError::execution(format!("invalid date literal '{s}'")));
+            return Err(EngineError::execution(format!(
+                "invalid date literal '{s}'"
+            )));
         }
         let year: i32 = parts[0]
             .parse()
@@ -238,11 +240,7 @@ impl Value {
             // generated data sometimes stores dates as text.
             (Date(a), Text(b)) => a.to_string().as_str().cmp(b.as_str()),
             (Text(a), Date(b)) => a.as_str().cmp(b.to_string().as_str()),
-            (a, b) => {
-                return Err(EngineError::typing(format!(
-                    "cannot compare {a} with {b}"
-                )))
-            }
+            (a, b) => return Err(EngineError::typing(format!("cannot compare {a} with {b}"))),
         };
         Ok(Some(ord))
     }
@@ -298,9 +296,7 @@ impl Value {
         if self.is_null() {
             return Ok(Value::Null);
         }
-        let err = || {
-            EngineError::execution(format!("cannot cast {self} to {ty}"))
-        };
+        let err = || EngineError::execution(format!("cannot cast {self} to {ty}"));
         Ok(match (self, ty) {
             (Value::Integer(i), DataType::Integer) => Value::Integer(*i),
             (Value::Integer(i), DataType::Float) => Value::Float(*i as f64),
@@ -496,7 +492,10 @@ mod tests {
     #[test]
     fn casts() {
         assert_eq!(
-            Value::Text("42".into()).cast_to(DataType::Integer).unwrap().as_i64(),
+            Value::Text("42".into())
+                .cast_to(DataType::Integer)
+                .unwrap()
+                .as_i64(),
             Some(42)
         );
         assert!(matches!(
@@ -506,11 +505,16 @@ mod tests {
         assert!(Value::Text("x".into()).cast_to(DataType::Integer).is_err());
         assert!(Value::Null.cast_to(DataType::Integer).unwrap().is_null());
         assert_eq!(
-            Value::Float(3.9).cast_to(DataType::Integer).unwrap().as_i64(),
+            Value::Float(3.9)
+                .cast_to(DataType::Integer)
+                .unwrap()
+                .as_i64(),
             Some(3) // truncation, as in SQLite/Snowflake CAST
         );
         assert!(matches!(
-            Value::Text("2023-01-05".into()).cast_to(DataType::Date).unwrap(),
+            Value::Text("2023-01-05".into())
+                .cast_to(DataType::Date)
+                .unwrap(),
             Value::Date(_)
         ));
     }

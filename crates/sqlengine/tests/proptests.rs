@@ -39,8 +39,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         arb_literal().prop_map(Expr::Literal),
         arb_ident().prop_map(|name| Expr::Column { table: None, name }),
-        (arb_ident(), arb_ident())
-            .prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+        (arb_ident(), arb_ident()).prop_map(|(t, name)| Expr::Column {
+            table: Some(t),
+            name
+        }),
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
@@ -49,13 +51,28 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 op,
                 right: Box::new(r),
             }),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) }),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
-            (inner.clone(), any::<bool>())
-                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
-                |(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }
-            ),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n
+            }),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, n)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: n
+                }),
             (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
                 |(e, lo, hi, n)| Expr::Between {
                     expr: Box::new(e),
@@ -64,18 +81,21 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     negated: n,
                 }
             ),
-            (inner.clone(), prop::collection::vec((inner.clone(), inner.clone()), 1..3))
+            (
+                inner.clone(),
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3)
+            )
                 .prop_map(|(els, branches)| Expr::Case {
                     operand: None,
                     branches,
                     else_expr: Some(Box::new(els)),
                 }),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Cast { expr: Box::new(e), ty: DataType::Float }),
-            (arb_agg_name(), inner.clone()).prop_map(|(name, a)| Expr::Function(
-                FunctionCall::new(name, vec![a])
-            )),
+            inner.clone().prop_map(|e| Expr::Cast {
+                expr: Box::new(e),
+                ty: DataType::Float
+            }),
+            (arb_agg_name(), inner.clone())
+                .prop_map(|(name, a)| Expr::Function(FunctionCall::new(name, vec![a]))),
         ]
     })
 }
@@ -154,7 +174,8 @@ fn build_db(rows: &[(i64, i64, u8)]) -> Database {
     );
     for (a, b, c) in rows {
         let c_text = format!("g{}", c % 4);
-        t.push_row(vec![Value::Integer(*a), Value::Integer(*b), c_text.into()]).unwrap();
+        t.push_row(vec![Value::Integer(*a), Value::Integer(*b), c_text.into()])
+            .unwrap();
     }
     db.add_table(t).unwrap();
     db

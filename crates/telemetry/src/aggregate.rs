@@ -1,0 +1,107 @@
+//! Fold traces into per-span-name breakdowns — the numbers the ablation
+//! study and every later performance PR compare against.
+
+use crate::names;
+use crate::span::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated cost of one span name across a batch of traces: call
+/// count, total/mean latency, and the LLM calls made underneath it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorStats {
+    /// Spans recorded under this name.
+    pub count: usize,
+    /// Total recorded latency, milliseconds.
+    pub total_ms: f64,
+    /// Mean latency per span, milliseconds.
+    pub mean_ms: f64,
+    /// `llm.complete` spans nested (at any depth) inside spans of this
+    /// name — the cost-attribution number behind §3.3.3's model swaps.
+    pub llm_calls: usize,
+}
+
+/// Aggregate every span name appearing in `traces`. The map includes the
+/// non-operator spans too (`pipeline.generate`, `llm.complete`, …);
+/// filter on the `operator.` prefix for the Table-2 view.
+pub fn operator_breakdown<'a, I>(traces: I) -> BTreeMap<String, OperatorStats>
+where
+    I: IntoIterator<Item = &'a Trace>,
+{
+    let mut out: BTreeMap<String, OperatorStats> = BTreeMap::new();
+    for trace in traces {
+        for span in trace.all_spans() {
+            let llm_calls = if span.name == names::LLM_COMPLETE {
+                1
+            } else {
+                span.count_named(names::LLM_COMPLETE)
+            };
+            let entry = out.entry(span.name.clone()).or_insert(OperatorStats {
+                count: 0,
+                total_ms: 0.0,
+                mean_ms: 0.0,
+                llm_calls: 0,
+            });
+            entry.count += 1;
+            entry.total_ms += span.duration.as_secs_f64() * 1e3;
+            entry.llm_calls += llm_calls;
+        }
+    }
+    for stats in out.values_mut() {
+        if stats.count > 0 {
+            stats.mean_ms = stats.total_ms / stats.count as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn trace_with_llm_calls() -> Trace {
+        let tracer = Tracer::new("t");
+        {
+            let _root = tracer.span(names::GENERATE);
+            {
+                let _op = tracer.span(names::REFORMULATE);
+                tracer.span(names::LLM_COMPLETE).finish();
+            }
+            {
+                let _att = tracer.span(names::SQL_ATTEMPT);
+                tracer.span(names::LLM_COMPLETE).finish();
+                tracer.span(names::LLM_COMPLETE).finish();
+            }
+        }
+        tracer.finish()
+    }
+
+    #[test]
+    fn llm_calls_attribute_to_enclosing_spans() {
+        let trace = trace_with_llm_calls();
+        let breakdown = operator_breakdown([&trace]);
+        assert_eq!(breakdown[names::REFORMULATE].llm_calls, 1);
+        assert_eq!(breakdown[names::SQL_ATTEMPT].llm_calls, 2);
+        assert_eq!(breakdown[names::GENERATE].llm_calls, 3);
+        assert_eq!(breakdown[names::LLM_COMPLETE].count, 3);
+        assert_eq!(breakdown[names::LLM_COMPLETE].llm_calls, 3);
+    }
+
+    #[test]
+    fn counts_and_means_accumulate_across_traces() {
+        let a = trace_with_llm_calls();
+        let b = trace_with_llm_calls();
+        let breakdown = operator_breakdown(vec![&a, &b]);
+        assert_eq!(breakdown[names::GENERATE].count, 2);
+        assert_eq!(breakdown[names::SQL_ATTEMPT].count, 2);
+        let g = &breakdown[names::GENERATE];
+        assert!((g.mean_ms - g.total_ms / 2.0).abs() < 1e-12);
+        assert!(g.total_ms >= breakdown[names::REFORMULATE].total_ms);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_map() {
+        assert!(operator_breakdown(std::iter::empty::<&Trace>()).is_empty());
+    }
+}

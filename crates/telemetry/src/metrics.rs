@@ -1,0 +1,254 @@
+//! Named counters and histograms, shareable via `Arc` across harness runs.
+//!
+//! Histograms keep raw samples (runs here are thousands of observations,
+//! not millions) and summarize to count/sum/mean/min/max/p50/p95/p99 on
+//! snapshot. Percentiles use the nearest-rank definition, so a histogram
+//! over 1..=100 reports p50 = 50, p95 = 95, p99 = 99 exactly.
+
+use crate::span::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Vec<f64>>,
+}
+
+/// Registry of named counters and histograms. All methods take `&self`;
+/// wrap in `Arc` to share across components or threads. Lock poisoning is
+/// absorbed, never propagated.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Add `by` to the named counter (creating it at zero).
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Record a duration observation, in milliseconds.
+    pub fn observe_duration(&self, name: &str, duration: Duration) {
+        self.observe(name, duration.as_secs_f64() * 1e3);
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fold a finished trace in: every span becomes a `span.<name>.count`
+    /// increment and a `span.<name>.ms` latency observation; warnings
+    /// increment `trace.warnings`.
+    pub fn record_trace(&self, trace: &Trace) {
+        for span in trace.all_spans() {
+            self.incr(&format!("span.{}.count", span.name), 1);
+            self.observe_duration(&format!("span.{}.ms", span.name), span.duration);
+        }
+        if !trace.warnings.is_empty() {
+            self.incr("trace.warnings", trace.warnings.len() as u64);
+        }
+    }
+
+    /// Point-in-time summary of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, samples)| (name.clone(), HistogramSummary::from_samples(samples)))
+                .collect(),
+        }
+    }
+
+    /// Drop all recorded values.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+}
+
+/// Serializable snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Summary statistics of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: usize,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Summarize raw samples. Empty input yields the all-zero summary.
+    pub fn from_samples(samples: &[f64]) -> HistogramSummary {
+        if samples.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let sum: f64 = sorted.iter().sum();
+        HistogramSummary {
+            count: sorted.len(),
+            sum,
+            mean: sum / sorted.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile over pre-sorted samples.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.incr("a", 1);
+        m.incr("a", 2);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_exact() {
+        let m = MetricsRegistry::new();
+        for v in 1..=100 {
+            m.observe("h", v as f64);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p95, 95.0);
+        assert_eq!(h.p99, 99.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean - 50.5).abs() < 1e-9);
+        assert!((h.sum - 5050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 99.0), 2.0);
+        let empty = HistogramSummary::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    fn record_trace_counts_spans_and_warnings() {
+        let tracer = crate::Tracer::new("t");
+        {
+            let _a = tracer.span("op");
+            tracer.span("op").finish();
+            tracer.warning("w");
+        }
+        let trace = tracer.finish();
+        let m = MetricsRegistry::new();
+        m.record_trace(&trace);
+        assert_eq!(m.counter("span.op.count"), 2);
+        assert_eq!(m.counter("trace.warnings"), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms["span.op.ms"].count, 2);
+    }
+
+    #[test]
+    fn poisoned_lock_is_absorbed() {
+        use std::sync::Arc;
+        let m = Arc::new(MetricsRegistry::new());
+        m.incr("a", 1);
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.inner.lock().unwrap();
+            panic!("poison the registry lock");
+        })
+        .join();
+        m.incr("a", 1);
+        assert_eq!(m.counter("a"), 2);
+    }
+
+    #[test]
+    fn shared_via_arc_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.incr("n", 1);
+                        m.observe("h", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.counter("n"), 400);
+        assert_eq!(m.snapshot().histograms["h"].count, 400);
+    }
+}

@@ -1,0 +1,420 @@
+//! The span recorder: [`Tracer`] collects nested [`Span`]s into a
+//! per-generation [`Trace`].
+//!
+//! Recording uses interior mutability so instrumented components (the
+//! pipeline, the traced model wrapper, validation) can share one tracer
+//! through `&` references. A poisoned lock degrades to best-effort
+//! recording instead of propagating the panic — telemetry must never take
+//! down the measured code.
+
+use serde::{Deserialize, Serialize};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    Str(String),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Int(n) => write!(f, "{n}"),
+            AttrValue::UInt(n) => write!(f, "{n}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> AttrValue {
+        AttrValue::Str(s.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> AttrValue {
+        AttrValue::Str(s)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> AttrValue {
+        AttrValue::Int(n)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> AttrValue {
+        AttrValue::UInt(n)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(n: u32) -> AttrValue {
+        AttrValue::UInt(n as u64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(n: usize) -> AttrValue {
+        AttrValue::UInt(n as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> AttrValue {
+        AttrValue::Float(x)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> AttrValue {
+        AttrValue::Bool(b)
+    }
+}
+
+/// One timed unit of work. `start` is the offset from the trace origin,
+/// so spans stay meaningful after export without wall-clock context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    pub name: String,
+    pub start: Duration,
+    pub duration: Duration,
+    pub attrs: Vec<(String, AttrValue)>,
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    fn new(name: &str, start: Duration) -> Span {
+        Span {
+            name: name.to_string(),
+            start,
+            duration: Duration::ZERO,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Depth-first walk over this span and everything below it.
+    pub fn walk<'s>(&'s self, out: &mut Vec<&'s Span>) {
+        out.push(self);
+        for child in &self.children {
+            child.walk(out);
+        }
+    }
+
+    /// Number of spans named `name` in this subtree (including self).
+    pub fn count_named(&self, name: &str) -> usize {
+        let mut all = Vec::new();
+        self.walk(&mut all);
+        all.iter().filter(|s| s.name == name).count()
+    }
+}
+
+/// A finished trace: the span forest of one traced operation plus any
+/// warning events recorded along the way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pub name: String,
+    pub spans: Vec<Span>,
+    pub warnings: Vec<String>,
+}
+
+impl Trace {
+    /// An empty trace (e.g. for `Default`-constructed results).
+    pub fn empty(name: &str) -> Trace {
+        Trace {
+            name: name.to_string(),
+            spans: Vec::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Every span in the trace, depth-first.
+    pub fn all_spans(&self) -> Vec<&Span> {
+        let mut out = Vec::new();
+        for span in &self.spans {
+            span.walk(&mut out);
+        }
+        out
+    }
+
+    /// First span with the given name, depth-first.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        self.all_spans().into_iter().find(|s| s.name == name)
+    }
+
+    /// How many spans carry the given name.
+    pub fn count(&self, name: &str) -> usize {
+        self.all_spans().iter().filter(|s| s.name == name).count()
+    }
+
+    /// Total recorded duration across spans with the given name.
+    pub fn total(&self, name: &str) -> Duration {
+        self.all_spans()
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration)
+            .sum()
+    }
+}
+
+struct Rec {
+    span: Span,
+    started: Instant,
+    parent: Option<usize>,
+}
+
+struct Inner {
+    name: String,
+    origin: Instant,
+    arena: Vec<Option<Rec>>,
+    /// Indices of currently-open spans, innermost last.
+    stack: Vec<usize>,
+    warnings: Vec<String>,
+}
+
+/// Records spans into a [`Trace`]. Cheap to create (one per generation);
+/// share by `&` reference.
+pub struct Tracer {
+    inner: Mutex<Inner>,
+}
+
+impl Tracer {
+    pub fn new(name: &str) -> Tracer {
+        Tracer {
+            inner: Mutex::new(Inner {
+                name: name.to_string(),
+                origin: Instant::now(),
+                arena: Vec::new(),
+                stack: Vec::new(),
+                warnings: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic inside an instrumented section poisons the lock; keep
+        // recording anyway — the partial trace is evidence, not a hazard.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Open a span under the currently-innermost open span. Closes when
+    /// the returned guard drops (or `finish()` is called on it).
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let mut inner = self.lock();
+        let start = inner.origin.elapsed();
+        let parent = inner.stack.last().copied();
+        let idx = inner.arena.len();
+        inner.arena.push(Some(Rec {
+            span: Span::new(name, start),
+            started: Instant::now(),
+            parent,
+        }));
+        inner.stack.push(idx);
+        SpanGuard {
+            tracer: self,
+            idx,
+            closed: false,
+        }
+    }
+
+    /// Record a warning event: appended to the trace's warning list and,
+    /// when a span is open, attached to it as a `warning` attribute.
+    pub fn warning(&self, message: impl Into<String>) {
+        let message = message.into();
+        let mut inner = self.lock();
+        if let Some(&idx) = inner.stack.last() {
+            if let Some(rec) = inner.arena[idx].as_mut() {
+                rec.span
+                    .attrs
+                    .push(("warning".to_string(), AttrValue::Str(message.clone())));
+            }
+        }
+        inner.warnings.push(message);
+    }
+
+    fn set_attr(&self, idx: usize, key: &str, value: AttrValue) {
+        let mut inner = self.lock();
+        if let Some(rec) = inner.arena[idx].as_mut() {
+            rec.span.attrs.push((key.to_string(), value));
+        }
+    }
+
+    fn close(&self, idx: usize) {
+        let mut inner = self.lock();
+        if let Some(rec) = inner.arena[idx].as_mut() {
+            rec.span.duration = rec.started.elapsed();
+        }
+        inner.stack.retain(|&i| i != idx);
+    }
+
+    /// Close any still-open spans and assemble the span forest.
+    pub fn finish(self) -> Trace {
+        let mut inner = self.lock();
+        let open: Vec<usize> = inner.stack.drain(..).collect();
+        for idx in open {
+            if let Some(rec) = inner.arena[idx].as_mut() {
+                rec.span.duration = rec.started.elapsed();
+            }
+        }
+        // Children carry higher arena indices than their parents, so a
+        // reverse pass can move every span into its parent exactly once.
+        let mut arena = std::mem::take(&mut inner.arena);
+        let mut roots: Vec<Span> = Vec::new();
+        for i in (0..arena.len()).rev() {
+            let Some(mut rec) = arena[i].take() else {
+                continue;
+            };
+            rec.span.children.reverse();
+            match rec.parent {
+                Some(p) => {
+                    if let Some(parent) = arena[p].as_mut() {
+                        parent.span.children.push(rec.span);
+                    }
+                }
+                None => roots.push(rec.span),
+            }
+        }
+        roots.reverse();
+        Trace {
+            name: std::mem::take(&mut inner.name),
+            spans: roots,
+            warnings: std::mem::take(&mut inner.warnings),
+        }
+    }
+}
+
+/// Handle to an open span. Attributes can be attached while open; the
+/// span closes on drop or [`SpanGuard::finish`].
+pub struct SpanGuard<'t> {
+    tracer: &'t Tracer,
+    idx: usize,
+    closed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Attach an attribute to this span.
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) -> &Self {
+        self.tracer.set_attr(self.idx, key, value.into());
+        self
+    }
+
+    /// Close the span now instead of at end of scope.
+    pub fn finish(mut self) {
+        self.closed = true;
+        self.tracer.close(self.idx);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.tracer.close(self.idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_in_call_order() {
+        let tracer = Tracer::new("t");
+        {
+            let a = tracer.span("a");
+            a.attr("k", 1u64);
+            {
+                let _b = tracer.span("b");
+                let _c = tracer.span("c");
+            }
+            let _d = tracer.span("d");
+        }
+        let trace = tracer.finish();
+        assert_eq!(trace.spans.len(), 1);
+        let a = &trace.spans[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.attr("k"), Some(&AttrValue::UInt(1)));
+        let names: Vec<&str> = a.children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "d"]);
+        assert_eq!(a.children[0].children[0].name, "c");
+    }
+
+    #[test]
+    fn sequential_roots_stay_ordered() {
+        let tracer = Tracer::new("t");
+        tracer.span("first").finish();
+        tracer.span("second").finish();
+        let trace = tracer.finish();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn warnings_attach_to_open_span_and_trace() {
+        let tracer = Tracer::new("t");
+        {
+            let _s = tracer.span("op");
+            tracer.warning("fallback used");
+        }
+        tracer.warning("outside any span");
+        let trace = tracer.finish();
+        assert_eq!(trace.warnings.len(), 2);
+        let op = trace.find("op").unwrap();
+        assert_eq!(
+            op.attr("warning"),
+            Some(&AttrValue::Str("fallback used".into()))
+        );
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_by_finish() {
+        let tracer = Tracer::new("t");
+        let guard = tracer.span("open");
+        std::mem::forget(guard);
+        let trace = tracer.finish();
+        assert_eq!(trace.count("open"), 1);
+    }
+
+    #[test]
+    fn durations_are_monotonic_and_nested_within_parent() {
+        let tracer = Tracer::new("t");
+        {
+            let _outer = tracer.span("outer");
+            let inner = tracer.span("inner");
+            std::thread::sleep(Duration::from_millis(2));
+            inner.finish();
+        }
+        let trace = tracer.finish();
+        let outer = trace.find("outer").unwrap();
+        let inner = trace.find("inner").unwrap();
+        assert!(inner.duration >= Duration::from_millis(2));
+        assert!(outer.duration >= inner.duration);
+        assert!(inner.start >= outer.start);
+    }
+
+    #[test]
+    fn trace_query_helpers() {
+        let tracer = Tracer::new("t");
+        {
+            let _a = tracer.span("x");
+            tracer.span("y").finish();
+            tracer.span("y").finish();
+        }
+        let trace = tracer.finish();
+        assert_eq!(trace.count("y"), 2);
+        assert_eq!(trace.all_spans().len(), 3);
+        assert!(trace.find("missing").is_none());
+        assert!(trace.total("y") <= trace.total("x"));
+        assert_eq!(trace.spans[0].count_named("y"), 2);
+    }
+}

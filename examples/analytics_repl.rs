@@ -22,8 +22,8 @@
 
 use genedit::bird::{DomainBundle, SPORTS};
 use genedit::core::{
-    generate_edits, submit_edits, GenEditPipeline, GoldenQuery, KnowledgeIndex,
-    RecommendedEdit, SubmissionResult,
+    generate_edits, submit_edits, GenEditPipeline, GoldenQuery, KnowledgeIndex, RecommendedEdit,
+    SubmissionResult,
 };
 use genedit::knowledge::StagingArea;
 use genedit::llm::{OracleConfig, OracleModel, TaskRegistry};
@@ -158,7 +158,11 @@ fn main() {
                     }
                 }
                 "save" => {
-                    let path = if arg.is_empty() { "knowledge.json" } else { arg };
+                    let path = if arg.is_empty() {
+                        "knowledge.json"
+                    } else {
+                        arg
+                    };
                     match genedit::knowledge::save(&deployed, path) {
                         Ok(()) => println!("  saved to {path}"),
                         Err(e) => println!("  save failed: {e}"),

@@ -92,7 +92,10 @@ fn main() {
         .tasks
         .iter()
         .take(6)
-        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .map(|t| GoldenQuery {
+            question: t.question.clone(),
+            gold_sql: t.gold_sql.clone(),
+        })
         .collect();
     let staging = session.into_staged();
     let result = submit_edits(

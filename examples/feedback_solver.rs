@@ -93,7 +93,10 @@ fn main() {
 
     // Stage all and regenerate (Fig. 3d/3e).
     session.stage_all();
-    println!("│\n│ staged {} edits; regenerating…", session.staged_count());
+    println!(
+        "│\n│ staged {} edits; regenerating…",
+        session.staged_count()
+    );
     session.regenerate();
     let sql = session.latest.sql.clone().unwrap();
     println!("│ Regenerated SQL:\n│   {sql}");
@@ -105,7 +108,10 @@ fn main() {
         .tasks
         .iter()
         .take(6)
-        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .map(|t| GoldenQuery {
+            question: t.question.clone(),
+            gold_sql: t.gold_sql.clone(),
+        })
         .collect();
     let staging = session.into_staged();
     let result = submit_edits(

@@ -19,13 +19,23 @@ fn main() {
         println!("intent `{}` — {}", intent.key, intent.description);
         let examples: Vec<_> = ks.examples_for_intent(&intent.key).collect();
         let instructions: Vec<_> = ks.instructions_for_intent(&intent.key).collect();
-        println!("  {} examples, {} instructions", examples.len(), instructions.len());
+        println!(
+            "  {} examples, {} instructions",
+            examples.len(),
+            instructions.len()
+        );
         if let Some(e) = examples.first() {
-            println!("  e.g. example {} [{}] from {:?}:", e.id, e.fragment.kind, e.provenance.source);
+            println!(
+                "  e.g. example {} [{}] from {:?}:",
+                e.id, e.fragment.kind, e.provenance.source
+            );
             println!("       {}", e.fragment.pseudo_sql());
         }
         if let Some(i) = instructions.first() {
-            println!("  e.g. instruction {} from {:?}:", i.id, i.provenance.source);
+            println!(
+                "  e.g. instruction {} from {:?}:",
+                i.id, i.provenance.source
+            );
             println!("       {}", i.text);
         }
         println!();
@@ -60,7 +70,12 @@ fn main() {
     .unwrap();
     println!("applied 2 direct edits; audit log tail:");
     for logged in ks.log().iter().rev().take(3) {
-        println!("  #{:<3} tick {:<4} {}", logged.seq, logged.tick, logged.edit.summary());
+        println!(
+            "  #{:<3} tick {:<4} {}",
+            logged.seq,
+            logged.tick,
+            logged.edit.summary()
+        );
     }
 
     // Full visibility for reversion: the library can move between
@@ -71,9 +86,11 @@ fn main() {
 
     // The log replays to an identical state — the event-sourcing property
     // behind "systematic learning from prior feedback".
-    let replayed = genedit::knowledge::KnowledgeSet::from_log(
-        ks.log().iter().map(|l| l.edit.clone()),
-    )
-    .unwrap();
-    println!("\nreplaying the audit log reproduces the state: {}", ks.content_eq(&replayed));
+    let replayed =
+        genedit::knowledge::KnowledgeSet::from_log(ks.log().iter().map(|l| l.edit.clone()))
+            .unwrap();
+    println!(
+        "\nreplaying the audit log reproduces the state: {}",
+        ks.content_eq(&replayed)
+    );
 }

@@ -12,7 +12,11 @@ fn main() {
     // 1. A seeded enterprise domain: the paper's sports holding company,
     //    with its database, historical query logs, and domain documents.
     let bundle = DomainBundle::build(&SPORTS, (24, 7, 3), 42);
-    println!("database `{}` with tables: {:?}\n", bundle.db.name, bundle.db.table_names());
+    println!(
+        "database `{}` with tables: {:?}\n",
+        bundle.db.name,
+        bundle.db.table_names()
+    );
 
     // 2. Pre-processing (§2.1): decompose logged queries into examples,
     //    extract instructions from documents, profile the schema.
@@ -47,7 +51,11 @@ fn main() {
     let pipeline = GenEditPipeline::new(&oracle);
 
     // 4. Ask the paper's running-example question.
-    let task = bundle.tasks.iter().find(|t| t.task_id == "sports-c00").unwrap();
+    let task = bundle
+        .tasks
+        .iter()
+        .find(|t| t.task_id == "sports-c00")
+        .unwrap();
     println!("Q: {}\n", task.question);
     let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
 
@@ -73,4 +81,15 @@ fn main() {
 
     let (correct, _) = genedit::bird::score_prediction(&bundle.db, &task.gold_sql, Some(&sql));
     println!("matches the gold answer: {correct}");
+
+    // 6. Where did the time go? Every generation carries a span trace;
+    //    aggregate it into a per-operator breakdown.
+    println!("\noperator breakdown:");
+    let breakdown = genedit::telemetry::operator_breakdown([&result.trace]);
+    for (name, stats) in &breakdown {
+        println!(
+            "  {:<26} {:>2} call(s) {:>8.3} ms total  {} llm call(s)",
+            name, stats.count, stats.total_ms, stats.llm_calls
+        );
+    }
 }

@@ -9,7 +9,9 @@
 //! * [`llm`] — the model interface and the deterministic oracle,
 //! * [`bird`] — the synthetic BIRD-like benchmark,
 //! * [`core`] — the GenEdit pipeline, baselines, ablations, and the
-//!   feedback/regression loop.
+//!   feedback/regression loop,
+//! * [`telemetry`] — span traces, metrics, and JSON/JSONL exporters
+//!   recorded by every pipeline run.
 //!
 //! ```
 //! use genedit::bird::{DomainBundle, SPORTS};
@@ -51,3 +53,4 @@ pub use genedit_knowledge as knowledge;
 pub use genedit_llm as llm;
 pub use genedit_retrieval as retrieval;
 pub use genedit_sql as sql;
+pub use genedit_telemetry as telemetry;

@@ -65,7 +65,9 @@ fn genedit_wins_the_simple_stratum() {
     // Table 1's headline for GenEdit: the best Simple column.
     let w = Workload::standard(42);
     let harness = Harness::new(&w);
-    let genedit = harness.run_genedit(Ablation::None).ex(Some(Difficulty::Simple));
+    let genedit = harness
+        .run_genedit(Ablation::None)
+        .ex(Some(Difficulty::Simple));
     for profile in paper_baselines() {
         let ex = harness.run_baseline(&profile).ex(Some(Difficulty::Simple));
         assert!(

@@ -35,7 +35,11 @@ fn degrade(ks: &KnowledgeSet, term: &str) -> KnowledgeSet {
     let ids: Vec<_> = ks
         .instructions()
         .iter()
-        .filter(|i| i.retrieval_text().to_uppercase().contains(&term.to_uppercase()))
+        .filter(|i| {
+            i.retrieval_text()
+                .to_uppercase()
+                .contains(&term.to_uppercase())
+        })
         .map(|i| i.id)
         .collect();
     for id in ids {
@@ -44,7 +48,11 @@ fn degrade(ks: &KnowledgeSet, term: &str) -> KnowledgeSet {
     let ids: Vec<_> = ks
         .examples()
         .iter()
-        .filter(|e| e.retrieval_text().to_uppercase().contains(&term.to_uppercase()))
+        .filter(|e| {
+            e.retrieval_text()
+                .to_uppercase()
+                .contains(&term.to_uppercase())
+        })
         .map(|e| e.id)
         .collect();
     for id in ids {
@@ -86,7 +94,10 @@ fn full_lifecycle_fixes_failing_query_durably() {
         .tasks
         .iter()
         .take(5)
-        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .map(|t| GoldenQuery {
+            question: t.question.clone(),
+            gold_sql: t.gold_sql.clone(),
+        })
         .collect();
     let staging = session.into_staged();
     let result = submit_edits(
@@ -99,7 +110,11 @@ fn full_lifecycle_fixes_failing_query_durably() {
         "lifecycle merge",
     )
     .unwrap();
-    let SubmissionResult::Merged { checkpoint, outcome } = result else {
+    let SubmissionResult::Merged {
+        checkpoint,
+        outcome,
+    } = result
+    else {
         panic!("expected merge, got {result:?}");
     };
     assert!(outcome.passed());
@@ -124,13 +139,26 @@ fn merged_edits_carry_feedback_provenance() {
     let (bundle, ks, oracle) = setup();
     let mut deployed = degrade(&ks, bundle.spec.our_term);
     let pipeline = GenEditPipeline::new(&oracle);
-    let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+    let task = bundle
+        .tasks
+        .iter()
+        .find(|t| t.task_id.ends_with("s05"))
+        .unwrap();
     let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
     let feedback = sme::feedback_for(task, session.latest.sql.as_deref()).unwrap();
     session.submit_feedback(&feedback);
     session.stage_all();
     let staging = session.into_staged();
-    submit_edits(&pipeline, &bundle.db, &mut deployed, staging, &[], |_| true, "prov").unwrap();
+    submit_edits(
+        &pipeline,
+        &bundle.db,
+        &mut deployed,
+        staging,
+        &[],
+        |_| true,
+        "prov",
+    )
+    .unwrap();
     // The inserted instruction's provenance names the feedback round.
     assert!(deployed.instructions().iter().any(|i| matches!(
         i.provenance.source,
@@ -143,7 +171,11 @@ fn feedback_without_staging_changes_nothing() {
     let (bundle, ks, oracle) = setup();
     let deployed = degrade(&ks, bundle.spec.our_term);
     let pipeline = GenEditPipeline::new(&oracle);
-    let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+    let task = bundle
+        .tasks
+        .iter()
+        .find(|t| t.task_id.ends_with("s05"))
+        .unwrap();
 
     let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
     let before = session.latest.sql.clone();
@@ -158,7 +190,11 @@ fn iterative_feedback_with_partial_staging() {
     let (bundle, ks, oracle) = setup();
     let deployed = degrade(&ks, bundle.spec.our_term);
     let pipeline = GenEditPipeline::new(&oracle);
-    let task = bundle.tasks.iter().find(|t| t.task_id.ends_with("s05")).unwrap();
+    let task = bundle
+        .tasks
+        .iter()
+        .find(|t| t.task_id.ends_with("s05"))
+        .unwrap();
 
     let mut session = FeedbackSession::open(&pipeline, &bundle.db, &deployed, &task.question);
     let feedback = sme::feedback_for(task, session.latest.sql.as_deref()).unwrap();
@@ -173,7 +209,10 @@ fn iterative_feedback_with_partial_staging() {
     session.stage_all();
     session.regenerate();
     let (ok, _) = score_prediction(&bundle.db, &task.gold_sql, session.latest.sql.as_deref());
-    assert!(ok, "after staging everything across rounds the query is fixed");
+    assert!(
+        ok,
+        "after staging everything across rounds the query is fixed"
+    );
     assert_eq!(session.rounds().len(), 2);
 }
 
@@ -197,7 +236,10 @@ fn regression_gate_blocks_destructive_feedback() {
         .tasks
         .iter()
         .take(8)
-        .map(|t| GoldenQuery { question: t.question.clone(), gold_sql: t.gold_sql.clone() })
+        .map(|t| GoldenQuery {
+            question: t.question.clone(),
+            gold_sql: t.gold_sql.clone(),
+        })
         .collect();
     let before = deployed.clone();
     let result = submit_edits(

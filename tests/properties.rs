@@ -29,15 +29,18 @@ fn arb_fragment() -> impl Strategy<Value = SqlFragment> {
 /// Edits that are always applicable regardless of current state.
 fn arb_safe_edit() -> impl Strategy<Value = Edit> {
     prop_oneof![
-        ("[a-z ]{1,30}", arb_fragment(), prop::option::of("[A-Z]{2,6}")).prop_map(
-            |(description, fragment, term)| Edit::InsertExample {
+        (
+            "[a-z ]{1,30}",
+            arb_fragment(),
+            prop::option::of("[A-Z]{2,6}")
+        )
+            .prop_map(|(description, fragment, term)| Edit::InsertExample {
                 intent: None,
                 description,
                 fragment,
                 term,
                 source: SourceRef::Manual,
-            }
-        ),
+            }),
         ("[a-z ]{1,40}", prop::option::of("[a-z =]{1,16}")).prop_map(|(text, sql_hint)| {
             Edit::InsertInstruction {
                 intent: None,
@@ -47,13 +50,15 @@ fn arb_safe_edit() -> impl Strategy<Value = Edit> {
                 source: SourceRef::Manual,
             }
         }),
-        ("[a-z]{2,10}").prop_map(|t| Edit::AddSchemaElement(genedit::knowledge::SchemaElement {
-            table: t,
-            column: None,
-            description: String::new(),
-            top_values: vec![],
-            intents: vec![],
-        })),
+        ("[a-z]{2,10}").prop_map(
+            |t| Edit::AddSchemaElement(genedit::knowledge::SchemaElement {
+                table: t,
+                column: None,
+                description: String::new(),
+                top_values: vec![],
+                intents: vec![],
+            })
+        ),
     ]
 }
 

@@ -1,0 +1,177 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Same macro/builder surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `iter`, `iter_batched`) backed by
+//! a simple adaptive wall-clock loop: warm up briefly, pick an iteration
+//! count targeting ~100ms of measurement, report mean/median/p95 per
+//! benchmark. No statistics engine, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: 0,
+        }
+    }
+
+    /// Accepted for API compatibility with `Criterion::default().configure_from_args()`.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    /// When nonzero, caps measured iterations (mirrors criterion's
+    /// `sample_size` intent of bounding slow benchmarks).
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            max_iters: if self.sample_size > 0 {
+                self.sample_size as u64
+            } else {
+                u64::MAX
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    measurement_time: Duration,
+    max_iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: estimate per-iteration cost.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(20) && warmup_iters < 10_000 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = start
+            .elapsed()
+            .checked_div(warmup_iters as u32)
+            .unwrap_or_default();
+        let target = (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(10, 100_000) as u64;
+        let iters = target.min(self.max_iters.max(1));
+        self.samples.clear();
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let per_iter = start.elapsed();
+        let target =
+            (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(5, 10_000) as u64;
+        let iters = target.min(self.max_iters.max(1));
+        self.samples.clear();
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id:<44} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let n = self.samples.len();
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / n as u32;
+        let median = self.samples[n / 2];
+        let p95 = self.samples[(n * 95 / 100).min(n - 1)];
+        println!(
+            "  {id:<44} mean {:>12?}  median {:>12?}  p95 {:>12?}  (n={n})",
+            mean, median, p95
+        );
+    }
+}
+
+/// Re-export hint for `criterion::black_box` users.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

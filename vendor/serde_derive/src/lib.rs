@@ -1,0 +1,389 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! hand-rolled parser over `proc_macro::TokenStream` that understands the
+//! item shapes this workspace actually derives on — non-generic structs
+//! (named / tuple / unit) and enums (unit / newtype / tuple / struct
+//! variants). Generated impls target the simplified value-tree data model
+//! in the vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields: just the arity.
+    Tuple(usize),
+    /// Named field identifiers, in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected struct/enum keyword, got {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected item name, got {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                t => panic!("unexpected token after struct name: {t:?}"),
+            };
+            Item {
+                name,
+                kind: ItemKind::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                t => panic!("expected enum body, got {t:?}"),
+            };
+            Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("expected struct or enum, got `{other}`"),
+    }
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Count comma-separated fields at the top level, tracking `<...>` depth so
+/// commas inside generic arguments don't split.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                saw_token_since_comma = false;
+                count += 1;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, got {t}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("expected `:` after field `{name}`, got {t}"),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, got {t}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive (vendored): explicit enum discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => serialize_struct_body(fields),
+        ItemKind::Enum(variants) => serialize_enum_body(name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::value::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
+                .collect();
+            format!("::serde::value::Value::Object(vec![{}])", pairs.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (vname, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => {
+                format!("{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string()),")
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::serialize(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{vname}({binds}) => ::serde::value::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),",
+                    binds = binds.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let binds = fnames.join(", ");
+                let pairs: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::value::Value::Object(vec![(\"{vname}\".to_string(), ::serde::value::Value::Object(vec![{pairs}]))]),",
+                    pairs = pairs.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => deserialize_struct_body(name, fields),
+        ItemKind::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::value::Value) -> ::std::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", value))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(pairs, \"{f}\")?"))
+                .collect();
+            format!(
+                "let pairs = value.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", value))?;\n\
+                 Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                unit_arms.push(format!("\"{vname}\" => Ok({name}::{vname}),"));
+            }
+            Fields::Tuple(1) => data_arms.push(format!(
+                "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::deserialize(inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let items = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", inner))?;\n\
+                         if items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple length for {name}::{vname}\")); }}\n\
+                         Ok({name}::{vname}({items}))\n\
+                     }}",
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fnames) => {
+                let inits: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(pairs, \"{f}\")?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let pairs = inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", inner))?;\n\
+                         Ok({name}::{vname} {{ {inits} }})\n\
+                     }}",
+                    inits = inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::Error::custom(format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::value::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => Err(::serde::Error::expected(\"enum representation\", other)),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n"),
+    )
+}
