@@ -1,0 +1,214 @@
+//! **Chaos sweep**: GenEdit under injected model faults, 0%–50%.
+//!
+//! Wraps the oracle in a deterministic [`FaultInjector`] and the pipeline
+//! in the retry/breaker layer, then sweeps the transient-fault rate and
+//! reports Execution Accuracy, operator degradations, retries, sheds, and
+//! simulated retry overhead per rate. The rate-0 row doubles as the
+//! zero-overhead check: with no faults the resilient pipeline must match
+//! the plain pipeline's EX and model-call count exactly.
+//!
+//! Run: `cargo run --release -p genedit-bench --bin chaos_sweep`
+//! (`--smoke` = small workload for CI; `--json` prints the document;
+//! the JSON is always written to `BENCH_chaos.json`.)
+
+use genedit_bird::Workload;
+use genedit_core::{Ablation, Harness};
+use genedit_llm::{
+    Clock, FaultConfig, FaultInjector, OracleModel, ResiliencePolicy, ResilienceState,
+    SimulatedClock,
+};
+use serde_json::Value;
+use std::sync::Arc;
+
+struct Row {
+    rate: f64,
+    ex: f64,
+    tasks: usize,
+    degraded: usize,
+    injected: u64,
+    retries: u64,
+    sheds: u64,
+    exhausted: u64,
+    model_calls: usize,
+    backoff_ms: f64,
+}
+
+/// One sweep point: a fresh injector + resilience runtime at `rate`, the
+/// full GenEdit configuration over the whole workload.
+fn run_rate(workload: &Workload, seed: u64, rate: f64) -> Row {
+    let clock = Arc::new(SimulatedClock::new());
+    let injector = FaultInjector::new(
+        OracleModel::new(workload.registry()),
+        FaultConfig::transient_only(rate),
+        seed,
+    )
+    .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+    let harness = Harness::with_model(workload, injector);
+    let state = Arc::new(
+        ResilienceState::new(
+            ResiliencePolicy::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .with_metrics(Arc::clone(harness.metrics())),
+    );
+    let harness = harness.with_resilience(state);
+    let report = harness.run_genedit(Ablation::None);
+
+    let snapshot = harness.metrics().snapshot();
+    let sum_prefix = |prefix: &str| -> u64 {
+        snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, count)| *count)
+            .sum()
+    };
+    Row {
+        rate,
+        ex: report.ex(None),
+        tasks: report.outcomes.len(),
+        degraded: report.operators.values().map(|s| s.degraded).sum(),
+        injected: harness.model().log().total(),
+        retries: sum_prefix("model.retry."),
+        sheds: sum_prefix("model.shed."),
+        exhausted: sum_prefix("model.exhausted."),
+        model_calls: harness.model_usage().total_calls(),
+        backoff_ms: clock.total_slept().as_secs_f64() * 1e3,
+    }
+}
+
+fn row_json(row: &Row) -> Value {
+    Value::Object(vec![
+        ("rate".to_string(), Value::F64(row.rate)),
+        ("ex".to_string(), Value::F64(row.ex)),
+        ("tasks".to_string(), Value::U64(row.tasks as u64)),
+        ("degraded".to_string(), Value::U64(row.degraded as u64)),
+        ("injected_faults".to_string(), Value::U64(row.injected)),
+        ("retries".to_string(), Value::U64(row.retries)),
+        ("sheds".to_string(), Value::U64(row.sheds)),
+        ("exhausted".to_string(), Value::U64(row.exhausted)),
+        (
+            "model_calls".to_string(),
+            Value::U64(row.model_calls as u64),
+        ),
+        ("backoff_ms".to_string(), Value::F64(row.backoff_ms)),
+    ])
+}
+
+fn main() {
+    let args = genedit_bench::BinArgs::parse();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = args.seed;
+    let workload = if smoke {
+        Workload::small(seed)
+    } else {
+        Workload::standard(seed)
+    };
+
+    // The fault-free reference: plain oracle, no resilience layer.
+    let plain = Harness::new(&workload);
+    let plain_report = plain.run_genedit(Ablation::None);
+    let plain_ex = plain_report.ex(None);
+    let plain_calls = plain.model_usage().total_calls();
+
+    let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let rows: Vec<Row> = rates
+        .iter()
+        .map(|&rate| run_rate(&workload, seed, rate))
+        .collect();
+
+    // Zero-overhead invariant: at rate 0 the resilient pipeline is
+    // byte-for-byte the plain pipeline.
+    let zero = &rows[0];
+    let zero_overhead = zero.ex == plain_ex
+        && zero.model_calls == plain_calls
+        && zero.retries == 0
+        && zero.backoff_ms == 0.0;
+
+    let doc = Value::Object(vec![
+        (
+            "artifact".to_string(),
+            Value::Str("chaos_sweep".to_string()),
+        ),
+        ("seed".to_string(), Value::U64(seed)),
+        (
+            "mode".to_string(),
+            Value::Str(if smoke { "smoke" } else { "standard" }.to_string()),
+        ),
+        (
+            "tasks".to_string(),
+            Value::U64(workload.task_count() as u64),
+        ),
+        (
+            "fault_kind".to_string(),
+            Value::Str("transient".to_string()),
+        ),
+        (
+            "baseline".to_string(),
+            Value::Object(vec![
+                ("ex".to_string(), Value::F64(plain_ex)),
+                ("model_calls".to_string(), Value::U64(plain_calls as u64)),
+            ]),
+        ),
+        ("zero_overhead".to_string(), Value::Bool(zero_overhead)),
+        (
+            "rows".to_string(),
+            Value::Array(rows.iter().map(row_json).collect()),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("report serialization is infallible");
+    if let Err(err) = std::fs::write("BENCH_chaos.json", &json) {
+        eprintln!("warning: could not write BENCH_chaos.json: {err}");
+    }
+
+    if args.json {
+        println!("{json}");
+        return;
+    }
+
+    println!(
+        "Chaos sweep — GenEdit EX under injected transient faults \
+         (seed {seed}, {} tasks{})",
+        workload.task_count(),
+        if smoke { ", smoke" } else { "" }
+    );
+    println!(
+        "{:>6} {:>7} {:>9} {:>9} {:>8} {:>6} {:>10} {:>12} {:>12}",
+        "rate",
+        "EX%",
+        "injected",
+        "retries",
+        "sheds",
+        "exh.",
+        "degraded",
+        "model calls",
+        "backoff ms"
+    );
+    for row in &rows {
+        println!(
+            "{:>5.0}% {:>7.2} {:>9} {:>9} {:>8} {:>6} {:>10} {:>12} {:>12.1}",
+            row.rate * 100.0,
+            row.ex,
+            row.injected,
+            row.retries,
+            row.sheds,
+            row.exhausted,
+            row.degraded,
+            row.model_calls,
+            row.backoff_ms
+        );
+    }
+    println!(
+        "\nzero-overhead check at rate 0: {} \
+         (plain EX {plain_ex:.2} / {plain_calls} calls vs resilient \
+         EX {:.2} / {} calls, {} retries)",
+        if zero_overhead { "PASS" } else { "FAIL" },
+        zero.ex,
+        zero.model_calls,
+        zero.retries
+    );
+    println!("wrote BENCH_chaos.json");
+    if !zero_overhead {
+        std::process::exit(1);
+    }
+}

@@ -192,10 +192,13 @@ pub fn run_baseline(
         SchemaStyle::Linked { recall } => {
             let mut link = Prompt::new(TaskKind::SchemaLinking, question);
             link.schema = all_schema.clone();
+            // Baselines have no degradation ladder (that's GenEdit's
+            // resilience story): a failed or wrong-variant linking call
+            // simply links nothing.
             let keys: Vec<String> = model
                 .complete(&CompletionRequest::new(link))
-                .as_items()
-                .map(|v| v.to_vec())
+                .ok()
+                .and_then(|r| r.as_items().map(|v| v.to_vec()))
                 .unwrap_or_default();
             all_schema
                 .into_iter()
@@ -224,8 +227,8 @@ pub fn run_baseline(
         plan_prompt.task = TaskKind::PlanGeneration;
         let plan: Plan = model
             .complete(&CompletionRequest::new(plan_prompt))
-            .as_plan()
-            .cloned()
+            .ok()
+            .and_then(|r| r.as_plan().cloned())
             .unwrap_or_default();
         base.plan = Some(plan.without_pseudo_sql());
     }
@@ -240,9 +243,10 @@ pub fn run_baseline(
         for seed in 0..profile.candidates.max(1) as u64 {
             let sql = match model
                 .complete(&CompletionRequest::with_seed(prompt.clone(), seed))
-                .as_sql()
+                .ok()
+                .and_then(|r| r.as_sql().map(|s| s.to_string()))
             {
-                Some(s) => s.to_string(),
+                Some(s) => s,
                 None => continue,
             };
             match genedit_sql::parser::parse_statement(&sql)

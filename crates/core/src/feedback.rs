@@ -366,10 +366,13 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
     /// view of the knowledge set. The round number becomes the feedback id
     /// carried by the edits' provenance.
     pub fn submit_feedback(&mut self, feedback: &str) -> usize {
+        // A staged edit that no longer applies (e.g. its target was
+        // deleted under it) degrades to the deployed view rather than
+        // panicking the session.
         let staged_ks = self
             .staging
             .materialize(self.deployed)
-            .expect("staged edits apply to deployed set");
+            .unwrap_or_else(|_| self.deployed.clone());
         let feedback_id = self.rounds.len() as u64 + 1;
         let tracer = Tracer::new("feedback");
         self.recommendations = generate_edits_traced(
@@ -416,7 +419,7 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
         let staged_ks = self
             .staging
             .materialize(self.deployed)
-            .expect("staged edits apply");
+            .unwrap_or_else(|_| self.deployed.clone());
         let index = KnowledgeIndex::build(staged_ks);
         self.latest = self.pipeline.generate(&self.question, &index, self.db, &[]);
         &self.latest

@@ -7,18 +7,27 @@ use crate::index::KnowledgeIndex;
 use crate::pipeline::GenEditPipeline;
 use genedit_bird::{score_prediction, EvalReport, TaskOutcome, Workload};
 use genedit_knowledge::KnowledgeSet;
-use genedit_llm::{ModelUsage, OracleConfig, OracleModel, RecordingModel};
+use genedit_llm::{
+    LanguageModel, ModelUsage, OracleConfig, OracleModel, RecordingModel, ResilienceState,
+};
 use genedit_telemetry::{operator_breakdown, MetricsRegistry, Trace};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Runs methods over one workload with a shared oracle and a shared
+/// Runs methods over one workload with a shared model and a shared
 /// metrics registry: every GenEdit generation folds its trace into the
 /// registry, and each report carries its own operator breakdown.
-pub struct Harness<'w> {
+///
+/// Defaults to the deterministic oracle; `with_model` substitutes any
+/// [`LanguageModel`] (e.g. a [`genedit_llm::FaultInjector`] around the
+/// oracle for chaos runs), and `with_resilience` attaches a shared
+/// retry/breaker runtime that every pipeline built by this harness uses.
+pub struct Harness<'w, M: LanguageModel = OracleModel> {
     workload: &'w Workload,
-    oracle: RecordingModel<OracleModel>,
+    model: RecordingModel<M>,
     metrics: Arc<MetricsRegistry>,
+    resilience: Option<Arc<ResilienceState>>,
+    warnings: Mutex<Vec<String>>,
 }
 
 impl<'w> Harness<'w> {
@@ -28,26 +37,73 @@ impl<'w> Harness<'w> {
 
     pub fn with_oracle_config(workload: &'w Workload, config: OracleConfig) -> Harness<'w> {
         let oracle = OracleModel::with_config(workload.registry(), config);
+        Harness::with_model(workload, oracle)
+    }
+}
+
+impl<'w, M: LanguageModel> Harness<'w, M> {
+    /// Run the workload against an arbitrary model instead of the oracle.
+    pub fn with_model(workload: &'w Workload, model: M) -> Harness<'w, M> {
         Harness {
             workload,
-            oracle: RecordingModel::new(oracle),
+            model: RecordingModel::new(model),
             metrics: Arc::new(MetricsRegistry::default()),
+            resilience: None,
+            warnings: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attach a shared resilience runtime: every pipeline this harness
+    /// builds wraps its model calls in retry/backoff + circuit breaking.
+    pub fn with_resilience(mut self, state: Arc<ResilienceState>) -> Harness<'w, M> {
+        self.resilience = Some(state);
+        self
     }
 
     /// Cumulative model-call accounting across everything run so far.
     pub fn model_usage(&self) -> ModelUsage {
-        self.oracle.usage()
+        self.model.usage()
     }
 
     pub fn reset_usage(&self) {
-        self.oracle.reset_usage()
+        self.model.reset_usage()
+    }
+
+    /// The wrapped model (e.g. to read a fault injector's log).
+    pub fn model(&self) -> &M {
+        self.model.inner()
     }
 
     /// The registry every GenEdit run reports into. Shareable (`Arc`)
     /// with other harnesses or exporters.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// Non-fatal anomalies the harness survived instead of aborting on
+    /// (invalid domain logs, unknown domain names, …).
+    pub fn warnings(&self) -> Vec<String> {
+        self.warnings_lock().clone()
+    }
+
+    fn warnings_lock(&self) -> std::sync::MutexGuard<'_, Vec<String>> {
+        self.warnings
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn warn(&self, message: String) {
+        self.metrics.incr("harness.warnings", 1);
+        self.warnings_lock().push(message);
+    }
+
+    fn build_pipeline(&self, config: PipelineConfig) -> GenEditPipeline<&RecordingModel<M>> {
+        let mut pipeline = GenEditPipeline::with_config(&self.model, config)
+            .with_metrics(Arc::clone(&self.metrics));
+        if let Some(state) = &self.resilience {
+            pipeline = pipeline.with_resilience_state(Arc::clone(state));
+        }
+        pipeline
     }
 
     /// Build per-domain knowledge indexes, optionally with full-query
@@ -59,13 +115,25 @@ impl<'w> Harness<'w> {
             .map(|bundle| {
                 let mut cfg = bundle.preprocess_config();
                 cfg.decompose_examples = decompose;
-                let ks = genedit_knowledge::build_knowledge_set(
+                let ks = match genedit_knowledge::build_knowledge_set(
                     &cfg,
                     &bundle.logs,
                     &bundle.docs,
                     &bundle.db,
-                )
-                .expect("logs are valid");
+                ) {
+                    Ok(ks) => ks,
+                    // Degrade rather than abort the whole evaluation: the
+                    // domain runs knowledge-free and the anomaly is
+                    // reported through `warnings()`.
+                    Err(err) => {
+                        self.warn(format!(
+                            "knowledge build failed for domain {} ({err}); \
+                             running with an empty knowledge set",
+                            bundle.db.name
+                        ));
+                        KnowledgeSet::new()
+                    }
+                };
                 (bundle.db.name.clone(), KnowledgeIndex::build(ks))
             })
             .collect()
@@ -86,8 +154,7 @@ impl<'w> Harness<'w> {
         label: &str,
         indexes: &HashMap<String, KnowledgeIndex>,
     ) -> EvalReport {
-        let pipeline = GenEditPipeline::with_config(&self.oracle, config)
-            .with_metrics(Arc::clone(&self.metrics));
+        let pipeline = self.build_pipeline(config);
         let mut report = EvalReport::new(label);
         let mut traces: Vec<Trace> = Vec::new();
         for bundle in &self.workload.domains {
@@ -118,15 +185,17 @@ impl<'w> Harness<'w> {
         db_name: &str,
         knowledge: KnowledgeSet,
     ) -> Vec<TaskOutcome> {
-        let bundle = self
-            .workload
-            .domains
-            .iter()
-            .find(|b| b.db.name == db_name)
-            .expect("domain exists");
+        let bundle = match self.workload.domains.iter().find(|b| b.db.name == db_name) {
+            Some(bundle) => bundle,
+            None => {
+                self.warn(format!(
+                    "domain {db_name} not in the workload; returning no outcomes"
+                ));
+                return Vec::new();
+            }
+        };
         let index = KnowledgeIndex::build(knowledge);
-        let pipeline = GenEditPipeline::with_config(&self.oracle, config.clone())
-            .with_metrics(Arc::clone(&self.metrics));
+        let pipeline = self.build_pipeline(config.clone());
         bundle
             .tasks
             .iter()
@@ -159,7 +228,7 @@ impl<'w> Harness<'w> {
             for task in &bundle.tasks {
                 let r = run_baseline(
                     profile,
-                    &self.oracle,
+                    &self.model,
                     index,
                     &bundle.db,
                     &task.question,

@@ -4,6 +4,12 @@
 //! CoT planning with pseudo-SQL, plan-guided generation with
 //! self-correction, the Table-1 baseline set, the Table-2 ablations, and
 //! (in [`feedback`]) the continuous-improvement loop.
+//!
+//! Model calls are fallible ([`genedit_llm::ModelError`]); the pipeline
+//! degrades per operator instead of failing a generation, and non-test
+//! library paths are panic-free (enforced by the clippy lints below).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;
 mod compounding_tests;

@@ -15,7 +15,7 @@ use crate::index::KnowledgeIndex;
 use genedit_knowledge::{ExampleId, FragmentKind, InstructionId, RetrievalStage};
 use genedit_llm::{
     CompletionRequest, LanguageModel, Plan, Prompt, PromptExample, PromptInstruction,
-    PromptSchemaElement, TaskKind, TracedModel,
+    PromptSchemaElement, ResilienceState, ResilientModel, SystemClock, TaskKind, TracedModel,
 };
 use genedit_sql::catalog::Database;
 use genedit_sql::exec::execute_sql_timed;
@@ -57,34 +57,58 @@ pub struct GenEditPipeline<M> {
     model: M,
     config: PipelineConfig,
     metrics: Option<Arc<MetricsRegistry>>,
+    resilience: Option<Arc<ResilienceState>>,
 }
 
 impl<M: LanguageModel> GenEditPipeline<M> {
     pub fn new(model: M) -> GenEditPipeline<M> {
-        GenEditPipeline {
-            model,
-            config: PipelineConfig::default(),
-            metrics: None,
-        }
+        GenEditPipeline::with_config(model, PipelineConfig::default())
     }
 
     pub fn with_config(model: M, config: PipelineConfig) -> GenEditPipeline<M> {
+        let resilience = config.resilience.clone().map(|policy| {
+            Arc::new(ResilienceState::new(
+                policy,
+                Arc::new(SystemClock::new()) as Arc<dyn genedit_llm::Clock>,
+            ))
+        });
         GenEditPipeline {
             model,
             config,
             metrics: None,
+            resilience,
         }
     }
 
     /// Attach a shared metrics registry: every generation folds its trace
     /// and validation timings into it.
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> GenEditPipeline<M> {
+        if let Some(state) = self.resilience.take() {
+            // Rebuild the state so retry/breaker events land in the same
+            // registry (states built from config carry no other history).
+            self.resilience = Some(Arc::new(
+                ResilienceState::new(state.policy().clone(), Arc::clone(state.clock()))
+                    .with_metrics(Arc::clone(&metrics)),
+            ));
+        }
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Replace the resilience runtime (breakers + clock) with a shared
+    /// one, e.g. a harness-wide state over a simulated clock. Implies the
+    /// wrapped model path even if `config.resilience` is `None`.
+    pub fn with_resilience_state(mut self, state: Arc<ResilienceState>) -> GenEditPipeline<M> {
+        self.resilience = Some(state);
         self
     }
 
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    pub fn resilience_state(&self) -> Option<&Arc<ResilienceState>> {
+        self.resilience.as_ref()
     }
 
     pub fn model(&self) -> &M {
@@ -112,8 +136,18 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         let mut result = {
             let root = tracer.span(names::GENERATE);
             root.attr("question_chars", question.len());
-            let model = TracedModel::new(&self.model, &tracer);
-            let r = self.generate_core(&model, &tracer, question, index, db, evidence);
+            // Resilience wraps *outside* tracing so every retried attempt
+            // is its own `llm.complete` span and each backoff an
+            // `llm.retry` span.
+            let traced = TracedModel::new(&self.model, &tracer);
+            let r = match &self.resilience {
+                Some(state) => {
+                    let resilient =
+                        ResilientModel::new(traced, Arc::clone(state)).with_tracer(&tracer);
+                    self.generate_core(&resilient, &tracer, question, index, db, evidence)
+                }
+                None => self.generate_core(&traced, &tracer, question, index, db, evidence),
+            };
             root.attr("attempts", r.attempts)
                 .attr("validated", r.validated);
             root.finish();
@@ -128,14 +162,17 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         result
     }
 
-    /// The pipeline body. `model` is the traced wrapper around
-    /// `self.model`, so every completion lands as an `llm.complete` child
-    /// of whichever operator span is open when it fires. The trace and
-    /// warnings fields of the returned result are placeholders; the
-    /// `generate` wrapper fills them after the tracer finishes.
-    fn generate_core(
+    /// The pipeline body. `model` is the traced (and, when resilience is
+    /// on, retry-wrapped) view of `self.model`, so every completion lands
+    /// as an `llm.complete` child of whichever operator span is open when
+    /// it fires. Operators that lose their model call entirely take their
+    /// degradation path: a warning plus a `degraded` span attribute, never
+    /// a panic or a poisoned result. The trace and warnings fields of the
+    /// returned result are placeholders; the `generate` wrapper fills them
+    /// after the tracer finishes.
+    fn generate_core<L: LanguageModel>(
         &self,
-        model: &TracedModel<'_, &M>,
+        model: &L,
         tracer: &Tracer,
         question: &str,
         index: &KnowledgeIndex,
@@ -149,12 +186,22 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         let reformulated = if cfg.use_reformulation {
             let span = tracer.span(names::REFORMULATE);
             let prompt = Prompt::new(TaskKind::Reformulate, question);
-            let text = match model.complete(&CompletionRequest::new(prompt)).as_text() {
-                Some(t) => t.to_string(),
-                None => {
-                    tracer.warning(
-                        "reformulation returned no text; falling back to the raw question",
-                    );
+            let text = match model.complete(&CompletionRequest::new(prompt)) {
+                Ok(response) => match response.as_text() {
+                    Some(t) => t.to_string(),
+                    None => {
+                        tracer.warning(
+                            "reformulation returned no text; falling back to the raw question",
+                        );
+                        span.attr("degraded", true);
+                        question.to_string()
+                    }
+                },
+                Err(err) => {
+                    tracer.warning(format!(
+                        "reformulation failed ({err}); falling back to the raw question"
+                    ));
+                    span.attr("degraded", true);
                     question.to_string()
                 }
             };
@@ -172,12 +219,24 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             let mut prompt = Prompt::new(TaskKind::IntentClassification, &reformulated);
             prompt.intent_candidates = ks.intents().iter().map(|i| i.key.clone()).collect();
             let candidates = prompt.intent_candidates.len();
-            let matched = match model.complete(&CompletionRequest::new(prompt)).as_items() {
-                Some(v) => v.to_vec(),
-                None => {
-                    tracer.warning(
-                        "intent classification returned no item list; assuming no intents",
-                    );
+            let matched = match model.complete(&CompletionRequest::new(prompt)) {
+                Ok(response) => match response.as_items() {
+                    Some(v) => v.to_vec(),
+                    None => {
+                        tracer.warning(
+                            "intent classification returned no item list; assuming no intents",
+                        );
+                        span.attr("degraded", true);
+                        Vec::new()
+                    }
+                },
+                // No intents = no retrieval boost: downstream selection
+                // ranks over the whole knowledge set (all intents).
+                Err(err) => {
+                    tracer.warning(format!(
+                        "intent classification failed ({err}); retrieving over all intents"
+                    ));
+                    span.attr("degraded", true);
                     Vec::new()
                 }
             };
@@ -269,14 +328,24 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-            let keys: Vec<String> = match model
-                .complete(&CompletionRequest::new(link_prompt))
-                .as_items()
-            {
-                Some(v) => v.to_vec(),
-                None => {
-                    tracer.warning("schema linking returned no item list; linking no elements");
-                    Vec::new()
+            let keys: Vec<String> = match model.complete(&CompletionRequest::new(link_prompt)) {
+                Ok(response) => match response.as_items() {
+                    Some(v) => v.to_vec(),
+                    None => {
+                        tracer.warning("schema linking returned no item list; linking no elements");
+                        span.attr("degraded", true);
+                        Vec::new()
+                    }
+                },
+                // Degradation: link everything — the full schema flows
+                // into the re-rank filter below, so generation still gets
+                // a bounded (if less precise) schema section.
+                Err(err) => {
+                    tracer.warning(format!(
+                        "schema linking failed ({err}); passing the full schema to the re-ranker"
+                    ));
+                    span.attr("degraded", true);
+                    all_schema.iter().map(|el| el.key()).collect()
                 }
             };
             let linked: Vec<PromptSchemaElement> = all_schema
@@ -343,23 +412,34 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             let span = tracer.span(names::PLAN);
             let mut plan_prompt = base.clone();
             plan_prompt.task = TaskKind::PlanGeneration;
-            let p = match model
-                .complete(&CompletionRequest::new(plan_prompt))
-                .as_plan()
-            {
-                Some(p) => p.clone(),
-                None => {
-                    tracer.warning("plan generation returned no plan; using an empty plan");
-                    Plan::default()
+            let p = match model.complete(&CompletionRequest::new(plan_prompt)) {
+                Ok(response) => match response.as_plan() {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        tracer.warning("plan generation returned no plan; using an empty plan");
+                        span.attr("degraded", true);
+                        Some(Plan::default())
+                    }
+                },
+                // Degradation: generate SQL directly, plan-free — the
+                // prompt simply ships without a plan section.
+                Err(err) => {
+                    tracer.warning(format!(
+                        "plan generation failed ({err}); generating SQL without a plan"
+                    ));
+                    span.attr("degraded", true);
+                    None
                 }
             };
-            span.attr("steps", p.steps.len())
+            span.attr("steps", p.as_ref().map(|p| p.steps.len()).unwrap_or(0))
                 .attr("pseudo_sql", cfg.use_pseudo_sql);
             span.finish();
-            Some(if cfg.use_pseudo_sql {
-                p
-            } else {
-                p.without_pseudo_sql()
+            p.map(|p| {
+                if cfg.use_pseudo_sql {
+                    p
+                } else {
+                    p.without_pseudo_sql()
+                }
             })
         } else {
             None
@@ -384,13 +464,22 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             // (used by self-consistency voting).
             let mut valid: Vec<(String, Vec<String>)> = Vec::new();
             for seed in 0..cfg.candidates.max(1) as u64 {
-                let sql = match model
-                    .complete(&CompletionRequest::with_seed(prompt.clone(), seed))
-                    .as_sql()
+                let sql = match model.complete(&CompletionRequest::with_seed(prompt.clone(), seed))
                 {
-                    Some(s) => s.to_string(),
-                    None => {
-                        tracer.warning("model returned no SQL for a generation candidate");
+                    Ok(response) => match response.as_sql() {
+                        Some(s) => s.to_string(),
+                        None => {
+                            tracer.warning("model returned no SQL for a generation candidate");
+                            attempt_span.attr("degraded", true);
+                            continue;
+                        }
+                    },
+                    // Transport failures do NOT join `errors`: prompt
+                    // error history must reflect only SQL feedback, or
+                    // the self-correction semantics would shift.
+                    Err(err) => {
+                        tracer.warning(format!("SQL generation candidate failed ({err})"));
+                        attempt_span.attr("degraded", true);
                         continue;
                     }
                 };
@@ -421,18 +510,20 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                     }
                 }
             }
-            if !valid.is_empty() {
-                // Self-consistency: the result the most candidates agree on
-                // wins; ties break toward the earliest candidate.
-                let winner = valid
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(i, (_, fp))| {
-                        let votes = valid.iter().filter(|(_, other)| other == fp).count();
-                        (votes, std::cmp::Reverse(*i))
-                    })
-                    .map(|(_, (sql, _))| sql.clone())
-                    .expect("non-empty");
+            // Self-consistency: the result the most candidates agree on
+            // wins; ties break toward the earliest candidate. Falls back
+            // to the first valid candidate rather than panicking on an
+            // (impossible) empty vote.
+            let winner = valid
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, (_, fp))| {
+                    let votes = valid.iter().filter(|(_, other)| other == fp).count();
+                    (votes, std::cmp::Reverse(*i))
+                })
+                .map(|(_, (sql, _))| sql.clone())
+                .or_else(|| valid.first().map(|(sql, _)| sql.clone()));
+            if let Some(winner) = winner {
                 attempt_span.attr("valid", valid.len());
                 return GenerationResult {
                     sql: Some(winner),
@@ -798,13 +889,16 @@ mod tests {
             fn name(&self) -> &str {
                 "broken-sql"
             }
-            fn complete(&self, request: &CompletionRequest) -> genedit_llm::CompletionResponse {
-                match request.prompt.task {
+            fn complete(
+                &self,
+                request: &CompletionRequest,
+            ) -> Result<genedit_llm::CompletionResponse, genedit_llm::ModelError> {
+                Ok(match request.prompt.task {
                     TaskKind::SqlGeneration => {
                         genedit_llm::CompletionResponse::Sql("SELEC nope".into())
                     }
                     _ => genedit_llm::CompletionResponse::Items(Vec::new()),
-                }
+                })
             }
         }
         let pipeline = GenEditPipeline::new(BrokenSql);
@@ -859,8 +953,13 @@ mod tests {
             fn name(&self) -> &str {
                 "text-only"
             }
-            fn complete(&self, _request: &CompletionRequest) -> genedit_llm::CompletionResponse {
-                genedit_llm::CompletionResponse::Text("not what you asked for".into())
+            fn complete(
+                &self,
+                _request: &CompletionRequest,
+            ) -> Result<genedit_llm::CompletionResponse, genedit_llm::ModelError> {
+                Ok(genedit_llm::CompletionResponse::Text(
+                    "not what you asked for".into(),
+                ))
             }
         }
         let (bundle, index, _) = setup();

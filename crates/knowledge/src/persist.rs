@@ -8,8 +8,9 @@
 use crate::set::KnowledgeSet;
 use std::fmt;
 use std::fs;
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Persistence errors.
 #[derive(Debug)]
@@ -47,15 +48,37 @@ pub fn from_json(json: &str) -> Result<KnowledgeSet, PersistError> {
     serde_json::from_str(json).map_err(PersistError::Decode)
 }
 
-/// Write the set to a file (atomically: write to a sibling temp file,
-/// then rename, so a crash never leaves a torn snapshot).
+/// Monotonic discriminator so concurrent saves in one process never share
+/// a temp file.
+static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write the set to a file atomically: serialize into a sibling temp file,
+/// fsync it, then rename over the target. The temp name carries the
+/// process id and an in-process sequence number, so concurrent saves —
+/// across threads or processes — each write their own temp file and the
+/// final rename is the only point of contention (last rename wins, and
+/// every intermediate state on disk is a complete snapshot). The fsync
+/// before the rename keeps a crash from leaving a renamed-but-empty file
+/// on filesystems that reorder data and metadata writes.
 pub fn save(ks: &KnowledgeSet, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let path = path.as_ref();
     let json = to_json(ks)?;
-    let tmp = path.with_extension("json.tmp");
-    fs::write(&tmp, json)?;
-    fs::rename(&tmp, path)?;
-    Ok(())
+    let tmp = path.with_extension(format!(
+        "json.tmp.{}.{}",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write_and_sync = || -> io::Result<()> {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    };
+    write_and_sync().map_err(|err| {
+        // Best effort: never leave an orphaned temp file behind.
+        let _ = fs::remove_file(&tmp);
+        PersistError::Io(err)
+    })
 }
 
 /// Load a set from a file written by [`save`].
@@ -125,6 +148,37 @@ mod tests {
         let restored = load(&path).unwrap();
         assert!(ks.content_eq(&restored));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Hammer one target path from many threads: every interleaving must
+    /// leave a complete, loadable snapshot (atomic rename, unique temp
+    /// files), and no temp files may survive.
+    #[test]
+    fn concurrent_saves_never_tear() {
+        let dir = std::env::temp_dir().join("genedit-persist-concurrent");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ks.json");
+        let ks = sample();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        save(&ks, &path).unwrap();
+                        let restored = load(&path).unwrap();
+                        assert!(ks.content_eq(&restored), "torn snapshot observed");
+                    }
+                });
+            }
+        });
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "orphaned temp files: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

@@ -10,21 +10,35 @@
 //!
 //! The substitution preserves exactly the *relative* claims the paper
 //! evaluates (Table 1, Table 2) while staying reproducible on a laptop.
+//!
+//! Model calls are **fallible** ([`ModelError`]) and the crate ships the
+//! resilience layer the pipeline wraps around them: [`ResilientModel`]
+//! (retry/backoff/circuit-breaking, see [`resilient`]) and
+//! [`FaultInjector`] (deterministic chaos, see [`fault`]).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod fault;
 pub mod knowledge;
 pub mod model;
 pub mod mutate;
 pub mod oracle;
 pub mod prompt;
+pub mod resilient;
 pub mod tier;
 
+pub use fault::{FaultConfig, FaultInjector, FaultLog};
 pub use knowledge::{Corruption, Difficulty, TaskKnowledge, TaskRegistry, TermRequirement};
 pub use model::{
-    kind_label, CompletionRequest, CompletionResponse, LanguageModel, ModelUsage, RecordingModel,
-    TracedModel,
+    kind_label, CompletionRequest, CompletionResponse, LanguageModel, ModelError, ModelUsage,
+    RecordingModel, TracedModel,
 };
 pub use oracle::{apply_drift, hash01, hash_u64, OracleConfig, OracleModel};
 pub use prompt::{
     Plan, PlanStep, Prompt, PromptExample, PromptInstruction, PromptSchemaElement, TaskKind,
+};
+pub use resilient::{
+    BreakerPolicy, BreakerPosition, Clock, ResiliencePolicy, ResilienceState, ResilientModel,
+    RetryPolicy, SimulatedClock, SystemClock,
 };
 pub use tier::{CostLedger, ModelTier, TierPolicy, TieredModel};

@@ -1,8 +1,10 @@
-//! The language-model interface and call accounting.
+//! The language-model interface, call accounting, and the typed error
+//! surface every resilience layer above it is built on.
 
 use crate::prompt::{Plan, Prompt, TaskKind};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// A completion request: the structured prompt plus a seed the caller may
 /// vary to sample multiple candidates (the paper generates "one or more
@@ -67,11 +69,77 @@ impl CompletionResponse {
     }
 }
 
+/// Why a model call failed. Every transport- and parse-level failure a
+/// production deployment sees maps onto one of these variants; the
+/// pipeline's degradation ladder keys off them rather than off strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A retryable transport hiccup (connection reset, 5xx, …).
+    Transient(String),
+    /// The call exceeded its deadline.
+    Timeout,
+    /// The model answered, but the payload could not be parsed into a
+    /// [`CompletionResponse`]. Carries the raw text for diagnostics.
+    Malformed { raw: String },
+    /// The provider throttled the call and suggested a wait.
+    RateLimited { retry_after: Duration },
+    /// A resilience wrapper gave up: `attempts` calls were made (0 when a
+    /// circuit breaker shed the call without trying) and `last` is the
+    /// final underlying error.
+    Exhausted {
+        attempts: usize,
+        last: Box<ModelError>,
+    },
+}
+
+impl ModelError {
+    /// Whether a retry could plausibly succeed. `Exhausted` is terminal —
+    /// a wrapper already spent its budget producing it.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ModelError::Exhausted { .. })
+    }
+
+    /// Short stable label for metrics keys and span attributes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelError::Transient(_) => "transient",
+            ModelError::Timeout => "timeout",
+            ModelError::Malformed { .. } => "malformed",
+            ModelError::RateLimited { .. } => "rate-limited",
+            ModelError::Exhausted { .. } => "exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Transient(msg) => write!(f, "transient model error: {msg}"),
+            ModelError::Timeout => write!(f, "model call timed out"),
+            ModelError::Malformed { raw } => {
+                let preview: String = raw.chars().take(48).collect();
+                write!(f, "malformed model response: {preview:?}")
+            }
+            ModelError::RateLimited { retry_after } => {
+                write!(f, "rate limited (retry after {retry_after:?})")
+            }
+            ModelError::Exhausted { attempts, last } => {
+                write!(
+                    f,
+                    "model call exhausted after {attempts} attempt(s): {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 /// The model interface every operator calls through.
 pub trait LanguageModel {
     /// Model identifier ("gpt-4o" in the paper; "oracle" here).
     fn name(&self) -> &str;
-    fn complete(&self, request: &CompletionRequest) -> CompletionResponse;
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError>;
 }
 
 /// Per-task-kind call accounting, used by the operator latency/cost
@@ -156,7 +224,7 @@ impl<M: LanguageModel> LanguageModel for RecordingModel<M> {
         self.inner.name()
     }
 
-    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         {
             let mut u = self.usage_lock();
             let label = kind_label(request.prompt.task);
@@ -187,12 +255,15 @@ impl<M: LanguageModel> LanguageModel for TracedModel<'_, M> {
         self.inner.name()
     }
 
-    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         let span = self.tracer.span(genedit_telemetry::names::LLM_COMPLETE);
         span.attr("task", kind_label(request.prompt.task))
             .attr("prompt_chars", request.prompt.render().len())
             .attr("seed", request.seed);
         let response = self.inner.complete(request);
+        if let Err(err) = &response {
+            span.attr("error", err.label());
+        }
         span.finish();
         response
     }
@@ -202,7 +273,7 @@ impl<M: LanguageModel + ?Sized> LanguageModel for &M {
     fn name(&self) -> &str {
         (**self).name()
     }
-    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         (**self).complete(request)
     }
 }
@@ -211,7 +282,7 @@ impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
     fn name(&self) -> &str {
         (**self).name()
     }
-    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         (**self).complete(request)
     }
 }
@@ -226,9 +297,47 @@ mod tests {
         fn name(&self) -> &str {
             "echo"
         }
-        fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
-            CompletionResponse::Text(request.prompt.question.clone())
+        fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+            Ok(CompletionResponse::Text(request.prompt.question.clone()))
         }
+    }
+
+    struct AlwaysFails;
+    impl LanguageModel for AlwaysFails {
+        fn name(&self) -> &str {
+            "fails"
+        }
+        fn complete(&self, _: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+            Err(ModelError::Timeout)
+        }
+    }
+
+    #[test]
+    fn errors_propagate_and_are_still_recorded() {
+        // RecordingModel counts the attempt even when it fails…
+        let m = RecordingModel::new(AlwaysFails);
+        let err = m
+            .complete(&CompletionRequest::new(Prompt::new(
+                TaskKind::SqlGeneration,
+                "q",
+            )))
+            .unwrap_err();
+        assert_eq!(err, ModelError::Timeout);
+        assert_eq!(m.usage().total_calls(), 1);
+        // …and TracedModel marks the span with the error label.
+        let tracer = genedit_telemetry::Tracer::new("test");
+        let t = TracedModel::new(AlwaysFails, &tracer);
+        t.complete(&CompletionRequest::new(Prompt::new(
+            TaskKind::SqlGeneration,
+            "q",
+        )))
+        .unwrap_err();
+        let trace = tracer.finish();
+        let span = trace.find(genedit_telemetry::names::LLM_COMPLETE).unwrap();
+        assert_eq!(
+            span.attr("error"),
+            Some(&genedit_telemetry::AttrValue::Str("timeout".into()))
+        );
     }
 
     #[test]
@@ -237,15 +346,18 @@ mod tests {
         m.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::Reformulate,
             "a",
-        )));
+        )))
+        .unwrap();
         m.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::SqlGeneration,
             "b",
-        )));
+        )))
+        .unwrap();
         m.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::SqlGeneration,
             "c",
-        )));
+        )))
+        .unwrap();
         let u = m.usage();
         assert_eq!(u.calls.get("reformulate"), Some(&1));
         assert_eq!(u.calls.get("sql"), Some(&2));
@@ -273,16 +385,19 @@ mod tests {
         a.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::Reformulate,
             "a",
-        )));
+        )))
+        .unwrap();
         a.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::SqlGeneration,
             "b",
-        )));
+        )))
+        .unwrap();
         let b = RecordingModel::new(Echo);
         b.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::SqlGeneration,
             "c",
-        )));
+        )))
+        .unwrap();
         let mut merged = a.usage();
         merged.merge(&b.usage());
         assert_eq!(merged.calls.get("reformulate"), Some(&1));
@@ -305,7 +420,8 @@ mod tests {
         m.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::Reformulate,
             "a",
-        )));
+        )))
+        .unwrap();
         assert_eq!(m.usage().total_calls(), 1);
         m.reset_usage();
         assert_eq!(m.usage().total_calls(), 0);
@@ -318,11 +434,13 @@ mod tests {
         m.complete(&CompletionRequest::with_seed(
             Prompt::new(TaskKind::SqlGeneration, "q"),
             7,
-        ));
+        ))
+        .unwrap();
         m.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::Reformulate,
             "q",
-        )));
+        )))
+        .unwrap();
         let trace = tracer.finish();
         assert_eq!(trace.count(genedit_telemetry::names::LLM_COMPLETE), 2);
         let first = trace.find(genedit_telemetry::names::LLM_COMPLETE).unwrap();

@@ -28,7 +28,7 @@
 //! seed): the same run always produces the same results.
 
 use crate::knowledge::{Corruption, TaskRegistry};
-use crate::model::{CompletionRequest, CompletionResponse, LanguageModel};
+use crate::model::{CompletionRequest, CompletionResponse, LanguageModel, ModelError};
 use crate::prompt::{Plan, PlanStep, Prompt, TaskKind};
 use genedit_knowledge::{decompose, describe_fragment, FragmentKind};
 use genedit_sql::analysis::complexity;
@@ -483,9 +483,9 @@ impl LanguageModel for OracleModel {
         "oracle"
     }
 
-    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         let prompt = &request.prompt;
-        match prompt.task {
+        Ok(match prompt.task {
             TaskKind::Reformulate => CompletionResponse::Text(self.reformulate(&prompt.question)),
             TaskKind::IntentClassification => {
                 CompletionResponse::Items(self.classify_intent(prompt))
@@ -499,7 +499,7 @@ impl LanguageModel for OracleModel {
             TaskKind::SqlGeneration => {
                 CompletionResponse::Sql(self.generate_sql(prompt, request.seed))
             }
-        }
+        })
     }
 }
 
@@ -692,6 +692,7 @@ mod tests {
         p.instructions.push(qoqfp_instruction());
         let sql = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_sql()
             .unwrap()
             .to_string();
@@ -709,6 +710,7 @@ mod tests {
         // No instruction covering QoQFP.
         let sql = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_sql()
             .unwrap()
             .to_string();
@@ -727,6 +729,7 @@ mod tests {
             .push("QoQFP is computed over COC organizations only".into());
         let sql = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_sql()
             .unwrap()
             .to_string();
@@ -749,6 +752,7 @@ mod tests {
         }];
         let sql = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_sql()
             .unwrap()
             .to_string();
@@ -793,6 +797,7 @@ mod tests {
         }
         let plan = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_plan()
             .unwrap()
             .clone();
@@ -834,6 +839,7 @@ mod tests {
         );
         let plan = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_plan()
             .unwrap()
             .clone();
@@ -857,6 +863,7 @@ mod tests {
         p.intent_candidates = vec!["tv_viewership".into(), "financial_performance".into()];
         let items = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_items()
             .unwrap()
             .to_vec();
@@ -879,6 +886,7 @@ mod tests {
         });
         let items = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_items()
             .unwrap()
             .to_vec();
@@ -901,6 +909,7 @@ mod tests {
         p.schema = schema_elements();
         let sql = o
             .complete(&CompletionRequest::new(p))
+            .unwrap()
             .as_sql()
             .unwrap()
             .to_string();

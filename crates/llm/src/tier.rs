@@ -8,7 +8,7 @@
 //! modeled as reduced reasoning effort for generation calls and lossy
 //! recall for schema-linking calls.
 
-use crate::model::{CompletionRequest, CompletionResponse, LanguageModel};
+use crate::model::{CompletionRequest, CompletionResponse, LanguageModel, ModelError};
 use crate::oracle::hash01;
 use crate::prompt::TaskKind;
 use std::sync::Mutex;
@@ -131,12 +131,20 @@ impl<M: LanguageModel> TieredModel<M> {
         self.policy
     }
 
+    /// Lock the ledger, absorbing poisoning: accounting must not cascade
+    /// a panic from elsewhere.
+    fn ledger_lock(&self) -> std::sync::MutexGuard<'_, CostLedger> {
+        self.ledger
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     pub fn ledger(&self) -> CostLedger {
-        self.ledger.lock().expect("ledger lock").clone()
+        self.ledger_lock().clone()
     }
 
     pub fn reset_ledger(&self) {
-        *self.ledger.lock().expect("ledger lock") = CostLedger::default();
+        *self.ledger_lock() = CostLedger::default();
     }
 }
 
@@ -145,12 +153,12 @@ impl<M: LanguageModel> LanguageModel for TieredModel<M> {
         "tiered-oracle"
     }
 
-    fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         let tier = self.policy.tier_for(request.prompt.task);
 
         // Account the spend on the *rendered* prompt size.
         {
-            let mut ledger = self.ledger.lock().expect("ledger lock");
+            let mut ledger = self.ledger_lock();
             let kchars = request.prompt.render().len() as f64 / 1000.0;
             ledger.cost_units += kchars * tier.cost_per_kchar();
             match tier {
@@ -163,7 +171,7 @@ impl<M: LanguageModel> LanguageModel for TieredModel<M> {
         // reasoning-effort channel.
         let mut request = request.clone();
         request.prompt.reasoning_effort *= tier.effort_factor();
-        let response = self.inner.complete(&request);
+        let response = self.inner.complete(&request)?;
 
         // Mini-tier schema linking loses a slice of its recall.
         if request.prompt.task == TaskKind::SchemaLinking && tier.linking_loss() > 0.0 {
@@ -178,10 +186,10 @@ impl<M: LanguageModel> LanguageModel for TieredModel<M> {
                     })
                     .cloned()
                     .collect();
-                return CompletionResponse::Items(kept);
+                return Ok(CompletionResponse::Items(kept));
             }
         }
-        response
+        Ok(response)
     }
 }
 
@@ -195,14 +203,14 @@ mod tests {
         fn name(&self) -> &str {
             "fixed"
         }
-        fn complete(&self, request: &CompletionRequest) -> CompletionResponse {
-            match request.prompt.task {
+        fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+            Ok(match request.prompt.task {
                 TaskKind::SchemaLinking => {
                     CompletionResponse::Items((0..50).map(|i| format!("T.C{i}")).collect())
                 }
                 // Echo the effective effort so tests can observe routing.
                 _ => CompletionResponse::Text(format!("{:.2}", request.prompt.reasoning_effort)),
-            }
+            })
         }
     }
 
@@ -223,11 +231,13 @@ mod tests {
         m.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::SchemaLinking,
             "q",
-        )));
+        )))
+        .unwrap();
         m.complete(&CompletionRequest::new(Prompt::new(
             TaskKind::SqlGeneration,
             "q",
-        )));
+        )))
+        .unwrap();
         let ledger = m.ledger();
         assert_eq!(ledger.mini_calls, 1);
         assert_eq!(ledger.full_calls, 1);
@@ -241,43 +251,52 @@ mod tests {
         let full = TieredModel::new(Fixed, TierPolicy::all_full());
         let mini = TieredModel::new(Fixed, TierPolicy::all_mini());
         let prompt = Prompt::new(TaskKind::SqlGeneration, "the same long question text here");
-        full.complete(&CompletionRequest::new(prompt.clone()));
-        mini.complete(&CompletionRequest::new(prompt));
+        full.complete(&CompletionRequest::new(prompt.clone()))
+            .unwrap();
+        mini.complete(&CompletionRequest::new(prompt)).unwrap();
         assert!(mini.ledger().cost_units < full.ledger().cost_units / 10.0);
     }
 
     #[test]
     fn mini_linking_drops_some_items() {
         let m = TieredModel::new(Fixed, TierPolicy::paper());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(
-            TaskKind::SchemaLinking,
-            "q",
-        )));
+        let r = m
+            .complete(&CompletionRequest::new(Prompt::new(
+                TaskKind::SchemaLinking,
+                "q",
+            )))
+            .unwrap();
         let kept = r.as_items().unwrap().len();
         assert!(kept < 50, "mini linking should lose items");
         assert!(kept > 30, "but only a small slice");
         // Full tier keeps everything.
         let m = TieredModel::new(Fixed, TierPolicy::all_full());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(
-            TaskKind::SchemaLinking,
-            "q",
-        )));
+        let r = m
+            .complete(&CompletionRequest::new(Prompt::new(
+                TaskKind::SchemaLinking,
+                "q",
+            )))
+            .unwrap();
         assert_eq!(r.as_items().unwrap().len(), 50);
     }
 
     #[test]
     fn mini_reduces_generation_effort() {
         let m = TieredModel::new(Fixed, TierPolicy::all_mini());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(
-            TaskKind::SqlGeneration,
-            "q",
-        )));
+        let r = m
+            .complete(&CompletionRequest::new(Prompt::new(
+                TaskKind::SqlGeneration,
+                "q",
+            )))
+            .unwrap();
         assert_eq!(r.as_text().unwrap(), "0.55");
         let m = TieredModel::new(Fixed, TierPolicy::all_full());
-        let r = m.complete(&CompletionRequest::new(Prompt::new(
-            TaskKind::SqlGeneration,
-            "q",
-        )));
+        let r = m
+            .complete(&CompletionRequest::new(Prompt::new(
+                TaskKind::SqlGeneration,
+                "q",
+            )))
+            .unwrap();
         assert_eq!(r.as_text().unwrap(), "1.00");
     }
 }

@@ -19,6 +19,10 @@ pub struct OperatorStats {
     /// `llm.complete` spans nested (at any depth) inside spans of this
     /// name — the cost-attribution number behind §3.3.3's model swaps.
     pub llm_calls: usize,
+    /// Spans of this name carrying a `degraded = true` attribute — the
+    /// operator fell back to its degradation path after its model call
+    /// ultimately failed.
+    pub degraded: usize,
 }
 
 /// Aggregate every span name appearing in `traces`. The map includes the
@@ -41,10 +45,14 @@ where
                 total_ms: 0.0,
                 mean_ms: 0.0,
                 llm_calls: 0,
+                degraded: 0,
             });
             entry.count += 1;
             entry.total_ms += span.duration.as_secs_f64() * 1e3;
             entry.llm_calls += llm_calls;
+            if span.attr("degraded") == Some(&crate::span::AttrValue::Bool(true)) {
+                entry.degraded += 1;
+            }
         }
     }
     for stats in out.values_mut() {
@@ -103,5 +111,28 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_map() {
         assert!(operator_breakdown(std::iter::empty::<&Trace>()).is_empty());
+    }
+
+    #[test]
+    fn degraded_attribute_is_counted() {
+        let tracer = Tracer::new("t");
+        {
+            let _root = tracer.span(names::GENERATE);
+            {
+                let span = tracer.span(names::REFORMULATE);
+                span.attr("degraded", true);
+            }
+            tracer.span(names::REFORMULATE).finish();
+            {
+                let span = tracer.span(names::PLAN);
+                span.attr("degraded", false);
+            }
+        }
+        let trace = tracer.finish();
+        let breakdown = operator_breakdown([&trace]);
+        assert_eq!(breakdown[names::REFORMULATE].count, 2);
+        assert_eq!(breakdown[names::REFORMULATE].degraded, 1);
+        assert_eq!(breakdown[names::PLAN].degraded, 0);
+        assert_eq!(breakdown[names::GENERATE].degraded, 0);
     }
 }

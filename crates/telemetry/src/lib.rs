@@ -50,6 +50,9 @@ pub mod names {
     pub const VALIDATE: &str = "sql.validate";
     /// One `LanguageModel::complete` call (recorded by `TracedModel`).
     pub const LLM_COMPLETE: &str = "llm.complete";
+    /// One backoff between failed `llm.complete` attempts (recorded by
+    /// `ResilientModel`).
+    pub const LLM_RETRY: &str = "llm.retry";
     /// Feedback operator 1: Generate Targets (§4.1).
     pub const FEEDBACK_TARGETS: &str = "feedback.generate_targets";
     /// Feedback operator 2: Expand Feedback.

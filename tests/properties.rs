@@ -218,8 +218,12 @@ proptest! {
                 top_values: vec![],
             });
         }
-        let a = oracle.complete(&CompletionRequest::with_seed(prompt.clone(), seed));
-        let b = oracle.complete(&CompletionRequest::with_seed(prompt, seed));
+        let a = oracle
+            .complete(&CompletionRequest::with_seed(prompt.clone(), seed))
+            .unwrap();
+        let b = oracle
+            .complete(&CompletionRequest::with_seed(prompt, seed))
+            .unwrap();
         prop_assert_eq!(a.clone(), b);
         // The causal contract: term coverage controls the flag filter.
         let sql = a.as_sql().unwrap();
