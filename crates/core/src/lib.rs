@@ -34,5 +34,6 @@ pub use harness::Harness;
 pub use index::KnowledgeIndex;
 pub use pipeline::{GenEditPipeline, GenerationResult};
 pub use regression::{
-    run_regression, submit_edits, GoldenQuery, RegressionOutcome, SubmissionResult,
+    run_regression, submit_edits, submit_edits_durable, GoldenQuery, RegressionOutcome,
+    SubmissionResult, SubmitError,
 };

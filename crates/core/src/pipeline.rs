@@ -51,6 +51,26 @@ pub struct GenerationResult {
     pub trace: Trace,
 }
 
+impl GenerationResult {
+    /// How many spans took their degradation path during this generation
+    /// (operators or attempts marked `degraded` after losing their model
+    /// call). A non-zero count means the output came from a weakened
+    /// pipeline — consumers comparing runs (e.g. the regression gate)
+    /// should treat such runs as less trustworthy.
+    pub fn degraded_operator_count(&self) -> usize {
+        self.trace
+            .all_spans()
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.attr("degraded"),
+                    Some(genedit_telemetry::AttrValue::Bool(true))
+                )
+            })
+            .count()
+    }
+}
+
 /// The pipeline. Generic over the model so tests can stub it; in the
 /// reproduction the model is the deterministic oracle.
 pub struct GenEditPipeline<M> {

@@ -5,9 +5,12 @@
 
 use crate::index::KnowledgeIndex;
 use crate::pipeline::GenEditPipeline;
-use genedit_knowledge::{KnowledgeSet, StagingArea};
+use genedit_knowledge::{
+    CommitError, DurableKnowledgeStore, KnowledgeError, KnowledgeSet, StagingArea, StoreError,
+};
 use genedit_llm::LanguageModel;
 use genedit_sql::catalog::Database;
+use std::fmt;
 
 /// A golden question whose behaviour must not regress.
 #[derive(Debug, Clone)]
@@ -28,12 +31,26 @@ pub struct RegressionOutcome {
     /// Questions newly fixed by the staged edits.
     pub improvements: Vec<String>,
     pub total: usize,
+    /// Spans that took their degradation path during the *before* runs.
+    /// A degraded before-run can manufacture a spurious regression (the
+    /// baseline looked worse than the deployed system really is) — or,
+    /// symmetrically, mask a real one.
+    pub before_degraded: usize,
+    /// Degraded spans during the *after* (staged-view) runs.
+    pub after_degraded: usize,
 }
 
 impl RegressionOutcome {
     /// Edits pass regression testing when nothing that worked broke.
     pub fn passed(&self) -> bool {
         self.regressions.is_empty()
+    }
+
+    /// Whether the before/after diff can be trusted: no generation on
+    /// either side ran through a degraded operator. When false, approvers
+    /// should re-run the suite rather than act on the diff.
+    pub fn gate_trustworthy(&self) -> bool {
+        self.before_degraded == 0 && self.after_degraded == 0
     }
 }
 
@@ -56,12 +73,16 @@ pub fn run_regression<M: LanguageModel>(
         regressions: Vec::new(),
         improvements: Vec::new(),
         total: golden.len(),
+        before_degraded: 0,
+        after_degraded: 0,
     };
     for g in golden {
         let before = pipeline.generate(&g.question, &before_index, db, &[]);
         let (before_ok, _) = genedit_bird::score_prediction(db, &g.gold_sql, before.sql.as_deref());
         let after = pipeline.generate(&g.question, &after_index, db, &[]);
         let (after_ok, _) = genedit_bird::score_prediction(db, &g.gold_sql, after.sql.as_deref());
+        outcome.before_degraded += before.degraded_operator_count();
+        outcome.after_degraded += after.degraded_operator_count();
         if before_ok {
             outcome.before_correct += 1;
         }
@@ -91,11 +112,69 @@ pub enum SubmissionResult {
     ApprovalDeclined(RegressionOutcome),
 }
 
+impl SubmissionResult {
+    /// The regression outcome behind this decision, whatever it was.
+    pub fn outcome(&self) -> &RegressionOutcome {
+        match self {
+            SubmissionResult::Merged { outcome, .. }
+            | SubmissionResult::RegressionFailed(outcome)
+            | SubmissionResult::ApprovalDeclined(outcome) => outcome,
+        }
+    }
+
+    /// Whether the gate that produced this decision ran degradation-free
+    /// — see [`RegressionOutcome::gate_trustworthy`].
+    pub fn gate_trustworthy(&self) -> bool {
+        self.outcome().gate_trustworthy()
+    }
+}
+
 impl PartialEq for RegressionOutcome {
     fn eq(&self, other: &Self) -> bool {
         self.before_correct == other.before_correct
             && self.after_correct == other.after_correct
             && self.regressions == other.regressions
+    }
+}
+
+/// Why a submission could not complete (distinct from a submission that
+/// completed with a negative decision, which is a [`SubmissionResult`]).
+#[derive(Debug)]
+pub enum SubmitError {
+    /// A staged edit no longer applies to the deployed set (detected
+    /// while materializing the staged view; nothing was run or merged).
+    Knowledge(KnowledgeError),
+    /// The approved merge failed while committing to the in-memory set.
+    Commit(CommitError),
+    /// The approved merge failed while committing to the durable store.
+    Store(StoreError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Knowledge(e) => write!(f, "staged edits no longer apply: {e}"),
+            SubmitError::Commit(e) => write!(f, "merge failed: {e}"),
+            SubmitError::Store(e) => write!(f, "durable merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<KnowledgeError> for SubmitError {
+    fn from(e: KnowledgeError) -> SubmitError {
+        SubmitError::Knowledge(e)
+    }
+}
+impl From<CommitError> for SubmitError {
+    fn from(e: CommitError) -> SubmitError {
+        SubmitError::Commit(e)
+    }
+}
+impl From<StoreError> for SubmitError {
+    fn from(e: StoreError) -> SubmitError {
+        SubmitError::Store(e)
     }
 }
 
@@ -109,7 +188,7 @@ pub fn submit_edits<M: LanguageModel>(
     golden: &[GoldenQuery],
     approve: impl FnOnce(&RegressionOutcome) -> bool,
     merge_label: &str,
-) -> Result<SubmissionResult, genedit_knowledge::KnowledgeError> {
+) -> Result<SubmissionResult, SubmitError> {
     let outcome = run_regression(pipeline, db, deployed, &staging, golden)?;
     if !outcome.passed() {
         return Ok(SubmissionResult::RegressionFailed(outcome));
@@ -124,12 +203,39 @@ pub fn submit_edits<M: LanguageModel>(
     })
 }
 
+/// [`submit_edits`] against a [`DurableKnowledgeStore`]: an approved merge
+/// is journaled (`BatchStart ‖ edits ‖ BatchCommit`) before it becomes
+/// visible, so a crash at any point during the merge recovers to either
+/// the full merge or none of it.
+pub fn submit_edits_durable<M: LanguageModel>(
+    pipeline: &GenEditPipeline<M>,
+    db: &Database,
+    store: &mut DurableKnowledgeStore,
+    staging: StagingArea,
+    golden: &[GoldenQuery],
+    approve: impl FnOnce(&RegressionOutcome) -> bool,
+    merge_label: &str,
+) -> Result<SubmissionResult, SubmitError> {
+    let outcome = run_regression(pipeline, db, store.set(), &staging, golden)?;
+    if !outcome.passed() {
+        return Ok(SubmissionResult::RegressionFailed(outcome));
+    }
+    if !approve(&outcome) {
+        return Ok(SubmissionResult::ApprovalDeclined(outcome));
+    }
+    let checkpoint = store.commit(staging, merge_label)?;
+    Ok(SubmissionResult::Merged {
+        checkpoint,
+        outcome,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use genedit_bird::{DomainBundle, SPORTS};
     use genedit_knowledge::{Edit, SourceRef};
-    use genedit_llm::{OracleConfig, OracleModel, TaskRegistry};
+    use genedit_llm::{FaultConfig, FaultInjector, OracleConfig, OracleModel, TaskRegistry};
 
     fn setup() -> (DomainBundle, KnowledgeSet, OracleModel) {
         let bundle = DomainBundle::build(&SPORTS, (8, 7, 3), 42);
@@ -276,5 +382,116 @@ mod tests {
         };
         ks.revert_to(checkpoint).unwrap();
         assert!(ks.content_eq(&before));
+    }
+
+    #[test]
+    fn healthy_runs_report_a_trustworthy_gate() {
+        let (bundle, mut ks, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let golden = golden_from(&bundle, 3);
+        let mut staging = StagingArea::new();
+        staging.stage(Edit::InsertInstruction {
+            intent: None,
+            text: "harmless note".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Manual,
+        });
+        let result = submit_edits(
+            &pipeline,
+            &bundle.db,
+            &mut ks,
+            staging,
+            &golden,
+            |_| true,
+            "merge",
+        )
+        .unwrap();
+        assert!(result.gate_trustworthy());
+        assert_eq!(result.outcome().before_degraded, 0);
+        assert_eq!(result.outcome().after_degraded, 0);
+    }
+
+    #[test]
+    fn degraded_runs_mark_the_gate_untrustworthy() {
+        let (bundle, mut ks, oracle) = setup();
+        // Every model call fails and there is no resilience layer, so the
+        // operator ladder degrades on both the before and after runs.
+        let faulty = FaultInjector::new(&oracle, FaultConfig::transient_only(1.0), 7);
+        let pipeline = GenEditPipeline::new(&faulty);
+        let golden = golden_from(&bundle, 3);
+        let mut staging = StagingArea::new();
+        staging.stage(Edit::InsertInstruction {
+            intent: None,
+            text: "harmless note".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Manual,
+        });
+        let result = submit_edits(
+            &pipeline,
+            &bundle.db,
+            &mut ks,
+            staging,
+            &golden,
+            |_| true,
+            "merge under fire",
+        )
+        .unwrap();
+        let outcome = result.outcome();
+        assert!(outcome.before_degraded > 0, "{outcome:?}");
+        assert!(outcome.after_degraded > 0, "{outcome:?}");
+        assert!(!result.gate_trustworthy());
+    }
+
+    #[test]
+    fn durable_submission_journals_the_merge() {
+        use genedit_knowledge::{DurableKnowledgeStore, MemFs, StoreConfig, StoreFs};
+        use std::sync::Arc;
+
+        let (bundle, ks, oracle) = setup();
+        let pipeline = GenEditPipeline::new(&oracle);
+        let mem = Arc::new(MemFs::new());
+        let fs: Arc<dyn StoreFs> = Arc::clone(&mem) as Arc<dyn StoreFs>;
+        let mut store =
+            DurableKnowledgeStore::open_with(fs, "k.json", "k.wal", StoreConfig::default(), None)
+                .unwrap();
+        // Seed the store from the bundle's knowledge log, durably.
+        for logged in ks.log() {
+            store.apply(logged.edit.clone()).unwrap();
+        }
+        let mut staging = StagingArea::new();
+        staging.stage(Edit::InsertInstruction {
+            intent: None,
+            text: "durable note".into(),
+            sql_hint: None,
+            term: None,
+            source: SourceRef::Feedback { feedback_id: 9 },
+        });
+        let golden = golden_from(&bundle, 3);
+        let result = submit_edits_durable(
+            &pipeline,
+            &bundle.db,
+            &mut store,
+            staging,
+            &golden,
+            |outcome| outcome.passed(),
+            "durable merge",
+        )
+        .unwrap();
+        assert!(matches!(result, SubmissionResult::Merged { .. }));
+        let live = store.set().clone();
+        // The merge survives a crash: everything was journaled first.
+        mem.crash();
+        let fs2: Arc<dyn StoreFs> = Arc::clone(&mem) as Arc<dyn StoreFs>;
+        let reopened =
+            DurableKnowledgeStore::open_with(fs2, "k.json", "k.wal", StoreConfig::default(), None)
+                .unwrap();
+        assert!(reopened.set().content_eq(&live));
+        assert!(reopened
+            .set()
+            .instructions()
+            .iter()
+            .any(|i| i.text == "durable note"));
     }
 }

@@ -17,27 +17,40 @@
 //! assert!(frags.iter().any(|f| f.pseudo_sql() == "... WHERE R > 10 ..."));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod decompose;
+pub mod fs;
+pub mod journal;
 pub mod mine;
 pub mod persist;
 pub mod preprocess;
+pub mod recovery;
 pub mod refresh;
 pub mod set;
 pub mod staging;
+pub mod store;
 pub mod types;
 
 pub use decompose::{decompose, decompose_sql, split_conjuncts, to_cte_normal_form};
+pub use fs::{FaultyFs, IoFaultConfig, IoFaultLog, MemFs, RealFs, StoreFs};
+pub use journal::{
+    crc32, encode_record, scan, FsyncPolicy, Journal, JournalError, JournalRecord, ScanEnd,
+    ScanOutcome,
+};
 pub use mine::{mine_intents, IntentProposal};
-pub use persist::{from_json, load, save, to_json, PersistError};
+pub use persist::{from_json, load, load_with_limit, save, to_json, PersistError};
 pub use preprocess::{
     build_knowledge_set, build_knowledge_set_traced, describe_fragment, DomainDocument, Guideline,
     PreprocessConfig, QueryLogEntry, TermDefinition,
 };
+pub use recovery::{recover, RecoveryOutcome, RecoveryReport};
 pub use refresh::{refresh_document, RefreshReport};
 pub use set::{
     CheckpointInfo, Edit, EditOutcome, KnowledgeError, KnowledgeSet, KnowledgeStats, LoggedEdit,
 };
-pub use staging::{StagedEdit, StagingArea};
+pub use staging::{CommitError, StagedEdit, StagingArea};
+pub use store::{DurableKnowledgeStore, StoreConfig, StoreError};
 pub use types::{
     Example, ExampleId, FragmentKind, Instruction, InstructionId, Intent, Provenance,
     RetrievalStage, SchemaElement, SourceRef, SqlFragment,

@@ -9,34 +9,67 @@ use crate::set::KnowledgeSet;
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Persistence errors.
+/// Default ceiling for [`load`]: snapshots above this refuse to load.
+/// Large enough for any realistic knowledge set, small enough that a
+/// corrupted length or a mis-pointed path can't trigger a giant read.
+pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Persistence errors. File-level variants carry the offending path so
+/// corruption reports are actionable; `None` means the operation was not
+/// tied to a file (e.g. [`from_json`] on an in-memory string).
 #[derive(Debug)]
 pub enum PersistError {
-    Io(io::Error),
+    Io {
+        path: Option<PathBuf>,
+        source: io::Error,
+    },
     Encode(serde_json::Error),
-    Decode(serde_json::Error),
+    Decode {
+        path: Option<PathBuf>,
+        source: serde_json::Error,
+    },
+    /// The file exceeds the configured size guard; nothing was read.
+    TooLarge {
+        path: PathBuf,
+        len: u64,
+        limit: u64,
+    },
+}
+
+impl PersistError {
+    fn io(path: &Path) -> impl FnOnce(io::Error) -> PersistError + '_ {
+        move |source| PersistError::Io {
+            path: Some(path.to_path_buf()),
+            source,
+        }
+    }
 }
 
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let at = |path: &Option<PathBuf>| match path {
+            Some(p) => format!(" ({})", p.display()),
+            None => String::new(),
+        };
         match self {
-            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Io { path, source } => write!(f, "io error{}: {source}", at(path)),
             PersistError::Encode(e) => write!(f, "encode error: {e}"),
-            PersistError::Decode(e) => write!(f, "decode error: {e}"),
+            PersistError::Decode { path, source } => {
+                write!(f, "decode error{}: {source}", at(path))
+            }
+            PersistError::TooLarge { path, len, limit } => write!(
+                f,
+                "refusing to load {}: {len} bytes exceeds the {limit}-byte limit",
+                path.display()
+            ),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
-
-impl From<io::Error> for PersistError {
-    fn from(e: io::Error) -> Self {
-        PersistError::Io(e)
-    }
-}
 
 /// Serialize the set (content + log + checkpoints) to pretty JSON.
 pub fn to_json(ks: &KnowledgeSet) -> Result<String, PersistError> {
@@ -45,7 +78,7 @@ pub fn to_json(ks: &KnowledgeSet) -> Result<String, PersistError> {
 
 /// Restore a set from JSON produced by [`to_json`].
 pub fn from_json(json: &str) -> Result<KnowledgeSet, PersistError> {
-    serde_json::from_str(json).map_err(PersistError::Decode)
+    serde_json::from_str(json).map_err(|source| PersistError::Decode { path: None, source })
 }
 
 /// Monotonic discriminator so concurrent saves in one process never share
@@ -77,14 +110,43 @@ pub fn save(ks: &KnowledgeSet, path: impl AsRef<Path>) -> Result<(), PersistErro
     write_and_sync().map_err(|err| {
         // Best effort: never leave an orphaned temp file behind.
         let _ = fs::remove_file(&tmp);
-        PersistError::Io(err)
+        PersistError::Io {
+            path: Some(path.to_path_buf()),
+            source: err,
+        }
     })
 }
 
-/// Load a set from a file written by [`save`].
+/// Load a set from a file written by [`save`], refusing files larger than
+/// [`DEFAULT_MAX_BYTES`].
 pub fn load(path: impl AsRef<Path>) -> Result<KnowledgeSet, PersistError> {
-    let json = fs::read_to_string(path)?;
-    from_json(&json)
+    load_with_limit(path, DEFAULT_MAX_BYTES)
+}
+
+/// [`load`] with an explicit size guard: the file's length is checked
+/// *before* any bytes are read, so a corrupt or mis-pointed path can
+/// never trigger an oversized allocation.
+pub fn load_with_limit(
+    path: impl AsRef<Path>,
+    max_bytes: u64,
+) -> Result<KnowledgeSet, PersistError> {
+    let path = path.as_ref();
+    let len = fs::metadata(path).map_err(PersistError::io(path))?.len();
+    if len > max_bytes {
+        return Err(PersistError::TooLarge {
+            path: path.to_path_buf(),
+            len,
+            limit: max_bytes,
+        });
+    }
+    let json = fs::read_to_string(path).map_err(PersistError::io(path))?;
+    from_json(&json).map_err(|e| match e {
+        PersistError::Decode { source, .. } => PersistError::Decode {
+            path: Some(path.to_path_buf()),
+            source,
+        },
+        other => other,
+    })
 }
 
 #[cfg(test)]
@@ -185,11 +247,46 @@ mod tests {
     fn decode_errors_are_reported() {
         assert!(matches!(
             from_json("not json"),
-            Err(PersistError::Decode(_))
+            Err(PersistError::Decode { path: None, .. })
         ));
         assert!(matches!(
             load("/nonexistent/genedit.json"),
-            Err(PersistError::Io(_))
+            Err(PersistError::Io { path: Some(_), .. })
         ));
+    }
+
+    #[test]
+    fn errors_carry_the_offending_path() {
+        let dir = std::env::temp_dir().join("genedit-persist-paths");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{ not a knowledge set").unwrap();
+        match load(&path) {
+            Err(PersistError::Decode { path: Some(p), .. }) => assert_eq!(p, path),
+            other => panic!("expected Decode with path, got {other:?}"),
+        }
+        let message = load(&path).unwrap_err().to_string();
+        assert!(message.contains("corrupt.json"), "{message}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn size_guard_refuses_before_reading() {
+        let dir = std::env::temp_dir().join("genedit-persist-guard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.json");
+        let ks = sample();
+        save(&ks, &path).unwrap();
+        let actual = std::fs::metadata(&path).unwrap().len();
+        match load_with_limit(&path, actual - 1) {
+            Err(PersistError::TooLarge { len, limit, .. }) => {
+                assert_eq!(len, actual);
+                assert_eq!(limit, actual - 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // At or above the real size, the guard lets the load through.
+        assert!(load_with_limit(&path, actual).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 }

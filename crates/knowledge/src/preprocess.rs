@@ -9,7 +9,7 @@ use crate::decompose::decompose_sql;
 use crate::set::{Edit, KnowledgeSet};
 use crate::types::{FragmentKind, Intent, SchemaElement, SourceRef, SqlFragment};
 use genedit_sql::catalog::Database;
-use genedit_sql::error::EngineResult;
+use genedit_sql::error::{EngineError, EngineResult};
 
 /// One historical query from the execution logs.
 #[derive(Debug, Clone)]
@@ -77,6 +77,14 @@ impl PreprocessConfig {
     }
 }
 
+/// Surface a rejected pre-processing edit (a duplicate intent from the
+/// config, say) as a regular engine error instead of a panic.
+fn applied<T>(result: Result<T, crate::set::KnowledgeError>) -> EngineResult<()> {
+    result
+        .map(|_| ())
+        .map_err(|e| EngineError::execution(format!("pre-processing edit rejected: {e}")))
+}
+
 /// Build a knowledge set from logs, documents, and the database schema.
 ///
 /// Everything goes through [`KnowledgeSet::apply`], so the resulting set
@@ -110,8 +118,7 @@ pub fn build_knowledge_set_traced(
     let mut ks = KnowledgeSet::new();
 
     for intent in &config.intents {
-        ks.apply(Edit::AddIntent(intent.clone()))
-            .expect("intents are unique");
+        applied(ks.apply(Edit::AddIntent(intent.clone())))?;
     }
 
     // Examples: decompose every logged query into clause fragments, or —
@@ -122,7 +129,7 @@ pub fn build_knowledge_set_traced(
             let fragments = decompose_sql(&entry.sql)?;
             for fragment in fragments {
                 let description = describe_fragment(&fragment, &entry.question);
-                ks.apply(Edit::InsertExample {
+                applied(ks.apply(Edit::InsertExample {
                     intent: entry.intent.clone(),
                     description,
                     fragment,
@@ -130,14 +137,13 @@ pub fn build_knowledge_set_traced(
                     source: SourceRef::QueryLog {
                         log_id: entry.log_id,
                     },
-                })
-                .expect("insert never fails");
+                }))?;
             }
         } else {
             // Validate even when not decomposing: malformed logs should
             // fail loudly either way.
             genedit_sql::parser::parse_statement(&entry.sql)?;
-            ks.apply(Edit::InsertExample {
+            applied(ks.apply(Edit::InsertExample {
                 intent: entry.intent.clone(),
                 description: entry.question.clone(),
                 fragment: SqlFragment::new(FragmentKind::FullQuery, entry.sql.clone(), "main"),
@@ -145,8 +151,7 @@ pub fn build_knowledge_set_traced(
                 source: SourceRef::QueryLog {
                     log_id: entry.log_id,
                 },
-            })
-            .expect("insert never fails");
+            }))?;
         }
     }
     span.attr("examples", ks.examples().len());
@@ -156,7 +161,7 @@ pub fn build_knowledge_set_traced(
     let span = tracer.span("knowledge.instructions");
     for doc in docs {
         for term in &doc.terms {
-            ks.apply(Edit::InsertInstruction {
+            applied(ks.apply(Edit::InsertInstruction {
                 intent: term.intent.clone(),
                 text: format!("{} means: {}", term.term, term.meaning),
                 sql_hint: term.sql.clone(),
@@ -165,10 +170,9 @@ pub fn build_knowledge_set_traced(
                     doc_id: doc.doc_id,
                     section: "terms".into(),
                 },
-            })
-            .expect("insert never fails");
+            }))?;
             if let Some(sql) = &term.sql {
-                ks.apply(Edit::InsertExample {
+                applied(ks.apply(Edit::InsertExample {
                     intent: term.intent.clone(),
                     description: format!("{} ({})", term.term, term.meaning),
                     fragment: SqlFragment::new(FragmentKind::TermDefinition, sql.clone(), "main"),
@@ -177,12 +181,11 @@ pub fn build_knowledge_set_traced(
                         doc_id: doc.doc_id,
                         section: "terms".into(),
                     },
-                })
-                .expect("insert never fails");
+                }))?;
             }
         }
         for g in &doc.guidelines {
-            ks.apply(Edit::InsertInstruction {
+            applied(ks.apply(Edit::InsertInstruction {
                 intent: g.intent.clone(),
                 text: g.text.clone(),
                 sql_hint: g.sql_hint.clone(),
@@ -191,8 +194,7 @@ pub fn build_knowledge_set_traced(
                     doc_id: doc.doc_id,
                     section: g.section.clone(),
                 },
-            })
-            .expect("insert never fails");
+            }))?;
         }
     }
 
@@ -213,24 +215,22 @@ pub fn build_knowledge_set_traced(
             .filter(|(_, t)| t.eq_ignore_ascii_case(&table.name))
             .map(|(i, _)| i.clone())
             .collect();
-        ks.apply(Edit::AddSchemaElement(SchemaElement {
+        applied(ks.apply(Edit::AddSchemaElement(SchemaElement {
             table: table.name.clone(),
             column: None,
             description: table.description.clone().unwrap_or_default(),
             top_values: Vec::new(),
             intents: table_intents.clone(),
-        }))
-        .expect("insert never fails");
+        })))?;
         for col in &table.columns {
             let profile = table.top_values(&col.name, k)?;
-            ks.apply(Edit::AddSchemaElement(SchemaElement {
+            applied(ks.apply(Edit::AddSchemaElement(SchemaElement {
                 table: table.name.clone(),
                 column: Some(col.name.clone()),
                 description: col.description.clone().unwrap_or_default(),
                 top_values: profile.top_values.into_iter().map(|(v, _)| v).collect(),
                 intents: table_intents.clone(),
-            }))
-            .expect("insert never fails");
+            })))?;
         }
     }
     span.attr("schema_elements", ks.schema_elements().len());

@@ -254,10 +254,38 @@ impl KnowledgeSet {
     // Mutation
     // ------------------------------------------------------------------
 
-    /// Apply an edit, logging it.
+    /// Validate an edit against the current state without applying it.
+    /// `Ok(())` guarantees the matching [`KnowledgeSet::apply`] succeeds —
+    /// the durable store journals edits *before* applying them and relies
+    /// on this check to never journal a record that cannot replay.
+    pub fn check(&self, edit: &Edit) -> Result<(), KnowledgeError> {
+        match edit {
+            Edit::UpdateExample { id, .. } | Edit::DeleteExample { id } => {
+                self.example(*id)
+                    .ok_or(KnowledgeError::NoSuchExample(*id))?;
+            }
+            Edit::UpdateInstruction { id, .. } | Edit::DeleteInstruction { id } => {
+                self.instruction(*id)
+                    .ok_or(KnowledgeError::NoSuchInstruction(*id))?;
+            }
+            Edit::AddIntent(intent) => {
+                if self.intent(&intent.key).is_some() {
+                    return Err(KnowledgeError::DuplicateIntent(intent.key.clone()));
+                }
+            }
+            Edit::InsertExample { .. }
+            | Edit::InsertInstruction { .. }
+            | Edit::AddSchemaElement(_)
+            | Edit::AddRetrievalHint { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Apply an edit, logging it. A rejected edit leaves the set fully
+    /// unchanged — including the logical clock — so a set that survived
+    /// failed applies still replays bit-identically from its log.
     pub fn apply(&mut self, edit: Edit) -> Result<EditOutcome, KnowledgeError> {
         let tick = self.state.tick;
-        self.state.tick += 1;
         let outcome = match &edit {
             Edit::InsertExample {
                 intent,
@@ -397,6 +425,7 @@ impl KnowledgeSet {
                 EditOutcome::Applied
             }
         };
+        self.state.tick += 1;
         self.log.push(LoggedEdit {
             seq: self.log.len() as u64,
             tick,
@@ -586,6 +615,53 @@ mod tests {
         let _cp1 = ks.checkpoint("one");
         ks.revert_to(cp0).unwrap();
         assert_eq!(ks.checkpoints().len(), 1);
+    }
+
+    #[test]
+    fn failed_apply_leaves_set_replayable() {
+        let mut ks = KnowledgeSet::new();
+        let a = insert_example(&mut ks, "a");
+        ks.apply(Edit::DeleteExample { id: a }).unwrap();
+        // A rejected edit must not advance the logical clock...
+        let tick_before = ks.tick();
+        assert!(ks.apply(Edit::DeleteExample { id: a }).is_err());
+        assert_eq!(ks.tick(), tick_before);
+        insert_example(&mut ks, "b");
+        // ...so the log still replays to the identical state (ticks and
+        // all) even though a failed apply happened in between.
+        let replayed = KnowledgeSet::from_log(ks.log().iter().map(|l| l.edit.clone())).unwrap();
+        assert!(ks.content_eq(&replayed));
+        assert_eq!(ks.tick(), replayed.tick());
+    }
+
+    #[test]
+    fn check_mirrors_apply_outcomes() {
+        let mut ks = KnowledgeSet::new();
+        let id = insert_example(&mut ks, "a");
+        ks.apply(Edit::AddIntent(Intent::new("fin", "Financial", "")))
+            .unwrap();
+        let candidates = vec![
+            Edit::DeleteExample { id },
+            Edit::DeleteExample { id: ExampleId(999) },
+            Edit::DeleteInstruction {
+                id: InstructionId(0),
+            },
+            Edit::AddIntent(Intent::new("fin", "Again", "")),
+            Edit::AddIntent(Intent::new("view", "Viewership", "")),
+            Edit::InsertExample {
+                intent: None,
+                description: "d".into(),
+                fragment: frag("WHERE B = 2"),
+                term: None,
+                source: SourceRef::Manual,
+            },
+        ];
+        for edit in candidates {
+            let checked = ks.check(&edit);
+            let mut probe = ks.clone();
+            let applied = probe.apply(edit.clone()).map(|_| ());
+            assert_eq!(checked, applied, "check/apply disagree on {edit:?}");
+        }
     }
 
     #[test]

@@ -9,6 +9,37 @@
 //! (after regression testing and approval, which the core crate drives).
 
 use crate::set::{Edit, KnowledgeError, KnowledgeSet};
+use std::fmt;
+
+/// Why a [`StagingArea::commit`] failed.
+#[derive(Debug)]
+pub enum CommitError {
+    /// A staged edit refused to apply; the merge was rolled back to the
+    /// pre-merge checkpoint and the deployed set is unchanged.
+    Apply(KnowledgeError),
+    /// A staged edit refused to apply *and* the rollback to the pre-merge
+    /// checkpoint failed too — the deployed set may hold a partial merge
+    /// and should be restored from its audit log or a durable store.
+    RollbackFailed {
+        apply: KnowledgeError,
+        rollback: KnowledgeError,
+    },
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Apply(e) => write!(f, "staged edit no longer applies: {e}"),
+            CommitError::RollbackFailed { apply, rollback } => write!(
+                f,
+                "staged edit no longer applies ({apply}) and rollback failed ({rollback}); \
+                 the deployed set may be partially merged"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
 
 /// A staged edit with its stable handle.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,14 +105,16 @@ impl StagingArea {
     /// Merge the staged edits into the deployed set, consuming the area.
     /// A checkpoint labeled `label` is recorded *before* the merge so the
     /// merge can be reverted as a unit.
-    pub fn commit(self, base: &mut KnowledgeSet, label: &str) -> Result<u64, KnowledgeError> {
+    pub fn commit(self, base: &mut KnowledgeSet, label: &str) -> Result<u64, CommitError> {
         let checkpoint = base.checkpoint(label);
         for s in self.staged {
-            if let Err(e) = base.apply(s.edit) {
+            if let Err(apply) = base.apply(s.edit) {
                 // Roll the whole merge back; partial merges would leave the
                 // deployed set inconsistent with what was regression-tested.
-                base.revert_to(checkpoint).expect("checkpoint just created");
-                return Err(e);
+                return Err(match base.revert_to(checkpoint) {
+                    Ok(()) => CommitError::Apply(apply),
+                    Err(rollback) => CommitError::RollbackFailed { apply, rollback },
+                });
             }
         }
         Ok(checkpoint)
@@ -149,7 +182,10 @@ mod tests {
         area.stage(Edit::DeleteExample { id });
         area.stage(Edit::DeleteExample { id }); // second delete fails
         let before = base.clone();
-        assert!(area.commit(&mut base, "doomed").is_err());
+        match area.commit(&mut base, "doomed") {
+            Err(CommitError::Apply(_)) => {}
+            other => panic!("expected CommitError::Apply, got {other:?}"),
+        }
         assert!(base.content_eq(&before));
     }
 

@@ -63,6 +63,12 @@ pub mod names {
     pub const FEEDBACK_EDITS: &str = "feedback.generate_edits";
     /// Knowledge-set pre-processing (§3.2): one span per phase.
     pub const PREPROCESS: &str = "knowledge.preprocess";
+    /// Durable-store crash recovery (snapshot load + journal replay).
+    pub const STORE_RECOVER: &str = "store.recover";
+    /// Durable-store compaction (snapshot write + journal reset).
+    pub const STORE_COMPACT: &str = "store.compact";
+    /// One journaled merge of a staged batch into the durable store.
+    pub const STORE_COMMIT: &str = "store.commit";
 }
 
 /// Render a trace as an indented tree with durations and attributes —
