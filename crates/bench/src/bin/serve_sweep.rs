@@ -1,0 +1,613 @@
+//! **Serving sweep**: the concurrent serving runtime under a seeded
+//! multi-tenant open-loop workload.
+//!
+//! Four parts:
+//!
+//! 1. *Worker scaling* — the same request set pushed through 1, 2, and
+//!    4 workers with caches off. The model is wrapped in a simulated
+//!    remote-call latency (the paper's pipeline spends its wall time in
+//!    GPT-4o round trips, not local compute), so worker threads overlap
+//!    model waits exactly as a real deployment overlaps network I/O.
+//!    Violation if 4 workers deliver < 3x the single-worker throughput.
+//! 2. *Cache effectiveness* — every distinct question served cold, then
+//!    the same set served warm. Violation if the warm (cached) service
+//!    time is not at least 10x faster than cold generation.
+//! 3. *Overload* — a deadline-laden flood into a tiny queue: reports
+//!    admission/shed/rejection/expiry rates, verifying backpressure
+//!    engages rather than queues growing without bound.
+//! 4. *Cached = uncached* — every question's cached answer must be
+//!    byte-for-byte identical (semantic fingerprint) to the uncached
+//!    generation. **Any divergence exits nonzero**: a cache that serves
+//!    different SQL than the pipeline would generate is a correctness
+//!    bug, not a performance feature.
+//!
+//! Run: `cargo run --release -p genedit-bench --bin serve_sweep`
+//! (`--quick` shrinks the workload for CI, `--json` prints the
+//! document; the JSON is always written to `BENCH_serve.json`.)
+
+use genedit_bird::{DomainBundle, SPORTS};
+use genedit_core::KnowledgeIndex;
+use genedit_llm::{
+    CompletionRequest, CompletionResponse, LanguageModel, ModelError, OracleConfig, OracleModel,
+    TaskRegistry,
+};
+use genedit_serve::{QueryOutcome, QueryRequest, Rejected, ServeConfig, ServeRuntime};
+use genedit_telemetry::HistogramSummary;
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wraps the oracle with a fixed per-call latency, standing in for the
+/// network round trip of a remote LLM. Worker scaling is only visible
+/// when requests spend their time *waiting* — which is exactly the
+/// production profile this runtime is built for.
+struct RemoteLatencyModel {
+    inner: Arc<OracleModel>,
+    latency: Duration,
+}
+
+impl LanguageModel for RemoteLatencyModel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        std::thread::sleep(self.latency);
+        self.inner.complete(request)
+    }
+}
+
+struct SweepArgs {
+    seed: u64,
+    quick: bool,
+    json: bool,
+    /// Per-model-call simulated latency, microseconds.
+    latency_us: u64,
+    /// Requests per scaling run.
+    requests: usize,
+}
+
+fn parse_args() -> SweepArgs {
+    let mut parsed = SweepArgs {
+        seed: 42,
+        quick: false,
+        json: false,
+        latency_us: 3000,
+        requests: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => parsed.json = true,
+            "--quick" | "--smoke" => parsed.quick = true,
+            "--latency-us" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    parsed.latency_us = v;
+                }
+            }
+            "--requests" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    parsed.requests = v;
+                }
+            }
+            other => {
+                if let Ok(s) = other.parse() {
+                    parsed.seed = s;
+                }
+            }
+        }
+    }
+    if parsed.requests == 0 {
+        parsed.requests = if parsed.quick { 24 } else { 60 };
+    }
+    parsed
+}
+
+struct Harness {
+    bundle: DomainBundle,
+    index: Arc<KnowledgeIndex>,
+    oracle: Arc<OracleModel>,
+    latency: Duration,
+}
+
+impl Harness {
+    fn build(seed: u64, latency: Duration) -> Harness {
+        let bundle = DomainBundle::build(&SPORTS, (8, 7, 3), seed);
+        let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+        let mut reg = TaskRegistry::new();
+        for t in &bundle.tasks {
+            reg.register(t.clone());
+        }
+        let oracle = OracleModel::with_config(
+            reg,
+            OracleConfig {
+                noise_rate: 0.0,
+                pseudo_drift_probability: 0.0,
+                drift_probability: 0.0,
+                canonical_form_penalty: 0.0,
+                ..Default::default()
+            },
+        );
+        Harness {
+            bundle,
+            index,
+            oracle: Arc::new(oracle),
+            latency,
+        }
+    }
+
+    fn runtime(&self, config: ServeConfig) -> ServeRuntime<RemoteLatencyModel> {
+        ServeRuntime::start(
+            RemoteLatencyModel {
+                inner: Arc::clone(&self.oracle),
+                latency: self.latency,
+            },
+            Arc::clone(&self.index),
+            0,
+            Arc::new(self.bundle.db.clone()),
+            config,
+        )
+    }
+
+    /// The seeded multi-tenant request stream: tenants round-robin over
+    /// the domain's questions, deterministically.
+    fn request(&self, i: usize) -> QueryRequest {
+        let tasks = &self.bundle.tasks;
+        let tenant = format!("tenant-{}", i % 3);
+        QueryRequest::new(tenant, &tasks[i % tasks.len()].question)
+    }
+}
+
+/// Semantic fingerprint of a generation, excluding the trace (span
+/// timings legitimately differ). Byte-for-byte comparable.
+fn fingerprint(r: &genedit_core::GenerationResult) -> String {
+    format!(
+        "sql={:?}|reform={:?}|intents={:?}|ex={:?}|ins={:?}|schema={:?}|errors={:?}|validated={}",
+        r.sql,
+        r.reformulated,
+        r.intents,
+        r.used_examples,
+        r.used_instructions,
+        r.used_schema,
+        r.errors,
+        r.validated
+    )
+}
+
+struct ScalingRow {
+    workers: usize,
+    requests: usize,
+    wall_ms: f64,
+    throughput_rps: f64,
+    latency_ms: HistogramSummary,
+}
+
+/// Open-loop run: submit the whole request set at once, wait for all.
+fn run_scaling(harness: &Harness, workers: usize, requests: usize) -> ScalingRow {
+    let runtime = harness.runtime(ServeConfig {
+        workers,
+        queue_capacity: requests + 8,
+        result_cache_capacity: 0,
+        reform_cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    let started = Instant::now();
+    let tickets: Vec<_> = (0..requests)
+        .map(|i| {
+            let t0 = Instant::now();
+            let ticket = runtime
+                .submit(harness.request(i))
+                .expect("scaling queue sized to fit the whole request set");
+            (ticket, t0)
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(requests);
+    for (ticket, t0) in tickets {
+        let outcome = ticket.wait();
+        assert!(outcome.is_completed(), "scaling run lost a request");
+        latencies.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    let wall = started.elapsed();
+    runtime.shutdown();
+    ScalingRow {
+        workers,
+        requests,
+        wall_ms: wall.as_secs_f64() * 1000.0,
+        throughput_rps: requests as f64 / wall.as_secs_f64(),
+        latency_ms: HistogramSummary::from_samples(&latencies),
+    }
+}
+
+struct CacheRow {
+    distinct_questions: usize,
+    cold_service_ms: HistogramSummary,
+    warm_service_ms: HistogramSummary,
+    speedup: f64,
+    hit_rate: f64,
+}
+
+fn service_ms(outcome: &QueryOutcome) -> (f64, bool) {
+    match outcome {
+        QueryOutcome::Completed {
+            service, cached, ..
+        } => (service.as_secs_f64() * 1000.0, *cached),
+        other => panic!("cache run lost a request: {other:?}"),
+    }
+}
+
+fn run_cache(harness: &Harness, violations: &mut Vec<String>) -> CacheRow {
+    let runtime = harness.runtime(ServeConfig {
+        workers: 2,
+        queue_capacity: 128,
+        ..ServeConfig::default()
+    });
+    let distinct = harness.bundle.tasks.len().min(8);
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    // Cold pass then warm pass, sequentially: every warm request must
+    // find its cold twin already cached.
+    for pass in 0..2 {
+        for i in 0..distinct {
+            let outcome = runtime
+                .submit(harness.request(i))
+                .expect("cache queue never saturates")
+                .wait();
+            let (ms, cached) = service_ms(&outcome);
+            if pass == 0 {
+                if cached {
+                    violations.push(format!("cold request {i} reported a cache hit"));
+                }
+                cold.push(ms);
+            } else {
+                if !cached {
+                    violations.push(format!("warm request {i} missed the cache"));
+                }
+                warm.push(ms);
+            }
+        }
+    }
+    let metrics = runtime.metrics().snapshot();
+    let hits = metrics
+        .counters
+        .get("serve.cache.hit")
+        .copied()
+        .unwrap_or(0);
+    let misses = metrics
+        .counters
+        .get("serve.cache.miss")
+        .copied()
+        .unwrap_or(0);
+    runtime.shutdown();
+    let cold_sum = HistogramSummary::from_samples(&cold);
+    let warm_sum = HistogramSummary::from_samples(&warm);
+    let speedup = if warm_sum.mean > 0.0 {
+        cold_sum.mean / warm_sum.mean
+    } else {
+        f64::INFINITY
+    };
+    if speedup < 10.0 {
+        violations.push(format!(
+            "warm-cache speedup {speedup:.1}x below the 10x floor \
+             (cold {:.2}ms vs warm {:.2}ms mean service)",
+            cold_sum.mean, warm_sum.mean
+        ));
+    }
+    CacheRow {
+        distinct_questions: distinct,
+        cold_service_ms: cold_sum,
+        warm_service_ms: warm_sum,
+        speedup,
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    }
+}
+
+struct OverloadRow {
+    submitted: usize,
+    completed: usize,
+    shed: u64,
+    rejected: u64,
+    expired: u64,
+    rejection_rate: f64,
+}
+
+/// Flood a tiny queue with deadline-laden requests faster than one slow
+/// worker can drain it: backpressure (shed + reject) must engage.
+fn run_overload(harness: &Harness, requests: usize, violations: &mut Vec<String>) -> OverloadRow {
+    let runtime = harness.runtime(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        result_cache_capacity: 0,
+        reform_cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    let mut tickets = Vec::new();
+    let mut rejected_count = 0usize;
+    for i in 0..requests {
+        // Staggered deadlines so shedding has meaningful choices.
+        let budget = Duration::from_millis(200 + 100 * (i as u64 % 7));
+        match runtime.submit(harness.request(i).with_deadline_in(budget)) {
+            Ok(t) => tickets.push(t),
+            Err(Rejected::QueueFull) => rejected_count += 1,
+            Err(Rejected::ShuttingDown) => {
+                violations.push("overload submit saw ShuttingDown".to_string())
+            }
+        }
+    }
+    let mut completed = 0usize;
+    for t in tickets {
+        if t.wait().is_completed() {
+            completed += 1;
+        }
+    }
+    let metrics = runtime.metrics().snapshot();
+    let shed = metrics.counters.get("serve.shed").copied().unwrap_or(0);
+    let rejected = metrics.counters.get("serve.rejected").copied().unwrap_or(0);
+    let expired = metrics.counters.get("serve.expired").copied().unwrap_or(0);
+    runtime.shutdown();
+    if shed + rejected == 0 {
+        violations.push(
+            "overload run triggered no backpressure (queue should have saturated)".to_string(),
+        );
+    }
+    if rejected as usize != rejected_count {
+        violations.push(format!(
+            "rejection accounting mismatch: metric {rejected} vs observed {rejected_count}"
+        ));
+    }
+    OverloadRow {
+        submitted: requests,
+        completed,
+        shed,
+        rejected,
+        expired,
+        rejection_rate: rejected as f64 / requests as f64,
+    }
+}
+
+struct EquivalenceRow {
+    questions: usize,
+    divergent: usize,
+}
+
+/// Every question generated uncached, then via the cache: the semantic
+/// fingerprints must match byte for byte.
+fn run_equivalence(harness: &Harness, violations: &mut Vec<String>) -> EquivalenceRow {
+    let distinct = harness.bundle.tasks.len().min(8);
+    let uncached_rt = harness.runtime(ServeConfig {
+        workers: 1,
+        result_cache_capacity: 0,
+        reform_cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    let cached_rt = harness.runtime(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut divergent = 0usize;
+    for i in 0..distinct {
+        let plain = uncached_rt
+            .submit(harness.request(i))
+            .expect("equivalence queue never saturates")
+            .wait();
+        // Prime, then read back through the cache.
+        let _ = cached_rt
+            .submit(harness.request(i))
+            .expect("equivalence queue never saturates")
+            .wait();
+        let replay = cached_rt
+            .submit(harness.request(i))
+            .expect("equivalence queue never saturates")
+            .wait();
+        let (Some(a), Some(b)) = (plain.result(), replay.result()) else {
+            divergent += 1;
+            violations.push(format!("equivalence question {i} did not complete"));
+            continue;
+        };
+        if !matches!(replay, QueryOutcome::Completed { cached: true, .. }) {
+            violations.push(format!("equivalence question {i} replay was not cached"));
+        }
+        if fingerprint(a) != fingerprint(b) {
+            divergent += 1;
+            violations.push(format!(
+                "cached result diverges from uncached for question {i}:\n  uncached: {}\n  cached:   {}",
+                fingerprint(a),
+                fingerprint(b)
+            ));
+        }
+    }
+    uncached_rt.shutdown();
+    cached_rt.shutdown();
+    EquivalenceRow {
+        questions: distinct,
+        divergent,
+    }
+}
+
+fn histogram_json(h: &HistogramSummary) -> Value {
+    Value::Object(vec![
+        ("count".to_string(), Value::U64(h.count as u64)),
+        ("mean".to_string(), Value::F64(h.mean)),
+        ("min".to_string(), Value::F64(h.min)),
+        ("max".to_string(), Value::F64(h.max)),
+        ("p50".to_string(), Value::F64(h.p50)),
+        ("p95".to_string(), Value::F64(h.p95)),
+        ("p99".to_string(), Value::F64(h.p99)),
+    ])
+}
+
+fn scaling_row_json(row: &ScalingRow) -> Value {
+    Value::Object(vec![
+        ("workers".to_string(), Value::U64(row.workers as u64)),
+        ("requests".to_string(), Value::U64(row.requests as u64)),
+        ("wall_ms".to_string(), Value::F64(row.wall_ms)),
+        ("throughput_rps".to_string(), Value::F64(row.throughput_rps)),
+        ("latency_ms".to_string(), histogram_json(&row.latency_ms)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let mut violations: Vec<String> = Vec::new();
+    let harness = Harness::build(args.seed, Duration::from_micros(args.latency_us));
+
+    // Part 1: worker scaling, caches off.
+    let scaling: Vec<ScalingRow> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| run_scaling(&harness, w, args.requests))
+        .collect();
+    let speedup_4x = scaling[2].throughput_rps / scaling[0].throughput_rps.max(f64::MIN_POSITIVE);
+    if speedup_4x < 3.0 {
+        violations.push(format!(
+            "4-worker throughput speedup {speedup_4x:.2}x below the 3x floor \
+             ({:.1} rps vs {:.1} rps)",
+            scaling[2].throughput_rps, scaling[0].throughput_rps
+        ));
+    }
+
+    // Part 2: cache effectiveness.
+    let cache = run_cache(&harness, &mut violations);
+
+    // Part 3: overload and backpressure.
+    let overload = run_overload(&harness, args.requests.max(32), &mut violations);
+
+    // Part 4: cached = uncached, byte for byte.
+    let equivalence = run_equivalence(&harness, &mut violations);
+
+    let doc = Value::Object(vec![
+        (
+            "artifact".to_string(),
+            Value::Str("serve_sweep".to_string()),
+        ),
+        ("seed".to_string(), Value::U64(args.seed)),
+        (
+            "mode".to_string(),
+            Value::Str(if args.quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("model_latency_us".to_string(), Value::U64(args.latency_us)),
+        ("requests".to_string(), Value::U64(args.requests as u64)),
+        (
+            "scaling".to_string(),
+            Value::Array(scaling.iter().map(scaling_row_json).collect()),
+        ),
+        ("speedup_4_workers".to_string(), Value::F64(speedup_4x)),
+        (
+            "cache".to_string(),
+            Value::Object(vec![
+                (
+                    "distinct_questions".to_string(),
+                    Value::U64(cache.distinct_questions as u64),
+                ),
+                (
+                    "cold_service_ms".to_string(),
+                    histogram_json(&cache.cold_service_ms),
+                ),
+                (
+                    "warm_service_ms".to_string(),
+                    histogram_json(&cache.warm_service_ms),
+                ),
+                ("speedup".to_string(), Value::F64(cache.speedup)),
+                ("hit_rate".to_string(), Value::F64(cache.hit_rate)),
+            ]),
+        ),
+        (
+            "overload".to_string(),
+            Value::Object(vec![
+                (
+                    "submitted".to_string(),
+                    Value::U64(overload.submitted as u64),
+                ),
+                (
+                    "completed".to_string(),
+                    Value::U64(overload.completed as u64),
+                ),
+                ("shed".to_string(), Value::U64(overload.shed)),
+                ("rejected".to_string(), Value::U64(overload.rejected)),
+                ("expired".to_string(), Value::U64(overload.expired)),
+                (
+                    "rejection_rate".to_string(),
+                    Value::F64(overload.rejection_rate),
+                ),
+            ]),
+        ),
+        (
+            "equivalence".to_string(),
+            Value::Object(vec![
+                (
+                    "questions".to_string(),
+                    Value::U64(equivalence.questions as u64),
+                ),
+                (
+                    "divergent".to_string(),
+                    Value::U64(equivalence.divergent as u64),
+                ),
+                (
+                    "byte_identical".to_string(),
+                    Value::Bool(equivalence.divergent == 0),
+                ),
+            ]),
+        ),
+        (
+            "violations".to_string(),
+            Value::Array(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("report serialization is infallible");
+    if let Err(err) = std::fs::write("BENCH_serve.json", &json) {
+        eprintln!("warning: could not write BENCH_serve.json: {err}");
+    }
+
+    if args.json {
+        println!("{json}");
+    } else {
+        println!(
+            "Serving sweep — {} requests/run, {}us simulated model latency (seed {})",
+            args.requests, args.latency_us, args.seed
+        );
+        println!("\nworker scaling (caches off):");
+        for row in &scaling {
+            println!(
+                "  {} worker(s): {:6.1} rps  p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms",
+                row.workers,
+                row.throughput_rps,
+                row.latency_ms.p50,
+                row.latency_ms.p95,
+                row.latency_ms.p99
+            );
+        }
+        println!("  4-worker speedup: {speedup_4x:.2}x (floor 3x)");
+        println!(
+            "\ncache: warm {:.3}ms vs cold {:.1}ms mean service = {:.0}x speedup \
+             (floor 10x), hit rate {:.0}%",
+            cache.warm_service_ms.mean,
+            cache.cold_service_ms.mean,
+            cache.speedup,
+            cache.hit_rate * 100.0
+        );
+        println!(
+            "\noverload: {} submitted -> {} completed, {} shed, {} rejected, {} expired \
+             (rejection rate {:.0}%)",
+            overload.submitted,
+            overload.completed,
+            overload.shed,
+            overload.rejected,
+            overload.expired,
+            overload.rejection_rate * 100.0
+        );
+        println!(
+            "\nequivalence: {}/{} questions byte-identical cached vs uncached",
+            equivalence.questions - equivalence.divergent,
+            equivalence.questions
+        );
+        if violations.is_empty() {
+            println!("\nall serving invariants held");
+        } else {
+            println!("\nVIOLATIONS:");
+            for v in &violations {
+                println!("  - {v}");
+            }
+        }
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;
+pub mod cancel;
 mod compounding_tests;
 pub mod config;
 pub mod feedback;
@@ -25,6 +26,7 @@ pub use baselines::{
     paper_baselines, run_baseline, BaselineResult, ExampleStyle, MethodProfile, PlanStyle,
     SchemaStyle,
 };
+pub use cancel::CancelToken;
 pub use config::{Ablation, CandidateSelection, PipelineConfig};
 pub use feedback::{
     expand_feedback, generate_edits, generate_edits_traced, generate_edits_with_id,
@@ -32,7 +34,7 @@ pub use feedback::{
 };
 pub use harness::Harness;
 pub use index::KnowledgeIndex;
-pub use pipeline::{GenEditPipeline, GenerationResult};
+pub use pipeline::{GenEditPipeline, GenerateOptions, GenerationResult};
 pub use regression::{
     run_regression, submit_edits, submit_edits_durable, GoldenQuery, RegressionOutcome,
     SubmissionResult, SubmitError,

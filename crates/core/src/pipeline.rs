@@ -10,6 +10,7 @@
 //!    then CoT plan generation and plan-guided SQL generation with up to
 //!    `k` self-correction retries on syntactic/semantic errors.
 
+use crate::cancel::CancelToken;
 use crate::config::{CandidateSelection, PipelineConfig};
 use crate::index::KnowledgeIndex;
 use genedit_knowledge::{ExampleId, FragmentKind, InstructionId, RetrievalStage};
@@ -17,6 +18,7 @@ use genedit_llm::{
     CompletionRequest, LanguageModel, Plan, Prompt, PromptExample, PromptInstruction,
     PromptSchemaElement, ResilienceState, ResilientModel, SystemClock, TaskKind, TracedModel,
 };
+use genedit_retrieval::Embedding;
 use genedit_sql::catalog::Database;
 use genedit_sql::exec::execute_sql_timed;
 use genedit_telemetry::{names, MetricsRegistry, Trace, Tracer};
@@ -33,6 +35,11 @@ pub struct GenerationResult {
     pub attempts: usize,
     /// Whether the final SQL parsed and executed.
     pub validated: bool,
+    /// Whether generation was cut short by a [`CancelToken`] (explicit
+    /// cancellation or deadline expiry). A cancelled result carries
+    /// whatever operator outputs were already computed, no SQL, and a
+    /// warning naming the stage it stopped after.
+    pub cancelled: bool,
     pub plan: Option<Plan>,
     pub reformulated: String,
     pub intents: Vec<String>,
@@ -52,6 +59,29 @@ pub struct GenerationResult {
 }
 
 impl GenerationResult {
+    /// A partial result for a generation cut short by cancellation:
+    /// whatever operator outputs exist so far, no SQL, `cancelled` set.
+    /// The caller patches in any later-stage fields it already computed;
+    /// the `generate` wrapper fills trace and warnings as usual.
+    fn cancelled_at(reformulated: String, intents: Vec<String>) -> GenerationResult {
+        GenerationResult {
+            sql: None,
+            attempts: 0,
+            validated: false,
+            cancelled: true,
+            plan: None,
+            reformulated,
+            intents,
+            errors: Vec::new(),
+            used_examples: Vec::new(),
+            used_instructions: Vec::new(),
+            used_schema: Vec::new(),
+            final_prompt: Prompt::new(TaskKind::SqlGeneration, ""),
+            warnings: Vec::new(),
+            trace: Trace::empty(names::GENERATE),
+        }
+    }
+
     /// How many spans took their degradation path during this generation
     /// (operators or attempts marked `degraded` after losing their model
     /// call). A non-zero count means the output came from a weakened
@@ -69,6 +99,23 @@ impl GenerationResult {
             })
             .count()
     }
+}
+
+/// Serving-layer hooks for one generation. Everything defaults to off —
+/// `generate` is `generate_with` under default options.
+#[derive(Debug, Clone, Default)]
+pub struct GenerateOptions<'a> {
+    /// Checked between operators; when it fires, generation returns a
+    /// partial result with `cancelled = true` instead of continuing.
+    pub cancel: Option<&'a CancelToken>,
+    /// A previously computed operator-1 output for this exact question
+    /// (same knowledge epoch). When present the reformulation model call
+    /// is skipped and the span is marked `cached`.
+    pub reformulation: Option<String>,
+    /// The query embedding of `reformulation` under the *current* index's
+    /// embedder. Only honored together with `reformulation` — an
+    /// embedding without the text it embeds would be unverifiable.
+    pub query_embedding: Option<Embedding>,
 }
 
 /// The pipeline. Generic over the model so tests can stub it; in the
@@ -152,6 +199,21 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         db: &Database,
         evidence: &[String],
     ) -> GenerationResult {
+        self.generate_with(question, index, db, evidence, &GenerateOptions::default())
+    }
+
+    /// [`GenEditPipeline::generate`] with serving-layer hooks: cooperative
+    /// cancellation checked between operators, and cached operator-1
+    /// outputs (reformulation + its query embedding) that skip the
+    /// reformulation model call on warm repeat queries.
+    pub fn generate_with(
+        &self,
+        question: &str,
+        index: &KnowledgeIndex,
+        db: &Database,
+        evidence: &[String],
+        opts: &GenerateOptions<'_>,
+    ) -> GenerationResult {
         let tracer = Tracer::new(names::GENERATE);
         let mut result = {
             let root = tracer.span(names::GENERATE);
@@ -164,12 +226,15 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                 Some(state) => {
                     let resilient =
                         ResilientModel::new(traced, Arc::clone(state)).with_tracer(&tracer);
-                    self.generate_core(&resilient, &tracer, question, index, db, evidence)
+                    self.generate_core(&resilient, &tracer, question, index, db, evidence, opts)
                 }
-                None => self.generate_core(&traced, &tracer, question, index, db, evidence),
+                None => self.generate_core(&traced, &tracer, question, index, db, evidence, opts),
             };
             root.attr("attempts", r.attempts)
                 .attr("validated", r.validated);
+            if r.cancelled {
+                root.attr("cancelled", true);
+            }
             root.finish();
             r
         };
@@ -190,6 +255,7 @@ impl<M: LanguageModel> GenEditPipeline<M> {
     /// a panic or a poisoned result. The trace and warnings fields of the
     /// returned result are placeholders; the `generate` wrapper fills them
     /// after the tracer finishes.
+    #[allow(clippy::too_many_arguments)]
     fn generate_core<L: LanguageModel>(
         &self,
         model: &L,
@@ -198,12 +264,33 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         index: &KnowledgeIndex,
         db: &Database,
         evidence: &[String],
+        opts: &GenerateOptions<'_>,
     ) -> GenerationResult {
         let cfg = &self.config;
         let ks = index.knowledge();
+        let cancelled = |stage: &str| -> bool {
+            match opts.cancel {
+                Some(token) if token.is_cancelled() => {
+                    tracer.warning(format!("generation cancelled after {stage}"));
+                    true
+                }
+                _ => false,
+            }
+        };
 
         // ---- operator 1: reformulation -------------------------------
-        let reformulated = if cfg.use_reformulation {
+        let reformulated = if let Some(cached) = &opts.reformulation {
+            // Warm path: a serving-layer cache already holds this
+            // question's canonical form for the current knowledge epoch.
+            if cfg.use_reformulation {
+                let span = tracer.span(names::REFORMULATE);
+                span.attr("cached", true)
+                    .attr("chars_in", question.len())
+                    .attr("chars_out", cached.len());
+                span.finish();
+            }
+            cached.clone()
+        } else if cfg.use_reformulation {
             let span = tracer.span(names::REFORMULATE);
             let prompt = Prompt::new(TaskKind::Reformulate, question);
             let text = match model.complete(&CompletionRequest::new(prompt)) {
@@ -232,6 +319,9 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         } else {
             question.to_string()
         };
+        if cancelled("reformulation") {
+            return GenerationResult::cancelled_at(reformulated, Vec::new());
+        }
 
         // ---- operator 2: intent classification -----------------------
         let intents: Vec<String> = if cfg.use_intent_classification {
@@ -267,9 +357,17 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         } else {
             Vec::new()
         };
+        if cancelled("intent classification") {
+            return GenerationResult::cancelled_at(reformulated, intents);
+        }
 
         // ---- operator 3: example selection ---------------------------
-        let query_emb = index.embedder().embed(&reformulated);
+        let query_emb = match (&opts.reformulation, &opts.query_embedding) {
+            // Only trust a cached embedding when it travelled with the
+            // reformulation it embeds (same cache entry, same epoch).
+            (Some(_), Some(emb)) if emb.len() == index.embedder().dim() => emb.clone(),
+            _ => index.embedder().embed(&reformulated),
+        };
         let (prompt_examples, used_examples): (Vec<PromptExample>, Vec<ExampleId>) =
             if cfg.use_examples {
                 let span = tracer.span(names::EXAMPLES);
@@ -294,6 +392,11 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             } else {
                 (Vec::new(), Vec::new())
             };
+        if cancelled("example selection") {
+            let mut r = GenerationResult::cancelled_at(reformulated, intents);
+            r.used_examples = used_examples;
+            return r;
+        }
 
         // ---- operator 4: instruction selection (context expansion) ---
         let example_texts: Vec<String> = prompt_examples
@@ -325,6 +428,12 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             } else {
                 (Vec::new(), Vec::new())
             };
+        if cancelled("instruction selection") {
+            let mut r = GenerationResult::cancelled_at(reformulated, intents);
+            r.used_examples = used_examples;
+            r.used_instructions = used_instructions;
+            return r;
+        }
 
         // ---- operator 5: schema linking ------------------------------
         let all_schema: Vec<PromptSchemaElement> = ks
@@ -416,6 +525,13 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             Vec::new()
         };
         let used_schema: Vec<String> = schema.iter().map(|s| s.key()).collect();
+        if cancelled("schema linking") {
+            let mut r = GenerationResult::cancelled_at(reformulated, intents);
+            r.used_examples = used_examples;
+            r.used_instructions = used_instructions;
+            r.used_schema = used_schema;
+            return r;
+        }
 
         // ---- base prompt ----------------------------------------------
         let mut base = Prompt::new(TaskKind::SqlGeneration, &reformulated);
@@ -470,6 +586,21 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         let mut errors: Vec<String> = Vec::new();
         let mut last_sql: Option<String> = None;
         for attempt in 0..=cfg.max_retries {
+            if cancelled(if attempt == 0 {
+                "plan generation"
+            } else {
+                "a self-correction attempt"
+            }) {
+                let mut r = GenerationResult::cancelled_at(reformulated, intents);
+                r.plan = plan;
+                r.used_examples = used_examples;
+                r.used_instructions = used_instructions;
+                r.used_schema = used_schema;
+                r.errors = errors;
+                r.attempts = attempt;
+                r.sql = last_sql;
+                return r;
+            }
             let attempt_span = tracer.span(names::SQL_ATTEMPT);
             attempt_span
                 .attr("attempt", attempt + 1)
@@ -510,6 +641,7 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                                 sql: Some(sql),
                                 attempts: attempt + 1,
                                 validated: true,
+                                cancelled: false,
                                 plan,
                                 reformulated,
                                 intents,
@@ -549,6 +681,7 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                     sql: Some(winner),
                     attempts: attempt + 1,
                     validated: true,
+                    cancelled: false,
                     plan,
                     reformulated,
                     intents,
@@ -575,6 +708,7 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             sql: last_sql,
             attempts: cfg.max_retries + 1,
             validated: false,
+            cancelled: false,
             plan,
             reformulated,
             intents,

@@ -204,6 +204,19 @@ impl DurableKnowledgeStore {
         self.journal.byte_len()
     }
 
+    /// The **knowledge epoch**: a monotone version number that advances
+    /// with every durable mutation (standalone edit, checkpoint replay,
+    /// or staged-merge commit). It is the edit-log length — exactly the
+    /// `log_len` the journal's `Baseline` epoch marker records at each
+    /// generation boundary — so it survives crash recovery bit-for-bit.
+    ///
+    /// Serving-layer caches key their entries by this value: a
+    /// `submit_edits` merge bumps the epoch, which silently invalidates
+    /// every cache entry keyed under the previous one.
+    pub fn epoch(&self) -> u64 {
+        self.set.log().len() as u64
+    }
+
     /// Apply one edit durably: validate, journal, then apply.
     pub fn apply(&mut self, edit: Edit) -> Result<EditOutcome, StoreError> {
         // Validate first — the journal must never hold a record that
@@ -476,6 +489,27 @@ mod tests {
         let again = open_mem(&mem);
         assert_eq!(again.recovery_report().outcome, RecoveryOutcome::Clean);
         assert!(again.set().content_eq(&live));
+    }
+
+    #[test]
+    fn epoch_advances_on_commit_and_survives_crash() {
+        let mem = Arc::new(MemFs::new());
+        let mut store = open_mem(&mem);
+        assert_eq!(store.epoch(), 0);
+        store.apply(edit("a")).unwrap();
+        let after_apply = store.epoch();
+        assert!(after_apply > 0);
+        let mut area = StagingArea::new();
+        area.stage(edit("m1"));
+        area.stage(edit("m2"));
+        store.commit(area, "merge").unwrap();
+        let after_commit = store.epoch();
+        assert!(after_commit > after_apply, "a merge must bump the epoch");
+        store.compact().unwrap();
+        assert_eq!(store.epoch(), after_commit, "compaction is not a mutation");
+        mem.crash();
+        let reopened = open_mem(&mem);
+        assert_eq!(reopened.epoch(), after_commit, "epoch replays exactly");
     }
 
     #[test]

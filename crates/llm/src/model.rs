@@ -136,7 +136,13 @@ impl std::fmt::Display for ModelError {
 impl std::error::Error for ModelError {}
 
 /// The model interface every operator calls through.
-pub trait LanguageModel {
+///
+/// `Send + Sync` is part of the contract: the serving runtime clones one
+/// pipeline per worker thread over a shared model, so every model — and
+/// every wrapper in the resilience/tracing stack — must be safe to call
+/// concurrently from multiple threads. All implementations in this
+/// workspace are either immutable or guard their state with `Mutex`.
+pub trait LanguageModel: Send + Sync {
     /// Model identifier ("gpt-4o" in the paper; "oracle" here).
     fn name(&self) -> &str;
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError>;

@@ -140,8 +140,17 @@ fn normalize(v: &mut [f32]) {
 }
 
 /// Cosine similarity. Inputs need not be normalized.
+///
+/// Contract: both slices must have the same length. A mismatch is a
+/// caller bug and trips a `debug_assert!` in development builds; release
+/// builds (the serving path, where the workspace's no-panic posture
+/// applies) return 0.0 — "no similarity" — instead of aborting a worker
+/// thread mid-request.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    if a.len() != b.len() {
+        return 0.0;
+    }
     let mut dot = 0f32;
     let mut na = 0f32;
     let mut nb = 0f32;
@@ -269,9 +278,20 @@ mod tests {
         assert!(v.idf("neverseen") > v.idf("common"));
     }
 
+    /// Regression test for the no-panic serving contract: in development
+    /// builds a dimension mismatch trips the `debug_assert!`; in release
+    /// builds it must return 0.0 rather than abort a serving worker.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "dimension mismatch")]
-    fn cosine_dimension_mismatch_panics() {
+    fn cosine_dimension_mismatch_asserts_in_debug() {
         cosine(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn cosine_dimension_mismatch_is_zero_in_release() {
+        assert_eq!(cosine(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine(&[], &[1.0]), 0.0);
     }
 }

@@ -1,6 +1,18 @@
 //! Exact top-k vector search with stable, deterministic ordering.
+//!
+//! Two hot-path optimizations, both exact:
+//!
+//! * embeddings are **norm-precomputed on insert** — a search computes the
+//!   query norm once and scores every candidate with a plain dot product
+//!   instead of re-deriving both norms per candidate ([`cosine`] remains
+//!   available, unchanged, for external callers);
+//! * selection is a **bounded binary heap** — O(n log k) partial selection
+//!   instead of an O(n log n) full sort, preserving the documented stable
+//!   tie-break on insertion order.
 
-use crate::embed::{cosine, Embedding};
+use crate::embed::Embedding;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 /// One search result.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,11 +22,21 @@ pub struct SearchHit {
     pub score: f32,
 }
 
+/// One stored item: the raw embedding plus its precomputed inverse L2
+/// norm (0.0 for the zero vector, which makes its score 0 everywhere —
+/// the same contract as [`cosine`]).
+#[derive(Debug, Clone)]
+struct Item {
+    id: usize,
+    embedding: Embedding,
+    inv_norm: f32,
+}
+
 /// A brute-force vector index. Exact and deterministic: ties are broken by
 /// insertion order, which keeps retrieval runs reproducible.
 #[derive(Debug, Clone, Default)]
 pub struct VectorIndex {
-    items: Vec<(usize, Embedding)>,
+    items: Vec<Item>,
 }
 
 impl VectorIndex {
@@ -31,15 +53,21 @@ impl VectorIndex {
     }
 
     /// Insert an item under a caller-chosen id (ids need not be unique;
-    /// the caller owns id semantics).
+    /// the caller owns id semantics). The embedding's norm is computed
+    /// once here so searches never re-derive it.
     pub fn insert(&mut self, id: usize, embedding: Embedding) {
-        self.items.push((id, embedding));
+        let inv_norm = inverse_norm(&embedding);
+        self.items.push(Item {
+            id,
+            embedding,
+            inv_norm,
+        });
     }
 
     /// Remove every item with the given id. Returns how many were removed.
     pub fn remove(&mut self, id: usize) -> usize {
         let before = self.items.len();
-        self.items.retain(|(i, _)| *i != id);
+        self.items.retain(|item| item.id != id);
         before - self.items.len()
     }
 
@@ -58,34 +86,97 @@ impl VectorIndex {
         min_score: f32,
     ) -> (Vec<SearchHit>, RerankStats) {
         let scored_count = self.items.len();
-        let mut scored: Vec<(usize, SearchHit)> = self
-            .items
-            .iter()
-            .enumerate()
-            .map(|(pos, (id, emb))| {
-                (
-                    pos,
-                    SearchHit {
-                        id: *id,
-                        score: cosine(query, emb),
-                    },
-                )
+        let query_inv = inverse_norm(query);
+        let top = top_k_by_score(
+            self.items.iter().enumerate().filter_map(|(pos, item)| {
+                let score = dot(query, &item.embedding) * query_inv * item.inv_norm;
+                (score >= min_score).then_some((pos, score))
+            }),
+            k,
+        );
+        let hits: Vec<SearchHit> = top
+            .into_iter()
+            .map(|(pos, score)| SearchHit {
+                id: self.items[pos].id,
+                score,
             })
-            .filter(|(_, h)| h.score >= min_score)
             .collect();
-        scored.sort_by(|(pa, a), (pb, b)| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(pa.cmp(pb))
-        });
-        let hits: Vec<SearchHit> = scored.into_iter().take(k).map(|(_, h)| h).collect();
         let stats = RerankStats {
             scored: scored_count,
             kept: hits.len(),
         };
         (hits, stats)
     }
+}
+
+/// `1/‖v‖`, or 0.0 for the zero vector (scores collapse to 0, matching
+/// [`cosine`]'s degenerate-input contract).
+fn inverse_norm(v: &[f32]) -> f32 {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        1.0 / norm
+    } else {
+        0.0
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// A scored candidate ordered for selection: higher score wins, ties
+/// break toward the earlier insertion position. `Ord` treats incomparable
+/// scores (NaN) as equal, matching the previous full-sort semantics.
+struct Ranked {
+    score: f32,
+    pos: usize,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Ranked) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Ranked) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Ranked) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            // Lower position outranks: reverse the position comparison.
+            .then_with(|| other.pos.cmp(&self.pos))
+    }
+}
+
+/// Bounded partial selection: the top `k` of `candidates` by score
+/// descending with the stable insertion-order tie-break, in O(n log k).
+/// A min-heap of the best `k` seen so far; a candidate only displaces the
+/// heap's worst when it strictly outranks it, so equal-score candidates
+/// keep first-come-first-kept semantics.
+fn top_k_by_score(candidates: impl Iterator<Item = (usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+    for (pos, score) in candidates {
+        let cand = Ranked { score, pos };
+        if heap.len() < k {
+            heap.push(Reverse(cand));
+        } else if let Some(Reverse(worst)) = heap.peek() {
+            if cand > *worst {
+                heap.pop();
+                heap.push(Reverse(cand));
+            }
+        }
+    }
+    let mut kept: Vec<Ranked> = heap.into_iter().map(|Reverse(r)| r).collect();
+    kept.sort_by(|a, b| b.cmp(a));
+    kept.into_iter().map(|r| (r.pos, r.score)).collect()
 }
 
 /// How much work one re-rank did: candidates scored vs. top-k survivors.
@@ -121,19 +212,26 @@ pub fn rerank_top_k<T>(candidates: Vec<(T, f32)>, k: usize) -> Vec<(T, f32)> {
     rerank_top_k_with_stats(candidates, k).0
 }
 
-/// Like [`rerank_top_k`], also reporting scored/kept counts.
+/// Like [`rerank_top_k`], also reporting scored/kept counts. Selection is
+/// the same bounded-heap partial sort as [`VectorIndex::search`]:
+/// O(n log k), score descending, stable tie-break on the original order.
 pub fn rerank_top_k_with_stats<T>(
-    mut candidates: Vec<(T, f32)>,
+    candidates: Vec<(T, f32)>,
     k: usize,
 ) -> (Vec<(T, f32)>, RerankStats) {
     let scored = candidates.len();
-    let mut indexed: Vec<(usize, (T, f32))> = candidates.drain(..).enumerate().collect();
-    indexed.sort_by(|(pa, (_, sa)), (pb, (_, sb))| {
-        sb.partial_cmp(sa)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(pa.cmp(pb))
-    });
-    let kept: Vec<(T, f32)> = indexed.into_iter().take(k).map(|(_, c)| c).collect();
+    let top = top_k_by_score(
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(pos, (_, score))| (pos, *score)),
+        k,
+    );
+    let mut slots: Vec<Option<(T, f32)>> = candidates.into_iter().map(Some).collect();
+    let kept: Vec<(T, f32)> = top
+        .into_iter()
+        .filter_map(|(pos, _)| slots[pos].take())
+        .collect();
     let stats = RerankStats {
         scored,
         kept: kept.len(),
@@ -233,6 +331,59 @@ mod tests {
         let ratio = &snap.histograms["retrieval.examples.kept_ratio"];
         assert_eq!(ratio.count, 2);
         assert!((ratio.mean - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prenormalized_search_matches_cosine() {
+        use crate::embed::cosine;
+        let docs = [
+            "quarterly revenue by organization",
+            "tv viewership by region and quarter",
+            "player transfer fees in europe",
+            "ownership flag for our organizations",
+        ];
+        let (idx, emb) = make_index(&docs);
+        let q = emb.embed("revenue by quarter for our organizations");
+        let hits = idx.search(&q, docs.len(), f32::MIN);
+        assert_eq!(hits.len(), docs.len());
+        for hit in hits {
+            let reference = cosine(&q, &emb.embed(docs[hit.id]));
+            assert!(
+                (hit.score - reference).abs() < 1e-5,
+                "dot-product score {} diverged from cosine {} for doc {}",
+                hit.score,
+                reference,
+                hit.id
+            );
+        }
+    }
+
+    #[test]
+    fn heap_selection_matches_full_sort() {
+        // Pseudo-random scores (LCG) with deliberate duplicates: the
+        // bounded-heap selection must agree with a full stable sort for
+        // every k, including the tie-break on insertion order.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let scores: Vec<f32> = (0..200)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) % 32) as f32 / 31.0
+            })
+            .collect();
+        let items: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        let mut reference: Vec<(usize, (usize, f32))> = items.iter().copied().enumerate().collect();
+        reference.sort_by(|(pa, (_, sa)), (pb, (_, sb))| {
+            sb.partial_cmp(sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(pa.cmp(pb))
+        });
+        for k in [0, 1, 3, 17, 199, 200, 500] {
+            let expected: Vec<(usize, f32)> = reference.iter().take(k).map(|(_, c)| *c).collect();
+            let got = rerank_top_k(items.clone(), k);
+            assert_eq!(got, expected, "k={k}");
+        }
     }
 
     #[test]

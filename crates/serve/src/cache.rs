@@ -1,0 +1,201 @@
+//! Epoch-keyed, capacity-bounded caches.
+//!
+//! Cache keys embed the **knowledge epoch** — the deployed knowledge
+//! set's edit-log length, as reported by `DurableKnowledgeStore::epoch`.
+//! A committed edit batch bumps the epoch, so every entry written under
+//! the old epoch silently stops matching: no invalidation scan, no stale
+//! answers after a knowledge deploy. Stale entries age out of the LRU
+//! bound like any other cold entry.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// FNV-1a 64-bit hash — stable across platforms/runs so cache keys (and
+/// the sweep's reported hit rates) are reproducible.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Cache key: `(tenant, question-hash, knowledge epoch)`. Tenant scoping
+/// keeps one tenant's results invisible to another even for identical
+/// question text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub tenant: String,
+    pub qhash: u64,
+    pub epoch: u64,
+}
+
+impl CacheKey {
+    pub fn new(tenant: &str, question: &str, epoch: u64) -> CacheKey {
+        CacheKey {
+            tenant: tenant.to_string(),
+            qhash: fnv64(question.as_bytes()),
+            epoch,
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct Inner<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    tick: u64,
+}
+
+/// A thread-safe bounded LRU map keyed by [`CacheKey`]. Capacity 0
+/// disables the cache entirely (every `get` misses, `insert` is a no-op).
+pub struct EpochCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+}
+
+impl<V: Clone> EpochCache<V> {
+    pub fn new(capacity: usize) -> EpochCache<V> {
+        EpochCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<V>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Insert (or refresh) an entry. Returns the number of entries
+    /// evicted to stay within capacity (0 or 1).
+    pub fn insert(&self, key: CacheKey, value: V) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut evicted = 0;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // Evict the least-recently-used entry. O(n) scan is fine:
+            // capacity is a small config bound, not data-sized.
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                evicted = 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tenant: &str, q: &str, epoch: u64) -> CacheKey {
+        CacheKey::new(tenant, q, epoch)
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        // Pinned value: a silent hash change would orphan nothing (keys
+        // are ephemeral) but would break cross-run reproducibility.
+        assert_eq!(fnv64(b"revenue per club"), fnv64(b"revenue per club"));
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn epoch_bump_is_a_miss() {
+        let cache = EpochCache::new(8);
+        cache.insert(key("acme", "q1", 0), 41);
+        assert_eq!(cache.get(&key("acme", "q1", 0)), Some(41));
+        assert_eq!(cache.get(&key("acme", "q1", 1)), None);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let cache = EpochCache::new(8);
+        cache.insert(key("acme", "q1", 0), 1);
+        assert_eq!(cache.get(&key("globex", "q1", 0)), None);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_entries() {
+        let cache = EpochCache::new(2);
+        assert_eq!(cache.insert(key("t", "a", 0), 1), 0);
+        assert_eq!(cache.insert(key("t", "b", 0), 2), 0);
+        // Touch "a" so "b" is the LRU victim.
+        assert_eq!(cache.get(&key("t", "a", 0)), Some(1));
+        assert_eq!(cache.insert(key("t", "c", 0), 3), 1);
+        assert_eq!(cache.get(&key("t", "a", 0)), Some(1));
+        assert_eq!(cache.get(&key("t", "b", 0)), None);
+        assert_eq!(cache.get(&key("t", "c", 0)), Some(3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let cache = EpochCache::new(0);
+        assert_eq!(cache.insert(key("t", "a", 0), 1), 0);
+        assert_eq!(cache.get(&key("t", "a", 0)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let cache = EpochCache::new(2);
+        cache.insert(key("t", "a", 0), 1);
+        cache.insert(key("t", "b", 0), 2);
+        assert_eq!(cache.insert(key("t", "a", 0), 9), 0);
+        assert_eq!(cache.get(&key("t", "a", 0)), Some(9));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,418 @@
+//! The serving runtime: worker pool, admission control, epoch-keyed
+//! caches, and the per-request execution path.
+
+use crate::cache::{CacheKey, EpochCache};
+use crate::request::{QueryOutcome, QueryRequest, Rejected, Ticket, TicketCell};
+use crate::sched::{Admitted, DrrScheduler};
+use genedit_core::{
+    CancelToken, GenEditPipeline, GenerateOptions, GenerationResult, KnowledgeIndex, PipelineConfig,
+};
+use genedit_llm::LanguageModel;
+use genedit_retrieval::Embedding;
+use genedit_sql::catalog::Database;
+use genedit_telemetry::{names, MetricsRegistry};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Serving runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning a pipeline clone over the shared
+    /// model, knowledge snapshot, and database.
+    pub workers: usize,
+    /// Admission queue bound. Beyond this, requests are shed
+    /// (oldest-deadline-first) or rejected with
+    /// [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// DRR quantum: deficit credited per ring visit. With the default
+    /// priority costs (1/2/4), quantum 2 serves one Normal request per
+    /// tenant per round.
+    pub quantum: u32,
+    /// Capacity of the full-result cache (0 disables).
+    pub result_cache_capacity: usize,
+    /// Capacity of the reformulation/embedding cache (0 disables).
+    pub reform_cache_capacity: usize,
+    /// Pipeline configuration used by every worker.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            quantum: 2,
+            result_cache_capacity: 256,
+            reform_cache_capacity: 256,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// The published view of deployed knowledge: an immutable index plus the
+/// epoch it was built at. Swapped atomically by [`ServeRuntime::publish`].
+struct Snapshot {
+    epoch: u64,
+    index: Arc<KnowledgeIndex>,
+}
+
+struct Shared<M> {
+    sched: Mutex<DrrScheduler>,
+    available: Condvar,
+    snapshot: RwLock<Snapshot>,
+    db: Arc<Database>,
+    model: Arc<M>,
+    config: ServeConfig,
+    metrics: Arc<MetricsRegistry>,
+    results: EpochCache<GenerationResult>,
+    reforms: EpochCache<(String, Embedding)>,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+    service_seq: AtomicU64,
+}
+
+impl<M> Shared<M> {
+    fn lock_sched(&self) -> MutexGuard<'_, DrrScheduler> {
+        self.sched
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A concurrent serving runtime over one deployed knowledge snapshot.
+///
+/// Lifecycle: [`ServeRuntime::start`] spawns the worker pool;
+/// [`ServeRuntime::submit`] admits requests (or applies backpressure);
+/// [`ServeRuntime::publish`] swaps in a re-built knowledge index after a
+/// durable commit, bumping the epoch every cache key embeds;
+/// [`ServeRuntime::shutdown`] drains the queue and joins the workers.
+pub struct ServeRuntime<M> {
+    shared: Arc<Shared<M>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<M: LanguageModel + 'static> ServeRuntime<M> {
+    /// Spawn the worker pool. `epoch` is the knowledge epoch `index` was
+    /// built at — `DurableKnowledgeStore::epoch()` for durable deploys,
+    /// 0 for static knowledge sets.
+    pub fn start(
+        model: M,
+        index: Arc<KnowledgeIndex>,
+        epoch: u64,
+        db: Arc<Database>,
+        config: ServeConfig,
+    ) -> ServeRuntime<M> {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(DrrScheduler::new(config.quantum)),
+            available: Condvar::new(),
+            snapshot: RwLock::new(Snapshot { epoch, index }),
+            db,
+            model: Arc::new(model),
+            metrics: Arc::new(MetricsRegistry::new()),
+            results: EpochCache::new(config.result_cache_capacity),
+            reforms: EpochCache::new(config.reform_cache_capacity),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            service_seq: AtomicU64::new(0),
+            config,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .filter_map(|h| h.ok())
+            .collect();
+        ServeRuntime {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The runtime's metrics registry (`serve.*` counters and latency
+    /// histograms, plus every worker pipeline's operator metrics).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// Current number of queued (admitted, not yet running) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_sched().len()
+    }
+
+    /// The epoch of the currently published knowledge snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared
+            .snapshot
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .epoch
+    }
+
+    /// Publish a new knowledge snapshot. In-flight generations keep the
+    /// snapshot they started with (workers hold an `Arc` clone); new
+    /// requests see the new epoch, so every cache entry written under
+    /// the old epoch silently stops matching.
+    pub fn publish(&self, index: Arc<KnowledgeIndex>, epoch: u64) {
+        let mut snap = self
+            .shared
+            .snapshot
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        snap.index = index;
+        snap.epoch = epoch;
+    }
+
+    /// Admit a request, returning a [`Ticket`] to wait on — or apply
+    /// backpressure.
+    ///
+    /// At saturation the queued request with the **earliest** deadline
+    /// is shed iff the incoming request's deadline is later (no deadline
+    /// counts as "latest"): capacity goes to the request with the most
+    /// runway. When the incoming request cannot beat any queued
+    /// deadline, [`Rejected::QueueFull`] tells the caller to back off.
+    pub fn submit(&self, request: QueryRequest) -> Result<Ticket, Rejected> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared.metrics.incr("serve.rejected", 1);
+            return Err(Rejected::ShuttingDown);
+        }
+        let cancel = match request.deadline {
+            Some(deadline) => CancelToken::with_deadline(deadline),
+            None => CancelToken::new(),
+        };
+        let (ticket, cell) = Ticket::new(cancel.clone());
+        let mut sched = self.shared.lock_sched();
+        if sched.len() >= self.shared.config.queue_capacity.max(1) {
+            let victim = sched.earliest_deadline().and_then(|(deadline, seq)| {
+                let incoming_later = match request.deadline {
+                    Some(d) => d > deadline,
+                    None => true,
+                };
+                incoming_later.then(|| sched.remove(seq)).flatten()
+            });
+            match victim {
+                Some(shed) => {
+                    self.shared.metrics.incr("serve.shed", 1);
+                    shed.cell.complete(QueryOutcome::Shed);
+                }
+                None => {
+                    drop(sched);
+                    self.shared.metrics.incr("serve.rejected", 1);
+                    return Err(Rejected::QueueFull);
+                }
+            }
+        }
+        let cost = request.priority.cost();
+        let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
+        sched.push(Admitted {
+            seq,
+            request,
+            cell,
+            cancel,
+            enqueued_at: Instant::now(),
+            cost,
+        });
+        let depth = sched.len();
+        drop(sched);
+        self.shared.metrics.incr("serve.admitted", 1);
+        self.shared
+            .metrics
+            .observe("serve.queue_depth", depth as f64);
+        self.shared.available.notify_one();
+        Ok(ticket)
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    /// Already-queued requests still execute (or expire on their own
+    /// deadlines).
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for handle in self.workers {
+            handle.join().ok();
+        }
+    }
+}
+
+fn worker_loop<M: LanguageModel>(shared: &Shared<M>) {
+    let pipeline =
+        GenEditPipeline::with_config(Arc::clone(&shared.model), shared.config.pipeline.clone())
+            .with_metrics(Arc::clone(&shared.metrics));
+    loop {
+        let admitted = {
+            let mut sched = shared.lock_sched();
+            loop {
+                if let Some(a) = sched.pop() {
+                    break a;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                sched = shared
+                    .available
+                    .wait(sched)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        shared
+            .metrics
+            .observe("serve.queue_depth", shared.lock_sched().len() as f64);
+        serve_one(shared, &pipeline, admitted);
+    }
+}
+
+/// Resolve a fired cancel token into its outcome: deadline expiry wins
+/// over explicit cancellation when both hold.
+fn cancelled_outcome(deadline: Option<Instant>) -> QueryOutcome {
+    match deadline {
+        Some(d) if Instant::now() >= d => QueryOutcome::Expired,
+        _ => QueryOutcome::Cancelled,
+    }
+}
+
+fn serve_one<M: LanguageModel, L: LanguageModel>(
+    shared: &Shared<M>,
+    pipeline: &GenEditPipeline<L>,
+    admitted: Admitted,
+) {
+    let Admitted {
+        request,
+        cell,
+        cancel,
+        enqueued_at,
+        ..
+    } = admitted;
+    let started = Instant::now();
+    let queue_wait = started.duration_since(enqueued_at);
+    if cancel.is_cancelled() {
+        // Expired or cancelled while still queued: never executed.
+        let outcome = cancelled_outcome(request.deadline);
+        match outcome {
+            QueryOutcome::Expired => shared.metrics.incr("serve.expired", 1),
+            _ => shared.metrics.incr("serve.cancelled", 1),
+        }
+        cell.complete(outcome);
+        return;
+    }
+    let service_seq = shared.service_seq.fetch_add(1, Ordering::SeqCst);
+    let (epoch, index) = {
+        let snap = shared
+            .snapshot
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        (snap.epoch, Arc::clone(&snap.index))
+    };
+    let key = CacheKey::new(&request.tenant, &request.question, epoch);
+
+    if shared.results.capacity() > 0 {
+        if let Some(result) = shared.results.get(&key) {
+            shared.metrics.incr("serve.cache.hit", 1);
+            finish(
+                shared,
+                &request.tenant,
+                cell,
+                result,
+                true,
+                queue_wait,
+                started,
+                service_seq,
+            );
+            return;
+        }
+        shared.metrics.incr("serve.cache.miss", 1);
+    }
+
+    // Warm the reformulation operator from the epoch-keyed cache: a
+    // repeat question under the same epoch skips the operator-1 model
+    // call and embeds nothing.
+    let warm = shared.reforms.get(&key);
+    let (reformulation, query_embedding) = match warm {
+        Some((text, emb)) => {
+            shared.metrics.incr("serve.reform.hit", 1);
+            (Some(text), Some(emb))
+        }
+        None => {
+            shared.metrics.incr("serve.reform.miss", 1);
+            (None, None)
+        }
+    };
+    let opts = GenerateOptions {
+        cancel: Some(&cancel),
+        reformulation,
+        query_embedding,
+    };
+    let result = pipeline.generate_with(
+        &request.question,
+        &index,
+        &shared.db,
+        &request.evidence,
+        &opts,
+    );
+
+    if result.cancelled {
+        let outcome = cancelled_outcome(request.deadline);
+        match outcome {
+            QueryOutcome::Expired => shared.metrics.incr("serve.expired", 1),
+            _ => shared.metrics.incr("serve.cancelled", 1),
+        }
+        cell.complete(outcome);
+        return;
+    }
+
+    if shared.reforms.capacity() > 0 && !result.reformulated.is_empty() {
+        let emb = index.embedder().embed(&result.reformulated);
+        shared
+            .reforms
+            .insert(key.clone(), (result.reformulated.clone(), emb));
+    }
+    if shared.results.capacity() > 0 {
+        let evicted = shared.results.insert(key, result.clone());
+        if evicted > 0 {
+            shared.metrics.incr("serve.cache.evicted", evicted as u64);
+        }
+    }
+    finish(
+        shared,
+        &request.tenant,
+        cell,
+        result,
+        false,
+        queue_wait,
+        started,
+        service_seq,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish<M>(
+    shared: &Shared<M>,
+    tenant: &str,
+    cell: Arc<TicketCell>,
+    result: GenerationResult,
+    cached: bool,
+    queue_wait: std::time::Duration,
+    started: Instant,
+    service_seq: u64,
+) {
+    let service = started.elapsed();
+    shared.metrics.incr("serve.completed", 1);
+    shared
+        .metrics
+        .observe_duration(names::SERVE_REQUEST, queue_wait + service);
+    shared.metrics.observe(
+        &format!("serve.latency_ms.{tenant}"),
+        (queue_wait + service).as_secs_f64() * 1000.0,
+    );
+    cell.complete(QueryOutcome::Completed {
+        result: Box::new(result),
+        cached,
+        queue_wait,
+        service,
+        service_seq,
+    });
+}

@@ -1,0 +1,500 @@
+//! End-to-end tests for the serving runtime: cache correctness across
+//! knowledge commits, backpressure/shedding, deadlines, cancellation,
+//! fairness, and multi-threaded consistency.
+
+use genedit_bird::{DomainBundle, SPORTS};
+use genedit_core::regression::{submit_edits_durable, GoldenQuery, SubmissionResult};
+use genedit_core::{GenEditPipeline, GenerationResult, KnowledgeIndex};
+use genedit_knowledge::{
+    DurableKnowledgeStore, Edit, KnowledgeSet, MemFs, SourceRef, StagingArea, StoreConfig, StoreFs,
+};
+use genedit_llm::{
+    CompletionRequest, CompletionResponse, LanguageModel, ModelError, OracleConfig, OracleModel,
+    TaskRegistry,
+};
+use genedit_serve::{Priority, QueryOutcome, QueryRequest, Rejected, ServeConfig, ServeRuntime};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+fn setup() -> (DomainBundle, KnowledgeSet, OracleModel) {
+    let bundle = DomainBundle::build(&SPORTS, (8, 7, 3), 42);
+    let ks = bundle.build_knowledge();
+    let mut reg = TaskRegistry::new();
+    for t in &bundle.tasks {
+        reg.register(t.clone());
+    }
+    let oracle = OracleModel::with_config(
+        reg,
+        OracleConfig {
+            noise_rate: 0.0,
+            pseudo_drift_probability: 0.0,
+            drift_probability: 0.0,
+            canonical_form_penalty: 0.0,
+            ..Default::default()
+        },
+    );
+    (bundle, ks, oracle)
+}
+
+/// Canonical semantic fingerprint of a generation — everything the
+/// caller acts on, excluding the trace (span timings differ run to run).
+/// Cached replays must be byte-identical under this view.
+fn fingerprint(r: &GenerationResult) -> String {
+    format!(
+        "sql={:?}|reform={:?}|intents={:?}|ex={:?}|ins={:?}|schema={:?}|errors={:?}|validated={}",
+        r.sql,
+        r.reformulated,
+        r.intents,
+        r.used_examples,
+        r.used_instructions,
+        r.used_schema,
+        r.errors,
+        r.validated
+    )
+}
+
+/// A gate the test holds closed to pin workers inside a model call,
+/// making queue states deterministic.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+}
+
+struct GatedModel<M> {
+    inner: M,
+    gate: Arc<Gate>,
+}
+
+impl<M: LanguageModel> LanguageModel for GatedModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        self.gate.wait();
+        self.inner.complete(request)
+    }
+}
+
+/// Spin until the admission queue is empty (a worker picked the head
+/// request up), so subsequent submissions see a deterministic queue.
+fn wait_queue_empty<M: LanguageModel + 'static>(runtime: &ServeRuntime<M>) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while runtime.queue_depth() > 0 {
+        assert!(Instant::now() < deadline, "queue never drained");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn completed(outcome: &QueryOutcome) -> (&GenerationResult, bool, u64) {
+    match outcome {
+        QueryOutcome::Completed {
+            result,
+            cached,
+            service_seq,
+            ..
+        } => (result.as_ref(), *cached, *service_seq),
+        other => panic!("expected Completed, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_result_matches_direct_pipeline() {
+    let (bundle, ks, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(ks.clone()));
+    let direct = GenEditPipeline::new(&oracle);
+    let expected = fingerprint(&direct.generate(
+        &bundle.tasks[0].question,
+        &KnowledgeIndex::build(ks.clone()),
+        &bundle.db,
+        &[],
+    ));
+
+    let runtime = ServeRuntime::start(
+        oracle,
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let ticket = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[0].question))
+        .unwrap();
+    let outcome = ticket.wait();
+    let (result, cached, _) = completed(&outcome);
+    assert!(!cached);
+    assert_eq!(fingerprint(result), expected);
+    assert!(!result.trace.spans.is_empty());
+    runtime.shutdown();
+}
+
+#[test]
+fn repeat_question_hits_the_result_cache() {
+    let (bundle, ks, oracle) = setup();
+    let runtime = ServeRuntime::start(
+        oracle,
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let q = &bundle.tasks[1].question;
+    let first = runtime.submit(QueryRequest::new("acme", q)).unwrap().wait();
+    let second = runtime.submit(QueryRequest::new("acme", q)).unwrap().wait();
+    let (r1, c1, _) = completed(&first);
+    let (r2, c2, _) = completed(&second);
+    assert!(!c1);
+    assert!(c2, "second identical request must be served from cache");
+    assert_eq!(fingerprint(r1), fingerprint(r2));
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.counter("serve.cache.hit"), 1);
+    assert_eq!(metrics.counter("serve.cache.miss"), 1);
+    // A different tenant asking the same question must NOT see the
+    // cached entry — cache keys are tenant-scoped.
+    let other = runtime
+        .submit(QueryRequest::new("globex", q))
+        .unwrap()
+        .wait();
+    let (_, c3, _) = completed(&other);
+    assert!(!c3, "cross-tenant cache hit");
+    runtime.shutdown();
+}
+
+/// Satellite requirement: a staged-edit commit through the durable store
+/// bumps the knowledge epoch; after the runtime publishes the new
+/// snapshot, a previously cached question is regenerated (cache miss +
+/// fresh trace), not replayed stale.
+#[test]
+fn knowledge_commit_invalidates_cached_answers() {
+    let (bundle, ks, oracle) = setup();
+    let mem = Arc::new(MemFs::new());
+    let fs: Arc<dyn StoreFs> = Arc::clone(&mem) as Arc<dyn StoreFs>;
+    let mut store =
+        DurableKnowledgeStore::open_with(fs, "k.json", "k.wal", StoreConfig::default(), None)
+            .unwrap();
+    for logged in ks.log() {
+        store.apply(logged.edit.clone()).unwrap();
+    }
+    let epoch0 = store.epoch();
+
+    let oracle = Arc::new(oracle);
+    let runtime = ServeRuntime::start(
+        Arc::clone(&oracle),
+        Arc::new(KnowledgeIndex::build(store.set().clone())),
+        epoch0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let q = &bundle.tasks[0].question;
+    let cold = runtime.submit(QueryRequest::new("acme", q)).unwrap().wait();
+    let warm = runtime.submit(QueryRequest::new("acme", q)).unwrap().wait();
+    assert!(!completed(&cold).1);
+    assert!(completed(&warm).1, "expected a cache hit before the commit");
+    assert_eq!(runtime.metrics().counter("serve.cache.miss"), 1);
+
+    // Commit a staged edit batch through the regression gate.
+    let direct = GenEditPipeline::new(Arc::clone(&oracle));
+    let mut staging = StagingArea::new();
+    staging.stage(Edit::InsertInstruction {
+        intent: None,
+        text: "serving-epoch invalidation note".into(),
+        sql_hint: None,
+        term: None,
+        source: SourceRef::Feedback { feedback_id: 77 },
+    });
+    let golden: Vec<GoldenQuery> = bundle
+        .tasks
+        .iter()
+        .take(3)
+        .map(|t| GoldenQuery {
+            question: t.question.clone(),
+            gold_sql: t.gold_sql.clone(),
+        })
+        .collect();
+    let submission = submit_edits_durable(
+        &direct,
+        &bundle.db,
+        &mut store,
+        staging,
+        &golden,
+        |outcome| outcome.passed(),
+        "serve invalidation test",
+    )
+    .unwrap();
+    assert!(matches!(submission, SubmissionResult::Merged { .. }));
+    let epoch1 = store.epoch();
+    assert!(epoch1 > epoch0, "commit must advance the knowledge epoch");
+
+    runtime.publish(Arc::new(KnowledgeIndex::build(store.set().clone())), epoch1);
+    assert_eq!(runtime.epoch(), epoch1);
+
+    let after = runtime.submit(QueryRequest::new("acme", q)).unwrap().wait();
+    let (result, cached, _) = completed(&after);
+    assert!(!cached, "epoch bump must invalidate the cached answer");
+    assert!(
+        !result.trace.spans.is_empty(),
+        "regeneration must carry a fresh trace"
+    );
+    // Two misses total: the cold request and the post-commit regeneration.
+    assert_eq!(runtime.metrics().counter("serve.cache.miss"), 2);
+    assert_eq!(runtime.metrics().counter("serve.cache.hit"), 1);
+    runtime.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_earliest_deadline_first() {
+    let (bundle, ks, oracle) = setup();
+    let gate = Gate::new();
+    let runtime = ServeRuntime::start(
+        GatedModel {
+            inner: oracle,
+            gate: Arc::clone(&gate),
+        },
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            result_cache_capacity: 0,
+            reform_cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let q = &bundle.tasks[0].question;
+    // r0 occupies the single worker (blocked inside the model call).
+    let r0 = runtime.submit(QueryRequest::new("a", q)).unwrap();
+    wait_queue_empty(&runtime);
+    // r1 fills the queue with a near deadline.
+    let r1 = runtime
+        .submit(QueryRequest::new("b", q).with_deadline_in(Duration::from_millis(50)))
+        .unwrap();
+    // r2 has far more runway: r1 (earliest deadline) is shed for it.
+    let r2 = runtime
+        .submit(QueryRequest::new("c", q).with_deadline_in(Duration::from_secs(30)))
+        .unwrap();
+    assert!(matches!(r1.wait(), QueryOutcome::Shed));
+    // r3 has no deadline ("latest possible"): sheds r2 in turn.
+    let r3 = runtime.submit(QueryRequest::new("d", q)).unwrap();
+    assert!(matches!(r2.wait(), QueryOutcome::Shed));
+    // r4: queue holds only no-deadline work — nothing to shed, reject.
+    let rejected = runtime.submit(QueryRequest::new("e", q));
+    assert!(matches!(rejected, Err(Rejected::QueueFull)));
+
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.counter("serve.shed"), 2);
+    assert_eq!(metrics.counter("serve.rejected"), 1);
+    gate.open();
+    assert!(r0.wait().is_completed());
+    assert!(r3.wait().is_completed());
+    runtime.shutdown();
+}
+
+#[test]
+fn deadline_expires_while_queued() {
+    let (bundle, ks, oracle) = setup();
+    let gate = Gate::new();
+    let runtime = ServeRuntime::start(
+        GatedModel {
+            inner: oracle,
+            gate: Arc::clone(&gate),
+        },
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let q = &bundle.tasks[0].question;
+    let r0 = runtime.submit(QueryRequest::new("a", q)).unwrap();
+    wait_queue_empty(&runtime);
+    let doomed = runtime
+        .submit(QueryRequest::new("b", q).with_deadline_in(Duration::from_millis(20)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    gate.open();
+    assert!(matches!(doomed.wait(), QueryOutcome::Expired));
+    assert!(r0.wait().is_completed());
+    assert_eq!(runtime.metrics().counter("serve.expired"), 1);
+    runtime.shutdown();
+}
+
+#[test]
+fn cancellation_resolves_queued_request() {
+    let (bundle, ks, oracle) = setup();
+    let gate = Gate::new();
+    let runtime = ServeRuntime::start(
+        GatedModel {
+            inner: oracle,
+            gate: Arc::clone(&gate),
+        },
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let q = &bundle.tasks[0].question;
+    let r0 = runtime.submit(QueryRequest::new("a", q)).unwrap();
+    wait_queue_empty(&runtime);
+    let victim = runtime.submit(QueryRequest::new("b", q)).unwrap();
+    victim.cancel();
+    gate.open();
+    assert!(matches!(victim.wait(), QueryOutcome::Cancelled));
+    assert!(r0.wait().is_completed());
+    assert_eq!(runtime.metrics().counter("serve.cancelled"), 1);
+    runtime.shutdown();
+}
+
+#[test]
+fn flooding_tenant_does_not_starve_others() {
+    let (bundle, ks, oracle) = setup();
+    let gate = Gate::new();
+    let runtime = ServeRuntime::start(
+        GatedModel {
+            inner: oracle,
+            gate: Arc::clone(&gate),
+        },
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            result_cache_capacity: 0,
+            reform_cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    // Pin the worker, then let the hot tenant flood the queue before
+    // the cold tenant's single request arrives.
+    let pin = runtime
+        .submit(QueryRequest::new("hot", &bundle.tasks[0].question))
+        .unwrap();
+    wait_queue_empty(&runtime);
+    let hot: Vec<_> = (0..8)
+        .map(|i| {
+            runtime
+                .submit(QueryRequest::new(
+                    "hot",
+                    &bundle.tasks[i % bundle.tasks.len()].question,
+                ))
+                .unwrap()
+        })
+        .collect();
+    let cold = runtime
+        .submit(QueryRequest::new("cold", &bundle.tasks[1].question))
+        .unwrap();
+    gate.open();
+    let (_, _, cold_seq) = completed(&cold.wait());
+    // Service seq 0 is the pinned request; DRR must schedule the cold
+    // tenant within the first round, not behind the 8-deep hot backlog.
+    assert!(
+        cold_seq <= 2,
+        "cold tenant served at position {cold_seq} despite DRR"
+    );
+    assert!(pin.wait().is_completed());
+    for t in hot {
+        assert!(t.wait().is_completed());
+    }
+    runtime.shutdown();
+}
+
+/// Satellite requirement: N threads hammering the runtime concurrently
+/// never observe torn results or another tenant's (or question's)
+/// cached answer — every outcome matches the direct-pipeline result for
+/// the exact question submitted.
+#[test]
+fn concurrent_hammering_is_consistent_per_question() {
+    let (bundle, ks, oracle) = setup();
+    let direct = GenEditPipeline::new(&oracle);
+    let direct_index = KnowledgeIndex::build(ks.clone());
+    let questions: Vec<&str> = bundle
+        .tasks
+        .iter()
+        .take(4)
+        .map(|t| t.question.as_str())
+        .collect();
+    let expected: Vec<String> = questions
+        .iter()
+        .map(|q| fingerprint(&direct.generate(q, &direct_index, &bundle.db, &[])))
+        .collect();
+
+    let runtime = ServeRuntime::start(
+        oracle,
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        },
+    );
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let runtime = &runtime;
+            let questions = &questions;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    let qi = (worker + round) % questions.len();
+                    let tenant = format!("tenant-{}", worker % 2);
+                    let ticket = runtime
+                        .submit(
+                            QueryRequest::new(tenant, questions[qi])
+                                .with_priority(Priority::Normal),
+                        )
+                        .unwrap();
+                    let outcome = ticket.wait();
+                    let (result, _, _) = completed(&outcome);
+                    assert_eq!(
+                        fingerprint(result),
+                        expected[qi],
+                        "worker {worker} round {round} observed a torn or foreign result"
+                    );
+                }
+            });
+        }
+    });
+    let metrics = runtime.metrics();
+    let served = metrics.counter("serve.completed");
+    assert_eq!(served, 8 * 4);
+    // With 2 tenants × 4 questions over 32 requests, repeats dominate:
+    // the cache must have served a substantial share.
+    assert!(metrics.counter("serve.cache.hit") >= 8);
+    runtime.shutdown();
+}

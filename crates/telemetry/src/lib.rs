@@ -69,6 +69,8 @@ pub mod names {
     pub const STORE_COMPACT: &str = "store.compact";
     /// One journaled merge of a staged batch into the durable store.
     pub const STORE_COMMIT: &str = "store.commit";
+    /// One request's residency in the serving runtime (queue + execute).
+    pub const SERVE_REQUEST: &str = "serve.request";
 }
 
 /// Render a trace as an indented tree with durations and attributes —

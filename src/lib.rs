@@ -10,6 +10,8 @@
 //! * [`bird`] — the synthetic BIRD-like benchmark,
 //! * [`core`] — the GenEdit pipeline, baselines, ablations, and the
 //!   feedback/regression loop,
+//! * [`serve`] — the concurrent serving runtime: admission control,
+//!   per-tenant fair scheduling, and epoch-keyed caching,
 //! * [`telemetry`] — span traces, metrics, and JSON/JSONL exporters
 //!   recorded by every pipeline run.
 //!
@@ -52,5 +54,6 @@ pub use genedit_core as core;
 pub use genedit_knowledge as knowledge;
 pub use genedit_llm as llm;
 pub use genedit_retrieval as retrieval;
+pub use genedit_serve as serve;
 pub use genedit_sql as sql;
 pub use genedit_telemetry as telemetry;
