@@ -25,6 +25,7 @@ use genedit_sql::catalog::Database;
 /// How a method supplies few-shot examples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExampleStyle {
+    /// No few-shot examples at all.
     None,
     /// Traditional full-query examples drawn from the historical logs.
     FullQuery,
@@ -39,12 +40,16 @@ pub enum SchemaStyle {
     /// Ship every catalogued element explicitly.
     Full,
     /// LLM linking followed by lossy filtering with the given recall.
-    Linked { recall: f64 },
+    Linked {
+        /// Probability each truly-needed element survives the filter.
+        recall: f64,
+    },
 }
 
 /// Whether the method decomposes generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanStyle {
+    /// Single-shot generation, no decomposition step.
     None,
     /// Sub-question decomposition without pseudo-SQL.
     NlPlan,
@@ -53,15 +58,22 @@ pub enum PlanStyle {
 /// A baseline's context-assembly profile.
 #[derive(Debug, Clone)]
 pub struct MethodProfile {
+    /// Display name, matching the paper's Table 1 row label.
     pub name: &'static str,
+    /// How the method supplies few-shot examples.
     pub examples: ExampleStyle,
+    /// Whether benchmark-provided evidence strings join the prompt.
     pub include_evidence: bool,
+    /// How the method supplies the schema.
     pub schema: SchemaStyle,
+    /// Whether (and how) the method decomposes generation.
     pub plan: PlanStyle,
     /// Internal sampling/revision compute, as a capacity multiplier for
     /// the oracle's bounded-reasoning model (1.0 = plain prompting).
     pub reasoning_effort: f64,
+    /// SQL candidates sampled per attempt.
     pub candidates: usize,
+    /// Self-correction retries after a failed validation.
     pub max_retries: usize,
 }
 
@@ -126,8 +138,11 @@ pub fn paper_baselines() -> Vec<MethodProfile> {
 /// Result of one baseline generation.
 #[derive(Debug, Clone)]
 pub struct BaselineResult {
+    /// The generated SQL, if any attempt produced one.
     pub sql: Option<String>,
+    /// Attempts consumed (1 = no retries needed).
     pub attempts: usize,
+    /// Whether the final SQL parsed and executed cleanly.
     pub validated: bool,
 }
 

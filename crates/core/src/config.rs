@@ -82,15 +82,22 @@ impl Default for PipelineConfig {
 /// time (examples stored as full queries) rather than at inference time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ablation {
+    /// Full GenEdit, nothing removed.
     None,
+    /// Skip the schema-linking operator (full schema shipped).
     WithoutSchemaLinking,
+    /// Drop retrieved instructions from the prompt.
     WithoutInstructions,
+    /// Drop retrieved examples from the prompt.
     WithoutExamples,
+    /// Strip pseudo-SQL from example fragments.
     WithoutPseudoSql,
+    /// Store examples as full queries instead of decomposed fragments.
     WithoutDecomposition,
 }
 
 impl Ablation {
+    /// Every ablation, in Table 2 row order.
     pub const ALL: [Ablation; 6] = [
         Ablation::None,
         Ablation::WithoutSchemaLinking,
@@ -100,6 +107,7 @@ impl Ablation {
         Ablation::WithoutDecomposition,
     ];
 
+    /// Table 2 row label for this ablation.
     pub fn label(&self) -> &'static str {
         match self {
             Ablation::None => "GenEdit",
@@ -128,6 +136,7 @@ impl Ablation {
         matches!(self, Ablation::WithoutDecomposition)
     }
 
+    /// A default [`PipelineConfig`] with this ablation applied.
     pub fn config(&self) -> PipelineConfig {
         let mut c = PipelineConfig::default();
         self.apply(&mut c);

@@ -24,18 +24,23 @@ use genedit_telemetry::{names, Trace, Tracer};
 /// A target the feedback is judged relevant to (operator 1 output).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FeedbackTarget {
+    /// Which knowledge element (or gap) the feedback concerns.
     pub kind: TargetKind,
     /// Why the feedback concerns this element (or gap).
     pub why: String,
 }
 
+/// What a [`FeedbackTarget`] points at.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TargetKind {
+    /// An example fragment that was used in the generation.
     Example(genedit_knowledge::ExampleId),
+    /// An instruction that was used in the generation.
     Instruction(genedit_knowledge::InstructionId),
     /// The feedback names knowledge that was never retrieved — a gap to
     /// fill with an insertion.
     MissingKnowledge {
+        /// The missing subject matter, as extracted from the feedback.
         topic: String,
     },
 }
@@ -43,8 +48,11 @@ pub enum TargetKind {
 /// A recommended edit with its explanation trail (operators 2–4 outputs).
 #[derive(Debug, Clone)]
 pub struct RecommendedEdit {
+    /// The concrete knowledge-set edit to stage.
     pub edit: Edit,
+    /// Human-readable rationale for the edit.
     pub explanation: String,
+    /// The edit-plan steps that produced this recommendation.
     pub plan_steps: Vec<String>,
 }
 
@@ -341,18 +349,23 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
         }
     }
 
+    /// The question this session iterates on.
     pub fn question(&self) -> &str {
         &self.question
     }
 
+    /// Number of edits currently staged.
     pub fn staged_count(&self) -> usize {
         self.staging.len()
     }
 
+    /// The recommendations produced by the latest feedback round.
     pub fn recommendations(&self) -> &[RecommendedEdit] {
         &self.recommendations
     }
 
+    /// Every feedback round so far: the text submitted and how many
+    /// edits it produced.
     pub fn rounds(&self) -> &[(String, usize)] {
         &self.rounds
     }
@@ -409,6 +422,8 @@ impl<'a, M: LanguageModel> FeedbackSession<'a, M> {
         self.staging.len()
     }
 
+    /// Withdraw a staged edit by its staging handle. Returns whether the
+    /// handle was live.
     pub fn unstage(&mut self, handle: u64) -> bool {
         self.staging.unstage(handle).is_some()
     }

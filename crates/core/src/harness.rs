@@ -31,10 +31,12 @@ pub struct Harness<'w, M: LanguageModel = OracleModel> {
 }
 
 impl<'w> Harness<'w> {
+    /// Harness over the default-configured deterministic oracle.
     pub fn new(workload: &'w Workload) -> Harness<'w> {
         Harness::with_oracle_config(workload, OracleConfig::default())
     }
 
+    /// Harness over an oracle with an explicit failure-model config.
     pub fn with_oracle_config(workload: &'w Workload, config: OracleConfig) -> Harness<'w> {
         let oracle = OracleModel::with_config(workload.registry(), config);
         Harness::with_model(workload, oracle)
@@ -65,6 +67,7 @@ impl<'w, M: LanguageModel> Harness<'w, M> {
         self.model.usage()
     }
 
+    /// Zero the cumulative model-call accounting.
     pub fn reset_usage(&self) {
         self.model.reset_usage()
     }

@@ -53,10 +53,12 @@ impl KnowledgeIndex {
         }
     }
 
+    /// The knowledge set this index was built over.
     pub fn knowledge(&self) -> &KnowledgeSet {
         &self.ks
     }
 
+    /// The embedder fitted to this knowledge set's corpus.
     pub fn embedder(&self) -> &Embedder {
         &self.embedder
     }

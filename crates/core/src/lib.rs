@@ -8,7 +8,29 @@
 //! Model calls are fallible ([`genedit_llm::ModelError`]); the pipeline
 //! degrades per operator instead of failing a generation, and non-test
 //! library paths are panic-free (enforced by the clippy lints below).
+//!
+//! ```
+//! use genedit_bird::{DomainBundle, SPORTS};
+//! use genedit_core::{GenEditPipeline, KnowledgeIndex};
+//! use genedit_llm::{OracleModel, TaskRegistry};
+//!
+//! // An enterprise domain: database + logs + documents + tasks.
+//! let bundle = DomainBundle::build(&SPORTS, (4, 2, 1), 42);
+//! let index = KnowledgeIndex::build(bundle.build_knowledge());
+//!
+//! // The deterministic oracle stands in for the LLM.
+//! let mut registry = TaskRegistry::new();
+//! for t in &bundle.tasks {
+//!     registry.register(t.clone());
+//! }
+//! let pipeline = GenEditPipeline::new(OracleModel::new(registry));
+//!
+//! let task = &bundle.tasks[0];
+//! let result = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+//! assert!(result.sql.is_some());
+//! ```
 
+#![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;

@@ -15,10 +15,11 @@ use crate::config::{CandidateSelection, PipelineConfig};
 use crate::index::KnowledgeIndex;
 use genedit_knowledge::{ExampleId, FragmentKind, InstructionId, RetrievalStage};
 use genedit_llm::{
-    CompletionRequest, LanguageModel, Plan, Prompt, PromptExample, PromptInstruction,
-    PromptSchemaElement, ResilienceState, ResilientModel, SystemClock, TaskKind, TracedModel,
+    CompletionRequest, CompletionResponse, LanguageModel, ModelError, Plan, Prompt, PromptExample,
+    PromptInstruction, PromptSchemaElement, ResilienceState, ResilientModel, SystemClock, TaskKind,
+    TracedModel,
 };
-use genedit_retrieval::Embedding;
+use genedit_retrieval::{cosine, Embedder, Embedding};
 use genedit_sql::catalog::Database;
 use genedit_sql::exec::execute_sql_timed;
 use genedit_telemetry::{names, MetricsRegistry, Trace, Tracer};
@@ -40,11 +41,17 @@ pub struct GenerationResult {
     /// whatever operator outputs were already computed, no SQL, and a
     /// warning naming the stage it stopped after.
     pub cancelled: bool,
+    /// The chain-of-thought plan the SQL was generated from, if any.
     pub plan: Option<Plan>,
+    /// The reformulated question (operator 1 output).
     pub reformulated: String,
+    /// Classified user intents (operator 2 output).
     pub intents: Vec<String>,
+    /// Validation errors from failed self-correction attempts.
     pub errors: Vec<String>,
+    /// Ids of the example fragments that entered the prompt.
     pub used_examples: Vec<ExampleId>,
+    /// Ids of the instructions that entered the prompt.
     pub used_instructions: Vec<InstructionId>,
     /// Keys of the linked schema elements.
     pub used_schema: Vec<String>,
@@ -116,6 +123,17 @@ pub struct GenerateOptions<'a> {
     /// embedder. Only honored together with `reformulation` — an
     /// embedding without the text it embeds would be unverifiable.
     pub query_embedding: Option<Embedding>,
+    /// Ensemble fan-out width for the generation stage. `Some(n)` with
+    /// `n > 1` overrides [`PipelineConfig::candidates`] and samples the
+    /// `n` CoT plan and SQL candidates **in parallel** (one scoped thread
+    /// per seed), selecting by the configured
+    /// [`CandidateSelection`] vote over
+    /// candidates processed in seed order — byte-identical to sampling
+    /// the same seeds serially. Parallel candidates issued over a
+    /// [`BatchScheduler`](genedit_llm::BatchScheduler) coalesce into a
+    /// single backend round trip. `None` (the default) keeps the serial
+    /// path untouched.
+    pub ensemble_width: Option<usize>,
 }
 
 /// The pipeline. Generic over the model so tests can stub it; in the
@@ -128,10 +146,14 @@ pub struct GenEditPipeline<M> {
 }
 
 impl<M: LanguageModel> GenEditPipeline<M> {
+    /// Pipeline over `model` with the default configuration.
     pub fn new(model: M) -> GenEditPipeline<M> {
         GenEditPipeline::with_config(model, PipelineConfig::default())
     }
 
+    /// Pipeline over `model` with an explicit configuration. A
+    /// `config.resilience` policy builds a fresh retry/breaker runtime
+    /// over the system clock.
     pub fn with_config(model: M, config: PipelineConfig) -> GenEditPipeline<M> {
         let resilience = config.resilience.clone().map(|policy| {
             Arc::new(ResilienceState::new(
@@ -170,18 +192,22 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         self
     }
 
+    /// The active pipeline configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
     }
 
+    /// The shared retry/breaker runtime, when resilience is enabled.
     pub fn resilience_state(&self) -> Option<&Arc<ResilienceState>> {
         self.resilience.as_ref()
     }
 
+    /// The wrapped model.
     pub fn model(&self) -> &M {
         &self.model
     }
 
+    /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref()
     }
@@ -268,6 +294,9 @@ impl<M: LanguageModel> GenEditPipeline<M> {
     ) -> GenerationResult {
         let cfg = &self.config;
         let ks = index.knowledge();
+        // Ensemble fan-out engages only on explicit request, so the
+        // default serial path (and its call accounting) is untouched.
+        let ensemble = opts.ensemble_width.filter(|w| *w > 1);
         let cancelled = |stage: &str| -> bool {
             match opts.cancel {
                 Some(token) if token.is_cancelled() => {
@@ -492,20 +521,20 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                 let mut expansions: Vec<&str> = example_texts.iter().map(|s| s.as_str()).collect();
                 expansions.extend(instruction_texts.iter().map(|s| s.as_str()));
                 let expanded = index.embedder().embed_expanded(&reformulated, &expansions);
-                let scored: Vec<(PromptSchemaElement, f32)> = linked
-                    .into_iter()
+                let texts: Vec<String> = linked
+                    .iter()
                     .map(|el| {
-                        let text = format!(
+                        format!(
                             "{} {} {}",
                             el.key(),
                             el.description,
                             el.top_values.join(" ")
-                        );
-                        let emb = index.embedder().embed(&text);
-                        let score = genedit_retrieval::cosine(&expanded, &emb);
-                        (el, score)
+                        )
                     })
                     .collect();
+                let scores = score_against(index.embedder(), &expanded, &texts);
+                let scored: Vec<(PromptSchemaElement, f32)> =
+                    linked.into_iter().zip(scores).collect();
                 let (kept, stats) =
                     genedit_retrieval::rerank_top_k_with_stats(scored, cfg.schema_top_k);
                 if let Some(metrics) = &self.metrics {
@@ -548,23 +577,51 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             let span = tracer.span(names::PLAN);
             let mut plan_prompt = base.clone();
             plan_prompt.task = TaskKind::PlanGeneration;
-            let p = match model.complete(&CompletionRequest::new(plan_prompt)) {
-                Ok(response) => match response.as_plan() {
-                    Some(p) => Some(p.clone()),
-                    None => {
+            // Ensemble mode samples `width` chain-of-thought plans in
+            // parallel (one seed each) and keeps the plan the most
+            // candidates structurally agree on, ties toward the earliest
+            // seed. The serial path is a single seed-0 call, exactly as
+            // before.
+            let completions = match ensemble {
+                Some(width) => {
+                    span.attr("ensemble", width);
+                    complete_parallel(model, &plan_prompt, width as u64)
+                }
+                None => vec![model.complete(&CompletionRequest::new(plan_prompt.clone()))],
+            };
+            let candidates: Vec<Plan> = completions
+                .iter()
+                .filter_map(|c| c.as_ref().ok().and_then(|r| r.as_plan()).cloned())
+                .collect();
+            let voted = candidates
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, p)| {
+                    let votes = candidates.iter().filter(|other| other == p).count();
+                    (votes, std::cmp::Reverse(*i))
+                })
+                .map(|(_, p)| p.clone());
+            let p = if let Some(p) = voted {
+                Some(p)
+            } else {
+                // No candidate parsed as a plan: degrade exactly like the
+                // single-call path, keyed off the first completion.
+                match completions.into_iter().next() {
+                    Some(Ok(_)) => {
                         tracer.warning("plan generation returned no plan; using an empty plan");
                         span.attr("degraded", true);
                         Some(Plan::default())
                     }
-                },
-                // Degradation: generate SQL directly, plan-free — the
-                // prompt simply ships without a plan section.
-                Err(err) => {
-                    tracer.warning(format!(
-                        "plan generation failed ({err}); generating SQL without a plan"
-                    ));
-                    span.attr("degraded", true);
-                    None
+                    Some(Err(err)) => {
+                        // Degradation: generate SQL directly, plan-free —
+                        // the prompt simply ships without a plan section.
+                        tracer.warning(format!(
+                            "plan generation failed ({err}); generating SQL without a plan"
+                        ));
+                        span.attr("degraded", true);
+                        None
+                    }
+                    None => None,
                 }
             };
             span.attr("steps", p.as_ref().map(|p| p.steps.len()).unwrap_or(0))
@@ -601,10 +658,14 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                 r.sql = last_sql;
                 return r;
             }
+            let width = ensemble.unwrap_or_else(|| cfg.candidates.max(1));
             let attempt_span = tracer.span(names::SQL_ATTEMPT);
             attempt_span
                 .attr("attempt", attempt + 1)
-                .attr("candidates", cfg.candidates.max(1));
+                .attr("candidates", width);
+            if ensemble.is_some() {
+                attempt_span.attr("ensemble", true);
+            }
             if let Some(cause) = errors.last() {
                 attempt_span.attr("retry_cause", cause.as_str());
             }
@@ -614,9 +675,20 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             // Valid candidates this round, with their result fingerprints
             // (used by self-consistency voting).
             let mut valid: Vec<(String, Vec<String>)> = Vec::new();
-            for seed in 0..cfg.candidates.max(1) as u64 {
-                let sql = match model.complete(&CompletionRequest::with_seed(prompt.clone(), seed))
-                {
+            // Ensemble mode fans all candidate completions out in
+            // parallel up front; candidates are then processed in seed
+            // order, so the outcome is byte-identical to the serial
+            // loop over the same seeds. The serial path keeps its lazy
+            // one-call-per-seed shape so `FirstValid` can stop early
+            // without paying for unused candidates.
+            let fanned: Option<Vec<Result<CompletionResponse, ModelError>>> =
+                ensemble.map(|w| complete_parallel(model, &prompt, w as u64));
+            for seed in 0..width as u64 {
+                let completion = match &fanned {
+                    Some(v) => v[seed as usize].clone(),
+                    None => model.complete(&CompletionRequest::with_seed(prompt.clone(), seed)),
+                };
+                let sql = match completion {
                     Ok(response) => match response.as_sql() {
                         Some(s) => s.to_string(),
                         None => {
@@ -753,6 +825,71 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         span.finish();
         out
     }
+}
+
+/// Issue `width` completions of the same prompt (seeds `0..width`) in
+/// parallel, one scoped thread per seed, returning results **in seed
+/// order** so downstream voting is independent of scheduling. Over a
+/// [`BatchScheduler`](genedit_llm::BatchScheduler) the concurrent calls
+/// coalesce into a single backend round trip. A panicking candidate
+/// thread surfaces as a [`ModelError::Transient`] for that seed only.
+fn complete_parallel<L: LanguageModel>(
+    model: &L,
+    prompt: &Prompt,
+    width: u64,
+) -> Vec<Result<CompletionResponse, ModelError>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|seed| {
+                let request = CompletionRequest::with_seed(prompt.clone(), seed);
+                scope.spawn(move || model.complete(&request))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(ModelError::Transient(
+                        "ensemble candidate thread panicked".to_string(),
+                    ))
+                })
+            })
+            .collect()
+    })
+}
+
+/// Cosine-score `texts` against a query embedding, returning one score
+/// per text in input order. Small batches stay on the calling thread;
+/// larger re-rank batches split across a few scoped threads, overlapping
+/// the independent embedding computations (the retrieval-side fan-out of
+/// DESIGN.md §12). Chunks are joined in spawn order, so the output is
+/// identical to the serial loop.
+fn score_against(embedder: &Embedder, query: &Embedding, texts: &[String]) -> Vec<f32> {
+    const PAR_THRESHOLD: usize = 8;
+    const THREADS: usize = 4;
+    if texts.len() < PAR_THRESHOLD {
+        return texts
+            .iter()
+            .map(|t| cosine(query, &embedder.embed(t)))
+            .collect();
+    }
+    let chunk = texts.len().div_ceil(THREADS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = texts
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    c.iter()
+                        .map(|t| cosine(query, &embedder.embed(t)))
+                        .collect::<Vec<f32>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
+    })
 }
 
 /// Syntactic + semantic validation: parse, then execute against the
@@ -912,6 +1049,105 @@ mod tests {
         // first-valid agree.
         let first = GenEditPipeline::new(&oracle).generate(&task.question, &index, &bundle.db, &[]);
         assert_eq!(voted.sql, first.sql);
+    }
+
+    /// Tentpole invariant: ensemble fan-out (parallel candidates over
+    /// seeds `0..n`) is byte-identical to the serial loop over the same
+    /// seeds. Plan generation is disabled because the serial path samples
+    /// only seed 0 there, while the ensemble deliberately votes over `n`
+    /// seeds — the SQL candidate stage is where the seed sets coincide.
+    #[test]
+    fn ensemble_fanout_matches_serial_execution() {
+        let (bundle, index, oracle) = setup();
+        let cfg = PipelineConfig {
+            candidates: 3,
+            candidate_selection: CandidateSelection::MajorityResult,
+            use_plan: false,
+            ..Default::default()
+        };
+        let pipeline = GenEditPipeline::with_config(&oracle, cfg);
+        for task in &bundle.tasks {
+            let serial = pipeline.generate(&task.question, &index, &bundle.db, &[]);
+            let opts = GenerateOptions {
+                ensemble_width: Some(3),
+                ..Default::default()
+            };
+            let fanned = pipeline.generate_with(&task.question, &index, &bundle.db, &[], &opts);
+            assert_eq!(fanned.sql, serial.sql, "task {:?}", task.question);
+            assert_eq!(fanned.reformulated, serial.reformulated);
+            assert_eq!(fanned.intents, serial.intents);
+            assert_eq!(fanned.errors, serial.errors);
+            assert_eq!(fanned.used_examples, serial.used_examples);
+            assert_eq!(fanned.used_instructions, serial.used_instructions);
+            assert_eq!(fanned.used_schema, serial.used_schema);
+            assert_eq!(fanned.validated, serial.validated);
+            assert_eq!(fanned.attempts, serial.attempts);
+        }
+    }
+
+    /// A stub whose plan depends only on the sampling seed, for pinning
+    /// down the ensemble vote: seeds 0 and 3 plan "X", every other seed
+    /// plans "Y".
+    struct PlanBySeed;
+
+    impl LanguageModel for PlanBySeed {
+        fn name(&self) -> &str {
+            "plan-by-seed"
+        }
+
+        fn complete(
+            &self,
+            request: &CompletionRequest,
+        ) -> Result<CompletionResponse, genedit_llm::ModelError> {
+            Ok(match request.prompt.task {
+                TaskKind::PlanGeneration => {
+                    let label = match request.seed {
+                        0 | 3 => "X",
+                        _ => "Y",
+                    };
+                    CompletionResponse::Plan(Plan {
+                        steps: vec![genedit_llm::PlanStep {
+                            description: label.to_string(),
+                            pseudo_sql: None,
+                            scope: "main".to_string(),
+                            kind: None,
+                        }],
+                    })
+                }
+                TaskKind::SqlGeneration => {
+                    CompletionResponse::Sql("SELECT * FROM SPORTS_ORGS".to_string())
+                }
+                TaskKind::Reformulate => CompletionResponse::Text(request.prompt.question.clone()),
+                _ => CompletionResponse::Items(Vec::new()),
+            })
+        }
+    }
+
+    /// Satellite requirement: the plan-ensemble vote takes the majority
+    /// plan when one exists, and breaks ties toward the earliest seed.
+    #[test]
+    fn ensemble_plan_vote_breaks_ties_toward_earliest_seed() {
+        let (bundle, index, _) = setup();
+        let cfg = PipelineConfig {
+            candidates: 1,
+            max_retries: 0,
+            ..Default::default()
+        };
+        let pipeline = GenEditPipeline::with_config(PlanBySeed, cfg);
+        let plan_label = |width: usize| {
+            let opts = GenerateOptions {
+                ensemble_width: Some(width),
+                ..Default::default()
+            };
+            let result = pipeline.generate_with("question", &index, &bundle.db, &[], &opts);
+            let plan = result.plan.expect("stub always plans");
+            plan.steps[0].description.clone()
+        };
+        // Seeds 0..3 plan [X, Y, Y]: the majority plan Y beats seed 0.
+        assert_eq!(plan_label(3), "Y");
+        // Seeds 0..4 plan [X, Y, Y, X]: a 2-2 tie breaks toward the
+        // earliest seed's plan, X.
+        assert_eq!(plan_label(4), "X");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use std::fmt;
 /// A golden question whose behaviour must not regress.
 #[derive(Debug, Clone)]
 pub struct GoldenQuery {
+    /// The natural-language question.
     pub question: String,
+    /// The reference SQL whose results define "correct".
     pub gold_sql: String,
 }
 
@@ -30,6 +32,7 @@ pub struct RegressionOutcome {
     pub regressions: Vec<String>,
     /// Questions newly fixed by the staged edits.
     pub improvements: Vec<String>,
+    /// Size of the golden suite.
     pub total: usize,
     /// Spans that took their degradation path during the *before* runs.
     /// A degraded before-run can manufacture a spurious regression (the
@@ -103,7 +106,10 @@ pub fn run_regression<M: LanguageModel>(
 pub enum SubmissionResult {
     /// Merged; carries the checkpoint id recorded just before the merge.
     Merged {
+        /// Checkpoint recorded immediately before the merge (rollback
+        /// target).
         checkpoint: u64,
+        /// The regression diff that justified the merge.
         outcome: RegressionOutcome,
     },
     /// Failed regression testing; nothing was merged.

@@ -54,6 +54,7 @@ pub trait StoreFs: Send + Sync {
 pub struct RealFs;
 
 impl RealFs {
+    /// The real-filesystem backend.
     pub fn new() -> RealFs {
         RealFs
     }
@@ -127,6 +128,7 @@ pub struct MemFs {
 }
 
 impl MemFs {
+    /// An empty in-memory filesystem.
     pub fn new() -> MemFs {
         MemFs::default()
     }
@@ -274,11 +276,17 @@ impl IoFaultConfig {
 /// Counts of injected faults, by category.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoFaultLog {
+    /// Operations that passed through the wrapper (faulted or not).
     pub ops: u64,
+    /// Writes cut short mid-buffer.
     pub short_writes: u64,
+    /// Appends torn at a frame-unaligned offset.
     pub torn_writes: u64,
+    /// Single-bit payload corruptions.
     pub bit_flips: u64,
+    /// fsync calls failed artificially.
     pub fsync_failures: u64,
+    /// Renames failed artificially.
     pub rename_failures: u64,
     /// Operations refused because the crash point had been reached.
     pub refused_after_crash: u64,
@@ -308,6 +316,7 @@ pub struct FaultyFs {
 }
 
 impl FaultyFs {
+    /// Wrap `inner` with a fault schedule derived purely from `seed`.
     pub fn new(inner: Arc<dyn StoreFs>, config: IoFaultConfig, seed: u64) -> FaultyFs {
         FaultyFs {
             inner,
@@ -319,6 +328,7 @@ impl FaultyFs {
         }
     }
 
+    /// Snapshot of the injected-fault counters.
     pub fn log(&self) -> IoFaultLog {
         *self.lock_log()
     }

@@ -38,13 +38,26 @@ pub enum JournalRecord {
     /// between compaction's snapshot rename and the journal reset would
     /// otherwise replay every record a second time on top of a snapshot
     /// that already contains them.
-    Baseline { log_len: u64, checkpoints: u64 },
+    Baseline {
+        /// The set's log length when the generation started.
+        log_len: u64,
+        /// The set's checkpoint count when the generation started.
+        checkpoints: u64,
+    },
     /// A standalone edit, committed the moment it is durable.
     Edit(Edit),
     /// A named checkpoint of the in-memory set.
-    Checkpoint { label: String },
+    Checkpoint {
+        /// Checkpoint label.
+        label: String,
+    },
     /// Start of an atomic batch (a staged merge) of `count` edits.
-    BatchStart { label: String, count: u32 },
+    BatchStart {
+        /// Merge label shown in history.
+        label: String,
+        /// Number of edits in the batch.
+        count: u32,
+    },
     /// Commit marker: the batch since the matching [`JournalRecord::BatchStart`]
     /// is now durable as a unit.
     BatchCommit,
@@ -53,11 +66,16 @@ pub enum JournalRecord {
 /// Journal I/O and encoding errors.
 #[derive(Debug)]
 pub enum JournalError {
+    /// A filesystem operation failed.
     Io {
+        /// The operation that failed (`append`, `fsync`, `truncate`).
         op: &'static str,
+        /// Journal file path.
         path: PathBuf,
+        /// Underlying I/O error.
         source: io::Error,
     },
+    /// A record failed to serialize.
     Encode(serde_json::Error),
 }
 
@@ -141,6 +159,7 @@ pub struct ScanOutcome {
     pub offsets: Vec<u64>,
     /// Byte length of the valid prefix.
     pub valid_bytes: u64,
+    /// How the scan ended.
     pub end: ScanEnd,
 }
 
@@ -247,6 +266,7 @@ pub struct Journal {
 }
 
 impl Journal {
+    /// Open an append handle on `path` with the given fsync policy.
     pub fn new(fs: Arc<dyn StoreFs>, path: impl Into<PathBuf>, policy: FsyncPolicy) -> Journal {
         Journal {
             fs,
@@ -257,15 +277,18 @@ impl Journal {
         }
     }
 
+    /// Emit `store.journal.*` metrics to the given registry.
     pub fn with_metrics(mut self, metrics: Arc<genedit_telemetry::MetricsRegistry>) -> Journal {
         self.metrics = Some(metrics);
         self
     }
 
+    /// Path of the journal file.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
+    /// The fsync policy in force.
     pub fn policy(&self) -> FsyncPolicy {
         self.policy
     }

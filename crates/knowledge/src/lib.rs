@@ -17,6 +17,7 @@
 //! assert!(frags.iter().any(|f| f.pseudo_sql() == "... WHERE R > 10 ..."));
 //! ```
 
+#![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod decompose;

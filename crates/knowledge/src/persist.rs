@@ -22,19 +22,29 @@ pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
 /// tied to a file (e.g. [`from_json`] on an in-memory string).
 #[derive(Debug)]
 pub enum PersistError {
+    /// A filesystem read or write failed.
     Io {
+        /// The file involved, when the operation touched one.
         path: Option<PathBuf>,
+        /// Underlying I/O error.
         source: io::Error,
     },
+    /// The set failed to serialize.
     Encode(serde_json::Error),
+    /// The snapshot failed to parse.
     Decode {
+        /// The file involved, when the operation touched one.
         path: Option<PathBuf>,
+        /// Underlying parse error.
         source: serde_json::Error,
     },
     /// The file exceeds the configured size guard; nothing was read.
     TooLarge {
+        /// The offending file.
         path: PathBuf,
+        /// Its actual size in bytes.
         len: u64,
+        /// The configured ceiling.
         limit: u64,
     },
 }

@@ -14,9 +14,11 @@ use genedit_sql::error::{EngineError, EngineResult};
 /// One historical query from the execution logs.
 #[derive(Debug, Clone)]
 pub struct QueryLogEntry {
+    /// Stable identifier of the log entry (recorded in provenance).
     pub log_id: u64,
     /// The natural-language question the query answered, when known.
     pub question: String,
+    /// The executed SQL text.
     pub sql: String,
     /// Intent the query was mined under, when known.
     pub intent: Option<String>,
@@ -25,29 +27,39 @@ pub struct QueryLogEntry {
 /// A domain term definition extracted from documents (e.g. QoQFP, RPV).
 #[derive(Debug, Clone)]
 pub struct TermDefinition {
+    /// The term itself (e.g. `RPV`).
     pub term: String,
     /// Natural-language meaning.
     pub meaning: String,
     /// The SQL sub-expression computing the term, when it has one.
     pub sql: Option<String>,
+    /// Intent the term belongs to, when known.
     pub intent: Option<String>,
 }
 
 /// A free-form guideline from documents ("Apply a -1 multiplier when …").
 #[derive(Debug, Clone)]
 pub struct Guideline {
+    /// The guidance text.
     pub text: String,
+    /// Expected SQL sub-expression illustrating the guideline.
     pub sql_hint: Option<String>,
+    /// Intent the guideline belongs to, when known.
     pub intent: Option<String>,
+    /// Document section the guideline was extracted from.
     pub section: String,
 }
 
 /// A document of domain-specific terminology and practices.
 #[derive(Debug, Clone)]
 pub struct DomainDocument {
+    /// Stable identifier of the document (recorded in provenance).
     pub doc_id: u64,
+    /// Document title.
     pub title: String,
+    /// Term definitions the document contains.
     pub terms: Vec<TermDefinition>,
+    /// Free-form guidelines the document contains.
     pub guidelines: Vec<Guideline>,
 }
 
@@ -67,6 +79,7 @@ pub struct PreprocessConfig {
 }
 
 impl PreprocessConfig {
+    /// Paper defaults: top-5 values, decomposition on.
     pub fn new(intents: Vec<Intent>) -> PreprocessConfig {
         PreprocessConfig {
             intents,

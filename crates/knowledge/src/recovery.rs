@@ -57,6 +57,7 @@ pub enum RecoveryOutcome {
 /// and folded into `store.*` metrics.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
+    /// How recovery classified the on-disk state.
     pub outcome: RecoveryOutcome,
     /// Whether a snapshot file was loaded as the replay base.
     pub snapshot_loaded: bool,

@@ -14,9 +14,13 @@ use crate::types::{FragmentKind, SourceRef, SqlFragment};
 /// Summary of one document refresh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefreshReport {
+    /// Examples removed because their provenance pointed at the document.
     pub removed_examples: usize,
+    /// Instructions removed for the same reason.
     pub removed_instructions: usize,
+    /// Examples regenerated from the new document version.
     pub inserted_examples: usize,
+    /// Instructions regenerated from the new document version.
     pub inserted_instructions: usize,
 }
 

@@ -16,9 +16,13 @@ use std::fmt;
 /// Errors from knowledge-set operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KnowledgeError {
+    /// The referenced example does not exist.
     NoSuchExample(ExampleId),
+    /// The referenced instruction does not exist.
     NoSuchInstruction(InstructionId),
+    /// An intent with this key already exists.
     DuplicateIntent(String),
+    /// The referenced checkpoint does not exist.
     NoSuchCheckpoint(u64),
 }
 
@@ -39,45 +43,75 @@ impl std::error::Error for KnowledgeError {}
 /// edits-recommendation module, staged by SMEs, and merged on approval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Edit {
+    /// Add a new decomposed example.
     InsertExample {
+        /// Intent key to group under, when known.
         intent: Option<String>,
+        /// Natural-language description of the fragment.
         description: String,
+        /// The decomposed SQL sub-statement.
         fragment: SqlFragment,
+        /// Domain term the example defines, when applicable.
         term: Option<String>,
+        /// Where the edit came from.
         source: SourceRef,
     },
+    /// Modify an existing example; `None` fields are left unchanged.
     UpdateExample {
+        /// Example to modify.
         id: ExampleId,
+        /// New description, if changing.
         description: Option<String>,
+        /// New fragment, if changing.
         fragment: Option<SqlFragment>,
         /// `Some(None)` clears the term; `None` leaves it unchanged.
         term: Option<Option<String>>,
+        /// Where the edit came from.
         source: SourceRef,
     },
+    /// Remove an example.
     DeleteExample {
+        /// Example to remove.
         id: ExampleId,
     },
+    /// Add a new generation instruction.
     InsertInstruction {
+        /// Intent key to group under, when known.
         intent: Option<String>,
+        /// The natural-language guidance text.
         text: String,
+        /// Expected SQL sub-expression illustrating the instruction.
         sql_hint: Option<String>,
+        /// Domain term the instruction explains, when applicable.
         term: Option<String>,
+        /// Where the edit came from.
         source: SourceRef,
     },
+    /// Modify an existing instruction; `None` fields are left unchanged.
     UpdateInstruction {
+        /// Instruction to modify.
         id: InstructionId,
+        /// New text, if changing.
         text: Option<String>,
+        /// `Some(None)` clears the hint; `None` leaves it unchanged.
         sql_hint: Option<Option<String>>,
+        /// Where the edit came from.
         source: SourceRef,
     },
+    /// Remove an instruction.
     DeleteInstruction {
+        /// Instruction to remove.
         id: InstructionId,
     },
+    /// Register a new mined intent.
     AddIntent(Intent),
+    /// Add (or replace, keyed by `TABLE.COLUMN`) a schema element.
     AddSchemaElement(SchemaElement),
     /// Attach a free-text hint to a retrieval/re-ranking operator (§1).
     AddRetrievalHint {
+        /// Pipeline stage the hint applies to.
         stage: RetrievalStage,
+        /// The hint text.
         text: String,
     },
 }
@@ -106,8 +140,11 @@ impl Edit {
 /// What an applied edit produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EditOutcome {
+    /// A new example was created with this id.
     InsertedExample(ExampleId),
+    /// A new instruction was created with this id.
     InsertedInstruction(InstructionId),
+    /// The edit applied without creating a new element.
     Applied,
 }
 
@@ -118,14 +155,18 @@ pub struct LoggedEdit {
     pub seq: u64,
     /// Logical timestamp at application.
     pub tick: u64,
+    /// The edit that was applied.
     pub edit: Edit,
+    /// What applying it produced.
     pub outcome: EditOutcome,
 }
 
 /// Checkpoint handle for revert.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointInfo {
+    /// Checkpoint id, usable with [`KnowledgeSet::revert_to`].
     pub id: u64,
+    /// Human-readable label given at checkpoint time.
     pub label: String,
     /// Log length at checkpoint time.
     pub log_len: usize,
@@ -155,6 +196,7 @@ pub struct KnowledgeSet {
 }
 
 impl KnowledgeSet {
+    /// An empty knowledge set.
     pub fn new() -> KnowledgeSet {
         KnowledgeSet::default()
     }
@@ -173,22 +215,27 @@ impl KnowledgeSet {
     // Accessors
     // ------------------------------------------------------------------
 
+    /// All registered intents.
     pub fn intents(&self) -> &[Intent] {
         &self.state.intents
     }
 
+    /// All live examples.
     pub fn examples(&self) -> &[Example] {
         &self.state.examples
     }
 
+    /// All live instructions.
     pub fn instructions(&self) -> &[Instruction] {
         &self.state.instructions
     }
 
+    /// All schema elements.
     pub fn schema_elements(&self) -> &[SchemaElement] {
         &self.state.schema_elements
     }
 
+    /// Hints attached to the given retrieval stage, in insertion order.
     pub fn retrieval_hints(&self, stage: RetrievalStage) -> Vec<&str> {
         self.state
             .retrieval_hints
@@ -198,18 +245,22 @@ impl KnowledgeSet {
             .collect()
     }
 
+    /// Look up an example by id.
     pub fn example(&self, id: ExampleId) -> Option<&Example> {
         self.state.examples.iter().find(|e| e.id == id)
     }
 
+    /// Look up an instruction by id.
     pub fn instruction(&self, id: InstructionId) -> Option<&Instruction> {
         self.state.instructions.iter().find(|i| i.id == id)
     }
 
+    /// Look up an intent by key.
     pub fn intent(&self, key: &str) -> Option<&Intent> {
         self.state.intents.iter().find(|i| i.key == key)
     }
 
+    /// Examples grouped under the given intent key.
     pub fn examples_for_intent<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a Example> {
         self.state
             .examples
@@ -217,6 +268,7 @@ impl KnowledgeSet {
             .filter(move |e| e.intent.as_deref() == Some(key))
     }
 
+    /// Instructions grouped under the given intent key.
     pub fn instructions_for_intent<'a>(
         &'a self,
         key: &'a str,
@@ -227,6 +279,7 @@ impl KnowledgeSet {
             .filter(move |i| i.intent.as_deref() == Some(key))
     }
 
+    /// Schema elements grouped under the given intent key.
     pub fn schema_for_intent<'a>(
         &'a self,
         key: &'a str,
@@ -237,10 +290,12 @@ impl KnowledgeSet {
             .filter(move |s| s.intents.iter().any(|i| i == key))
     }
 
+    /// The full audit log, oldest first.
     pub fn log(&self) -> &[LoggedEdit] {
         &self.log
     }
 
+    /// All live checkpoints, oldest first.
     pub fn checkpoints(&self) -> Vec<&CheckpointInfo> {
         self.checkpoints.iter().map(|(info, _)| info).collect()
     }
@@ -483,10 +538,15 @@ impl KnowledgeSet {
 /// Size summary of a knowledge set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KnowledgeStats {
+    /// Number of registered intents.
     pub intents: usize,
+    /// Number of live examples.
     pub examples: usize,
+    /// Number of live instructions.
     pub instructions: usize,
+    /// Number of schema elements.
     pub schema_elements: usize,
+    /// Length of the audit log.
     pub edits_logged: usize,
 }
 

@@ -21,7 +21,9 @@ pub enum CommitError {
     /// checkpoint failed too — the deployed set may hold a partial merge
     /// and should be restored from its audit log or a durable store.
     RollbackFailed {
+        /// The error that aborted the merge.
         apply: KnowledgeError,
+        /// The error that then broke the rollback.
         rollback: KnowledgeError,
     },
 }
@@ -44,7 +46,9 @@ impl std::error::Error for CommitError {}
 /// A staged edit with its stable handle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StagedEdit {
+    /// Stable handle for [`StagingArea::unstage`].
     pub handle: u64,
+    /// The staged edit.
     pub edit: Edit,
 }
 
@@ -56,18 +60,22 @@ pub struct StagingArea {
 }
 
 impl StagingArea {
+    /// An empty staging area.
     pub fn new() -> StagingArea {
         StagingArea::default()
     }
 
+    /// True when nothing is staged.
     pub fn is_empty(&self) -> bool {
         self.staged.is_empty()
     }
 
+    /// Number of staged edits.
     pub fn len(&self) -> usize {
         self.staged.len()
     }
 
+    /// The staged edits in staging order.
     pub fn staged(&self) -> &[StagedEdit] {
         &self.staged
     }
@@ -86,6 +94,7 @@ impl StagingArea {
         Some(self.staged.remove(pos).edit)
     }
 
+    /// Drop every staged edit.
     pub fn clear(&mut self) {
         self.staged.clear();
     }

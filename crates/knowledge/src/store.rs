@@ -42,8 +42,11 @@ pub enum StoreError {
     Knowledge(KnowledgeError),
     /// A raw filesystem operation failed.
     Io {
+        /// The operation that failed.
         op: &'static str,
+        /// The file involved.
         path: PathBuf,
+        /// Underlying I/O error.
         source: io::Error,
     },
 }

@@ -37,10 +37,12 @@ pub struct Intent {
     pub key: String,
     /// Human-readable label.
     pub name: String,
+    /// One-sentence description of the intent's scope.
     pub description: String,
 }
 
 impl Intent {
+    /// Build an intent from its key, label, and description.
     pub fn new(
         key: impl Into<String>,
         name: impl Into<String>,
@@ -60,11 +62,22 @@ impl Intent {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SourceRef {
     /// Decomposed from a logged historical SQL query.
-    QueryLog { log_id: u64 },
+    QueryLog {
+        /// Identifier of the source query-log entry.
+        log_id: u64,
+    },
     /// Extracted from a domain document.
-    Document { doc_id: u64, section: String },
+    Document {
+        /// Identifier of the source document.
+        doc_id: u64,
+        /// Section heading the element was extracted from.
+        section: String,
+    },
     /// Produced by the edits-recommendation module from user feedback.
-    Feedback { feedback_id: u64 },
+    Feedback {
+        /// Identifier of the originating feedback record.
+        feedback_id: u64,
+    },
     /// Entered manually by an SME in the knowledge-set library.
     Manual,
 }
@@ -72,6 +85,7 @@ pub enum SourceRef {
 /// Provenance record attached to every example and instruction.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Provenance {
+    /// Where the element came from.
     pub source: SourceRef,
     /// Monotone logical timestamp assigned by the knowledge set.
     pub tick: u64,
@@ -90,9 +104,13 @@ pub enum FragmentKind {
     From,
     /// One conjunct of a WHERE clause.
     Where,
+    /// The GROUP BY clause.
     GroupBy,
+    /// The HAVING clause.
     Having,
+    /// The ORDER BY clause.
     OrderBy,
+    /// The LIMIT clause.
     Limit,
     /// A window-function expression.
     Window,
@@ -128,6 +146,7 @@ impl fmt::Display for FragmentKind {
 /// (`"... FROM SPORTS_FINANCIALS ..."`, §3.1.2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SqlFragment {
+    /// Grammatical role of the fragment.
     pub kind: FragmentKind,
     /// The fragment text *without* the `...` affixes.
     pub sql: String,
@@ -137,6 +156,7 @@ pub struct SqlFragment {
 }
 
 impl SqlFragment {
+    /// Build a fragment from its kind, raw SQL text, and owning scope.
     pub fn new(kind: FragmentKind, sql: impl Into<String>, scope: impl Into<String>) -> Self {
         SqlFragment {
             kind,
@@ -155,14 +175,17 @@ impl SqlFragment {
 /// language description (§3.2.1), optionally defining a domain term.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Example {
+    /// Stable identifier within the knowledge set.
     pub id: ExampleId,
     /// Intent key this example is grouped under, when known.
     pub intent: Option<String>,
     /// Natural-language description of what the fragment does.
     pub description: String,
+    /// The decomposed SQL sub-statement.
     pub fragment: SqlFragment,
     /// Domain term this example defines (e.g. `RPV`), when applicable.
     pub term: Option<String>,
+    /// Where the example came from.
     pub provenance: Provenance,
 }
 
@@ -198,16 +221,22 @@ impl Example {
 /// expected SQL sub-expression (§3.2.2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Instruction {
+    /// Stable identifier within the knowledge set.
     pub id: InstructionId,
+    /// Intent key this instruction is grouped under, when known.
     pub intent: Option<String>,
+    /// The natural-language guidance text.
     pub text: String,
+    /// Expected SQL sub-expression illustrating the instruction.
     pub sql_hint: Option<String>,
     /// Domain term this instruction explains, when applicable.
     pub term: Option<String>,
+    /// Where the instruction came from.
     pub provenance: Provenance,
 }
 
 impl Instruction {
+    /// The text used for embedding/retrieval: text + term + SQL hint.
     pub fn retrieval_text(&self) -> String {
         let mut t = self.text.clone();
         if let Some(term) = &self.term {
@@ -221,6 +250,7 @@ impl Instruction {
         t
     }
 
+    /// Render for a generation prompt as a bullet line.
     pub fn render(&self) -> String {
         match &self.sql_hint {
             Some(h) => format!("- {} (e.g. `{h}`)", self.text),
@@ -233,15 +263,20 @@ impl Instruction {
 /// with its top-5 most frequent values (§2.1) and grouped by intents.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchemaElement {
+    /// Owning table name.
     pub table: String,
     /// `None` for the table itself.
     pub column: Option<String>,
+    /// Natural-language description of the element.
     pub description: String,
+    /// Top-5 most frequent values observed in the column.
     pub top_values: Vec<String>,
+    /// Intent keys this element is grouped under.
     pub intents: Vec<String>,
 }
 
 impl SchemaElement {
+    /// Canonical uppercase `TABLE` or `TABLE.COLUMN` key.
     pub fn key(&self) -> String {
         match &self.column {
             Some(c) => format!("{}.{}", self.table.to_uppercase(), c.to_uppercase()),
@@ -249,6 +284,7 @@ impl SchemaElement {
         }
     }
 
+    /// The text used for embedding/retrieval: key + description + values.
     pub fn retrieval_text(&self) -> String {
         let mut t = format!("{} {}", self.key(), self.description);
         if !self.top_values.is_empty() {
@@ -258,6 +294,7 @@ impl SchemaElement {
         t
     }
 
+    /// Render for a generation prompt's schema section.
     pub fn render(&self) -> String {
         let mut s = self.key();
         if !self.description.is_empty() {
@@ -275,8 +312,11 @@ impl SchemaElement {
 /// operations within the pipeline").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RetrievalStage {
+    /// Few-shot example retrieval.
     ExampleSelection,
+    /// Instruction retrieval.
     InstructionSelection,
+    /// Schema-linking retrieval.
     SchemaLinking,
 }
 

@@ -1,0 +1,531 @@
+//! Cross-request micro-batching in front of any [`LanguageModel`].
+//!
+//! A production text-to-SQL service runs many pipelines concurrently,
+//! and at any instant several of them are blocked on the *same kind* of
+//! model call — eight workers all waiting on a reformulation, or an
+//! ensemble fanning out candidate SQL generations. Remote LLM backends
+//! amortize beautifully over such shapes: one batched round trip costs
+//! barely more than a single call. [`BatchScheduler`] exploits that by
+//! coalescing concurrent [`LanguageModel::complete`] calls into
+//! per-[`TaskKind`] micro-batches and dispatching them through
+//! [`LanguageModel::complete_batch`].
+//!
+//! # Coalescing policy
+//!
+//! Each task kind owns an independent lane (batching never mixes kinds —
+//! prompts of different kinds have nothing to amortize). The first caller
+//! to find a lane without an active collector becomes that lane's
+//! **leader**: it collects arrivals until the batch reaches
+//! [`BatchConfig::max_batch_size`] or [`BatchConfig::max_wait`] elapses
+//! on the injected [`Clock`], then drains the oldest pending requests
+//! (FIFO) and dispatches them as one `complete_batch` call. Requests left
+//! behind are picked up by the next leader — a fresh arrival, or a
+//! leftover caller that wakes and finds no collector active.
+//!
+//! # Determinism
+//!
+//! Responses are routed back to callers positionally, so over a
+//! deterministic model the scheduler is **byte-identical** to unbatched
+//! execution for any interleaving: batch composition and timing affect
+//! only latency, never which response a request receives. The injectable
+//! [`Clock`] keeps tests deterministic — under a
+//! [`SimulatedClock`](crate::SimulatedClock) the collection window
+//! elapses instantly, with no wall-clock sleeps.
+//!
+//! ```
+//! use genedit_llm::{
+//!     BatchConfig, BatchScheduler, CompletionRequest, CompletionResponse, LanguageModel,
+//!     ModelError, Prompt, TaskKind,
+//! };
+//! use std::sync::Arc;
+//!
+//! struct Echo;
+//! impl LanguageModel for Echo {
+//!     fn name(&self) -> &str {
+//!         "echo"
+//!     }
+//!     fn complete(
+//!         &self,
+//!         request: &CompletionRequest,
+//!     ) -> Result<CompletionResponse, ModelError> {
+//!         Ok(CompletionResponse::Text(request.prompt.question.clone()))
+//!     }
+//! }
+//!
+//! let scheduler = Arc::new(BatchScheduler::new(Echo, BatchConfig::default()));
+//! let request = CompletionRequest::new(Prompt::new(TaskKind::Reformulate, "q"));
+//! assert_eq!(
+//!     scheduler.complete(&request),
+//!     Ok(CompletionResponse::Text("q".into()))
+//! );
+//! ```
+
+use crate::model::{kind_label, CompletionRequest, CompletionResponse, LanguageModel, ModelError};
+use crate::prompt::TaskKind;
+use crate::resilient::{Clock, SystemClock};
+use genedit_telemetry::MetricsRegistry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Coalescing knobs for a [`BatchScheduler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Largest batch one dispatch may carry. `<= 1` disables batching
+    /// entirely: `complete` passes straight through to the inner model
+    /// with zero coordination overhead.
+    pub max_batch_size: usize,
+    /// How long a leader holds the collection window open waiting for
+    /// more arrivals before dispatching a partial batch.
+    pub max_wait: Duration,
+    /// Leader re-check cadence inside the collection window. Smaller
+    /// slices react to a filling batch sooner at the cost of more
+    /// wakeups; the window never overshoots `max_wait` by more than one
+    /// slice.
+    pub poll_interval: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            max_batch_size: 8,
+            max_wait: Duration::from_millis(2),
+            poll_interval: Duration::from_micros(250),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A config that disables coalescing: calls pass through one by one.
+    pub fn disabled() -> BatchConfig {
+        BatchConfig {
+            max_batch_size: 1,
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Whether this config actually batches anything.
+    pub fn enabled(&self) -> bool {
+        self.max_batch_size > 1
+    }
+}
+
+/// One caller's queued request, identified inside its lane.
+struct Entry {
+    id: u64,
+    request: CompletionRequest,
+}
+
+#[derive(Default)]
+struct LaneState {
+    pending: VecDeque<Entry>,
+    /// Completed responses awaiting pickup by their callers.
+    results: HashMap<u64, Result<CompletionResponse, ModelError>>,
+    /// Whether a leader is currently holding this lane's collection
+    /// window open. Cleared before dispatch, so the next batch can start
+    /// collecting while the previous one is in flight.
+    collecting: bool,
+    /// Whether a dispatched batch for this lane is currently inside the
+    /// inner model. At most one dispatch per lane is in flight
+    /// (continuous batching): while a slow backend works, the next
+    /// window keeps absorbing arrivals instead of queueing shreds of
+    /// work behind the round trip.
+    inflight: bool,
+    next_id: u64,
+}
+
+/// One task kind's coalescing lane: its queue state plus the condvar
+/// waiting callers park on.
+#[derive(Default)]
+struct Lane {
+    state: Mutex<LaneState>,
+    wake: Condvar,
+}
+
+impl Lane {
+    fn lock(&self) -> MutexGuard<'_, LaneState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Index of a task kind's lane. Kept in one place so the lane array and
+/// the dispatch path cannot disagree.
+fn lane_index(kind: TaskKind) -> usize {
+    match kind {
+        TaskKind::Reformulate => 0,
+        TaskKind::IntentClassification => 1,
+        TaskKind::SchemaLinking => 2,
+        TaskKind::PlanGeneration => 3,
+        TaskKind::SqlGeneration => 4,
+    }
+}
+
+const LANES: usize = 5;
+
+/// Fronts any [`LanguageModel`] and coalesces concurrent `complete`
+/// calls into per-[`TaskKind`] micro-batches (see the [module
+/// docs](self) for the policy). Implements [`LanguageModel`] itself, so
+/// it drops into any pipeline or wrapper stack unchanged; share one
+/// scheduler behind an `Arc` across every thread whose calls should
+/// coalesce.
+pub struct BatchScheduler<M> {
+    inner: M,
+    config: BatchConfig,
+    clock: Arc<dyn Clock>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    lanes: [Lane; LANES],
+}
+
+impl<M: LanguageModel> BatchScheduler<M> {
+    /// Scheduler over the system clock.
+    pub fn new(inner: M, config: BatchConfig) -> BatchScheduler<M> {
+        BatchScheduler::with_clock(inner, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Scheduler over an injected clock — a
+    /// [`SimulatedClock`](crate::SimulatedClock) makes the collection
+    /// window elapse instantly, so tests exercise coalescing without
+    /// wall-clock sleeps.
+    pub fn with_clock(inner: M, config: BatchConfig, clock: Arc<dyn Clock>) -> BatchScheduler<M> {
+        BatchScheduler {
+            inner,
+            config,
+            clock,
+            metrics: None,
+            lanes: Default::default(),
+        }
+    }
+
+    /// Attach a metrics registry: every dispatch records its batch size,
+    /// coalesce wait, and per-kind occupancy under `batch.*`.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> BatchScheduler<M> {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The coalescing configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Lead one collection window on `lane`: wait for the batch to fill
+    /// (or the window to elapse), drain the oldest pending entries, and
+    /// dispatch them as one `complete_batch`. Returns with the results
+    /// published and every waiter notified. The caller's own entry may or
+    /// may not be part of the dispatched batch — the outer loop in
+    /// [`complete`](Self::complete) re-checks.
+    fn lead<'l>(&self, lane: &'l Lane, kind: TaskKind, mut state: MutexGuard<'l, LaneState>) {
+        state.collecting = true;
+        let window_opened = self.clock.now();
+        loop {
+            if state.pending.len() >= self.config.max_batch_size {
+                break;
+            }
+            let elapsed = self.clock.now().saturating_sub(window_opened);
+            if elapsed >= self.config.max_wait {
+                break;
+            }
+            let remaining = self.config.max_wait - elapsed;
+            drop(state);
+            self.clock.sleep(self.config.poll_interval.min(remaining));
+            state = lane.lock();
+        }
+        // Continuous batching: at most one dispatch per lane is inside
+        // the inner model. While the previous round trip runs, this
+        // window keeps absorbing arrivals — a slow backend naturally
+        // deepens the next batch instead of accumulating a convoy of
+        // near-empty ones behind its latency.
+        while state.inflight {
+            let (next, _) = lane
+                .wake
+                .wait_timeout(state, Duration::from_millis(10))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+        }
+        let take = state.pending.len().min(self.config.max_batch_size);
+        let batch: Vec<Entry> = state.pending.drain(..take).collect();
+        // Collection is over before dispatch begins: a new arrival can
+        // open the next window while this batch's round trip is in
+        // flight, pipelining collection with dispatch.
+        state.collecting = false;
+        if batch.is_empty() {
+            drop(state);
+            lane.wake.notify_all();
+            return;
+        }
+        state.inflight = true;
+        drop(state);
+        let coalesce_wait = self.clock.now().saturating_sub(window_opened);
+        let requests: Vec<CompletionRequest> = batch.iter().map(|e| e.request.clone()).collect();
+        let mut responses = self.inner.complete_batch(&requests);
+        // A short response vector is an inner-model contract violation;
+        // surface it per missing slot rather than panicking or hanging
+        // the waiters.
+        while responses.len() < batch.len() {
+            responses.push(Err(ModelError::Malformed {
+                raw: "batch dispatch returned fewer responses than requests".to_string(),
+            }));
+        }
+        if let Some(metrics) = &self.metrics {
+            let label = kind_label(kind);
+            metrics.incr("batch.dispatched", 1);
+            metrics.observe("batch.size", batch.len() as f64);
+            metrics.observe_duration("batch.coalesce_wait.ms", coalesce_wait);
+            metrics.observe(
+                &format!("batch.occupancy.{label}"),
+                batch.len() as f64 / self.config.max_batch_size as f64,
+            );
+        }
+        let mut state = lane.lock();
+        state.inflight = false;
+        for (entry, response) in batch.into_iter().zip(responses) {
+            state.results.insert(entry.id, response);
+        }
+        drop(state);
+        lane.wake.notify_all();
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for BatchScheduler<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        if !self.config.enabled() {
+            return self.inner.complete(request);
+        }
+        let kind = request.prompt.task;
+        let lane = &self.lanes[lane_index(kind)];
+        let mut state = lane.lock();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.pending.push_back(Entry {
+            id,
+            request: request.clone(),
+        });
+        loop {
+            if let Some(response) = state.results.remove(&id) {
+                return response;
+            }
+            if !state.collecting && !state.pending.is_empty() {
+                // No collector active and work is queued (this caller's
+                // entry, or leftovers from an over-full window): lead the
+                // next window. An empty pending queue means this entry is
+                // already in an in-flight dispatch — just wait.
+                self.lead(lane, kind, state);
+                state = lane.lock();
+                continue;
+            }
+            // A leader is collecting; park until results land. The
+            // timeout is a liveness backstop (re-examine the lane even if
+            // a wakeup is lost), not part of the batching policy.
+            let (next, _) = lane
+                .wake
+                .wait_timeout(state, Duration::from_millis(10))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+        }
+    }
+
+    fn complete_batch(
+        &self,
+        requests: &[CompletionRequest],
+    ) -> Vec<Result<CompletionResponse, ModelError>> {
+        // Already a batch: nothing to coalesce, hand it straight down.
+        self.inner.complete_batch(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::Prompt;
+    use crate::resilient::SimulatedClock;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Echoes the question; counts individual and batched dispatches.
+    struct CountingModel {
+        singles: AtomicUsize,
+        batches: AtomicUsize,
+        largest: AtomicUsize,
+    }
+
+    impl CountingModel {
+        fn new() -> CountingModel {
+            CountingModel {
+                singles: AtomicUsize::new(0),
+                batches: AtomicUsize::new(0),
+                largest: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for CountingModel {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+            self.singles.fetch_add(1, Ordering::SeqCst);
+            Ok(CompletionResponse::Text(request.prompt.question.clone()))
+        }
+        fn complete_batch(
+            &self,
+            requests: &[CompletionRequest],
+        ) -> Vec<Result<CompletionResponse, ModelError>> {
+            self.batches.fetch_add(1, Ordering::SeqCst);
+            self.largest.fetch_max(requests.len(), Ordering::SeqCst);
+            requests
+                .iter()
+                .map(|r| Ok(CompletionResponse::Text(r.prompt.question.clone())))
+                .collect()
+        }
+    }
+
+    fn request(kind: TaskKind, question: &str) -> CompletionRequest {
+        CompletionRequest::new(Prompt::new(kind, question))
+    }
+
+    #[test]
+    fn single_caller_gets_its_own_answer() {
+        let scheduler = BatchScheduler::with_clock(
+            CountingModel::new(),
+            BatchConfig::default(),
+            Arc::new(SimulatedClock::new()),
+        );
+        let response = scheduler.complete(&request(TaskKind::Reformulate, "alone"));
+        assert_eq!(response, Ok(CompletionResponse::Text("alone".into())));
+        assert_eq!(scheduler.inner().batches.load(Ordering::SeqCst), 1);
+        assert_eq!(scheduler.inner().singles.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn disabled_config_passes_through() {
+        let scheduler = BatchScheduler::new(CountingModel::new(), BatchConfig::disabled());
+        scheduler
+            .complete(&request(TaskKind::SqlGeneration, "q"))
+            .unwrap();
+        assert_eq!(scheduler.inner().singles.load(Ordering::SeqCst), 1);
+        assert_eq!(scheduler.inner().batches.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_same_kind_calls_coalesce() {
+        let scheduler = Arc::new(BatchScheduler::new(
+            CountingModel::new(),
+            BatchConfig {
+                max_batch_size: 8,
+                max_wait: Duration::from_millis(20),
+                poll_interval: Duration::from_millis(1),
+            },
+        ));
+        let threads = 8;
+        let answers: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let scheduler = Arc::clone(&scheduler);
+                    scope.spawn(move || {
+                        let question = format!("q{i}");
+                        let response = scheduler
+                            .complete(&request(TaskKind::SqlGeneration, &question))
+                            .unwrap();
+                        (question, response)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (question, response) in answers {
+            assert_eq!(response, CompletionResponse::Text(question));
+        }
+        // All 8 calls fit one window: strictly fewer dispatches than
+        // callers, and at least one genuinely multi-request batch.
+        let batches = scheduler.inner().batches.load(Ordering::SeqCst);
+        assert!(
+            batches < threads,
+            "no coalescing happened ({batches} dispatches)"
+        );
+        assert!(scheduler.inner().largest.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn different_kinds_never_share_a_batch() {
+        let scheduler = Arc::new(BatchScheduler::new(
+            CountingModel::new(),
+            BatchConfig {
+                max_batch_size: 8,
+                max_wait: Duration::from_millis(20),
+                poll_interval: Duration::from_millis(1),
+            },
+        ));
+        std::thread::scope(|scope| {
+            for kind in [TaskKind::Reformulate, TaskKind::SqlGeneration] {
+                for i in 0..3 {
+                    let scheduler = Arc::clone(&scheduler);
+                    scope.spawn(move || {
+                        scheduler
+                            .complete(&request(kind, &format!("q{i}")))
+                            .unwrap();
+                    });
+                }
+            }
+        });
+        // 6 calls across 2 kinds: at least one dispatch per kind.
+        assert!(scheduler.inner().batches.load(Ordering::SeqCst) >= 2);
+        assert!(scheduler.inner().largest.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn short_batch_responses_surface_as_errors_not_hangs() {
+        struct ShortModel;
+        impl LanguageModel for ShortModel {
+            fn name(&self) -> &str {
+                "short"
+            }
+            fn complete(&self, _: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+                Ok(CompletionResponse::Text("one".into()))
+            }
+            fn complete_batch(
+                &self,
+                _requests: &[CompletionRequest],
+            ) -> Vec<Result<CompletionResponse, ModelError>> {
+                Vec::new()
+            }
+        }
+        let scheduler = BatchScheduler::with_clock(
+            ShortModel,
+            BatchConfig::default(),
+            Arc::new(SimulatedClock::new()),
+        );
+        let err = scheduler
+            .complete(&request(TaskKind::Reformulate, "q"))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Malformed { .. }));
+    }
+
+    #[test]
+    fn metrics_record_batch_sizes_and_occupancy() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let scheduler = BatchScheduler::with_clock(
+            CountingModel::new(),
+            BatchConfig::default(),
+            Arc::new(SimulatedClock::new()),
+        )
+        .with_metrics(Arc::clone(&metrics));
+        scheduler
+            .complete(&request(TaskKind::PlanGeneration, "q"))
+            .unwrap();
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.counters["batch.dispatched"], 1);
+        assert_eq!(snapshot.histograms["batch.size"].count, 1);
+        assert!(snapshot.histograms.contains_key("batch.occupancy.plan"));
+        assert!(snapshot.histograms.contains_key("batch.coalesce_wait.ms"));
+    }
+}

@@ -75,13 +75,21 @@ impl FaultConfig {
 /// Counts of injected faults, by category.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultLog {
+    /// Calls that passed through the injector (faulted or not).
     pub calls: u64,
+    /// Injected transient transport errors.
     pub transient: u64,
+    /// Injected timeouts.
     pub timeout: u64,
+    /// Injected rate-limit errors.
     pub rate_limited: u64,
+    /// Injected unparseable payloads.
     pub malformed: u64,
+    /// Responses corrupted to the wrong variant.
     pub wrong_variant: u64,
+    /// SQL responses garbled in place.
     pub garbled_sql: u64,
+    /// Injected latency spikes (timing only, outcome unchanged).
     pub latency_spikes: u64,
 }
 
@@ -114,6 +122,7 @@ pub struct FaultInjector<M> {
 }
 
 impl<M: LanguageModel> FaultInjector<M> {
+    /// Wrap `inner` with a fault schedule derived purely from `seed`.
     pub fn new(inner: M, config: FaultConfig, seed: u64) -> FaultInjector<M> {
         FaultInjector {
             inner,
@@ -132,10 +141,12 @@ impl<M: LanguageModel> FaultInjector<M> {
         self
     }
 
+    /// Snapshot of the injected-fault counters.
     pub fn log(&self) -> FaultLog {
         *self.lock_log()
     }
 
+    /// The wrapped model.
     pub fn inner(&self) -> &M {
         &self.inner
     }

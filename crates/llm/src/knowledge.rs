@@ -17,12 +17,16 @@ use std::collections::HashMap;
 /// BIRD difficulty strata (§3.3, Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Difficulty {
+    /// BIRD "simple" stratum.
     Simple,
+    /// BIRD "moderate" stratum.
     Moderate,
+    /// BIRD "challenging" stratum.
     Challenging,
 }
 
 impl Difficulty {
+    /// Table 1 row label for this stratum.
     pub fn label(&self) -> &'static str {
         match self {
             Difficulty::Simple => "Simple",
@@ -40,15 +44,38 @@ impl Difficulty {
 pub enum Corruption {
     /// Drop the WHERE conjunct(s) mentioning `marker` — e.g. the ownership
     /// filter when the model does not understand "our" (§4.2.1's example).
-    DropWhereConjunct { marker: String },
+    DropWhereConjunct {
+        /// Substring identifying the conjunct(s) to drop.
+        marker: String,
+    },
     /// Use the wrong constant — e.g. the wrong ownership flag value.
-    ReplaceStringLiteral { from: String, to: String },
+    ReplaceStringLiteral {
+        /// The correct literal in the gold query.
+        from: String,
+        /// The wrong literal the corrupted query uses.
+        to: String,
+    },
     /// Use a wrong or hallucinated column.
-    RenameColumn { from: String, to: String },
+    RenameColumn {
+        /// The correct column name.
+        from: String,
+        /// The wrong/hallucinated replacement.
+        to: String,
+    },
     /// Use a wrong or hallucinated table.
-    RenameTable { from: String, to: String },
+    RenameTable {
+        /// The correct table name.
+        from: String,
+        /// The wrong/hallucinated replacement.
+        to: String,
+    },
     /// Miscompute with the wrong aggregate.
-    SwapAggregate { from: String, to: String },
+    SwapAggregate {
+        /// The correct aggregate function.
+        from: String,
+        /// The wrong aggregate the corrupted query uses.
+        to: String,
+    },
     /// Forget the `-1 *` factor in change metrics.
     StripNegOneMultiplier,
     /// Sort the wrong way (best vs worst confusion).
@@ -87,18 +114,26 @@ impl Corruption {
 /// knowledge sections, `corruption` is applied to the gold query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TermRequirement {
+    /// The domain term the prompt must cover.
     pub term: String,
+    /// The corruption applied when it does not.
     pub corruption: Corruption,
 }
 
 /// Everything the oracle knows about one benchmark task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskKnowledge {
+    /// Stable benchmark identifier.
     pub task_id: String,
+    /// The natural-language question, as asked.
     pub question: String,
+    /// Database the question runs against.
     pub db_name: String,
+    /// The reference SQL.
     pub gold_sql: String,
+    /// The intent key this task classifies under.
     pub intent: String,
+    /// BIRD difficulty stratum.
     pub difficulty: Difficulty,
     /// Domain terms the question depends on.
     pub required_terms: Vec<TermRequirement>,
@@ -138,28 +173,34 @@ pub struct TaskRegistry {
 }
 
 impl TaskRegistry {
+    /// An empty registry.
     pub fn new() -> TaskRegistry {
         TaskRegistry::default()
     }
 
+    /// Register one task, indexed by its normalized question.
     pub fn register(&mut self, task: TaskKnowledge) {
         let key = normalize(&task.question);
         self.by_norm.insert(key, self.tasks.len());
         self.tasks.push(task);
     }
 
+    /// Number of registered tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()
     }
 
+    /// Whether no tasks are registered.
     pub fn is_empty(&self) -> bool {
         self.tasks.is_empty()
     }
 
+    /// Every registered task, in registration order.
     pub fn tasks(&self) -> &[TaskKnowledge] {
         &self.tasks
     }
 
+    /// Look a task up by its benchmark id.
     pub fn by_id(&self, task_id: &str) -> Option<&TaskKnowledge> {
         self.tasks.iter().find(|t| t.task_id == task_id)
     }

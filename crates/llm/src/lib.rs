@@ -16,8 +16,10 @@
 //! (retry/backoff/circuit-breaking, see [`resilient`]) and
 //! [`FaultInjector`] (deterministic chaos, see [`fault`]).
 
+#![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod batch;
 pub mod fault;
 pub mod knowledge;
 pub mod model;
@@ -27,6 +29,7 @@ pub mod prompt;
 pub mod resilient;
 pub mod tier;
 
+pub use batch::{BatchConfig, BatchScheduler};
 pub use fault::{FaultConfig, FaultInjector, FaultLog};
 pub use knowledge::{Corruption, Difficulty, TaskKnowledge, TaskRegistry, TermRequirement};
 pub use model::{

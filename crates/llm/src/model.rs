@@ -11,6 +11,7 @@ use std::time::Duration;
 /// candidate SQL queries", §3).
 #[derive(Debug, Clone)]
 pub struct CompletionRequest {
+    /// The structured prompt to complete.
     pub prompt: Prompt,
     /// Candidate-sampling seed. Two requests with the same prompt and seed
     /// return identical responses (the oracle is deterministic).
@@ -18,10 +19,12 @@ pub struct CompletionRequest {
 }
 
 impl CompletionRequest {
+    /// Request with the default seed 0.
     pub fn new(prompt: Prompt) -> CompletionRequest {
         CompletionRequest { prompt, seed: 0 }
     }
 
+    /// Request with an explicit candidate-sampling seed.
     pub fn with_seed(prompt: Prompt, seed: u64) -> CompletionRequest {
         CompletionRequest { prompt, seed }
     }
@@ -32,14 +35,18 @@ impl CompletionRequest {
 /// paper's claims.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompletionResponse {
+    /// A generated SQL query.
     Sql(String),
+    /// A chain-of-thought plan.
     Plan(Plan),
+    /// Free text (reformulations).
     Text(String),
     /// A list of items (intent keys, schema element keys, …).
     Items(Vec<String>),
 }
 
 impl CompletionResponse {
+    /// The SQL payload, if this is a [`CompletionResponse::Sql`].
     pub fn as_sql(&self) -> Option<&str> {
         match self {
             CompletionResponse::Sql(s) => Some(s),
@@ -47,6 +54,7 @@ impl CompletionResponse {
         }
     }
 
+    /// The plan payload, if this is a [`CompletionResponse::Plan`].
     pub fn as_plan(&self) -> Option<&Plan> {
         match self {
             CompletionResponse::Plan(p) => Some(p),
@@ -54,6 +62,7 @@ impl CompletionResponse {
         }
     }
 
+    /// The text payload, if this is a [`CompletionResponse::Text`].
     pub fn as_text(&self) -> Option<&str> {
         match self {
             CompletionResponse::Text(t) => Some(t),
@@ -61,6 +70,7 @@ impl CompletionResponse {
         }
     }
 
+    /// The item list, if this is a [`CompletionResponse::Items`].
     pub fn as_items(&self) -> Option<&[String]> {
         match self {
             CompletionResponse::Items(v) => Some(v),
@@ -80,14 +90,22 @@ pub enum ModelError {
     Timeout,
     /// The model answered, but the payload could not be parsed into a
     /// [`CompletionResponse`]. Carries the raw text for diagnostics.
-    Malformed { raw: String },
+    Malformed {
+        /// The unparseable payload, verbatim.
+        raw: String,
+    },
     /// The provider throttled the call and suggested a wait.
-    RateLimited { retry_after: Duration },
+    RateLimited {
+        /// The provider-suggested backoff before the next call.
+        retry_after: Duration,
+    },
     /// A resilience wrapper gave up: `attempts` calls were made (0 when a
     /// circuit breaker shed the call without trying) and `last` is the
     /// final underlying error.
     Exhausted {
+        /// Calls actually made before giving up.
         attempts: usize,
+        /// The final underlying error.
         last: Box<ModelError>,
     },
 }
@@ -145,7 +163,24 @@ impl std::error::Error for ModelError {}
 pub trait LanguageModel: Send + Sync {
     /// Model identifier ("gpt-4o" in the paper; "oracle" here).
     fn name(&self) -> &str;
+    /// Complete one request.
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError>;
+
+    /// Complete a batch of requests in one backend round trip.
+    ///
+    /// The default implementation calls [`LanguageModel::complete`] once
+    /// per request, so every existing model keeps working unchanged.
+    /// Backends with native batch endpoints (or a shared network round
+    /// trip to amortize) override this; [`crate::BatchScheduler`] calls
+    /// it with the micro-batches it coalesces. Responses are positional:
+    /// `result[i]` answers `requests[i]`, and implementations must return
+    /// exactly `requests.len()` entries.
+    fn complete_batch(
+        &self,
+        requests: &[CompletionRequest],
+    ) -> Vec<Result<CompletionResponse, ModelError>> {
+        requests.iter().map(|r| self.complete(r)).collect()
+    }
 }
 
 /// Per-task-kind call accounting, used by the operator latency/cost
@@ -154,15 +189,19 @@ pub trait LanguageModel: Send + Sync {
 /// volume is how that decision is made).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ModelUsage {
+    /// Completed calls per task-kind label (see [`kind_label`]).
     pub calls: BTreeMap<&'static str, usize>,
+    /// Rendered prompt characters per task-kind label.
     pub prompt_chars: BTreeMap<&'static str, usize>,
 }
 
 impl ModelUsage {
+    /// Total calls across every task kind.
     pub fn total_calls(&self) -> usize {
         self.calls.values().sum()
     }
 
+    /// Total rendered prompt characters across every task kind.
     pub fn total_prompt_chars(&self) -> usize {
         self.prompt_chars.values().sum()
     }
@@ -197,6 +236,7 @@ pub struct RecordingModel<M> {
 }
 
 impl<M: LanguageModel> RecordingModel<M> {
+    /// Wrap `inner` with zeroed counters.
     pub fn new(inner: M) -> RecordingModel<M> {
         RecordingModel {
             inner,
@@ -212,14 +252,17 @@ impl<M: LanguageModel> RecordingModel<M> {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Snapshot of the accumulated usage counters.
     pub fn usage(&self) -> ModelUsage {
         self.usage_lock().clone()
     }
 
+    /// Zero the usage counters.
     pub fn reset_usage(&self) {
         *self.usage_lock() = ModelUsage::default();
     }
 
+    /// The wrapped model.
     pub fn inner(&self) -> &M {
         &self.inner
     }
@@ -239,10 +282,26 @@ impl<M: LanguageModel> LanguageModel for RecordingModel<M> {
         }
         self.inner.complete(request)
     }
+
+    fn complete_batch(
+        &self,
+        requests: &[CompletionRequest],
+    ) -> Vec<Result<CompletionResponse, ModelError>> {
+        {
+            let mut u = self.usage_lock();
+            for request in requests {
+                let label = kind_label(request.prompt.task);
+                *u.calls.entry(label).or_insert(0) += 1;
+                *u.prompt_chars.entry(label).or_insert(0) += request.prompt.render().len();
+            }
+        }
+        self.inner.complete_batch(requests)
+    }
 }
 
 /// Wraps a model and records one `llm.complete` span per call into a
-/// borrowed [`Tracer`] — task kind, prompt size, and sampling seed. The
+/// borrowed [`Tracer`](genedit_telemetry::Tracer) — task kind, prompt
+/// size, and sampling seed. The
 /// pipeline constructs one per generation so every model call lands
 /// inside the operator span that issued it.
 pub struct TracedModel<'t, M> {
@@ -251,6 +310,7 @@ pub struct TracedModel<'t, M> {
 }
 
 impl<'t, M: LanguageModel> TracedModel<'t, M> {
+    /// Wrap `inner`, recording one span per call into `tracer`.
     pub fn new(inner: M, tracer: &'t genedit_telemetry::Tracer) -> TracedModel<'t, M> {
         TracedModel { inner, tracer }
     }
@@ -282,6 +342,12 @@ impl<M: LanguageModel + ?Sized> LanguageModel for &M {
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         (**self).complete(request)
     }
+    fn complete_batch(
+        &self,
+        requests: &[CompletionRequest],
+    ) -> Vec<Result<CompletionResponse, ModelError>> {
+        (**self).complete_batch(requests)
+    }
 }
 
 impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
@@ -290,6 +356,12 @@ impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
     }
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
         (**self).complete(request)
+    }
+    fn complete_batch(
+        &self,
+        requests: &[CompletionRequest],
+    ) -> Vec<Result<CompletionResponse, ModelError>> {
+        (**self).complete_batch(requests)
     }
 }
 

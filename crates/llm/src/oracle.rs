@@ -109,6 +109,7 @@ pub struct OracleModel {
 }
 
 impl OracleModel {
+    /// Oracle with the default (calibrated) failure model.
     pub fn new(registry: TaskRegistry) -> OracleModel {
         OracleModel {
             config: OracleConfig::default(),
@@ -116,14 +117,17 @@ impl OracleModel {
         }
     }
 
+    /// Oracle with an explicit failure-model configuration.
     pub fn with_config(registry: TaskRegistry, config: OracleConfig) -> OracleModel {
         OracleModel { config, registry }
     }
 
+    /// The private task registry backing the oracle.
     pub fn registry(&self) -> &TaskRegistry {
         &self.registry
     }
 
+    /// The failure-model configuration.
     pub fn config(&self) -> &OracleConfig {
         &self.config
     }

@@ -32,32 +32,43 @@ pub enum TaskKind {
 /// decompose.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PromptExample {
+    /// Natural-language description of what the SQL does.
     pub description: String,
+    /// The example SQL (fragment or full query).
     pub sql: String,
     /// The fragment kind for decomposed examples; `None` marks a
     /// traditional full-query example.
     pub kind: Option<FragmentKind>,
+    /// The domain term this example grounds, when tied to one.
     pub term: Option<String>,
 }
 
 /// An instruction section entry (§3.2.2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PromptInstruction {
+    /// The instruction text.
     pub text: String,
+    /// Optional SQL fragment illustrating the instruction.
     pub sql_hint: Option<String>,
+    /// The domain term this instruction grounds, when tied to one.
     pub term: Option<String>,
 }
 
 /// A schema section entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PromptSchemaElement {
+    /// Table name.
     pub table: String,
+    /// Column name; `None` describes the table itself.
     pub column: Option<String>,
+    /// Catalogued description of the element.
     pub description: String,
+    /// Representative values, for value-grounded linking.
     pub top_values: Vec<String>,
 }
 
 impl PromptSchemaElement {
+    /// Uppercased `TABLE` or `TABLE.COLUMN` key for this element.
     pub fn key(&self) -> String {
         match &self.column {
             Some(c) => format!("{}.{}", self.table.to_uppercase(), c.to_uppercase()),
@@ -70,11 +81,13 @@ impl PromptSchemaElement {
 /// paper's `(description, "... FRAGMENT ...")` pairs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanStep {
+    /// Natural-language description of the step.
     pub description: String,
     /// Pseudo-SQL without the `...` affixes; rendered with them.
     pub pseudo_sql: Option<String>,
     /// The scope (CTE name or `main`) this step contributes to.
     pub scope: String,
+    /// The fragment kind this step corresponds to, when known.
     pub kind: Option<FragmentKind>,
 }
 
@@ -82,14 +95,17 @@ pub struct PlanStep {
 /// of which describe a CTE of the output query.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Plan {
+    /// Ordered plan steps.
     pub steps: Vec<PlanStep>,
 }
 
 impl Plan {
+    /// Number of steps.
     pub fn len(&self) -> usize {
         self.steps.len()
     }
 
+    /// Whether the plan has no steps.
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
@@ -138,14 +154,19 @@ impl Plan {
 /// A structured prompt.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Prompt {
+    /// Which operator this prompt drives.
     pub task: TaskKind,
     /// The (possibly reformulated) natural-language question.
     pub question: String,
     /// The original question before reformulation, when different.
     pub original_question: Option<String>,
+    /// Example section entries.
     pub examples: Vec<PromptExample>,
+    /// Instruction section entries.
     pub instructions: Vec<PromptInstruction>,
+    /// Schema section entries.
     pub schema: Vec<PromptSchemaElement>,
+    /// The CoT plan, for SQL generation from a plan.
     pub plan: Option<Plan>,
     /// BIRD-style evidence strings attached to the task, used by baselines.
     pub evidence: Vec<String>,
@@ -164,6 +185,7 @@ pub struct Prompt {
 }
 
 impl Prompt {
+    /// A bare prompt for `task` with every section empty.
     pub fn new(task: TaskKind, question: impl Into<String>) -> Prompt {
         Prompt {
             task,

@@ -42,6 +42,7 @@ pub struct SystemClock {
 }
 
 impl SystemClock {
+    /// Clock whose zero is the moment of construction.
     pub fn new() -> SystemClock {
         SystemClock {
             origin: std::time::Instant::now(),
@@ -74,6 +75,7 @@ pub struct SimulatedClock {
 }
 
 impl SimulatedClock {
+    /// Virtual clock starting at zero elapsed time.
     pub fn new() -> SimulatedClock {
         SimulatedClock::default()
     }
@@ -179,15 +181,20 @@ impl Default for BreakerPolicy {
 /// Retry + breaker policy as one value the pipeline config can carry.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ResiliencePolicy {
+    /// Retry/backoff knobs.
     pub retry: RetryPolicy,
+    /// Circuit-breaker knobs.
     pub breaker: BreakerPolicy,
 }
 
 /// One task kind's breaker position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BreakerPosition {
+    /// Calls flow normally; failures are counted.
     Closed,
+    /// Calls are shed without trying the backend.
     Open,
+    /// Probe mode: limited calls through, success closes the breaker.
     HalfOpen,
 }
 
@@ -209,6 +216,7 @@ pub struct ResilienceState {
 }
 
 impl ResilienceState {
+    /// Fresh state (all breakers closed) over the given policy and clock.
     pub fn new(policy: ResiliencePolicy, clock: Arc<dyn Clock>) -> ResilienceState {
         ResilienceState {
             policy,
@@ -224,10 +232,12 @@ impl ResilienceState {
         self
     }
 
+    /// The retry/breaker policy this state enforces.
     pub fn policy(&self) -> &ResiliencePolicy {
         &self.policy
     }
 
+    /// The clock backoffs and breaker cooldowns run on.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
     }
@@ -359,6 +369,7 @@ pub struct ResilientModel<'t, M> {
 }
 
 impl<'t, M: LanguageModel> ResilientModel<'t, M> {
+    /// Wrap `inner` under a shared resilience runtime.
     pub fn new(inner: M, state: Arc<ResilienceState>) -> ResilientModel<'t, M> {
         ResilientModel {
             inner,
@@ -367,11 +378,13 @@ impl<'t, M: LanguageModel> ResilientModel<'t, M> {
         }
     }
 
+    /// Record `llm.retry` spans into `tracer` on every backoff.
     pub fn with_tracer(mut self, tracer: &'t Tracer) -> ResilientModel<'t, M> {
         self.tracer = Some(tracer);
         self
     }
 
+    /// The shared resilience runtime (breakers + clock).
     pub fn state(&self) -> &Arc<ResilienceState> {
         &self.state
     }

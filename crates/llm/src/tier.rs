@@ -53,10 +53,15 @@ impl ModelTier {
 /// Which tier each operator kind runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TierPolicy {
+    /// Tier for question reformulation.
     pub reformulate: ModelTier,
+    /// Tier for intent classification.
     pub intent: ModelTier,
+    /// Tier for schema linking.
     pub schema_linking: ModelTier,
+    /// Tier for CoT plan generation.
     pub plan: ModelTier,
+    /// Tier for SQL generation.
     pub sql: ModelTier,
 }
 
@@ -91,6 +96,7 @@ impl TierPolicy {
         }
     }
 
+    /// The tier `kind` routes to under this policy.
     pub fn tier_for(&self, kind: TaskKind) -> ModelTier {
         match kind {
             TaskKind::Reformulate => self.reformulate,
@@ -105,8 +111,11 @@ impl TierPolicy {
 /// Accumulated spend.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CostLedger {
+    /// Total spend in abstract cost units (full call = 1.0).
     pub cost_units: f64,
+    /// Calls routed to the frontier tier.
     pub full_calls: usize,
+    /// Calls routed to the mini tier.
     pub mini_calls: usize,
 }
 
@@ -119,6 +128,7 @@ pub struct TieredModel<M> {
 }
 
 impl<M: LanguageModel> TieredModel<M> {
+    /// Wrap `inner` under a tier policy with a zeroed ledger.
     pub fn new(inner: M, policy: TierPolicy) -> TieredModel<M> {
         TieredModel {
             inner,
@@ -127,6 +137,7 @@ impl<M: LanguageModel> TieredModel<M> {
         }
     }
 
+    /// The routing policy in force.
     pub fn policy(&self) -> TierPolicy {
         self.policy
     }
@@ -139,10 +150,12 @@ impl<M: LanguageModel> TieredModel<M> {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Snapshot of the accumulated spend.
     pub fn ledger(&self) -> CostLedger {
         self.ledger_lock().clone()
     }
 
+    /// Zero the spend ledger.
     pub fn reset_ledger(&self) {
         *self.ledger_lock() = CostLedger::default();
     }

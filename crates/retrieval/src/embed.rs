@@ -22,6 +22,7 @@ pub struct Vocabulary {
 }
 
 impl Vocabulary {
+    /// An empty vocabulary (no documents seen).
     pub fn new() -> Vocabulary {
         Vocabulary::default()
     }
@@ -47,6 +48,7 @@ impl Vocabulary {
         }
     }
 
+    /// Number of documents folded in via [`Vocabulary::add_document`].
     pub fn doc_count(&self) -> usize {
         self.doc_count
     }
@@ -68,6 +70,7 @@ pub struct Embedder {
 }
 
 impl Embedder {
+    /// Embedder at the default dimension ([`DEFAULT_DIM`]).
     pub fn new(vocabulary: Vocabulary) -> Embedder {
         Embedder {
             dim: DEFAULT_DIM,
@@ -75,15 +78,19 @@ impl Embedder {
         }
     }
 
+    /// Embedder at an explicit dimension (must be positive). Smaller
+    /// dimensions trade collision rate for speed.
     pub fn with_dim(vocabulary: Vocabulary, dim: usize) -> Embedder {
         assert!(dim > 0, "embedding dimension must be positive");
         Embedder { dim, vocabulary }
     }
 
+    /// The embedding dimension every produced vector has.
     pub fn dim(&self) -> usize {
         self.dim
     }
 
+    /// The document-frequency statistics backing IDF weighting.
     pub fn vocabulary(&self) -> &Vocabulary {
         &self.vocabulary
     }

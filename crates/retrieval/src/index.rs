@@ -4,7 +4,7 @@
 //!
 //! * embeddings are **norm-precomputed on insert** — a search computes the
 //!   query norm once and scores every candidate with a plain dot product
-//!   instead of re-deriving both norms per candidate ([`cosine`] remains
+//!   instead of re-deriving both norms per candidate ([`crate::cosine`] remains
 //!   available, unchanged, for external callers);
 //! * selection is a **bounded binary heap** — O(n log k) partial selection
 //!   instead of an O(n log n) full sort, preserving the documented stable
@@ -19,12 +19,13 @@ use std::collections::BinaryHeap;
 pub struct SearchHit {
     /// Caller-supplied identifier of the stored item.
     pub id: usize,
+    /// Cosine similarity of the stored item to the query.
     pub score: f32,
 }
 
 /// One stored item: the raw embedding plus its precomputed inverse L2
 /// norm (0.0 for the zero vector, which makes its score 0 everywhere —
-/// the same contract as [`cosine`]).
+/// the same contract as [`crate::cosine`]).
 #[derive(Debug, Clone)]
 struct Item {
     id: usize,
@@ -40,14 +41,17 @@ pub struct VectorIndex {
 }
 
 impl VectorIndex {
+    /// An empty index.
     pub fn new() -> VectorIndex {
         VectorIndex::default()
     }
 
+    /// Number of stored items (counting duplicate ids separately).
     pub fn len(&self) -> usize {
         self.items.len()
     }
 
+    /// Whether the index holds no items.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
@@ -110,7 +114,7 @@ impl VectorIndex {
 }
 
 /// `1/‖v‖`, or 0.0 for the zero vector (scores collapse to 0, matching
-/// [`cosine`]'s degenerate-input contract).
+/// [`crate::cosine`]'s degenerate-input contract).
 fn inverse_norm(v: &[f32]) -> f32 {
     let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
     if norm > 0.0 {

@@ -15,6 +15,23 @@
 //! * [`Embedder`] — hashed TF-IDF embedding into `R^dim`,
 //! * [`cosine`] — cosine similarity,
 //! * [`VectorIndex`] — brute-force exact top-k index with stable ordering.
+//!
+//! ```
+//! use genedit_retrieval::{Embedder, Vocabulary, VectorIndex};
+//!
+//! let docs = ["quarterly revenue by team", "viewership numbers by country"];
+//! let embedder = Embedder::new(Vocabulary::fit(docs.iter().copied()));
+//!
+//! let mut index = VectorIndex::new();
+//! for (i, doc) in docs.iter().enumerate() {
+//!     index.insert(i, embedder.embed(doc));
+//! }
+//!
+//! let hits = index.search(&embedder.embed("revenue per quarter"), 1, 0.0);
+//! assert_eq!(hits[0].id, 0); // the revenue doc wins on cosine similarity
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod embed;
 pub mod index;

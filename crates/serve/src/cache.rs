@@ -26,12 +26,16 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 /// question text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    /// Tenant the entry belongs to.
     pub tenant: String,
+    /// [`fnv64`] hash of the question text.
     pub qhash: u64,
+    /// Knowledge epoch the entry was computed under.
     pub epoch: u64,
 }
 
 impl CacheKey {
+    /// Key for `question` as asked by `tenant` under `epoch`.
     pub fn new(tenant: &str, question: &str, epoch: u64) -> CacheKey {
         CacheKey {
             tenant: tenant.to_string(),
@@ -59,6 +63,7 @@ pub struct EpochCache<V> {
 }
 
 impl<V: Clone> EpochCache<V> {
+    /// Cache holding at most `capacity` entries (0 disables caching).
     pub fn new(capacity: usize) -> EpochCache<V> {
         EpochCache {
             inner: Mutex::new(Inner {
@@ -75,14 +80,17 @@ impl<V: Clone> EpochCache<V> {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// The configured entry bound.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of live entries.
     pub fn len(&self) -> usize {
         self.lock().map.len()
     }
 
+    /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

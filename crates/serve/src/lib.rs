@@ -52,6 +52,7 @@
 //! runtime.shutdown();
 //! ```
 
+#![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;

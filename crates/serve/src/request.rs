@@ -43,10 +43,12 @@ pub struct QueryRequest {
     /// Absolute deadline. Expired requests are dropped (never executed)
     /// and under queue saturation the earliest deadline is shed first.
     pub deadline: Option<Instant>,
+    /// Scheduling priority (DRR cost class).
     pub priority: Priority,
 }
 
 impl QueryRequest {
+    /// A normal-priority request with no deadline or evidence.
     pub fn new(tenant: impl Into<String>, question: impl Into<String>) -> QueryRequest {
         QueryRequest {
             tenant: tenant.into(),
@@ -63,11 +65,20 @@ impl QueryRequest {
         self
     }
 
+    /// Set an absolute deadline. A deadline already in the past is
+    /// rejected at submit with [`Rejected::DeadlineExpired`].
+    pub fn with_deadline(mut self, deadline: Instant) -> QueryRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the scheduling priority.
     pub fn with_priority(mut self, priority: Priority) -> QueryRequest {
         self.priority = priority;
         self
     }
 
+    /// Attach benchmark-style evidence strings.
     pub fn with_evidence(mut self, evidence: Vec<String>) -> QueryRequest {
         self.evidence = evidence;
         self
@@ -82,6 +93,10 @@ pub enum Rejected {
     QueueFull,
     /// The runtime is draining; no new work is accepted.
     ShuttingDown,
+    /// The request's deadline had already passed at submit time, so it
+    /// was rejected up front instead of consuming a queue slot only to
+    /// expire unexecuted.
+    DeadlineExpired,
 }
 
 /// Terminal state of an admitted request.
@@ -120,6 +135,7 @@ impl QueryOutcome {
         }
     }
 
+    /// Whether the request reached [`QueryOutcome::Completed`].
     pub fn is_completed(&self) -> bool {
         matches!(self, QueryOutcome::Completed { .. })
     }

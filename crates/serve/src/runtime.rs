@@ -7,7 +7,7 @@ use crate::sched::{Admitted, DrrScheduler};
 use genedit_core::{
     CancelToken, GenEditPipeline, GenerateOptions, GenerationResult, KnowledgeIndex, PipelineConfig,
 };
-use genedit_llm::LanguageModel;
+use genedit_llm::{BatchConfig, BatchScheduler, LanguageModel};
 use genedit_retrieval::Embedding;
 use genedit_sql::catalog::Database;
 use genedit_telemetry::{names, MetricsRegistry};
@@ -36,6 +36,16 @@ pub struct ServeConfig {
     pub reform_cache_capacity: usize,
     /// Pipeline configuration used by every worker.
     pub pipeline: PipelineConfig,
+    /// Cross-worker micro-batching of model calls. Every worker pipeline
+    /// runs over one shared [`BatchScheduler`], so concurrent calls of
+    /// the same task kind coalesce into `complete_batch` dispatches. The
+    /// default ([`BatchConfig::disabled`]) passes calls straight through.
+    pub batch: BatchConfig,
+    /// When `Some(n)` with `n > 1`, workers generate `n` CoT plan and
+    /// SQL candidates in parallel per request and select by vote (see
+    /// [`GenerateOptions::ensemble_width`]). Pairs naturally with
+    /// `batch`: one request's fan-out fills a batch by itself.
+    pub ensemble_width: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +57,8 @@ impl Default for ServeConfig {
             result_cache_capacity: 256,
             reform_cache_capacity: 256,
             pipeline: PipelineConfig::default(),
+            batch: BatchConfig::disabled(),
+            ensemble_width: None,
         }
     }
 }
@@ -63,7 +75,11 @@ struct Shared<M> {
     available: Condvar,
     snapshot: RwLock<Snapshot>,
     db: Arc<Database>,
-    model: Arc<M>,
+    /// The shared model every worker pipeline runs over, fronted by one
+    /// process-wide [`BatchScheduler`] so concurrent same-kind calls
+    /// across workers coalesce (a disabled config passes straight
+    /// through).
+    model: Arc<BatchScheduler<Arc<M>>>,
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
     results: EpochCache<GenerationResult>,
@@ -105,13 +121,18 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         config: ServeConfig,
     ) -> ServeRuntime<M> {
         let workers = config.workers.max(1);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let model = Arc::new(
+            BatchScheduler::new(Arc::new(model), config.batch.clone())
+                .with_metrics(Arc::clone(&metrics)),
+        );
         let shared = Arc::new(Shared {
             sched: Mutex::new(DrrScheduler::new(config.quantum)),
             available: Condvar::new(),
             snapshot: RwLock::new(Snapshot { epoch, index }),
             db,
-            model: Arc::new(model),
-            metrics: Arc::new(MetricsRegistry::new()),
+            model,
+            metrics,
             results: EpochCache::new(config.result_cache_capacity),
             reforms: EpochCache::new(config.reform_cache_capacity),
             shutdown: AtomicBool::new(false),
@@ -180,6 +201,16 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             self.shared.metrics.incr("serve.rejected", 1);
             return Err(Rejected::ShuttingDown);
+        }
+        // A deadline already in the past can only ever expire unexecuted;
+        // reject it up front instead of letting it occupy a queue slot
+        // (and possibly shed a still-viable request) on the way to the
+        // same outcome.
+        if let Some(deadline) = request.deadline {
+            if Instant::now() >= deadline {
+                self.shared.metrics.incr("serve.rejected", 1);
+                return Err(Rejected::DeadlineExpired);
+            }
         }
         let cancel = match request.deadline {
             Some(deadline) => CancelToken::with_deadline(deadline),
@@ -345,6 +376,7 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
         cancel: Some(&cancel),
         reformulation,
         query_embedding,
+        ensemble_width: shared.config.ensemble_width,
     };
     let result = pipeline.generate_with(
         &request.question,

@@ -9,8 +9,8 @@ use genedit_knowledge::{
     DurableKnowledgeStore, Edit, KnowledgeSet, MemFs, SourceRef, StagingArea, StoreConfig, StoreFs,
 };
 use genedit_llm::{
-    CompletionRequest, CompletionResponse, LanguageModel, ModelError, OracleConfig, OracleModel,
-    TaskRegistry,
+    BatchConfig, CompletionRequest, CompletionResponse, LanguageModel, ModelError, OracleConfig,
+    OracleModel, TaskRegistry,
 };
 use genedit_serve::{Priority, QueryOutcome, QueryRequest, Rejected, ServeConfig, ServeRuntime};
 use std::sync::{Arc, Condvar, Mutex};
@@ -429,6 +429,105 @@ fn flooding_tenant_does_not_starve_others() {
     assert!(pin.wait().is_completed());
     for t in hot {
         assert!(t.wait().is_completed());
+    }
+    runtime.shutdown();
+}
+
+/// Satellite requirement: a request whose deadline has already passed at
+/// submit time is rejected up front with [`Rejected::DeadlineExpired`],
+/// consuming no queue slot and shedding nothing.
+#[test]
+fn stale_deadline_is_rejected_at_submit() {
+    let (bundle, ks, oracle) = setup();
+    let gate = Gate::new();
+    let runtime = ServeRuntime::start(
+        GatedModel {
+            inner: oracle,
+            gate: Arc::clone(&gate),
+        },
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            result_cache_capacity: 0,
+            reform_cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let q = &bundle.tasks[0].question;
+    // Pin the worker, then fill the single queue slot with live work.
+    let r0 = runtime.submit(QueryRequest::new("a", q)).unwrap();
+    wait_queue_empty(&runtime);
+    let queued = runtime.submit(QueryRequest::new("b", q)).unwrap();
+
+    // An already-expired deadline must bounce without touching the queue
+    // (the queued no-deadline request would otherwise be shed-eligible).
+    let stale = QueryRequest::new("c", q).with_deadline(Instant::now() - Duration::from_millis(1));
+    assert!(matches!(
+        runtime.submit(stale),
+        Err(Rejected::DeadlineExpired)
+    ));
+    assert_eq!(runtime.queue_depth(), 1, "stale request consumed a slot");
+    assert_eq!(runtime.metrics().counter("serve.rejected"), 1);
+    assert_eq!(runtime.metrics().counter("serve.shed"), 0);
+
+    gate.open();
+    assert!(r0.wait().is_completed());
+    assert!(queued.wait().is_completed());
+    runtime.shutdown();
+}
+
+/// Tentpole invariant: serving over an enabled [`BatchScheduler`] (calls
+/// coalesce across the worker pool) returns byte-identical results to
+/// the unbatched direct pipeline for every question.
+#[test]
+fn batched_serving_matches_direct_pipeline() {
+    let (bundle, ks, oracle) = setup();
+    let direct = GenEditPipeline::new(&oracle);
+    let direct_index = KnowledgeIndex::build(ks.clone());
+    let questions: Vec<&str> = bundle
+        .tasks
+        .iter()
+        .take(4)
+        .map(|t| t.question.as_str())
+        .collect();
+    let expected: Vec<String> = questions
+        .iter()
+        .map(|q| fingerprint(&direct.generate(q, &direct_index, &bundle.db, &[])))
+        .collect();
+
+    let runtime = ServeRuntime::start(
+        oracle,
+        Arc::new(KnowledgeIndex::build(ks)),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            // Caches off so every request exercises the batched path.
+            result_cache_capacity: 0,
+            reform_cache_capacity: 0,
+            batch: BatchConfig::default(),
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..16)
+        .map(|i| {
+            runtime
+                .submit(QueryRequest::new("acme", questions[i % questions.len()]))
+                .unwrap()
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let outcome = ticket.wait();
+        let (result, _, _) = completed(&outcome);
+        assert_eq!(
+            fingerprint(result),
+            expected[i % questions.len()],
+            "request {i} diverged under batching"
+        );
     }
     runtime.shutdown();
 }
