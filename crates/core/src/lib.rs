@@ -58,6 +58,6 @@ pub use harness::Harness;
 pub use index::KnowledgeIndex;
 pub use pipeline::{GenEditPipeline, GenerateOptions, GenerationResult};
 pub use regression::{
-    run_regression, submit_edits, submit_edits_durable, GoldenQuery, RegressionOutcome,
-    SubmissionResult, SubmitError,
+    run_regression, submit_edits, submit_edits_durable, submit_edits_durable_from, GoldenQuery,
+    RegressionOutcome, SubmissionResult, SubmitError,
 };

@@ -134,6 +134,11 @@ pub struct GenerateOptions<'a> {
     /// single backend round trip. `None` (the default) keeps the serial
     /// path untouched.
     pub ensemble_width: Option<usize>,
+    /// The serving-layer request ID, when this generation runs on behalf
+    /// of an admitted serve request. Recorded as a `request_id` attribute
+    /// on the root span so traces, metric exemplars, and flight-recorder
+    /// dumps are joinable.
+    pub request_id: Option<&'a str>,
 }
 
 /// The pipeline. Generic over the model so tests can stub it; in the
@@ -244,6 +249,9 @@ impl<M: LanguageModel> GenEditPipeline<M> {
         let mut result = {
             let root = tracer.span(names::GENERATE);
             root.attr("question_chars", question.len());
+            if let Some(request_id) = opts.request_id {
+                root.attr("request_id", request_id);
+            }
             // Resilience wraps *outside* tracing so every retried attempt
             // is its own `llm.complete` span and each backoff an
             // `llm.retry` span.

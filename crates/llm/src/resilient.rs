@@ -27,85 +27,10 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// Injectable time source so retry backoff is testable without wall-clock
-/// sleeps.
-pub trait Clock: Send + Sync {
-    /// Monotonic time since an arbitrary epoch.
-    fn now(&self) -> Duration;
-    /// Block (or pretend to block) for `duration`.
-    fn sleep(&self, duration: Duration);
-}
-
-/// Real time: `Instant`-based `now`, `thread::sleep`-based `sleep`.
-pub struct SystemClock {
-    origin: std::time::Instant,
-}
-
-impl SystemClock {
-    /// Clock whose zero is the moment of construction.
-    pub fn new() -> SystemClock {
-        SystemClock {
-            origin: std::time::Instant::now(),
-        }
-    }
-}
-
-impl Default for SystemClock {
-    fn default() -> Self {
-        SystemClock::new()
-    }
-}
-
-impl Clock for SystemClock {
-    fn now(&self) -> Duration {
-        self.origin.elapsed()
-    }
-
-    fn sleep(&self, duration: Duration) {
-        std::thread::sleep(duration);
-    }
-}
-
-/// Virtual time: `sleep` advances an internal counter instantly. The
-/// counter doubles as the total backoff a run would have waited — the
-/// retry-overhead figure the chaos sweep reports.
-#[derive(Default)]
-pub struct SimulatedClock {
-    elapsed: Mutex<Duration>,
-}
-
-impl SimulatedClock {
-    /// Virtual clock starting at zero elapsed time.
-    pub fn new() -> SimulatedClock {
-        SimulatedClock::default()
-    }
-
-    fn lock(&self) -> MutexGuard<'_, Duration> {
-        self.elapsed
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
-    /// Total virtual time slept so far.
-    pub fn total_slept(&self) -> Duration {
-        *self.lock()
-    }
-
-    /// Advance virtual time without attributing it to a sleep.
-    pub fn advance(&self, by: Duration) {
-        *self.lock() += by;
-    }
-}
-
-impl Clock for SimulatedClock {
-    fn now(&self) -> Duration {
-        *self.lock()
-    }
-
-    fn sleep(&self, duration: Duration) {
-        *self.lock() += duration;
-    }
-}
+// The injectable time source moved down-stack into `genedit_telemetry`
+// (the SLO windows and burn-rate alerts need it too); re-export it so
+// existing `genedit_llm::resilient::{Clock, …}` paths keep working.
+pub use genedit_telemetry::clock::{Clock, SimulatedClock, SystemClock};
 
 /// How many times to retry a failed call and how long to wait in between.
 #[derive(Debug, Clone, PartialEq)]

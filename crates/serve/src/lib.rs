@@ -62,4 +62,4 @@ mod sched;
 
 pub use cache::{fnv64, CacheKey, EpochCache};
 pub use request::{Priority, QueryOutcome, QueryRequest, Rejected, Ticket};
-pub use runtime::{ServeConfig, ServeRuntime};
+pub use runtime::{ObsConfig, ServeConfig, ServeRuntime};

@@ -174,10 +174,11 @@ impl TicketCell {
 pub struct Ticket {
     cell: Arc<TicketCell>,
     cancel: CancelToken,
+    request_id: String,
 }
 
 impl Ticket {
-    pub(crate) fn new(cancel: CancelToken) -> (Ticket, Arc<TicketCell>) {
+    pub(crate) fn new(cancel: CancelToken, request_id: String) -> (Ticket, Arc<TicketCell>) {
         let cell = Arc::new(TicketCell {
             state: Mutex::new(TicketState::default()),
             done: Condvar::new(),
@@ -186,9 +187,18 @@ impl Ticket {
             Ticket {
                 cell: Arc::clone(&cell),
                 cancel,
+                request_id,
             },
             cell,
         )
+    }
+
+    /// The request ID assigned at admission. The same ID appears as the
+    /// `request_id` attribute on the generation's root span, in metric
+    /// exemplars, and in flight-recorder dumps, so one request's
+    /// telemetry joins across all three.
+    pub fn request_id(&self) -> &str {
+        &self.request_id
     }
 
     /// Request cooperative cancellation. The pipeline checks between
@@ -231,7 +241,8 @@ mod tests {
 
     #[test]
     fn ticket_wait_sees_completion_from_another_thread() {
-        let (ticket, cell) = Ticket::new(CancelToken::new());
+        let (ticket, cell) = Ticket::new(CancelToken::new(), "req-00000001".to_string());
+        assert_eq!(ticket.request_id(), "req-00000001");
         assert!(ticket.try_wait().is_none());
         let handle = thread::spawn(move || cell.complete(QueryOutcome::Shed));
         let outcome = ticket.wait();
@@ -242,7 +253,7 @@ mod tests {
 
     #[test]
     fn first_completion_wins() {
-        let (ticket, cell) = Ticket::new(CancelToken::new());
+        let (ticket, cell) = Ticket::new(CancelToken::new(), "req-00000002".to_string());
         cell.complete(QueryOutcome::Expired);
         cell.complete(QueryOutcome::Shed);
         assert!(matches!(ticket.wait(), QueryOutcome::Expired));

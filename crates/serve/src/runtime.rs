@@ -10,11 +10,48 @@ use genedit_core::{
 use genedit_llm::{BatchConfig, BatchScheduler, LanguageModel};
 use genedit_retrieval::Embedding;
 use genedit_sql::catalog::Database;
-use genedit_telemetry::{names, MetricsRegistry};
+use genedit_telemetry::slo::AlertTransition;
+use genedit_telemetry::{
+    names, prom, Clock, FlightRecorder, MetricsRegistry, RecordedRequest, RecorderConfig,
+    RequestVerdict, SloConfig, SloTracker, SystemClock, Trace,
+};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
+
+/// Observability-plane configuration for a [`ServeRuntime`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// When false, the runtime records into a disabled
+    /// [`MetricsRegistry`] — every instrumentation call is a cheap
+    /// early return. The `obs_sweep` benchmark uses this as the
+    /// zero-cost baseline for its overhead gate.
+    pub metrics: bool,
+    /// SLO to track over completed requests. When set, every completion
+    /// feeds a burn-rate tracker; an alert transition to firing triggers
+    /// a flight-recorder dump (if both a recorder and `dump_path` are
+    /// configured).
+    pub slo: Option<SloConfig>,
+    /// Flight-recorder policy. When set, completed requests (and
+    /// cancelled/shed ones) are offered to a bounded tail-sampling
+    /// recorder.
+    pub recorder: Option<RecorderConfig>,
+    /// Where to write the flight-recorder JSONL dump on an SLO breach.
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            metrics: true,
+            slo: None,
+            recorder: None,
+            dump_path: None,
+        }
+    }
+}
 
 /// Serving runtime configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +83,9 @@ pub struct ServeConfig {
     /// [`GenerateOptions::ensemble_width`]). Pairs naturally with
     /// `batch`: one request's fan-out fills a batch by itself.
     pub ensemble_width: Option<usize>,
+    /// Observability plane: metrics enablement, SLO burn-rate alerting,
+    /// and the tail-sampling flight recorder.
+    pub observability: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +99,7 @@ impl Default for ServeConfig {
             pipeline: PipelineConfig::default(),
             batch: BatchConfig::disabled(),
             ensemble_width: None,
+            observability: ObsConfig::default(),
         }
     }
 }
@@ -82,6 +123,10 @@ struct Shared<M> {
     model: Arc<BatchScheduler<Arc<M>>>,
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
+    /// SLO burn-rate tracker over completed requests (system clock).
+    slo: Option<SloTracker>,
+    /// Tail-sampling flight recorder of completed request traces.
+    recorder: Option<FlightRecorder>,
     results: EpochCache<GenerationResult>,
     reforms: EpochCache<(String, Embedding)>,
     shutdown: AtomicBool,
@@ -121,7 +166,19 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         config: ServeConfig,
     ) -> ServeRuntime<M> {
         let workers = config.workers.max(1);
-        let metrics = Arc::new(MetricsRegistry::new());
+        let metrics = Arc::new(if config.observability.metrics {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        });
+        let slo = config.observability.slo.clone().map(|slo_config| {
+            SloTracker::new(slo_config, Arc::new(SystemClock::new()) as Arc<dyn Clock>)
+        });
+        let recorder = config
+            .observability
+            .recorder
+            .clone()
+            .map(FlightRecorder::new);
         let model = Arc::new(
             BatchScheduler::new(Arc::new(model), config.batch.clone())
                 .with_metrics(Arc::clone(&metrics)),
@@ -133,6 +190,8 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             db,
             model,
             metrics,
+            slo,
+            recorder,
             results: EpochCache::new(config.result_cache_capacity),
             reforms: EpochCache::new(config.reform_cache_capacity),
             shutdown: AtomicBool::new(false),
@@ -159,6 +218,22 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
     /// histograms, plus every worker pipeline's operator metrics).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.shared.metrics
+    }
+
+    /// Prometheus text exposition of the runtime's metrics — counters,
+    /// gauges, cumulative histogram buckets, and request-ID exemplars.
+    pub fn prometheus(&self) -> String {
+        prom::render(&self.shared.metrics)
+    }
+
+    /// The flight recorder, when one was configured.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.shared.recorder.as_ref()
+    }
+
+    /// Whether the configured SLO's burn-rate alert is currently firing.
+    pub fn slo_firing(&self) -> bool {
+        self.shared.slo.as_ref().is_some_and(SloTracker::is_firing)
     }
 
     /// Current number of queued (admitted, not yet running) requests.
@@ -216,7 +291,12 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             Some(deadline) => CancelToken::with_deadline(deadline),
             None => CancelToken::new(),
         };
-        let (ticket, cell) = Ticket::new(cancel.clone());
+        // The request ID exists from admission on: the same `req-…`
+        // string lands on the root span, in metric exemplars, and in
+        // flight-recorder dumps.
+        let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
+        let request_id = format!("req-{seq:08x}");
+        let (ticket, cell) = Ticket::new(cancel.clone(), request_id.clone());
         let mut sched = self.shared.lock_sched();
         if sched.len() >= self.shared.config.queue_capacity.max(1) {
             let victim = sched.earliest_deadline().and_then(|(deadline, seq)| {
@@ -229,6 +309,14 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             match victim {
                 Some(shed) => {
                     self.shared.metrics.incr("serve.shed", 1);
+                    record_outcome(
+                        &self.shared,
+                        &shed.request_id,
+                        RequestVerdict::Cancelled,
+                        shed.enqueued_at.elapsed().as_secs_f64() * 1e3,
+                        Trace::empty(names::SERVE_REQUEST),
+                        None,
+                    );
                     shed.cell.complete(QueryOutcome::Shed);
                 }
                 None => {
@@ -239,9 +327,9 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             }
         }
         let cost = request.priority.cost();
-        let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
         sched.push(Admitted {
             seq,
+            request_id,
             request,
             cell,
             cancel,
@@ -253,7 +341,7 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         self.shared.metrics.incr("serve.admitted", 1);
         self.shared
             .metrics
-            .observe("serve.queue_depth", depth as f64);
+            .set_gauge("serve.queue_depth", depth as f64);
         self.shared.available.notify_one();
         Ok(ticket)
     }
@@ -292,7 +380,7 @@ fn worker_loop<M: LanguageModel>(shared: &Shared<M>) {
         };
         shared
             .metrics
-            .observe("serve.queue_depth", shared.lock_sched().len() as f64);
+            .set_gauge("serve.queue_depth", shared.lock_sched().len() as f64);
         serve_one(shared, &pipeline, admitted);
     }
 }
@@ -312,6 +400,7 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
     admitted: Admitted,
 ) {
     let Admitted {
+        request_id,
         request,
         cell,
         cancel,
@@ -323,10 +412,21 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
     if cancel.is_cancelled() {
         // Expired or cancelled while still queued: never executed.
         let outcome = cancelled_outcome(request.deadline);
+        let expired = matches!(outcome, QueryOutcome::Expired);
         match outcome {
             QueryOutcome::Expired => shared.metrics.incr("serve.expired", 1),
             _ => shared.metrics.incr("serve.cancelled", 1),
         }
+        // A missed deadline burns error budget; an explicit client
+        // cancel does not.
+        record_outcome(
+            shared,
+            &request_id,
+            RequestVerdict::Cancelled,
+            queue_wait.as_secs_f64() * 1e3,
+            Trace::empty(names::SERVE_REQUEST),
+            expired.then_some(true),
+        );
         cell.complete(outcome);
         return;
     }
@@ -346,6 +446,7 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
             finish(
                 shared,
                 &request.tenant,
+                &request_id,
                 cell,
                 result,
                 true,
@@ -377,6 +478,7 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
         reformulation,
         query_embedding,
         ensemble_width: shared.config.ensemble_width,
+        request_id: Some(&request_id),
     };
     let result = pipeline.generate_with(
         &request.question,
@@ -388,10 +490,19 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
 
     if result.cancelled {
         let outcome = cancelled_outcome(request.deadline);
+        let expired = matches!(outcome, QueryOutcome::Expired);
         match outcome {
             QueryOutcome::Expired => shared.metrics.incr("serve.expired", 1),
             _ => shared.metrics.incr("serve.cancelled", 1),
         }
+        record_outcome(
+            shared,
+            &request_id,
+            RequestVerdict::Cancelled,
+            (queue_wait + started.elapsed()).as_secs_f64() * 1e3,
+            result.trace.clone(),
+            expired.then_some(true),
+        );
         cell.complete(outcome);
         return;
     }
@@ -411,6 +522,7 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
     finish(
         shared,
         &request.tenant,
+        &request_id,
         cell,
         result,
         false,
@@ -424,6 +536,7 @@ fn serve_one<M: LanguageModel, L: LanguageModel>(
 fn finish<M>(
     shared: &Shared<M>,
     tenant: &str,
+    request_id: &str,
     cell: Arc<TicketCell>,
     result: GenerationResult,
     cached: bool,
@@ -432,13 +545,28 @@ fn finish<M>(
     service_seq: u64,
 ) {
     let service = started.elapsed();
+    let latency_ms = (queue_wait + service).as_secs_f64() * 1e3;
     shared.metrics.incr("serve.completed", 1);
     shared
         .metrics
-        .observe_duration(names::SERVE_REQUEST, queue_wait + service);
-    shared.metrics.observe(
-        &format!("serve.latency_ms.{tenant}"),
-        (queue_wait + service).as_secs_f64() * 1000.0,
+        .observe_with_exemplar(names::SERVE_REQUEST, latency_ms, request_id);
+    shared
+        .metrics
+        .observe(&format!("serve.latency_ms.{tenant}"), latency_ms);
+    let verdict = if !result.validated {
+        RequestVerdict::Error
+    } else if result.degraded_operator_count() > 0 {
+        RequestVerdict::Degraded
+    } else {
+        RequestVerdict::Ok
+    };
+    record_outcome(
+        shared,
+        request_id,
+        verdict,
+        latency_ms,
+        result.trace.clone(),
+        Some(verdict == RequestVerdict::Error),
     );
     cell.complete(QueryOutcome::Completed {
         result: Box::new(result),
@@ -447,4 +575,46 @@ fn finish<M>(
         service,
         service_seq,
     });
+}
+
+/// Feed one finished (or abandoned) request into the observability
+/// plane: the flight recorder first — so an alert fired by this very
+/// request dumps a ring that already contains it — then the SLO tracker
+/// and its alert state machine. `slo_error`: `None` keeps the request
+/// out of the SLO (explicit client cancels, shed requests), `Some(e)`
+/// counts it with error flag `e`.
+fn record_outcome<M>(
+    shared: &Shared<M>,
+    request_id: &str,
+    verdict: RequestVerdict,
+    latency_ms: f64,
+    trace: Trace,
+    slo_error: Option<bool>,
+) {
+    if let Some(recorder) = &shared.recorder {
+        recorder.record(RecordedRequest {
+            request_id: request_id.to_string(),
+            verdict,
+            latency_ms,
+            trace,
+        });
+    }
+    let (Some(slo), Some(error)) = (&shared.slo, slo_error) else {
+        return;
+    };
+    slo.record(latency_ms, error);
+    match slo.evaluate().transition {
+        Some(AlertTransition::Fired) => {
+            shared.metrics.incr("serve.slo.fired", 1);
+            if let (Some(recorder), Some(path)) =
+                (&shared.recorder, &shared.config.observability.dump_path)
+            {
+                if std::fs::write(path, recorder.dump_jsonl()).is_ok() {
+                    shared.metrics.incr("serve.slo.dumps", 1);
+                }
+            }
+        }
+        Some(AlertTransition::Resolved) => shared.metrics.incr("serve.slo.resolved", 1),
+        None => {}
+    }
 }

@@ -17,6 +17,10 @@ use std::time::Instant;
 /// A request that passed admission, queued with its completion handle.
 pub(crate) struct Admitted {
     pub seq: u64,
+    /// Admission-assigned request ID (`req-{seq:08x}`), threaded through
+    /// the pipeline so traces, exemplars, and flight-recorder entries
+    /// join.
+    pub request_id: String,
     pub request: QueryRequest,
     pub cell: Arc<TicketCell>,
     pub cancel: CancelToken,
@@ -146,9 +150,10 @@ mod tests {
 
     fn admitted(seq: u64, tenant: &str, priority: Priority) -> Admitted {
         let cancel = CancelToken::new();
-        let (_ticket, cell) = Ticket::new(cancel.clone());
+        let (_ticket, cell) = Ticket::new(cancel.clone(), format!("req-{seq:08x}"));
         Admitted {
             seq,
+            request_id: format!("req-{seq:08x}"),
             request: QueryRequest::new(tenant, format!("q{seq}")).with_priority(priority),
             cell,
             cancel,

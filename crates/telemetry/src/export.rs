@@ -7,14 +7,21 @@ use crate::metrics::MetricsSnapshot;
 use crate::span::Trace;
 use serde::{Deserialize, Serialize};
 
+/// Serialization of the in-crate telemetry types cannot fail, but this
+/// crate denies `unwrap`/`expect` outside tests — degrade to a JSON
+/// `null` rather than panic inside instrumentation.
+fn to_json_or_null<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "null".to_string())
+}
+
 /// One trace as a JSON object.
 pub fn trace_to_json(trace: &Trace) -> String {
-    serde_json::to_string(trace).expect("trace serialization is infallible")
+    to_json_or_null(trace)
 }
 
 /// One trace as indented JSON, for human inspection.
 pub fn trace_to_json_pretty(trace: &Trace) -> String {
-    serde_json::to_string_pretty(trace).expect("trace serialization is infallible")
+    serde_json::to_string_pretty(trace).unwrap_or_else(|_| "null".to_string())
 }
 
 /// Parse a trace back from [`trace_to_json`] output.
@@ -24,14 +31,14 @@ pub fn trace_from_json(json: &str) -> Result<Trace, serde_json::Error> {
 
 /// A metrics snapshot as a JSON object.
 pub fn snapshot_to_json(snapshot: &MetricsSnapshot) -> String {
-    serde_json::to_string_pretty(snapshot).expect("snapshot serialization is infallible")
+    serde_json::to_string_pretty(snapshot).unwrap_or_else(|_| "null".to_string())
 }
 
 /// Serialize items one-JSON-object-per-line.
 pub fn to_jsonl<T: Serialize>(items: &[T]) -> String {
     let mut out = String::new();
     for item in items {
-        out.push_str(&serde_json::to_string(item).expect("serialization is infallible"));
+        out.push_str(&to_json_or_null(item));
         out.push('\n');
     }
     out

@@ -1,55 +1,118 @@
-//! Named counters and histograms, shareable via `Arc` across harness runs.
+//! Named counters, gauges, and histograms, shareable via `Arc` across
+//! harness runs and serving workers.
 //!
-//! Histograms keep raw samples (runs here are thousands of observations,
-//! not millions) and summarize to count/sum/mean/min/max/p50/p95/p99 on
-//! snapshot. Percentiles use the nearest-rank definition, so a histogram
-//! over 1..=100 reports p50 = 50, p95 = 95, p99 = 99 exactly.
+//! Histograms are bounded log-linear ([`crate::hist`]) — fixed memory,
+//! lock-free `observe`, percentiles within ≤ 1% relative error of exact
+//! nearest-rank. The registry's name→metric maps sit behind `RwLock`s:
+//! a recording call takes a shared read lock to find its metric's `Arc`,
+//! then updates atomics; only the *first* observation of a new name takes
+//! the write lock. Hot paths that cannot afford even the read lock cache
+//! the [`LogLinearHistogram`]/counter handle once via
+//! [`MetricsRegistry::histogram`] / [`MetricsRegistry::counter_handle`]
+//! and record fully lock-free from then on.
+//!
+//! Non-finite observations (NaN, ±inf) are rejected — one NaN would
+//! otherwise poison every percentile — and counted under
+//! `telemetry.rejected_samples`. Gauges carry set/last-value semantics
+//! (e.g. `serve.queue_depth`). Lock poisoning is absorbed, never
+//! propagated.
 
+use crate::hist::{Exemplar, HistogramSnapshot, LogLinearHistogram};
 use crate::span::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
-#[derive(Default)]
-struct Inner {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Vec<f64>>,
+/// Counter name under which rejected (non-finite) observations are
+/// counted.
+pub const REJECTED_SAMPLES: &str = "telemetry.rejected_samples";
+
+type Map<T> = RwLock<BTreeMap<String, Arc<T>>>;
+
+fn read<T>(map: &Map<T>) -> RwLockReadGuard<'_, BTreeMap<String, Arc<T>>> {
+    map.read().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Registry of named counters and histograms. All methods take `&self`;
-/// wrap in `Arc` to share across components or threads. Lock poisoning is
-/// absorbed, never propagated.
-#[derive(Default)]
+fn write<T>(map: &Map<T>) -> RwLockWriteGuard<'_, BTreeMap<String, Arc<T>>> {
+    map.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn entry<T: Default>(map: &Map<T>, name: &str) -> Arc<T> {
+    if let Some(existing) = read(map).get(name) {
+        return Arc::clone(existing);
+    }
+    let mut guard = write(map);
+    Arc::clone(guard.entry(name.to_string()).or_default())
+}
+
+/// Registry of named counters, gauges, and histograms. All methods take
+/// `&self`; wrap in `Arc` to share across components or threads.
 pub struct MetricsRegistry {
-    inner: Mutex<Inner>,
+    enabled: bool,
+    counters: Map<AtomicU64>,
+    gauges: Map<AtomicU64>,
+    histograms: Map<LogLinearHistogram>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
 }
 
 impl MetricsRegistry {
+    /// A fresh, recording registry.
     pub fn new() -> MetricsRegistry {
-        MetricsRegistry::default()
+        MetricsRegistry {
+            enabled: true,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// A no-op registry: every recording call returns immediately. The
+    /// `obs_sweep` benchmark measures instrumentation overhead against
+    /// this baseline.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: false,
+            ..MetricsRegistry::new()
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 
     /// Add `by` to the named counter (creating it at zero).
     pub fn incr(&self, name: &str, by: u64) {
-        let mut inner = self.lock();
-        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+        if !self.enabled {
+            return;
+        }
+        self.counter_handle(name).fetch_add(by, Ordering::Relaxed);
     }
 
-    /// Record one observation into the named histogram.
+    /// The atomic behind a named counter, for hot paths that want to
+    /// bump it without the name lookup.
+    pub fn counter_handle(&self, name: &str) -> Arc<AtomicU64> {
+        entry(&self.counters, name)
+    }
+
+    /// Record one observation into the named histogram. Non-finite
+    /// values are dropped and counted under [`REJECTED_SAMPLES`].
     pub fn observe(&self, name: &str, value: f64) {
-        let mut inner = self.lock();
-        inner
-            .histograms
-            .entry(name.to_string())
-            .or_default()
-            .push(value);
+        if !self.enabled {
+            return;
+        }
+        if !value.is_finite() {
+            self.incr(REJECTED_SAMPLES, 1);
+            return;
+        }
+        self.histogram(name).observe(value);
     }
 
     /// Record a duration observation, in milliseconds.
@@ -57,15 +120,62 @@ impl MetricsRegistry {
         self.observe(name, duration.as_secs_f64() * 1e3);
     }
 
+    /// Record an observation annotated with the request that produced it;
+    /// the exemplar is kept alongside the histogram and reported in
+    /// snapshots and Prometheus exposition.
+    pub fn observe_with_exemplar(&self, name: &str, value: f64, request_id: &str) {
+        if !self.enabled {
+            return;
+        }
+        if !value.is_finite() {
+            self.incr(REJECTED_SAMPLES, 1);
+            return;
+        }
+        self.histogram(name)
+            .observe_with_exemplar(value, request_id);
+    }
+
+    /// The named histogram (created empty on first use), for hot paths
+    /// that cache the handle and observe lock-free.
+    pub fn histogram(&self, name: &str) -> Arc<LogLinearHistogram> {
+        entry(&self.histograms, name)
+    }
+
+    /// Set the named gauge to `value` (last-write-wins semantics).
+    /// Non-finite values are rejected like histogram observations.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        if !value.is_finite() {
+            self.incr(REJECTED_SAMPLES, 1);
+            return;
+        }
+        entry(&self.gauges, name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        read(&self.gauges)
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
     /// Current value of a counter (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.lock().counters.get(name).copied().unwrap_or(0)
+        read(&self.counters)
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Fold a finished trace in: every span becomes a `span.<name>.count`
     /// increment and a `span.<name>.ms` latency observation; warnings
     /// increment `trace.warnings`.
     pub fn record_trace(&self, trace: &Trace) {
+        if !self.enabled {
+            return;
+        }
         for span in trace.all_spans() {
             self.incr(&format!("span.{}.count", span.name), 1);
             self.observe_duration(&format!("span.{}.ms", span.name), span.duration);
@@ -77,47 +187,117 @@ impl MetricsRegistry {
 
     /// Point-in-time summary of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.lock();
-        MetricsSnapshot {
-            counters: inner.counters.clone(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(name, samples)| (name.clone(), HistogramSummary::from_samples(samples)))
-                .collect(),
+        let counters = read(&self.counters)
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = read(&self.gauges)
+            .iter()
+            .map(|(name, g)| (name.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+            .collect();
+        let mut histograms = BTreeMap::new();
+        let mut exemplars = BTreeMap::new();
+        for (name, hist) in read(&self.histograms).iter() {
+            histograms.insert(name.clone(), hist.snapshot().summary());
+            let ex = hist.exemplars();
+            if !ex.is_empty() {
+                exemplars.insert(name.clone(), ex);
+            }
         }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            exemplars,
+        }
+    }
+
+    /// Full bucket-level snapshots of every histogram — the mergeable
+    /// view Prometheus exposition and rollups are built from.
+    pub fn histogram_snapshots(&self) -> BTreeMap<String, HistogramSnapshot> {
+        read(&self.histograms)
+            .iter()
+            .map(|(name, hist)| (name.clone(), hist.snapshot()))
+            .collect()
+    }
+
+    /// The exemplars attached to every histogram that has any.
+    pub fn exemplars(&self) -> BTreeMap<String, Vec<Exemplar>> {
+        read(&self.histograms)
+            .iter()
+            .filter_map(|(name, hist)| {
+                let ex = hist.exemplars();
+                (!ex.is_empty()).then(|| (name.clone(), ex))
+            })
+            .collect()
+    }
+
+    /// Current counter values, name-sorted.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        read(&self.counters)
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Current gauge values, name-sorted.
+    pub fn gauge_values(&self) -> BTreeMap<String, f64> {
+        read(&self.gauges)
+            .iter()
+            .map(|(name, g)| (name.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+            .collect()
     }
 
     /// Drop all recorded values.
     pub fn reset(&self) {
-        let mut inner = self.lock();
-        inner.counters.clear();
-        inner.histograms.clear();
+        write(&self.counters).clear();
+        write(&self.gauges).clear();
+        write(&self.histograms).clear();
     }
 }
 
 /// Serializable snapshot of a [`MetricsRegistry`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
+    /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (last value set).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Recent exemplars by histogram name (only histograms that have
+    /// any).
+    pub exemplars: BTreeMap<String, Vec<Exemplar>>,
 }
 
-/// Summary statistics of one histogram.
+/// Summary statistics of one histogram. `count`/`sum`/`mean`/`min`/`max`
+/// are exact; percentiles come from the log-linear bucket layout and are
+/// within ≤ 1% relative error of the exact nearest-rank value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
+    /// Number of observations.
     pub count: usize,
+    /// Exact sum of observations.
     pub sum: f64,
+    /// Exact mean (0 when empty).
     pub mean: f64,
+    /// Exact minimum (0 when empty).
     pub min: f64,
+    /// Exact maximum (0 when empty).
     pub max: f64,
+    /// Median (nearest-rank).
     pub p50: f64,
+    /// 95th percentile (nearest-rank).
     pub p95: f64,
+    /// 99th percentile (nearest-rank).
     pub p99: f64,
 }
 
 impl HistogramSummary {
-    /// Summarize raw samples. Empty input yields the all-zero summary.
+    /// Summarize raw samples with **exact** nearest-rank percentiles.
+    /// Empty input yields the all-zero summary. This is the reference
+    /// implementation the log-linear histograms are validated against
+    /// (property tests, `obs_sweep`).
     pub fn from_samples(samples: &[f64]) -> HistogramSummary {
         if samples.is_empty() {
             return HistogramSummary {
@@ -140,15 +320,16 @@ impl HistogramSummary {
             mean: sum / sorted.len() as f64,
             min: sorted[0],
             max: sorted[sorted.len() - 1],
-            p50: percentile(&sorted, 50.0),
-            p95: percentile(&sorted, 95.0),
-            p99: percentile(&sorted, 99.0),
+            p50: nearest_rank(&sorted, 50.0),
+            p95: nearest_rank(&sorted, 95.0),
+            p99: nearest_rank(&sorted, 99.0),
         }
     }
 }
 
-/// Nearest-rank percentile over pre-sorted samples.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// Exact nearest-rank percentile over pre-sorted samples — the oracle
+/// the bounded histograms are compared against.
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
@@ -157,6 +338,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::MAX_RELATIVE_ERROR;
 
     #[test]
     fn counters_accumulate() {
@@ -170,7 +352,7 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_nearest_rank_exact() {
+    fn percentiles_track_nearest_rank_within_error_bound() {
         let m = MetricsRegistry::new();
         for v in 1..=100 {
             m.observe("h", v as f64);
@@ -178,9 +360,10 @@ mod tests {
         let snap = m.snapshot();
         let h = &snap.histograms["h"];
         assert_eq!(h.count, 100);
-        assert_eq!(h.p50, 50.0);
-        assert_eq!(h.p95, 95.0);
-        assert_eq!(h.p99, 99.0);
+        for (p, exact) in [(h.p50, 50.0), (h.p95, 95.0), (h.p99, 99.0)] {
+            let rel = (p - exact).abs() / exact;
+            assert!(rel <= MAX_RELATIVE_ERROR, "{p} vs {exact}: rel {rel}");
+        }
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 100.0);
         assert!((h.mean - 50.5).abs() < 1e-9);
@@ -188,14 +371,73 @@ mod tests {
     }
 
     #[test]
-    fn percentile_edge_cases() {
-        assert_eq!(percentile(&[7.0], 50.0), 7.0);
-        assert_eq!(percentile(&[7.0], 99.0), 7.0);
-        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
-        assert_eq!(percentile(&[1.0, 2.0], 99.0), 2.0);
+    fn exact_summary_and_percentile_edge_cases() {
+        let s = HistogramSummary::from_samples(&[7.0]);
+        assert_eq!((s.p50, s.p99), (7.0, 7.0));
+        assert_eq!(nearest_rank(&[1.0, 2.0], 50.0), 1.0);
+        assert_eq!(nearest_rank(&[1.0, 2.0], 99.0), 2.0);
         let empty = HistogramSummary::from_samples(&[]);
         assert_eq!(empty.count, 0);
         assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    fn non_finite_observations_are_rejected_and_counted() {
+        let m = MetricsRegistry::new();
+        m.observe("h", 1.0);
+        m.observe("h", f64::NAN);
+        m.observe("h", f64::INFINITY);
+        m.observe("h", f64::NEG_INFINITY);
+        m.set_gauge("g", f64::NAN);
+        let snap = m.snapshot();
+        // The single finite sample is unpolluted.
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.p50, 1.0);
+        assert!(h.sum.is_finite() && h.mean.is_finite());
+        assert_eq!(m.counter(REJECTED_SAMPLES), 4);
+        assert_eq!(m.gauge("g"), None);
+    }
+
+    #[test]
+    fn gauges_have_last_value_semantics() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("depth"), None);
+        m.set_gauge("depth", 3.0);
+        m.set_gauge("depth", 7.0);
+        assert_eq!(m.gauge("depth"), Some(7.0));
+        let snap = m.snapshot();
+        assert_eq!(snap.gauges["depth"], 7.0);
+        m.reset();
+        assert_eq!(m.gauge("depth"), None);
+    }
+
+    #[test]
+    fn exemplars_surface_in_snapshot() {
+        let m = MetricsRegistry::new();
+        m.observe_with_exemplar("lat", 12.5, "req-00000001");
+        let snap = m.snapshot();
+        let ex = &snap.exemplars["lat"];
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].request_id, "req-00000001");
+        assert_eq!(ex[0].value, 12.5);
+        // Histograms without exemplars don't appear in the exemplar map.
+        m.observe("plain", 1.0);
+        assert!(!m.snapshot().exemplars.contains_key("plain"));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::disabled();
+        assert!(!m.is_enabled());
+        m.incr("c", 5);
+        m.observe("h", 1.0);
+        m.set_gauge("g", 2.0);
+        m.observe_with_exemplar("h", 1.0, "req");
+        let snap = m.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.gauges.is_empty());
     }
 
     #[test]
@@ -222,7 +464,7 @@ mod tests {
         m.incr("a", 1);
         let m2 = Arc::clone(&m);
         let _ = std::thread::spawn(move || {
-            let _guard = m2.inner.lock().unwrap();
+            let _guard = m2.counters.write().unwrap();
             panic!("poison the registry lock");
         })
         .join();
@@ -250,5 +492,18 @@ mod tests {
         }
         assert_eq!(m.counter("n"), 400);
         assert_eq!(m.snapshot().histograms["h"].count, 400);
+    }
+
+    #[test]
+    fn cached_handles_observe_without_lookup() {
+        let m = MetricsRegistry::new();
+        let h = m.histogram("hot");
+        let c = m.counter_handle("hits");
+        for i in 0..1000 {
+            h.observe(i as f64 + 0.5);
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        assert_eq!(m.counter("hits"), 1000);
+        assert_eq!(m.snapshot().histograms["hot"].count, 1000);
     }
 }

@@ -1,0 +1,170 @@
+//! Prometheus-style text exposition of a [`MetricsRegistry`].
+//!
+//! Renders counters, gauges, and histograms in the classic text format:
+//! `genedit_`-prefixed sanitized names, `# TYPE` headers, cumulative
+//! `_bucket{le="…"}` lines derived from the log-linear layout (only
+//! buckets that change the cumulative count are emitted, plus `+Inf`, so
+//! a 3k-bucket histogram exposes ~as many lines as it has distinct
+//! occupied buckets), and `_sum`/`_count`. Exemplars — observations
+//! tagged with their request ID — are appended OpenMetrics-style after
+//! the `+Inf` bucket, which is what makes a dashboard's p99 click
+//! through to a flight-recorder trace.
+
+use crate::hist::{bucket_bounds, HistogramSnapshot, NUM_BUCKETS};
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// `genedit_`-prefix plus the metric name with every character outside
+/// `[a-zA-Z0-9_]` replaced by `_` (so `serve.request` →
+/// `genedit_serve_request`).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("genedit_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot, exemplars: &str) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (index, count) in &snap.counts {
+        cumulative += count;
+        let upper = if (*index as usize) >= NUM_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            bucket_bounds(*index as usize).1
+        };
+        if upper.is_finite() {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_f64(upper)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{le=\"+Inf\"}} {}{exemplars}",
+        snap.count
+    );
+    let _ = writeln!(out, "{name}_sum {}", fmt_f64(snap.sum));
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+}
+
+/// Render the registry's full state as Prometheus exposition text.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counter_values() {
+        let name = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in registry.gauge_values() {
+        let name = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_f64(value));
+    }
+    let exemplars = registry.exemplars();
+    for (name, snap) in registry.histogram_snapshots() {
+        // OpenMetrics exemplar syntax: ` # {label="…"} value` appended to
+        // a bucket line. We attach the most recent exemplar to +Inf.
+        let exemplar_suffix = exemplars
+            .get(&name)
+            .and_then(|list| list.last())
+            .map(|e| {
+                format!(
+                    " # {{request_id=\"{}\"}} {}",
+                    e.request_id,
+                    fmt_f64(e.value)
+                )
+            })
+            .unwrap_or_default();
+        render_histogram(&mut out, &sanitize_name(&name), &snap, &exemplar_suffix);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_metric_names() {
+        assert_eq!(sanitize_name("serve.request"), "genedit_serve_request");
+        assert_eq!(
+            sanitize_name("span.llm.complete.ms"),
+            "genedit_span_llm_complete_ms"
+        );
+        assert_eq!(sanitize_name("a-b c"), "genedit_a_b_c");
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let m = MetricsRegistry::new();
+        m.incr("serve.admitted", 7);
+        m.set_gauge("serve.queue_depth", 3.0);
+        for v in [1.0, 2.0, 4.0] {
+            m.observe("serve.request", v);
+        }
+        let text = render(&m);
+        assert!(text.contains("# TYPE genedit_serve_admitted counter"));
+        assert!(text.contains("genedit_serve_admitted 7"));
+        assert!(text.contains("# TYPE genedit_serve_queue_depth gauge"));
+        assert!(text.contains("genedit_serve_queue_depth 3.0"));
+        assert!(text.contains("# TYPE genedit_serve_request histogram"));
+        assert!(text.contains("genedit_serve_request_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("genedit_serve_request_count 3"));
+        assert!(text.contains("genedit_serve_request_sum 7.0"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_end_at_observed_count() {
+        let m = MetricsRegistry::new();
+        for v in 1..=100 {
+            m.observe("lat", v as f64);
+        }
+        let text = render(&m);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("genedit_lat_bucket"))
+            .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 100);
+    }
+
+    #[test]
+    fn exemplars_attach_to_the_inf_bucket() {
+        let m = MetricsRegistry::new();
+        m.observe_with_exemplar("lat", 12.5, "req-00000007");
+        let text = render(&m);
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("inf bucket rendered");
+        assert!(
+            inf_line.contains("# {request_id=\"req-00000007\"} 12.5"),
+            "{inf_line}"
+        );
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert!(render(&MetricsRegistry::new()).is_empty());
+    }
+}

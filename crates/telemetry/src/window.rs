@@ -1,0 +1,185 @@
+//! Sliding-window rollups: a ring of fixed-width time intervals.
+//!
+//! An [`IntervalRing`] buckets events by the interval ("slot") they fall
+//! into and answers "how many good/bad events in the last *W*?" by
+//! summing the slots that cover that window. Slots are reused in a ring;
+//! each remembers the epoch it was last written for, so stale laps of
+//! the ring are ignored rather than zeroed eagerly. Time comes from the
+//! caller ([`crate::clock::Clock`]-derived), which keeps burn-rate tests
+//! deterministic under a `SimulatedClock`.
+//!
+//! Resolution is the slot width: a rollup over window *W* covers between
+//! *W* and *W + slot* of real time, which is the standard trade in
+//! interval-rollup monitoring systems.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Good/bad event totals over some window of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowCounts {
+    /// Events observed in the window.
+    pub total: u64,
+    /// Events classified bad (errors, SLO-threshold violations, …).
+    pub bad: u64,
+}
+
+impl WindowCounts {
+    /// Fraction of events that were bad; 0 when the window is empty.
+    pub fn bad_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bad as f64 / self.total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    epoch: u64,
+    total: u64,
+    bad: u64,
+}
+
+/// Ring of fixed-width interval slots accumulating good/bad counts.
+pub struct IntervalRing {
+    slot_width: Duration,
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl IntervalRing {
+    /// Ring covering `slots × slot_width` of history. `slot_width` must
+    /// be non-zero and `slots` non-zero; both are clamped up to 1.
+    pub fn new(slot_width: Duration, slots: usize) -> IntervalRing {
+        IntervalRing {
+            slot_width: slot_width.max(Duration::from_millis(1)),
+            slots: Mutex::new(vec![Slot::default(); slots.max(1)]),
+        }
+    }
+
+    /// Total history the ring can cover.
+    pub fn span(&self) -> Duration {
+        self.slot_width * self.lock().len() as u32
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Slot>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn epoch_of(&self, now: Duration) -> u64 {
+        (now.as_nanos() / self.slot_width.as_nanos()) as u64
+    }
+
+    /// Record one event at time `now`.
+    pub fn record(&self, now: Duration, bad: bool) {
+        let epoch = self.epoch_of(now);
+        let mut slots = self.lock();
+        let len = slots.len() as u64;
+        let slot = &mut slots[(epoch % len) as usize];
+        if slot.epoch != epoch {
+            // The ring lapped: this slot holds counts from `slots`
+            // epochs ago. Claim it for the current epoch.
+            *slot = Slot {
+                epoch,
+                total: 0,
+                bad: 0,
+            };
+        }
+        slot.total += 1;
+        if bad {
+            slot.bad += 1;
+        }
+    }
+
+    /// Sum the slots covering the last `window` ending at `now`. The
+    /// current (partial) slot is included; windows wider than the ring
+    /// are clamped to the ring's span.
+    pub fn rollup(&self, now: Duration, window: Duration) -> WindowCounts {
+        let slots = self.lock();
+        let len = slots.len() as u64;
+        let current = self.epoch_of(now);
+        let mut back = (window
+            .as_nanos()
+            .div_ceil(self.slot_width.as_nanos().max(1))) as u64;
+        back = back.clamp(1, len);
+        let oldest = current.saturating_sub(back - 1);
+        let mut out = WindowCounts::default();
+        for slot in slots.iter() {
+            if slot.epoch >= oldest && slot.epoch <= current && slot.total > 0 {
+                out.total += slot.total;
+                out.bad += slot.bad;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn rollup_counts_only_the_requested_window() {
+        let ring = IntervalRing::new(secs(1), 60);
+        for t in 0..30 {
+            ring.record(secs(t), t % 3 == 0);
+        }
+        let all = ring.rollup(secs(29), secs(60));
+        assert_eq!(all.total, 30);
+        assert_eq!(all.bad, 10);
+        // Last 5 seconds ending at t=29: epochs 25..=29.
+        let recent = ring.rollup(secs(29), secs(5));
+        assert_eq!(recent.total, 5);
+        assert_eq!(recent.bad, 1); // only t=27 divisible by 3
+    }
+
+    #[test]
+    fn stale_laps_are_ignored() {
+        let ring = IntervalRing::new(secs(1), 10);
+        ring.record(secs(0), true);
+        // 100 seconds later the ring has lapped ten times; the old slot
+        // must not leak into a fresh rollup.
+        let counts = ring.rollup(secs(100), secs(10));
+        assert_eq!(counts, WindowCounts::default());
+        ring.record(secs(100), false);
+        let counts = ring.rollup(secs(100), secs(10));
+        assert_eq!(counts.total, 1);
+        assert_eq!(counts.bad, 0);
+    }
+
+    #[test]
+    fn lapped_slot_is_reclaimed_on_write() {
+        let ring = IntervalRing::new(secs(1), 4);
+        ring.record(secs(1), true);
+        // Epoch 5 maps to the same slot as epoch 1 (5 % 4 == 1).
+        ring.record(secs(5), false);
+        let counts = ring.rollup(secs(5), secs(1));
+        assert_eq!(counts.total, 1);
+        assert_eq!(counts.bad, 0);
+    }
+
+    #[test]
+    fn bad_fraction_handles_empty_window() {
+        assert_eq!(WindowCounts::default().bad_fraction(), 0.0);
+        let counts = WindowCounts { total: 4, bad: 1 };
+        assert!((counts.bad_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_wider_than_ring_is_clamped() {
+        let ring = IntervalRing::new(secs(1), 5);
+        for t in 0..5 {
+            ring.record(secs(t), false);
+        }
+        let counts = ring.rollup(secs(4), secs(1000));
+        assert_eq!(counts.total, 5);
+        assert_eq!(ring.span(), secs(5));
+    }
+}

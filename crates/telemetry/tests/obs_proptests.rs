@@ -1,0 +1,205 @@
+//! Property tests for the observability plane: log-linear histogram
+//! percentiles against the exact nearest-rank oracle, snapshot merge
+//! laws, and flight-recorder retention invariants.
+
+use genedit_telemetry::hist::{MAX_RELATIVE_ERROR, MAX_TRACKED, MIN_TRACKED};
+use genedit_telemetry::metrics::nearest_rank;
+use genedit_telemetry::{
+    FlightRecorder, LogLinearHistogram, RecordedRequest, RecorderConfig, RequestVerdict, Trace,
+};
+use proptest::prelude::*;
+
+/// The bound the tentpole promises: a log-linear percentile is within
+/// `MAX_RELATIVE_ERROR` of the exact nearest-rank value (clamped to the
+/// observed min/max, so the bound holds at the extremes too).
+fn assert_percentile_close(samples: &[f64], p: f64) -> Result<(), TestCaseError> {
+    let hist = LogLinearHistogram::new();
+    for &s in samples {
+        hist.observe(s);
+    }
+    let snapshot = hist.snapshot();
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let exact = nearest_rank(&sorted, p);
+    let approx = snapshot.percentile(p);
+    let tolerance = MAX_RELATIVE_ERROR * exact.abs() + 1e-12;
+    prop_assert!(
+        (approx - exact).abs() <= tolerance,
+        "p{p}: approx {approx} vs exact {exact} over {} samples",
+        samples.len()
+    );
+    Ok(())
+}
+
+/// Strategy: sample values spanning the tracked range's useful middle
+/// (sub-millisecond to hours-in-ms), exercising many octaves.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0.001f64..1.0,     // sub-millisecond latencies
+            1.0f64..1_000.0,   // the common serving band
+            1_000.0f64..3.6e6, // tail: seconds to an hour, in ms
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every percentile the dashboards read stays within the promised
+    /// relative-error bound of exact nearest-rank.
+    #[test]
+    fn percentiles_match_nearest_rank(values in samples(), p in 0.0f64..=100.0) {
+        assert_percentile_close(&values, p)?;
+        for fixed in [50.0, 95.0, 99.0] {
+            assert_percentile_close(&values, fixed)?;
+        }
+    }
+
+    /// Heavily-skewed distributions (most mass at one point, a far
+    /// outlier tail) keep the bound too — the case plain linear buckets
+    /// get wrong.
+    #[test]
+    fn skewed_distributions_hold_the_bound(
+        base in 0.01f64..10.0,
+        tail in 10_000.0f64..1e6,
+        tail_count in 1usize..20,
+        base_count in 50usize..300,
+    ) {
+        let mut values = vec![base; base_count];
+        values.extend(std::iter::repeat_n(tail, tail_count));
+        for p in [50.0, 90.0, 95.0, 99.0, 99.9] {
+            assert_percentile_close(&values, p)?;
+        }
+    }
+
+    /// Count and sum are exact (not approximated), and the mean follows.
+    #[test]
+    fn count_and_sum_are_exact(values in samples()) {
+        let hist = LogLinearHistogram::new();
+        for &v in &values {
+            hist.observe(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let exact_sum: f64 = values.iter().sum();
+        prop_assert!((snap.sum - exact_sum).abs() <= 1e-9 * exact_sum.abs() + 1e-12);
+        prop_assert!((snap.mean() - exact_sum / values.len() as f64).abs() <= 1e-6);
+    }
+
+    /// Merging per-shard (here: per-partition) snapshots is lossless:
+    /// the merged histogram answers every percentile exactly as one
+    /// histogram fed the union would.
+    #[test]
+    fn merge_is_equivalent_to_union(values in samples(), split in 0usize..400) {
+        let split = split.min(values.len());
+        let (left, right) = values.split_at(split);
+        let observe_all = |vs: &[f64]| {
+            let h = LogLinearHistogram::new();
+            for &v in vs {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let mut merged = observe_all(left);
+        merged.merge(&observe_all(right));
+        let union = observe_all(&values);
+        prop_assert_eq!(&merged.counts, &union.counts);
+        prop_assert_eq!(merged.count, union.count);
+        prop_assert_eq!(merged.min, union.min);
+        prop_assert_eq!(merged.max, union.max);
+        for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), union.percentile(p));
+        }
+    }
+
+    /// Out-of-range values clamp into the underflow/overflow buckets
+    /// without panicking or corrupting the count.
+    #[test]
+    fn out_of_range_values_clamp(values in prop::collection::vec(
+        prop_oneof![
+            (MIN_TRACKED / 1e6)..MIN_TRACKED,
+            MAX_TRACKED..(MAX_TRACKED * 1e3),
+            0.001f64..1_000.0,
+        ],
+        1..100,
+    )) {
+        let hist = LogLinearHistogram::new();
+        for &v in &values {
+            hist.observe(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let p50 = snap.percentile(50.0);
+        prop_assert!(p50.is_finite());
+        prop_assert!(p50 >= snap.min && p50 <= snap.max);
+    }
+
+    /// A single repeated value reports *exact* percentiles (the clamp to
+    /// [min, max] guarantees it) — existing callers assert equality on
+    /// single-valued histograms.
+    #[test]
+    fn single_value_is_exact(v in 0.001f64..1e6, n in 1usize..50, p in 0.0f64..=100.0) {
+        let hist = LogLinearHistogram::new();
+        for _ in 0..n {
+            hist.observe(v);
+        }
+        prop_assert_eq!(hist.snapshot().percentile(p), v);
+    }
+
+    /// Flight-recorder retention law: whatever the interleaving of
+    /// verdicts, every interesting request within capacity is retained,
+    /// memory stays bounded, and the stats ledger balances.
+    #[test]
+    fn recorder_retains_interesting_within_capacity(
+        verdicts in prop::collection::vec(0u8..4, 0..300),
+        keep_one_in in 1u64..8,
+        seed in 0u64..1000,
+    ) {
+        let config = RecorderConfig {
+            interesting_capacity: 512,
+            normal_capacity: 16,
+            latency_threshold_ms: 1e9,
+            keep_normal_one_in: keep_one_in,
+            seed,
+        };
+        let recorder = FlightRecorder::new(config);
+        let mut interesting_ids = Vec::new();
+        for (i, v) in verdicts.iter().enumerate() {
+            let verdict = match v {
+                0 => RequestVerdict::Ok,
+                1 => RequestVerdict::Degraded,
+                2 => RequestVerdict::Error,
+                _ => RequestVerdict::Cancelled,
+            };
+            let id = format!("req-{i:08x}");
+            if verdict != RequestVerdict::Ok {
+                interesting_ids.push(id.clone());
+            }
+            recorder.record(RecordedRequest {
+                request_id: id.clone(),
+                verdict,
+                latency_ms: 1.0,
+                trace: Trace::empty(&id),
+            });
+        }
+        let stats = recorder.stats();
+        prop_assert_eq!(stats.evicted_interesting, 0);
+        prop_assert_eq!(stats.seen, verdicts.len() as u64);
+        prop_assert_eq!(stats.seen_interesting, interesting_ids.len() as u64);
+        prop_assert_eq!(
+            stats.seen,
+            stats.seen_interesting + stats.kept_normal + stats.sampled_out
+        );
+        let kept: std::collections::HashSet<String> = recorder
+            .contents()
+            .into_iter()
+            .map(|r| r.request_id)
+            .collect();
+        for id in &interesting_ids {
+            prop_assert!(kept.contains(id), "lost interesting request {id}");
+        }
+        prop_assert!(recorder.len() <= 512 + 16);
+    }
+}
