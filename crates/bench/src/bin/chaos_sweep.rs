@@ -7,18 +7,27 @@
 //! zero-overhead check: with no faults the resilient pipeline must match
 //! the plain pipeline's EX and model-call count exactly.
 //!
+//! `--spikes` switches to the **latency-spike-only** mode: the injector
+//! fires timing faults only (no error-side faults), real-clock, with
+//! the pipeline's model wrapped in hedged dispatch. Spikes change when
+//! answers arrive, never what they are — so EX must hold exactly at
+//! every spike rate while the hedge fired/won counters show the tail
+//! being cut. Both modes write the same `BENCH_chaos.json` artifact.
+//!
 //! Run: `cargo run --release -p genedit-bench --bin chaos_sweep`
-//! (`--smoke` = small workload for CI; `--json` prints the document;
-//! the JSON is always written to `BENCH_chaos.json`.)
+//! (`--smoke` = small workload for CI; `--spikes` = latency-spike mode;
+//! `--json` prints the document; the JSON is always written to
+//! `BENCH_chaos.json`.)
 
 use genedit_bird::Workload;
 use genedit_core::{Ablation, Harness};
 use genedit_llm::{
-    Clock, FaultConfig, FaultInjector, OracleModel, ResiliencePolicy, ResilienceState,
-    SimulatedClock,
+    Clock, FaultConfig, FaultInjector, HedgePolicy, HedgedModel, OracleModel, ResiliencePolicy,
+    ResilienceState, SimulatedClock, SystemClock,
 };
 use serde_json::Value;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Row {
     rate: f64,
@@ -77,6 +86,184 @@ fn run_rate(workload: &Workload, seed: u64, rate: f64) -> Row {
     }
 }
 
+/// Injected spike duration in the `--spikes` mode. Real-clock: hedging
+/// decides on wall time, so simulated sleeps would hide the very
+/// stragglers it exists to cut.
+const SPIKE: Duration = Duration::from_millis(25);
+/// Fixed hedge delay for the spike mode — well under a spike, well over
+/// the oracle's (near-zero) base latency.
+const SPIKE_HEDGE_DELAY: Duration = Duration::from_millis(5);
+
+struct SpikeRow {
+    rate: f64,
+    ex: f64,
+    tasks: usize,
+    spikes: u64,
+    hedge_fired: u64,
+    hedge_won: u64,
+    hedge_wasted: u64,
+    model_calls: usize,
+    wall_ms: f64,
+}
+
+/// One spike-mode point: latency spikes only (every call still answers
+/// correctly, some answer late), hedged dispatch over the injector.
+fn run_spike_rate(workload: &Workload, seed: u64, rate: f64) -> SpikeRow {
+    let injector = FaultInjector::new(
+        OracleModel::new(workload.registry()),
+        FaultConfig {
+            latency_spike: rate,
+            spike: SPIKE,
+            ..FaultConfig::default()
+        },
+        seed,
+    )
+    .with_clock(Arc::new(SystemClock::new()) as Arc<dyn Clock>);
+    let hedged = HedgedModel::new(
+        injector,
+        HedgePolicy {
+            min_delay: SPIKE_HEDGE_DELAY,
+            max_delay: SPIKE_HEDGE_DELAY,
+            min_observations: 10,
+            ..HedgePolicy::default()
+        },
+    );
+    let started = Instant::now();
+    let harness = Harness::with_model(workload, hedged);
+    let report = harness.run_genedit(Ablation::None);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = harness.model().stats();
+    SpikeRow {
+        rate,
+        ex: report.ex(None),
+        tasks: report.outcomes.len(),
+        spikes: harness.model().inner().log().latency_spikes,
+        hedge_fired: stats.fired,
+        hedge_won: stats.won,
+        hedge_wasted: stats.wasted,
+        model_calls: harness.model_usage().total_calls(),
+        wall_ms,
+    }
+}
+
+fn spike_row_json(row: &SpikeRow) -> Value {
+    Value::Object(vec![
+        ("rate".to_string(), Value::F64(row.rate)),
+        ("ex".to_string(), Value::F64(row.ex)),
+        ("tasks".to_string(), Value::U64(row.tasks as u64)),
+        ("latency_spikes".to_string(), Value::U64(row.spikes)),
+        ("hedge_fired".to_string(), Value::U64(row.hedge_fired)),
+        ("hedge_won".to_string(), Value::U64(row.hedge_won)),
+        ("hedge_wasted".to_string(), Value::U64(row.hedge_wasted)),
+        (
+            "model_calls".to_string(),
+            Value::U64(row.model_calls as u64),
+        ),
+        ("wall_ms".to_string(), Value::F64(row.wall_ms)),
+    ])
+}
+
+/// The `--spikes` entry point: sweep the spike rate, assert EX is
+/// untouched (spikes are timing-only), report hedge counters.
+fn spike_main(seed: u64, smoke: bool, json: bool) {
+    let workload = if smoke {
+        Workload::small(seed)
+    } else {
+        Workload::standard(seed)
+    };
+    let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let rows: Vec<SpikeRow> = rates
+        .iter()
+        .map(|&rate| run_spike_rate(&workload, seed, rate))
+        .collect();
+
+    // Spikes change timing, never answers: EX at every rate must equal
+    // the rate-0 EX exactly — and the hedge must actually engage once
+    // spikes appear.
+    let ex0 = rows[0].ex;
+    let ex_stable = rows.iter().all(|r| r.ex == ex0);
+    let hedged_when_spiked = rows.iter().all(|r| r.spikes == 0 || r.hedge_fired > 0);
+
+    let doc = Value::Object(vec![
+        (
+            "artifact".to_string(),
+            Value::Str("chaos_sweep".to_string()),
+        ),
+        ("seed".to_string(), Value::U64(seed)),
+        (
+            "mode".to_string(),
+            Value::Str(if smoke { "smoke" } else { "standard" }.to_string()),
+        ),
+        (
+            "tasks".to_string(),
+            Value::U64(workload.task_count() as u64),
+        ),
+        (
+            "fault_kind".to_string(),
+            Value::Str("latency_spike".to_string()),
+        ),
+        (
+            "spike_ms".to_string(),
+            Value::F64(SPIKE.as_secs_f64() * 1e3),
+        ),
+        (
+            "hedge_delay_ms".to_string(),
+            Value::F64(SPIKE_HEDGE_DELAY.as_secs_f64() * 1e3),
+        ),
+        ("ex_stable".to_string(), Value::Bool(ex_stable)),
+        (
+            "hedged_when_spiked".to_string(),
+            Value::Bool(hedged_when_spiked),
+        ),
+        (
+            "rows".to_string(),
+            Value::Array(rows.iter().map(spike_row_json).collect()),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&doc).expect("report serialization is infallible");
+    if let Err(err) = std::fs::write("BENCH_chaos.json", &rendered) {
+        eprintln!("warning: could not write BENCH_chaos.json: {err}");
+    }
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "Chaos sweep (latency spikes) — hedged GenEdit under {}ms spikes \
+             (seed {seed}, {} tasks{})",
+            SPIKE.as_millis(),
+            workload.task_count(),
+            if smoke { ", smoke" } else { "" }
+        );
+        println!(
+            "{:>6} {:>7} {:>8} {:>9} {:>7} {:>8} {:>12} {:>10}",
+            "rate", "EX%", "spikes", "fired", "won", "wasted", "model calls", "wall ms"
+        );
+        for row in &rows {
+            println!(
+                "{:>5.0}% {:>7.2} {:>8} {:>9} {:>7} {:>8} {:>12} {:>10.1}",
+                row.rate * 100.0,
+                row.ex,
+                row.spikes,
+                row.hedge_fired,
+                row.hedge_won,
+                row.hedge_wasted,
+                row.model_calls,
+                row.wall_ms
+            );
+        }
+        println!(
+            "\nEX stable across spike rates: {}; hedge engaged wherever spikes landed: {}",
+            if ex_stable { "PASS" } else { "FAIL" },
+            if hedged_when_spiked { "PASS" } else { "FAIL" }
+        );
+        println!("wrote BENCH_chaos.json");
+    }
+    if !ex_stable || !hedged_when_spiked {
+        std::process::exit(1);
+    }
+}
+
 fn row_json(row: &Row) -> Value {
     Value::Object(vec![
         ("rate".to_string(), Value::F64(row.rate)),
@@ -99,6 +286,10 @@ fn main() {
     let args = genedit_bench::BinArgs::parse();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let seed = args.seed;
+    if std::env::args().any(|a| a == "--spikes") {
+        spike_main(seed, smoke, args.json);
+        return;
+    }
     let workload = if smoke {
         Workload::small(seed)
     } else {

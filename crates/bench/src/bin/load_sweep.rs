@@ -1,0 +1,715 @@
+//! **Load sweep**: tail-latency robustness of the serving runtime under
+//! a seeded latency-spike schedule — hedged dispatch versus unhedged.
+//!
+//! Four parts:
+//!
+//! 1. *Hedged vs unhedged tail* — the same open-loop request stream
+//!    (paced at a sustained RPS) pushed through the serving runtime
+//!    twice over a spike-injecting model ([`FaultInjector`], spikes
+//!    only, seeded): once with [`HedgePolicy::disabled`] and once with
+//!    hedging on. **Violation if the hedged run's p99 does not beat the
+//!    unhedged p99**, and **violation if hedging costs more than 15%
+//!    extra model round trips**.
+//! 2. *Byte identity* — every request's semantic fingerprint from the
+//!    hedged run must match the unhedged run exactly. **Any divergence
+//!    exits nonzero**: a hedge that changes answers is a correctness
+//!    bug, not a latency feature.
+//! 3. *Self-correcting vote* — the ensemble fan-out run over a model
+//!    that sabotages one candidate seed per fan-out (invalid SQL until
+//!    correction evidence arrives): **violation if any question returns
+//!    something other than the majority candidate's answer**.
+//! 4. *Adaptive batching window* — a burst must widen the collection
+//!    window above the idle floor; sparse traffic must keep it at the
+//!    floor (measured off the `batch.window.ms` histogram).
+//!
+//! Run: `cargo run --release -p genedit-bench --bin load_sweep`
+//! (`--smoke` shrinks the workload for CI, `--json` prints the
+//! document; the JSON is always written to `BENCH_load.json`.)
+
+use genedit_bird::{DomainBundle, SPORTS};
+use genedit_core::{
+    CandidateSelection, GenEditPipeline, GenerateOptions, KnowledgeIndex, PipelineConfig,
+};
+use genedit_llm::{
+    AdaptiveWindow, BatchConfig, BatchScheduler, CompletionRequest, CompletionResponse,
+    FaultConfig, FaultInjector, HedgePolicy, LanguageModel, ModelError, OracleConfig, OracleModel,
+    SystemClock, TaskRegistry,
+};
+use genedit_llm::{Clock, TaskKind};
+use genedit_serve::{ObsConfig, QueryOutcome, QueryRequest, ServeConfig, ServeRuntime};
+use genedit_telemetry::{HistogramSummary, MetricsRegistry, SloConfig};
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The oracle behind a fixed simulated network round trip — the
+/// production profile hedging targets: wall time is model waits, and a
+/// duplicate dispatch runs concurrently instead of queueing.
+struct RemoteLatencyModel {
+    inner: Arc<OracleModel>,
+    latency: Duration,
+}
+
+impl LanguageModel for RemoteLatencyModel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        std::thread::sleep(self.latency);
+        self.inner.complete(request)
+    }
+}
+
+/// Sabotages one candidate seed per ensemble fan-out: SQL-generation
+/// calls for seed 2 return unparseable text until the prompt carries
+/// correction evidence (a non-empty error section). The majority stays
+/// clean, so the self-correction round must recover the dissenter and
+/// the vote must return the majority answer.
+struct DissentModel {
+    inner: Arc<OracleModel>,
+}
+
+impl LanguageModel for DissentModel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        let response = self.inner.complete(request)?;
+        if request.prompt.task == TaskKind::SqlGeneration
+            && request.seed == 2
+            && request.prompt.errors.is_empty()
+        {
+            if let CompletionResponse::Sql(sql) = &response {
+                return Ok(CompletionResponse::Sql(format!("GARBLED<{sql}")));
+            }
+        }
+        Ok(response)
+    }
+}
+
+struct SweepArgs {
+    seed: u64,
+    smoke: bool,
+    json: bool,
+    /// Open-loop arrival rate, requests per second.
+    rps: f64,
+    /// Requests per load run.
+    requests: usize,
+}
+
+fn parse_args() -> SweepArgs {
+    let mut parsed = SweepArgs {
+        seed: 42,
+        smoke: false,
+        json: false,
+        rps: 60.0,
+        requests: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => parsed.json = true,
+            "--smoke" | "--quick" => parsed.smoke = true,
+            "--rps" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    parsed.rps = v;
+                }
+            }
+            "--requests" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    parsed.requests = v;
+                }
+            }
+            other => {
+                if let Ok(s) = other.parse() {
+                    parsed.seed = s;
+                }
+            }
+        }
+    }
+    if parsed.requests == 0 {
+        parsed.requests = if parsed.smoke { 60 } else { 240 };
+    }
+    parsed
+}
+
+const BASE_LATENCY: Duration = Duration::from_millis(2);
+const SPIKE: Duration = Duration::from_millis(40);
+const SPIKE_RATE: f64 = 0.05;
+/// Fixed hedge delay: above any batching straggle (window + base
+/// latency), far below a spike — only genuinely spiked calls hedge.
+const HEDGE_DELAY: Duration = Duration::from_millis(10);
+/// SLO latency threshold for the report-only burn-rate tracker: a
+/// spiked unhedged request blows it, a hedged one does not.
+const SLO_THRESHOLD_MS: f64 = 35.0;
+
+struct Harness {
+    bundle: DomainBundle,
+    index: Arc<KnowledgeIndex>,
+    oracle: Arc<OracleModel>,
+}
+
+impl Harness {
+    fn build(seed: u64) -> Harness {
+        let bundle = DomainBundle::build(&SPORTS, (8, 7, 3), seed);
+        let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+        let mut reg = TaskRegistry::new();
+        for t in &bundle.tasks {
+            reg.register(t.clone());
+        }
+        let oracle = OracleModel::with_config(
+            reg,
+            OracleConfig {
+                noise_rate: 0.0,
+                pseudo_drift_probability: 0.0,
+                drift_probability: 0.0,
+                canonical_form_penalty: 0.0,
+                ..Default::default()
+            },
+        );
+        Harness {
+            bundle,
+            index,
+            oracle: Arc::new(oracle),
+        }
+    }
+
+    /// The seeded multi-tenant request stream: tenants round-robin over
+    /// the domain's questions, deterministically.
+    fn request(&self, i: usize) -> QueryRequest {
+        let tasks = &self.bundle.tasks;
+        let tenant = format!("tenant-{}", i % 3);
+        QueryRequest::new(tenant, &tasks[i % tasks.len()].question)
+    }
+}
+
+/// Semantic fingerprint of a generation, excluding the trace (span
+/// timings legitimately differ). Byte-for-byte comparable.
+fn fingerprint(r: &genedit_core::GenerationResult) -> String {
+    format!(
+        "sql={:?}|reform={:?}|intents={:?}|ex={:?}|ins={:?}|schema={:?}|errors={:?}|validated={}",
+        r.sql,
+        r.reformulated,
+        r.intents,
+        r.used_examples,
+        r.used_instructions,
+        r.used_schema,
+        r.errors,
+        r.validated
+    )
+}
+
+struct LoadRow {
+    hedged: bool,
+    requests: usize,
+    wall_ms: f64,
+    throughput_rps: f64,
+    latency_ms: HistogramSummary,
+    model_calls: u64,
+    spikes: u64,
+    hedge_fired: u64,
+    hedge_won: u64,
+    hedge_wasted: u64,
+    slo_fired: u64,
+    fingerprints: Vec<String>,
+}
+
+/// One open-loop run: `requests` arrivals paced at `rps` into the
+/// serving runtime over a spike-injecting model, hedged or not. Latency
+/// is each request's queue wait + service time as the runtime measured
+/// it.
+fn run_load(
+    harness: &Harness,
+    args: &SweepArgs,
+    hedged: bool,
+    violations: &mut Vec<String>,
+) -> LoadRow {
+    let injector = Arc::new(
+        FaultInjector::new(
+            RemoteLatencyModel {
+                inner: Arc::clone(&harness.oracle),
+                latency: BASE_LATENCY,
+            },
+            FaultConfig {
+                latency_spike: SPIKE_RATE,
+                spike: SPIKE,
+                ..FaultConfig::default()
+            },
+            args.seed,
+        )
+        .with_clock(Arc::new(SystemClock::new()) as Arc<dyn Clock>),
+    );
+    let hedge = if hedged {
+        HedgePolicy {
+            min_delay: HEDGE_DELAY,
+            max_delay: HEDGE_DELAY,
+            min_observations: 10,
+            ..HedgePolicy::default()
+        }
+    } else {
+        HedgePolicy::disabled()
+    };
+    let runtime = ServeRuntime::start(
+        Arc::clone(&injector),
+        Arc::clone(&harness.index),
+        0,
+        Arc::new(harness.bundle.db.clone()),
+        ServeConfig {
+            workers: 4,
+            queue_capacity: args.requests + 8,
+            // Caches off so every request exercises the model stack.
+            result_cache_capacity: 0,
+            reform_cache_capacity: 0,
+            // Batching passthrough: the simulated backend handles batch
+            // items serially, so a collection window here would only
+            // blur the spike/hedge separation this part measures. The
+            // adaptive window gets its own measurement in part 4.
+            batch: BatchConfig::disabled(),
+            hedge,
+            observability: ObsConfig {
+                metrics: true,
+                slo: Some(SloConfig::default_rules(
+                    "serve.request",
+                    0.95,
+                    SLO_THRESHOLD_MS,
+                )),
+                recorder: None,
+                dump_path: None,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let interarrival = Duration::from_secs_f64(1.0 / args.rps.max(1.0));
+    let started = Instant::now();
+    let tickets: Vec<_> = (0..args.requests)
+        .map(|i| {
+            // Open-loop pacing: arrival i is due at started + i/rps,
+            // regardless of how the runtime is keeping up.
+            let due = started + interarrival * (i as u32);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            runtime
+                .submit(harness.request(i))
+                .expect("load queue sized to fit the whole request set")
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(args.requests);
+    let mut fingerprints = Vec::with_capacity(args.requests);
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            QueryOutcome::Completed {
+                result,
+                queue_wait,
+                service,
+                ..
+            } => {
+                latencies.push((queue_wait + service).as_secs_f64() * 1e3);
+                fingerprints.push(fingerprint(&result));
+            }
+            other => {
+                violations.push(format!(
+                    "{} load run lost request {i}: {other:?}",
+                    label(hedged)
+                ));
+                fingerprints.push(format!("lost:{other:?}"));
+            }
+        }
+    }
+    let wall = started.elapsed();
+    let stats = runtime.hedge_stats();
+    let slo_fired = runtime.metrics().counter("serve.slo.fired");
+    runtime.shutdown();
+    LoadRow {
+        hedged,
+        requests: args.requests,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_rps: args.requests as f64 / wall.as_secs_f64(),
+        latency_ms: HistogramSummary::from_samples(&latencies),
+        model_calls: injector.log().calls,
+        spikes: injector.log().latency_spikes,
+        hedge_fired: stats.fired,
+        hedge_won: stats.won,
+        hedge_wasted: stats.wasted,
+        slo_fired,
+        fingerprints,
+    }
+}
+
+fn label(hedged: bool) -> &'static str {
+    if hedged {
+        "hedged"
+    } else {
+        "unhedged"
+    }
+}
+
+struct VoteRow {
+    questions: usize,
+    corrected_questions: usize,
+    minority_returned: usize,
+}
+
+/// Part 3: every fan-out carries one sabotaged candidate; the final
+/// answer must always be the (clean) majority's, byte for byte.
+fn run_vote(harness: &Harness, violations: &mut Vec<String>) -> VoteRow {
+    let cfg = PipelineConfig {
+        candidates: 3,
+        candidate_selection: CandidateSelection::MajorityResult,
+        use_plan: false,
+        max_retries: 0,
+        ..Default::default()
+    };
+    let opts = GenerateOptions {
+        ensemble_width: Some(3),
+        ..Default::default()
+    };
+    let clean = GenEditPipeline::with_config(Arc::clone(&harness.oracle), cfg.clone());
+    let dissent = GenEditPipeline::with_config(
+        DissentModel {
+            inner: Arc::clone(&harness.oracle),
+        },
+        cfg,
+    );
+    let questions = harness.bundle.tasks.len().min(8);
+    let mut corrected = 0usize;
+    let mut minority = 0usize;
+    for (i, task) in harness.bundle.tasks.iter().take(questions).enumerate() {
+        let majority = clean.generate_with(
+            &task.question,
+            &harness.index,
+            &harness.bundle.db,
+            &[],
+            &opts,
+        );
+        let voted = dissent.generate_with(
+            &task.question,
+            &harness.index,
+            &harness.bundle.db,
+            &[],
+            &opts,
+        );
+        corrected += 1; // every fan-out had its seed-2 candidate sabotaged
+        if voted.sql != majority.sql || voted.validated != majority.validated {
+            minority += 1;
+            violations.push(format!(
+                "vote question {i} returned a non-majority answer: {:?} (majority {:?})",
+                voted.sql, majority.sql
+            ));
+        }
+    }
+    VoteRow {
+        questions,
+        corrected_questions: corrected,
+        minority_returned: minority,
+    }
+}
+
+/// A trivial model for the window micro-measurement: the window metric
+/// is a property of the scheduler, not the answers.
+struct EchoModel;
+
+impl LanguageModel for EchoModel {
+    fn name(&self) -> &str {
+        "echo"
+    }
+
+    fn complete(&self, _request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        std::thread::sleep(Duration::from_micros(200));
+        Ok(CompletionResponse::Sql("SELECT 1".into()))
+    }
+}
+
+struct WindowRow {
+    idle_floor_ms: f64,
+    burst_window_max_ms: f64,
+    idle_window_max_ms: f64,
+    burst_largest_batch: u64,
+}
+
+/// Part 4: the depth-adaptive collection window must widen above the
+/// idle floor under a synchronized burst and stay at the floor for
+/// strictly sequential traffic.
+fn run_window(violations: &mut Vec<String>) -> WindowRow {
+    let adaptive = AdaptiveWindow {
+        idle_wait: Duration::from_millis(1),
+        loaded_wait: Duration::from_millis(20),
+        full_depth: 8,
+    };
+    let config = BatchConfig {
+        max_batch_size: 8,
+        max_wait: Duration::from_millis(20),
+        adaptive: Some(adaptive.clone()),
+        ..BatchConfig::default()
+    };
+    let idle_floor_ms = adaptive.idle_wait.as_secs_f64() * 1e3;
+    let request = CompletionRequest::new(genedit_llm::Prompt::new(
+        TaskKind::SqlGeneration,
+        "window probe",
+    ));
+
+    // Burst: 8 threads hit the scheduler at once, repeatedly.
+    let burst_metrics = Arc::new(MetricsRegistry::new());
+    let scheduler = Arc::new(
+        BatchScheduler::new(EchoModel, config.clone()).with_metrics(Arc::clone(&burst_metrics)),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let scheduler = Arc::clone(&scheduler);
+            let request = request.clone();
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    scheduler.complete(&request).ok();
+                }
+            });
+        }
+    });
+    let burst_snapshot = burst_metrics.snapshot();
+    let burst_window = burst_snapshot.histograms.get("batch.window.ms");
+    let burst_window_max_ms = burst_window.map_or(0.0, |h| h.max);
+    let burst_largest_batch = burst_snapshot
+        .histograms
+        .get("batch.size")
+        .map_or(0.0, |h| h.max) as u64;
+
+    // Idle: one caller, strictly sequential — depth never exceeds 1.
+    let idle_metrics = Arc::new(MetricsRegistry::new());
+    let scheduler = BatchScheduler::new(EchoModel, config).with_metrics(Arc::clone(&idle_metrics));
+    for _ in 0..8 {
+        scheduler.complete(&request).ok();
+    }
+    let idle_snapshot = idle_metrics.snapshot();
+    let idle_window_max_ms = idle_snapshot
+        .histograms
+        .get("batch.window.ms")
+        .map_or(0.0, |h| h.max);
+
+    if burst_window_max_ms <= idle_floor_ms {
+        violations.push(format!(
+            "adaptive window never widened under a burst: max {burst_window_max_ms:.2}ms \
+             vs idle floor {idle_floor_ms:.2}ms"
+        ));
+    }
+    // Log-linear buckets round the floor up slightly; allow 25% slack.
+    if idle_window_max_ms > idle_floor_ms * 1.25 {
+        violations.push(format!(
+            "adaptive window did not shrink back for sparse traffic: max \
+             {idle_window_max_ms:.2}ms vs idle floor {idle_floor_ms:.2}ms"
+        ));
+    }
+    WindowRow {
+        idle_floor_ms,
+        burst_window_max_ms,
+        idle_window_max_ms,
+        burst_largest_batch,
+    }
+}
+
+fn histogram_json(h: &HistogramSummary) -> Value {
+    Value::Object(vec![
+        ("count".to_string(), Value::U64(h.count as u64)),
+        ("mean".to_string(), Value::F64(h.mean)),
+        ("min".to_string(), Value::F64(h.min)),
+        ("max".to_string(), Value::F64(h.max)),
+        ("p50".to_string(), Value::F64(h.p50)),
+        ("p95".to_string(), Value::F64(h.p95)),
+        ("p99".to_string(), Value::F64(h.p99)),
+    ])
+}
+
+fn load_row_json(row: &LoadRow) -> Value {
+    Value::Object(vec![
+        ("hedged".to_string(), Value::Bool(row.hedged)),
+        ("requests".to_string(), Value::U64(row.requests as u64)),
+        ("wall_ms".to_string(), Value::F64(row.wall_ms)),
+        ("throughput_rps".to_string(), Value::F64(row.throughput_rps)),
+        ("latency_ms".to_string(), histogram_json(&row.latency_ms)),
+        ("model_calls".to_string(), Value::U64(row.model_calls)),
+        ("latency_spikes".to_string(), Value::U64(row.spikes)),
+        ("hedge_fired".to_string(), Value::U64(row.hedge_fired)),
+        ("hedge_won".to_string(), Value::U64(row.hedge_won)),
+        ("hedge_wasted".to_string(), Value::U64(row.hedge_wasted)),
+        ("slo_fired".to_string(), Value::U64(row.slo_fired)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let mut violations: Vec<String> = Vec::new();
+    let harness = Harness::build(args.seed);
+
+    // Parts 1 + 2: the same paced stream, unhedged then hedged.
+    let unhedged = run_load(&harness, &args, false, &mut violations);
+    let hedged = run_load(&harness, &args, true, &mut violations);
+
+    if hedged.hedge_fired == 0 {
+        violations.push("hedged run never fired a hedge over a 5% spike schedule".to_string());
+    }
+    if hedged.latency_ms.p99 >= unhedged.latency_ms.p99 {
+        violations.push(format!(
+            "hedged p99 {:.1}ms did not beat unhedged p99 {:.1}ms",
+            hedged.latency_ms.p99, unhedged.latency_ms.p99
+        ));
+    }
+    let call_budget = (unhedged.model_calls as f64 * 1.15).ceil() as u64;
+    if hedged.model_calls > call_budget {
+        violations.push(format!(
+            "hedging cost {} model calls, over the 15% budget ({} unhedged, cap {})",
+            hedged.model_calls, unhedged.model_calls, call_budget
+        ));
+    }
+    let divergent = unhedged
+        .fingerprints
+        .iter()
+        .zip(&hedged.fingerprints)
+        .filter(|(a, b)| a != b)
+        .count();
+    if divergent > 0 {
+        violations.push(format!(
+            "{divergent}/{} requests diverged between hedged and unhedged runs",
+            args.requests
+        ));
+    }
+
+    // Part 3: the self-correcting vote never returns a minority answer.
+    let vote = run_vote(&harness, &mut violations);
+
+    // Part 4: adaptive batching window.
+    let window = run_window(&mut violations);
+
+    let doc = Value::Object(vec![
+        ("artifact".to_string(), Value::Str("load_sweep".to_string())),
+        ("seed".to_string(), Value::U64(args.seed)),
+        (
+            "mode".to_string(),
+            Value::Str(if args.smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("rps".to_string(), Value::F64(args.rps)),
+        ("requests".to_string(), Value::U64(args.requests as u64)),
+        (
+            "spike_ms".to_string(),
+            Value::F64(SPIKE.as_secs_f64() * 1e3),
+        ),
+        ("spike_rate".to_string(), Value::F64(SPIKE_RATE)),
+        (
+            "hedge_delay_ms".to_string(),
+            Value::F64(HEDGE_DELAY.as_secs_f64() * 1e3),
+        ),
+        ("slo_threshold_ms".to_string(), Value::F64(SLO_THRESHOLD_MS)),
+        ("unhedged".to_string(), load_row_json(&unhedged)),
+        ("hedged".to_string(), load_row_json(&hedged)),
+        (
+            "p99_improvement_ms".to_string(),
+            Value::F64(unhedged.latency_ms.p99 - hedged.latency_ms.p99),
+        ),
+        (
+            "extra_round_trip_fraction".to_string(),
+            Value::F64(hedged.model_calls as f64 / unhedged.model_calls.max(1) as f64 - 1.0),
+        ),
+        ("byte_identical".to_string(), Value::Bool(divergent == 0)),
+        (
+            "vote".to_string(),
+            Value::Object(vec![
+                ("questions".to_string(), Value::U64(vote.questions as u64)),
+                (
+                    "corrected_questions".to_string(),
+                    Value::U64(vote.corrected_questions as u64),
+                ),
+                (
+                    "minority_returned".to_string(),
+                    Value::U64(vote.minority_returned as u64),
+                ),
+            ]),
+        ),
+        (
+            "adaptive_window".to_string(),
+            Value::Object(vec![
+                (
+                    "idle_floor_ms".to_string(),
+                    Value::F64(window.idle_floor_ms),
+                ),
+                (
+                    "burst_window_max_ms".to_string(),
+                    Value::F64(window.burst_window_max_ms),
+                ),
+                (
+                    "idle_window_max_ms".to_string(),
+                    Value::F64(window.idle_window_max_ms),
+                ),
+                (
+                    "burst_largest_batch".to_string(),
+                    Value::U64(window.burst_largest_batch),
+                ),
+            ]),
+        ),
+        (
+            "violations".to_string(),
+            Value::Array(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("report serialization is infallible");
+    if let Err(err) = std::fs::write("BENCH_load.json", &json) {
+        eprintln!("warning: could not write BENCH_load.json: {err}");
+    }
+
+    if args.json {
+        println!("{json}");
+    } else {
+        println!(
+            "Load sweep — {} requests at {:.0} rps, {:.0}ms spikes at {:.0}% (seed {})",
+            args.requests,
+            args.rps,
+            SPIKE.as_secs_f64() * 1e3,
+            SPIKE_RATE * 100.0,
+            args.seed
+        );
+        for row in [&unhedged, &hedged] {
+            println!(
+                "  {:>8}: p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms  {} calls  \
+                 {} spikes  hedge {}/{} won/fired  slo fired {}",
+                label(row.hedged),
+                row.latency_ms.p50,
+                row.latency_ms.p95,
+                row.latency_ms.p99,
+                row.model_calls,
+                row.spikes,
+                row.hedge_won,
+                row.hedge_fired,
+                row.slo_fired,
+            );
+        }
+        println!(
+            "  p99 improvement: {:.1}ms; extra round trips: {:.1}% (budget 15%); \
+             byte-identical: {}",
+            unhedged.latency_ms.p99 - hedged.latency_ms.p99,
+            (hedged.model_calls as f64 / unhedged.model_calls.max(1) as f64 - 1.0) * 100.0,
+            divergent == 0
+        );
+        println!(
+            "  vote: {}/{} questions returned the majority answer despite a sabotaged candidate",
+            vote.questions - vote.minority_returned,
+            vote.questions
+        );
+        println!(
+            "  adaptive window: burst max {:.2}ms vs idle floor {:.2}ms (idle max {:.2}ms, \
+             largest burst batch {})",
+            window.burst_window_max_ms,
+            window.idle_floor_ms,
+            window.idle_window_max_ms,
+            window.burst_largest_batch
+        );
+        if violations.is_empty() {
+            println!("\nall load invariants held");
+        } else {
+            println!("\nVIOLATIONS:");
+            for v in &violations {
+                println!("  - {v}");
+            }
+        }
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

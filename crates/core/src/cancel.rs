@@ -1,81 +1,10 @@
 //! Cooperative cancellation for in-flight generations.
 //!
-//! The serving runtime hands each worker a [`CancelToken`] carrying the
-//! request's deadline and a caller-cancellable flag. The pipeline checks
-//! it **between operators** (never mid-operator — operators are the unit
-//! of useful work) and returns a partial, clearly-marked result instead
-//! of burning model calls on an answer nobody is waiting for.
+//! The token itself now lives in [`genedit_llm::cancel`]: the hedged
+//! dispatch layer ([`genedit_llm::hedge`]) sits below this crate in the
+//! dependency graph and needs to cancel the losing copy of a hedged
+//! pair, and the retry layer slices its backoff sleeps against the same
+//! token. This module re-exports it so `genedit_core::CancelToken` (and
+//! every existing call-site) keeps working unchanged.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
-
-/// A shareable cancellation signal: an explicit flag plus an optional
-/// deadline. Cloning shares the flag — cancelling any clone cancels all.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
-    deadline: Option<Instant>,
-}
-
-impl CancelToken {
-    /// A token that never fires unless [`CancelToken::cancel`] is called.
-    pub fn new() -> CancelToken {
-        CancelToken::default()
-    }
-
-    /// A token that additionally fires once `deadline` passes.
-    pub fn with_deadline(deadline: Instant) -> CancelToken {
-        CancelToken {
-            flag: Arc::new(AtomicBool::new(false)),
-            deadline: Some(deadline),
-        }
-    }
-
-    /// Request cancellation. Idempotent; visible to every clone.
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::SeqCst);
-    }
-
-    /// Whether the token has fired — explicitly cancelled, or past its
-    /// deadline.
-    pub fn is_cancelled(&self) -> bool {
-        if self.flag.load(Ordering::SeqCst) {
-            return true;
-        }
-        match self.deadline {
-            Some(d) => Instant::now() >= d,
-            None => false,
-        }
-    }
-
-    /// The deadline, when one was attached.
-    pub fn deadline(&self) -> Option<Instant> {
-        self.deadline
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::time::Duration;
-
-    #[test]
-    fn cancel_is_shared_across_clones() {
-        let a = CancelToken::new();
-        let b = a.clone();
-        assert!(!a.is_cancelled() && !b.is_cancelled());
-        b.cancel();
-        assert!(a.is_cancelled() && b.is_cancelled());
-    }
-
-    #[test]
-    fn deadline_fires_without_explicit_cancel() {
-        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
-        assert!(t.is_cancelled());
-        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
-        assert!(!far.is_cancelled());
-        far.cancel();
-        assert!(far.is_cancelled());
-    }
-}
+pub use genedit_llm::cancel::CancelToken;

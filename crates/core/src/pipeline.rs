@@ -683,6 +683,10 @@ impl<M: LanguageModel> GenEditPipeline<M> {
             // Valid candidates this round, with their result fingerprints
             // (used by self-consistency voting).
             let mut valid: Vec<(String, Vec<String>)> = Vec::new();
+            // Every candidate that produced SQL, in seed order, with its
+            // execution outcome — the raw material for the minority
+            // self-correction round under `MajorityResult` selection.
+            let mut records: Vec<(u64, String, Result<Vec<String>, String>)> = Vec::new();
             // Ensemble mode fans all candidate completions out in
             // parallel up front; candidates are then processed in seed
             // order, so the outcome is byte-identical to the serial
@@ -734,18 +738,105 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                                 trace: Trace::empty(names::GENERATE),
                             };
                         }
+                        records.push((seed, sql.clone(), Ok(fingerprint.clone())));
                         valid.push((sql, fingerprint));
                     }
                     Err(e) => {
+                        records.push((seed, sql.clone(), Err(e.clone())));
                         round_errors.push(e);
                         last_sql = Some(sql);
                     }
                 }
             }
+            // Minority self-correction (SelECT-SQL-style): once a
+            // majority execution signature exists, every candidate that
+            // landed outside it — invalid SQL, or valid SQL whose result
+            // disagrees — gets ONE corrective completion carrying its
+            // evidence (the execution error, or the disagreement), and
+            // the vote is re-taken over the repaired field. Candidates
+            // whose correction does not validate keep their original
+            // outcome, so the round can only grow the valid set. One
+            // round, bounded: at most one extra model call per minority
+            // candidate per attempt.
+            let has_invalid = records.iter().any(|(_, _, o)| o.is_err());
+            let has_dissent = {
+                let first = valid.first().map(|(_, fp)| fp);
+                valid.iter().any(|(_, fp)| Some(fp) != first)
+            };
+            if !valid.is_empty() && (has_invalid || has_dissent) {
+                let total = records.len();
+                let majority_fp = valid
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, (_, fp))| {
+                        let votes = valid.iter().filter(|(_, other)| other == fp).count();
+                        (votes, std::cmp::Reverse(*i))
+                    })
+                    .map(|(_, (_, fp))| fp.clone());
+                if let Some(majority_fp) = majority_fp {
+                    let majority_votes = valid.iter().filter(|(_, fp)| *fp == majority_fp).count();
+                    let fixes: Vec<(usize, CompletionRequest)> = records
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(ri, (seed, _, outcome))| {
+                            let evidence = match outcome {
+                                Ok(fp) if *fp != majority_fp => format!(
+                                    "execution result disagreed with {majority_votes} of \
+                                     {total} candidates"
+                                ),
+                                Ok(_) => return None,
+                                Err(e) => e.clone(),
+                            };
+                            let mut p = prompt.clone();
+                            p.errors.push(evidence);
+                            Some((ri, CompletionRequest::with_seed(p, *seed)))
+                        })
+                        .collect();
+                    if !fixes.is_empty() {
+                        attempt_span.attr("corrected", fixes.len());
+                        let requests: Vec<CompletionRequest> =
+                            fixes.iter().map(|(_, r)| r.clone()).collect();
+                        // Ensemble mode corrects in parallel (the calls
+                        // coalesce over a batching scheduler exactly like
+                        // the original fan-out); results are processed in
+                        // seed order either way, so serial and fanned
+                        // corrections are byte-identical.
+                        let responses = if fanned.is_some() {
+                            complete_requests_parallel(model, &requests)
+                        } else {
+                            requests.iter().map(|r| model.complete(r)).collect()
+                        };
+                        let mut recovered = 0usize;
+                        for ((ri, _), response) in fixes.iter().zip(responses) {
+                            let Ok(response) = response else { continue };
+                            let Some(sql) = response.as_sql() else {
+                                continue;
+                            };
+                            let seed = records[*ri].0;
+                            if let Ok(fp) = self.validate_traced(tracer, db, sql, seed) {
+                                if records[*ri].2.is_err() || fp == majority_fp {
+                                    records[*ri] = (seed, sql.to_string(), Ok(fp));
+                                    recovered += 1;
+                                }
+                            }
+                        }
+                        attempt_span.attr("corrected_recovered", recovered);
+                        // Re-vote over the repaired field, still in seed
+                        // order so the tie-break stays deterministic.
+                        valid = records
+                            .iter()
+                            .filter_map(|(_, sql, outcome)| {
+                                outcome.as_ref().ok().map(|fp| (sql.clone(), fp.clone()))
+                            })
+                            .collect();
+                    }
+                }
+            }
             // Self-consistency: the result the most candidates agree on
-            // wins; ties break toward the earliest candidate. Falls back
-            // to the first valid candidate rather than panicking on an
-            // (impossible) empty vote.
+            // wins (grouped by execution signature — the sorted result
+            // fingerprint); ties break toward the earliest candidate.
+            // Falls back to the first valid candidate rather than
+            // panicking on an (impossible) empty vote.
             let winner = valid
                 .iter()
                 .enumerate()
@@ -757,6 +848,22 @@ impl<M: LanguageModel> GenEditPipeline<M> {
                 .or_else(|| valid.first().map(|(sql, _)| sql.clone()));
             if let Some(winner) = winner {
                 attempt_span.attr("valid", valid.len());
+                let winner_fp = valid
+                    .iter()
+                    .find(|(sql, _)| *sql == winner)
+                    .map(|(_, fp)| fp.clone())
+                    .unwrap_or_default();
+                let winner_votes = valid.iter().filter(|(_, fp)| *fp == winner_fp).count();
+                let groups = {
+                    let mut fps: Vec<&Vec<String>> = valid.iter().map(|(_, fp)| fp).collect();
+                    fps.sort();
+                    fps.dedup();
+                    fps.len()
+                };
+                attempt_span
+                    .attr("vote_total", valid.len())
+                    .attr("vote_groups", groups)
+                    .attr("vote_votes", winner_votes);
                 return GenerationResult {
                     sql: Some(winner),
                     attempts: attempt + 1,
@@ -859,6 +966,34 @@ fn complete_parallel<L: LanguageModel>(
                 h.join().unwrap_or_else(|_| {
                     Err(ModelError::Transient(
                         "ensemble candidate thread panicked".to_string(),
+                    ))
+                })
+            })
+            .collect()
+    })
+}
+
+/// Issue an arbitrary set of completion requests in parallel, one scoped
+/// thread per request, returning results **in input order** (the caller
+/// passes minority-correction requests in seed order, so downstream
+/// re-voting stays deterministic). Like [`complete_parallel`], concurrent
+/// calls over a [`BatchScheduler`](genedit_llm::BatchScheduler) coalesce
+/// into one backend round trip.
+fn complete_requests_parallel<L: LanguageModel>(
+    model: &L,
+    requests: &[CompletionRequest],
+) -> Vec<Result<CompletionResponse, ModelError>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| scope.spawn(move || model.complete(request)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(ModelError::Transient(
+                        "correction candidate thread panicked".to_string(),
                     ))
                 })
             })
@@ -1156,6 +1291,130 @@ mod tests {
         // Seeds 0..4 plan [X, Y, Y, X]: a 2-2 tie breaks toward the
         // earliest seed's plan, X.
         assert_eq!(plan_label(4), "X");
+    }
+
+    /// Seed-keyed SQL stub for pinning the execution-signature vote:
+    /// every seed except 2 returns the majority full-table scan; seed 2
+    /// returns `minority_sql` until the prompt carries correction
+    /// evidence (a non-empty error section), at which point it falls in
+    /// line. Counts SQL-generation calls so tests can assert the
+    /// correction round is exactly one extra call.
+    struct MinorityBySeed {
+        minority_sql: &'static str,
+        sql_calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl MinorityBySeed {
+        fn new(minority_sql: &'static str) -> MinorityBySeed {
+            MinorityBySeed {
+                minority_sql,
+                sql_calls: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for MinorityBySeed {
+        fn name(&self) -> &str {
+            "minority-by-seed"
+        }
+
+        fn complete(
+            &self,
+            request: &CompletionRequest,
+        ) -> Result<CompletionResponse, genedit_llm::ModelError> {
+            Ok(match request.prompt.task {
+                TaskKind::SqlGeneration => {
+                    self.sql_calls
+                        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    let sql = if request.seed == 2 && request.prompt.errors.is_empty() {
+                        self.minority_sql
+                    } else {
+                        "SELECT * FROM SPORTS_ORGS"
+                    };
+                    CompletionResponse::Sql(sql.to_string())
+                }
+                TaskKind::Reformulate => CompletionResponse::Text(request.prompt.question.clone()),
+                _ => CompletionResponse::Items(Vec::new()),
+            })
+        }
+    }
+
+    fn vote_cfg() -> PipelineConfig {
+        PipelineConfig {
+            candidates: 3,
+            candidate_selection: CandidateSelection::MajorityResult,
+            use_plan: false,
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Tentpole: a valid-but-disagreeing candidate loses the
+    /// execution-signature vote, gets one self-correction round carrying
+    /// the mismatch evidence, and the majority result is returned.
+    #[test]
+    fn minority_with_divergent_result_is_corrected_and_majority_wins() {
+        let (bundle, index, _) = setup();
+        let model = MinorityBySeed::new("SELECT ORG_NAME FROM SPORTS_ORGS");
+        let pipeline = GenEditPipeline::with_config(&model, vote_cfg());
+        let opts = GenerateOptions {
+            ensemble_width: Some(3),
+            ..Default::default()
+        };
+        let result = pipeline.generate_with("question", &index, &bundle.db, &[], &opts);
+        assert!(result.validated);
+        assert_eq!(result.attempts, 1);
+        assert_eq!(result.sql.as_deref(), Some("SELECT * FROM SPORTS_ORGS"));
+        // Exactly one corrective completion on top of the 3-wide fan-out.
+        assert_eq!(model.sql_calls.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    /// Tentpole: an invalid candidate gets one self-correction round
+    /// carrying its execution error, recovers, and joins the majority.
+    #[test]
+    fn minority_with_invalid_sql_is_corrected_with_its_error() {
+        let (bundle, index, _) = setup();
+        let model = MinorityBySeed::new("SELECT * FROM MISSING_TABLE");
+        let pipeline = GenEditPipeline::with_config(&model, vote_cfg());
+        let opts = GenerateOptions {
+            ensemble_width: Some(3),
+            ..Default::default()
+        };
+        let result = pipeline.generate_with("question", &index, &bundle.db, &[], &opts);
+        assert!(result.validated);
+        assert_eq!(result.sql.as_deref(), Some("SELECT * FROM SPORTS_ORGS"));
+        assert_eq!(model.sql_calls.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    /// The correction round is a no-op when every candidate already
+    /// agrees, and the serial majority path stays byte-identical to the
+    /// ensemble (both correct, both re-vote).
+    #[test]
+    fn agreeing_candidates_skip_the_correction_round() {
+        let (bundle, index, _) = setup();
+        // Seed 2 still diverges, but serial and fanned must agree with
+        // each other (both run the same correction round).
+        let model = MinorityBySeed::new("SELECT ORG_NAME FROM SPORTS_ORGS");
+        let pipeline = GenEditPipeline::with_config(&model, vote_cfg());
+        let opts = GenerateOptions {
+            ensemble_width: Some(3),
+            ..Default::default()
+        };
+        let fanned = pipeline.generate_with("question", &index, &bundle.db, &[], &opts);
+        let serial = pipeline.generate("question", &index, &bundle.db, &[]);
+        assert_eq!(fanned.sql, serial.sql);
+        assert_eq!(fanned.validated, serial.validated);
+        assert_eq!(fanned.attempts, serial.attempts);
+
+        // A fully-agreeing model spends exactly the fan-out, no more.
+        let agreeing = MinorityBySeed::new("SELECT * FROM SPORTS_ORGS");
+        let pipeline = GenEditPipeline::with_config(&agreeing, vote_cfg());
+        let result = pipeline.generate_with("question", &index, &bundle.db, &[], &opts);
+        assert!(result.validated);
+        assert_eq!(
+            agreeing.sql_calls.load(std::sync::atomic::Ordering::SeqCst),
+            3
+        );
     }
 
     #[test]

@@ -83,6 +83,54 @@ pub struct BatchConfig {
     /// wakeups; the window never overshoots `max_wait` by more than one
     /// slice.
     pub poll_interval: Duration,
+    /// Depth-adaptive collection window. When set, the *effective*
+    /// window replaces `max_wait`: it widens as the lane's pending queue
+    /// deepens (more arrivals are worth waiting for) and shrinks back to
+    /// the idle floor when traffic is sparse (a lone request should not
+    /// pay a full window of added latency). `None` keeps the fixed
+    /// `max_wait` window.
+    pub adaptive: Option<AdaptiveWindow>,
+}
+
+/// Linear depth→window schedule for [`BatchConfig::adaptive`]: a lane
+/// with one pending request waits `idle_wait`, a lane at `full_depth`
+/// (or deeper) waits `loaded_wait`, and depths in between interpolate
+/// linearly. The leader re-evaluates the schedule every poll slice, so
+/// a window widens *while open* as a burst lands behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveWindow {
+    /// Effective window when the lane holds a single request.
+    pub idle_wait: Duration,
+    /// Effective window at (and beyond) `full_depth` pending requests.
+    pub loaded_wait: Duration,
+    /// Pending depth at which the window reaches `loaded_wait`.
+    pub full_depth: usize,
+}
+
+impl Default for AdaptiveWindow {
+    fn default() -> AdaptiveWindow {
+        AdaptiveWindow {
+            idle_wait: Duration::from_micros(500),
+            loaded_wait: Duration::from_millis(4),
+            full_depth: 8,
+        }
+    }
+}
+
+impl AdaptiveWindow {
+    /// The effective collection window for a lane currently `depth`
+    /// requests deep.
+    pub fn window_for(&self, depth: usize) -> Duration {
+        if depth <= 1 {
+            return self.idle_wait;
+        }
+        if depth >= self.full_depth {
+            return self.loaded_wait;
+        }
+        let span = self.loaded_wait.as_secs_f64() - self.idle_wait.as_secs_f64();
+        let frac = (depth - 1) as f64 / (self.full_depth - 1).max(1) as f64;
+        Duration::from_secs_f64((self.idle_wait.as_secs_f64() + span * frac).max(0.0))
+    }
 }
 
 impl Default for BatchConfig {
@@ -91,6 +139,7 @@ impl Default for BatchConfig {
             max_batch_size: 8,
             max_wait: Duration::from_millis(2),
             poll_interval: Duration::from_micros(250),
+            adaptive: None,
         }
     }
 }
@@ -224,15 +273,26 @@ impl<M: LanguageModel> BatchScheduler<M> {
     fn lead<'l>(&self, lane: &'l Lane, kind: TaskKind, mut state: MutexGuard<'l, LaneState>) {
         state.collecting = true;
         let window_opened = self.clock.now();
+        // With an adaptive schedule the effective window is re-derived
+        // from the live queue depth every slice, so it widens while open
+        // if a burst lands behind the leader and stays at the idle floor
+        // for sparse traffic.
+        let mut effective_wait = match &self.config.adaptive {
+            Some(adaptive) => adaptive.window_for(state.pending.len()),
+            None => self.config.max_wait,
+        };
         loop {
+            if let Some(adaptive) = &self.config.adaptive {
+                effective_wait = adaptive.window_for(state.pending.len());
+            }
             if state.pending.len() >= self.config.max_batch_size {
                 break;
             }
             let elapsed = self.clock.now().saturating_sub(window_opened);
-            if elapsed >= self.config.max_wait {
+            if elapsed >= effective_wait {
                 break;
             }
-            let remaining = self.config.max_wait - elapsed;
+            let remaining = effective_wait - elapsed;
             drop(state);
             self.clock.sleep(self.config.poll_interval.min(remaining));
             state = lane.lock();
@@ -282,6 +342,7 @@ impl<M: LanguageModel> BatchScheduler<M> {
                 &format!("batch.occupancy.{label}"),
                 batch.len() as f64 / self.config.max_batch_size as f64,
             );
+            metrics.observe_duration("batch.window.ms", effective_wait);
         }
         let mut state = lane.lock();
         state.inflight = false;
@@ -424,6 +485,7 @@ mod tests {
                 max_batch_size: 8,
                 max_wait: Duration::from_millis(20),
                 poll_interval: Duration::from_millis(1),
+                adaptive: None,
             },
         ));
         let threads = 8;
@@ -463,6 +525,7 @@ mod tests {
                 max_batch_size: 8,
                 max_wait: Duration::from_millis(20),
                 poll_interval: Duration::from_millis(1),
+                adaptive: None,
             },
         ));
         std::thread::scope(|scope| {
@@ -508,6 +571,97 @@ mod tests {
             .complete(&request(TaskKind::Reformulate, "q"))
             .unwrap_err();
         assert!(matches!(err, ModelError::Malformed { .. }));
+    }
+
+    #[test]
+    fn adaptive_window_interpolates_with_depth() {
+        let schedule = AdaptiveWindow {
+            idle_wait: Duration::from_millis(1),
+            loaded_wait: Duration::from_millis(8),
+            full_depth: 8,
+        };
+        assert_eq!(schedule.window_for(0), Duration::from_millis(1));
+        assert_eq!(schedule.window_for(1), Duration::from_millis(1));
+        assert_eq!(schedule.window_for(8), Duration::from_millis(8));
+        assert_eq!(schedule.window_for(100), Duration::from_millis(8));
+        let mid = schedule.window_for(4);
+        assert!(mid > schedule.window_for(2) && mid < schedule.window_for(7));
+    }
+
+    #[test]
+    fn adaptive_window_stays_at_idle_floor_for_sparse_traffic() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let idle = Duration::from_millis(30);
+        let scheduler = BatchScheduler::with_clock(
+            CountingModel::new(),
+            BatchConfig {
+                adaptive: Some(AdaptiveWindow {
+                    idle_wait: idle,
+                    loaded_wait: Duration::from_millis(200),
+                    full_depth: 8,
+                }),
+                ..BatchConfig::default()
+            },
+            Arc::new(SimulatedClock::new()),
+        )
+        .with_metrics(Arc::clone(&metrics));
+        for i in 0..5 {
+            scheduler
+                .complete(&request(TaskKind::SqlGeneration, &format!("q{i}")))
+                .unwrap();
+        }
+        // Sequential callers never find company: every window stayed at
+        // the idle floor and every dispatch carried one request.
+        let snapshot = metrics.snapshot();
+        let window = &snapshot.histograms["batch.window.ms"];
+        assert_eq!(window.count, 5);
+        assert!((window.max - idle.as_secs_f64() * 1e3).abs() < 1e-6);
+        assert_eq!(scheduler.inner().largest.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn adaptive_window_widens_under_a_burst() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let idle = Duration::from_millis(30);
+        let loaded = Duration::from_millis(200);
+        let scheduler = Arc::new(
+            BatchScheduler::new(
+                CountingModel::new(),
+                BatchConfig {
+                    max_batch_size: 8,
+                    adaptive: Some(AdaptiveWindow {
+                        idle_wait: idle,
+                        loaded_wait: loaded,
+                        full_depth: 8,
+                    }),
+                    poll_interval: Duration::from_millis(1),
+                    ..BatchConfig::default()
+                },
+            )
+            .with_metrics(Arc::clone(&metrics)),
+        );
+        // 8 concurrent submitters: whoever leads opens (at least) a 30ms
+        // idle window — ample time for the rest of the burst to enqueue —
+        // and the per-slice recomputation then widens the window until
+        // the batch fills to 8 and dispatches on size.
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let scheduler = Arc::clone(&scheduler);
+                scope.spawn(move || {
+                    scheduler
+                        .complete(&request(TaskKind::SqlGeneration, &format!("q{i}")))
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(scheduler.inner().largest.load(Ordering::SeqCst), 8);
+        let snapshot = metrics.snapshot();
+        let window = &snapshot.histograms["batch.window.ms"];
+        assert!(
+            window.max > idle.as_secs_f64() * 1e3 + 1e-6,
+            "window never widened past the idle floor: max {}ms",
+            window.max
+        );
     }
 
     #[test]

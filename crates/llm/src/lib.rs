@@ -20,7 +20,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
+pub mod cancel;
 pub mod fault;
+pub mod hedge;
 pub mod knowledge;
 pub mod model;
 pub mod mutate;
@@ -29,8 +31,10 @@ pub mod prompt;
 pub mod resilient;
 pub mod tier;
 
-pub use batch::{BatchConfig, BatchScheduler};
+pub use batch::{AdaptiveWindow, BatchConfig, BatchScheduler};
+pub use cancel::CancelToken;
 pub use fault::{FaultConfig, FaultInjector, FaultLog};
+pub use hedge::{HedgePolicy, HedgeStats, HedgedModel};
 pub use knowledge::{Corruption, Difficulty, TaskKnowledge, TaskRegistry, TermRequirement};
 pub use model::{
     kind_label, CompletionRequest, CompletionResponse, LanguageModel, ModelError, ModelUsage,

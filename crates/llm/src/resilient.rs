@@ -366,9 +366,25 @@ impl<M: LanguageModel> LanguageModel for ResilientModel<'_, M> {
                             .attr("cause", err.label());
                         span
                     });
-                    self.state.clock().sleep(backoff);
+                    // A cancelled request (caller gave up, or this copy
+                    // lost a hedge race) must not sleep out its backoff
+                    // schedule: abandon the retry loop the moment the
+                    // ambient cancel scope fires.
+                    let token = crate::cancel::current();
+                    let slept = crate::cancel::sleep_cancellable(
+                        self.state.clock().as_ref(),
+                        backoff,
+                        token.as_ref(),
+                    );
                     if let Some(span) = span {
                         span.finish();
+                    }
+                    if !slept {
+                        self.state.incr(&format!("model.retry.cancelled.{label}"));
+                        return Err(ModelError::Exhausted {
+                            attempts: attempt,
+                            last: Box::new(ModelError::Transient("cancelled".into())),
+                        });
                     }
                 }
             }
@@ -618,6 +634,90 @@ mod tests {
         assert_eq!(metrics.counter("model.retry.sql"), 2);
         assert_eq!(metrics.counter("model.error.transient"), 2);
         assert_eq!(metrics.snapshot().histograms["model.backoff.ms"].count, 2);
+    }
+
+    #[test]
+    fn cancelled_scope_abandons_the_backoff_schedule() {
+        let clock = Arc::new(SimulatedClock::new());
+        let state = Arc::new(ResilienceState::new(
+            ResiliencePolicy::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        let model = ResilientModel::new(
+            FlakyModel::new(usize::MAX, ModelError::Transient("down".into())),
+            state,
+        );
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let err = crate::cancel::with_current(&token, || {
+            model.complete(&request(TaskKind::SqlGeneration))
+        })
+        .unwrap_err();
+        // One attempt ran, then the schedule was abandoned without
+        // sleeping: a hedge-lost request stops burning wall clock.
+        match err {
+            ModelError::Exhausted { attempts, last } => {
+                assert_eq!(attempts, 1);
+                assert_eq!(*last, ModelError::Transient("cancelled".into()));
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(model.inner.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(clock.total_slept(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mid_schedule_cancel_stops_after_the_current_attempt() {
+        /// Fails every call; cancels `token` as a side effect of the
+        /// second call, as a hedge win racing a retry loop would.
+        struct CancellingModel {
+            token: crate::cancel::CancelToken,
+            calls: AtomicUsize,
+        }
+        impl LanguageModel for CancellingModel {
+            fn name(&self) -> &str {
+                "cancelling"
+            }
+            fn complete(&self, _: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) == 1 {
+                    self.token.cancel();
+                }
+                Err(ModelError::Timeout)
+            }
+        }
+        let clock = Arc::new(SimulatedClock::new());
+        let policy = ResiliencePolicy {
+            retry: RetryPolicy {
+                max_attempts: 10,
+                ..RetryPolicy::default()
+            },
+            breaker: BreakerPolicy {
+                failure_threshold: usize::MAX,
+                ..BreakerPolicy::default()
+            },
+        };
+        let state = Arc::new(ResilienceState::new(
+            policy,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        let token = crate::cancel::CancelToken::new();
+        let model = ResilientModel::new(
+            CancellingModel {
+                token: token.clone(),
+                calls: AtomicUsize::new(0),
+            },
+            state,
+        );
+        let err = crate::cancel::with_current(&token, || {
+            model.complete(&request(TaskKind::SqlGeneration))
+        })
+        .unwrap_err();
+        // Attempt 1 failed and slept its backoff; attempt 2 failed and
+        // fired the token, so backoff 2 was skipped entirely.
+        assert!(matches!(err, ModelError::Exhausted { attempts: 2, .. }));
+        assert_eq!(model.inner.calls.load(Ordering::SeqCst), 2);
+        let first = RetryPolicy::default().backoff(TaskKind::SqlGeneration, 0, 1);
+        assert_eq!(clock.total_slept(), first);
     }
 
     #[test]

@@ -7,7 +7,9 @@ use crate::sched::{Admitted, DrrScheduler};
 use genedit_core::{
     CancelToken, GenEditPipeline, GenerateOptions, GenerationResult, KnowledgeIndex, PipelineConfig,
 };
-use genedit_llm::{BatchConfig, BatchScheduler, LanguageModel};
+use genedit_llm::{
+    BatchConfig, BatchScheduler, HedgePolicy, HedgeStats, HedgedModel, LanguageModel,
+};
 use genedit_retrieval::Embedding;
 use genedit_sql::catalog::Database;
 use genedit_telemetry::slo::AlertTransition;
@@ -83,6 +85,13 @@ pub struct ServeConfig {
     /// [`GenerateOptions::ensemble_width`]). Pairs naturally with
     /// `batch`: one request's fan-out fills a batch by itself.
     pub ensemble_width: Option<usize>,
+    /// Hedged dispatch of model calls: when enabled, a call that
+    /// straggles past a percentile-derived delay fires a duplicate and
+    /// the first completion wins (see [`HedgedModel`]). Sits *outside*
+    /// the batch scheduler so the duplicate can coalesce into a fresh
+    /// batch. The default ([`HedgePolicy::disabled`]) passes calls
+    /// straight through.
+    pub hedge: HedgePolicy,
     /// Observability plane: metrics enablement, SLO burn-rate alerting,
     /// and the tail-sampling flight recorder.
     pub observability: ObsConfig,
@@ -99,6 +108,7 @@ impl Default for ServeConfig {
             pipeline: PipelineConfig::default(),
             batch: BatchConfig::disabled(),
             ensemble_width: None,
+            hedge: HedgePolicy::disabled(),
             observability: ObsConfig::default(),
         }
     }
@@ -116,11 +126,12 @@ struct Shared<M> {
     available: Condvar,
     snapshot: RwLock<Snapshot>,
     db: Arc<Database>,
-    /// The shared model every worker pipeline runs over, fronted by one
-    /// process-wide [`BatchScheduler`] so concurrent same-kind calls
-    /// across workers coalesce (a disabled config passes straight
-    /// through).
-    model: Arc<BatchScheduler<Arc<M>>>,
+    /// The shared model every worker pipeline runs over: a process-wide
+    /// [`BatchScheduler`] (so concurrent same-kind calls across workers
+    /// coalesce) fronted by a [`HedgedModel`] (so stragglers race a
+    /// duplicate). Disabled configs on either layer pass straight
+    /// through.
+    model: Arc<HedgedModel<BatchScheduler<Arc<M>>>>,
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
     /// SLO burn-rate tracker over completed requests (system clock).
@@ -179,9 +190,10 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             .recorder
             .clone()
             .map(FlightRecorder::new);
+        let batch = BatchScheduler::new(Arc::new(model), config.batch.clone())
+            .with_metrics(Arc::clone(&metrics));
         let model = Arc::new(
-            BatchScheduler::new(Arc::new(model), config.batch.clone())
-                .with_metrics(Arc::clone(&metrics)),
+            HedgedModel::new(batch, config.hedge.clone()).with_metrics(Arc::clone(&metrics)),
         );
         let shared = Arc::new(Shared {
             sched: Mutex::new(DrrScheduler::new(config.quantum)),
@@ -229,6 +241,12 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
     /// The flight recorder, when one was configured.
     pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
         self.shared.recorder.as_ref()
+    }
+
+    /// Hedged-dispatch counters (fired / won / wasted) accumulated by
+    /// the runtime's model stack. All zeros when hedging is disabled.
+    pub fn hedge_stats(&self) -> HedgeStats {
+        self.shared.model.stats()
     }
 
     /// Whether the configured SLO's burn-rate alert is currently firing.
@@ -358,7 +376,7 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
     }
 }
 
-fn worker_loop<M: LanguageModel>(shared: &Shared<M>) {
+fn worker_loop<M: LanguageModel + 'static>(shared: &Shared<M>) {
     let pipeline =
         GenEditPipeline::with_config(Arc::clone(&shared.model), shared.config.pipeline.clone())
             .with_metrics(Arc::clone(&shared.metrics));
@@ -394,7 +412,7 @@ fn cancelled_outcome(deadline: Option<Instant>) -> QueryOutcome {
     }
 }
 
-fn serve_one<M: LanguageModel, L: LanguageModel>(
+fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
     shared: &Shared<M>,
     pipeline: &GenEditPipeline<L>,
     admitted: Admitted,
