@@ -34,17 +34,19 @@ fn verdict_label(v: RequestVerdict) -> &'static str {
         RequestVerdict::Degraded => "degraded",
         RequestVerdict::Error => "error",
         RequestVerdict::Cancelled => "cancelled",
+        RequestVerdict::Panicked => "panicked",
     }
 }
 
-/// Sort key: errors first, then degraded, then cancelled, then plain Ok;
+/// Sort key: panics first, then errors, degraded, cancelled, plain Ok;
 /// within a class, slowest first.
 fn severity(v: RequestVerdict) -> u8 {
     match v {
-        RequestVerdict::Error => 0,
-        RequestVerdict::Degraded => 1,
-        RequestVerdict::Cancelled => 2,
-        RequestVerdict::Ok => 3,
+        RequestVerdict::Panicked => 0,
+        RequestVerdict::Error => 1,
+        RequestVerdict::Degraded => 2,
+        RequestVerdict::Cancelled => 3,
+        RequestVerdict::Ok => 4,
     }
 }
 

@@ -19,6 +19,34 @@ use crate::resilient::Clock;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+/// The categories of fault the injector can produce. Used to address a
+/// single category when building a config ([`FaultConfig::only`]) or
+/// reading a log ([`FaultLog::count`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `ModelError::Transient` transport error.
+    Transient,
+    /// `ModelError::Timeout`.
+    Timeout,
+    /// `ModelError::RateLimited`.
+    RateLimited,
+    /// `ModelError::Malformed` payload.
+    Malformed,
+    /// Response swapped to the wrong [`CompletionResponse`] variant.
+    WrongVariant,
+    /// SQL response garbled into unparseable text.
+    GarbledSql,
+    /// Latency spike (timing only, outcome unchanged).
+    LatencySpike,
+    /// A **panic** out of the model call — the poison-pill fault. Unlike
+    /// every other category this does not return: it unwinds through the
+    /// whole pipeline and is only survivable above a `catch_unwind`
+    /// boundary (the serving runtime's per-request panic domain). It is
+    /// therefore *not* part of [`FaultConfig::uniform`]; opt in via
+    /// [`FaultConfig::panic_only`] or the `panic` field.
+    Panic,
+}
+
 /// Per-category injection rates, each an independent probability in
 /// `[0, 1]` evaluated per call. Error-side faults are checked in field
 /// order and the first hit wins; response-side corruptions only apply to
@@ -39,6 +67,12 @@ pub struct FaultConfig {
     pub garbled_sql: f64,
     /// Rate of latency spikes (the wrapped clock sleeps [`FaultConfig::spike`]).
     pub latency_spike: f64,
+    /// Rate of injected **panics** ([`FaultKind::Panic`]): the call
+    /// unwinds instead of returning. Checked before every other
+    /// category — a poison pill preempts ordinary failure. Excluded from
+    /// [`FaultConfig::uniform`]; callers must opt in because the panic
+    /// only resolves above a `catch_unwind` boundary.
+    pub panic: f64,
     /// Suggested wait attached to injected rate limits.
     pub retry_after: Duration,
     /// Duration of an injected latency spike.
@@ -55,8 +89,11 @@ impl FaultConfig {
         }
     }
 
-    /// A config exercising every category at the same rate. Used by the
-    /// property tests and the mixed-fault chaos rows.
+    /// A config exercising every *returning* category at the same rate.
+    /// Used by the property tests and the mixed-fault chaos rows.
+    /// Panics are deliberately excluded: they unwind instead of
+    /// returning, so they are only safe above a `catch_unwind` boundary
+    /// (see [`FaultConfig::panic_only`]).
     pub fn uniform(rate: f64) -> FaultConfig {
         FaultConfig {
             transient: rate,
@@ -66,8 +103,57 @@ impl FaultConfig {
             wrong_variant: rate,
             garbled_sql: rate,
             latency_spike: rate,
+            panic: 0.0,
             retry_after: Duration::from_millis(250),
             spike: Duration::from_millis(500),
+        }
+    }
+
+    /// A config injecting only poison-pill panics — the headline knob of
+    /// the resilience sweep. The wrapped call unwinds at `rate`; callers
+    /// must run under `catch_unwind` (the serving runtime does).
+    pub fn panic_only(rate: f64) -> FaultConfig {
+        FaultConfig {
+            panic: rate,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A config injecting a single [`FaultKind`] at `rate`.
+    pub fn only(kind: FaultKind, rate: f64) -> FaultConfig {
+        let mut config = FaultConfig {
+            retry_after: Duration::from_millis(250),
+            spike: Duration::from_millis(500),
+            ..FaultConfig::default()
+        };
+        *config.rate_mut(kind) = rate;
+        config
+    }
+
+    /// The injection rate configured for `kind`.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::Transient => self.transient,
+            FaultKind::Timeout => self.timeout,
+            FaultKind::RateLimited => self.rate_limited,
+            FaultKind::Malformed => self.malformed,
+            FaultKind::WrongVariant => self.wrong_variant,
+            FaultKind::GarbledSql => self.garbled_sql,
+            FaultKind::LatencySpike => self.latency_spike,
+            FaultKind::Panic => self.panic,
+        }
+    }
+
+    fn rate_mut(&mut self, kind: FaultKind) -> &mut f64 {
+        match kind {
+            FaultKind::Transient => &mut self.transient,
+            FaultKind::Timeout => &mut self.timeout,
+            FaultKind::RateLimited => &mut self.rate_limited,
+            FaultKind::Malformed => &mut self.malformed,
+            FaultKind::WrongVariant => &mut self.wrong_variant,
+            FaultKind::GarbledSql => &mut self.garbled_sql,
+            FaultKind::LatencySpike => &mut self.latency_spike,
+            FaultKind::Panic => &mut self.panic,
         }
     }
 }
@@ -91,6 +177,8 @@ pub struct FaultLog {
     pub garbled_sql: u64,
     /// Injected latency spikes (timing only, outcome unchanged).
     pub latency_spikes: u64,
+    /// Injected panics (the call unwound instead of returning).
+    pub panics: u64,
 }
 
 impl FaultLog {
@@ -99,13 +187,28 @@ impl FaultLog {
         self.transient + self.timeout + self.rate_limited + self.malformed
     }
 
+    /// Injected faults of one category.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::Transient => self.transient,
+            FaultKind::Timeout => self.timeout,
+            FaultKind::RateLimited => self.rate_limited,
+            FaultKind::Malformed => self.malformed,
+            FaultKind::WrongVariant => self.wrong_variant,
+            FaultKind::GarbledSql => self.garbled_sql,
+            FaultKind::LatencySpike => self.latency_spikes,
+            FaultKind::Panic => self.panics,
+        }
+    }
+
     /// Injected response corruptions (calls that returned a wrong `Ok`).
     pub fn corruptions(&self) -> u64 {
         self.wrong_variant + self.garbled_sql
     }
 
-    /// Every injected fault except latency spikes (which change timing,
-    /// not outcomes).
+    /// Every injected *returning* fault: errors plus corruptions.
+    /// Latency spikes (timing only) and panics (the call never returns a
+    /// value at all — see [`FaultLog::panics`]) are tracked separately.
     pub fn total(&self) -> u64 {
         self.errors() + self.corruptions()
     }
@@ -179,6 +282,14 @@ impl<M: LanguageModel> LanguageModel for FaultInjector<M> {
             *counter
         };
         self.lock_log().calls += 1;
+
+        // The poison pill preempts every other category: the counter is
+        // logged *before* unwinding so schedules stay reproducible and
+        // observable even though this call never returns.
+        if self.roll(n, "panic") < self.config.panic {
+            self.lock_log().panics += 1;
+            panic!("injected poison-pill panic #{n}");
+        }
 
         if self.roll(n, "spike") < self.config.latency_spike {
             self.lock_log().latency_spikes += 1;
@@ -353,6 +464,50 @@ mod tests {
             .expect("ok");
         assert!(text.as_text().is_none(), "{text:?}");
         assert_eq!(injector.log().wrong_variant, 2);
+    }
+
+    #[test]
+    fn panic_rate_unwinds_on_schedule_and_is_logged_first() {
+        let injector = Arc::new(FaultInjector::new(Fixed, FaultConfig::panic_only(1.0), 7));
+        for _ in 0..3 {
+            let cloned = Arc::clone(&injector);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                cloned.complete(&sql_request())
+            }));
+            assert!(caught.is_err(), "panic rate 1.0 must unwind every call");
+        }
+        let log = injector.log();
+        assert_eq!(log.panics, 3, "panics are counted before unwinding");
+        assert_eq!(log.count(FaultKind::Panic), 3);
+        assert_eq!(log.calls, 3);
+        assert_eq!(log.total(), 0, "panics are not returning faults");
+    }
+
+    #[test]
+    fn panic_schedule_is_seed_deterministic() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let injector = FaultInjector::new(Fixed, FaultConfig::panic_only(0.3), seed);
+            (0..100)
+                .map(|_| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _ = injector.complete(&sql_request());
+                    }))
+                    .is_err()
+                })
+                .collect()
+        };
+        let a = outcomes(11);
+        assert_eq!(a, outcomes(11), "same seed, same poison-pill slots");
+        assert!(a.iter().any(|&p| p) && !a.iter().all(|&p| p));
+    }
+
+    #[test]
+    fn uniform_config_never_panics() {
+        assert_eq!(FaultConfig::uniform(0.9).panic, 0.0);
+        assert_eq!(FaultConfig::uniform(0.9).rate(FaultKind::Panic), 0.0);
+        let only = FaultConfig::only(FaultKind::Timeout, 0.7);
+        assert_eq!(only.rate(FaultKind::Timeout), 0.7);
+        assert_eq!(only.rate(FaultKind::Transient), 0.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod tier;
 
 pub use batch::{AdaptiveWindow, BatchConfig, BatchScheduler};
 pub use cancel::CancelToken;
-pub use fault::{FaultConfig, FaultInjector, FaultLog};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultLog};
 pub use hedge::{HedgePolicy, HedgeStats, HedgedModel};
 pub use knowledge::{Corruption, Difficulty, TaskKnowledge, TaskRegistry, TermRequirement};
 pub use model::{

@@ -23,6 +23,12 @@
 //!   knowledge commit bumps the epoch ([`ServeRuntime::publish`]), so
 //!   a knowledge deploy invalidates every cached answer *by
 //!   construction* — no scan, no stale SQL after an edit lands.
+//! - **Fault containment** — every request runs under a per-request
+//!   panic boundary ([`QueryOutcome::Failed`] instead of a hung caller),
+//!   a supervisor respawns retired workers with backoff, tenants whose
+//!   requests keep failing are quarantined at admission
+//!   ([`QuarantineConfig`]), and
+//!   [`ServeRuntime::shutdown_with_deadline`] drains with a hard bound.
 //!
 //! [`LanguageModel`]: genedit_llm::LanguageModel
 //!
@@ -56,10 +62,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod quarantine;
 pub mod request;
 pub mod runtime;
 mod sched;
+pub mod supervisor;
 
 pub use cache::{fnv64, CacheKey, EpochCache};
+pub use quarantine::{Gate, QuarantineConfig, QuarantineState, TenantQuarantine};
 pub use request::{Priority, QueryOutcome, QueryRequest, Rejected, Ticket};
-pub use runtime::{ObsConfig, ServeConfig, ServeRuntime};
+pub use runtime::{DrainReport, ObsConfig, ServeConfig, ServeRuntime, DRAIN_GRACE};
+pub use supervisor::SupervisorConfig;

@@ -97,6 +97,12 @@ pub enum Rejected {
     /// was rejected up front instead of consuming a queue slot only to
     /// expire unexecuted.
     DeadlineExpired,
+    /// The tenant is quarantined: its recent requests panicked or failed
+    /// validation at a rate that tripped the per-tenant breaker, and the
+    /// cooldown has not yet elapsed (or a half-open probe is already in
+    /// flight). Back off and retry later — one poison-pill tenant must
+    /// not burn the worker pool or starve its DRR peers.
+    Quarantined,
 }
 
 /// Terminal state of an admitted request.
@@ -124,6 +130,17 @@ pub enum QueryOutcome {
     /// Evicted from a saturated queue in favor of a request with a later
     /// deadline (oldest-deadline-first shedding).
     Shed,
+    /// The worker thread serving this request **panicked**. The panic
+    /// was caught at the per-request isolation boundary, the ticket was
+    /// resolved (this variant), and the worker was retired and respawned
+    /// by the supervisor — the panic never took the pool down and never
+    /// left this ticket hanging.
+    Failed {
+        /// Human-readable summary of the panic payload (the `&str` or
+        /// `String` passed to `panic!`, or a placeholder for exotic
+        /// payloads).
+        reason: String,
+    },
 }
 
 impl QueryOutcome {
@@ -166,6 +183,13 @@ impl TicketCell {
         }
         drop(state);
         self.done.notify_all();
+    }
+
+    /// Whether a terminal outcome has been recorded. The panic-isolation
+    /// guard consults this to catch request paths that would otherwise
+    /// return without ever resolving the ticket.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.lock().outcome.is_some()
     }
 }
 

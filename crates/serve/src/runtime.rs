@@ -1,9 +1,26 @@
 //! The serving runtime: worker pool, admission control, epoch-keyed
-//! caches, and the per-request execution path.
+//! caches, fault containment, and the per-request execution path.
+//!
+//! Fault-containment layers (see `DESIGN.md` §15):
+//!
+//! - every request executes under a per-request `catch_unwind` boundary,
+//!   so a panicking operator resolves its ticket with
+//!   [`QueryOutcome::Failed`] instead of hanging the caller;
+//! - a worker whose request panicked **retires** (exits) and the
+//!   supervisor thread respawns it with backoff (see
+//!   [`crate::supervisor`]);
+//! - tenants whose recent requests keep failing are **quarantined** at
+//!   admission (see [`crate::quarantine`]);
+//! - [`ServeRuntime::shutdown_with_deadline`] drains with a bound,
+//!   force-resolving stragglers instead of joining forever.
 
 use crate::cache::{CacheKey, EpochCache};
+use crate::quarantine::{Gate, QuarantineConfig, QuarantineState, TenantQuarantine};
 use crate::request::{QueryOutcome, QueryRequest, Rejected, Ticket, TicketCell};
 use crate::sched::{Admitted, DrrScheduler};
+use crate::supervisor::{
+    alive_workers, lock_table, supervisor_loop, SupervisorConfig, WorkerSlot, WorkerTable,
+};
 use genedit_core::{
     CancelToken, GenEditPipeline, GenerateOptions, GenerationResult, KnowledgeIndex, PipelineConfig,
 };
@@ -17,11 +34,21 @@ use genedit_telemetry::{
     names, prom, Clock, FlightRecorder, MetricsRegistry, RecordedRequest, RecorderConfig,
     RequestVerdict, SloConfig, SloTracker, SystemClock, Trace,
 };
+use std::collections::HashMap;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Extra time [`ServeRuntime::shutdown_with_deadline`] grants in-flight
+/// requests to notice their cancelled tokens after the drain deadline
+/// passes, before their tickets are force-resolved and any still-wedged
+/// worker threads are detached. The method therefore returns within
+/// roughly `timeout + DRAIN_GRACE` plus join overhead.
+pub const DRAIN_GRACE: Duration = Duration::from_millis(250);
 
 /// Observability-plane configuration for a [`ServeRuntime`].
 #[derive(Debug, Clone)]
@@ -95,6 +122,13 @@ pub struct ServeConfig {
     /// Observability plane: metrics enablement, SLO burn-rate alerting,
     /// and the tail-sampling flight recorder.
     pub observability: ObsConfig,
+    /// Worker-pool supervision policy: how aggressively retired (panicked)
+    /// workers are respawned, and the per-slot respawn budget.
+    pub supervisor: SupervisorConfig,
+    /// Per-tenant quarantine policy. Disabled by default; see
+    /// [`QuarantineConfig::default_policy`] for a production-shaped
+    /// opt-in.
+    pub quarantine: QuarantineConfig,
 }
 
 impl Default for ServeConfig {
@@ -110,8 +144,31 @@ impl Default for ServeConfig {
             ensemble_width: None,
             hedge: HedgePolicy::disabled(),
             observability: ObsConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            quarantine: QuarantineConfig::disabled(),
         }
     }
+}
+
+/// What [`ServeRuntime::shutdown_with_deadline`] had to do to finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// True when every admitted request resolved on its own before the
+    /// deadline — nothing was forced.
+    pub clean: bool,
+    /// Queued (never executed) requests force-resolved as
+    /// [`QueryOutcome::Cancelled`] after the deadline passed.
+    pub forced_queued: u64,
+    /// In-flight requests whose cancel tokens were fired at the deadline.
+    pub cancelled_inflight: u64,
+    /// In-flight requests whose tickets had to be force-resolved because
+    /// they did not notice cancellation within [`DRAIN_GRACE`].
+    pub forced_inflight: u64,
+    /// Worker threads still running at the end of the grace period,
+    /// detached rather than joined (their tickets were already resolved).
+    pub detached_workers: u64,
+    /// Total wall-clock time the drain took.
+    pub elapsed: Duration,
 }
 
 /// The published view of deployed knowledge: an immutable index plus the
@@ -119,6 +176,15 @@ impl Default for ServeConfig {
 struct Snapshot {
     epoch: u64,
     index: Arc<KnowledgeIndex>,
+}
+
+/// An admitted request currently executing on a worker: enough state for
+/// the drain path to cancel it cooperatively and, failing that, resolve
+/// its ticket directly (completion is first-wins, so racing the worker
+/// is safe).
+struct InFlight {
+    cell: Arc<TicketCell>,
+    cancel: CancelToken,
 }
 
 struct Shared<M> {
@@ -138,6 +204,12 @@ struct Shared<M> {
     slo: Option<SloTracker>,
     /// Tail-sampling flight recorder of completed request traces.
     recorder: Option<FlightRecorder>,
+    /// Per-tenant failure breaker consulted at admission.
+    quarantine: TenantQuarantine,
+    /// Requests a worker has dequeued but not yet resolved, keyed by
+    /// admission sequence. Maintained under the containment guard so a
+    /// panicking request still deregisters.
+    inflight: Mutex<HashMap<u64, InFlight>>,
     results: EpochCache<GenerationResult>,
     reforms: EpochCache<(String, Embedding)>,
     shutdown: AtomicBool,
@@ -151,24 +223,75 @@ impl<M> Shared<M> {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+
+    fn lock_inflight(&self) -> MutexGuard<'_, HashMap<u64, InFlight>> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Flip the shutdown flag **under the scheduler lock**. `submit`
+    /// re-checks the flag under the same lock before enqueueing, so no
+    /// request can slip into the queue after shutdown is observable —
+    /// the race that used to strand a ticket behind an exiting pool.
+    fn begin_shutdown(&self) {
+        let _sched = self.lock_sched();
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
 }
 
 /// A concurrent serving runtime over one deployed knowledge snapshot.
 ///
-/// Lifecycle: [`ServeRuntime::start`] spawns the worker pool;
-/// [`ServeRuntime::submit`] admits requests (or applies backpressure);
+/// Lifecycle: [`ServeRuntime::start`] spawns the worker pool and its
+/// supervisor; [`ServeRuntime::submit`] admits requests (or applies
+/// backpressure, including per-tenant quarantine);
 /// [`ServeRuntime::publish`] swaps in a re-built knowledge index after a
 /// durable commit, bumping the epoch every cache key embeds;
-/// [`ServeRuntime::shutdown`] drains the queue and joins the workers.
+/// [`ServeRuntime::shutdown`] drains the queue and joins the workers,
+/// while [`ServeRuntime::shutdown_with_deadline`] does the same under a
+/// bound, force-resolving whatever will not drain in time.
 pub struct ServeRuntime<M> {
     shared: Arc<Shared<M>>,
-    workers: Vec<JoinHandle<()>>,
+    table: WorkerTable,
+    /// Taken (and joined) by whichever shutdown call gets there first;
+    /// behind a mutex so shutdown borrows `&self` and can therefore race
+    /// concurrent `submit` calls — which is exactly the race the
+    /// under-lock re-check in `submit` exists to win.
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+fn spawn_worker<M: LanguageModel + 'static>(
+    shared: &Arc<Shared<M>>,
+    slot: usize,
+) -> io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("serve-worker-{slot}"))
+        .spawn(move || worker_loop(&shared))
+}
+
+/// Stop and join whatever workers exist (used when `try_start` fails
+/// partway through spawning the pool).
+fn abort_pool<M>(shared: &Shared<M>, table: &WorkerTable) {
+    shared.begin_shutdown();
+    shared.available.notify_all();
+    let handles: Vec<JoinHandle<()>> = lock_table(table)
+        .iter_mut()
+        .filter_map(|slot| slot.handle.take())
+        .collect();
+    for handle in handles {
+        handle.join().ok();
+    }
 }
 
 impl<M: LanguageModel + 'static> ServeRuntime<M> {
-    /// Spawn the worker pool. `epoch` is the knowledge epoch `index` was
-    /// built at — `DurableKnowledgeStore::epoch()` for durable deploys,
-    /// 0 for static knowledge sets.
+    /// Spawn the worker pool and its supervisor. `epoch` is the knowledge
+    /// epoch `index` was built at — `DurableKnowledgeStore::epoch()` for
+    /// durable deploys, 0 for static knowledge sets.
+    ///
+    /// Panics if a worker (or the supervisor) thread cannot be spawned;
+    /// use [`ServeRuntime::try_start`] to handle that error instead. A
+    /// partially-spawned pool is never returned or leaked either way.
     pub fn start(
         model: M,
         index: Arc<KnowledgeIndex>,
@@ -176,6 +299,20 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         db: Arc<Database>,
         config: ServeConfig,
     ) -> ServeRuntime<M> {
+        Self::try_start(model, index, epoch, db, config)
+            .unwrap_or_else(|err| panic!("serve runtime failed to spawn its thread pool: {err}"))
+    }
+
+    /// Fallible [`ServeRuntime::start`]: surfaces the OS error when a
+    /// worker or supervisor thread cannot be spawned, after stopping and
+    /// joining any workers that did start.
+    pub fn try_start(
+        model: M,
+        index: Arc<KnowledgeIndex>,
+        epoch: u64,
+        db: Arc<Database>,
+        config: ServeConfig,
+    ) -> io::Result<ServeRuntime<M>> {
         let workers = config.workers.max(1);
         let metrics = Arc::new(if config.observability.metrics {
             MetricsRegistry::new()
@@ -190,6 +327,11 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             .recorder
             .clone()
             .map(FlightRecorder::new);
+        let quarantine = TenantQuarantine::new(
+            config.quarantine.clone(),
+            Arc::new(SystemClock::new()) as Arc<dyn Clock>,
+        )
+        .with_metrics(Arc::clone(&metrics));
         let batch = BatchScheduler::new(Arc::new(model), config.batch.clone())
             .with_metrics(Arc::clone(&metrics));
         let model = Arc::new(
@@ -204,6 +346,8 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             metrics,
             slo,
             recorder,
+            quarantine,
+            inflight: Mutex::new(HashMap::new()),
             results: EpochCache::new(config.result_cache_capacity),
             reforms: EpochCache::new(config.reform_cache_capacity),
             shutdown: AtomicBool::new(false),
@@ -211,19 +355,52 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             service_seq: AtomicU64::new(0),
             config,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-            })
-            .filter_map(|h| h.ok())
-            .collect();
-        ServeRuntime {
-            shared,
-            workers: handles,
+        let table: WorkerTable = Arc::new(Mutex::new(Vec::with_capacity(workers)));
+        for i in 0..workers {
+            // A failed spawn is surfaced, not silently swallowed: a pool
+            // that quietly started with fewer workers than configured
+            // would serve at reduced capacity with no signal anywhere.
+            match spawn_worker(&shared, i) {
+                Ok(handle) => lock_table(&table).push(WorkerSlot::new(handle)),
+                Err(err) => {
+                    abort_pool(&shared, &table);
+                    return Err(err);
+                }
+            }
         }
+        shared
+            .metrics
+            .set_gauge("serve.workers.alive", workers as f64);
+        let supervisor = {
+            let sup_table = Arc::clone(&table);
+            let sup_config = shared.config.supervisor.clone();
+            let sup_metrics = Arc::clone(&shared.metrics);
+            let flag_shared = Arc::clone(&shared);
+            let spawn_shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-supervisor".to_string())
+                .spawn(move || {
+                    supervisor_loop(
+                        sup_table,
+                        sup_config,
+                        sup_metrics,
+                        move || flag_shared.shutdown.load(Ordering::SeqCst),
+                        move |slot| spawn_worker(&spawn_shared, slot),
+                    )
+                })
+        };
+        let supervisor = match supervisor {
+            Ok(handle) => Some(handle),
+            Err(err) => {
+                abort_pool(&shared, &table);
+                return Err(err);
+            }
+        };
+        Ok(ServeRuntime {
+            shared,
+            table,
+            supervisor: Mutex::new(supervisor),
+        })
     }
 
     /// The runtime's metrics registry (`serve.*` counters and latency
@@ -259,6 +436,18 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         self.shared.lock_sched().len()
     }
 
+    /// Worker threads currently alive. Transiently below
+    /// [`ServeConfig::workers`] after a panic retires a worker, until the
+    /// supervisor respawns it.
+    pub fn workers_alive(&self) -> usize {
+        alive_workers(&self.table)
+    }
+
+    /// The quarantine breaker state for `tenant` (Closed when unknown).
+    pub fn quarantine_state(&self, tenant: &str) -> QuarantineState {
+        self.shared.quarantine.state(tenant)
+    }
+
     /// The epoch of the currently published knowledge snapshot.
     pub fn epoch(&self) -> u64 {
         self.shared
@@ -290,7 +479,12 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
     /// counts as "latest"): capacity goes to the request with the most
     /// runway. When the incoming request cannot beat any queued
     /// deadline, [`Rejected::QueueFull`] tells the caller to back off.
+    /// A quarantined tenant is answered [`Rejected::Quarantined`] before
+    /// any queue slot is considered.
     pub fn submit(&self, request: QueryRequest) -> Result<Ticket, Rejected> {
+        // Fast path only: the authoritative shutdown check happens again
+        // under the scheduler lock below, where it cannot race
+        // `begin_shutdown`.
         if self.shared.shutdown.load(Ordering::SeqCst) {
             self.shared.metrics.incr("serve.rejected", 1);
             return Err(Rejected::ShuttingDown);
@@ -305,6 +499,14 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
                 return Err(Rejected::DeadlineExpired);
             }
         }
+        let probe = match self.shared.quarantine.check(&request.tenant) {
+            Gate::Admit => false,
+            Gate::AdmitProbe => true,
+            Gate::Reject => {
+                self.shared.metrics.incr("serve.rejected", 1);
+                return Err(Rejected::Quarantined);
+            }
+        };
         let cancel = match request.deadline {
             Some(deadline) => CancelToken::with_deadline(deadline),
             None => CancelToken::new(),
@@ -316,6 +518,15 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         let request_id = format!("req-{seq:08x}");
         let (ticket, cell) = Ticket::new(cancel.clone(), request_id.clone());
         let mut sched = self.shared.lock_sched();
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            // Shutdown began between the fast path and taking the lock:
+            // enqueueing now would strand the ticket behind a pool that
+            // is already exiting.
+            drop(sched);
+            self.shared.quarantine.on_abandoned(&request.tenant, probe);
+            self.shared.metrics.incr("serve.rejected", 1);
+            return Err(Rejected::ShuttingDown);
+        }
         if sched.len() >= self.shared.config.queue_capacity.max(1) {
             let victim = sched.earliest_deadline().and_then(|(deadline, seq)| {
                 let incoming_later = match request.deadline {
@@ -327,6 +538,9 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             match victim {
                 Some(shed) => {
                     self.shared.metrics.incr("serve.shed", 1);
+                    self.shared
+                        .quarantine
+                        .on_abandoned(&shed.request.tenant, shed.probe);
                     record_outcome(
                         &self.shared,
                         &shed.request_id,
@@ -339,6 +553,7 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
                 }
                 None => {
                     drop(sched);
+                    self.shared.quarantine.on_abandoned(&request.tenant, probe);
                     self.shared.metrics.incr("serve.rejected", 1);
                     return Err(Rejected::QueueFull);
                 }
@@ -353,6 +568,7 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
             cancel,
             enqueued_at: Instant::now(),
             cost,
+            probe,
         });
         let depth = sched.len();
         drop(sched);
@@ -364,19 +580,166 @@ impl<M: LanguageModel + 'static> ServeRuntime<M> {
         Ok(ticket)
     }
 
+    fn join_supervisor(&self) {
+        let handle = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            handle.join().ok();
+        }
+    }
+
     /// Stop accepting work, drain the queue, and join the workers.
     /// Already-queued requests still execute (or expire on their own
-    /// deadlines).
-    pub fn shutdown(self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+    /// deadlines). Anything left unexecutable — e.g. queued work behind
+    /// a pool whose every worker retired — is resolved as
+    /// [`QueryOutcome::Cancelled`] rather than left hanging.
+    ///
+    /// Takes `&self` so shutdown can come from any thread, including one
+    /// racing live `submit` calls; those lose deterministically (the
+    /// flag flips under the scheduler lock and `submit` re-checks it
+    /// there) and answer [`Rejected::ShuttingDown`]. Calling shutdown
+    /// again is a no-op.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
         self.shared.available.notify_all();
-        for handle in self.workers {
+        self.join_supervisor();
+        let handles: Vec<JoinHandle<()>> = lock_table(&self.table)
+            .iter_mut()
+            .filter_map(|slot| slot.handle.take())
+            .collect();
+        for handle in handles {
             handle.join().ok();
+        }
+        resolve_leftovers(&self.shared);
+    }
+
+    /// Graceful drain with a bound: stop admission immediately, give
+    /// queued and in-flight requests up to `timeout` to resolve on their
+    /// own, then force the rest — queued requests resolve as
+    /// [`QueryOutcome::Cancelled`] without executing, in-flight requests
+    /// get their cancel tokens fired plus [`DRAIN_GRACE`] to notice, and
+    /// any ticket still open after that is resolved directly (completion
+    /// is first-wins, so racing a slow worker is safe). Worker threads
+    /// still wedged at that point are detached, not joined: the caller
+    /// gets its bound, and every admitted ticket has already resolved.
+    pub fn shutdown_with_deadline(&self, timeout: Duration) -> DrainReport {
+        let started = Instant::now();
+        let deadline = started + timeout;
+        self.shared.begin_shutdown();
+        self.shared.available.notify_all();
+        self.join_supervisor();
+        // Phase 1: cooperative drain. Workers keep executing queued work;
+        // we just watch for quiescence. The queue→in-flight handoff
+        // happens under the scheduler lock, so sampling the queue first
+        // and the in-flight table second never misses a request.
+        loop {
+            let queued = self.shared.lock_sched().len();
+            let inflight = self.shared.lock_inflight().len();
+            if queued == 0 && inflight == 0 {
+                break;
+            }
+            // Every worker retired (supervisor already exited): queued
+            // work can no longer drain on its own — force it now.
+            if inflight == 0 && alive_workers(&self.table) == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Phase 2: force. Evict whatever is still queued and cancel
+        // whatever is still running.
+        let mut forced_queued = 0u64;
+        for admitted in self.shared.lock_sched().drain_all() {
+            forced_queued += 1;
+            self.shared.metrics.incr("serve.drain.forced_queued", 1);
+            self.shared
+                .quarantine
+                .on_abandoned(&admitted.request.tenant, admitted.probe);
+            record_outcome(
+                &self.shared,
+                &admitted.request_id,
+                RequestVerdict::Cancelled,
+                admitted.enqueued_at.elapsed().as_secs_f64() * 1e3,
+                Trace::empty(names::SERVE_REQUEST),
+                None,
+            );
+            admitted.cancel.cancel();
+            admitted.cell.complete(QueryOutcome::Cancelled);
+        }
+        let mut cancelled_inflight = 0u64;
+        for entry in self.shared.lock_inflight().values() {
+            entry.cancel.cancel();
+            cancelled_inflight += 1;
+        }
+        // Phase 3: grace, then force-resolve stragglers' tickets and
+        // detach their threads. A worker that eventually returns finds
+        // its completion already taken (first-wins) and simply exits.
+        if cancelled_inflight > 0 {
+            let grace_deadline = Instant::now() + DRAIN_GRACE;
+            while Instant::now() < grace_deadline {
+                if self.shared.lock_inflight().is_empty() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let mut forced_inflight = 0u64;
+        for entry in self.shared.lock_inflight().values() {
+            forced_inflight += 1;
+            self.shared.metrics.incr("serve.drain.forced_inflight", 1);
+            entry.cell.complete(QueryOutcome::Cancelled);
+        }
+        let mut detached_workers = 0u64;
+        let handles: Vec<JoinHandle<()>> = lock_table(&self.table)
+            .iter_mut()
+            .filter_map(|slot| slot.handle.take())
+            .collect();
+        for handle in handles {
+            if handle.is_finished() {
+                handle.join().ok();
+            } else {
+                detached_workers += 1;
+                drop(handle);
+            }
+        }
+        resolve_leftovers(&self.shared);
+        DrainReport {
+            clean: forced_queued == 0 && cancelled_inflight == 0 && forced_inflight == 0,
+            forced_queued,
+            cancelled_inflight,
+            forced_inflight,
+            detached_workers,
+            elapsed: started.elapsed(),
         }
     }
 }
 
-fn worker_loop<M: LanguageModel + 'static>(shared: &Shared<M>) {
+/// Resolve any request still sitting in the queue after the workers are
+/// gone (e.g. submitted in the instant before shutdown, with the whole
+/// pool already retired). Invariant: every admitted ticket resolves.
+fn resolve_leftovers<M>(shared: &Shared<M>) {
+    for admitted in shared.lock_sched().drain_all() {
+        shared
+            .quarantine
+            .on_abandoned(&admitted.request.tenant, admitted.probe);
+        record_outcome(
+            shared,
+            &admitted.request_id,
+            RequestVerdict::Cancelled,
+            admitted.enqueued_at.elapsed().as_secs_f64() * 1e3,
+            Trace::empty(names::SERVE_REQUEST),
+            None,
+        );
+        admitted.cell.complete(QueryOutcome::Cancelled);
+    }
+}
+
+fn worker_loop<M: LanguageModel + 'static>(shared: &Arc<Shared<M>>) {
     let pipeline =
         GenEditPipeline::with_config(Arc::clone(&shared.model), shared.config.pipeline.clone())
             .with_metrics(Arc::clone(&shared.metrics));
@@ -385,6 +748,16 @@ fn worker_loop<M: LanguageModel + 'static>(shared: &Shared<M>) {
             let mut sched = shared.lock_sched();
             loop {
                 if let Some(a) = sched.pop() {
+                    // Register in-flight *before* releasing the scheduler
+                    // lock: drain-time observers sample queue-then-inflight
+                    // and must never catch a request in neither.
+                    shared.lock_inflight().insert(
+                        a.seq,
+                        InFlight {
+                            cell: Arc::clone(&a.cell),
+                            cancel: a.cancel.clone(),
+                        },
+                    );
                     break a;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -399,8 +772,89 @@ fn worker_loop<M: LanguageModel + 'static>(shared: &Shared<M>) {
         shared
             .metrics
             .set_gauge("serve.queue_depth", shared.lock_sched().len() as f64);
-        serve_one(shared, &pipeline, admitted);
+        if !serve_one_contained(shared, &pipeline, admitted) {
+            // The request panicked. Its ticket is resolved and the panic
+            // recorded; this worker retires ("let it crash") and the
+            // supervisor respawns the slot on a fresh thread.
+            return;
+        }
     }
+}
+
+/// Render a caught panic payload for [`QueryOutcome::Failed`].
+fn panic_summary(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// RAII containment guard for one dequeued request: deregisters it from
+/// the in-flight table and — if no completion was recorded by the time
+/// the guard drops — resolves the ticket with a generic failure. The
+/// guard lives *outside* the `catch_unwind` boundary, so it fires even
+/// if the panic-handling path itself unwinds; in the normal panic path
+/// the catch arm has already completed the ticket with the real payload
+/// summary (completion is first-wins, the guard is a backstop).
+struct Containment<'a, M> {
+    shared: &'a Shared<M>,
+    cell: Arc<TicketCell>,
+    seq: u64,
+}
+
+impl<M> Drop for Containment<'_, M> {
+    fn drop(&mut self) {
+        self.shared.lock_inflight().remove(&self.seq);
+        if !self.cell.is_complete() {
+            self.cell.complete(QueryOutcome::Failed {
+                reason: "request abandoned without a recorded outcome".to_string(),
+            });
+        }
+    }
+}
+
+/// Execute one request inside its panic-isolation domain. Returns false
+/// when the request panicked (the worker should retire).
+fn serve_one_contained<M: LanguageModel + 'static, L: LanguageModel>(
+    shared: &Arc<Shared<M>>,
+    pipeline: &GenEditPipeline<L>,
+    admitted: Admitted,
+) -> bool {
+    let seq = admitted.seq;
+    let request_id = admitted.request_id.clone();
+    let tenant = admitted.request.tenant.clone();
+    let probe = admitted.probe;
+    let enqueued_at = admitted.enqueued_at;
+    let cell = Arc::clone(&admitted.cell);
+    let guard = Containment {
+        shared: shared.as_ref(),
+        cell: Arc::clone(&cell),
+        seq,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| serve_one(shared, pipeline, admitted)));
+    let survived = match outcome {
+        Ok(()) => true,
+        Err(payload) => {
+            let reason = panic_summary(payload.as_ref());
+            shared.metrics.incr("serve.panic", 1);
+            shared.quarantine.on_failure(&tenant, probe);
+            record_outcome(
+                shared,
+                &request_id,
+                RequestVerdict::Panicked,
+                enqueued_at.elapsed().as_secs_f64() * 1e3,
+                Trace::empty(names::SERVE_REQUEST),
+                Some(true),
+            );
+            cell.complete(QueryOutcome::Failed { reason });
+            false
+        }
+    };
+    drop(guard);
+    survived
 }
 
 /// Resolve a fired cancel token into its outcome: deadline expiry wins
@@ -423,6 +877,7 @@ fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
         cell,
         cancel,
         enqueued_at,
+        probe,
         ..
     } = admitted;
     let started = Instant::now();
@@ -435,6 +890,7 @@ fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
             QueryOutcome::Expired => shared.metrics.incr("serve.expired", 1),
             _ => shared.metrics.incr("serve.cancelled", 1),
         }
+        shared.quarantine.on_abandoned(&request.tenant, probe);
         // A missed deadline burns error budget; an explicit client
         // cancel does not.
         record_outcome(
@@ -471,6 +927,7 @@ fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
                 queue_wait,
                 started,
                 service_seq,
+                probe,
             );
             return;
         }
@@ -513,6 +970,7 @@ fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
             QueryOutcome::Expired => shared.metrics.incr("serve.expired", 1),
             _ => shared.metrics.incr("serve.cancelled", 1),
         }
+        shared.quarantine.on_abandoned(&request.tenant, probe);
         record_outcome(
             shared,
             &request_id,
@@ -531,7 +989,10 @@ fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
             .reforms
             .insert(key.clone(), (result.reformulated.clone(), emb));
     }
-    if shared.results.capacity() > 0 {
+    // Only validated generations are worth replaying: caching a failed
+    // one would pin the failure for the whole epoch, answering every
+    // retry of the question from the cache with the same broken SQL.
+    if shared.results.capacity() > 0 && result.validated {
         let evicted = shared.results.insert(key, result.clone());
         if evicted > 0 {
             shared.metrics.incr("serve.cache.evicted", evicted as u64);
@@ -547,6 +1008,7 @@ fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
         queue_wait,
         started,
         service_seq,
+        probe,
     );
 }
 
@@ -558,9 +1020,10 @@ fn finish<M>(
     cell: Arc<TicketCell>,
     result: GenerationResult,
     cached: bool,
-    queue_wait: std::time::Duration,
+    queue_wait: Duration,
     started: Instant,
     service_seq: u64,
+    probe: bool,
 ) {
     let service = started.elapsed();
     let latency_ms = (queue_wait + service).as_secs_f64() * 1e3;
@@ -571,6 +1034,11 @@ fn finish<M>(
     shared
         .metrics
         .observe(&format!("serve.latency_ms.{tenant}"), latency_ms);
+    if result.validated {
+        shared.quarantine.on_success(tenant, probe);
+    } else {
+        shared.quarantine.on_failure(tenant, probe);
+    }
     let verdict = if !result.validated {
         RequestVerdict::Error
     } else if result.degraded_operator_count() > 0 {

@@ -26,6 +26,9 @@ pub(crate) struct Admitted {
     pub cancel: CancelToken,
     pub enqueued_at: Instant,
     pub cost: u32,
+    /// True when this request was admitted as a half-open quarantine
+    /// probe: its outcome (alone) decides whether the tenant recovers.
+    pub probe: bool,
 }
 
 #[derive(Default)]
@@ -129,6 +132,21 @@ impl DrrScheduler {
             .min()
     }
 
+    /// Remove and return **every** queued request, in tenant-grouped FIFO
+    /// order. The drain path uses this after its deadline passes to
+    /// force-resolve stragglers instead of executing them.
+    pub fn drain_all(&mut self) -> Vec<Admitted> {
+        let mut drained = Vec::with_capacity(self.queued);
+        for q in self.tenants.values_mut() {
+            drained.extend(q.queue.drain(..));
+            q.deficit = 0;
+        }
+        self.ring.clear();
+        self.queued = 0;
+        drained.sort_by_key(|a| a.seq);
+        drained
+    }
+
     /// Remove a queued request by sequence number.
     pub fn remove(&mut self, seq: u64) -> Option<Admitted> {
         for q in self.tenants.values_mut() {
@@ -159,6 +177,7 @@ mod tests {
             cancel,
             enqueued_at: Instant::now(),
             cost: priority.cost(),
+            probe: false,
         }
     }
 

@@ -1,0 +1,687 @@
+//! Fault-containment tests for the serving runtime: per-request panic
+//! isolation, supervised worker respawn, tenant quarantine, the
+//! submit/shutdown race, unvalidated-result caching, and bounded drain.
+
+use genedit_bird::{DomainBundle, SPORTS};
+use genedit_core::KnowledgeIndex;
+use genedit_llm::{
+    CompletionRequest, CompletionResponse, LanguageModel, ModelError, OracleConfig, OracleModel,
+    TaskRegistry,
+};
+use genedit_serve::{
+    QuarantineConfig, QueryOutcome, QueryRequest, Rejected, ServeConfig, ServeRuntime,
+    SupervisorConfig, Ticket, DRAIN_GRACE,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Marker that makes [`PoisonModel`] panic: requests whose question
+/// carries it are poison pills, everything else passes through.
+const POISON: &str = "POISON";
+
+/// Suppress the default panic printout for *injected* poison panics so
+/// chaos tests don't spray stderr; every other panic (including test
+/// assertion failures) still prints through the saved default hook.
+fn quiet_poison_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if message.contains(POISON) {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn setup() -> (DomainBundle, OracleModel) {
+    let bundle = DomainBundle::build(&SPORTS, (8, 7, 3), 42);
+    let mut reg = TaskRegistry::new();
+    for t in &bundle.tasks {
+        reg.register(t.clone());
+    }
+    let oracle = OracleModel::with_config(
+        reg,
+        OracleConfig {
+            noise_rate: 0.0,
+            pseudo_drift_probability: 0.0,
+            drift_probability: 0.0,
+            canonical_form_penalty: 0.0,
+            ..Default::default()
+        },
+    );
+    (bundle, oracle)
+}
+
+/// A model that panics whenever the request's question carries the
+/// poison marker (checked against the original question too, so a
+/// reformulated prompt stays poisonous).
+struct PoisonModel<M> {
+    inner: M,
+}
+
+impl<M: LanguageModel> LanguageModel for PoisonModel<M> {
+    fn name(&self) -> &str {
+        "poison"
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        let original = request.prompt.original_question.as_deref().unwrap_or("");
+        if request.prompt.question.contains(POISON) || original.contains(POISON) {
+            panic!("{POISON}-pill request");
+        }
+        self.inner.complete(request)
+    }
+}
+
+/// A model whose error switch can be flipped at runtime: while broken it
+/// fails every call (the pipeline degrades to an unvalidated result),
+/// afterwards it passes through.
+struct SwitchModel<M> {
+    inner: M,
+    broken: Arc<AtomicBool>,
+}
+
+impl<M: LanguageModel> LanguageModel for SwitchModel<M> {
+    fn name(&self) -> &str {
+        "switch"
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        if self.broken.load(Ordering::SeqCst) {
+            return Err(ModelError::Transient("switched off".to_string()));
+        }
+        self.inner.complete(request)
+    }
+}
+
+/// A gate the test holds closed to pin workers inside a model call.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+}
+
+struct GatedModel<M> {
+    inner: M,
+    gate: Arc<Gate>,
+}
+
+impl<M: LanguageModel> LanguageModel for GatedModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, ModelError> {
+        self.gate.wait();
+        self.inner.complete(request)
+    }
+}
+
+/// Wait for a ticket with an explicit bound, so a stranded ticket fails
+/// the test with a message instead of hanging the harness.
+fn wait_bounded(ticket: &Ticket, bound: Duration) -> QueryOutcome {
+    let deadline = Instant::now() + bound;
+    loop {
+        if let Some(outcome) = ticket.try_wait() {
+            return outcome;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ticket {} never resolved",
+            ticket.request_id()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Spin until the pool is back at `n` live workers.
+fn wait_workers<M: LanguageModel + 'static>(runtime: &ServeRuntime<M>, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while runtime.workers_alive() != n {
+        assert!(
+            Instant::now() < deadline,
+            "pool stuck at {} workers, wanted {n}",
+            runtime.workers_alive()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn fast_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        poll_interval: Duration::from_millis(1),
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(5),
+        respawn_budget: 64,
+    }
+}
+
+#[test]
+fn panicking_request_resolves_its_ticket_and_pool_recovers() {
+    quiet_poison_panics();
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::start(
+        PoisonModel { inner: oracle },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 2,
+            supervisor: fast_supervisor(),
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(runtime.workers_alive(), 2);
+
+    let poison = runtime
+        .submit(QueryRequest::new("acme", format!("{POISON} this request")))
+        .unwrap();
+    let outcome = wait_bounded(&poison, Duration::from_secs(10));
+    match outcome {
+        QueryOutcome::Failed { ref reason } => {
+            assert!(
+                reason.contains(POISON),
+                "panic payload should surface in the outcome, got {reason:?}"
+            );
+        }
+        other => panic!("poison request should fail, got {other:?}"),
+    }
+    assert_eq!(runtime.metrics().counter("serve.panic"), 1);
+
+    // The retired worker respawns and clean traffic keeps completing.
+    wait_workers(&runtime, 2);
+    assert!(runtime.metrics().counter("serve.worker.respawned") >= 1);
+    for task in bundle.tasks.iter().take(3) {
+        let ticket = runtime
+            .submit(QueryRequest::new("acme", &task.question))
+            .unwrap();
+        let outcome = wait_bounded(&ticket, Duration::from_secs(10));
+        assert!(
+            outcome.is_completed(),
+            "clean request after a panic should complete, got {outcome:?}"
+        );
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn repeated_panics_keep_respawning_within_budget() {
+    quiet_poison_panics();
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::start(
+        PoisonModel { inner: oracle },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 2,
+            supervisor: fast_supervisor(),
+            ..ServeConfig::default()
+        },
+    );
+    for i in 0..4 {
+        let ticket = runtime
+            .submit(QueryRequest::new("acme", format!("{POISON} #{i}")))
+            .unwrap();
+        let outcome = wait_bounded(&ticket, Duration::from_secs(10));
+        assert!(matches!(outcome, QueryOutcome::Failed { .. }));
+        wait_workers(&runtime, 2);
+    }
+    assert_eq!(runtime.metrics().counter("serve.panic"), 4);
+    assert!(runtime.metrics().counter("serve.worker.respawned") >= 4);
+    assert_eq!(runtime.metrics().counter("serve.worker.abandoned"), 0);
+    runtime.shutdown();
+}
+
+#[test]
+fn exhausted_respawn_budget_abandons_slot_and_shutdown_still_resolves_queue() {
+    quiet_poison_panics();
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::start(
+        PoisonModel { inner: oracle },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            supervisor: SupervisorConfig {
+                respawn_budget: 0,
+                ..fast_supervisor()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let poison = runtime
+        .submit(QueryRequest::new("acme", format!("{POISON} once")))
+        .unwrap();
+    assert!(matches!(
+        wait_bounded(&poison, Duration::from_secs(10)),
+        QueryOutcome::Failed { .. }
+    ));
+    // Budget 0: the slot is abandoned instead of respawned.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while runtime.metrics().counter("serve.worker.abandoned") == 0 {
+        assert!(Instant::now() < deadline, "slot never abandoned");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(runtime.workers_alive(), 0);
+
+    // Work queued behind a fully-dead pool must still resolve at
+    // shutdown instead of stranding its caller.
+    let stuck = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[0].question))
+        .unwrap();
+    runtime.shutdown();
+    assert!(matches!(
+        wait_bounded(&stuck, Duration::from_secs(5)),
+        QueryOutcome::Cancelled
+    ));
+}
+
+#[test]
+fn panicked_verdict_lands_in_the_flight_recorder() {
+    quiet_poison_panics();
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::start(
+        PoisonModel { inner: oracle },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            supervisor: fast_supervisor(),
+            observability: genedit_serve::ObsConfig {
+                recorder: Some(genedit_telemetry::RecorderConfig::default()),
+                ..Default::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let poison = runtime
+        .submit(QueryRequest::new("acme", format!("{POISON} recorded")))
+        .unwrap();
+    wait_bounded(&poison, Duration::from_secs(10));
+    let dump = runtime.flight_recorder().unwrap().dump_jsonl();
+    assert!(
+        dump.contains("Panicked"),
+        "flight recorder should carry the Panicked verdict: {dump}"
+    );
+    runtime.shutdown();
+}
+
+#[test]
+fn quarantine_trips_probes_and_recovers_end_to_end() {
+    quiet_poison_panics();
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::start(
+        PoisonModel { inner: oracle },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 2,
+            supervisor: fast_supervisor(),
+            quarantine: QuarantineConfig {
+                enabled: true,
+                window: Duration::from_secs(30),
+                min_samples: 3,
+                failure_ratio: 0.5,
+                cooldown: Duration::from_millis(150),
+                probe_quota: 1,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    use genedit_serve::QuarantineState;
+
+    // Three poison requests from one tenant trip its breaker.
+    for i in 0..3 {
+        let ticket = runtime
+            .submit(QueryRequest::new("evil", format!("{POISON} #{i}")))
+            .unwrap();
+        assert!(matches!(
+            wait_bounded(&ticket, Duration::from_secs(10)),
+            QueryOutcome::Failed { .. }
+        ));
+        wait_workers(&runtime, 2);
+    }
+    assert_eq!(runtime.quarantine_state("evil"), QuarantineState::Open);
+    assert_eq!(
+        runtime
+            .submit(QueryRequest::new("evil", "anything"))
+            .map(|_| ()),
+        Err(Rejected::Quarantined)
+    );
+    // The healthy tenant is untouched by its neighbor's quarantine.
+    let good = runtime
+        .submit(QueryRequest::new("good", &bundle.tasks[0].question))
+        .unwrap();
+    assert!(wait_bounded(&good, Duration::from_secs(10)).is_completed());
+    assert_eq!(runtime.quarantine_state("good"), QuarantineState::Closed);
+
+    // After the cooldown a single clean probe closes the breaker.
+    std::thread::sleep(Duration::from_millis(200));
+    let probe = runtime
+        .submit(QueryRequest::new("evil", &bundle.tasks[1].question))
+        .unwrap();
+    assert!(wait_bounded(&probe, Duration::from_secs(10)).is_completed());
+    assert_eq!(runtime.quarantine_state("evil"), QuarantineState::Closed);
+    let after = runtime
+        .submit(QueryRequest::new("evil", &bundle.tasks[2].question))
+        .unwrap();
+    assert!(wait_bounded(&after, Duration::from_secs(10)).is_completed());
+    assert!(runtime.metrics().counter("serve.quarantine.tripped") >= 1);
+    assert!(runtime.metrics().counter("serve.quarantine.recovered") >= 1);
+    runtime.shutdown();
+}
+
+#[test]
+fn failed_probe_reopens_quarantine() {
+    quiet_poison_panics();
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::start(
+        PoisonModel { inner: oracle },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            supervisor: fast_supervisor(),
+            quarantine: QuarantineConfig {
+                enabled: true,
+                window: Duration::from_secs(30),
+                min_samples: 2,
+                failure_ratio: 0.5,
+                cooldown: Duration::from_millis(100),
+                probe_quota: 1,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    use genedit_serve::QuarantineState;
+    for i in 0..2 {
+        let ticket = runtime
+            .submit(QueryRequest::new("evil", format!("{POISON} #{i}")))
+            .unwrap();
+        wait_bounded(&ticket, Duration::from_secs(10));
+        wait_workers(&runtime, 1);
+    }
+    assert_eq!(runtime.quarantine_state("evil"), QuarantineState::Open);
+    std::thread::sleep(Duration::from_millis(150));
+    // The probe itself is poison: straight back to Open.
+    let probe = runtime
+        .submit(QueryRequest::new("evil", format!("{POISON} probe")))
+        .unwrap();
+    assert!(matches!(
+        wait_bounded(&probe, Duration::from_secs(10)),
+        QueryOutcome::Failed { .. }
+    ));
+    assert_eq!(runtime.quarantine_state("evil"), QuarantineState::Open);
+    assert_eq!(
+        runtime
+            .submit(QueryRequest::new("evil", "anything"))
+            .map(|_| ()),
+        Err(Rejected::Quarantined)
+    );
+    assert!(runtime.metrics().counter("serve.quarantine.retripped") >= 1);
+    runtime.shutdown();
+}
+
+#[test]
+fn unvalidated_results_are_never_cached() {
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let broken = Arc::new(AtomicBool::new(true));
+    let runtime = ServeRuntime::start(
+        SwitchModel {
+            inner: oracle,
+            broken: Arc::clone(&broken),
+        },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let question = &bundle.tasks[0].question;
+    // Total outage: the request completes but fails validation. The old
+    // runtime cached this result and replayed the broken SQL for the
+    // whole epoch.
+    let first = runtime.submit(QueryRequest::new("acme", question)).unwrap();
+    match wait_bounded(&first, Duration::from_secs(10)) {
+        QueryOutcome::Completed { result, cached, .. } => {
+            assert!(!result.validated, "outage result should fail validation");
+            assert!(!cached);
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    // Backend recovers: the same question must re-execute (no cache
+    // hit on the unvalidated result) and now validate.
+    broken.store(false, Ordering::SeqCst);
+    let second = runtime.submit(QueryRequest::new("acme", question)).unwrap();
+    match wait_bounded(&second, Duration::from_secs(10)) {
+        QueryOutcome::Completed { result, cached, .. } => {
+            assert!(!cached, "the unvalidated result must not have been cached");
+            assert!(result.validated);
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    // The validated result *is* cached.
+    let third = runtime.submit(QueryRequest::new("acme", question)).unwrap();
+    match wait_bounded(&third, Duration::from_secs(10)) {
+        QueryOutcome::Completed { result, cached, .. } => {
+            assert!(cached);
+            assert!(result.validated);
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn submit_shutdown_race_never_strands_a_ticket() {
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = Arc::new(ServeRuntime::start(
+        oracle,
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            ..ServeConfig::default()
+        },
+    ));
+    let questions: Vec<String> = bundle.tasks.iter().map(|t| t.question.clone()).collect();
+    let mut submitters = Vec::new();
+    for worker in 0..4 {
+        let runtime = Arc::clone(&runtime);
+        let questions = questions.clone();
+        submitters.push(std::thread::spawn(move || {
+            let mut tickets = Vec::new();
+            for i in 0usize.. {
+                let q = &questions[(worker + i) % questions.len()];
+                match runtime.submit(QueryRequest::new("acme", q)) {
+                    Ok(ticket) => tickets.push(ticket),
+                    Err(Rejected::ShuttingDown) => break,
+                    Err(Rejected::QueueFull) => std::thread::sleep(Duration::from_millis(1)),
+                    Err(other) => panic!("unexpected rejection {other:?}"),
+                }
+            }
+            tickets
+        }));
+    }
+    // Shut down while all four submitters are still hammering: any
+    // submit that loses the race under the scheduler lock must answer
+    // ShuttingDown, and any that won must resolve below.
+    std::thread::sleep(Duration::from_millis(20));
+    runtime.shutdown();
+    let tickets: Vec<Ticket> = submitters
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    assert!(!tickets.is_empty(), "submitters never got a request in");
+    // Every accepted ticket resolves — none stranded behind the race.
+    for ticket in &tickets {
+        let outcome = wait_bounded(ticket, Duration::from_secs(10));
+        assert!(
+            outcome.is_completed() || matches!(outcome, QueryOutcome::Cancelled),
+            "unexpected outcome {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn drain_with_deadline_is_bounded_and_resolves_everything() {
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let gate = Gate::new();
+    let runtime = ServeRuntime::start(
+        GatedModel {
+            inner: oracle,
+            gate: Arc::clone(&gate),
+        },
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    // One request wedged inside the model call, two stuck behind it.
+    let wedged = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[0].question))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while runtime.queue_depth() > 0 {
+        assert!(Instant::now() < deadline, "worker never picked up request");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let queued_a = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[1].question))
+        .unwrap();
+    let queued_b = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[2].question))
+        .unwrap();
+
+    let timeout = Duration::from_millis(150);
+    let started = Instant::now();
+    let report = runtime.shutdown_with_deadline(timeout);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < timeout + DRAIN_GRACE + Duration::from_secs(2),
+        "drain took {elapsed:?}, bound was {timeout:?} + {DRAIN_GRACE:?}"
+    );
+    assert!(!report.clean);
+    assert_eq!(report.forced_queued, 2);
+    assert_eq!(report.cancelled_inflight, 1);
+    assert_eq!(report.forced_inflight, 1, "gated worker never sees cancel");
+    assert_eq!(report.detached_workers, 1);
+    // Every ticket resolved despite the wedged worker.
+    assert!(matches!(
+        wait_bounded(&wedged, Duration::from_secs(5)),
+        QueryOutcome::Cancelled
+    ));
+    for ticket in [&queued_a, &queued_b] {
+        assert!(matches!(
+            wait_bounded(ticket, Duration::from_secs(5)),
+            QueryOutcome::Cancelled
+        ));
+    }
+    // Unblock the detached thread so it can exit.
+    gate.open();
+}
+
+#[test]
+fn drain_with_deadline_is_clean_when_work_finishes_in_time() {
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::start(
+        oracle,
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<Ticket> = bundle
+        .tasks
+        .iter()
+        .take(6)
+        .map(|t| {
+            runtime
+                .submit(QueryRequest::new("acme", &t.question))
+                .unwrap()
+        })
+        .collect();
+    let report = runtime.shutdown_with_deadline(Duration::from_secs(30));
+    assert!(report.clean, "expected clean drain, got {report:?}");
+    assert_eq!(report.forced_queued, 0);
+    assert_eq!(report.cancelled_inflight, 0);
+    assert_eq!(report.forced_inflight, 0);
+    assert_eq!(report.detached_workers, 0);
+    for ticket in &tickets {
+        assert!(wait_bounded(ticket, Duration::from_secs(5)).is_completed());
+    }
+}
+
+#[test]
+fn try_start_returns_a_working_runtime() {
+    let (bundle, oracle) = setup();
+    let index = Arc::new(KnowledgeIndex::build(bundle.build_knowledge()));
+    let runtime = ServeRuntime::try_start(
+        oracle,
+        index,
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig::default(),
+    )
+    .expect("spawning a normal pool succeeds");
+    assert_eq!(runtime.workers_alive(), 2);
+    let ticket = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[0].question))
+        .unwrap();
+    assert!(wait_bounded(&ticket, Duration::from_secs(10)).is_completed());
+    runtime.shutdown();
+}

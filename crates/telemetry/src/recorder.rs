@@ -35,6 +35,10 @@ pub enum RequestVerdict {
     Error,
     /// Cancelled before completion (client gone, shed, timeout).
     Cancelled,
+    /// The worker thread panicked mid-request; the serving layer caught
+    /// the unwind, resolved the ticket, and retired the worker. Always
+    /// retained: a panic is the single most postmortem-worthy verdict.
+    Panicked,
 }
 
 /// One completed request as the flight recorder keeps it.
