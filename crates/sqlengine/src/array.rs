@@ -1,0 +1,840 @@
+//! Columnar arrays and batches for the vectorized engine.
+//!
+//! An [`Array`] is one column of values in a typed layout with a validity
+//! bitmap; a [`DataChunk`] is a batch of equal-length columns behind
+//! `Arc` so operators can share columns without copying. Columns whose
+//! values mix types (legal in this dynamically typed engine) degrade to
+//! the [`Array::Any`] layout, which stores boxed [`Value`]s — semantics
+//! never change, only the memory layout does.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::value::{Date, Value};
+use std::sync::Arc;
+
+/// A packed validity bitmap: bit `i` set means row `i` is non-NULL.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    /// A bitmap of `len` entries, all set to `valid`.
+    pub fn with_len(len: usize, valid: bool) -> Bitmap {
+        let word = if valid { u64::MAX } else { 0 };
+        Bitmap {
+            bits: vec![word; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, valid: bool) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if valid {
+            self.bits[word] |= 1 << bit;
+        } else {
+            self.bits[word] &= !(1 << bit);
+        }
+        self.len += 1;
+    }
+
+    /// Mark entry `i` valid.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Is entry `i` valid (non-NULL)?
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the bitmap empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of valid (non-NULL) entries.
+    pub fn count_valid(&self) -> usize {
+        let mut n: usize = 0;
+        for (w, word) in self.bits.iter().enumerate() {
+            let live = if (w + 1) * 64 <= self.len {
+                *word
+            } else {
+                let tail = self.len - w * 64;
+                if tail == 0 {
+                    0
+                } else {
+                    *word & (u64::MAX >> (64 - tail))
+                }
+            };
+            n += live.count_ones() as usize;
+        }
+        n
+    }
+}
+
+/// A borrowed view of one array element — the alloc-free currency of the
+/// element-wise kernels in [`crate::vector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// Integer element.
+    Int(i64),
+    /// Float element.
+    Float(f64),
+    /// Text element, borrowed from the array.
+    Str(&'a str),
+    /// Boolean element.
+    Bool(bool),
+    /// Date element.
+    Date(Date),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Materialize into an owned [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Integer(i),
+            ValueRef::Float(f) => Value::Float(f),
+            ValueRef::Str(s) => Value::Text(s.to_string()),
+            ValueRef::Bool(b) => Value::Boolean(b),
+            ValueRef::Date(d) => Value::Date(d),
+        }
+    }
+
+    /// Borrowing view of an owned [`Value`].
+    pub fn from_value(v: &'a Value) -> ValueRef<'a> {
+        match v {
+            Value::Null => ValueRef::Null,
+            Value::Integer(i) => ValueRef::Int(*i),
+            Value::Float(f) => ValueRef::Float(*f),
+            Value::Text(s) => ValueRef::Str(s),
+            Value::Boolean(b) => ValueRef::Bool(*b),
+            Value::Date(d) => ValueRef::Date(*d),
+        }
+    }
+}
+
+impl std::fmt::Display for ValueRef<'_> {
+    /// Renders exactly like [`Value`]'s `Display`, so vectorized error
+    /// messages and `||` concatenation match the row engine.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueRef::Null => f.write_str("NULL"),
+            ValueRef::Int(i) => write!(f, "{i}"),
+            ValueRef::Float(x) => f.write_str(&crate::value::render_float(*x)),
+            ValueRef::Str(s) => f.write_str(s),
+            ValueRef::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            ValueRef::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// One column of a batch in a typed layout.
+///
+/// Invalid (NULL) slots of the typed layouts hold an arbitrary default;
+/// readers must consult the validity bitmap first (as [`Array::at`] does).
+#[derive(Debug, Clone)]
+pub enum Array {
+    /// 64-bit integers.
+    Int {
+        /// Element storage; NULL slots hold 0.
+        data: Vec<i64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Element storage; NULL slots hold 0.0.
+        data: Vec<f64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Strings.
+    Str {
+        /// Element storage; NULL slots hold "".
+        data: Vec<String>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Booleans.
+    Bool {
+        /// Element storage; NULL slots hold false.
+        data: Vec<bool>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Dates.
+    Date {
+        /// Element storage; NULL slots hold an arbitrary date.
+        data: Vec<Date>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Mixed-type fallback: boxed values, NULLs stored inline.
+    Any(Vec<Value>),
+}
+
+impl Array {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Array::Int { data, .. } => data.len(),
+            Array::Float { data, .. } => data.len(),
+            Array::Str { data, .. } => data.len(),
+            Array::Bool { data, .. } => data.len(),
+            Array::Date { data, .. } => data.len(),
+            Array::Any(v) => v.len(),
+        }
+    }
+
+    /// Is the array empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is element `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Array::Int { validity, .. }
+            | Array::Float { validity, .. }
+            | Array::Str { validity, .. }
+            | Array::Bool { validity, .. }
+            | Array::Date { validity, .. } => !validity.get(i),
+            Array::Any(v) => v[i].is_null(),
+        }
+    }
+
+    /// Borrowed view of element `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> ValueRef<'_> {
+        match self {
+            Array::Int { data, validity } => {
+                if validity.get(i) {
+                    ValueRef::Int(data[i])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            Array::Float { data, validity } => {
+                if validity.get(i) {
+                    ValueRef::Float(data[i])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            Array::Str { data, validity } => {
+                if validity.get(i) {
+                    ValueRef::Str(&data[i])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            Array::Bool { data, validity } => {
+                if validity.get(i) {
+                    ValueRef::Bool(data[i])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            Array::Date { data, validity } => {
+                if validity.get(i) {
+                    ValueRef::Date(data[i])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            Array::Any(v) => ValueRef::from_value(&v[i]),
+        }
+    }
+
+    /// Owned copy of element `i`.
+    pub fn get(&self, i: usize) -> Value {
+        self.at(i).to_value()
+    }
+
+    /// New array of the elements at `indices`, in order. Typed layouts
+    /// copy storage directly rather than routing every element through
+    /// the builder's type dispatch.
+    pub fn gather(&self, indices: &[u32]) -> Array {
+        fn bits(validity: &Bitmap, indices: &[u32]) -> Bitmap {
+            let mut v = Bitmap::with_len(indices.len(), false);
+            for (o, &i) in indices.iter().enumerate() {
+                if validity.get(i as usize) {
+                    v.set(o);
+                }
+            }
+            v
+        }
+        match self {
+            Array::Int { data, validity } => Array::Int {
+                data: indices.iter().map(|&i| data[i as usize]).collect(),
+                validity: bits(validity, indices),
+            },
+            Array::Float { data, validity } => Array::Float {
+                data: indices.iter().map(|&i| data[i as usize]).collect(),
+                validity: bits(validity, indices),
+            },
+            Array::Str { data, validity } => Array::Str {
+                data: indices.iter().map(|&i| data[i as usize].clone()).collect(),
+                validity: bits(validity, indices),
+            },
+            Array::Bool { data, validity } => Array::Bool {
+                data: indices.iter().map(|&i| data[i as usize]).collect(),
+                validity: bits(validity, indices),
+            },
+            Array::Date { data, validity } => Array::Date {
+                data: indices.iter().map(|&i| data[i as usize]).collect(),
+                validity: bits(validity, indices),
+            },
+            Array::Any(values) => Array::Any(
+                indices
+                    .iter()
+                    .map(|&i| values[i as usize].clone())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Like [`Array::gather`], but `u32::MAX` entries produce NULL —
+    /// used to pad the unmatched side of LEFT joins.
+    pub fn gather_padded(&self, indices: &[u32]) -> Array {
+        let mut b = ArrayBuilder::with_capacity(indices.len());
+        for &i in indices {
+            if i == u32::MAX {
+                b.push_ref(ValueRef::Null);
+            } else {
+                b.push_ref(self.at(i as usize));
+            }
+        }
+        b.finish()
+    }
+
+    /// Build an array from owned values.
+    pub fn from_values(values: Vec<Value>) -> Array {
+        let mut b = ArrayBuilder::with_capacity(values.len());
+        for v in values {
+            b.push(v);
+        }
+        b.finish()
+    }
+}
+
+/// Incremental [`Array`] constructor.
+///
+/// The layout is decided by the first non-NULL value pushed; a later
+/// value of a different type degrades the whole column to [`Array::Any`].
+#[derive(Debug)]
+pub enum ArrayBuilder {
+    /// Nothing but NULLs seen so far.
+    Untyped {
+        /// NULL count.
+        nulls: usize,
+    },
+    /// Integer layout.
+    Int {
+        /// Element storage.
+        data: Vec<i64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Float layout.
+    Float {
+        /// Element storage.
+        data: Vec<f64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// String layout.
+    Str {
+        /// Element storage.
+        data: Vec<String>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Boolean layout.
+    Bool {
+        /// Element storage.
+        data: Vec<bool>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Date layout.
+    Date {
+        /// Element storage.
+        data: Vec<Date>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Mixed-type fallback.
+    Any(Vec<Value>),
+}
+
+macro_rules! builder_start {
+    ($nulls:expr, $variant:ident, $default:expr, $v:expr) => {{
+        let mut data = Vec::with_capacity($nulls + 8);
+        data.resize($nulls, $default);
+        let mut validity = Bitmap::with_len($nulls, false);
+        data.push($v);
+        validity.push(true);
+        ArrayBuilder::$variant { data, validity }
+    }};
+}
+
+impl ArrayBuilder {
+    /// An empty builder.
+    pub fn new() -> ArrayBuilder {
+        ArrayBuilder::Untyped { nulls: 0 }
+    }
+
+    /// An empty builder with room for `cap` elements.
+    pub fn with_capacity(_cap: usize) -> ArrayBuilder {
+        // Capacity is reserved lazily when the layout is decided.
+        ArrayBuilder::new()
+    }
+
+    /// Number of elements pushed so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayBuilder::Untyped { nulls } => *nulls,
+            ArrayBuilder::Int { data, .. } => data.len(),
+            ArrayBuilder::Float { data, .. } => data.len(),
+            ArrayBuilder::Str { data, .. } => data.len(),
+            ArrayBuilder::Bool { data, .. } => data.len(),
+            ArrayBuilder::Date { data, .. } => data.len(),
+            ArrayBuilder::Any(v) => v.len(),
+        }
+    }
+
+    /// Is the builder empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one owned value.
+    pub fn push(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ArrayBuilder::Untyped { nulls }, Value::Null) => *nulls += 1,
+            (ArrayBuilder::Untyped { nulls }, Value::Integer(i)) => {
+                *self = builder_start!(*nulls, Int, 0, i);
+            }
+            (ArrayBuilder::Untyped { nulls }, Value::Float(f)) => {
+                *self = builder_start!(*nulls, Float, 0.0, f);
+            }
+            (ArrayBuilder::Untyped { nulls }, Value::Text(s)) => {
+                *self = builder_start!(*nulls, Str, String::new(), s);
+            }
+            (ArrayBuilder::Untyped { nulls }, Value::Boolean(b)) => {
+                *self = builder_start!(*nulls, Bool, false, b);
+            }
+            (ArrayBuilder::Untyped { nulls }, Value::Date(d)) => {
+                *self = builder_start!(*nulls, Date, d, d);
+            }
+            (ArrayBuilder::Int { data, validity }, Value::Integer(i)) => {
+                data.push(i);
+                validity.push(true);
+            }
+            (ArrayBuilder::Int { data, validity }, Value::Null) => {
+                data.push(0);
+                validity.push(false);
+            }
+            (ArrayBuilder::Float { data, validity }, Value::Float(f)) => {
+                data.push(f);
+                validity.push(true);
+            }
+            (ArrayBuilder::Float { data, validity }, Value::Null) => {
+                data.push(0.0);
+                validity.push(false);
+            }
+            (ArrayBuilder::Str { data, validity }, Value::Text(s)) => {
+                data.push(s);
+                validity.push(true);
+            }
+            (ArrayBuilder::Str { data, validity }, Value::Null) => {
+                data.push(String::new());
+                validity.push(false);
+            }
+            (ArrayBuilder::Bool { data, validity }, Value::Boolean(b)) => {
+                data.push(b);
+                validity.push(true);
+            }
+            (ArrayBuilder::Bool { data, validity }, Value::Null) => {
+                data.push(false);
+                validity.push(false);
+            }
+            (ArrayBuilder::Date { data, validity }, Value::Date(d)) => {
+                data.push(d);
+                validity.push(true);
+            }
+            (ArrayBuilder::Date { data, validity }, Value::Null) => {
+                // Reuse the first element as the placeholder; readers
+                // never look at invalid slots.
+                data.push(data[0]);
+                validity.push(false);
+            }
+            (ArrayBuilder::Any(values), v) => values.push(v),
+            (_, v) => {
+                self.degrade();
+                if let ArrayBuilder::Any(values) = self {
+                    values.push(v);
+                }
+            }
+        }
+    }
+
+    /// Append one borrowed value.
+    pub fn push_ref(&mut self, v: ValueRef<'_>) {
+        // Typed fast paths that avoid materializing a Value.
+        match (&mut *self, v) {
+            (ArrayBuilder::Int { data, validity }, ValueRef::Int(i)) => {
+                data.push(i);
+                validity.push(true);
+                return;
+            }
+            (ArrayBuilder::Float { data, validity }, ValueRef::Float(f)) => {
+                data.push(f);
+                validity.push(true);
+                return;
+            }
+            (ArrayBuilder::Untyped { nulls }, ValueRef::Null) => {
+                *nulls += 1;
+                return;
+            }
+            _ => {}
+        }
+        self.push(v.to_value());
+    }
+
+    fn degrade(&mut self) {
+        let taken = std::mem::replace(self, ArrayBuilder::Any(Vec::new()));
+        let values = array_to_values(taken.finish());
+        *self = ArrayBuilder::Any(values);
+    }
+
+    /// Finalize into an [`Array`]. An all-NULL column finishes as
+    /// [`Array::Any`] holding NULLs.
+    pub fn finish(self) -> Array {
+        match self {
+            ArrayBuilder::Untyped { nulls } => Array::Any(vec![Value::Null; nulls]),
+            ArrayBuilder::Int { data, validity } => Array::Int { data, validity },
+            ArrayBuilder::Float { data, validity } => Array::Float { data, validity },
+            ArrayBuilder::Str { data, validity } => Array::Str { data, validity },
+            ArrayBuilder::Bool { data, validity } => Array::Bool { data, validity },
+            ArrayBuilder::Date { data, validity } => Array::Date { data, validity },
+            ArrayBuilder::Any(values) => Array::Any(values),
+        }
+    }
+}
+
+impl Default for ArrayBuilder {
+    fn default() -> Self {
+        ArrayBuilder::new()
+    }
+}
+
+fn array_to_values(a: Array) -> Vec<Value> {
+    match a {
+        Array::Any(values) => values,
+        Array::Int { data, validity } => data
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                if validity.get(i) {
+                    Value::Integer(x)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect(),
+        Array::Float { data, validity } => data
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                if validity.get(i) {
+                    Value::Float(x)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect(),
+        Array::Str { data, validity } => data
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                if validity.get(i) {
+                    Value::Text(x)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect(),
+        Array::Bool { data, validity } => data
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                if validity.get(i) {
+                    Value::Boolean(x)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect(),
+        Array::Date { data, validity } => data
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                if validity.get(i) {
+                    Value::Date(x)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Transpose borrowed row-major values into shared columns. `width`
+/// disambiguates the zero-row case.
+pub fn columns_from_rows(rows: &[Vec<Value>], width: usize) -> Vec<Arc<Array>> {
+    let mut builders: Vec<ArrayBuilder> = (0..width)
+        .map(|_| ArrayBuilder::with_capacity(rows.len()))
+        .collect();
+    for row in rows {
+        for (b, v) in builders.iter_mut().zip(row.iter()) {
+            b.push(v.clone());
+        }
+    }
+    builders.into_iter().map(|b| Arc::new(b.finish())).collect()
+}
+
+/// A batch of equal-length columns. The row count is carried explicitly
+/// so zero-column chunks (the `SELECT` with no `FROM` case) still have a
+/// well-defined length.
+#[derive(Debug, Clone)]
+pub struct DataChunk {
+    /// Columns, shared by reference between operators.
+    pub cols: Vec<Arc<Array>>,
+    len: usize,
+}
+
+impl DataChunk {
+    /// A chunk from pre-built columns. All columns must have `len` rows.
+    pub fn new(cols: Vec<Arc<Array>>, len: usize) -> DataChunk {
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        DataChunk { cols, len }
+    }
+
+    /// The zero-column, one-row chunk used for `SELECT` without `FROM`.
+    pub fn unit() -> DataChunk {
+        DataChunk {
+            cols: Vec::new(),
+            len: 1,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the chunk empty (zero rows)?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Owned copy of row `i`.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Transpose row-major values into columns, consuming the rows.
+    /// `width` disambiguates the zero-row case.
+    pub fn from_rows(rows: Vec<Vec<Value>>, width: usize) -> DataChunk {
+        let len = rows.len();
+        let mut builders: Vec<ArrayBuilder> = (0..width).map(|_| ArrayBuilder::new()).collect();
+        for row in rows {
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v);
+            }
+        }
+        DataChunk {
+            cols: builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            len,
+        }
+    }
+
+    /// Copy out row-major values (columns stay shared).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Move out row-major values. Columns not shared elsewhere are
+    /// transposed without cloning element payloads.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        let width = self.cols.len();
+        let mut rows: Vec<Vec<Value>> = (0..self.len).map(|_| Vec::with_capacity(width)).collect();
+        for col in self.cols {
+            match Arc::try_unwrap(col) {
+                Ok(array) => {
+                    for (i, v) in array_to_values(array).into_iter().enumerate() {
+                        rows[i].push(v);
+                    }
+                }
+                Err(shared) => {
+                    for (i, row) in rows.iter_mut().enumerate() {
+                        row.push(shared.get(i));
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// New chunk of the rows at `indices`, in order.
+    pub fn take(&self, indices: &[u32]) -> DataChunk {
+        DataChunk {
+            cols: self
+                .cols
+                .iter()
+                .map(|c| Arc::new(c.gather(indices)))
+                .collect(),
+            len: indices.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_push_get_count() {
+        let mut b = Bitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_valid(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn builder_typed_layout_with_nulls() {
+        let a = Array::from_values(vec![
+            Value::Null,
+            Value::Integer(7),
+            Value::Null,
+            Value::Integer(9),
+        ]);
+        assert!(matches!(a, Array::Int { .. }));
+        assert!(a.is_null(0));
+        assert_eq!(a.get(1), Value::Integer(7));
+        assert!(a.is_null(2));
+        assert_eq!(a.get(3), Value::Integer(9));
+    }
+
+    #[test]
+    fn builder_degrades_to_any_on_mixed_types() {
+        let a = Array::from_values(vec![
+            Value::Integer(1),
+            Value::Text("x".into()),
+            Value::Null,
+            Value::Float(2.5),
+        ]);
+        assert!(matches!(a, Array::Any(_)));
+        assert_eq!(a.get(0), Value::Integer(1));
+        assert_eq!(a.get(1), Value::Text("x".into()));
+        assert!(a.is_null(2));
+        assert_eq!(a.get(3), Value::Float(2.5));
+    }
+
+    #[test]
+    fn all_null_column_round_trips() {
+        let a = Array::from_values(vec![Value::Null; 5]);
+        assert_eq!(a.len(), 5);
+        assert!((0..5).all(|i| a.is_null(i)));
+    }
+
+    #[test]
+    fn gather_and_padded_gather() {
+        let a = Array::from_values(vec![Value::Integer(10), Value::Null, Value::Integer(30)]);
+        let g = a.gather(&[2, 0, 1]);
+        assert_eq!(g.get(0), Value::Integer(30));
+        assert_eq!(g.get(1), Value::Integer(10));
+        assert!(g.is_null(2));
+        let p = a.gather_padded(&[0, u32::MAX]);
+        assert_eq!(p.get(0), Value::Integer(10));
+        assert!(p.is_null(1), "u32::MAX pads NULL (LEFT join semantics)");
+    }
+
+    #[test]
+    fn chunk_row_round_trip_preserves_value_identity() {
+        let rows = vec![
+            vec![Value::Integer(1), Value::Text("a|b".into()), Value::Null],
+            vec![Value::Integer(2), Value::Null, Value::Float(0.5)],
+        ];
+        let chunk = DataChunk::from_rows(rows.clone(), 3);
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.width(), 3);
+        assert_eq!(chunk.to_rows(), rows);
+        assert_eq!(chunk.into_rows(), rows);
+    }
+
+    #[test]
+    fn unit_chunk_has_one_empty_row() {
+        let c = DataChunk::unit();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.row(0), Vec::<Value>::new());
+        assert_eq!(c.take(&[0, 0]).len(), 2);
+    }
+
+    #[test]
+    fn float_bits_preserved_through_chunk() {
+        // NaN and -0.0 must survive transposition bit-for-bit so result
+        // fingerprints stay identical to the row engine.
+        let rows = vec![vec![Value::Float(f64::NAN)], vec![Value::Float(-0.0)]];
+        let chunk = DataChunk::from_rows(rows, 1);
+        let out = chunk.into_rows();
+        match (&out[0][0], &out[1][0]) {
+            (Value::Float(a), Value::Float(b)) => {
+                assert!(a.is_nan());
+                assert_eq!(b.to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -5,10 +5,12 @@
 //! most frequent values per attribute" — see [`Table::top_values`] and
 //! [`ColumnProfile`].
 
+use crate::array::{columns_from_rows, Array};
 use crate::error::{EngineError, EngineResult};
 use crate::value::{DataType, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// A column definition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,14 +48,31 @@ pub struct ColumnProfile {
     pub null_count: usize,
 }
 
+/// Lazily built columnar image of a table's rows, shared with the
+/// vectorized executor by cheap `Arc` clones.
+#[derive(Debug, Clone)]
+pub struct ColumnarSnapshot {
+    /// One array per column, in schema order.
+    pub cols: Vec<Arc<Array>>,
+    /// Row count the snapshot was built at (staleness check).
+    pub rows: usize,
+}
+
 /// A table with schema and row storage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     pub name: String,
     pub columns: Vec<Column>,
     pub rows: Vec<Vec<Value>>,
     /// Optional table description.
     pub description: Option<String>,
+    /// Columnar cache, built on first vectorized scan and invalidated by
+    /// [`Table::push_row`]. Mutations that change the row count (even
+    /// ones writing `rows` directly — the field is public) are caught by
+    /// a staleness check; edits that keep the row count the same are only
+    /// detected when made through `push_row`, so route mutations through
+    /// the `Table` API. Not serialized.
+    columnar: OnceLock<ColumnarSnapshot>,
 }
 
 impl Table {
@@ -63,6 +82,7 @@ impl Table {
             columns,
             rows: Vec::new(),
             description: None,
+            columnar: OnceLock::new(),
         }
     }
 
@@ -92,8 +112,24 @@ impl Table {
                 self.columns.len()
             )));
         }
+        self.columnar.take();
         self.rows.push(row);
         Ok(())
+    }
+
+    /// Columnar image of the rows, cached across queries. If the cache
+    /// is stale (rows were mutated without going through [`Table::push_row`]),
+    /// a fresh uncached transposition is returned instead.
+    pub fn columnar(&self) -> Vec<Arc<Array>> {
+        let snap = self.columnar.get_or_init(|| ColumnarSnapshot {
+            cols: columns_from_rows(&self.rows, self.columns.len()),
+            rows: self.rows.len(),
+        });
+        if snap.rows == self.rows.len() {
+            snap.cols.clone()
+        } else {
+            columns_from_rows(&self.rows, self.columns.len())
+        }
     }
 
     /// The paper's top-k most-frequent-values augmentation for one column.
@@ -127,6 +163,38 @@ impl Table {
             .iter()
             .map(|c| self.top_values(&c.name, 5).expect("column exists"))
             .collect()
+    }
+}
+
+// Hand-written (the columnar cache is runtime-only state and must not be
+// serialized); the wire format matches what the field-pair derive would
+// have produced for the serialized fields.
+impl Serialize for Table {
+    fn serialize(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![
+            ("name".to_string(), Serialize::serialize(&self.name)),
+            ("columns".to_string(), Serialize::serialize(&self.columns)),
+            ("rows".to_string(), Serialize::serialize(&self.rows)),
+            (
+                "description".to_string(),
+                Serialize::serialize(&self.description),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Table {
+    fn deserialize(value: &serde::value::Value) -> Result<Table, serde::Error> {
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", value))?;
+        Ok(Table {
+            name: serde::field(pairs, "name")?,
+            columns: serde::field(pairs, "columns")?,
+            rows: serde::field(pairs, "rows")?,
+            description: serde::field(pairs, "description")?,
+            columnar: OnceLock::new(),
+        })
     }
 }
 

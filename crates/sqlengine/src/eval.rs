@@ -25,7 +25,7 @@ impl ColMeta {
         }
     }
 
-    fn matches(&self, table: Option<&str>, name: &str) -> bool {
+    pub(crate) fn matches(&self, table: Option<&str>, name: &str) -> bool {
         if !self.name.eq_ignore_ascii_case(name) {
             return false;
         }
@@ -66,6 +66,10 @@ pub struct GroupView<'a> {
 /// Per-row window values, keyed by the display form of the window call.
 pub type WindowValues = HashMap<String, Vec<Value>>;
 
+/// Per-unit aggregate values pre-computed by the vectorized planner,
+/// keyed by the display form of the aggregate call.
+pub type AggValues = HashMap<String, Vec<Value>>;
+
 /// The evaluation environment for one row (or one group).
 #[derive(Clone, Copy)]
 pub struct Scope<'a> {
@@ -77,6 +81,9 @@ pub struct Scope<'a> {
     pub group: Option<GroupView<'a>>,
     /// Pre-computed window-function values for the current unit list.
     pub windows: Option<&'a WindowValues>,
+    /// Pre-computed aggregate values for the current unit list; consulted
+    /// before falling back to the [`GroupView`] accumulator path.
+    pub aggs: Option<&'a AggValues>,
     /// Index of the current unit into each window value vector.
     pub unit_index: usize,
 }
@@ -89,11 +96,12 @@ impl<'a> Scope<'a> {
             parent: None,
             group: None,
             windows: None,
+            aggs: None,
             unit_index: 0,
         }
     }
 
-    fn resolve(&self, table: Option<&str>, name: &str) -> EngineResult<Value> {
+    pub(crate) fn resolve(&self, table: Option<&str>, name: &str) -> EngineResult<Value> {
         let matches: Vec<usize> = self
             .cols
             .iter()
@@ -311,8 +319,14 @@ fn eval_function(
         return Ok(values[scope.unit_index].clone());
     }
 
-    // Aggregate call: draw from the current group.
+    // Aggregate call: use the planner's pre-computed value when present,
+    // otherwise draw from the current group.
     if functions::is_aggregate(&call.name) {
+        if let Some(aggs) = scope.aggs {
+            if let Some(values) = aggs.get(&whole.to_string()) {
+                return Ok(values[scope.unit_index].clone());
+            }
+        }
         let group = scope.group.ok_or_else(|| {
             EngineError::typing(format!(
                 "aggregate {} is not allowed in this context",
@@ -328,6 +342,7 @@ fn eval_function(
                 parent: scope.parent,
                 group: None,
                 windows: None,
+                aggs: None,
                 unit_index: 0,
             };
             if call.star {
@@ -559,6 +574,123 @@ pub fn contains_aggregate(expr: &Expr) -> bool {
         }
         Expr::Cast { expr, .. } => contains_aggregate(expr),
         Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
+    }
+}
+
+/// Collect aggregate calls that are evaluated unconditionally whenever
+/// the containing expression is evaluated — i.e. not behind a lazily
+/// evaluated position (`AND`/`OR` right operand, `CASE` branches,
+/// `IN`-list items) where the row engine might skip them (and thereby
+/// skip their errors). The planner may safely pre-compute exactly these.
+pub fn collect_unconditional_aggregates<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Function(call) => {
+            if call.over.is_some() {
+                return; // window calls are pre-computed separately
+            }
+            if functions::is_aggregate(&call.name) {
+                out.push(expr);
+                return; // arguments evaluate per group member, not here
+            }
+            for a in &call.args {
+                collect_unconditional_aggregates(a, out);
+            }
+        }
+        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } => collect_unconditional_aggregates(expr, out),
+        Expr::Binary { left, op, right } => {
+            collect_unconditional_aggregates(left, out);
+            // AND/OR may short-circuit the right operand per row.
+            if !matches!(op, BinaryOp::And | BinaryOp::Or) {
+                collect_unconditional_aggregates(right, out);
+            }
+        }
+        Expr::IsNull { expr, .. } => collect_unconditional_aggregates(expr, out),
+        // List items evaluate lazily (and not at all for a NULL probe).
+        Expr::InList { expr, .. } => collect_unconditional_aggregates(expr, out),
+        Expr::InSubquery { expr, .. } => collect_unconditional_aggregates(expr, out),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_unconditional_aggregates(expr, out);
+            collect_unconditional_aggregates(low, out);
+            collect_unconditional_aggregates(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_unconditional_aggregates(expr, out);
+            collect_unconditional_aggregates(pattern, out);
+        }
+        // Every part of a CASE after the first WHEN is conditional;
+        // treat the whole construct conservatively.
+        Expr::Case { .. } => {}
+        Expr::Cast { expr, .. } => collect_unconditional_aggregates(expr, out),
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+    }
+}
+
+/// Collect every aggregate call in an expression tree, including calls
+/// in lazily evaluated positions (`AND`/`OR` right operands, `CASE`
+/// branches, `IN`-list items). Subqueries are not descended into —
+/// aggregates there belong to the subquery's own grouping context. The
+/// collected set is a superset of [`collect_unconditional_aggregates`];
+/// the two agree exactly when no aggregate sits behind a lazy position.
+pub fn collect_aggregate_calls<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Function(call) => {
+            if call.over.is_some() {
+                return; // window calls are pre-computed separately
+            }
+            if functions::is_aggregate(&call.name) {
+                out.push(expr);
+                return; // arguments evaluate per group member, not here
+            }
+            for a in &call.args {
+                collect_aggregate_calls(a, out);
+            }
+        }
+        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_aggregate_calls(left, out);
+            collect_aggregate_calls(right, out);
+        }
+        Expr::IsNull { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_aggregate_calls(expr, out);
+            for e in list {
+                collect_aggregate_calls(e, out);
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(low, out);
+            collect_aggregate_calls(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(pattern, out);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand.as_deref() {
+                collect_aggregate_calls(o, out);
+            }
+            for (w, t) in branches {
+                collect_aggregate_calls(w, out);
+                collect_aggregate_calls(t, out);
+            }
+            if let Some(e) = else_expr.as_deref() {
+                collect_aggregate_calls(e, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
     }
 }
 

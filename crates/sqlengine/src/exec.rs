@@ -1,29 +1,78 @@
-//! Query execution.
+//! Query execution: engine dispatch, set operations, and the vectorized
+//! columnar planner.
 //!
-//! The executor is a straightforward materializing interpreter: FROM
-//! resolution (nested-loop joins), WHERE filtering, grouping with
-//! accumulator-based aggregates, window computation, projection, DISTINCT,
-//! ORDER BY, LIMIT, and set operations. CTEs are materialized once in
-//! definition order and visible to later CTEs and the main body, matching
-//! the CTE-normal-form queries GenEdit generates (§3.1.2).
+//! Two engines share one semantic contract. The default
+//! [`Engine::Vectorized`] path resolves FROM clauses into columnar
+//! [`DataChunk`] batches (hash joins for equi-joins), evaluates WHERE /
+//! group keys / aggregate arguments batch-at-a-time, and falls back to
+//! row-at-a-time evaluation for anything the batch evaluator cannot
+//! lower — so results, fingerprints, and error behavior stay identical
+//! to [`Engine::Reference`], the original materializing interpreter
+//! (kept fully reachable in `reference`). CTEs are materialized once in
+//! definition order and visible to later CTEs and the main body,
+//! matching the CTE-normal-form queries GenEdit generates (§3.1.2).
 
 use crate::aggregate::Accumulator;
+use crate::array::{Array, DataChunk};
 use crate::ast::*;
 use crate::catalog::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{
-    collect_window_calls, contains_aggregate, eval_expr, ColMeta, EvalEnv, GroupView, Relation,
-    Scope, WindowValues,
+    collect_aggregate_calls, collect_unconditional_aggregates, collect_window_calls,
+    contains_aggregate, eval_expr, AggValues, ColMeta, EvalEnv, Relation, Scope, WindowValues,
 };
-use crate::functions;
+use crate::key::{key_elem, key_ref, row_key, KeyElem, KeyRef};
 use crate::parser::parse_statement;
+use crate::physical::{self, SqlCounters};
+use crate::reference;
 use crate::result::ResultSet;
 use crate::value::Value;
+use crate::vector::{self, Sel};
+use crate::window::{compute_windows, unit_scope, Unit};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// CTE name → materialized result, keyed by lowercase name.
-pub type CteMap = HashMap<String, Rc<ResultSet>>;
+pub type CteMap = HashMap<String, Arc<ResultSet>>;
+
+// ----------------------------------------------------------------------
+// Engine selection
+// ----------------------------------------------------------------------
+
+/// Which execution engine runs SELECT bodies on this thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Batch-at-a-time columnar execution (the default).
+    Vectorized,
+    /// The original row-at-a-time interpreter, kept as the semantic
+    /// baseline for differential testing and benchmarking.
+    Reference,
+}
+
+thread_local! {
+    static ENGINE: Cell<Engine> = const { Cell::new(Engine::Vectorized) };
+}
+
+/// The engine SELECT bodies currently execute on (per thread).
+pub fn current_engine() -> Engine {
+    ENGINE.with(Cell::get)
+}
+
+/// Run `f` with `engine` selected on this thread, restoring the previous
+/// selection afterwards.
+pub fn with_engine<T>(engine: Engine, f: impl FnOnce() -> T) -> T {
+    let prev = ENGINE.with(|e| e.replace(engine));
+    let out = f();
+    ENGINE.with(|e| e.set(prev));
+    out
+}
+
+/// Parse and execute a SQL string on the reference row-at-a-time
+/// interpreter, regardless of the thread's current engine selection.
+pub fn execute_sql_reference(db: &Database, sql: &str) -> EngineResult<ResultSet> {
+    with_engine(Engine::Reference, || execute_sql(db, sql))
+}
 
 /// Parse and execute a SQL string against a database.
 pub fn execute_sql(db: &Database, sql: &str) -> EngineResult<ResultSet> {
@@ -43,15 +92,35 @@ pub struct ExecStats {
     pub rows: usize,
     /// Columns in the result set.
     pub columns: usize,
+    /// Columnar execution counters (all zero on the reference engine).
+    pub counters: SqlCounters,
 }
 
 impl ExecStats {
     /// Record into a metrics registry as `sql.<stage>.parse_ms` /
-    /// `.execute_ms` histograms and a `sql.<stage>.rows` histogram.
+    /// `.execute_ms` histograms, a `sql.<stage>.rows` histogram, and the
+    /// columnar counters (`.batches`, `.rows_scanned`,
+    /// `.join_build_ms` / `.join_probe_ms`).
     pub fn record(&self, metrics: &genedit_telemetry::MetricsRegistry, stage: &str) {
         metrics.observe_duration(&format!("sql.{stage}.parse_ms"), self.parse);
         metrics.observe_duration(&format!("sql.{stage}.execute_ms"), self.execute);
         metrics.observe(&format!("sql.{stage}.rows"), self.rows as f64);
+        metrics.observe(
+            &format!("sql.{stage}.batches"),
+            self.counters.batches as f64,
+        );
+        metrics.observe(
+            &format!("sql.{stage}.rows_scanned"),
+            self.counters.rows_scanned as f64,
+        );
+        metrics.observe(
+            &format!("sql.{stage}.join_build_ms"),
+            self.counters.join_build_ns as f64 / 1e6,
+        );
+        metrics.observe(
+            &format!("sql.{stage}.join_probe_ms"),
+            self.counters.join_probe_ns as f64 / 1e6,
+        );
     }
 }
 
@@ -70,9 +139,11 @@ pub fn execute_sql_timed(db: &Database, sql: &str) -> (EngineResult<ResultSet>, 
             return (Err(e), stats);
         }
     };
+    physical::take_counters(); // reset, so stats cover only this call
     let t = std::time::Instant::now();
     let result = execute(db, &stmt);
     stats.execute = t.elapsed();
+    stats.counters = physical::take_counters();
     if let Ok(rs) = &result {
         stats.rows = rs.row_count();
         stats.columns = rs.columns.len();
@@ -99,7 +170,7 @@ pub fn execute_query_with_outer(
     for cte in &query.ctes {
         // CTEs see previously defined CTEs but not the outer row scope.
         let result = execute_query_with_outer(db, &cte.query, &ctes, None)?;
-        ctes.insert(cte.name.to_lowercase(), Rc::new(result));
+        ctes.insert(cte.name.to_lowercase(), Arc::new(result));
     }
 
     match &query.body {
@@ -114,6 +185,22 @@ pub fn execute_query_with_outer(
             }
             Ok(rs)
         }
+    }
+}
+
+/// Dispatch one SELECT body to the engine selected on this thread, so
+/// subqueries and CTEs stay in-engine with their parent query.
+fn exec_select(
+    db: &Database,
+    select: &Select,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+) -> EngineResult<ResultSet> {
+    match current_engine() {
+        Engine::Vectorized => exec_select_vectorized(db, select, ctes, outer, order_by, limit),
+        Engine::Reference => reference::exec_select(db, select, ctes, outer, order_by, limit),
     }
 }
 
@@ -140,12 +227,6 @@ fn exec_set_expr(
                     r.columns.len()
                 )));
             }
-            let key = |row: &Vec<Value>| -> String {
-                row.iter()
-                    .map(Value::group_key)
-                    .collect::<Vec<_>>()
-                    .join("|")
-            };
             let mut out = ResultSet::new(l.columns.clone());
             match (op, all) {
                 (SetOp::Union, true) => {
@@ -153,21 +234,22 @@ fn exec_set_expr(
                     out.rows.extend(r.rows);
                 }
                 (SetOp::Union, false) => {
-                    let mut seen = std::collections::HashSet::new();
+                    let mut seen: std::collections::HashSet<Vec<KeyElem>> =
+                        std::collections::HashSet::new();
                     for row in l.rows.into_iter().chain(r.rows) {
-                        if seen.insert(key(&row)) {
+                        if seen.insert(row_key(&row)) {
                             out.rows.push(row);
                         }
                     }
                 }
                 (SetOp::Intersect, all) => {
-                    let mut right_counts: HashMap<String, usize> = HashMap::new();
+                    let mut right_counts: HashMap<Vec<KeyElem>, usize> = HashMap::new();
                     for row in &r.rows {
-                        *right_counts.entry(key(row)).or_insert(0) += 1;
+                        *right_counts.entry(row_key(row)).or_insert(0) += 1;
                     }
-                    let mut emitted: HashMap<String, usize> = HashMap::new();
+                    let mut emitted: HashMap<Vec<KeyElem>, usize> = HashMap::new();
                     for row in l.rows {
-                        let k = key(&row);
+                        let k = row_key(&row);
                         let avail = right_counts.get(&k).copied().unwrap_or(0);
                         let used = emitted.entry(k).or_insert(0);
                         let cap = if *all { avail } else { avail.min(1) };
@@ -178,13 +260,13 @@ fn exec_set_expr(
                     }
                 }
                 (SetOp::Except, all) => {
-                    let mut right_counts: HashMap<String, usize> = HashMap::new();
+                    let mut right_counts: HashMap<Vec<KeyElem>, usize> = HashMap::new();
                     for row in &r.rows {
-                        *right_counts.entry(key(row)).or_insert(0) += 1;
+                        *right_counts.entry(row_key(row)).or_insert(0) += 1;
                     }
-                    let mut emitted: HashMap<String, usize> = HashMap::new();
+                    let mut emitted: HashMap<Vec<KeyElem>, usize> = HashMap::new();
                     for row in l.rows {
-                        let k = key(&row);
+                        let k = row_key(&row);
                         let blocked = right_counts.get(&k).copied().unwrap_or(0);
                         let count = emitted.entry(k).or_insert(0);
                         *count += 1;
@@ -204,17 +286,11 @@ fn exec_set_expr(
     }
 }
 
-/// One projection unit: a plain row or a group of rows.
-struct Unit {
-    /// Representative row index (first member), `usize::MAX` for an empty
-    /// implicit group.
-    rep: usize,
-    members: Vec<usize>,
-}
+// ----------------------------------------------------------------------
+// Vectorized SELECT
+// ----------------------------------------------------------------------
 
-static EMPTY_ROW: &[Value] = &[];
-
-fn exec_select(
+fn exec_select_vectorized(
     db: &Database,
     select: &Select,
     ctes: &CteMap,
@@ -224,35 +300,57 @@ fn exec_select(
 ) -> EngineResult<ResultSet> {
     let env = EvalEnv { db, ctes };
 
-    // FROM.
-    let rel = match &select.from {
-        Some(tr) => resolve_from(db, tr, ctes, outer)?,
-        None => Relation {
+    // FROM → columnar source.
+    let source = match &select.from {
+        Some(tr) => physical::resolve_from_columnar(db, tr, ctes, outer)?,
+        None => physical::Source {
             cols: Vec::new(),
-            rows: vec![Vec::new()],
+            chunk: DataChunk::unit(),
         },
     };
+    let physical::Source { cols, chunk } = source;
 
-    // WHERE.
-    let mut kept: Vec<usize> = Vec::with_capacity(rel.rows.len());
-    match &select.selection {
-        Some(pred) => {
-            for (i, row) in rel.rows.iter().enumerate() {
-                let scope = Scope {
-                    cols: &rel.cols,
-                    row,
-                    parent: outer,
-                    group: None,
-                    windows: None,
-                    unit_index: 0,
-                };
-                if eval_expr(pred, &scope, &env)?.as_bool()? == Some(true) {
-                    kept.push(i);
-                }
+    // WHERE → surviving row indices (`None` = keep everything). The
+    // gather is deferred so the pure path can project straight off the
+    // source columns under a selection vector. Batch evaluation when the
+    // predicate lowers; otherwise the row path reproduces per-row errors
+    // exactly.
+    let keep: Option<Vec<u32>> = match &select.selection {
+        None => None,
+        Some(pred) => match vector::bind(pred, &cols, outer) {
+            Some(v) => {
+                let arr = vector::eval(&v, &chunk, Sel::All)?;
+                let truth = vector::truth(&arr)?;
+                Some(
+                    truth
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &t)| t == Some(true))
+                        .map(|(i, _)| i as u32)
+                        .collect(),
+                )
             }
-        }
-        None => kept = (0..rel.rows.len()).collect(),
-    }
+            None => {
+                let rows = chunk.to_rows();
+                let mut keep: Vec<u32> = Vec::new();
+                for (i, row) in rows.iter().enumerate() {
+                    let scope = Scope {
+                        cols: &cols,
+                        row,
+                        parent: outer,
+                        group: None,
+                        windows: None,
+                        aggs: None,
+                        unit_index: 0,
+                    };
+                    if eval_expr(pred, &scope, &env)?.as_bool()? == Some(true) {
+                        keep.push(i as u32);
+                    }
+                }
+                Some(keep)
+            }
+        },
+    };
 
     // Is this an aggregated query?
     let items_have_aggregates = select.items.iter().any(|item| match item {
@@ -268,7 +366,55 @@ fn exec_select(
             .unwrap_or(false)
         || select.having.is_some();
 
-    // Build units.
+    // Window calls.
+    let mut window_exprs: Vec<&Expr> = Vec::new();
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_window_calls(expr, &mut window_exprs);
+        }
+    }
+    for o in order_by {
+        collect_window_calls(&o.expr, &mut window_exprs);
+    }
+
+    // Fully columnar path: no grouping, no windows, every projected and
+    // ordering expression lowers to a batch expression.
+    if !aggregated && window_exprs.is_empty() {
+        if let Some(rs) = try_pure_path(
+            select,
+            &cols,
+            &chunk,
+            keep.as_deref(),
+            outer,
+            order_by,
+            limit,
+        )? {
+            return Ok(rs);
+        }
+    }
+
+    let filtered = match &keep {
+        Some(k) => chunk.take(k),
+        None => chunk,
+    };
+
+    // Fast aggregated path: group keys and every aggregate call lower,
+    // so only representative rows ever need materializing.
+    if aggregated && window_exprs.is_empty() && select.having.is_none() {
+        if let Some(rs) = try_fast_agg(select, &cols, &filtered, outer, &env, order_by, limit)? {
+            return Ok(rs);
+        }
+    }
+
+    // Hybrid path: materialize the filtered batch and run the unit
+    // pipeline, vectorizing group keys and aggregate arguments when they
+    // lower and falling back per expression when they don't.
+    let rel = Relation {
+        cols,
+        rows: filtered.to_rows(),
+    };
+    let kept: Vec<usize> = (0..rel.rows.len()).collect();
+
     let mut units: Vec<Unit> = Vec::new();
     if aggregated {
         if select.group_by.is_empty() {
@@ -277,43 +423,20 @@ fn exec_select(
                 members: kept.clone(),
             });
         } else {
-            let mut index: HashMap<String, usize> = HashMap::new();
-            for &i in &kept {
-                let scope = Scope {
-                    cols: &rel.cols,
-                    row: &rel.rows[i],
-                    parent: outer,
-                    group: None,
-                    windows: None,
-                    unit_index: 0,
-                };
-                let mut key_parts = Vec::with_capacity(select.group_by.len());
-                for g in &select.group_by {
-                    key_parts.push(eval_expr(g, &scope, &env)?.group_key());
-                }
-                let key = key_parts.join("|");
-                match index.get(&key) {
-                    Some(&u) => units[u].members.push(i),
-                    None => {
-                        index.insert(key, units.len());
-                        units.push(Unit {
-                            rep: i,
-                            members: vec![i],
-                        });
-                    }
-                }
-            }
+            units = build_group_units(select, &rel, &filtered, &kept, outer, &env)?;
+            physical::with_counters(|c| c.agg_groups += units.len() as u64);
         }
-        // HAVING.
+        // HAVING runs through the accumulator path (no pre-computed
+        // aggregates), preserving the interpreter's per-unit laziness.
         if let Some(having) = &select.having {
-            let mut filtered = Vec::with_capacity(units.len());
+            let mut survivors = Vec::with_capacity(units.len());
             for unit in units {
-                let scope = unit_scope(&rel, &unit, outer, None, 0, aggregated);
+                let scope = unit_scope(&rel, &unit, outer, None, None, 0, aggregated);
                 if eval_expr(having, &scope, &env)?.as_bool()? == Some(true) {
-                    filtered.push(unit);
+                    survivors.push(unit);
                 }
             }
-            units = filtered;
+            units = survivors;
         }
     } else {
         units = kept
@@ -325,24 +448,539 @@ fn exec_select(
             .collect();
     }
 
-    // Window functions.
-    let mut window_exprs: Vec<&Expr> = Vec::new();
+    // Pre-compute unconditionally evaluated aggregates batch-at-a-time.
+    let aggs = if aggregated {
+        precompute_aggregates(select, order_by, &rel.cols, &filtered, &units, outer)?
+    } else {
+        AggValues::new()
+    };
+
+    let windows = compute_windows(&rel, &units, &window_exprs, outer, &env, aggregated)?;
+
+    finish_select(
+        select,
+        &rel,
+        &units,
+        &windows,
+        Some(&aggs),
+        outer,
+        &env,
+        order_by,
+        limit,
+        aggregated,
+    )
+}
+
+/// Build GROUP BY units with typed keys, evaluating the group
+/// expressions batch-at-a-time when they lower.
+fn build_group_units(
+    select: &Select,
+    rel: &Relation,
+    chunk: &DataChunk,
+    kept: &[usize],
+    outer: Option<&Scope<'_>>,
+    env: &EvalEnv<'_>,
+) -> EngineResult<Vec<Unit>> {
+    if let Some((units, _)) = vectorized_group_units(&select.group_by, &rel.cols, chunk, outer)? {
+        return Ok(units);
+    }
+
+    // Row fallback: identical to the reference interpreter.
+    let mut units: Vec<Unit> = Vec::new();
+    let mut index: HashMap<Vec<KeyElem>, usize> = HashMap::new();
+    for &i in kept {
+        let scope = Scope {
+            cols: &rel.cols,
+            row: &rel.rows[i],
+            parent: outer,
+            group: None,
+            windows: None,
+            aggs: None,
+            unit_index: 0,
+        };
+        let mut key = Vec::with_capacity(select.group_by.len());
+        for g in &select.group_by {
+            key.push(key_elem(&eval_expr(g, &scope, env)?));
+        }
+        match index.get(&key) {
+            Some(&u) => units[u].members.push(i),
+            None => {
+                index.insert(key, units.len());
+                units.push(Unit {
+                    rep: i,
+                    members: vec![i],
+                });
+            }
+        }
+    }
+    Ok(units)
+}
+
+/// Group the chunk's rows by the batch-evaluated GROUP BY keys, in
+/// first-occurrence order (matching the interpreter's unit order).
+/// Also returns the per-row group id (`gids[i]` = unit index of row
+/// `i`), which the fast aggregation path scans instead of per-unit
+/// selection vectors. Returns `Ok(None)` when some group expression
+/// does not lower.
+#[allow(clippy::type_complexity)]
+fn vectorized_group_units(
+    group_by: &[Expr],
+    cols: &[ColMeta],
+    chunk: &DataChunk,
+    outer: Option<&Scope<'_>>,
+) -> EngineResult<Option<(Vec<Unit>, Vec<u32>)>> {
+    let bound: Option<Vec<vector::VExpr>> = group_by
+        .iter()
+        .map(|g| vector::bind(g, cols, outer))
+        .collect();
+    let Some(vs) = bound else {
+        return Ok(None);
+    };
+    let mut arrays: Vec<Arc<Array>> = Vec::with_capacity(vs.len());
+    for v in &vs {
+        arrays.push(vector::eval(v, chunk, Sel::All)?);
+    }
+    let mut units: Vec<Unit> = Vec::new();
+    let mut gids: Vec<u32> = Vec::with_capacity(chunk.len());
+    if let [a] = arrays.as_slice() {
+        // Single-key grouping probes with borrowed keys: no allocation
+        // per row at all.
+        let mut index: HashMap<KeyRef<'_>, usize> = HashMap::new();
+        for i in 0..chunk.len() {
+            match index.entry(key_ref(a.at(i))) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    gids.push(*e.get() as u32);
+                    units[*e.get()].members.push(i);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    gids.push(units.len() as u32);
+                    e.insert(units.len());
+                    units.push(Unit {
+                        rep: i,
+                        members: vec![i],
+                    });
+                }
+            }
+        }
+        return Ok(Some((units, gids)));
+    }
+    let mut index: HashMap<Vec<KeyRef<'_>>, usize> = HashMap::new();
+    for i in 0..chunk.len() {
+        let key: Vec<KeyRef<'_>> = arrays.iter().map(|a| key_ref(a.at(i))).collect();
+        match index.get(&key) {
+            Some(&u) => {
+                gids.push(u as u32);
+                units[u].members.push(i);
+            }
+            None => {
+                gids.push(units.len() as u32);
+                index.insert(key, units.len());
+                units.push(Unit {
+                    rep: i,
+                    members: vec![i],
+                });
+            }
+        }
+    }
+    Ok(Some((units, gids)))
+}
+
+/// Pre-compute per-unit values for aggregate calls that the projection
+/// and ORDER BY evaluate unconditionally. Conditionally evaluated calls
+/// (short-circuited operands, CASE branches) keep the accumulator path
+/// so their evaluation — and its errors — stays exactly as lazy as the
+/// interpreter's.
+fn precompute_aggregates(
+    select: &Select,
+    order_by: &[OrderItem],
+    cols: &[ColMeta],
+    chunk: &DataChunk,
+    units: &[Unit],
+    outer: Option<&Scope<'_>>,
+) -> EngineResult<AggValues> {
+    let mut calls: Vec<&Expr> = Vec::new();
     for item in &select.items {
         if let SelectItem::Expr { expr, .. } = item {
-            collect_window_calls(expr, &mut window_exprs);
+            collect_unconditional_aggregates(expr, &mut calls);
         }
     }
     for o in order_by {
-        collect_window_calls(&o.expr, &mut window_exprs);
+        collect_unconditional_aggregates(&o.expr, &mut calls);
     }
-    let windows = compute_windows(&rel, &units, &window_exprs, outer, &env, aggregated)?;
 
+    let mut out = AggValues::new();
+    for wexpr in calls {
+        let key = wexpr.to_string();
+        if out.contains_key(&key) {
+            continue;
+        }
+        let Expr::Function(call) = wexpr else {
+            continue;
+        };
+        if call.star {
+            let mut vals = Vec::with_capacity(units.len());
+            for unit in units {
+                let mut acc = Accumulator::for_function(&call.name, call.distinct, true)?;
+                for _ in &unit.members {
+                    acc.update(&Value::Integer(1))?;
+                }
+                vals.push(acc.finish());
+            }
+            out.insert(key, vals);
+            continue;
+        }
+        if call.args.len() != 1 {
+            continue; // let the accumulator path raise the exact error
+        }
+        let Some(v) = vector::bind(&call.args[0], cols, outer) else {
+            continue;
+        };
+        // Evaluate the argument once over every member of every unit.
+        let sel: Vec<u32> = units
+            .iter()
+            .flat_map(|u| u.members.iter().map(|&i| i as u32))
+            .collect();
+        let arr = vector::eval(&v, chunk, Sel::Idx(&sel))?;
+        let mut vals = Vec::with_capacity(units.len());
+        let mut off = 0usize;
+        for unit in units {
+            let mut acc = Accumulator::for_function(&call.name, call.distinct, false)?;
+            for k in 0..unit.members.len() {
+                acc.update(&arr.get(off + k))?;
+            }
+            off += unit.members.len();
+            vals.push(acc.finish());
+        }
+        out.insert(key, vals);
+    }
+    Ok(out)
+}
+
+/// Pre-compute aggregate values for the fast aggregated path by a
+/// single scan over the chunk, routing each row to its group's
+/// accumulator via `gids`. Per-group accumulation sequences are
+/// identical to the interpreter's (each group sees its members in
+/// ascending row order), so order-sensitive state — float summation,
+/// DISTINCT insertion, overflow — matches exactly. Caller guarantees
+/// every call is COUNT(*) or a one-argument call whose argument lowers.
+fn precompute_aggregates_by_gid(
+    calls: &[&Expr],
+    cols: &[ColMeta],
+    chunk: &DataChunk,
+    units: &[Unit],
+    gids: &[u32],
+    outer: Option<&Scope<'_>>,
+) -> EngineResult<AggValues> {
+    let mut out = AggValues::new();
+    for wexpr in calls {
+        let key = wexpr.to_string();
+        if out.contains_key(&key) {
+            continue;
+        }
+        let Expr::Function(call) = *wexpr else {
+            continue;
+        };
+        let mut accs: Vec<Accumulator> = Vec::with_capacity(units.len());
+        for _ in units {
+            accs.push(Accumulator::for_function(
+                &call.name,
+                call.distinct,
+                call.star,
+            )?);
+        }
+        if call.star {
+            for &g in gids {
+                accs[g as usize].update(&Value::Integer(1))?;
+            }
+        } else {
+            let Some(v) = vector::bind(&call.args[0], cols, outer) else {
+                continue;
+            };
+            let arr = vector::eval(&v, chunk, Sel::All)?;
+            for (i, &g) in gids.iter().enumerate() {
+                accs[g as usize].update(&arr.get(i))?;
+            }
+        }
+        out.insert(key, accs.into_iter().map(Accumulator::finish).collect());
+    }
+    Ok(out)
+}
+
+/// The fast aggregated path: when the GROUP BY keys lower to batch
+/// expressions and every aggregate call is unconditional and
+/// batch-precomputable, the unit pipeline only ever reads representative
+/// rows — every aggregate resolves from the pre-computed `AggValues`
+/// before [`eval_expr`] would touch group members. So instead of
+/// materializing the whole filtered batch row-major, gather just the
+/// representatives (one row per group) and run [`finish_select`] on
+/// that. Returns `Ok(None)` when a precondition fails, deferring to the
+/// hybrid path. Caller guarantees: aggregated, no window calls, no
+/// HAVING.
+fn try_fast_agg(
+    select: &Select,
+    cols: &[ColMeta],
+    chunk: &DataChunk,
+    outer: Option<&Scope<'_>>,
+    env: &EvalEnv<'_>,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+) -> EngineResult<Option<ResultSet>> {
+    // Every aggregate call must be unconditional — conditionally
+    // evaluated calls (CASE branches, short-circuited operands) keep the
+    // interpreter's lazy accumulator path, which needs full group
+    // members. `uncond` is a sub-multiset of `all` by construction, so
+    // equal lengths mean the sets coincide.
+    let mut all_calls: Vec<&Expr> = Vec::new();
+    let mut uncond: Vec<&Expr> = Vec::new();
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggregate_calls(expr, &mut all_calls);
+            collect_unconditional_aggregates(expr, &mut uncond);
+        }
+    }
+    for o in order_by {
+        collect_aggregate_calls(&o.expr, &mut all_calls);
+        collect_unconditional_aggregates(&o.expr, &mut uncond);
+    }
+    if all_calls.len() != uncond.len() {
+        return Ok(None);
+    }
+    // Each call must be one precompute_aggregates handles: COUNT(*), or
+    // exactly one argument that lowers to a batch expression.
+    for call_expr in &all_calls {
+        let Expr::Function(call) = *call_expr else {
+            return Ok(None);
+        };
+        if call.star {
+            continue;
+        }
+        if call.args.len() != 1 || vector::bind(&call.args[0], cols, outer).is_none() {
+            return Ok(None);
+        }
+    }
+
+    let (units, gids) = if select.group_by.is_empty() {
+        // One implicit unit over every surviving row (rep = usize::MAX
+        // projects the empty-group row, as in the interpreter).
+        let units = vec![Unit {
+            rep: if chunk.is_empty() { usize::MAX } else { 0 },
+            members: (0..chunk.len()).collect(),
+        }];
+        (units, vec![0u32; chunk.len()])
+    } else {
+        match vectorized_group_units(&select.group_by, cols, chunk, outer)? {
+            Some(ug) => ug,
+            None => return Ok(None),
+        }
+    };
+
+    let aggs = precompute_aggregates_by_gid(&all_calls, cols, chunk, &units, &gids, outer)?;
+    // Safety net: if any call still missed the pre-computed map, the
+    // accumulator path would aggregate over a representative-only group
+    // and silently produce wrong values — fall back instead. (The
+    // eligibility checks above make this unreachable.)
+    if all_calls.iter().any(|c| !aggs.contains_key(&c.to_string())) {
+        return Ok(None);
+    }
+    if !select.group_by.is_empty() {
+        physical::with_counters(|c| c.agg_groups += units.len() as u64);
+    }
+
+    // Representative rows only, with units renumbered into the slim
+    // relation. Unit order is preserved, so `unit_index` keeps matching
+    // the pre-computed aggregate slots.
+    let mut reps: Vec<u32> = Vec::with_capacity(units.len());
+    let mut slim_units: Vec<Unit> = Vec::with_capacity(units.len());
+    for u in &units {
+        if u.rep == usize::MAX {
+            slim_units.push(Unit {
+                rep: usize::MAX,
+                members: Vec::new(),
+            });
+        } else {
+            let ri = reps.len();
+            reps.push(u.rep as u32);
+            slim_units.push(Unit {
+                rep: ri,
+                members: vec![ri],
+            });
+        }
+    }
+    let rel = Relation {
+        cols: cols.to_vec(),
+        rows: chunk.take(&reps).into_rows(),
+    };
+    let windows = WindowValues::new();
+    finish_select(
+        select,
+        &rel,
+        &slim_units,
+        &windows,
+        Some(&aggs),
+        outer,
+        env,
+        order_by,
+        limit,
+        true,
+    )
+    .map(Some)
+}
+
+/// The fully columnar SELECT path: project column batches, then order /
+/// dedup / limit by index. Returns `Ok(None)` when some expression does
+/// not lower, sending the query to the hybrid path instead.
+fn try_pure_path(
+    select: &Select,
+    cols_meta: &[ColMeta],
+    chunk: &DataChunk,
+    keep: Option<&[u32]>,
+    outer: Option<&Scope<'_>>,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+) -> EngineResult<Option<ResultSet>> {
+    // `keep` is the WHERE survivor selection over `chunk` (None = all
+    // rows). Projecting through it gathers only the columns the query
+    // actually touches.
+    let n = keep.map_or(chunk.len(), <[u32]>::len);
+    let sel = keep.map_or(Sel::All, Sel::Idx);
+    let source_col = |ci: usize| match keep {
+        None => Arc::clone(&chunk.cols[ci]),
+        Some(k) => Arc::new(chunk.cols[ci].gather(k)),
+    };
+    let mut out_cols: Vec<String> = Vec::new();
+    let mut arrays: Vec<Arc<Array>> = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (ci, c) in cols_meta.iter().enumerate() {
+                    out_cols.push(c.name.clone());
+                    arrays.push(source_col(ci));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let mut any = false;
+                for (ci, c) in cols_meta.iter().enumerate() {
+                    if c.qualifier
+                        .as_deref()
+                        .map(|cq| cq.eq_ignore_ascii_case(q))
+                        .unwrap_or(false)
+                    {
+                        any = true;
+                        out_cols.push(c.name.clone());
+                        arrays.push(source_col(ci));
+                    }
+                }
+                // The interpreter only raises this when projecting a row.
+                if !any && n > 0 {
+                    return Err(EngineError::binding(format!("no such table alias {q}")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let Some(v) = vector::bind(expr, cols_meta, outer) else {
+                    return Ok(None);
+                };
+                out_cols.push(output_name(expr, alias.as_deref()));
+                arrays.push(vector::eval(&v, chunk, sel)?);
+            }
+        }
+    }
+
+    // ORDER BY keys, aligned with output row positions.
+    let mut order: Vec<usize> = (0..n).collect();
+    if !order_by.is_empty() {
+        let mut keys: Vec<Vec<Value>> = vec![Vec::new(); n];
+        for item in order_by {
+            match order_key_source(item, &out_cols)? {
+                OrderSource::OutputColumn(ci) => {
+                    for (ri, key) in keys.iter_mut().enumerate() {
+                        key.push(arrays[ci].get(ri));
+                    }
+                }
+                OrderSource::Expression => {
+                    if select.distinct {
+                        return Err(EngineError::typing(
+                            "ORDER BY expression must appear in SELECT DISTINCT output",
+                        ));
+                    }
+                    let Some(v) = vector::bind(&item.expr, cols_meta, outer) else {
+                        return Ok(None);
+                    };
+                    let arr = vector::eval(&v, chunk, sel)?;
+                    for (ri, key) in keys.iter_mut().enumerate() {
+                        key.push(arr.get(ri));
+                    }
+                }
+            }
+        }
+        order.sort_by(|&a, &b| {
+            for (k, item) in order_by.iter().enumerate() {
+                let ord = keys[a][k].total_cmp(&keys[b][k]);
+                let ord = if item.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b) // stable
+        });
+    }
+
+    // DISTINCT (after ORDER BY keeps the first occurrence in sort order).
+    let mut final_idx: Vec<u32> = Vec::with_capacity(order.len());
+    if select.distinct {
+        let mut seen: std::collections::HashSet<Vec<KeyElem>> = std::collections::HashSet::new();
+        for &ri in &order {
+            let k: Vec<KeyElem> = arrays.iter().map(|a| key_elem(&a.get(ri))).collect();
+            if seen.insert(k) {
+                final_idx.push(ri as u32);
+            }
+        }
+    } else {
+        final_idx.extend(order.iter().map(|&i| i as u32));
+    }
+    if let Some(cap) = limit {
+        final_idx.truncate(cap as usize);
+    }
+
+    let identity =
+        final_idx.len() == n && final_idx.iter().enumerate().all(|(i, &v)| v == i as u32);
+    let out_chunk = if identity {
+        DataChunk::new(arrays, n)
+    } else {
+        let gathered = arrays
+            .iter()
+            .map(|a| Arc::new(a.gather(&final_idx)))
+            .collect();
+        DataChunk::new(gathered, final_idx.len())
+    };
+    Ok(Some(ResultSet::from_chunk(out_cols, out_chunk)))
+}
+
+// ----------------------------------------------------------------------
+// Shared SELECT finishing: projection, ORDER BY, DISTINCT, LIMIT
+// ----------------------------------------------------------------------
+
+/// Project units and apply ORDER BY / DISTINCT / LIMIT. Shared verbatim
+/// by the reference interpreter (`aggs: None`) and the hybrid vectorized
+/// path (`aggs` carrying pre-computed per-unit aggregate values).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_select(
+    select: &Select,
+    rel: &Relation,
+    units: &[Unit],
+    windows: &WindowValues,
+    aggs: Option<&AggValues>,
+    outer: Option<&Scope<'_>>,
+    env: &EvalEnv<'_>,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+    aggregated: bool,
+) -> EngineResult<ResultSet> {
     // Projection.
     let mut out_cols: Vec<String> = Vec::new();
     let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(units.len());
     let mut first = true;
     for (ui, unit) in units.iter().enumerate() {
-        let scope = unit_scope(&rel, unit, outer, Some(&windows), ui, aggregated);
+        let scope = unit_scope(rel, unit, outer, Some(windows), aggs, ui, aggregated);
         let mut row: Vec<Value> = Vec::with_capacity(select.items.len());
         for item in &select.items {
             match item {
@@ -386,7 +1024,7 @@ fn exec_select(
                     if first {
                         out_cols.push(output_name(expr, alias.as_deref()));
                     }
-                    row.push(eval_expr(expr, &scope, &env)?);
+                    row.push(eval_expr(expr, &scope, env)?);
                 }
             }
         }
@@ -434,8 +1072,9 @@ fn exec_select(
                         ));
                     }
                     for (ui, unit) in units.iter().enumerate() {
-                        let scope = unit_scope(&rel, unit, outer, Some(&windows), ui, aggregated);
-                        keys[ui].push(eval_expr(&item.expr, &scope, &env)?);
+                        let scope =
+                            unit_scope(rel, unit, outer, Some(windows), aggs, ui, aggregated);
+                        keys[ui].push(eval_expr(&item.expr, &scope, env)?);
                     }
                 }
             }
@@ -460,15 +1099,8 @@ fn exec_select(
 
     // DISTINCT (after ORDER BY keeps the first occurrence in sort order).
     if select.distinct {
-        let mut seen = std::collections::HashSet::new();
-        out_rows.retain(|row| {
-            let k: String = row
-                .iter()
-                .map(Value::group_key)
-                .collect::<Vec<_>>()
-                .join("|");
-            seen.insert(k)
-        });
+        let mut seen: std::collections::HashSet<Vec<KeyElem>> = std::collections::HashSet::new();
+        out_rows.retain(|row| seen.insert(row_key(row)));
     }
 
     if let Some(n) = limit {
@@ -481,42 +1113,7 @@ fn exec_select(
     })
 }
 
-fn unit_scope<'a>(
-    rel: &'a Relation,
-    unit: &'a Unit,
-    outer: Option<&'a Scope<'a>>,
-    windows: Option<&'a WindowValues>,
-    unit_index: usize,
-    aggregated: bool,
-) -> Scope<'a> {
-    let row: &[Value] = if unit.rep == usize::MAX {
-        EMPTY_ROW
-    } else {
-        &rel.rows[unit.rep]
-    };
-    let cols: &[ColMeta] = if unit.rep == usize::MAX {
-        &[]
-    } else {
-        &rel.cols
-    };
-    Scope {
-        cols,
-        row,
-        parent: outer,
-        group: if aggregated {
-            Some(GroupView {
-                rel,
-                indices: &unit.members,
-            })
-        } else {
-            None
-        },
-        windows,
-        unit_index,
-    }
-}
-
-fn output_name(expr: &Expr, alias: Option<&str>) -> String {
+pub(crate) fn output_name(expr: &Expr, alias: Option<&str>) -> String {
     if let Some(a) = alias {
         return a.to_string();
     }
@@ -526,12 +1123,12 @@ fn output_name(expr: &Expr, alias: Option<&str>) -> String {
     }
 }
 
-enum OrderSource {
+pub(crate) enum OrderSource {
     OutputColumn(usize),
     Expression,
 }
 
-fn order_key_source(item: &OrderItem, out_cols: &[String]) -> EngineResult<OrderSource> {
+pub(crate) fn order_key_source(item: &OrderItem, out_cols: &[String]) -> EngineResult<OrderSource> {
     match &item.expr {
         Expr::Literal(Literal::Integer(n)) => {
             let idx = *n - 1;
@@ -556,327 +1153,6 @@ fn order_key_source(item: &OrderItem, out_cols: &[String]) -> EngineResult<Order
         }
         _ => Ok(OrderSource::Expression),
     }
-}
-
-// ----------------------------------------------------------------------
-// FROM resolution
-// ----------------------------------------------------------------------
-
-fn resolve_from(
-    db: &Database,
-    tr: &TableRef,
-    ctes: &CteMap,
-    outer: Option<&Scope<'_>>,
-) -> EngineResult<Relation> {
-    match tr {
-        TableRef::Named { name, alias } => {
-            let qualifier = alias.clone().unwrap_or_else(|| name.clone());
-            if let Some(rs) = ctes.get(&name.to_lowercase()) {
-                let cols = rs
-                    .columns
-                    .iter()
-                    .map(|c| ColMeta::new(Some(qualifier.clone()), c.clone()))
-                    .collect();
-                return Ok(Relation {
-                    cols,
-                    rows: rs.rows.clone(),
-                });
-            }
-            let table = db
-                .table(name)
-                .ok_or_else(|| EngineError::binding(format!("no such table {name}")))?;
-            let cols = table
-                .columns
-                .iter()
-                .map(|c| ColMeta::new(Some(qualifier.clone()), c.name.clone()))
-                .collect();
-            Ok(Relation {
-                cols,
-                rows: table.rows.clone(),
-            })
-        }
-        TableRef::Derived { query, alias } => {
-            let rs = execute_query_with_outer(db, query, ctes, None)?;
-            let cols = rs
-                .columns
-                .iter()
-                .map(|c| ColMeta::new(Some(alias.clone()), c.clone()))
-                .collect();
-            Ok(Relation {
-                cols,
-                rows: rs.rows,
-            })
-        }
-        TableRef::Join {
-            left,
-            right,
-            kind,
-            on,
-        } => {
-            let l = resolve_from(db, left, ctes, outer)?;
-            let r = resolve_from(db, right, ctes, outer)?;
-            join(db, ctes, outer, l, r, *kind, on.as_ref())
-        }
-    }
-}
-
-fn join(
-    db: &Database,
-    ctes: &CteMap,
-    outer: Option<&Scope<'_>>,
-    l: Relation,
-    r: Relation,
-    kind: JoinKind,
-    on: Option<&Expr>,
-) -> EngineResult<Relation> {
-    let env = EvalEnv { db, ctes };
-    let mut cols = l.cols.clone();
-    cols.extend(r.cols.iter().cloned());
-    let mut out = Relation::new(cols);
-
-    match kind {
-        JoinKind::Cross => {
-            for lrow in &l.rows {
-                for rrow in &r.rows {
-                    let mut combined = lrow.clone();
-                    combined.extend(rrow.iter().cloned());
-                    out.rows.push(combined);
-                }
-            }
-        }
-        JoinKind::Inner | JoinKind::Left => {
-            let pred = on.ok_or_else(|| EngineError::typing("JOIN requires an ON condition"))?;
-            for lrow in &l.rows {
-                let mut matched = false;
-                for rrow in &r.rows {
-                    let mut combined = lrow.clone();
-                    combined.extend(rrow.iter().cloned());
-                    let scope = Scope {
-                        cols: &out.cols,
-                        row: &combined,
-                        parent: outer,
-                        group: None,
-                        windows: None,
-                        unit_index: 0,
-                    };
-                    if eval_expr(pred, &scope, &env)?.as_bool()? == Some(true) {
-                        matched = true;
-                        out.rows.push(combined);
-                    }
-                }
-                if kind == JoinKind::Left && !matched {
-                    let mut combined = lrow.clone();
-                    combined.extend(std::iter::repeat_n(Value::Null, r.cols.len()));
-                    out.rows.push(combined);
-                }
-            }
-        }
-    }
-    Ok(out)
-}
-
-// ----------------------------------------------------------------------
-// Window functions
-// ----------------------------------------------------------------------
-
-fn compute_windows(
-    rel: &Relation,
-    units: &[Unit],
-    window_exprs: &[&Expr],
-    outer: Option<&Scope<'_>>,
-    env: &EvalEnv<'_>,
-    aggregated: bool,
-) -> EngineResult<WindowValues> {
-    let mut out: WindowValues = HashMap::new();
-    for wexpr in window_exprs {
-        let key = wexpr.to_string();
-        if out.contains_key(&key) {
-            continue;
-        }
-        let call = match wexpr {
-            Expr::Function(c) => c,
-            _ => unreachable!("collect_window_calls only returns functions"),
-        };
-        let spec = call.over.as_ref().expect("window call has OVER");
-
-        // Evaluate partition and order expressions per unit.
-        let mut partition_keys: Vec<String> = Vec::with_capacity(units.len());
-        let mut order_keys: Vec<Vec<Value>> = Vec::with_capacity(units.len());
-        for (ui, unit) in units.iter().enumerate() {
-            let scope = unit_scope(rel, unit, outer, None, ui, aggregated);
-            let mut pk = Vec::with_capacity(spec.partition_by.len());
-            for e in &spec.partition_by {
-                pk.push(eval_expr(e, &scope, env)?.group_key());
-            }
-            partition_keys.push(pk.join("|"));
-            let mut ok = Vec::with_capacity(spec.order_by.len());
-            for o in &spec.order_by {
-                ok.push(eval_expr(&o.expr, &scope, env)?);
-            }
-            order_keys.push(ok);
-        }
-
-        // Partition units.
-        let mut partitions: HashMap<&str, Vec<usize>> = HashMap::new();
-        for (ui, pk) in partition_keys.iter().enumerate() {
-            partitions.entry(pk.as_str()).or_default().push(ui);
-        }
-
-        let mut values: Vec<Value> = vec![Value::Null; units.len()];
-        for indices in partitions.values() {
-            let mut sorted = indices.clone();
-            sorted.sort_by(|&a, &b| {
-                for (k, o) in spec.order_by.iter().enumerate() {
-                    let ord = order_keys[a][k].total_cmp(&order_keys[b][k]);
-                    let ord = if o.desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                a.cmp(&b)
-            });
-
-            let name = call.name.to_ascii_uppercase();
-            match name.as_str() {
-                "ROW_NUMBER" => {
-                    for (pos, &ui) in sorted.iter().enumerate() {
-                        values[ui] = Value::Integer(pos as i64 + 1);
-                    }
-                }
-                "RANK" | "DENSE_RANK" => {
-                    let mut rank = 0i64;
-                    let mut dense = 0i64;
-                    let mut prev: Option<&Vec<Value>> = None;
-                    for (pos, &ui) in sorted.iter().enumerate() {
-                        let tied = prev
-                            .map(|p| {
-                                p.len() == order_keys[ui].len()
-                                    && p.iter()
-                                        .zip(&order_keys[ui])
-                                        .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
-                            })
-                            .unwrap_or(false);
-                        if !tied {
-                            rank = pos as i64 + 1;
-                            dense += 1;
-                        }
-                        values[ui] = Value::Integer(if name == "RANK" { rank } else { dense });
-                        prev = Some(&order_keys[ui]);
-                    }
-                }
-                "NTILE" => {
-                    let k = match call.args.first() {
-                        Some(Expr::Literal(Literal::Integer(n))) if *n > 0 => *n as usize,
-                        _ => {
-                            return Err(EngineError::typing(
-                                "NTILE requires a positive integer literal argument",
-                            ))
-                        }
-                    };
-                    let n = sorted.len();
-                    for (pos, &ui) in sorted.iter().enumerate() {
-                        // Standard NTILE distribution: earlier buckets get
-                        // the remainder.
-                        let bucket = (pos * k) / n.max(1);
-                        values[ui] = Value::Integer(bucket as i64 + 1);
-                    }
-                }
-                "LAG" | "LEAD" => {
-                    // LAG/LEAD(expr [, offset [, default]]) within the
-                    // partition's sort order.
-                    if call.args.is_empty() || call.args.len() > 3 {
-                        return Err(EngineError::typing(format!(
-                            "{name} expects 1 to 3 arguments"
-                        )));
-                    }
-                    let offset = match call.args.get(1) {
-                        None => 1i64,
-                        Some(Expr::Literal(Literal::Integer(n))) if *n >= 0 => *n,
-                        _ => {
-                            return Err(EngineError::typing(format!(
-                                "{name} offset must be a non-negative integer literal"
-                            )))
-                        }
-                    };
-                    // Evaluate the carried expression for each unit first.
-                    let mut carried = Vec::with_capacity(sorted.len());
-                    for &ui in &sorted {
-                        let scope = unit_scope(rel, &units[ui], outer, None, ui, aggregated);
-                        carried.push(eval_expr(&call.args[0], &scope, env)?);
-                    }
-                    for (pos, &ui) in sorted.iter().enumerate() {
-                        let source = if name == "LAG" {
-                            pos.checked_sub(offset as usize)
-                        } else {
-                            pos.checked_add(offset as usize)
-                                .filter(|p| *p < sorted.len())
-                        };
-                        values[ui] = match source {
-                            Some(p) => carried[p].clone(),
-                            None => match call.args.get(2) {
-                                Some(default) => {
-                                    let scope =
-                                        unit_scope(rel, &units[ui], outer, None, ui, aggregated);
-                                    eval_expr(default, &scope, env)?
-                                }
-                                None => Value::Null,
-                            },
-                        };
-                    }
-                }
-                "FIRST_VALUE" | "LAST_VALUE" => {
-                    if call.args.len() != 1 {
-                        return Err(EngineError::typing(format!(
-                            "{name} expects exactly one argument"
-                        )));
-                    }
-                    // Whole-partition frame (no frame clauses), so
-                    // LAST_VALUE sees the true partition end.
-                    let pick = if name == "FIRST_VALUE" {
-                        sorted.first()
-                    } else {
-                        sorted.last()
-                    };
-                    if let Some(&src) = pick {
-                        let scope = unit_scope(rel, &units[src], outer, None, src, aggregated);
-                        let v = eval_expr(&call.args[0], &scope, env)?;
-                        for &ui in &sorted {
-                            values[ui] = v.clone();
-                        }
-                    }
-                }
-                agg if functions::is_aggregate(agg) => {
-                    // Aggregate over the whole partition (no frames).
-                    let mut acc = Accumulator::for_function(agg, call.distinct, call.star)?;
-                    for &ui in &sorted {
-                        if call.star {
-                            acc.update(&Value::Integer(1))?;
-                        } else {
-                            if call.args.len() != 1 {
-                                return Err(EngineError::typing(format!(
-                                    "window aggregate {agg} expects one argument"
-                                )));
-                            }
-                            let scope = unit_scope(rel, &units[ui], outer, None, ui, aggregated);
-                            let v = eval_expr(&call.args[0], &scope, env)?;
-                            acc.update(&v)?;
-                        }
-                    }
-                    let v = acc.finish();
-                    for &ui in &sorted {
-                        values[ui] = v.clone();
-                    }
-                }
-                other => {
-                    return Err(EngineError::binding(format!(
-                        "unknown window function {other}"
-                    )))
-                }
-            }
-        }
-        out.insert(key, values);
-    }
-    Ok(out)
 }
 
 /// Sort a finished result by output column names / positions only (used
@@ -908,7 +1184,6 @@ fn sort_result_by_output(rs: &mut ResultSet, order_by: &[OrderItem]) -> EngineRe
     });
     Ok(())
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

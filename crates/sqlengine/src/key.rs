@@ -1,0 +1,173 @@
+//! Typed composite keys for grouping, DISTINCT, set operations, window
+//! partitions, and hash joins.
+//!
+//! The seed interpreter built composite keys by joining per-value
+//! [`Value::group_key`] strings with `"|"`, so a text value containing a
+//! literal `|` could alias two distinct composite keys (e.g. `("a|b", "c")`
+//! vs `("a", "b|c")`). [`KeyElem`] keeps each component typed and hashes
+//! the tuple structurally, which makes collisions impossible while
+//! preserving the exact equality classes of `group_key`:
+//!
+//! * integers and floats never compare equal (`1` groups apart from `1.0`),
+//! * every NaN belongs to one group (`group_key` rendered all NaNs as
+//!   `f:NaN`), so NaN bit patterns are canonicalized,
+//! * `-0.0` and `0.0` group apart (`f:-0.0` vs `f:0.0`), so the sign bit
+//!   is preserved.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::value::{Date, Value};
+
+/// One typed component of a composite grouping key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyElem {
+    /// SQL NULL (all NULLs group together).
+    Null,
+    /// Integer component.
+    Int(i64),
+    /// Float component, stored as bits with NaN canonicalized. The sign
+    /// bit of zero is preserved, matching `group_key`'s `f:-0.0` / `f:0.0`
+    /// distinction.
+    Float(u64),
+    /// Text component.
+    Text(String),
+    /// Boolean component.
+    Bool(bool),
+    /// Date component.
+    Date(Date),
+}
+
+/// Float bits with every NaN collapsed onto the canonical NaN, so all
+/// NaNs land in one group (as `group_key` rendered them all as `f:NaN`).
+#[inline]
+pub fn float_key_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+/// The typed key component for one value. Two values map to equal
+/// [`KeyElem`]s exactly when their [`Value::group_key`] strings are equal.
+pub fn key_elem(v: &Value) -> KeyElem {
+    match v {
+        Value::Null => KeyElem::Null,
+        Value::Integer(i) => KeyElem::Int(*i),
+        Value::Float(f) => KeyElem::Float(float_key_bits(*f)),
+        Value::Text(s) => KeyElem::Text(s.clone()),
+        Value::Boolean(b) => KeyElem::Bool(*b),
+        Value::Date(d) => KeyElem::Date(*d),
+    }
+}
+
+/// A borrowed [`KeyElem`]: the same equality classes without owning
+/// text, so hash-table probes over columnar batches allocate nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyRef<'a> {
+    /// SQL NULL (all NULLs group together).
+    Null,
+    /// Integer component.
+    Int(i64),
+    /// Float component as canonicalized bits (see [`float_key_bits`]).
+    Float(u64),
+    /// Text component, borrowed from the source array.
+    Text(&'a str),
+    /// Boolean component.
+    Bool(bool),
+    /// Date component.
+    Date(Date),
+}
+
+/// The borrowed key component for one array element. Two elements map
+/// to equal [`KeyRef`]s exactly when their owned [`key_elem`] keys are
+/// equal.
+pub fn key_ref(v: crate::array::ValueRef<'_>) -> KeyRef<'_> {
+    use crate::array::ValueRef;
+    match v {
+        ValueRef::Null => KeyRef::Null,
+        ValueRef::Int(i) => KeyRef::Int(i),
+        ValueRef::Float(f) => KeyRef::Float(float_key_bits(f)),
+        ValueRef::Str(s) => KeyRef::Text(s),
+        ValueRef::Bool(b) => KeyRef::Bool(b),
+        ValueRef::Date(d) => KeyRef::Date(d),
+    }
+}
+
+/// Typed composite key for a whole row.
+pub fn row_key(row: &[Value]) -> Vec<KeyElem> {
+    row.iter().map(key_elem).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_bearing_strings_do_not_collide() {
+        // Under the old "|".join(group_key) scheme these two rows built
+        // the same composite key string "t:a|t:b|t:c".
+        let r1 = vec![Value::Text("a|t:b".into()), Value::Text("c".into())];
+        let r2 = vec![Value::Text("a".into()), Value::Text("b|t:c".into())];
+        let old1 = r1
+            .iter()
+            .map(Value::group_key)
+            .collect::<Vec<_>>()
+            .join("|");
+        let old2 = r2
+            .iter()
+            .map(Value::group_key)
+            .collect::<Vec<_>>()
+            .join("|");
+        assert_eq!(old1, old2, "the seed scheme really did collide");
+        assert_ne!(row_key(&r1), row_key(&r2));
+    }
+
+    #[test]
+    fn int_and_float_group_apart() {
+        assert_ne!(key_elem(&Value::Integer(1)), key_elem(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn nan_canonicalized_negative_zero_preserved() {
+        let nan1 = f64::from_bits(0x7ff8_0000_0000_0001);
+        assert_eq!(
+            key_elem(&Value::Float(f64::NAN)),
+            key_elem(&Value::Float(nan1))
+        );
+        assert_ne!(key_elem(&Value::Float(0.0)), key_elem(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn nulls_group_together() {
+        assert_eq!(key_elem(&Value::Null), key_elem(&Value::Null));
+        assert_ne!(key_elem(&Value::Null), key_elem(&Value::Integer(0)));
+    }
+
+    #[test]
+    fn key_equality_matches_group_key_equality() {
+        let vals = [
+            Value::Null,
+            Value::Integer(0),
+            Value::Integer(1),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(1.0),
+            Value::Float(f64::NAN),
+            Value::Text("1".into()),
+            Value::Text("".into()),
+            Value::Boolean(true),
+            Value::Boolean(false),
+            Value::Date(Date::new(2023, 5, 1).unwrap()),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    key_elem(a) == key_elem(b),
+                    a.group_key() == b.group_key(),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod aggregate;
 pub mod analysis;
+pub mod array;
 pub mod ast;
 pub mod catalog;
 pub mod display;
@@ -38,12 +39,18 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod functions;
+pub mod key;
 pub mod lexer;
 pub mod parser;
+pub mod physical;
+mod reference;
 pub mod result;
 pub mod value;
+pub mod vector;
+mod window;
 
 pub use analysis::{complexity, referenced_columns, referenced_tables, ComplexityScore};
+pub use array::{Array, ArrayBuilder, Bitmap, DataChunk, ValueRef};
 pub use ast::{
     BinaryOp, Cte, Expr, FunctionCall, JoinKind, Literal, OrderItem, Query, Select, SelectItem,
     SetExpr, SetOp, Statement, TableRef, UnaryOp, WindowSpec,
@@ -51,7 +58,12 @@ pub use ast::{
 pub use catalog::{Column, ColumnProfile, Database, Table};
 pub use display::pretty;
 pub use error::{EngineError, EngineResult};
-pub use exec::{execute, execute_sql, execute_sql_timed, ExecStats};
+pub use exec::{
+    current_engine, execute, execute_sql, execute_sql_reference, execute_sql_timed, with_engine,
+    Engine, ExecStats,
+};
+pub use key::{key_elem, row_key, KeyElem};
 pub use parser::{parse_expression, parse_statement};
+pub use physical::SqlCounters;
 pub use result::ResultSet;
 pub use value::{DataType, Date, Value};

@@ -1,0 +1,277 @@
+//! The row-at-a-time reference interpreter.
+//!
+//! This is the original materializing executor, kept fully reachable as
+//! the semantic baseline for the vectorized engine: `sql_sweep` and the
+//! differential test suites run every query through both paths and
+//! require byte-identical results. The only change from its original
+//! form is that grouping and DISTINCT use typed [`KeyElem`] tuples
+//! instead of `"|"`-joined key strings (which could collide for text
+//! values containing `|`).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::ast::{Expr, Query};
+use crate::ast::{JoinKind, OrderItem, Select, SelectItem, TableRef};
+use crate::catalog::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{
+    collect_window_calls, contains_aggregate, eval_expr, ColMeta, EvalEnv, Relation, Scope,
+};
+use crate::exec::{execute_query_with_outer, finish_select, CteMap};
+use crate::key::{key_elem, KeyElem};
+use crate::result::ResultSet;
+use crate::value::Value;
+use crate::window::{compute_windows, unit_scope, Unit};
+use std::collections::HashMap;
+
+/// Execute one SELECT body row-at-a-time.
+pub(crate) fn exec_select(
+    db: &Database,
+    select: &Select,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+) -> EngineResult<ResultSet> {
+    let env = EvalEnv { db, ctes };
+
+    // FROM.
+    let rel = match &select.from {
+        Some(tr) => resolve_from(db, tr, ctes, outer)?,
+        None => Relation {
+            cols: Vec::new(),
+            rows: vec![Vec::new()],
+        },
+    };
+
+    // WHERE.
+    let mut kept: Vec<usize> = Vec::with_capacity(rel.rows.len());
+    match &select.selection {
+        Some(pred) => {
+            for (i, row) in rel.rows.iter().enumerate() {
+                let scope = Scope {
+                    cols: &rel.cols,
+                    row,
+                    parent: outer,
+                    group: None,
+                    windows: None,
+                    aggs: None,
+                    unit_index: 0,
+                };
+                if eval_expr(pred, &scope, &env)?.as_bool()? == Some(true) {
+                    kept.push(i);
+                }
+            }
+        }
+        None => kept = (0..rel.rows.len()).collect(),
+    }
+
+    // Is this an aggregated query?
+    let items_have_aggregates = select.items.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+        _ => false,
+    });
+    let aggregated = !select.group_by.is_empty()
+        || items_have_aggregates
+        || select
+            .having
+            .as_ref()
+            .map(contains_aggregate)
+            .unwrap_or(false)
+        || select.having.is_some();
+
+    // Build units.
+    let mut units: Vec<Unit> = Vec::new();
+    if aggregated {
+        if select.group_by.is_empty() {
+            units.push(Unit {
+                rep: kept.first().copied().unwrap_or(usize::MAX),
+                members: kept.clone(),
+            });
+        } else {
+            let mut index: HashMap<Vec<KeyElem>, usize> = HashMap::new();
+            for &i in &kept {
+                let scope = Scope {
+                    cols: &rel.cols,
+                    row: &rel.rows[i],
+                    parent: outer,
+                    group: None,
+                    windows: None,
+                    aggs: None,
+                    unit_index: 0,
+                };
+                let mut key = Vec::with_capacity(select.group_by.len());
+                for g in &select.group_by {
+                    key.push(key_elem(&eval_expr(g, &scope, &env)?));
+                }
+                match index.get(&key) {
+                    Some(&u) => units[u].members.push(i),
+                    None => {
+                        index.insert(key, units.len());
+                        units.push(Unit {
+                            rep: i,
+                            members: vec![i],
+                        });
+                    }
+                }
+            }
+        }
+        // HAVING.
+        if let Some(having) = &select.having {
+            let mut filtered = Vec::with_capacity(units.len());
+            for unit in units {
+                let scope = unit_scope(&rel, &unit, outer, None, None, 0, aggregated);
+                if eval_expr(having, &scope, &env)?.as_bool()? == Some(true) {
+                    filtered.push(unit);
+                }
+            }
+            units = filtered;
+        }
+    } else {
+        units = kept
+            .iter()
+            .map(|&i| Unit {
+                rep: i,
+                members: vec![i],
+            })
+            .collect();
+    }
+
+    // Window functions.
+    let mut window_exprs: Vec<&Expr> = Vec::new();
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_window_calls(expr, &mut window_exprs);
+        }
+    }
+    for o in order_by {
+        collect_window_calls(&o.expr, &mut window_exprs);
+    }
+    let windows = compute_windows(&rel, &units, &window_exprs, outer, &env, aggregated)?;
+
+    finish_select(
+        select, &rel, &units, &windows, None, outer, &env, order_by, limit, aggregated,
+    )
+}
+
+// ----------------------------------------------------------------------
+// FROM resolution
+// ----------------------------------------------------------------------
+
+pub(crate) fn resolve_from(
+    db: &Database,
+    tr: &TableRef,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+) -> EngineResult<Relation> {
+    match tr {
+        TableRef::Named { name, alias } => {
+            let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+            if let Some(rs) = ctes.get(&name.to_lowercase()) {
+                let cols = rs
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta::new(Some(qualifier.clone()), c.clone()))
+                    .collect();
+                return Ok(Relation {
+                    cols,
+                    rows: rs.rows.clone(),
+                });
+            }
+            let table = db
+                .table(name)
+                .ok_or_else(|| EngineError::binding(format!("no such table {name}")))?;
+            let cols = table
+                .columns
+                .iter()
+                .map(|c| ColMeta::new(Some(qualifier.clone()), c.name.clone()))
+                .collect();
+            Ok(Relation {
+                cols,
+                rows: table.rows.clone(),
+            })
+        }
+        TableRef::Derived { query, alias } => {
+            let rs = exec_derived(db, query, ctes)?;
+            let cols = rs
+                .columns
+                .iter()
+                .map(|c| ColMeta::new(Some(alias.clone()), c.clone()))
+                .collect();
+            Ok(Relation {
+                cols,
+                rows: rs.rows,
+            })
+        }
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let l = resolve_from(db, left, ctes, outer)?;
+            let r = resolve_from(db, right, ctes, outer)?;
+            join(db, ctes, outer, l, r, *kind, on.as_ref())
+        }
+    }
+}
+
+fn exec_derived(db: &Database, query: &Query, ctes: &CteMap) -> EngineResult<ResultSet> {
+    execute_query_with_outer(db, query, ctes, None)
+}
+
+fn join(
+    db: &Database,
+    ctes: &CteMap,
+    outer: Option<&Scope<'_>>,
+    l: Relation,
+    r: Relation,
+    kind: JoinKind,
+    on: Option<&Expr>,
+) -> EngineResult<Relation> {
+    let env = EvalEnv { db, ctes };
+    let mut cols = l.cols.clone();
+    cols.extend(r.cols.iter().cloned());
+    let mut out = Relation::new(cols);
+
+    match kind {
+        JoinKind::Cross => {
+            for lrow in &l.rows {
+                for rrow in &r.rows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    out.rows.push(combined);
+                }
+            }
+        }
+        JoinKind::Inner | JoinKind::Left => {
+            let pred = on.ok_or_else(|| EngineError::typing("JOIN requires an ON condition"))?;
+            for lrow in &l.rows {
+                let mut matched = false;
+                for rrow in &r.rows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    let scope = Scope {
+                        cols: &out.cols,
+                        row: &combined,
+                        parent: outer,
+                        group: None,
+                        windows: None,
+                        aggs: None,
+                        unit_index: 0,
+                    };
+                    if eval_expr(pred, &scope, &env)?.as_bool()? == Some(true) {
+                        matched = true;
+                        out.rows.push(combined);
+                    }
+                }
+                if kind == JoinKind::Left && !matched {
+                    let mut combined = lrow.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, r.cols.len()));
+                    out.rows.push(combined);
+                }
+            }
+        }
+    }
+    Ok(out)
+}

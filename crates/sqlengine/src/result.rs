@@ -26,6 +26,15 @@ impl ResultSet {
         }
     }
 
+    /// Build a result set from a columnar chunk (zero-copy where columns
+    /// are unshared).
+    pub fn from_chunk(columns: Vec<String>, chunk: crate::array::DataChunk) -> ResultSet {
+        ResultSet {
+            columns,
+            rows: chunk.into_rows(),
+        }
+    }
+
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
