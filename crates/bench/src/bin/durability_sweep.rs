@@ -20,6 +20,14 @@
 //!    produce a byte-identical `to_json` snapshot to a plain in-memory
 //!    `KnowledgeSet` driven through the same operations, and reloading
 //!    it must show zero recovery events.
+//! 4. *Page-flush crash sweep* — the disk-backed tenant store
+//!    (`TenantKnowledgeStore`) crashed at evenly spaced fs-operation
+//!    counts, which lands crashes inside the WAL append, the shadow
+//!    page writes, and the meta-page publish. A fresh store over the
+//!    healed filesystem (new buffer pool — a process restart) must
+//!    serve either the acked prefix or the acked prefix plus the
+//!    fully-durable in-flight batch: never a torn batch, never an
+//!    error, and a second restart must serve identical content.
 //!
 //! Run: `cargo run --release -p genedit-bench --bin durability_sweep`
 //! (`--points N` = crash points, `--smoke` = fewer corruption runs for
@@ -27,6 +35,7 @@
 //! `BENCH_durability.json`.)
 
 use genedit_bird::{DomainBundle, SPORTS};
+use genedit_knowledge::tenants::{TenantKnowledgeStore, TenantStoreConfig};
 use genedit_knowledge::{
     DurableKnowledgeStore, Edit, FaultyFs, FsyncPolicy, IoFaultConfig, KnowledgeSet, MemFs,
     RecoveryOutcome, StagingArea, StoreConfig, StoreError, StoreFs,
@@ -371,6 +380,161 @@ fn run_zero_overhead(ops: &[Op], violations: &mut Vec<String>) -> ZeroOverhead {
     }
 }
 
+/// The deterministic tenant-store workload for part 4: batches of edits
+/// committed through the paging layer (WAL append + page flush each).
+fn tenant_batches(seed: u64) -> Vec<Vec<Edit>> {
+    let bundle = DomainBundle::build(&SPORTS, (4, 2, 1), seed);
+    let edits: Vec<Edit> = bundle
+        .build_knowledge()
+        .log()
+        .iter()
+        .map(|l| l.edit.clone())
+        .collect();
+    edits.chunks(3).map(|c| c.to_vec()).collect()
+}
+
+fn tenant_store_over(fs: Arc<dyn StoreFs>) -> Arc<TenantKnowledgeStore> {
+    Arc::new(TenantKnowledgeStore::new_with(
+        fs,
+        "/kb",
+        TenantStoreConfig {
+            page_size: 1024,
+            pool_budget_bytes: 16 * 1024,
+            shards: 4,
+            store: StoreConfig::default(),
+        },
+        None,
+    ))
+}
+
+/// Count the fs operations a fault-free tenant-store run performs.
+fn calibrate_tenant(batches: &[Vec<Edit>], seed: u64) -> u64 {
+    let mem: Arc<dyn StoreFs> = Arc::new(MemFs::new());
+    let faulty = Arc::new(FaultyFs::new(mem, IoFaultConfig::default(), seed));
+    let store = tenant_store_over(Arc::clone(&faulty) as Arc<dyn StoreFs>);
+    for batch in batches {
+        let mut area = StagingArea::new();
+        for e in batch {
+            area.stage(e.clone());
+        }
+        store.commit("t0", area, "step").expect("no faults");
+    }
+    faulty.log().ops
+}
+
+struct PageFlushRow {
+    crash_op: u64,
+    acked_batches: usize,
+    recovered: &'static str,
+    ok: bool,
+}
+
+/// One page-flush crash point: commit batches through the tenant store
+/// until the seeded crash, power-cycle, restart with a cold buffer pool,
+/// and verify the recovered content is an un-torn WAL prefix.
+fn run_page_flush_crash(
+    batches: &[Vec<Edit>],
+    seed: u64,
+    crash_op: u64,
+    violations: &mut Vec<String>,
+) -> PageFlushRow {
+    let mem = Arc::new(MemFs::new());
+    let faulty: Arc<dyn StoreFs> = Arc::new(FaultyFs::new(
+        Arc::clone(&mem) as Arc<dyn StoreFs>,
+        IoFaultConfig::crash_at(crash_op),
+        seed,
+    ));
+    let store = tenant_store_over(faulty);
+
+    let mut acked = KnowledgeSet::new();
+    let mut acked_batches = 0usize;
+    let mut pending: Option<KnowledgeSet> = None;
+    for batch in batches {
+        let mut next = acked.clone();
+        let mut area = StagingArea::new();
+        for e in batch {
+            next.apply(e.clone()).expect("workload edits are valid");
+            area.stage(e.clone());
+        }
+        match store.commit("t0", area, "step") {
+            Ok(_) => {
+                acked = next;
+                acked_batches += 1;
+            }
+            Err(_) => {
+                pending = Some(next);
+                break;
+            }
+        }
+    }
+    drop(store);
+    mem.crash();
+
+    let mut ok = true;
+    let mut recovered_kind = "acked";
+    let reopened = tenant_store_over(Arc::clone(&mem) as Arc<dyn StoreFs>);
+    if !reopened.tenant_exists("t0") {
+        if !acked.log().is_empty() {
+            ok = false;
+            violations.push(format!(
+                "page-flush crash@{crash_op}: acked tenant vanished after restart"
+            ));
+        }
+        return PageFlushRow {
+            crash_op,
+            acked_batches,
+            recovered: "none",
+            ok,
+        };
+    }
+    match reopened
+        .snapshot("t0")
+        .and_then(|snap| snap.knowledge_set())
+    {
+        Ok(ks) => {
+            let matches_acked = ks.content_eq(&acked);
+            let matches_pending = pending.as_ref().is_some_and(|p| ks.content_eq(p));
+            if matches_pending && !matches_acked {
+                recovered_kind = "acked+inflight";
+            }
+            if !matches_acked && !matches_pending {
+                ok = false;
+                violations.push(format!(
+                    "page-flush crash@{crash_op}: recovered state is neither the \
+                     acked prefix nor the acked prefix plus the in-flight batch"
+                ));
+            }
+            // Second restart: identical content, nothing left to repair.
+            let again = tenant_store_over(Arc::clone(&mem) as Arc<dyn StoreFs>);
+            match again.snapshot("t0").and_then(|s| s.knowledge_set()) {
+                Ok(ks2) if ks2.content_eq(&ks) => {}
+                Ok(_) => {
+                    ok = false;
+                    violations.push(format!(
+                        "page-flush crash@{crash_op}: restart not idempotent"
+                    ));
+                }
+                Err(e) => {
+                    ok = false;
+                    violations.push(format!(
+                        "page-flush crash@{crash_op}: second restart failed: {e}"
+                    ));
+                }
+            }
+        }
+        Err(e) => {
+            ok = false;
+            violations.push(format!("page-flush crash@{crash_op}: recovery failed: {e}"));
+        }
+    }
+    PageFlushRow {
+        crash_op,
+        acked_batches,
+        recovered: recovered_kind,
+        ok,
+    }
+}
+
 struct SweepArgs {
     seed: u64,
     points: u64,
@@ -468,6 +632,21 @@ fn main() {
     // Part 3: zero overhead without faults.
     let zero = run_zero_overhead(&ops, &mut violations);
 
+    // Part 4: crash mid-page-flush in the disk-backed tenant store.
+    let batches = tenant_batches(args.seed);
+    let tenant_ops = calibrate_tenant(&batches, args.seed);
+    let flush_points = if args.smoke { points.min(12) } else { points };
+    let mut page_flush_rows = Vec::new();
+    for k in 1..=flush_points {
+        let crash_op = ((k * tenant_ops) / (flush_points + 1)).max(1);
+        page_flush_rows.push(run_page_flush_crash(
+            &batches,
+            args.seed,
+            crash_op,
+            &mut violations,
+        ));
+    }
+
     let doc = Value::Object(vec![
         (
             "artifact".to_string(),
@@ -500,6 +679,28 @@ fn main() {
                 ("store_ms".to_string(), Value::F64(zero.store_ms)),
                 ("plain_ms".to_string(), Value::F64(zero.plain_ms)),
             ]),
+        ),
+        (
+            "page_flush_rows".to_string(),
+            Value::Array(
+                page_flush_rows
+                    .iter()
+                    .map(|row| {
+                        Value::Object(vec![
+                            ("crash_op".to_string(), Value::U64(row.crash_op)),
+                            (
+                                "acked_batches".to_string(),
+                                Value::U64(row.acked_batches as u64),
+                            ),
+                            (
+                                "recovered".to_string(),
+                                Value::Str(row.recovered.to_string()),
+                            ),
+                            ("ok".to_string(), Value::Bool(row.ok)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         (
             "violations".to_string(),
@@ -565,6 +766,16 @@ fn main() {
             zero.reopen_clean,
             zero.store_ms,
             zero.plain_ms
+        );
+        let flush_passed = page_flush_rows.iter().filter(|r| r.ok).count();
+        let inflight = page_flush_rows
+            .iter()
+            .filter(|r| r.recovered == "acked+inflight")
+            .count();
+        println!(
+            "\npage-flush crash sweep: {flush_passed}/{} points recovered an un-torn \
+             WAL prefix ({inflight} kept a fully-durable in-flight batch)",
+            page_flush_rows.len()
         );
         if !violations.is_empty() {
             println!("\nVIOLATIONS:");

@@ -1,0 +1,352 @@
+//! **Tenant sweep**: the disk-backed sharded tenant store under a
+//! many-tenant working set that is far larger than the buffer pool.
+//!
+//! The sweep seeds thousands of synthetic tenants (each with its own
+//! WAL, page file, and knowledge content) through the paging layer,
+//! then restarts with a cold buffer pool and measures cold-tenant
+//! page-ins. Three gates, all hard (any violation exits 1):
+//!
+//! 1. **Residency** — the pool's resident bytes never exceed its
+//!    configured budget, no matter how many tenants page through it.
+//! 2. **Cold page-in latency** — p99 of snapshot-open + full content
+//!    read for a cold tenant stays under a floor (smoke: generous, for
+//!    shared CI runners).
+//! 3. **Byte-identical retrieval** — for sampled tenants, a retrieval
+//!    index built from the paged-in snapshot (including the
+//!    stored-vector fast path after write-back) returns bit-identical
+//!    results to an index built from the tenant's WAL-recovered
+//!    knowledge set held entirely in RAM.
+//!
+//! Run: `cargo run --release -p genedit-bench --bin tenant_sweep`
+//! (`--tenants N` overrides the tenant count, `--smoke` = 300 tenants
+//! for CI, `--json` prints the document; the JSON is always written to
+//! `BENCH_tenant.json`.)
+
+use genedit_core::KnowledgeIndex;
+use genedit_knowledge::tenants::{TenantKnowledgeStore, TenantStoreConfig};
+use genedit_knowledge::{
+    DurableKnowledgeStore, Edit, FragmentKind, FsyncPolicy, SourceRef, SqlFragment, StagingArea,
+    StoreConfig, StoreFs,
+};
+use serde_json::Value;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pool budget for the sweep: small enough that even the smoke run's
+/// working set exceeds it many times over.
+const POOL_BUDGET: usize = 256 * 1024;
+const PAGE_SIZE: usize = 4096;
+
+/// Cold page-in p99 floor, milliseconds. Local page files are a handful
+/// of KiB; generous headroom for shared CI runners.
+const P99_FLOOR_MS: f64 = 50.0;
+
+fn edit(tenant: usize, i: usize) -> Edit {
+    Edit::InsertExample {
+        intent: None,
+        description: format!("tenant {tenant} metric {i} revenue by region"),
+        fragment: SqlFragment::new(
+            FragmentKind::Where,
+            format!("WHERE T{tenant} = {i}"),
+            "main",
+        ),
+        term: Some(format!("KPI{tenant}_{i}")),
+        source: SourceRef::Manual,
+    }
+}
+
+fn tenant_name(i: usize) -> String {
+    format!("tenant-{i:05}")
+}
+
+fn store_over(root: &Path, fsync: FsyncPolicy) -> Arc<TenantKnowledgeStore> {
+    let config = TenantStoreConfig {
+        page_size: PAGE_SIZE,
+        pool_budget_bytes: POOL_BUDGET,
+        shards: 16,
+        store: StoreConfig {
+            fsync,
+            ..StoreConfig::default()
+        },
+    };
+    Arc::new(TenantKnowledgeStore::open(root.to_path_buf(), config, None))
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64) * p).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Fingerprint of a retrieval run: ids and exact score bits of the top
+/// examples for a probe query. Byte-identical retrieval means equal
+/// fingerprints.
+fn retrieval_fingerprint(index: &KnowledgeIndex, query: &str) -> String {
+    let q = index.embedder().embed(query);
+    index
+        .top_examples(&q, &[], 3)
+        .iter()
+        .map(|(e, score)| format!("{}:{:08x}", e.id, score.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+struct SweepArgs {
+    seed: u64,
+    tenants: usize,
+    json: bool,
+    smoke: bool,
+}
+
+/// Parses its own arguments so `--tenants N` is not eaten by the shared
+/// bare-integer-is-the-seed convention.
+fn parse_args() -> SweepArgs {
+    let mut parsed = SweepArgs {
+        seed: 42,
+        tenants: 10_000,
+        json: false,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => parsed.json = true,
+            "--smoke" => parsed.smoke = true,
+            "--tenants" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    parsed.tenants = v;
+                }
+            }
+            other => {
+                if let Ok(s) = other.parse() {
+                    parsed.seed = s;
+                }
+            }
+        }
+    }
+    if parsed.smoke {
+        parsed.tenants = parsed.tenants.min(300);
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut violations: Vec<String> = Vec::new();
+
+    let root = std::env::temp_dir().join(format!(
+        "genedit_tenant_sweep_{}_{}",
+        std::process::id(),
+        args.seed
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Phase 1: seed. Edits-per-tenant varies 2..=5 so page counts differ.
+    let seed_store = store_over(&root, FsyncPolicy::Never);
+    let seed_started = Instant::now();
+    for t in 0..args.tenants {
+        let edits = 2 + (t + args.seed as usize) % 4;
+        let mut area = StagingArea::new();
+        for i in 0..edits {
+            area.stage(edit(t, i));
+        }
+        seed_store
+            .commit(&tenant_name(t), area, "seed")
+            .expect("seeding a healthy fs");
+    }
+    let seed_s = seed_started.elapsed().as_secs_f64();
+    let max_resident_seed = seed_store.pool().stats().resident_bytes;
+    drop(seed_store);
+
+    // Phase 2: cold restart — fresh process image, empty buffer pool.
+    let store = store_over(&root, FsyncPolicy::Always);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(args.tenants);
+    let mut max_resident = 0usize;
+    let read_started = Instant::now();
+    for t in 0..args.tenants {
+        let name = tenant_name(t);
+        let started = Instant::now();
+        let snap = store.snapshot(&name).expect("cold snapshot");
+        let content = snap.content().expect("cold read");
+        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        let expected = 2 + (t + args.seed as usize) % 4;
+        if content.examples.len() != expected {
+            violations.push(format!(
+                "{name}: paged-in content has {} examples, seeded {expected}",
+                content.examples.len()
+            ));
+        }
+        max_resident = max_resident.max(store.pool().stats().resident_bytes);
+    }
+    let read_s = read_started.elapsed().as_secs_f64();
+    let pool_stats = store.pool().stats();
+
+    // Gate 1: residency under the budget, at every observation point.
+    if max_resident > POOL_BUDGET || max_resident_seed > POOL_BUDGET {
+        violations.push(format!(
+            "pool resident bytes exceeded budget: read {} / seed {} > {POOL_BUDGET}",
+            max_resident, max_resident_seed
+        ));
+    }
+
+    // Gate 2: cold page-in p99 under the floor.
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = percentile(&latencies_ms, 0.50);
+    let p99 = percentile(&latencies_ms, 0.99);
+    if p99 > P99_FLOOR_MS {
+        violations.push(format!(
+            "cold page-in p99 {p99:.2} ms exceeds the {P99_FLOOR_MS:.0} ms floor"
+        ));
+    }
+
+    // Gate 3: byte-identical retrieval vs the all-in-RAM path, on a
+    // deterministic sample. Two cold loads per tenant: the first pages
+    // in and writes vectors back, the second exercises the
+    // stored-vector fast path.
+    let sample_every = (args.tenants / 64).max(1);
+    let mut sampled = 0usize;
+    for t in (0..args.tenants).step_by(sample_every) {
+        sampled += 1;
+        let name = tenant_name(t);
+        let probe = format!("tenant {t} revenue by region");
+
+        let snap = store.snapshot(&name).expect("sample snapshot");
+        let paged = KnowledgeIndex::from_snapshot(&snap).expect("paged index");
+        drop(snap);
+        let _ = store.put_vectors(
+            &name,
+            store.epoch(&name).expect("epoch"),
+            &paged.export_vectors(),
+        );
+        store.forget(&name);
+        let snap = store.snapshot(&name).expect("stored-vector snapshot");
+        let from_vectors = KnowledgeIndex::from_snapshot(&snap).expect("stored-vector index");
+        drop(snap);
+
+        let fs: Arc<dyn StoreFs> = Arc::new(genedit_knowledge::RealFs::new());
+        let truth = DurableKnowledgeStore::open_with(
+            fs,
+            root.join(&name).join("knowledge.json"),
+            root.join(&name).join("knowledge.wal"),
+            StoreConfig::default(),
+            None,
+        )
+        .expect("WAL truth");
+        let in_ram = KnowledgeIndex::build(truth.set().clone());
+
+        let want = retrieval_fingerprint(&in_ram, &probe);
+        let got_paged = retrieval_fingerprint(&paged, &probe);
+        let got_vectors = retrieval_fingerprint(&from_vectors, &probe);
+        if got_paged != want {
+            violations.push(format!(
+                "{name}: paged-in retrieval diverged ({got_paged} != {want})"
+            ));
+        }
+        if got_vectors != want {
+            violations.push(format!(
+                "{name}: stored-vector retrieval diverged ({got_vectors} != {want})"
+            ));
+        }
+    }
+
+    let doc = Value::Object(vec![
+        (
+            "artifact".to_string(),
+            Value::Str("tenant_sweep".to_string()),
+        ),
+        ("seed".to_string(), Value::U64(args.seed)),
+        (
+            "mode".to_string(),
+            Value::Str(if args.smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("tenants".to_string(), Value::U64(args.tenants as u64)),
+        (
+            "pool_budget_bytes".to_string(),
+            Value::U64(POOL_BUDGET as u64),
+        ),
+        ("page_size".to_string(), Value::U64(PAGE_SIZE as u64)),
+        ("seed_seconds".to_string(), Value::F64(seed_s)),
+        ("cold_read_seconds".to_string(), Value::F64(read_s)),
+        (
+            "max_resident_bytes".to_string(),
+            Value::U64(max_resident.max(max_resident_seed) as u64),
+        ),
+        ("page_in_p50_ms".to_string(), Value::F64(p50)),
+        ("page_in_p99_ms".to_string(), Value::F64(p99)),
+        ("p99_floor_ms".to_string(), Value::F64(P99_FLOOR_MS)),
+        ("pool_hits".to_string(), Value::U64(pool_stats.hits)),
+        ("pool_misses".to_string(), Value::U64(pool_stats.misses)),
+        (
+            "pool_evictions".to_string(),
+            Value::U64(pool_stats.evictions),
+        ),
+        ("retrieval_samples".to_string(), Value::U64(sampled as u64)),
+        (
+            "violations".to_string(),
+            Value::Array(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("report serialization is infallible");
+    if let Err(err) = std::fs::write("BENCH_tenant.json", &json) {
+        eprintln!("warning: could not write BENCH_tenant.json: {err}");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+
+    if args.json {
+        println!("{json}");
+    } else {
+        println!(
+            "Tenant sweep — {} disk-backed tenants through a {} KiB buffer pool \
+             (page size {} B, seed {})",
+            args.tenants,
+            POOL_BUDGET / 1024,
+            PAGE_SIZE,
+            args.seed
+        );
+        println!(
+            "  seeding: {seed_s:.1} s   cold reads: {read_s:.1} s \
+             ({:.0} page-ins/s)",
+            args.tenants as f64 / read_s.max(1e-9)
+        );
+        println!(
+            "  residency: max {} / budget {} bytes  {}",
+            max_resident.max(max_resident_seed),
+            POOL_BUDGET,
+            if max_resident.max(max_resident_seed) <= POOL_BUDGET {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        println!(
+            "  cold page-in: p50 {p50:.2} ms  p99 {p99:.2} ms (floor {P99_FLOOR_MS:.0} ms)  {}",
+            if p99 <= P99_FLOOR_MS { "PASS" } else { "FAIL" }
+        );
+        println!(
+            "  pool: {} hits / {} misses / {} evictions",
+            pool_stats.hits, pool_stats.misses, pool_stats.evictions
+        );
+        println!(
+            "  retrieval: {sampled} sampled tenants byte-identical vs all-in-RAM  {}",
+            if violations.iter().any(|v| v.contains("retrieval")) {
+                "FAIL"
+            } else {
+                "PASS"
+            }
+        );
+        if !violations.is_empty() {
+            println!("\nVIOLATIONS:");
+            for v in &violations {
+                println!("  - {v}");
+            }
+        }
+        println!("wrote BENCH_tenant.json");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -4,6 +4,7 @@
 //! retrieval operators (§3.1.1) query it with progressively expanded
 //! embeddings.
 
+use genedit_knowledge::tenants::{StoredVectors, TenantSnapshot, TenantStoreError};
 use genedit_knowledge::{Example, Instruction, KnowledgeSet, SchemaElement};
 use genedit_retrieval::{Embedder, Embedding, VectorIndex, Vocabulary};
 
@@ -20,6 +21,17 @@ impl KnowledgeIndex {
     /// Fit the vocabulary over the whole knowledge corpus and index every
     /// element.
     pub fn build(ks: KnowledgeSet) -> KnowledgeIndex {
+        KnowledgeIndex::build_with_vectors(ks, None)
+    }
+
+    /// [`KnowledgeIndex::build`], but reuse pre-computed embedding
+    /// vectors when they still describe this knowledge set (same
+    /// dimensionality as the freshly fitted vocabulary, one vector per
+    /// element). Vectors that do not match are ignored and everything is
+    /// re-embedded — the result is identical either way, because the
+    /// vocabulary fit and the embedder are deterministic functions of
+    /// the corpus.
+    pub fn build_with_vectors(ks: KnowledgeSet, stored: Option<&StoredVectors>) -> KnowledgeIndex {
         let mut vocab = Vocabulary::new();
         for e in ks.examples() {
             vocab.add_document(&e.retrieval_text());
@@ -31,18 +43,39 @@ impl KnowledgeIndex {
             vocab.add_document(&s.retrieval_text());
         }
         let embedder = Embedder::new(vocab);
+        let usable = stored.filter(|v| {
+            v.dim == embedder.dim()
+                && v.examples.len() == ks.examples().len()
+                && v.instructions.len() == ks.instructions().len()
+                && v.schema.len() == ks.schema_elements().len()
+        });
 
         let mut examples = VectorIndex::new();
-        for (pos, e) in ks.examples().iter().enumerate() {
-            examples.insert(pos, embedder.embed(&e.retrieval_text()));
-        }
         let mut instructions = VectorIndex::new();
-        for (pos, i) in ks.instructions().iter().enumerate() {
-            instructions.insert(pos, embedder.embed(&i.retrieval_text()));
-        }
         let mut schema = VectorIndex::new();
-        for (pos, s) in ks.schema_elements().iter().enumerate() {
-            schema.insert(pos, embedder.embed(&s.retrieval_text()));
+        match usable {
+            Some(v) => {
+                for (pos, vec) in v.examples.iter().enumerate() {
+                    examples.insert(pos, vec.clone());
+                }
+                for (pos, vec) in v.instructions.iter().enumerate() {
+                    instructions.insert(pos, vec.clone());
+                }
+                for (pos, vec) in v.schema.iter().enumerate() {
+                    schema.insert(pos, vec.clone());
+                }
+            }
+            None => {
+                for (pos, e) in ks.examples().iter().enumerate() {
+                    examples.insert(pos, embedder.embed(&e.retrieval_text()));
+                }
+                for (pos, i) in ks.instructions().iter().enumerate() {
+                    instructions.insert(pos, embedder.embed(&i.retrieval_text()));
+                }
+                for (pos, s) in ks.schema_elements().iter().enumerate() {
+                    schema.insert(pos, embedder.embed(&s.retrieval_text()));
+                }
+            }
         }
         KnowledgeIndex {
             ks,
@@ -50,6 +83,43 @@ impl KnowledgeIndex {
             examples,
             instructions,
             schema,
+        }
+    }
+
+    /// Build from a tenant store snapshot: the knowledge content and any
+    /// stored vectors are read through pinned buffer-pool pages, so a
+    /// cold tenant pages in without replaying its WAL and — when vectors
+    /// were written back — without re-embedding its corpus.
+    pub fn from_snapshot(snapshot: &TenantSnapshot) -> Result<KnowledgeIndex, TenantStoreError> {
+        let ks = snapshot.knowledge_set()?;
+        let vectors = snapshot.vectors()?;
+        Ok(KnowledgeIndex::build_with_vectors(ks, vectors.as_ref()))
+    }
+
+    /// The embedding vectors of every indexed element, in content order —
+    /// what [`genedit_knowledge::tenants::TenantKnowledgeStore::put_vectors`]
+    /// persists so the next cold page-in skips re-embedding.
+    pub fn export_vectors(&self) -> StoredVectors {
+        StoredVectors {
+            dim: self.embedder.dim(),
+            examples: self
+                .ks
+                .examples()
+                .iter()
+                .map(|e| self.embedder.embed(&e.retrieval_text()))
+                .collect(),
+            instructions: self
+                .ks
+                .instructions()
+                .iter()
+                .map(|i| self.embedder.embed(&i.retrieval_text()))
+                .collect(),
+            schema: self
+                .ks
+                .schema_elements()
+                .iter()
+                .map(|s| self.embedder.embed(&s.retrieval_text()))
+                .collect(),
         }
     }
 

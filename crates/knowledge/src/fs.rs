@@ -43,6 +43,48 @@ pub trait StoreFs: Send + Sync {
     fn len(&self, path: &Path) -> io::Result<u64>;
     /// Truncate the file to `len` bytes (no-op if already shorter).
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Read exactly `len` bytes starting at `offset`. Reads that run past
+    /// the end of the file are an `io::ErrorKind::UnexpectedEof`. The
+    /// default implementation slices a whole-file [`StoreFs::read`];
+    /// backends override it with positioned I/O.
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let data = self.read(path)?;
+        let start = offset as usize;
+        let end = start.saturating_add(len);
+        if end > data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "read_at {}..{} past end of {} ({} bytes)",
+                    start,
+                    end,
+                    path.display(),
+                    data.len()
+                ),
+            ));
+        }
+        Ok(data[start..end].to_vec())
+    }
+
+    /// Write `data` at `offset`, extending the file with zeros if the
+    /// offset is past the current end. Creates the file if missing. The
+    /// default implementation rewrites the whole file; backends override
+    /// it with positioned I/O.
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut contents = if self.exists(path) {
+            self.read(path)?
+        } else {
+            Vec::new()
+        };
+        let start = offset as usize;
+        let end = start + data.len();
+        if contents.len() < end {
+            contents.resize(end, 0);
+        }
+        contents[start..end].copy_from_slice(data);
+        self.write_file(path, &contents)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -101,6 +143,27 @@ impl StoreFs for RealFs {
         let file = fs::OpenOptions::new().write(true).open(path)?;
         file.set_len(len)?;
         file.sync_all()
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = fs::File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        use std::io::{Seek, SeekFrom};
+        // Positioned write into an existing (or new) file: never truncate.
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(data)
     }
 }
 
@@ -221,6 +284,33 @@ impl StoreFs for MemFs {
         if file.durable.len() > len {
             file.durable.truncate(len);
         }
+        Ok(())
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let files = self.lock();
+        let file = files.get(path).ok_or_else(|| Self::not_found(path))?;
+        let start = offset as usize;
+        let end = start.saturating_add(len);
+        if end > file.data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("read_at past end of {}", path.display()),
+            ));
+        }
+        Ok(file.data[start..end].to_vec())
+    }
+
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut files = self.lock();
+        let file = files.entry(path.to_path_buf()).or_default();
+        let start = offset as usize;
+        let end = start + data.len();
+        // Volatile until the next fsync, like append/write_file.
+        if file.data.len() < end {
+            file.data.resize(end, 0);
+        }
+        file.data[start..end].copy_from_slice(data);
         Ok(())
     }
 }
@@ -457,6 +547,39 @@ impl StoreFs for FaultyFs {
         self.next_op()?;
         self.inner.truncate(path, len)
     }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.next_op()?;
+        self.inner.read_at(path, offset, len)
+    }
+
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        let n = self.next_op()?;
+        if self.roll(n, "short-write") < self.config.short_write {
+            self.lock_log().short_writes += 1;
+            let cut = self.cut(n, data.len());
+            self.inner.write_at(path, offset, &data[..cut])?;
+            return Err(io::Error::other(format!(
+                "injected short page write #{n}: {cut}/{} bytes",
+                data.len()
+            )));
+        }
+        if self.roll(n, "torn-write") < self.config.torn_write {
+            // A torn page: only a prefix of the page image lands, silently.
+            self.lock_log().torn_writes += 1;
+            let cut = self.cut(n, data.len());
+            return self.inner.write_at(path, offset, &data[..cut]);
+        }
+        if self.roll(n, "bit-flip") < self.config.bit_flip && !data.is_empty() {
+            self.lock_log().bit_flips += 1;
+            let mut corrupted = data.to_vec();
+            let byte = (hash_u64(&["ioflip", &n.to_string()], self.seed) as usize) % data.len();
+            let bit = (hash_u64(&["iobit", &n.to_string()], self.seed) % 8) as u8;
+            corrupted[byte] ^= 1 << bit;
+            return self.inner.write_at(path, offset, &corrupted);
+        }
+        self.inner.write_at(path, offset, data)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -571,6 +694,42 @@ mod tests {
         assert!(!on_disk.is_empty() && on_disk.len() < data.len());
         assert_eq!(&data[..on_disk.len()], &on_disk[..]);
         assert_eq!(faulty.log().short_writes, 1);
+    }
+
+    #[test]
+    fn memfs_positioned_io_round_trips_and_stays_volatile() {
+        let fs = MemFs::new();
+        fs.write_at(&p("pages"), 8, b"PAGE").unwrap();
+        assert_eq!(fs.len(&p("pages")).unwrap(), 12);
+        assert_eq!(fs.read_at(&p("pages"), 0, 8).unwrap(), vec![0u8; 8]);
+        assert_eq!(fs.read_at(&p("pages"), 8, 4).unwrap(), b"PAGE");
+        assert!(fs.read_at(&p("pages"), 10, 4).is_err());
+        // write_at is volatile until fsync, like append.
+        fs.crash();
+        assert!(fs.read(&p("pages")).unwrap().is_empty());
+        fs.write_at(&p("pages"), 0, b"durable!").unwrap();
+        fs.fsync(&p("pages")).unwrap();
+        fs.write_at(&p("pages"), 0, b"volatile").unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("pages")).unwrap(), b"durable!");
+    }
+
+    #[test]
+    fn faulty_write_at_tears_pages_deterministically() {
+        let run = |seed: u64| {
+            let mem: Arc<dyn StoreFs> = Arc::new(MemFs::new());
+            let config = IoFaultConfig {
+                torn_write: 1.0,
+                ..IoFaultConfig::default()
+            };
+            let faulty = FaultyFs::new(Arc::clone(&mem), config, seed);
+            faulty.write_at(&p("pages"), 0, &[0xAA; 64]).unwrap();
+            mem.read(&p("pages")).unwrap()
+        };
+        let a = run(3);
+        assert!(!a.is_empty() && a.len() < 64, "page must be torn");
+        assert!(a.iter().all(|&b| b == 0xAA));
+        assert_eq!(a, run(3), "same seed, same tear point");
     }
 
     #[test]

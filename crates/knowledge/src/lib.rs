@@ -24,13 +24,16 @@ pub mod decompose;
 pub mod fs;
 pub mod journal;
 pub mod mine;
+pub mod page;
 pub mod persist;
+pub mod pool;
 pub mod preprocess;
 pub mod recovery;
 pub mod refresh;
 pub mod set;
 pub mod staging;
 pub mod store;
+pub mod tenants;
 pub mod types;
 
 pub use decompose::{decompose, decompose_sql, split_conjuncts, to_cte_normal_form};
@@ -40,7 +43,9 @@ pub use journal::{
     ScanOutcome,
 };
 pub use mine::{mine_intents, IntentProposal};
+pub use page::{Page, PageError, PageKind, DEFAULT_PAGE_SIZE};
 pub use persist::{from_json, load, load_with_limit, save, to_json, PersistError};
+pub use pool::{BufferPool, PageKey, PinnedPage, PoolConfig, PoolStats};
 pub use preprocess::{
     build_knowledge_set, build_knowledge_set_traced, describe_fragment, DomainDocument, Guideline,
     PreprocessConfig, QueryLogEntry, TermDefinition,
@@ -52,6 +57,10 @@ pub use set::{
 };
 pub use staging::{CommitError, StagedEdit, StagingArea};
 pub use store::{DurableKnowledgeStore, StoreConfig, StoreError};
+pub use tenants::{
+    PageDirectory, StoredVectors, TenantKnowledgeStore, TenantSnapshot, TenantStoreConfig,
+    TenantStoreError,
+};
 pub use types::{
     Example, ExampleId, FragmentKind, Instruction, InstructionId, Intent, Provenance,
     RetrievalStage, SchemaElement, SourceRef, SqlFragment,

@@ -186,6 +186,30 @@ struct State {
     tick: u64,
 }
 
+/// The full materialized content of a knowledge set, detached from its
+/// audit log and checkpoints — the unit the paged tenant store persists
+/// as page records and restores on page-in. Two sets with equal content
+/// are [`KnowledgeSet::content_eq`] regardless of edit history.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct KnowledgeContent {
+    /// All registered intents.
+    pub intents: Vec<Intent>,
+    /// All live examples.
+    pub examples: Vec<Example>,
+    /// All live instructions.
+    pub instructions: Vec<Instruction>,
+    /// All schema elements.
+    pub schema_elements: Vec<SchemaElement>,
+    /// Hints per retrieval stage, in insertion order.
+    pub retrieval_hints: Vec<(RetrievalStage, String)>,
+    /// Next example id to allocate (ids are never reused).
+    pub next_example_id: u64,
+    /// Next instruction id to allocate.
+    pub next_instruction_id: u64,
+    /// Logical clock at detachment time.
+    pub tick: u64,
+}
+
 /// The company-specific knowledge set (§2.1): examples, instructions, and
 /// schema elements grouped by user intents, with a full audit history.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -523,6 +547,43 @@ impl KnowledgeSet {
         self.state == other.state
     }
 
+    /// Detach the materialized content (state without log/checkpoints).
+    /// The paged tenant store persists this as page records.
+    pub fn content(&self) -> KnowledgeContent {
+        KnowledgeContent {
+            intents: self.state.intents.clone(),
+            examples: self.state.examples.clone(),
+            instructions: self.state.instructions.clone(),
+            schema_elements: self.state.schema_elements.clone(),
+            retrieval_hints: self.state.retrieval_hints.clone(),
+            next_example_id: self.state.next_example_id,
+            next_instruction_id: self.state.next_instruction_id,
+            tick: self.state.tick,
+        }
+    }
+
+    /// Rebuild a set from detached content with an empty log and no
+    /// checkpoints. The result is [`KnowledgeSet::content_eq`] to the set
+    /// the content came from, and future ids/ticks continue where the
+    /// original left off (ids are never reused across a page-out/page-in
+    /// round trip).
+    pub fn from_content(content: KnowledgeContent) -> KnowledgeSet {
+        KnowledgeSet {
+            state: State {
+                intents: content.intents,
+                examples: content.examples,
+                instructions: content.instructions,
+                schema_elements: content.schema_elements,
+                retrieval_hints: content.retrieval_hints,
+                next_example_id: content.next_example_id,
+                next_instruction_id: content.next_instruction_id,
+                tick: content.tick,
+            },
+            log: Vec::new(),
+            checkpoints: Vec::new(),
+        }
+    }
+
     /// Number of elements, for quick reporting.
     pub fn stats(&self) -> KnowledgeStats {
         KnowledgeStats {
@@ -764,6 +825,21 @@ mod tests {
         assert!(ks
             .retrieval_hints(RetrievalStage::ExampleSelection)
             .is_empty());
+    }
+
+    #[test]
+    fn content_round_trip_preserves_state_and_id_allocation() {
+        let mut ks = KnowledgeSet::new();
+        let a = insert_example(&mut ks, "a");
+        insert_example(&mut ks, "b");
+        ks.apply(Edit::DeleteExample { id: a }).unwrap();
+        let mut restored = KnowledgeSet::from_content(ks.content());
+        assert!(ks.content_eq(&restored));
+        assert!(restored.log().is_empty());
+        // Ids keep advancing from where the original left off.
+        let c = insert_example(&mut restored, "c");
+        assert!(c.0 >= 2, "restored set must not reuse ids, got {c:?}");
+        assert_eq!(restored.tick(), ks.tick() + 1);
     }
 
     #[test]

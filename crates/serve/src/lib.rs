@@ -67,9 +67,11 @@ pub mod request;
 pub mod runtime;
 mod sched;
 pub mod supervisor;
+pub mod tenants;
 
 pub use cache::{fnv64, CacheKey, EpochCache};
 pub use quarantine::{Gate, QuarantineConfig, QuarantineState, TenantQuarantine};
 pub use request::{Priority, QueryOutcome, QueryRequest, Rejected, Ticket};
 pub use runtime::{DrainReport, ObsConfig, ServeConfig, ServeRuntime, DRAIN_GRACE};
 pub use supervisor::SupervisorConfig;
+pub use tenants::TenantDirectory;

@@ -18,6 +18,8 @@ use crate::cache::{CacheKey, EpochCache};
 use crate::quarantine::{Gate, QuarantineConfig, QuarantineState, TenantQuarantine};
 use crate::request::{QueryOutcome, QueryRequest, Rejected, Ticket, TicketCell};
 use crate::sched::{Admitted, DrrScheduler};
+use crate::tenants::TenantDirectory;
+
 use crate::supervisor::{
     alive_workers, lock_table, supervisor_loop, SupervisorConfig, WorkerSlot, WorkerTable,
 };
@@ -129,6 +131,12 @@ pub struct ServeConfig {
     /// [`QuarantineConfig::default_policy`] for a production-shaped
     /// opt-in.
     pub quarantine: QuarantineConfig,
+    /// Disk-backed per-tenant knowledge. When set, requests from tenants
+    /// the directory knows are served from that tenant's own paged-in
+    /// index (cold tenants page in on first request — the
+    /// `serve.tenant.page_in` path); everyone else falls back to the
+    /// globally published snapshot.
+    pub tenants: Option<Arc<TenantDirectory>>,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +154,7 @@ impl Default for ServeConfig {
             observability: ObsConfig::default(),
             supervisor: SupervisorConfig::default(),
             quarantine: QuarantineConfig::disabled(),
+            tenants: None,
         }
     }
 }
@@ -866,6 +875,31 @@ fn cancelled_outcome(deadline: Option<Instant>) -> QueryOutcome {
     }
 }
 
+/// The (epoch, index) a request should be served against: the tenant's
+/// own paged-in index when a [`TenantDirectory`] is configured and knows
+/// the tenant, otherwise the globally published snapshot. A directory
+/// error (I/O, corruption) degrades to the global snapshot rather than
+/// failing the request — the WAL-backed store will recover on a later
+/// page-in, and `serve.tenant.error` counts the degradations.
+fn resolve_index<M: LanguageModel + 'static>(
+    shared: &Shared<M>,
+    tenant: &str,
+) -> (u64, Arc<KnowledgeIndex>) {
+    if let Some(dir) = &shared.config.tenants {
+        if dir.knows(tenant) {
+            match dir.index_for(tenant) {
+                Ok(pair) => return pair,
+                Err(_) => shared.metrics.incr("serve.tenant.error", 1),
+            }
+        }
+    }
+    let snap = shared
+        .snapshot
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    (snap.epoch, Arc::clone(&snap.index))
+}
+
 fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
     shared: &Shared<M>,
     pipeline: &GenEditPipeline<L>,
@@ -905,13 +939,7 @@ fn serve_one<M: LanguageModel + 'static, L: LanguageModel>(
         return;
     }
     let service_seq = shared.service_seq.fetch_add(1, Ordering::SeqCst);
-    let (epoch, index) = {
-        let snap = shared
-            .snapshot
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        (snap.epoch, Arc::clone(&snap.index))
-    };
+    let (epoch, index) = resolve_index(shared, &request.tenant);
     let key = CacheKey::new(&request.tenant, &request.question, epoch);
 
     if shared.results.capacity() > 0 {

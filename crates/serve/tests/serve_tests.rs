@@ -912,3 +912,93 @@ fn slo_breach_dumps_joinable_flight_record() {
     let _ = std::fs::remove_file(&dump_path);
     runtime.shutdown();
 }
+
+/// Cold-tenant admission through the disk-backed tenant directory: a
+/// request from a tenant the directory knows pages its knowledge in from
+/// the store and serves a result byte-identical to a pipeline run over
+/// the all-in-RAM index built from the same knowledge. Tenants the store
+/// has never seen fall back to the globally published snapshot.
+#[test]
+fn cold_tenant_pages_in_and_matches_all_in_ram_path() {
+    use genedit_knowledge::tenants::{TenantKnowledgeStore, TenantStoreConfig};
+    use genedit_serve::TenantDirectory;
+
+    let (bundle, ks, oracle) = setup();
+
+    // Seed the disk-backed store by replaying the knowledge set's own
+    // edit log for tenant "acme".
+    let fs: Arc<dyn StoreFs> = Arc::new(MemFs::new());
+    let store = Arc::new(TenantKnowledgeStore::new_with(
+        fs,
+        "/kb",
+        TenantStoreConfig {
+            page_size: 1024,
+            pool_budget_bytes: 64 * 1024,
+            shards: 4,
+            store: StoreConfig::default(),
+        },
+        None,
+    ));
+    let mut staging = StagingArea::new();
+    for logged in ks.log() {
+        staging.stage(logged.edit.clone());
+    }
+    store.commit("acme", staging, "seed").unwrap();
+
+    // The expected answer comes from the ordinary all-in-RAM path.
+    let direct = GenEditPipeline::new(&oracle);
+    let expected = fingerprint(&direct.generate(
+        &bundle.tasks[0].question,
+        &KnowledgeIndex::build(ks),
+        &bundle.db,
+        &[],
+    ));
+
+    // The runtime's *global* snapshot is empty: only the tenant
+    // directory can supply acme's knowledge.
+    let dir = Arc::new(TenantDirectory::new(Arc::clone(&store), 8));
+    let runtime = ServeRuntime::start(
+        oracle,
+        Arc::new(KnowledgeIndex::build(KnowledgeSet::new())),
+        0,
+        Arc::new(bundle.db.clone()),
+        ServeConfig {
+            workers: 1,
+            tenants: Some(Arc::clone(&dir)),
+            ..ServeConfig::default()
+        },
+    );
+
+    let outcome = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[0].question))
+        .unwrap()
+        .wait();
+    let (result, cached, _) = completed(&outcome);
+    assert!(!cached);
+    assert_eq!(
+        fingerprint(result),
+        expected,
+        "paged-in tenant index must reproduce the all-in-RAM result"
+    );
+    assert_eq!(runtime.metrics().counter("serve.tenant.error"), 0);
+
+    // Second request for the same tenant hits the directory's index
+    // cache — no second page-in.
+    let outcome = runtime
+        .submit(QueryRequest::new("acme", &bundle.tasks[1].question))
+        .unwrap()
+        .wait();
+    completed(&outcome);
+    assert_eq!(dir.resident(), 1);
+
+    // A tenant the store has never seen falls back to the (empty)
+    // global snapshot and still completes.
+    let outcome = runtime
+        .submit(QueryRequest::new("ghost", &bundle.tasks[0].question))
+        .unwrap()
+        .wait();
+    assert!(matches!(outcome, QueryOutcome::Completed { .. }));
+    assert_eq!(runtime.metrics().counter("serve.tenant.error"), 0);
+
+    runtime.shutdown();
+}

@@ -100,6 +100,35 @@ pub mod names {
     pub const STORE_COMMIT: &str = "store.commit";
     /// One request's residency in the serving runtime (queue + execute).
     pub const SERVE_REQUEST: &str = "serve.request";
+    /// One shadow-paged flush of a tenant's pages after a durable commit.
+    pub const STORE_PAGE_FLUSH: &str = "store.page.flush";
+    /// One cold-tenant page-in: WAL-validated page load + index build.
+    pub const SERVE_TENANT_PAGE_IN: &str = "serve.tenant.page_in";
+
+    // Buffer-pool counters/gauges (see docs/RUNBOOK.md for semantics).
+    /// Counter: page requests served from a resident frame.
+    pub const POOL_HIT: &str = "store.pool.hit";
+    /// Counter: page requests that had to load from disk.
+    pub const POOL_MISS: &str = "store.pool.miss";
+    /// Counter: unpinned frames evicted to stay under the budget.
+    pub const POOL_EVICTIONS: &str = "store.pool.evictions";
+    /// Counter: pins granted past the budget because every frame was
+    /// pinned (transient overcommit; sustained growth means the budget is
+    /// too small for the working set).
+    pub const POOL_OVERCOMMITS: &str = "store.pool.overcommits";
+    /// Gauge: bytes of page data currently resident in the pool.
+    pub const POOL_RESIDENT_BYTES: &str = "store.pool.resident_bytes";
+    /// Gauge: frames currently pinned (readers mid-flight).
+    pub const POOL_PINNED: &str = "store.pool.pinned";
+    /// Counter: pages read and checksum-verified from disk.
+    pub const PAGE_READS: &str = "store.page.reads";
+    /// Counter: sealed pages written to disk.
+    pub const PAGE_WRITES: &str = "store.page.writes";
+    /// Counter: pages rejected by checksum/format validation (torn or
+    /// corrupt after a crash — each one triggers a WAL rebuild).
+    pub const PAGE_CHECKSUM_FAILURES: &str = "store.page.checksum_failures";
+    /// Counter: tenant page files rebuilt from the WAL.
+    pub const PAGE_REBUILDS: &str = "store.page.rebuilds";
 }
 
 /// Render a trace as an indented tree with durations and attributes —
